@@ -1,0 +1,365 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation (Figures 8–15) and measures the core algorithms and
+// the design-choice ablations listed in DESIGN.md.
+//
+// Figure benches execute the same computation as `cmd/experiments -fig N`
+// and report the headline series as benchmark metrics (normalized allocation
+// cost, lower is better, 1.0 = optimal). Algorithm benches are conventional
+// micro-benchmarks. Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/alloc/chaitin"
+	"repro/internal/alloc/layered"
+	"repro/internal/alloc/linearscan"
+	"repro/internal/alloc/optimal"
+	"repro/internal/bench"
+	"repro/internal/graph"
+	"repro/internal/ifg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/spillcost"
+	"repro/internal/stable"
+)
+
+// reportMeans attaches the sweep-averaged normalized cost of each allocator
+// as a benchmark metric.
+func reportMeans(b *testing.B, instances []*bench.Instance, names []string) {
+	b.Helper()
+	means := bench.NormalizedMeans(instances, names)
+	for _, name := range names {
+		total, count := 0.0, 0
+		for _, per := range means {
+			total += per[name]
+			count++
+		}
+		if count > 0 {
+			b.ReportMetric(total/float64(count), name+"_norm")
+		}
+	}
+}
+
+func runSuite(b *testing.B, s bench.Suite, names []string) {
+	b.Helper()
+	var instances []*bench.Instance
+	for i := 0; i < b.N; i++ {
+		instances = bench.Run(s, nil)
+	}
+	reportMeans(b, instances, names)
+}
+
+var chordalNames = bench.AllocatorNames(bench.ChordalAllocators())
+var jitNames = bench.AllocatorNames(bench.JITAllocators())
+
+// BenchmarkFig08 regenerates Figure 8: mean normalized allocation cost on
+// the SPEC CPU 2000int stand-in (ST231), R ∈ {1,2,4,8,16,32}.
+func BenchmarkFig08SPEC2000Means(b *testing.B) { runSuite(b, bench.SuiteSPEC2000, chordalNames) }
+
+// BenchmarkFig09 regenerates Figure 9 (EEMBC on ST231).
+func BenchmarkFig09EEMBCMeans(b *testing.B) { runSuite(b, bench.SuiteEEMBC, chordalNames) }
+
+// BenchmarkFig10 regenerates Figure 10 (lao-kernels on ARMv7).
+func BenchmarkFig10LAOKernelsMeans(b *testing.B) { runSuite(b, bench.SuiteLAOKernels, chordalNames) }
+
+// distSpread reports the interquartile spread of per-program normalized
+// costs at the largest register count — the quantity Figures 11–13
+// visualize (GC and NL show wide spreads; BL/FPL/BFPL are tight).
+func distSpread(b *testing.B, s bench.Suite, names []string) {
+	b.Helper()
+	var instances []*bench.Instance
+	for i := 0; i < b.N; i++ {
+		instances = bench.Run(s, nil)
+	}
+	ratios, _ := bench.PerProgramRatios(instances, names)
+	for _, name := range names {
+		// Pool the sweep's ratios and report Q3−Q1.
+		var all []float64
+		for _, per := range ratios {
+			all = append(all, per[name]...)
+		}
+		sum := bench.Summarize(all)
+		b.ReportMetric(sum.Q3-sum.Q1, name+"_iqr")
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11: per-program cost distributions on
+// SPEC CPU 2000int.
+func BenchmarkFig11SPEC2000Dist(b *testing.B) { distSpread(b, bench.SuiteSPEC2000, chordalNames) }
+
+// BenchmarkFig12 regenerates Figure 12 (EEMBC distributions).
+func BenchmarkFig12EEMBCDist(b *testing.B) { distSpread(b, bench.SuiteEEMBC, chordalNames) }
+
+// BenchmarkFig13 regenerates Figure 13 (lao-kernels distributions).
+func BenchmarkFig13LAOKernelsDist(b *testing.B) { distSpread(b, bench.SuiteLAOKernels, chordalNames) }
+
+// BenchmarkFig14 regenerates Figure 14: mean normalized cost on the
+// non-chordal SPEC JVM98 stand-in, R ∈ {2..16}.
+func BenchmarkFig14JVM98Means(b *testing.B) { runSuite(b, bench.SuiteJVM98, jitNames) }
+
+// BenchmarkFig15 regenerates Figure 15: per-benchmark normalized cost on
+// SPEC JVM98 at R = 6; the metric reported per allocator is the worst
+// (maximum) benchmark ratio, the paper's "overhead can reach" number.
+func BenchmarkFig15JVM98PerBench(b *testing.B) {
+	var instances []*bench.Instance
+	for i := 0; i < b.N; i++ {
+		instances = bench.Run(bench.SuiteJVM98, nil)
+	}
+	per := bench.PerBenchmarkMeans(instances, jitNames, 6)
+	for _, name := range jitNames {
+		worst := 0.0
+		for _, row := range per {
+			if row[name] > worst {
+				worst = row[name]
+			}
+		}
+		b.ReportMetric(worst, name+"_worst")
+	}
+}
+
+// ---- Algorithm micro-benchmarks ----
+
+func largeIntervalGraph(n int) *graph.Weighted {
+	rng := rand.New(rand.NewSource(1))
+	type iv struct{ lo, hi int }
+	ivs := make([]iv, n)
+	for i := range ivs {
+		a, c := rng.Intn(4*n), rng.Intn(4*n)
+		if a > c {
+			a, c = c, a
+		}
+		// Bound interval length to keep density realistic.
+		if c-a > n/4 {
+			c = a + n/4
+		}
+		ivs[i] = iv{a, c}
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ivs[i].lo <= ivs[j].hi && ivs[j].lo <= ivs[i].hi {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(1 + rng.Intn(1000))
+	}
+	return graph.NewWeighted(g, w)
+}
+
+func BenchmarkPEO(b *testing.B) {
+	g := largeIntervalGraph(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PerfectEliminationOrder()
+	}
+}
+
+func BenchmarkFrankMWSS(b *testing.B) {
+	g := largeIntervalGraph(2000)
+	order := g.PerfectEliminationOrder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stable.MaxWeightChordal(g.Graph, order, g.Weight)
+	}
+}
+
+func BenchmarkMaximalCliques(b *testing.B) {
+	g := largeIntervalGraph(2000)
+	order := g.PerfectEliminationOrder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MaximalCliques(order)
+	}
+}
+
+func benchFunc() *ir.Func {
+	return bench.GenSSA("bench", 77, bench.Shape{
+		Params: 4, Segments: 6, MaxDepth: 3, StraightLen: 6,
+		LoopProb: 0.4, BranchProb: 0.3, Carried: 3, LongLived: 24,
+	})
+}
+
+func BenchmarkLiveness(b *testing.B) {
+	f := benchFunc()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		liveness.Compute(f)
+	}
+}
+
+func BenchmarkInterferenceBuild(b *testing.B) {
+	f := benchFunc()
+	info := liveness.Compute(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ifg.FromLiveness(info)
+	}
+}
+
+func benchProblem(r int) *alloc.Problem {
+	f := benchFunc()
+	info := liveness.Compute(f)
+	build := ifg.FromLiveness(info)
+	costs := spillcost.Costs(f, spillcost.DefaultModel)
+	p := alloc.NewProblem(build, costs, r)
+	p.Intervals = linearscan.BuildIntervals(info, build)
+	return p
+}
+
+func BenchmarkAllocNL(b *testing.B) {
+	p := benchProblem(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layered.NL().Allocate(p)
+	}
+}
+
+func BenchmarkAllocBFPL(b *testing.B) {
+	p := benchProblem(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layered.BFPL().Allocate(p)
+	}
+}
+
+func BenchmarkAllocGC(b *testing.B) {
+	p := benchProblem(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chaitin.New().Allocate(p)
+	}
+}
+
+func BenchmarkAllocLinearScan(b *testing.B) {
+	p := benchProblem(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linearscan.BLS().Allocate(p)
+	}
+}
+
+func BenchmarkAllocLH(b *testing.B) {
+	p := benchProblem(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layered.NewLH().Allocate(p)
+	}
+}
+
+func BenchmarkAllocOptimal(b *testing.B) {
+	p := benchProblem(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		optimal.New().Allocate(p)
+	}
+}
+
+// ---- Ablation benches (DESIGN.md) ----
+
+// ablationProblems is a fixed mix of chordal instances at mid pressure.
+func ablationProblems() []*alloc.Problem {
+	var out []*alloc.Problem
+	for seed := int64(300); seed < 312; seed++ {
+		f := bench.GenSSA("abl", seed, bench.Shape{
+			Params: 3, Segments: 4, MaxDepth: 3, StraightLen: 5,
+			LoopProb: 0.45, BranchProb: 0.3, Carried: 3, LongLived: 12,
+		})
+		build := ifg.FromFunc(f)
+		costs := spillcost.Costs(f, spillcost.DefaultModel)
+		out = append(out, alloc.NewProblem(build, costs, 6))
+	}
+	return out
+}
+
+func totalCost(ps []*alloc.Problem, a alloc.Allocator) float64 {
+	total := 0.0
+	for _, p := range ps {
+		total += a.Allocate(p).SpillCost(p)
+	}
+	return total
+}
+
+// BenchmarkAblationBias compares no bias, the paper's static-degree bias,
+// and the dynamic (remaining-candidates) bias. Metric: total spill cost.
+func BenchmarkAblationBias(b *testing.B) {
+	ps := ablationProblems()
+	variants := map[string]alloc.Allocator{
+		"none":    layered.Custom("none", layered.Option{FixedPoint: true}),
+		"static":  layered.Custom("static", layered.Option{Bias: true, FixedPoint: true}),
+		"dynamic": layered.Custom("dynamic", layered.Option{Bias: true, DynamicBias: true, FixedPoint: true}),
+	}
+	for name, a := range variants {
+		b.Run(name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				cost = totalCost(ps, a)
+			}
+			b.ReportMetric(cost, "spillcost")
+		})
+	}
+}
+
+// BenchmarkAblationStep compares step=1 Frank layers with exact step=2
+// layers (paper §4: "even with step = 1" quasi-optimality).
+func BenchmarkAblationStep(b *testing.B) {
+	ps := ablationProblems()
+	solve := func(p *alloc.Problem) *alloc.Result { return optimal.New().Allocate(p) }
+	variants := map[string]alloc.Allocator{
+		"step1": &layered.StepAllocator{Step: 1, Solve: solve, Label: "step1"},
+		"step2": &layered.StepAllocator{Step: 2, Solve: solve, Label: "step2"},
+	}
+	for name, a := range variants {
+		b.Run(name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				cost = totalCost(ps, a)
+			}
+			b.ReportMetric(cost, "spillcost")
+		})
+	}
+}
+
+// BenchmarkAblationFixpoint compares no fixpoint, one extra round, and full
+// fixed-point iteration.
+func BenchmarkAblationFixpoint(b *testing.B) {
+	ps := ablationProblems()
+	variants := map[string]alloc.Allocator{
+		"off":  layered.Custom("off", layered.Option{Bias: true}),
+		"once": layered.Custom("once", layered.Option{Bias: true, FixedPoint: true, MaxFixpointRounds: 1}),
+		"full": layered.Custom("full", layered.Option{Bias: true, FixedPoint: true}),
+	}
+	for name, a := range variants {
+		b.Run(name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				cost = totalCost(ps, a)
+			}
+			b.ReportMetric(cost, "spillcost")
+		})
+	}
+}
+
+// BenchmarkAblationUpdate times Algorithm 4's incremental clique counters
+// against from-scratch recomputation (identical results, different cost).
+func BenchmarkAblationUpdate(b *testing.B) {
+	ps := ablationProblems()
+	variants := map[string]alloc.Allocator{
+		"incremental": layered.Custom("inc", layered.Option{FixedPoint: true}),
+		"naive":       layered.Custom("naive", layered.Option{FixedPoint: true, NaiveUpdate: true}),
+	}
+	for name, a := range variants {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				totalCost(ps, a)
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// section (Figures 8–15) from the synthetic workload suites.
+//
+// Usage:
+//
+//	experiments [-fig N] [-v]
+//
+// Without -fig, all figures are produced in order. Output is plain text:
+// one table per figure, with the same rows/series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (8..15); 0 = all")
+	ext := flag.Bool("ext", false, "also run the SSA-construction extension experiment")
+	coal := flag.Bool("coalesce", false, "also run the coalescing extension experiment")
+	verbose := flag.Bool("v", false, "print per-program progress")
+	flag.Parse()
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+
+	// The chordal figures come in pairs sharing a dataset: (8,11) SPEC2000,
+	// (9,12) EEMBC, (10,13) lao-kernels. (14,15) share the JVM98 dataset.
+	type figurePair struct {
+		suite     bench.Suite
+		meanFig   int
+		distFig   int
+		meanTitle string
+		distTitle string
+	}
+	pairs := []figurePair{
+		{bench.SuiteSPEC2000, 8, 11,
+			"Figure 8: mean normalized allocation cost, SPEC CPU 2000int on ST231",
+			"Figure 11: distribution of per-program normalized costs, SPEC CPU 2000int on ST231"},
+		{bench.SuiteEEMBC, 9, 12,
+			"Figure 9: mean normalized allocation cost, EEMBC on ST231",
+			"Figure 12: distribution of per-program normalized costs, EEMBC on ST231"},
+		{bench.SuiteLAOKernels, 10, 13,
+			"Figure 10: mean normalized allocation cost, lao-kernels on ARMv7",
+			"Figure 13: distribution of per-program normalized costs, lao-kernels on ARMv7"},
+	}
+	for _, pair := range pairs {
+		if !want(pair.meanFig) && !want(pair.distFig) {
+			continue
+		}
+		names := bench.AllocatorNames(bench.ChordalAllocators())
+		if progress != nil {
+			fmt.Fprintf(progress, "suite %s:\n", pair.suite.Name)
+		}
+		instances := bench.Run(pair.suite, progress)
+		if want(pair.meanFig) {
+			fmt.Printf("%s\n", pair.meanTitle)
+			fmt.Print(bench.FormatMeansTable(bench.NormalizedMeans(instances, names), names))
+			fmt.Println()
+		}
+		if want(pair.distFig) {
+			ratios, skipped := bench.PerProgramRatios(instances, names)
+			fmt.Printf("%s\n", pair.distTitle)
+			fmt.Print(bench.FormatDistTable(ratios, names))
+			if skipped > 0 {
+				fmt.Printf("(skipped %d undefined ratios: optimal cost was zero)\n", skipped)
+			}
+			fmt.Println()
+		}
+	}
+
+	if want(14) || want(15) {
+		names := bench.AllocatorNames(bench.JITAllocators())
+		if progress != nil {
+			fmt.Fprintf(progress, "suite %s:\n", bench.SuiteJVM98.Name)
+		}
+		instances := bench.Run(bench.SuiteJVM98, progress)
+		if want(14) {
+			fmt.Println("Figure 14: mean normalized allocation cost, SPEC JVM98 (non-chordal)")
+			fmt.Print(bench.FormatMeansTable(bench.NormalizedMeans(instances, names), names))
+			fmt.Println()
+		}
+		if want(15) {
+			fmt.Println("Figure 15: per-benchmark normalized allocation cost, SPEC JVM98, R=6")
+			fmt.Print(bench.FormatPerBenchTable(bench.PerBenchmarkMeans(instances, names, 6), names))
+			fmt.Println()
+		}
+	}
+
+	if *ext {
+		rows, err := bench.RunSSAExtension(bench.JITSweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Extension: SSA-based layered-optimal allocation of the JVM98 methods")
+		fmt.Println("(each heuristic normalized by the exact optimum of its own representation)")
+		fmt.Print(bench.FormatSSAExtension(rows))
+		fmt.Println()
+	}
+
+	if *coal {
+		fmt.Println("Extension: φ-move elimination by coalescing policy (R = per-function MaxLive)")
+		fmt.Print(bench.FormatCoalesce(bench.RunCoalesce(
+			[]bench.Suite{bench.SuiteSPEC2000, bench.SuiteEEMBC, bench.SuiteLAOKernels})))
+		fmt.Println()
+	}
+}

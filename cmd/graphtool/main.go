@@ -1,0 +1,122 @@
+// Command graphtool inspects the interference graph of a program: summary
+// statistics (size, density, MaxLive, chordality), the maximal cliques /
+// live sets, and an optional Graphviz DOT dump with spill costs as labels.
+//
+// Usage:
+//
+//	graphtool (-file f.ir | -suite eembc -prog aifir) [-dot] [-cliques]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/ifg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/spillcost"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	file := flag.String("file", "", "textual IR file ('-' or empty = stdin)")
+	suiteName := flag.String("suite", "", "take the program from this workload suite")
+	progName := flag.String("prog", "", "program name within -suite")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+	cliques := flag.Bool("cliques", false, "list the pressure constraints (live sets)")
+	flag.Parse()
+
+	f, err := loadFunc(*file, *suiteName, *progName)
+	if err != nil {
+		return err
+	}
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	info := liveness.Compute(f)
+	b := ifg.FromLiveness(info)
+	costs := spillcost.Costs(f, spillcost.DefaultModel)
+
+	if *dot {
+		emitDOT(b, costs)
+		return nil
+	}
+
+	order := b.Graph.PerfectEliminationOrder()
+	chordal := b.Graph.IsPerfectEliminationOrder(order)
+	fmt.Printf("function  %s (ssa=%v)\n", f.Name, f.SSA)
+	fmt.Printf("blocks    %d\n", len(f.Blocks))
+	fmt.Printf("vertices  %d\n", b.Graph.N())
+	fmt.Printf("edges     %d\n", b.Graph.M())
+	fmt.Printf("maxlive   %d\n", b.MaxLive)
+	fmt.Printf("chordal   %v\n", chordal)
+	if chordal {
+		fmt.Printf("cliques   %d (max size %d)\n",
+			len(b.Graph.MaximalCliques(order)), b.Graph.CliqueNumber(order))
+	} else {
+		fmt.Printf("live sets %d\n", len(b.LiveSets))
+	}
+	if *cliques {
+		fmt.Println("pressure constraints:")
+		sets := b.LiveSets
+		if chordal && f.SSA {
+			sets = b.Graph.MaximalCliques(order)
+		}
+		for _, ls := range sets {
+			fmt.Printf("  {%s}\n", strings.Join(b.Names(ls), " "))
+		}
+	}
+	return nil
+}
+
+func emitDOT(b *ifg.Build, costs []float64) {
+	fmt.Println("graph interference {")
+	fmt.Println("  node [shape=ellipse];")
+	for v := 0; v < b.Graph.N(); v++ {
+		val := b.ValueOf[v]
+		fmt.Printf("  n%d [label=\"%s\\n%.0f\"];\n", v, b.F.NameOf(val), costs[val])
+	}
+	for v := 0; v < b.Graph.N(); v++ {
+		for _, u := range b.Graph.Neighbors(v) {
+			if u > v {
+				fmt.Printf("  n%d -- n%d;\n", v, u)
+			}
+		}
+	}
+	fmt.Println("}")
+}
+
+func loadFunc(file, suiteName, progName string) (*ir.Func, error) {
+	if suiteName != "" {
+		s, ok := bench.SuiteByName(suiteName)
+		if !ok {
+			return nil, fmt.Errorf("unknown suite %q", suiteName)
+		}
+		for _, p := range s.Load() {
+			if p.Name == progName {
+				return p.F, nil
+			}
+		}
+		return nil, fmt.Errorf("no program %q in suite %q", progName, suiteName)
+	}
+	var src []byte
+	var err error
+	if file == "" || file == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ir.Parse(string(src))
+}

@@ -1,0 +1,128 @@
+// Command layered runs one register allocation end to end and reports the
+// decisions: which values spill, the spill cost, and (for SSA inputs) the
+// assigned registers and the rewritten function with spill code.
+//
+// Usage:
+//
+//	layered -r 8 [-alloc BFPL] [-arch st231] (-file f.ir | -suite eembc -prog aifir) [-print]
+//
+// The input is either a textual IR file (see internal/ir's format) or a
+// named program from one of the built-in workload suites. With no -file and
+// no -suite, it reads IR from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "layered:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	regs := flag.Int("r", 0, "register count (default: the -arch register file)")
+	allocName := flag.String("alloc", "", "allocator: "+strings.Join(core.AllocatorNames(), ", ")+" (default BFPL/LH)")
+	machine := flag.String("arch", "st231", "machine for the default register count (st231, armv7, jvm98)")
+	file := flag.String("file", "", "textual IR file to allocate ('-' or empty = stdin)")
+	suiteName := flag.String("suite", "", "take the program from this workload suite")
+	progName := flag.String("prog", "", "program name within -suite")
+	print := flag.Bool("print", false, "print the rewritten function (SSA inputs)")
+	flag.Parse()
+
+	f, err := loadFunc(*file, *suiteName, *progName)
+	if err != nil {
+		return err
+	}
+
+	r := *regs
+	if r == 0 {
+		m, err := arch.ByName(*machine)
+		if err != nil {
+			return err
+		}
+		r = m.Allocable()
+	}
+
+	cfg := core.Config{Registers: r}
+	if *allocName != "" {
+		a, err := core.AllocatorByName(*allocName)
+		if err != nil {
+			return err
+		}
+		cfg.Allocator = a
+	}
+	out, err := core.Run(f, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("function   %s\n", f.Name)
+	fmt.Printf("allocator  %s\n", out.Result.Allocator)
+	fmt.Printf("registers  %d\n", r)
+	fmt.Printf("values     %d\n", out.Build.Graph.N())
+	fmt.Printf("maxlive    %d\n", out.MaxLive)
+	fmt.Printf("spilled    %d (cost %.1f of %.1f)\n",
+		len(out.SpilledValues), out.SpillCost, out.Problem.G.TotalWeight())
+	if len(out.SpilledValues) > 0 {
+		names := make([]string, len(out.SpilledValues))
+		for i, v := range out.SpilledValues {
+			names[i] = f.NameOf(v)
+		}
+		sort.Strings(names)
+		fmt.Printf("spill set  %s\n", strings.Join(names, " "))
+	}
+	if out.RegisterOf != nil {
+		var cells []string
+		for val, reg := range out.RegisterOf {
+			if reg >= 0 {
+				cells = append(cells, fmt.Sprintf("%s=r%d", f.NameOf(val), reg))
+			}
+		}
+		sort.Strings(cells)
+		fmt.Printf("assignment %s\n", strings.Join(cells, " "))
+	}
+	if *print && out.Rewritten != nil {
+		fmt.Println()
+		fmt.Print(out.Rewritten.String())
+	}
+	return nil
+}
+
+func loadFunc(file, suiteName, progName string) (*ir.Func, error) {
+	if suiteName != "" {
+		s, ok := bench.SuiteByName(suiteName)
+		if !ok {
+			return nil, fmt.Errorf("unknown suite %q", suiteName)
+		}
+		for _, p := range s.Load() {
+			if p.Name == progName {
+				return p.F, nil
+			}
+		}
+		return nil, fmt.Errorf("no program %q in suite %q", progName, suiteName)
+	}
+	var src []byte
+	var err error
+	if file == "" || file == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ir.Parse(string(src))
+}

@@ -1,0 +1,182 @@
+// Package alloc defines the register-allocation problem the paper studies —
+// spill-everywhere allocation in a decoupled framework — and the common
+// types every allocator implements.
+//
+// A Problem is an interference graph with spill costs, a register count R,
+// and the register-pressure constraints (live sets, which are cliques of
+// the graph). An allocation is a subset of variables kept in registers; it
+// is valid when no live set keeps more than R variables, which for chordal
+// (strict SSA) graphs is exactly R-colourability. The allocation cost of a
+// solution is the total spill cost of the variables not kept.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ifg"
+)
+
+// Problem is one spill-everywhere allocation instance.
+type Problem struct {
+	// G is the weighted interference graph; weights are spill costs.
+	G *graph.Weighted
+	// R is the number of available registers.
+	R int
+	// LiveSets are the register-pressure constraints: sorted vertex sets,
+	// each a clique of G, of which at most R members may be allocated.
+	// For chordal instances these are the maximal cliques.
+	LiveSets [][]int
+	// Chordal records whether G is chordal; PEO is a perfect elimination
+	// order when it is (and a best-effort MCS order otherwise).
+	Chordal bool
+	PEO     []int
+	// Name optionally identifies the instance (benchmark name) in reports.
+	Name string
+	// Intervals optionally holds, per vertex, the [start, end] program
+	// point range of its live interval on a linearized layout. Linear-scan
+	// allocators require it; graph-only instances leave it nil.
+	Intervals [][2]int
+}
+
+// NewProblem assembles a Problem from an interference graph build and
+// per-value spill costs.
+func NewProblem(b *ifg.Build, costs []float64, r int) *Problem {
+	w := make([]float64, b.Graph.N())
+	for v := range w {
+		w[v] = costs[b.ValueOf[v]]
+	}
+	p := &Problem{
+		G:    graph.NewWeighted(b.Graph, w),
+		R:    r,
+		Name: b.F.Name,
+	}
+	p.PEO = b.Graph.PerfectEliminationOrder()
+	// The clique ↔ live-set correspondence that lets allocators treat graph
+	// cliques as register-pressure constraints only holds for strict SSA.
+	// A non-SSA program may produce an accidentally chordal graph whose
+	// maximal cliques were never simultaneously live; its constraints must
+	// stay the program-point live sets.
+	p.Chordal = b.F.SSA && b.Graph.IsPerfectEliminationOrder(p.PEO)
+	if p.Chordal {
+		p.LiveSets = b.Graph.MaximalCliques(p.PEO)
+	} else {
+		p.LiveSets = b.LiveSets
+	}
+	return p
+}
+
+// NewGraphProblem wraps a bare weighted graph as a Problem, deriving the
+// pressure constraints from the graph's maximal cliques (requires a chordal
+// graph unless liveSets is supplied). Used by tests and the graph-level
+// examples.
+func NewGraphProblem(g *graph.Weighted, r int, liveSets [][]int) *Problem {
+	p := &Problem{G: g, R: r, LiveSets: liveSets}
+	p.PEO = g.PerfectEliminationOrder()
+	p.Chordal = g.IsPerfectEliminationOrder(p.PEO)
+	if p.LiveSets == nil {
+		if !p.Chordal {
+			panic("alloc: non-chordal graph problem requires explicit live sets")
+		}
+		p.LiveSets = g.MaximalCliques(p.PEO)
+	}
+	return p
+}
+
+// Result is the outcome of one allocator run.
+type Result struct {
+	// Allocated[v] reports whether vertex v stays in a register.
+	Allocated []bool
+	// Allocator names the algorithm that produced the result.
+	Allocator string
+}
+
+// NewResult builds a Result from the list of allocated vertices.
+func NewResult(n int, allocated []int, name string) *Result {
+	res := &Result{Allocated: make([]bool, n), Allocator: name}
+	for _, v := range allocated {
+		res.Allocated[v] = true
+	}
+	return res
+}
+
+// Spilled returns the sorted list of spilled vertices.
+func (r *Result) Spilled() []int {
+	var out []int
+	for v, a := range r.Allocated {
+		if !a {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// AllocatedList returns the sorted list of allocated vertices.
+func (r *Result) AllocatedList() []int {
+	var out []int
+	for v, a := range r.Allocated {
+		if a {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SpillCost returns the total cost of the spilled variables under problem p.
+func (r *Result) SpillCost(p *Problem) float64 {
+	cost := 0.0
+	for v, a := range r.Allocated {
+		if !a {
+			cost += p.G.Weight[v]
+		}
+	}
+	return cost
+}
+
+// Validate checks that the allocation respects every pressure constraint
+// (≤ R allocated per live set). On chordal instances this is equivalent to
+// the allocated subgraph being R-colourable.
+func (p *Problem) Validate(r *Result) error {
+	if len(r.Allocated) != p.G.N() {
+		return fmt.Errorf("alloc: result covers %d of %d vertices", len(r.Allocated), p.G.N())
+	}
+	for _, ls := range p.LiveSets {
+		count := 0
+		for _, v := range ls {
+			if r.Allocated[v] {
+				count++
+			}
+		}
+		if count > p.R {
+			return fmt.Errorf("alloc: %s: live set %v keeps %d > R=%d variables",
+				r.Allocator, ls, count, p.R)
+		}
+	}
+	return nil
+}
+
+// Allocator is a spill-everywhere register allocator.
+type Allocator interface {
+	Name() string
+	// Allocate solves p. Implementations must return a valid Result.
+	Allocate(p *Problem) *Result
+}
+
+// MaxPressure returns the largest live-set size, i.e. MaxLive.
+func (p *Problem) MaxPressure() int {
+	max := 0
+	for _, ls := range p.LiveSets {
+		if len(ls) > max {
+			max = len(ls)
+		}
+	}
+	return max
+}
+
+// SortedCopy returns a sorted copy of s (helper shared by allocators).
+func SortedCopy(s []int) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,144 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ifg"
+	"repro/internal/ir"
+	"repro/internal/spillcost"
+)
+
+func triangleProblem(t *testing.T, r int) *Problem {
+	t.Helper()
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	return NewGraphProblem(graph.NewWeighted(g, []float64{1, 2, 3}), r, nil)
+}
+
+func TestNewGraphProblemDerivesCliques(t *testing.T) {
+	p := triangleProblem(t, 2)
+	if !p.Chordal {
+		t.Fatal("triangle not chordal")
+	}
+	if len(p.LiveSets) != 1 || len(p.LiveSets[0]) != 3 {
+		t.Fatalf("live sets = %v", p.LiveSets)
+	}
+	if p.MaxPressure() != 3 {
+		t.Fatalf("MaxPressure = %d", p.MaxPressure())
+	}
+}
+
+func TestNewGraphProblemNonChordalNeedsLiveSets(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	w := graph.NewWeighted(g, []float64{1, 1, 1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-chordal problem without live sets did not panic")
+		}
+	}()
+	NewGraphProblem(w, 2, nil)
+}
+
+func TestValidate(t *testing.T) {
+	p := triangleProblem(t, 2)
+	ok := NewResult(3, []int{0, 1}, "test")
+	if err := p.Validate(ok); err != nil {
+		t.Fatalf("valid allocation rejected: %v", err)
+	}
+	bad := NewResult(3, []int{0, 1, 2}, "test")
+	if err := p.Validate(bad); err == nil {
+		t.Fatal("over-pressure allocation accepted")
+	}
+	short := &Result{Allocated: []bool{true}, Allocator: "test"}
+	if err := p.Validate(short); err == nil {
+		t.Fatal("wrong-size result accepted")
+	}
+}
+
+func TestSpillCostAndSets(t *testing.T) {
+	p := triangleProblem(t, 2)
+	res := NewResult(3, []int{1, 2}, "test")
+	if got := res.SpillCost(p); got != 1 {
+		t.Fatalf("SpillCost = %g, want 1 (vertex 0)", got)
+	}
+	if got := res.Spilled(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Spilled = %v", got)
+	}
+	if got := res.AllocatedList(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("AllocatedList = %v", got)
+	}
+}
+
+func TestNewProblemFromIR(t *testing.T) {
+	f := ir.MustParse(`
+func p ssa {
+b0:
+  a = param 0
+  b = param 1
+  c = arith a, b
+  d = arith c, b
+  ret d
+}`)
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	b := ifg.FromFunc(f)
+	costs := spillcost.Costs(f, spillcost.DefaultModel)
+	p := NewProblem(b, costs, 2)
+	if !p.Chordal {
+		t.Fatal("SSA problem must be chordal")
+	}
+	if p.G.N() != b.Graph.N() {
+		t.Fatal("graph size mismatch")
+	}
+	for v := 0; v < p.G.N(); v++ {
+		if p.G.Weight[v] != costs[b.ValueOf[v]] {
+			t.Fatal("weights not translated")
+		}
+	}
+}
+
+func TestNonSSAProblemUsesLiveSets(t *testing.T) {
+	// The graph of this non-SSA function is chordal, but the problem must
+	// still use the point live sets: cliques of accidental chordal graphs
+	// over-constrain the allocation.
+	f := ir.MustParse(`
+func ns {
+b0:
+  u = param 0
+  v = param 1
+  w = arith u, v
+  u = arith w, w
+  s = arith u, w
+  store u, s
+  ret s
+}`)
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	b := ifg.FromFunc(f)
+	costs := spillcost.Costs(f, spillcost.DefaultModel)
+	p := NewProblem(b, costs, 2)
+	if p.Chordal {
+		t.Fatal("non-SSA problem must not claim the chordal clique model")
+	}
+	if len(p.LiveSets) != len(b.LiveSets) {
+		t.Fatal("live sets not taken from the build")
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := []int{3, 1, 2}
+	out := SortedCopy(in)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("SortedCopy = %v", out)
+	}
+	if in[0] != 3 {
+		t.Fatal("input mutated")
+	}
+}

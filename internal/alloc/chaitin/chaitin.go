@@ -1,0 +1,147 @@
+// Package chaitin implements the Chaitin–Briggs optimistic graph-colouring
+// allocator used as the GC baseline in the paper's evaluation.
+//
+// The allocator runs the classic simplify/select loop: nodes of degree < R
+// are removed and stacked; when none remains, the node minimising
+// cost/degree is chosen as a spill candidate but still stacked (Briggs'
+// optimistic colouring). During select, nodes that find no free colour are
+// spilled; if any node spilled, the interferences are rebuilt without the
+// spilled nodes and the process repeats until everything colours.
+package chaitin
+
+import (
+	"repro/internal/alloc"
+)
+
+// Allocator is the GC baseline.
+type Allocator struct{}
+
+// New returns a Chaitin–Briggs allocator.
+func New() *Allocator { return &Allocator{} }
+
+// Name implements alloc.Allocator.
+func (*Allocator) Name() string { return "GC" }
+
+// Allocate implements alloc.Allocator.
+func (*Allocator) Allocate(p *alloc.Problem) *alloc.Result {
+	n := p.G.N()
+	spilled := make([]bool, n)
+	for {
+		newSpills := colorOnce(p, spilled)
+		if newSpills == 0 {
+			break
+		}
+	}
+	var allocated []int
+	for v := 0; v < n; v++ {
+		if !spilled[v] {
+			allocated = append(allocated, v)
+		}
+	}
+	return alloc.NewResult(n, allocated, "GC")
+}
+
+// colorOnce runs one simplify/select round over the non-spilled subgraph,
+// marking any nodes that fail to colour in spilled. It returns the number of
+// newly spilled nodes.
+func colorOnce(p *alloc.Problem, spilled []bool) int {
+	n := p.G.N()
+	r := p.R
+	// Working degrees over the live (non-spilled, not-yet-removed) graph.
+	present := make([]bool, n)
+	degree := make([]int, n)
+	live := 0
+	for v := 0; v < n; v++ {
+		if spilled[v] {
+			continue
+		}
+		present[v] = true
+		live++
+	}
+	for v := 0; v < n; v++ {
+		if !present[v] {
+			continue
+		}
+		d := 0
+		p.G.VisitNeighbors(v, func(u int) {
+			if present[u] {
+				d++
+			}
+		})
+		degree[v] = d
+	}
+
+	stack := make([]int, 0, live)
+	removed := make([]bool, n)
+	remove := func(v int) {
+		removed[v] = true
+		stack = append(stack, v)
+		p.G.VisitNeighbors(v, func(u int) {
+			if present[u] && !removed[u] {
+				degree[u]--
+			}
+		})
+		live--
+	}
+	for live > 0 {
+		// Simplify: remove any node with degree < R. Scan ascending for
+		// determinism; repeat until none qualifies.
+		progress := true
+		for progress {
+			progress = false
+			for v := 0; v < n; v++ {
+				if present[v] && !removed[v] && degree[v] < r {
+					remove(v)
+					progress = true
+				}
+			}
+		}
+		if live == 0 {
+			break
+		}
+		// Spill candidate: minimise cost/degree (Chaitin's metric); push it
+		// optimistically.
+		best, bestMetric := -1, 0.0
+		for v := 0; v < n; v++ {
+			if !present[v] || removed[v] {
+				continue
+			}
+			d := degree[v]
+			if d == 0 {
+				d = 1
+			}
+			m := p.G.Weight[v] / float64(d)
+			if best < 0 || m < bestMetric {
+				best, bestMetric = v, m
+			}
+		}
+		remove(best)
+	}
+
+	// Select: pop and colour.
+	color := make([]int, n)
+	for i := range color {
+		color[i] = -1
+	}
+	newSpills := 0
+	for i := len(stack) - 1; i >= 0; i-- {
+		v := stack[i]
+		used := make(map[int]bool)
+		p.G.VisitNeighbors(v, func(u int) {
+			if color[u] >= 0 {
+				used[color[u]] = true
+			}
+		})
+		c := 0
+		for used[c] {
+			c++
+		}
+		if c < r {
+			color[v] = c
+		} else {
+			spilled[v] = true
+			newSpills++
+		}
+	}
+	return newSpills
+}

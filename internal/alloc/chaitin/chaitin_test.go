@@ -1,0 +1,164 @@
+package chaitin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+	"repro/internal/graph"
+)
+
+func intervalProblem(r *rand.Rand, n, regs int) *alloc.Problem {
+	type iv struct{ lo, hi int }
+	ivs := make([]iv, n)
+	for i := range ivs {
+		a, b := r.Intn(3*n), r.Intn(3*n)
+		if a > b {
+			a, b = b, a
+		}
+		ivs[i] = iv{a, b}
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ivs[i].lo <= ivs[j].hi && ivs[j].lo <= ivs[i].hi {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(1 + r.Intn(100))
+	}
+	return alloc.NewGraphProblem(graph.NewWeighted(g, w), regs, nil)
+}
+
+func TestNoSpillWhenColorable(t *testing.T) {
+	// Triangle with 3 registers: colours without spilling.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	p := alloc.NewGraphProblem(graph.NewWeighted(g, []float64{5, 5, 5}), 3, nil)
+	res := New().Allocate(p)
+	if len(res.Spilled()) != 0 {
+		t.Fatalf("GC spilled %v with enough registers", res.Spilled())
+	}
+}
+
+func TestSpillsCheapHighDegree(t *testing.T) {
+	// Star: centre interferes with all leaves. R=1 forces either the
+	// centre or every leaf to spill; the centre has low cost/degree.
+	n := 6
+	g := graph.New(n)
+	for leaf := 1; leaf < n; leaf++ {
+		g.AddEdge(0, leaf)
+	}
+	w := []float64{3, 10, 10, 10, 10, 10}
+	p := alloc.NewGraphProblem(graph.NewWeighted(g, w), 1, nil)
+	res := New().Allocate(p)
+	if res.Allocated[0] {
+		t.Fatal("GC kept the cheap high-degree centre")
+	}
+	for leaf := 1; leaf < n; leaf++ {
+		if !res.Allocated[leaf] {
+			t.Fatalf("leaf %d spilled unnecessarily", leaf)
+		}
+	}
+}
+
+// TestPropertyNoSpillOnChordalWithEnoughRegisters: on a chordal graph with
+// R ≥ ω, simplification always succeeds and GC must not spill (there is
+// always a simplicial vertex of degree < ω ≤ R).
+func TestPropertyNoSpillWhenPressureFits(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := intervalProblem(r, 2+r.Intn(25), 0)
+		p.R = p.MaxPressure() // ω of the interval graph
+		res := New().Allocate(p)
+		return len(res.Spilled()) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyValidAllocations(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := intervalProblem(r, 2+r.Intn(30), 1+r.Intn(6))
+		res := New().Allocate(p)
+		return p.Validate(res) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyValidOnGeneralGraphs(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(25)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.35 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(1 + r.Intn(100))
+		}
+		regs := 1 + r.Intn(5)
+		// The GC guarantee is a proper colouring: the allocated subgraph
+		// must be regs-colourable, hence every clique ≤ regs. Validate via
+		// edge constraints when regs ≥ 2 plus explicit greedy check.
+		var liveSets [][]int
+		for v := 0; v < n; v++ {
+			for _, u := range g.Neighbors(v) {
+				if u > v {
+					liveSets = append(liveSets, []int{v, u})
+				}
+			}
+		}
+		if liveSets == nil {
+			liveSets = [][]int{}
+		}
+		p := &alloc.Problem{G: graph.NewWeighted(g, w), R: regs, LiveSets: liveSets}
+		res := New().Allocate(p)
+		if regs >= 2 {
+			if err := p.Validate(res); err != nil {
+				return false
+			}
+		} else {
+			// R = 1: allocated set must be stable.
+			if !g.IsStableSet(res.AllocatedList()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	p := intervalProblem(r, 30, 3)
+	first := New().Allocate(p).AllocatedList()
+	for i := 0; i < 5; i++ {
+		again := New().Allocate(p).AllocatedList()
+		if len(again) != len(first) {
+			t.Fatal("GC not deterministic")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatal("GC not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package layered implements the paper's contribution: layered register
+// allocation. Instead of incrementally spilling variables, it incrementally
+// *allocates* them, one optimal single-register layer at a time. On a
+// chordal (strict SSA) interference graph each layer is a maximum weighted
+// stable set, computed exactly in O(V+E) by Frank's algorithm, so the whole
+// allocator runs in O(R·(V+E)).
+//
+// Four variants are provided, matching the paper's §6 nomenclature:
+//
+//	NL    plain layered allocation (Algorithm 2)
+//	BL    layered with biased weights (§4.1)
+//	FPL   layered iterated to a fixed point with clique bookkeeping
+//	      (Algorithms 3 and 4)
+//	BFPL  both improvements
+//
+// For general (non-chordal) graphs, the LH allocator (Algorithms 5 and 6)
+// replaces the exact stable sets with greedy weight-ordered clusters.
+package layered
+
+import (
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/stable"
+)
+
+// Option configures a layered allocator.
+type Option struct {
+	// Bias replaces each weight w(v) by w(v)·|V| + deg(v), preferring —
+	// among stable sets of (nearly) equal cost — the one that removes the
+	// most interferences among the still-unallocated variables.
+	Bias bool
+	// DynamicBias recomputes deg(v) per layer over the remaining
+	// candidates instead of using the static degree. The paper's formula
+	// is static; the dynamic variant matches the stated motivation
+	// ("interferences in the graph on non-allocated variables") and is
+	// measured by the bias ablation bench.
+	DynamicBias bool
+	// FixedPoint continues allocating layers past the first R, with
+	// per-clique occupancy bookkeeping (Algorithm 4) pruning the variables
+	// that can no longer fit, until no variable can be added.
+	FixedPoint bool
+	// MaxFixpointRounds caps the number of extra layers after the first R
+	// (0 = iterate to the fixed point). The fixpoint-depth ablation
+	// compares a single extra pass against full iteration.
+	MaxFixpointRounds int
+	// NaiveUpdate recomputes the per-clique occupancy from scratch on
+	// every Update call instead of maintaining incremental counters; the
+	// result is identical, only slower. Used by the bookkeeping ablation.
+	NaiveUpdate bool
+}
+
+// Allocator is a layered-optimal allocator for chordal problems.
+type Allocator struct {
+	opt  Option
+	name string
+}
+
+// NL returns the plain layered-optimal allocator.
+func NL() *Allocator { return &Allocator{name: "NL"} }
+
+// BL returns the biased layered allocator.
+func BL() *Allocator { return &Allocator{opt: Option{Bias: true}, name: "BL"} }
+
+// FPL returns the fixed-point layered allocator.
+func FPL() *Allocator { return &Allocator{opt: Option{FixedPoint: true}, name: "FPL"} }
+
+// BFPL returns the biased fixed-point layered allocator.
+func BFPL() *Allocator {
+	return &Allocator{opt: Option{Bias: true, FixedPoint: true}, name: "BFPL"}
+}
+
+// Custom returns an allocator with explicit options, named name.
+func Custom(name string, opt Option) *Allocator {
+	return &Allocator{opt: opt, name: name}
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return a.name }
+
+// Allocate implements alloc.Allocator. The problem must be chordal (PEO
+// valid); the harness only routes chordal instances here.
+func (a *Allocator) Allocate(p *Problem) *alloc.Result {
+	return a.AllocateProblem(p)
+}
+
+// Problem aliases alloc.Problem for readability of this package's API.
+type Problem = alloc.Problem
+
+// AllocateProblem runs the layered allocation.
+func (a *Allocator) AllocateProblem(p *Problem) *alloc.Result {
+	if !p.Chordal {
+		panic("layered: " + a.name + " requires a chordal problem (use LH for general graphs)")
+	}
+	n := p.G.N()
+	st := newState(p)
+
+	// Phase 1 (Algorithm 2): at most R optimal single-register layers.
+	for count := 0; count < p.R && st.remaining > 0; count++ {
+		layer := st.layer(a.opt)
+		if len(layer) == 0 {
+			break
+		}
+		st.allocate(layer)
+	}
+
+	if a.opt.FixedPoint {
+		// Phase 2 (Algorithm 3 lines 8–13): account for the R first layers,
+		// prune saturated cliques, then keep allocating until fixpoint.
+		st.update(st.allocatedList, a.opt)
+		rounds := 0
+		for st.remaining > 0 {
+			if a.opt.MaxFixpointRounds > 0 && rounds >= a.opt.MaxFixpointRounds {
+				break
+			}
+			layer := st.layer(a.opt)
+			if len(layer) == 0 {
+				break
+			}
+			st.allocate(layer)
+			st.update(layer, a.opt)
+			rounds++
+		}
+	}
+
+	return alloc.NewResult(n, st.allocatedList, a.name)
+}
+
+// state carries the candidate set and clique occupancy across layers.
+type state struct {
+	p             *Problem
+	candidate     []bool
+	remaining     int
+	allocated     []bool
+	allocatedList []int
+	// cliquesOf[v] lists indices into p.LiveSets containing v.
+	cliquesOf [][]int
+	// allocatedPerClique counts allocated members per live set; a set
+	// reaching R is saturated and its members leave the candidate pool.
+	allocatedPerClique []int
+	saturated          []bool
+	staticDeg          []int
+}
+
+func newState(p *Problem) *state {
+	n := p.G.N()
+	st := &state{
+		p:                  p,
+		candidate:          make([]bool, n),
+		remaining:          n,
+		allocated:          make([]bool, n),
+		cliquesOf:          make([][]int, n),
+		allocatedPerClique: make([]int, len(p.LiveSets)),
+		saturated:          make([]bool, len(p.LiveSets)),
+		staticDeg:          make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		st.candidate[v] = true
+		st.staticDeg[v] = p.G.Degree(v)
+	}
+	for ci, ls := range p.LiveSets {
+		for _, v := range ls {
+			st.cliquesOf[v] = append(st.cliquesOf[v], ci)
+		}
+	}
+	return st
+}
+
+// layer computes one optimal single-register allocation over the current
+// candidates: a maximum weighted stable set of the induced subgraph,
+// obtained by zeroing non-candidate weights (zero-weight vertices are never
+// selected by Frank's algorithm and charge nothing, so this equals running
+// it on the induced subgraph).
+func (st *state) layer(opt Option) []int {
+	p := st.p
+	n := p.G.N()
+	w := make([]float64, n)
+	scale := float64(n)
+	for v := 0; v < n; v++ {
+		if !st.candidate[v] {
+			continue
+		}
+		if opt.Bias {
+			deg := st.staticDeg[v]
+			if opt.DynamicBias {
+				deg = 0
+				p.G.VisitNeighbors(v, func(u int) {
+					if st.candidate[u] {
+						deg++
+					}
+				})
+			}
+			w[v] = p.G.Weight[v]*scale + float64(deg)
+		} else {
+			w[v] = p.G.Weight[v]
+		}
+	}
+	return stable.MaxWeightChordal(p.G.Graph, p.PEO, w)
+}
+
+func (st *state) allocate(layer []int) {
+	for _, v := range layer {
+		if !st.candidate[v] {
+			continue
+		}
+		st.candidate[v] = false
+		st.remaining--
+		st.allocated[v] = true
+		st.allocatedList = append(st.allocatedList, v)
+	}
+}
+
+// update is Algorithm 4: bump the occupancy of every clique containing a
+// freshly allocated vertex; saturated cliques (occupancy ≥ R) remove all
+// their vertices from the candidate pool.
+func (st *state) update(fresh []int, opt Option) {
+	if opt.NaiveUpdate {
+		st.naiveUpdate()
+		return
+	}
+	for _, v := range fresh {
+		for _, ci := range st.cliquesOf[v] {
+			if st.saturated[ci] {
+				continue
+			}
+			st.allocatedPerClique[ci]++
+			if st.allocatedPerClique[ci] >= st.p.R {
+				st.saturated[ci] = true
+				for _, u := range st.p.LiveSets[ci] {
+					if st.candidate[u] {
+						st.candidate[u] = false
+						st.remaining--
+					}
+				}
+			}
+		}
+	}
+}
+
+// naiveUpdate recomputes every clique's occupancy from the allocated flags
+// (the ablation baseline for Algorithm 4's incremental counters).
+func (st *state) naiveUpdate() {
+	for ci, ls := range st.p.LiveSets {
+		count := 0
+		for _, v := range ls {
+			if st.allocated[v] {
+				count++
+			}
+		}
+		st.allocatedPerClique[ci] = count
+		if count >= st.p.R && !st.saturated[ci] {
+			st.saturated[ci] = true
+			for _, u := range ls {
+				if st.candidate[u] {
+					st.candidate[u] = false
+					st.remaining--
+				}
+			}
+		}
+	}
+}
+
+// LH is the layered-heuristic allocator for general interference graphs
+// (paper Algorithms 5 and 6): cluster the vertices into greedy stable sets
+// by decreasing weight, then allocate the R heaviest clusters.
+type LH struct{}
+
+// NewLH returns the layered heuristic.
+func NewLH() *LH { return &LH{} }
+
+// Name implements alloc.Allocator.
+func (*LH) Name() string { return "LH" }
+
+// Allocate implements alloc.Allocator.
+func (*LH) Allocate(p *Problem) *alloc.Result {
+	clusters := stable.ClusterVertices(p.G.Graph, p.G.Weight)
+	sort.SliceStable(clusters, func(i, j int) bool {
+		return stable.SetWeight(clusters[i], p.G.Weight) >
+			stable.SetWeight(clusters[j], p.G.Weight)
+	})
+	if len(clusters) > p.R {
+		clusters = clusters[:p.R]
+	}
+	var allocated []int
+	for _, c := range clusters {
+		allocated = append(allocated, c...)
+	}
+	return alloc.NewResult(p.G.N(), allocated, "LH")
+}

@@ -1,0 +1,119 @@
+package layered
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/graph"
+)
+
+// StepAllocator generalizes layered allocation to step ≥ 2 (paper §4: the
+// layered-optimal heuristic "solves optimally roughly R over step allocation
+// problems on step registers each"). Each layer is an *exact* step-register
+// allocation over the remaining candidates, obtained from the pluggable
+// exact solver; step = 1 degenerates to the Frank-layer allocator.
+//
+// The fixed-point improvement requires per-clique residual capacities, which
+// the uniform-R exact solver does not model, so StepAllocator implements
+// only the plain phase (Algorithm 2 with larger layers). It exists for the
+// step-size ablation of DESIGN.md.
+type StepAllocator struct {
+	// Step is the register count of each exact layer (≥ 1).
+	Step int
+	// Solve computes an exact allocation for a sub-problem; wired to the
+	// optimal package's branch and bound by the caller (kept as a function
+	// value to avoid an import cycle in tests that stub it).
+	Solve func(p *alloc.Problem) *alloc.Result
+	// Label is the reported allocator name.
+	Label string
+}
+
+// Name implements alloc.Allocator.
+func (s *StepAllocator) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "StepLayered"
+}
+
+// Allocate implements alloc.Allocator on chordal problems.
+func (s *StepAllocator) Allocate(p *alloc.Problem) *alloc.Result {
+	if !p.Chordal {
+		panic("layered: step allocator requires a chordal problem")
+	}
+	if s.Step < 1 {
+		panic("layered: step must be ≥ 1")
+	}
+	n := p.G.N()
+	candidate := make([]bool, n)
+	for v := range candidate {
+		candidate[v] = true
+	}
+	var allocated []int
+	remainingRegs := p.R
+	remaining := n
+	for remainingRegs > 0 && remaining > 0 {
+		step := s.Step
+		if step > remainingRegs {
+			step = remainingRegs
+		}
+		layer := s.solveLayer(p, candidate, step)
+		if len(layer) == 0 {
+			break
+		}
+		for _, v := range layer {
+			if candidate[v] {
+				candidate[v] = false
+				remaining--
+				allocated = append(allocated, v)
+			}
+		}
+		remainingRegs -= step
+	}
+	return alloc.NewResult(n, allocated, s.Name())
+}
+
+// solveLayer builds the induced sub-problem over the candidates and solves
+// it exactly with `step` registers.
+func (s *StepAllocator) solveLayer(p *alloc.Problem, candidate []bool, step int) []int {
+	var keep []int
+	for v, c := range candidate {
+		if c {
+			keep = append(keep, v)
+		}
+	}
+	sub, newToOld := p.G.InducedSubgraph(keep)
+	oldToNew := make(map[int]int, len(newToOld))
+	for i, v := range newToOld {
+		oldToNew[v] = i
+	}
+	w := make([]float64, sub.N())
+	for i, v := range newToOld {
+		w[i] = p.G.Weight[v]
+	}
+	var liveSets [][]int
+	for _, ls := range p.LiveSets {
+		var restricted []int
+		for _, v := range ls {
+			if i, ok := oldToNew[v]; ok {
+				restricted = append(restricted, i)
+			}
+		}
+		if len(restricted) > step {
+			liveSets = append(liveSets, restricted)
+		}
+	}
+	subProblem := &alloc.Problem{
+		G:        graph.NewWeighted(sub, w),
+		R:        step,
+		LiveSets: liveSets,
+		Chordal:  true,
+		PEO:      sub.PerfectEliminationOrder(),
+	}
+	res := s.Solve(subProblem)
+	var out []int
+	for i, al := range res.Allocated {
+		if al {
+			out = append(out, newToOld[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package layered
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+	"repro/internal/alloc/optimal"
+)
+
+func stepAllocator(step int) *StepAllocator {
+	return &StepAllocator{
+		Step:  step,
+		Solve: func(p *alloc.Problem) *alloc.Result { return optimal.New().Allocate(p) },
+		Label: "Step",
+	}
+}
+
+func TestStepOneMatchesExactSingleLayers(t *testing.T) {
+	// With step 1 and exact layers, the result is a valid allocation at
+	// least as good as the greedy Frank layers on this fixture.
+	p := alloc.NewGraphProblem(paperGraph(), 2, nil)
+	res := stepAllocator(1).Allocate(p)
+	if err := p.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SpillCost(p) > NL().Allocate(p).SpillCost(p) {
+		t.Fatal("exact step-1 layers worse than Frank layers")
+	}
+}
+
+func TestStepTwoAtLeastAsGoodOnFixture(t *testing.T) {
+	p := alloc.NewGraphProblem(fig7Graph(), 2, nil)
+	res := stepAllocator(2).Allocate(p)
+	if err := p.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	// One exact 2-register layer *is* the optimum here.
+	opt := optimal.New().Allocate(p)
+	if res.SpillCost(p) != opt.SpillCost(p) {
+		t.Fatalf("step-2 cost %g, optimal %g", res.SpillCost(p), opt.SpillCost(p))
+	}
+}
+
+func TestPropertyStepLayersValidAndMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomChordalProblem(r, 2+r.Intn(18), 2+r.Intn(4))
+		s1 := stepAllocator(1).Allocate(p)
+		s2 := stepAllocator(2).Allocate(p)
+		if p.Validate(s1) != nil || p.Validate(s2) != nil {
+			return false
+		}
+		opt := optimal.New().Allocate(p).SpillCost(p)
+		// Both stepwise results are bounded below by the optimum.
+		return s1.SpillCost(p) >= opt-1e-9 && s2.SpillCost(p) >= opt-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepRejectsBadConfig(t *testing.T) {
+	p := alloc.NewGraphProblem(paperGraph(), 2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("step 0 did not panic")
+		}
+	}()
+	stepAllocator(0).Allocate(p)
+}
+
+func TestNaiveUpdateMatchesIncremental(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomChordalProblem(r, 2+r.Intn(25), 1+r.Intn(5))
+		fast := Custom("FPL", Option{FixedPoint: true}).Allocate(p)
+		slow := Custom("FPLnaive", Option{FixedPoint: true, NaiveUpdate: true}).Allocate(p)
+		if len(fast.Allocated) != len(slow.Allocated) {
+			return false
+		}
+		for v := range fast.Allocated {
+			if fast.Allocated[v] != slow.Allocated[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxFixpointRounds(t *testing.T) {
+	p := alloc.NewGraphProblem(fig7Graph(), 2, nil)
+	one := Custom("FPL1", Option{FixedPoint: true, MaxFixpointRounds: 1}).Allocate(p)
+	full := FPL().Allocate(p)
+	if err := p.Validate(one); err != nil {
+		t.Fatal(err)
+	}
+	// A single extra round suffices on the small fixture; in general the
+	// capped variant allocates no more than the full fixpoint.
+	if one.SpillCost(p) < full.SpillCost(p) {
+		t.Fatal("capped fixpoint beat the full fixpoint")
+	}
+}

@@ -1,0 +1,203 @@
+// Package linearscan implements the linear-scan register allocators used as
+// baselines for the non-chordal (JIT) evaluation: the original
+// Poletto–Sarkar algorithm (DLS, "default linear scan", which spills the
+// interval extending furthest when pressure exceeds R) and the BLS variant,
+// which spills by cost but falls back to Belady's furthest-first rule among
+// candidates whose costs are within a threshold of each other.
+//
+// Both run over live intervals on a linearized program layout; holes in
+// live ranges are ignored, as in the original algorithm, which makes the
+// allocators conservative (an interval over-approximates its live range) but
+// linear-time.
+package linearscan
+
+import (
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/ifg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Allocator is a linear-scan allocator.
+type Allocator struct {
+	// Belady switches on the BLS cost-with-threshold strategy.
+	Belady bool
+	// Threshold is the relative cost window within which BLS considers
+	// spill candidates interchangeable and picks the furthest-ending one.
+	// Zero means DefaultThreshold.
+	Threshold float64
+	name      string
+}
+
+// DefaultThreshold is the BLS cost window used in the experiments.
+const DefaultThreshold = 0.25
+
+// DLS returns the original linear scan (spill the furthest-ending interval).
+func DLS() *Allocator { return &Allocator{name: "DLS"} }
+
+// BLS returns the Belady/cost-threshold variant.
+func BLS() *Allocator { return &Allocator{Belady: true, name: "BLS"} }
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return a.name }
+
+// Allocate implements alloc.Allocator. The problem must carry Intervals.
+func (a *Allocator) Allocate(p *alloc.Problem) *alloc.Result {
+	if p.Intervals == nil {
+		panic("linearscan: problem has no live intervals")
+	}
+	n := p.G.N()
+	threshold := a.Threshold
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if p.Intervals[v][1] >= p.Intervals[v][0] {
+			order = append(order, v)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		si, sj := p.Intervals[order[i]][0], p.Intervals[order[j]][0]
+		if si != sj {
+			return si < sj
+		}
+		return order[i] < order[j]
+	})
+
+	spilled := make([]bool, n)
+	// active: currently allocated intervals, kept sorted by increasing end.
+	var active []int
+	endOf := func(v int) int { return p.Intervals[v][1] }
+	for _, v := range order {
+		start := p.Intervals[v][0]
+		// Expire intervals that ended strictly before start.
+		keep := active[:0]
+		for _, u := range active {
+			if endOf(u) >= start {
+				keep = append(keep, u)
+			}
+		}
+		active = keep
+		if len(active) < p.R {
+			active = insertByEnd(active, v, endOf)
+			continue
+		}
+		// Pressure exceeded: pick a victim among active + v.
+		victim := a.pickVictim(p, active, v, threshold)
+		spilled[victim] = true
+		if victim != v {
+			// Remove victim from active, add v.
+			out := active[:0]
+			for _, u := range active {
+				if u != victim {
+					out = append(out, u)
+				}
+			}
+			active = insertByEnd(out, v, endOf)
+		}
+	}
+	var allocated []int
+	for v := 0; v < n; v++ {
+		if !spilled[v] {
+			allocated = append(allocated, v)
+		}
+	}
+	return alloc.NewResult(n, allocated, a.name)
+}
+
+func (a *Allocator) pickVictim(p *alloc.Problem, active []int, cur int, threshold float64) int {
+	candidates := append(append([]int(nil), active...), cur)
+	if !a.Belady {
+		// Original linear scan: spill the interval that ends furthest.
+		victim := candidates[0]
+		for _, u := range candidates[1:] {
+			if p.Intervals[u][1] > p.Intervals[victim][1] {
+				victim = u
+			}
+		}
+		return victim
+	}
+	// BLS: find the cheapest candidates (within the threshold window) and
+	// among them spill the furthest-ending one.
+	minCost := p.G.Weight[candidates[0]]
+	for _, u := range candidates[1:] {
+		if p.G.Weight[u] < minCost {
+			minCost = p.G.Weight[u]
+		}
+	}
+	limit := minCost * (1 + threshold)
+	victim := -1
+	for _, u := range candidates {
+		if p.G.Weight[u] > limit {
+			continue
+		}
+		if victim < 0 || p.Intervals[u][1] > p.Intervals[victim][1] {
+			victim = u
+		}
+	}
+	return victim
+}
+
+func insertByEnd(active []int, v int, endOf func(int) int) []int {
+	i := sort.Search(len(active), func(i int) bool { return endOf(active[i]) >= endOf(v) })
+	active = append(active, 0)
+	copy(active[i+1:], active[i:])
+	active[i] = v
+	return active
+}
+
+// BuildIntervals linearizes the function's program points in block layout
+// order and returns, per interference-graph vertex, the inclusive
+// [start, end] point range over which the value is live (def points
+// included). Vertices that never appear get the empty interval [0, -1].
+func BuildIntervals(info *liveness.Info, b *ifg.Build) [][2]int {
+	intervals := make([][2]int, b.Graph.N())
+	for i := range intervals {
+		intervals[i] = [2]int{0, -1}
+	}
+	touch := func(vertex, point int) {
+		iv := &intervals[vertex]
+		if iv[1] < iv[0] {
+			*iv = [2]int{point, point}
+			return
+		}
+		if point < iv[0] {
+			iv[0] = point
+		}
+		if point > iv[1] {
+			iv[1] = point
+		}
+	}
+	for pt, p := range info.Points {
+		for _, val := range p.Live {
+			if vx := b.VertexOf[val]; vx >= 0 {
+				touch(vx, pt)
+			}
+		}
+	}
+	// Defs that are never live (dead defs) still occupy their def point:
+	// give them a one-point interval at their block's first point. The
+	// point indices above are positions in info.Points, which is laid out
+	// block by block; find each block's first point index.
+	firstPoint := make(map[int]int)
+	for pt, p := range info.Points {
+		if _, ok := firstPoint[p.Block]; !ok {
+			firstPoint[p.Block] = pt
+		}
+	}
+	for _, blk := range info.F.Blocks {
+		for _, ins := range blk.Instrs {
+			if !ins.Op.HasDef() || ins.Def == ir.NoValue {
+				continue
+			}
+			vx := b.VertexOf[ins.Def]
+			if vx >= 0 && intervals[vx][1] < intervals[vx][0] {
+				touch(vx, firstPoint[blk.ID])
+			}
+		}
+	}
+	return intervals
+}

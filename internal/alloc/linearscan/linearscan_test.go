@@ -1,0 +1,228 @@
+package linearscan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+	"repro/internal/graph"
+	"repro/internal/ifg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// intervalsProblem builds a problem directly from intervals: the graph is
+// the interval-overlap graph, live sets are the point pressure sets.
+func intervalsProblem(ivs [][2]int, weights []float64, r int) *alloc.Problem {
+	n := len(ivs)
+	g := graph.New(n)
+	maxPt := 0
+	for _, iv := range ivs {
+		if iv[1] > maxPt {
+			maxPt = iv[1]
+		}
+	}
+	var liveSets [][]int
+	for pt := 0; pt <= maxPt; pt++ {
+		var live []int
+		for v, iv := range ivs {
+			if iv[0] <= pt && pt <= iv[1] {
+				live = append(live, v)
+			}
+		}
+		if len(live) > 0 {
+			liveSets = append(liveSets, live)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ivs[i][0] <= ivs[j][1] && ivs[j][0] <= ivs[i][1] {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	p := &alloc.Problem{
+		G: graph.NewWeighted(g, weights), R: r,
+		LiveSets: liveSets, Intervals: ivs,
+	}
+	return p
+}
+
+func TestDLSSpillsFurthest(t *testing.T) {
+	// Three overlapping intervals, one register: at the second start the
+	// furthest-ending interval is spilled regardless of cost.
+	ivs := [][2]int{{0, 10}, {1, 3}, {4, 6}}
+	w := []float64{100, 1, 1}
+	p := intervalsProblem(ivs, w, 1)
+	res := DLS().Allocate(p)
+	if err := p.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocated[0] {
+		t.Fatal("DLS kept the furthest-ending interval")
+	}
+	if !res.Allocated[1] || !res.Allocated[2] {
+		t.Fatal("DLS spilled the short intervals")
+	}
+}
+
+func TestBLSRespectsCost(t *testing.T) {
+	// Same shape, but BLS sees the long interval is 100× costlier and
+	// spills the cheap short ones instead.
+	ivs := [][2]int{{0, 10}, {1, 3}, {4, 6}}
+	w := []float64{100, 1, 1}
+	p := intervalsProblem(ivs, w, 1)
+	res := BLS().Allocate(p)
+	if err := p.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Allocated[0] {
+		t.Fatal("BLS spilled the expensive interval")
+	}
+	if res.Allocated[1] || res.Allocated[2] {
+		t.Fatal("BLS kept the cheap overlapping intervals")
+	}
+}
+
+func TestBLSFurthestFirstAmongCloseCosts(t *testing.T) {
+	// Costs within the threshold window: Belady's rule picks the
+	// furthest-ending one.
+	ivs := [][2]int{{0, 20}, {0, 5}}
+	w := []float64{10, 9.5}
+	p := intervalsProblem(ivs, w, 1)
+	res := BLS().Allocate(p)
+	if res.Allocated[0] || !res.Allocated[1] {
+		t.Fatalf("BLS should spill the furthest of near-equal costs; got %v",
+			res.AllocatedList())
+	}
+}
+
+func TestNamesAndMissingIntervalsPanic(t *testing.T) {
+	if DLS().Name() != "DLS" || BLS().Name() != "BLS" {
+		t.Fatal("names wrong")
+	}
+	p := &alloc.Problem{G: graph.NewWeighted(graph.New(1), []float64{1})}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing intervals did not panic")
+		}
+	}()
+	DLS().Allocate(p)
+}
+
+// TestPropertyScanKeepsPressureBounded: for random interval sets, both
+// variants produce allocations with at most R allocated intervals alive at
+// any point.
+func TestPropertyScanKeepsPressureBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(25)
+		ivs := make([][2]int, n)
+		w := make([]float64, n)
+		for i := range ivs {
+			a, b := r.Intn(40), r.Intn(40)
+			if a > b {
+				a, b = b, a
+			}
+			ivs[i] = [2]int{a, b}
+			w[i] = float64(1 + r.Intn(100))
+		}
+		regs := 1 + r.Intn(5)
+		p := intervalsProblem(ivs, w, regs)
+		for _, a := range []*Allocator{DLS(), BLS()} {
+			if err := p.Validate(a.Allocate(p)); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildIntervalsFromFunction(t *testing.T) {
+	f := ir.MustParse(`
+func f ssa {
+b0:
+  a = param 0
+  b = arith a, a
+  c = arith b, a
+  ret c
+}`)
+	info := liveness.Compute(f)
+	b := ifg.FromLiveness(info)
+	ivs := BuildIntervals(info, b)
+	if len(ivs) != b.Graph.N() {
+		t.Fatalf("%d intervals for %d vertices", len(ivs), b.Graph.N())
+	}
+	// Interference implies interval overlap (intervals over-approximate).
+	for v := 0; v < b.Graph.N(); v++ {
+		for _, u := range b.Graph.Neighbors(v) {
+			if u < v {
+				continue
+			}
+			if ivs[v][0] > ivs[u][1] || ivs[u][0] > ivs[v][1] {
+				t.Fatalf("interfering %d and %d have disjoint intervals %v %v",
+					v, u, ivs[v], ivs[u])
+			}
+		}
+	}
+}
+
+func TestBuildIntervalsDeadDef(t *testing.T) {
+	f := ir.MustParse(`
+func dead ssa {
+b0:
+  a = param 0
+  b = arith a, a
+  ret a
+}`)
+	info := liveness.Compute(f)
+	b := ifg.FromLiveness(info)
+	ivs := BuildIntervals(info, b)
+	for v := 0; v < b.Graph.N(); v++ {
+		if ivs[v][1] < ivs[v][0] {
+			t.Fatalf("vertex %d (%s) has empty interval", v, f.NameOf(b.ValueOf[v]))
+		}
+	}
+}
+
+func TestScanOnGeneratedProgramIsValid(t *testing.T) {
+	// End-to-end: a real function through liveness/ifg/intervals.
+	f := ir.MustParse(`
+func loop ssa {
+b0:
+  n = param 0
+  k = param 1
+  br b1
+b1:
+  i = phi [b0: n], [b2: j]
+  c = unary i
+  condbr c, b2, b3
+b2:
+  j = arith i, k
+  br b1
+b3:
+  r = arith i, k
+  ret r
+}`)
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	info := liveness.Compute(f)
+	b := ifg.FromLiveness(info)
+	costs := make([]float64, f.NumValues)
+	for i := range costs {
+		costs[i] = 1
+	}
+	for r := 1; r <= 4; r++ {
+		p := alloc.NewProblem(b, costs, r)
+		p.Intervals = BuildIntervals(info, b)
+		for _, a := range []*Allocator{DLS(), BLS()} {
+			if err := p.Validate(a.Allocate(p)); err != nil {
+				t.Fatalf("R=%d %s: %v", r, a.Name(), err)
+			}
+		}
+	}
+}

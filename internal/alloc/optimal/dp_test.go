@@ -1,0 +1,117 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+	"repro/internal/graph"
+)
+
+func TestEnumerateSubsets(t *testing.T) {
+	var got []uint64
+	enumerateSubsets(4, 2, func(m uint64) { got = append(got, m) })
+	// C(4,0)+C(4,1)+C(4,2) = 1+4+6 = 11 masks, all with ≤ 2 bits.
+	if len(got) != 11 {
+		t.Fatalf("enumerated %d masks, want 11: %v", len(got), got)
+	}
+	seen := map[uint64]bool{}
+	for _, m := range got {
+		if popcount(m) > 2 || m >= 16 {
+			t.Fatalf("bad mask %b", m)
+		}
+		if seen[m] {
+			t.Fatalf("duplicate mask %b", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestEnumerateSubsetsFull(t *testing.T) {
+	count := 0
+	enumerateSubsets(5, 5, func(uint64) { count++ })
+	if count != 32 {
+		t.Fatalf("full enumeration = %d, want 2^5", count)
+	}
+}
+
+func TestBinomialPrefix(t *testing.T) {
+	cases := []struct {
+		n, r int
+		want int64
+	}{
+		{4, 2, 11}, {5, 5, 32}, {10, 0, 1}, {3, 9, 8}, {0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := binomialPrefix(c.n, c.r); got != c.want {
+			t.Errorf("binomialPrefix(%d,%d) = %d, want %d", c.n, c.r, got, c.want)
+		}
+	}
+	if binomialPrefix(62, 31) <= 0 {
+		t.Fatal("large prefix must saturate positive")
+	}
+}
+
+// TestPropertyDPMatchesBranchAndBound: both exact engines agree on the
+// optimal value for random chordal instances.
+func TestPropertyDPMatchesBranchAndBound(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomChordalProblem(r, 2+r.Intn(24), 1+r.Intn(5))
+		dp := solveChordalDP(p, DefaultStateBudget)
+		if dp == nil {
+			return false // within budget at these sizes
+		}
+		if p.Validate(dp) != nil {
+			return false
+		}
+		// Force the search path.
+		q := *p
+		q.Chordal = false
+		bb := New().Allocate(&q)
+		return almostEqual(dp.SpillCost(p), bb.SpillCost(p))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	return d < 1e-6 && d > -1e-6
+}
+
+func TestDPBailsOverBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := randomChordalProblem(r, 60, 20)
+	if p.MaxPressure() < 25 {
+		t.Skip("instance not dense enough to exceed the budget")
+	}
+	if res := solveChordalDP(p, 10); res != nil {
+		t.Fatal("DP ran over a tiny budget")
+	}
+}
+
+func TestDPDisconnectedGraph(t *testing.T) {
+	// Two disjoint triangles; R=2 must spill the cheapest of each.
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(3, 5)
+	w := graph.NewWeighted(g, []float64{1, 2, 3, 4, 5, 6})
+	p := alloc.NewGraphProblem(w, 2, nil)
+	res := solveChordalDP(p, DefaultStateBudget)
+	if res == nil {
+		t.Fatal("DP bailed on a tiny instance")
+	}
+	if err := p.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.SpillCost(p); got != 1+4 {
+		t.Fatalf("spill cost = %g, want 5 (cheapest of each triangle)", got)
+	}
+}

@@ -1,0 +1,396 @@
+// Package optimal solves the spill-everywhere allocation problem exactly,
+// standing in for the ILP-based "Optimal" allocator of the paper's
+// evaluation (the model of Diouf et al., HiPEAC'10).
+//
+// The problem: choose a maximum-weight subset of variables to keep in
+// registers such that every live set (register-pressure constraint, a clique
+// of the interference graph) keeps at most R of its members. On chordal
+// graphs this is exactly optimal spill-everywhere allocation; on general
+// graphs it is the pressure-based model the paper's decoupled framework
+// uses.
+//
+// The solver is a depth-first branch and bound over the variables in
+// decreasing weight order with three accelerators:
+//
+//   - constraint propagation: when every live set containing a variable has
+//     enough remaining capacity for all of its undecided members, the
+//     variable is allocated for free;
+//   - an admissible bound that charges each undecided variable to its
+//     tightest live set and takes each set's cap heaviest members;
+//   - a warm start from the cost-greedy solution.
+//
+// The search is exact; NodeLimit (very large by default) only guards
+// against pathological instances, and Result records whether it was hit.
+package optimal
+
+import (
+	"sort"
+
+	"repro/internal/alloc"
+)
+
+// Allocator is the exact solver.
+type Allocator struct {
+	// NodeLimit bounds the number of search nodes (0 = DefaultNodeLimit).
+	// If the limit is reached the best solution found so far is returned
+	// and LastExact reports false.
+	NodeLimit int64
+	// LastExact reports whether the most recent Allocate call proved
+	// optimality.
+	LastExact bool
+	// LastNodes reports the node count of the most recent call.
+	LastNodes int64
+}
+
+// DefaultNodeLimit is ample for every workload in the repository's suites.
+const DefaultNodeLimit = 50_000_000
+
+// New returns an exact allocator.
+func New() *Allocator { return &Allocator{} }
+
+// Name implements alloc.Allocator.
+func (*Allocator) Name() string { return "Optimal" }
+
+// DefaultStateBudget bounds the clique-tree DP's enumeration size; above
+// it the solver uses branch and bound instead (which is fast in exactly
+// that regime, because large budgets correspond to slack constraints).
+const DefaultStateBudget = 4_000_000
+
+// DPRegisterCrossover is the largest register count routed to the DP; the
+// branch and bound wins above it (measured on the repository's suites).
+const DPRegisterCrossover = 6
+
+// Allocate implements alloc.Allocator.
+func (a *Allocator) Allocate(p *alloc.Problem) *alloc.Result {
+	// Chordal instances at small R admit the exact clique-tree DP, which
+	// is immune to the branching blow-ups tight register counts cause in
+	// search. At larger R the constraints are slack and branch and bound
+	// is both exact and faster, so the DP only takes over below the
+	// crossover.
+	if p.Chordal && p.R <= DPRegisterCrossover {
+		if res := solveChordalDP(p, DefaultStateBudget); res != nil {
+			a.LastExact = true
+			a.LastNodes = 0
+			return res
+		}
+	}
+	s := newSolver(p)
+	limit := a.NodeLimit
+	if limit <= 0 {
+		limit = DefaultNodeLimit
+	}
+	s.nodeLimit = limit
+	s.solve()
+	a.LastExact = s.exact
+	a.LastNodes = s.nodes
+	var allocated []int
+	for v := 0; v < p.G.N(); v++ {
+		if s.bestAlloc[v] {
+			allocated = append(allocated, v)
+		}
+	}
+	return alloc.NewResult(p.G.N(), allocated, "Optimal")
+}
+
+type solver struct {
+	p *alloc.Problem
+	// order lists vertex IDs in decreasing weight (the decision order);
+	// rank[v] is v's position in order.
+	order []int
+	rank  []int
+	// constraints: deduplicated maximal live sets.
+	sets      [][]int
+	setsOf    [][]int // per vertex, indices of sets containing it
+	cap       []int   // remaining capacity per set
+	undec     []int   // undecided member count per set
+	state     []int8  // per vertex: 0 undecided, 1 allocated, 2 spilled
+	current   float64 // weight of currently allocated
+	best      float64
+	bestAlloc []bool
+	nodes     int64
+	nodeLimit int64
+	exact     bool
+}
+
+const (
+	undecided int8 = iota
+	allocated
+	spilledState
+)
+
+func newSolver(p *alloc.Problem) *solver {
+	n := p.G.N()
+	s := &solver{
+		p:         p,
+		rank:      make([]int, n),
+		state:     make([]int8, n),
+		bestAlloc: make([]bool, n),
+		exact:     true,
+	}
+	s.order = make([]int, n)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.SliceStable(s.order, func(i, j int) bool {
+		wi, wj := p.G.Weight[s.order[i]], p.G.Weight[s.order[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return s.order[i] < s.order[j]
+	})
+	for i, v := range s.order {
+		s.rank[v] = i
+	}
+	s.sets = maximalSets(p.LiveSets, n)
+	s.setsOf = make([][]int, n)
+	s.cap = make([]int, len(s.sets))
+	s.undec = make([]int, len(s.sets))
+	for ci, set := range s.sets {
+		s.cap[ci] = p.R
+		s.undec[ci] = len(set)
+		for _, v := range set {
+			s.setsOf[v] = append(s.setsOf[v], ci)
+		}
+	}
+	return s
+}
+
+// maximalSets drops live sets that are subsets of other live sets (they are
+// implied) and live sets no larger than R is irrelevant... — note: sets of
+// size ≤ R never constrain anything, so they are dropped too by the caller
+// capacity check; keeping them costs nothing but time, so they are removed
+// here when possible.
+func maximalSets(sets [][]int, n int) [][]int {
+	sorted := make([][]int, len(sets))
+	copy(sorted, sets)
+	sort.SliceStable(sorted, func(i, j int) bool { return len(sorted[i]) > len(sorted[j]) })
+	member := make([][]bool, 0, len(sorted))
+	var kept [][]int
+	for _, set := range sorted {
+		contained := false
+		for _, m := range member {
+			all := true
+			for _, v := range set {
+				if !m[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				contained = true
+				break
+			}
+		}
+		if contained {
+			continue
+		}
+		m := make([]bool, n)
+		for _, v := range set {
+			m[v] = true
+		}
+		member = append(member, m)
+		kept = append(kept, set)
+	}
+	return kept
+}
+
+func (s *solver) solve() {
+	// Warm start: greedy by decreasing weight under capacity.
+	capCopy := append([]int(nil), s.cap...)
+	greedyWeight := 0.0
+	greedyAlloc := make([]bool, len(s.state))
+	for _, v := range s.order {
+		ok := true
+		for _, ci := range s.setsOf[v] {
+			if capCopy[ci] == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			greedyAlloc[v] = true
+			greedyWeight += s.p.G.Weight[v]
+			for _, ci := range s.setsOf[v] {
+				capCopy[ci]--
+			}
+		}
+	}
+	s.best = greedyWeight
+	copy(s.bestAlloc, greedyAlloc)
+	s.dfs(0)
+}
+
+// dfs decides vertices from position pos in the weight order.
+func (s *solver) dfs(pos int) {
+	if s.nodes >= s.nodeLimit {
+		s.exact = false
+		return
+	}
+	s.nodes++
+	// Skip already-decided vertices (propagation may decide out of order).
+	for pos < len(s.order) && s.state[s.order[pos]] != undecided {
+		pos++
+	}
+	if pos == len(s.order) {
+		if s.current > s.best {
+			s.best = s.current
+			for v, st := range s.state {
+				s.bestAlloc[v] = st == allocated
+			}
+		}
+		return
+	}
+	if s.bound(pos) <= s.best {
+		return
+	}
+	v := s.order[pos]
+
+	// Branch 1: allocate v if capacity allows.
+	canAlloc := true
+	for _, ci := range s.setsOf[v] {
+		if s.cap[ci] == 0 {
+			canAlloc = false
+			break
+		}
+	}
+	if canAlloc {
+		trail := s.assign(v, allocated)
+		s.propagate(&trail)
+		s.dfs(pos + 1)
+		s.unwind(trail)
+	}
+
+	// Branch 2: spill v. If v was freely allocatable and spilling it cannot
+	// help any constraint it participates in... spilling only ever reduces
+	// allocated weight unless a constraint binds, so prune: if every set
+	// containing v has cap ≥ undecided members (v's allocation is never in
+	// conflict), the spill branch is dominated.
+	dominated := canAlloc
+	for _, ci := range s.setsOf[v] {
+		if s.cap[ci] < s.undec[ci] {
+			dominated = false
+			break
+		}
+	}
+	if !dominated {
+		trail := s.assign(v, spilledState)
+		s.propagate(&trail)
+		s.dfs(pos + 1)
+		s.unwind(trail)
+	}
+}
+
+// trailEntry records one decision for backtracking.
+type trailEntry struct {
+	vertex int
+	state  int8
+}
+
+func (s *solver) assign(v int, st int8) []trailEntry {
+	trail := []trailEntry{{v, st}}
+	s.apply(v, st)
+	return trail
+}
+
+func (s *solver) apply(v int, st int8) {
+	s.state[v] = st
+	for _, ci := range s.setsOf[v] {
+		s.undec[ci]--
+		if st == allocated {
+			s.cap[ci]--
+		}
+	}
+	if st == allocated {
+		s.current += s.p.G.Weight[v]
+	}
+}
+
+func (s *solver) unapply(v int) {
+	st := s.state[v]
+	s.state[v] = undecided
+	for _, ci := range s.setsOf[v] {
+		s.undec[ci]++
+		if st == allocated {
+			s.cap[ci]++
+		}
+	}
+	if st == allocated {
+		s.current -= s.p.G.Weight[v]
+	}
+}
+
+func (s *solver) unwind(trail []trailEntry) {
+	for i := len(trail) - 1; i >= 0; i-- {
+		s.unapply(trail[i].vertex)
+	}
+}
+
+// propagate allocates every undecided vertex all of whose sets have
+// capacity for all their undecided members (allocating such a vertex can
+// never hurt: it does not make any other allocation infeasible). Repeats to
+// a fixpoint; appends the forced assignments to the trail.
+func (s *solver) propagate(trail *[]trailEntry) int {
+	forced := 0
+	for changed := true; changed; {
+		changed = false
+		for _, v := range s.order {
+			if s.state[v] != undecided {
+				continue
+			}
+			free := true
+			for _, ci := range s.setsOf[v] {
+				if s.cap[ci] < s.undec[ci] {
+					free = false
+					break
+				}
+			}
+			if free {
+				*trail = append(*trail, trailEntry{v, allocated})
+				s.apply(v, allocated)
+				forced++
+				changed = true
+			}
+		}
+	}
+	return forced
+}
+
+// bound returns an upper bound on the best total allocated weight reachable
+// from the current node: current weight plus, for each undecided vertex
+// charged to its tightest set, the sum of each set's cap heaviest charges
+// (vertices in no set are fully counted).
+func (s *solver) bound(pos int) float64 {
+	ub := s.current
+	taken := make(map[int]int, 16) // set index -> vertices charged so far
+	for i := pos; i < len(s.order); i++ {
+		v := s.order[i]
+		if s.state[v] != undecided {
+			continue
+		}
+		// Tightest set: minimal remaining capacity.
+		tight, tightCap := -1, 1<<30
+		blocked := false
+		for _, ci := range s.setsOf[v] {
+			c := s.cap[ci]
+			if c == 0 {
+				blocked = true
+				break
+			}
+			if c < tightCap {
+				tight, tightCap = ci, c
+			}
+		}
+		if blocked {
+			continue
+		}
+		if tight < 0 {
+			ub += s.p.G.Weight[v]
+			continue
+		}
+		if taken[tight] < tightCap {
+			taken[tight]++
+			ub += s.p.G.Weight[v]
+		}
+	}
+	return ub
+}

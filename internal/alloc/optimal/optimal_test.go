@@ -1,0 +1,237 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+	"repro/internal/alloc/layered"
+	"repro/internal/graph"
+)
+
+// fig2Graph demonstrates the phenomenon of the paper's Figure 2 (after
+// Diouf et al., HiPEAC'10): optimal spill sets are not monotone in the
+// register count — the optimal spill set with R registers need not contain
+// the optimal spill set with R-1 registers. The figure's exact edge set is
+// not recoverable from the source scan, so this chordal instance was found
+// by exhaustive search to have *unique* optima exhibiting the property
+// under the spill-everywhere pressure model:
+//
+//	vertices 0..5, weights [47 39 28 23 13 18]
+//	edges (0,1) (0,5) (1,2) (1,4) (1,5) (2,3) (2,4)
+//	R=1: unique optimal spill {1, 2, 5}   (keep {0, 3, 4})
+//	R=2: unique optimal spill {4, 5}      (keep {0, 1, 2, 3})
+//
+// Vertex 4 is kept at R=1 but spilled at R=2: neither the spill sets nor
+// the allocation sets are inclusion-monotone.
+func fig2Graph() *graph.Weighted {
+	g := graph.New(6)
+	for _, e := range [][2]int{
+		{0, 1}, {0, 5}, {1, 2}, {1, 4}, {1, 5}, {2, 3}, {2, 4},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	return graph.NewWeighted(g, []float64{47, 39, 28, 23, 13, 18})
+}
+
+func TestSpillSetInclusionCounterexample(t *testing.T) {
+	w := fig2Graph()
+	a := New()
+
+	p1 := alloc.NewGraphProblem(w, 1, nil)
+	r1 := a.Allocate(p1)
+	if err := p1.Validate(r1); err != nil {
+		t.Fatal(err)
+	}
+	if !a.LastExact {
+		t.Fatal("solver not exact on 6 nodes")
+	}
+	wantSpill1 := []int{1, 2, 5}
+	if got := r1.Spilled(); !sameInts(got, wantSpill1) {
+		t.Fatalf("R=1 spill set = %v, want %v", got, wantSpill1)
+	}
+
+	p2 := alloc.NewGraphProblem(w, 2, nil)
+	r2 := a.Allocate(p2)
+	if err := p2.Validate(r2); err != nil {
+		t.Fatal(err)
+	}
+	wantSpill2 := []int{4, 5}
+	if got := r2.Spilled(); !sameInts(got, wantSpill2) {
+		t.Fatalf("R=2 spill set = %v, want %v", got, wantSpill2)
+	}
+
+	// The non-inclusion: vertex 4 is spilled at R=2 but not at R=1.
+	if r1.Allocated[4] != true || r2.Allocated[4] != false {
+		t.Fatal("expected vertex 4 kept at R=1 and spilled at R=2")
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExactOnTriangle(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	p := alloc.NewGraphProblem(graph.NewWeighted(g, []float64{1, 2, 3}), 2, nil)
+	res := New().Allocate(p)
+	// Must spill exactly the cheapest vertex.
+	if res.Allocated[0] || !res.Allocated[1] || !res.Allocated[2] {
+		t.Fatalf("allocated %v, want {1,2}", res.AllocatedList())
+	}
+}
+
+func TestAllAllocatedWhenPressureFits(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	p := alloc.NewGraphProblem(graph.NewWeighted(g, []float64{1, 1, 1, 1}), 2, nil)
+	res := New().Allocate(p)
+	if len(res.Spilled()) != 0 {
+		t.Fatalf("spilled %v with no pressure", res.Spilled())
+	}
+}
+
+// bruteForce solves the pressure-constrained problem by enumeration.
+func bruteForce(p *alloc.Problem) float64 {
+	n := p.G.N()
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, ls := range p.LiveSets {
+			cnt := 0
+			for _, v := range ls {
+				if mask&(1<<v) != 0 {
+					cnt++
+				}
+			}
+			if cnt > p.R {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		total := 0.0
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				total += p.G.Weight[v]
+			}
+		}
+		if total > best {
+			best = total
+		}
+	}
+	return best
+}
+
+func randomChordalProblem(r *rand.Rand, n, regs int) *alloc.Problem {
+	type iv struct{ lo, hi int }
+	ivs := make([]iv, n)
+	for i := range ivs {
+		a, b := r.Intn(3*n), r.Intn(3*n)
+		if a > b {
+			a, b = b, a
+		}
+		ivs[i] = iv{a, b}
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ivs[i].lo <= ivs[j].hi && ivs[j].lo <= ivs[i].hi {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(1 + r.Intn(50))
+	}
+	return alloc.NewGraphProblem(graph.NewWeighted(g, w), regs, nil)
+}
+
+// TestPropertyMatchesBruteForce is the solver's exactness check.
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(13)
+		p := randomChordalProblem(r, n, 1+r.Intn(4))
+		a := New()
+		res := a.Allocate(p)
+		if !a.LastExact {
+			return false
+		}
+		if p.Validate(res) != nil {
+			return false
+		}
+		allocated := 0.0
+		for v, al := range res.Allocated {
+			if al {
+				allocated += p.G.Weight[v]
+			}
+		}
+		return allocated == bruteForce(p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOptimalLowerBoundsHeuristics: the exact spill cost never
+// exceeds any layered allocator's.
+func TestPropertyOptimalLowerBoundsHeuristics(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomChordalProblem(r, 2+r.Intn(25), 1+r.Intn(6))
+		opt := New().Allocate(p).SpillCost(p)
+		for _, h := range []alloc.Allocator{
+			layered.NL(), layered.BL(), layered.FPL(), layered.BFPL(),
+		} {
+			if h.Allocate(p).SpillCost(p) < opt-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeLimitFallsBack(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	p := randomChordalProblem(r, 40, 3)
+	// Disable the clique-tree DP so the branch and bound runs: mark the
+	// problem non-chordal (the live-set constraints stay valid).
+	p.Chordal = false
+	a := &Allocator{NodeLimit: 1}
+	res := a.Allocate(p)
+	if a.LastExact {
+		t.Fatal("one-node search claims exactness")
+	}
+	// Must still be a valid (greedy warm start) allocation.
+	if err := p.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximalSetsDedup(t *testing.T) {
+	sets := [][]int{{0, 1}, {0, 1, 2}, {1, 2}, {0, 1, 2}, {3}}
+	kept := maximalSets(sets, 4)
+	if len(kept) != 2 {
+		t.Fatalf("kept %v, want {0,1,2} and {3}", kept)
+	}
+}

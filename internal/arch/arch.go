@@ -1,0 +1,50 @@
+// Package arch describes the register files of the evaluation targets. The
+// experiments sweep the register count explicitly (the paper varies R from 1
+// to 32 regardless of the physical register file), so these descriptions
+// mainly provide named defaults for the CLIs and examples.
+package arch
+
+import "fmt"
+
+// Machine describes one target.
+type Machine struct {
+	// Name identifies the target (e.g. "st231").
+	Name string
+	// IntRegs is the number of allocable integer registers.
+	IntRegs int
+	// Reserved is the number of registers the ABI withholds from the
+	// allocator (stack pointer, link register, assembler temporaries).
+	Reserved int
+	// CISCMemOperands reports whether instructions may take one memory
+	// operand directly (x86-style), which cheapens some reloads; the cost
+	// model exposes it for the examples but the paper's evaluation does
+	// not use it.
+	CISCMemOperands bool
+}
+
+// Allocable returns the number of registers available to the allocator.
+func (m Machine) Allocable() int { return m.IntRegs - m.Reserved }
+
+// ST231 is the STMicroelectronics ST231 VLIW core used for the SPEC CPU
+// 2000int, EEMBC and lao-kernels experiments.
+var ST231 = Machine{Name: "st231", IntRegs: 64, Reserved: 2}
+
+// ARMv7 is the ARM Cortex A8 target used for the lao-kernels experiment.
+var ARMv7 = Machine{Name: "armv7", IntRegs: 16, Reserved: 3}
+
+// JVM98 is the JikesRVM/IA32-flavoured target of the non-chordal
+// experiments; the paper sweeps 2–16 registers on it.
+var JVM98 = Machine{Name: "jvm98", IntRegs: 16, Reserved: 0, CISCMemOperands: true}
+
+// ByName returns the machine with the given name.
+func ByName(name string) (Machine, error) {
+	switch name {
+	case "st231":
+		return ST231, nil
+	case "armv7":
+		return ARMv7, nil
+	case "jvm98":
+		return JVM98, nil
+	}
+	return Machine{}, fmt.Errorf("arch: unknown machine %q (want st231, armv7 or jvm98)", name)
+}

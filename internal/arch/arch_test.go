@@ -1,0 +1,33 @@
+package arch
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"st231", "armv7", "jvm98"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name != name {
+			t.Fatalf("ByName(%s).Name = %s", name, m.Name)
+		}
+		if m.Allocable() <= 0 || m.Allocable() > m.IntRegs {
+			t.Fatalf("%s allocable = %d of %d", name, m.Allocable(), m.IntRegs)
+		}
+	}
+	if _, err := ByName("pdp11"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestRegisterFiles(t *testing.T) {
+	if ST231.IntRegs != 64 {
+		t.Fatal("ST231 is a 64-register VLIW")
+	}
+	if ARMv7.IntRegs != 16 {
+		t.Fatal("ARMv7 has 16 integer registers")
+	}
+	if !JVM98.CISCMemOperands {
+		t.Fatal("IA32-flavoured target should allow memory operands")
+	}
+}

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ifg"
+	"repro/internal/liveness"
+)
+
+func TestGenSSADeterministic(t *testing.T) {
+	shape := Shape{
+		Params: 2, Segments: 3, MaxDepth: 2, StraightLen: 4,
+		LoopProb: 0.5, BranchProb: 0.3, Carried: 2, LongLived: 4,
+	}
+	a := GenSSA("f", 123, shape)
+	b := GenSSA("f", 123, shape)
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different programs")
+	}
+	c := GenSSA("f", 124, shape)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+func TestPropertyGenSSAValidAndChordal(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		shape := Shape{
+			Params:      1 + r.Intn(4),
+			Segments:    1 + r.Intn(4),
+			MaxDepth:    1 + r.Intn(3),
+			StraightLen: 1 + r.Intn(6),
+			LoopProb:    r.Float64() * 0.6,
+			BranchProb:  r.Float64() * 0.4,
+			Carried:     1 + r.Intn(3),
+			LongLived:   r.Intn(8),
+		}
+		f := GenSSA("t", seed, shape) // panics internally if invalid
+		if err := f.Validate(); err != nil {
+			return false
+		}
+		b := ifg.FromFunc(f)
+		return b.Graph.IsChordal()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGenNonSSAValid(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		shape := NonSSAShape{
+			Vars:        4 + r.Intn(20),
+			Params:      1 + r.Intn(4),
+			Segments:    1 + r.Intn(5),
+			MaxDepth:    1 + r.Intn(3),
+			StraightLen: 1 + r.Intn(6),
+			LoopProb:    r.Float64() * 0.5,
+			BranchProb:  r.Float64() * 0.4,
+		}
+		f := GenNonSSA("t", seed, shape)
+		return f.Validate() == nil && !f.SSA
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuitesLoad(t *testing.T) {
+	for _, s := range AllSuites {
+		progs := s.Load()
+		if len(progs) == 0 {
+			t.Fatalf("suite %s empty", s.Name)
+		}
+		for _, p := range progs {
+			if err := p.F.Validate(); err != nil {
+				t.Fatalf("%s/%s invalid: %v", s.Name, p.Name, err)
+			}
+			if p.F.SSA != s.Chordal {
+				t.Fatalf("%s/%s SSA flag inconsistent with suite", s.Name, p.Name)
+			}
+		}
+	}
+}
+
+func TestSuiteByName(t *testing.T) {
+	if _, ok := SuiteByName("eembc"); !ok {
+		t.Fatal("eembc missing")
+	}
+	if _, ok := SuiteByName("nope"); ok {
+		t.Fatal("bogus suite found")
+	}
+}
+
+func TestSuitePressureProfiles(t *testing.T) {
+	// The register sweeps only discriminate if some programs spill at the
+	// top register count; check each suite's peak MaxLive clears it.
+	for _, s := range AllSuites {
+		peak := 0
+		for _, p := range s.Load() {
+			info := liveness.Compute(p.F)
+			if info.MaxLive > peak {
+				peak = info.MaxLive
+			}
+		}
+		top := s.Registers[len(s.Registers)-1]
+		if peak <= top {
+			t.Errorf("suite %s peak MaxLive %d does not exceed top sweep R=%d",
+				s.Name, peak, top)
+		}
+	}
+}
+
+func TestRunSmallSuite(t *testing.T) {
+	small := Suite{
+		Name:      "mini",
+		Chordal:   true,
+		Registers: []int{2, 4},
+		Load: func() []Program {
+			return []Program{
+				{Name: "k1", F: GenSSA("k1", 7, Shape{
+					Params: 2, Segments: 2, MaxDepth: 2, StraightLen: 4,
+					LoopProb: 0.5, BranchProb: 0.3, Carried: 2, LongLived: 5,
+				})},
+				{Name: "k2", F: GenSSA("k2", 8, Shape{
+					Params: 2, Segments: 2, MaxDepth: 2, StraightLen: 4,
+					LoopProb: 0.5, BranchProb: 0.3, Carried: 2, LongLived: 5,
+				})},
+			}
+		},
+	}
+	instances := Run(small, nil)
+	if len(instances) != 4 {
+		t.Fatalf("instances = %d, want 4 (2 programs × 2 register counts)", len(instances))
+	}
+	names := AllocatorNames(ChordalAllocators())
+	for _, inst := range instances {
+		if !inst.OptExact {
+			t.Fatalf("%s R=%d: optimal not exact", inst.Program.Name, inst.R)
+		}
+		for _, n := range names {
+			if inst.Cost[n] < inst.OptimalCost-1e-9 {
+				t.Fatalf("%s beat optimal on %s R=%d", n, inst.Program.Name, inst.R)
+			}
+		}
+	}
+	means := NormalizedMeans(instances, names)
+	for r, per := range means {
+		if per["Optimal"] != 1 {
+			t.Fatalf("optimal not normalized to 1 at R=%d", r)
+		}
+		for n, v := range per {
+			if v < 1 {
+				t.Fatalf("%s below 1 at R=%d: %g", n, r, v)
+			}
+		}
+	}
+	ratios, _ := PerProgramRatios(instances, names)
+	for _, per := range ratios {
+		for _, xs := range per {
+			for _, x := range xs {
+				if x < 1 {
+					t.Fatal("per-program ratio below 1")
+				}
+			}
+		}
+	}
+	// Table formatting smoke checks.
+	if FormatMeansTable(means, names) == "" {
+		t.Fatal("empty means table")
+	}
+	if FormatDistTable(ratios, names) == "" {
+		t.Fatal("empty dist table")
+	}
+}
+
+func TestJVM98BenchGrouping(t *testing.T) {
+	progs := SuiteJVM98.Load()
+	groups := map[string]int{}
+	for _, p := range progs {
+		groups[p.Bench]++
+	}
+	for _, b := range JVM98Benchmarks {
+		if groups[b] == 0 {
+			t.Fatalf("benchmark %s has no methods", b)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles = %g %g", s.Q1, s.Q3)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatal("empty summary nonzero")
+	}
+	one := Summarize([]float64{7})
+	if one.Median != 7 || one.Q1 != 7 {
+		t.Fatalf("singleton summary = %+v", one)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{1, 2})
+	if s.Median != 1.5 {
+		t.Fatalf("median of {1,2} = %g", s.Median)
+	}
+}

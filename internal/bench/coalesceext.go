@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coalesce"
+	"repro/internal/ifg"
+	"repro/internal/spillcost"
+)
+
+// CoalesceRow summarizes the coalescing extension for one suite: how much
+// φ-move cost each policy removes at the suite's native register pressure.
+type CoalesceRow struct {
+	Suite      string
+	Moves      int
+	TotalCost  float64
+	Aggressive float64 // fraction of move cost eliminated
+	Conserv    float64
+}
+
+// RunCoalesce measures aggressive vs conservative coalescing over the
+// chordal suites (the paper's §8 integration question). R is chosen per
+// function as its MaxLive — the tightest count that still avoids spilling —
+// which is the regime where conservative coalescing is constrained.
+func RunCoalesce(suites []Suite) []CoalesceRow {
+	var rows []CoalesceRow
+	for _, s := range suites {
+		if !s.Chordal {
+			continue
+		}
+		row := CoalesceRow{Suite: s.Name}
+		var aggElim, conElim float64
+		for _, prog := range s.Load() {
+			b := ifg.FromFunc(prog.F)
+			moves := coalesce.Moves(b, spillcost.DefaultModel)
+			row.Moves += len(moves)
+			r := b.MaxLive
+			agg := coalesce.Run(b, moves, coalesce.Aggressive, r)
+			con := coalesce.Run(b, moves, coalesce.Conservative, r)
+			row.TotalCost += agg.TotalCost
+			aggElim += agg.EliminatedCost
+			conElim += con.EliminatedCost
+		}
+		if row.TotalCost > 0 {
+			row.Aggressive = aggElim / row.TotalCost
+			row.Conserv = conElim / row.TotalCost
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatCoalesce renders the coalescing table.
+func FormatCoalesce(rows []CoalesceRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %12s %12s %12s\n",
+		"suite", "moves", "move cost", "aggressive", "conservative")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8d %12.0f %11.1f%% %11.1f%%\n",
+			r.Suite, r.Moves, r.TotalCost, 100*r.Aggressive, 100*r.Conserv)
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package bench
+
+import "testing"
+
+func TestRunSSAExtensionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiment is slow")
+	}
+	rows, err := RunSSAExtension([]int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].R != 6 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	row := rows[0]
+	// Heuristics can never beat their own representation's optimum.
+	if row.LHDirect < row.OptDirect-1e-9 || row.BFPLSSA < row.OptSSA-1e-9 {
+		t.Fatalf("heuristic beat optimal: %+v", row)
+	}
+	// SSA live-range splitting can only lower the achievable optimum.
+	if row.OptSSA > row.OptDirect+1e-9 {
+		t.Fatalf("SSA optimum above direct optimum: %+v", row)
+	}
+	if FormatSSAExtension(rows) == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunCoalesceSmoke(t *testing.T) {
+	rows := RunCoalesce([]Suite{SuiteLAOKernels})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.Moves == 0 || r.TotalCost <= 0 {
+		t.Fatalf("no moves found: %+v", r)
+	}
+	if r.Aggressive < r.Conserv-1e-9 {
+		t.Fatalf("conservative eliminated more than aggressive: %+v", r)
+	}
+	if r.Aggressive < 0 || r.Aggressive > 1 || r.Conserv < 0 || r.Conserv > 1 {
+		t.Fatalf("fractions out of range: %+v", r)
+	}
+	if FormatCoalesce(rows) == "" {
+		t.Fatal("empty table")
+	}
+	// Non-chordal suites are skipped.
+	if got := RunCoalesce([]Suite{SuiteJVM98}); len(got) != 0 {
+		t.Fatalf("non-chordal suite not skipped: %+v", got)
+	}
+}

@@ -1,0 +1,281 @@
+// Package bench generates the synthetic benchmark workloads standing in for
+// the paper's proprietary suites (SPEC CPU 2000int, EEMBC, lao-kernels on
+// Open64/ST231+ARMv7, SPEC JVM98 on JikesRVM), and provides the experiment
+// harness that regenerates every figure of the evaluation section.
+//
+// The generators are fully deterministic for a given seed: each suite is a
+// fixed list of (name, seed, shape) tuples, so every run of the experiments
+// sees the same programs.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// Shape parameterizes the SSA program generator.
+type Shape struct {
+	// Params is the number of function inputs.
+	Params int
+	// Segments is the number of top-level code segments to generate.
+	Segments int
+	// MaxDepth bounds loop/branch nesting.
+	MaxDepth int
+	// StraightLen is the max instruction count of a straight-line run.
+	StraightLen int
+	// LoopProb and BranchProb weight the segment kinds (rest: straight).
+	LoopProb, BranchProb float64
+	// Carried is the max number of loop-carried variables per loop.
+	Carried int
+	// LongLived is the number of values defined early and used late, the
+	// main source of register pressure across the whole function.
+	LongLived int
+}
+
+// ssaGen carries generator state for one function.
+type ssaGen struct {
+	f     *ir.Func
+	rng   *rand.Rand
+	shape Shape
+	// longLived values are defined in the entry block and referenced with
+	// small probability everywhere, stretching their live ranges.
+	longLived []int
+}
+
+// GenSSA generates a strict-SSA function with structured control flow:
+// nested loops, if/else regions with phi joins, and loop-carried phis. The
+// result always passes ir.Validate and produces a chordal interference
+// graph.
+func GenSSA(name string, seed int64, shape Shape) *ir.Func {
+	g := &ssaGen{
+		f:     &ir.Func{Name: name, ValueName: map[int]string{}, SSA: true},
+		rng:   rand.New(rand.NewSource(seed)),
+		shape: shape,
+	}
+	entry := g.f.AddBlock("b0")
+	avail := make([]int, 0, 16)
+	for i := 0; i < shape.Params; i++ {
+		v := g.f.NewValue()
+		entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.OpParam, Def: v, Imm: int64(i)})
+		avail = append(avail, v)
+	}
+	if len(avail) == 0 {
+		v := g.f.NewValue()
+		entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.OpConst, Def: v, Imm: 1})
+		avail = append(avail, v)
+	}
+	for i := 0; i < shape.LongLived; i++ {
+		v := g.f.NewValue()
+		entry.Instrs = append(entry.Instrs, ir.Instr{
+			Op: ir.OpArith, Def: v,
+			Uses: []int{g.pick(avail), g.pick(avail)},
+		})
+		avail = append(avail, v)
+		g.longLived = append(g.longLived, v)
+	}
+	cur := entry
+	for s := 0; s < shape.Segments; s++ {
+		cur, avail = g.segment(cur, avail, 0)
+	}
+	// Keep the long-lived values alive to the end: a final use.
+	ret := g.f.NewValue()
+	uses := []int{g.pick(avail)}
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpCall, Def: ret, Uses: uses})
+	for _, v := range g.longLived {
+		acc := g.f.NewValue()
+		cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpArith, Def: acc, Uses: []int{ret, v}})
+		ret = acc
+	}
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpReturn, Def: ir.NoValue, Uses: []int{ret}})
+	if err := g.f.Validate(); err != nil {
+		panic(fmt.Sprintf("bench: generated invalid SSA for %s: %v\n%s", name, err, g.f))
+	}
+	dom := g.f.ComputeDominance()
+	g.f.ComputeLoops(dom)
+	return g.f
+}
+
+// segment emits one code region starting at cur and returns the block where
+// control continues plus the values available there.
+func (g *ssaGen) segment(cur *ir.Block, avail []int, depth int) (*ir.Block, []int) {
+	r := g.rng.Float64()
+	switch {
+	case depth < g.shape.MaxDepth && r < g.shape.LoopProb:
+		return g.loop(cur, avail, depth)
+	case depth < g.shape.MaxDepth && r < g.shape.LoopProb+g.shape.BranchProb:
+		return g.branch(cur, avail, depth)
+	default:
+		return cur, g.straight(cur, avail)
+	}
+}
+
+// straight appends 1..StraightLen arithmetic instructions to cur.
+func (g *ssaGen) straight(cur *ir.Block, avail []int) []int {
+	// Extend a private copy: the caller's slice may be shared between the
+	// two arms of a branch, and appending in place would let one arm's
+	// definitions leak into the other's backing array.
+	avail = append([]int(nil), avail...)
+	n := 1 + g.rng.Intn(g.shape.StraightLen)
+	for i := 0; i < n; i++ {
+		v := g.f.NewValue()
+		cur.Instrs = append(cur.Instrs, ir.Instr{
+			Op: ir.OpArith, Def: v,
+			Uses: []int{g.pick(avail), g.pick(avail)},
+		})
+		avail = append(avail, v)
+	}
+	return avail
+}
+
+// branch emits an if/then/else diamond with phi joins.
+func (g *ssaGen) branch(cur *ir.Block, avail []int, depth int) (*ir.Block, []int) {
+	cond := g.f.NewValue()
+	cur.Instrs = append(cur.Instrs, ir.Instr{
+		Op: ir.OpUnary, Def: cond, Uses: []int{g.pick(avail)},
+	})
+	thenB := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	elseB := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	cur.Instrs = append(cur.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{cond}, Targets: []int{thenB.ID, elseB.ID},
+	})
+	g.f.AddEdge(cur.ID, thenB.ID)
+	g.f.AddEdge(cur.ID, elseB.ID)
+
+	tEnd, tAvail := thenB, g.straight(thenB, avail)
+	if depth+1 < g.shape.MaxDepth && g.rng.Float64() < 0.3 {
+		tEnd, tAvail = g.segment(tEnd, tAvail, depth+1)
+	}
+	eEnd, eAvail := elseB, g.straight(elseB, avail)
+	if depth+1 < g.shape.MaxDepth && g.rng.Float64() < 0.3 {
+		eEnd, eAvail = g.segment(eEnd, eAvail, depth+1)
+	}
+
+	join := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	tEnd.Instrs = append(tEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{join.ID}})
+	g.f.AddEdge(tEnd.ID, join.ID)
+	eEnd.Instrs = append(eEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{join.ID}})
+	g.f.AddEdge(eEnd.ID, join.ID)
+
+	// Merge a few branch-defined values with phis; the rest of avail flows
+	// through unchanged (it dominates join already).
+	out := append([]int(nil), avail...)
+	nphi := 1 + g.rng.Intn(3)
+	for i := 0; i < nphi; i++ {
+		tv := g.pickNew(tAvail, avail)
+		ev := g.pickNew(eAvail, avail)
+		if tv < 0 || ev < 0 {
+			break
+		}
+		v := g.f.NewValue()
+		join.Instrs = append(join.Instrs, ir.Instr{
+			Op: ir.OpPhi, Def: v, Uses: []int{tv, ev},
+		})
+		out = append(out, v)
+	}
+	return join, out
+}
+
+// loop emits a natural loop: preheader edge from cur into a header holding
+// the loop-carried phis and the exit test, a body (recursively generated)
+// with the back edge, and a fresh exit block.
+func (g *ssaGen) loop(cur *ir.Block, avail []int, depth int) (*ir.Block, []int) {
+	header := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{header.ID}})
+	g.f.AddEdge(cur.ID, header.ID)
+
+	ncarried := 1 + g.rng.Intn(g.shape.Carried)
+	phis := make([]int, ncarried)
+	for i := range phis {
+		v := g.f.NewValue()
+		phis[i] = v
+		header.Instrs = append(header.Instrs, ir.Instr{
+			// Second operand (back edge value) patched after the body is
+			// generated; phi operand order must match predecessor order
+			// (cur first, body end second).
+			Op: ir.OpPhi, Def: v, Uses: []int{g.pick(avail), ir.NoValue},
+		})
+	}
+	headAvail := append(append([]int(nil), avail...), phis...)
+
+	body := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	exit := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	cond := g.f.NewValue()
+	header.Instrs = append(header.Instrs, ir.Instr{
+		Op: ir.OpUnary, Def: cond, Uses: []int{phis[0]},
+	})
+	header.Instrs = append(header.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{cond}, Targets: []int{body.ID, exit.ID},
+	})
+	g.f.AddEdge(header.ID, body.ID)
+	g.f.AddEdge(header.ID, exit.ID)
+
+	bodyEnd, bodyAvail := body, g.straight(body, headAvail)
+	if depth+1 < g.shape.MaxDepth && g.rng.Float64() < 0.5 {
+		bodyEnd, bodyAvail = g.segment(bodyEnd, bodyAvail, depth+1)
+	}
+	bodyEnd.Instrs = append(bodyEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{header.ID}})
+	g.f.AddEdge(bodyEnd.ID, header.ID)
+
+	// Patch back-edge phi operands with values available at the body end.
+	for i := range phis {
+		ins := &header.Instrs[i]
+		bv := g.pickNew(bodyAvail, avail)
+		if bv < 0 {
+			bv = phis[i] // self-carried
+		}
+		ins.Uses[1] = bv
+	}
+	// Values defined inside the loop do not dominate the exit; only avail
+	// plus the header's phis (and cond) continue.
+	out := append(append([]int(nil), avail...), phis...)
+	return exit, out
+}
+
+// pick selects a usable value: mostly a recent definition, with a small
+// chance of touching a long-lived one to extend pressure.
+func (g *ssaGen) pick(avail []int) int {
+	if len(g.longLived) > 0 && g.rng.Float64() < 0.15 {
+		return g.longLived[g.rng.Intn(len(g.longLived))]
+	}
+	// Bias toward recent values (locality of reference).
+	n := len(avail)
+	if n == 1 {
+		return avail[0]
+	}
+	if g.rng.Float64() < 0.7 {
+		lo := n - 1 - g.rng.Intn(minInt(8, n))
+		if lo < 0 {
+			lo = 0
+		}
+		return avail[lo]
+	}
+	return avail[g.rng.Intn(n)]
+}
+
+// pickNew picks a value from list that is not in base (i.e. defined inside
+// the current region), or -1 if none exists.
+func (g *ssaGen) pickNew(list, base []int) int {
+	baseSet := make(map[int]bool, len(base))
+	for _, v := range base {
+		baseSet[v] = true
+	}
+	var fresh []int
+	for _, v := range list {
+		if !baseSet[v] {
+			fresh = append(fresh, v)
+		}
+	}
+	if len(fresh) == 0 {
+		return -1
+	}
+	return fresh[g.rng.Intn(len(fresh))]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// NonSSAShape parameterizes the non-SSA ("JVM98 method") generator.
+type NonSSAShape struct {
+	// Vars is the size of the mutable variable pool (Java locals + stack
+	// temporaries). Live ranges of the same slot across redefinitions make
+	// the interference graph non-chordal in general.
+	Vars int
+	// Params is how many variables are defined on entry.
+	Params int
+	// Segments, MaxDepth, StraightLen, LoopProb, BranchProb: as in Shape.
+	Segments    int
+	MaxDepth    int
+	StraightLen int
+	LoopProb    float64
+	BranchProb  float64
+}
+
+// nonSSAGen carries generator state. Variables are ir value IDs that may be
+// redefined; initialized tracks which are definitely assigned on every path
+// to the current block, so every emitted use is sound.
+type nonSSAGen struct {
+	f     *ir.Func
+	rng   *rand.Rand
+	shape NonSSAShape
+	vars  []int
+}
+
+// GenNonSSA generates a multiple-definition (non-SSA) function in the style
+// of a JIT's bytecode-derived IR. Its interference graph is a general graph;
+// with variable reuse across overlapping regions it is usually non-chordal.
+func GenNonSSA(name string, seed int64, shape NonSSAShape) *ir.Func {
+	g := &nonSSAGen{
+		f:     &ir.Func{Name: name, ValueName: map[int]string{}, SSA: false},
+		rng:   rand.New(rand.NewSource(seed)),
+		shape: shape,
+	}
+	for i := 0; i < shape.Vars; i++ {
+		v := g.f.NewValue()
+		g.f.ValueName[v] = fmt.Sprintf("x%d", i)
+		g.vars = append(g.vars, v)
+	}
+	entry := g.f.AddBlock("b0")
+	init := make(map[int]bool)
+	nparams := shape.Params
+	if nparams == 0 {
+		nparams = 1
+	}
+	for i := 0; i < nparams && i < len(g.vars); i++ {
+		entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.OpParam, Def: g.vars[i], Imm: int64(i)})
+		init[g.vars[i]] = true
+	}
+	cur := entry
+	for s := 0; s < shape.Segments; s++ {
+		cur, init = g.segment(cur, init, 0)
+	}
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpReturn, Def: ir.NoValue, Uses: []int{g.pickInit(init)}})
+	if err := g.f.Validate(); err != nil {
+		panic(fmt.Sprintf("bench: generated invalid non-SSA IR for %s: %v", name, err))
+	}
+	dom := g.f.ComputeDominance()
+	g.f.ComputeLoops(dom)
+	return g.f
+}
+
+func (g *nonSSAGen) segment(cur *ir.Block, init map[int]bool, depth int) (*ir.Block, map[int]bool) {
+	r := g.rng.Float64()
+	switch {
+	case depth < g.shape.MaxDepth && r < g.shape.LoopProb:
+		return g.loop(cur, init, depth)
+	case depth < g.shape.MaxDepth && r < g.shape.LoopProb+g.shape.BranchProb:
+		return g.branch(cur, init, depth)
+	default:
+		return cur, g.straight(cur, init)
+	}
+}
+
+func (g *nonSSAGen) straight(cur *ir.Block, init map[int]bool) map[int]bool {
+	out := copySet(init)
+	n := 1 + g.rng.Intn(g.shape.StraightLen)
+	for i := 0; i < n; i++ {
+		dst := g.vars[g.rng.Intn(len(g.vars))]
+		cur.Instrs = append(cur.Instrs, ir.Instr{
+			Op: ir.OpArith, Def: dst,
+			Uses: []int{g.pickInitSet(out), g.pickInitSet(out)},
+		})
+		out[dst] = true
+	}
+	return out
+}
+
+func (g *nonSSAGen) branch(cur *ir.Block, init map[int]bool, depth int) (*ir.Block, map[int]bool) {
+	thenB := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	elseB := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	cur.Instrs = append(cur.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{g.pickInit(init)}, Targets: []int{thenB.ID, elseB.ID},
+	})
+	g.f.AddEdge(cur.ID, thenB.ID)
+	g.f.AddEdge(cur.ID, elseB.ID)
+
+	tEnd, tInit := thenB, g.straight(thenB, init)
+	if depth+1 < g.shape.MaxDepth && g.rng.Float64() < 0.3 {
+		tEnd, tInit = g.segment(tEnd, tInit, depth+1)
+	}
+	eEnd, eInit := elseB, g.straight(elseB, init)
+	if depth+1 < g.shape.MaxDepth && g.rng.Float64() < 0.3 {
+		eEnd, eInit = g.segment(eEnd, eInit, depth+1)
+	}
+	join := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	tEnd.Instrs = append(tEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{join.ID}})
+	g.f.AddEdge(tEnd.ID, join.ID)
+	eEnd.Instrs = append(eEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{join.ID}})
+	g.f.AddEdge(eEnd.ID, join.ID)
+	return join, intersect(tInit, eInit)
+}
+
+func (g *nonSSAGen) loop(cur *ir.Block, init map[int]bool, depth int) (*ir.Block, map[int]bool) {
+	header := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{header.ID}})
+	g.f.AddEdge(cur.ID, header.ID)
+
+	body := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	exit := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	header.Instrs = append(header.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{g.pickInit(init)}, Targets: []int{body.ID, exit.ID},
+	})
+	g.f.AddEdge(header.ID, body.ID)
+	g.f.AddEdge(header.ID, exit.ID)
+
+	bodyEnd, bodyInit := body, g.straight(body, init)
+	if depth+1 < g.shape.MaxDepth && g.rng.Float64() < 0.4 {
+		bodyEnd, bodyInit = g.segment(bodyEnd, bodyInit, depth+1)
+	}
+	// A store at the bottom of the loop keeps body-defined variables used
+	// at loop frequency, as array-writing JVM98 methods do.
+	bodyEnd.Instrs = append(bodyEnd.Instrs, ir.Instr{
+		Op: ir.OpStore, Def: ir.NoValue, Uses: []int{g.pickInitSet(bodyInit), g.pickInitSet(bodyInit)},
+	})
+	bodyEnd.Instrs = append(bodyEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{header.ID}})
+	g.f.AddEdge(bodyEnd.ID, header.ID)
+	// Only variables initialized before the loop are definitely initialized
+	// after it (the body may not execute).
+	return exit, copySet(init)
+}
+
+func (g *nonSSAGen) pickInit(init map[int]bool) int {
+	return g.pickInitSet(init)
+}
+
+func (g *nonSSAGen) pickInitSet(init map[int]bool) int {
+	// Deterministic choice: collect sorted and index by rng.
+	var pool []int
+	for v := range init {
+		pool = append(pool, v)
+	}
+	if len(pool) == 0 {
+		panic("bench: no initialized variable to use")
+	}
+	sort.Ints(pool)
+	return pool[g.rng.Intn(len(pool))]
+}
+
+func copySet(s map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(s))
+	for k, v := range s {
+		if v {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func intersect(a, b map[int]bool) map[int]bool {
+	out := make(map[int]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/alloc/chaitin"
+	"repro/internal/alloc/layered"
+	"repro/internal/alloc/linearscan"
+	"repro/internal/alloc/optimal"
+	"repro/internal/ifg"
+	"repro/internal/liveness"
+	"repro/internal/spillcost"
+)
+
+// ChordalAllocators returns the allocator lineup of Figures 8–13, in the
+// paper's legend order: GC, NL, FPL, BL, BFPL, Optimal.
+func ChordalAllocators() []alloc.Allocator {
+	return []alloc.Allocator{
+		chaitin.New(), layered.NL(), layered.FPL(), layered.BL(), layered.BFPL(), optimal.New(),
+	}
+}
+
+// JITAllocators returns the lineup of Figures 14–15: DLS, BLS, GC, LH,
+// Optimal.
+func JITAllocators() []alloc.Allocator {
+	return []alloc.Allocator{
+		linearscan.DLS(), linearscan.BLS(), chaitin.New(), layered.NewLH(), optimal.New(),
+	}
+}
+
+// Instance is one prepared allocation problem (program × register count).
+type Instance struct {
+	Program Program
+	R       int
+	Problem *alloc.Problem
+	// Cost[name] is the spill cost each allocator achieved.
+	Cost map[string]float64
+	// OptimalCost is Cost["Optimal"], for normalization.
+	OptimalCost float64
+	// OptExact reports whether the exact solver proved optimality.
+	OptExact bool
+}
+
+// Run executes every allocator of the suite's lineup on every program at
+// every register count, validating each result. It is the data source for
+// all figures. A non-nil progress writer receives one line per program.
+func Run(s Suite, progress io.Writer) []*Instance {
+	programs := s.Load()
+	var allocators []alloc.Allocator
+	if s.Chordal {
+		allocators = ChordalAllocators()
+	} else {
+		allocators = JITAllocators()
+	}
+	var out []*Instance
+	for _, prog := range programs {
+		info := liveness.Compute(prog.F)
+		build := ifg.FromLiveness(info)
+		costs := spillcost.Costs(prog.F, spillcost.DefaultModel)
+		intervals := linearscan.BuildIntervals(info, build)
+		for _, r := range s.Registers {
+			p := alloc.NewProblem(build, costs, r)
+			p.Name = prog.Name
+			p.Intervals = intervals
+			inst := &Instance{
+				Program: prog,
+				R:       r,
+				Problem: p,
+				Cost:    make(map[string]float64, len(allocators)),
+			}
+			for _, a := range allocators {
+				res := a.Allocate(p)
+				if err := p.Validate(res); err != nil {
+					panic(fmt.Sprintf("bench: invalid allocation from %s on %s (R=%d): %v",
+						a.Name(), prog.Name, r, err))
+				}
+				inst.Cost[a.Name()] = res.SpillCost(p)
+				if opt, ok := a.(*optimal.Allocator); ok {
+					inst.OptimalCost = inst.Cost[a.Name()]
+					inst.OptExact = opt.LastExact
+				}
+			}
+			out = append(out, inst)
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "  %-16s |V|=%3d maxlive=%2d\n",
+				prog.Name, build.Graph.N(), build.MaxLive)
+		}
+	}
+	return out
+}
+
+// NormalizedMeans computes, per register count and allocator, the
+// suite-aggregate normalized allocation cost Σcost/Σoptimal — the quantity
+// plotted in Figures 8, 9, 10 and 14.
+func NormalizedMeans(instances []*Instance, allocators []string) map[int]map[string]float64 {
+	type agg struct{ cost, opt float64 }
+	sums := make(map[int]map[string]*agg)
+	for _, inst := range instances {
+		perR := sums[inst.R]
+		if perR == nil {
+			perR = make(map[string]*agg)
+			sums[inst.R] = perR
+		}
+		for _, name := range allocators {
+			a := perR[name]
+			if a == nil {
+				a = &agg{}
+				perR[name] = a
+			}
+			a.cost += inst.Cost[name]
+			a.opt += inst.OptimalCost
+		}
+	}
+	out := make(map[int]map[string]float64)
+	for r, perR := range sums {
+		out[r] = make(map[string]float64)
+		for name, a := range perR {
+			switch {
+			case a.opt > 0:
+				out[r][name] = a.cost / a.opt
+			case a.cost == 0:
+				out[r][name] = 1
+			default:
+				out[r][name] = inf()
+			}
+		}
+	}
+	return out
+}
+
+// PerProgramRatios returns, per register count and allocator, the
+// distribution of per-program normalized costs (cost/optimal), the quantity
+// of Figures 11–13. Programs whose optimal cost is zero are counted as ratio
+// 1 when the allocator also reaches zero and are skipped otherwise (the
+// ratio is undefined); Skipped reports how many were dropped that way.
+func PerProgramRatios(instances []*Instance, allocators []string) (map[int]map[string][]float64, int) {
+	out := make(map[int]map[string][]float64)
+	skipped := 0
+	for _, inst := range instances {
+		perR := out[inst.R]
+		if perR == nil {
+			perR = make(map[string][]float64)
+			out[inst.R] = perR
+		}
+		for _, name := range allocators {
+			c := inst.Cost[name]
+			switch {
+			case inst.OptimalCost > 0:
+				perR[name] = append(perR[name], c/inst.OptimalCost)
+			case c == 0:
+				perR[name] = append(perR[name], 1)
+			default:
+				skipped++
+			}
+		}
+	}
+	return out, skipped
+}
+
+// PerBenchmarkMeans aggregates normalized cost per named benchmark at one
+// register count (Figure 15).
+func PerBenchmarkMeans(instances []*Instance, allocators []string, r int) map[string]map[string]float64 {
+	type agg struct{ cost, opt float64 }
+	sums := make(map[string]map[string]*agg)
+	for _, inst := range instances {
+		if inst.R != r || inst.Program.Bench == "" {
+			continue
+		}
+		per := sums[inst.Program.Bench]
+		if per == nil {
+			per = make(map[string]*agg)
+			sums[inst.Program.Bench] = per
+		}
+		for _, name := range allocators {
+			a := per[name]
+			if a == nil {
+				a = &agg{}
+				per[name] = a
+			}
+			a.cost += inst.Cost[name]
+			a.opt += inst.OptimalCost
+		}
+	}
+	out := make(map[string]map[string]float64)
+	for b, per := range sums {
+		out[b] = make(map[string]float64)
+		for name, a := range per {
+			if a.opt > 0 {
+				out[b][name] = a.cost / a.opt
+			} else if a.cost == 0 {
+				out[b][name] = 1
+			} else {
+				out[b][name] = inf()
+			}
+		}
+	}
+	return out
+}
+
+// AllocatorNames extracts the lineup names in order.
+func AllocatorNames(as []alloc.Allocator) []string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name()
+	}
+	return names
+}
+
+// FormatMeansTable renders a NormalizedMeans result as an aligned text
+// table, registers as rows, allocators as columns.
+func FormatMeansTable(means map[int]map[string]float64, allocators []string) string {
+	var b strings.Builder
+	rs := sortedIntKeys(means)
+	fmt.Fprintf(&b, "%-10s", "registers")
+	for _, a := range allocators {
+		fmt.Fprintf(&b, " %8s", a)
+	}
+	b.WriteByte('\n')
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-10d", r)
+		for _, a := range allocators {
+			if v := means[r][a]; v >= inf() {
+				fmt.Fprintf(&b, " %8s", "n/a")
+			} else {
+				fmt.Fprintf(&b, " %8.3f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatDistTable renders per-program ratio distributions as quartile rows.
+func FormatDistTable(ratios map[int]map[string][]float64, allocators []string) string {
+	var b strings.Builder
+	rs := sortedIntKeys(ratios)
+	fmt.Fprintf(&b, "%-10s %-8s %5s %7s %7s %7s %7s %7s\n",
+		"registers", "alloc", "n", "min", "q1", "median", "q3", "max")
+	for _, r := range rs {
+		for _, a := range allocators {
+			s := Summarize(ratios[r][a])
+			fmt.Fprintf(&b, "%-10d %-8s %5d %7.3f %7.3f %7.3f %7.3f %7.3f\n",
+				r, a, s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max)
+		}
+	}
+	return b.String()
+}
+
+// FormatPerBenchTable renders a PerBenchmarkMeans result with benchmarks as
+// rows in the paper's order.
+func FormatPerBenchTable(per map[string]map[string]float64, allocators []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, a := range allocators {
+		fmt.Fprintf(&b, " %8s", a)
+	}
+	b.WriteByte('\n')
+	for _, bench := range JVM98Benchmarks {
+		row, ok := per[bench]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s", bench)
+		for _, a := range allocators {
+			fmt.Fprintf(&b, " %8.3f", row[a])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func inf() float64 { return 1e308 }

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary condenses a sample of per-program normalized allocation costs.
+type Summary struct {
+	N                        int
+	Mean                     float64
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summarize computes the distribution summary of xs (which it sorts a copy
+// of). Empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	total := 0.0
+	for _, x := range s {
+		total += x
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   total / float64(len(s)),
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+	}
+}
+
+// quantile interpolates the q-quantile of sorted s.
+func quantile(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

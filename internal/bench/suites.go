@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"strconv"
+
+	"repro/internal/ir"
+)
+
+// Program is one workload: a generated function with a suite-level name.
+type Program struct {
+	Name string
+	F    *ir.Func
+	// Bench groups programs that belong to the same named benchmark (used
+	// by the per-benchmark JVM98 figure); empty for the chordal suites.
+	Bench string
+}
+
+// Suite identifies one of the evaluation workloads.
+type Suite struct {
+	Name string
+	// Target is the paper's machine for this suite (informational; the
+	// experiments sweep R explicitly).
+	Target string
+	// Chordal reports whether programs are strict SSA (chordal graphs).
+	Chordal bool
+	// Registers is the register-count sweep of the corresponding figures.
+	Registers []int
+	// Load generates the programs (deterministic).
+	Load func() []Program
+}
+
+// ChordalSweep is the register sweep of Figures 8–13.
+var ChordalSweep = []int{1, 2, 4, 8, 16, 32}
+
+// JITSweep is the register sweep of Figure 14.
+var JITSweep = []int{2, 4, 6, 8, 10, 12, 14, 16}
+
+// SuiteSPEC2000 stands in for SPEC CPU 2000int compiled by Open64 for the
+// ST231: medium-to-large functions, moderate nesting, substantial numbers of
+// long-lived temporaries.
+var SuiteSPEC2000 = Suite{
+	Name:      "spec2000int",
+	Target:    "st231",
+	Chordal:   true,
+	Registers: ChordalSweep,
+	Load: func() []Program {
+		apps := []string{
+			"gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+			"eon", "perlbmk", "gap", "vortex", "bzip2", "twolf",
+		}
+		var out []Program
+		seed := int64(20000)
+		for _, app := range apps {
+			for i := 0; i < 3; i++ {
+				shape := Shape{
+					Params:      3 + int(seed)%3,
+					Segments:    6 + i,
+					MaxDepth:    3,
+					StraightLen: 7,
+					LoopProb:    0.35,
+					BranchProb:  0.35,
+					Carried:     4,
+					LongLived:   24 + 6*i + int(seed)%5,
+				}
+				name := app + suffix(i)
+				out = append(out, Program{
+					Name: name,
+					F:    GenSSA(name, seed, shape),
+				})
+				seed += 17
+			}
+		}
+		return out
+	},
+}
+
+// SuiteEEMBC stands in for the EEMBC embedded kernels on ST231: small
+// functions dominated by loops with fewer long-lived values.
+var SuiteEEMBC = Suite{
+	Name:      "eembc",
+	Target:    "st231",
+	Chordal:   true,
+	Registers: ChordalSweep,
+	Load: func() []Program {
+		kernels := []string{
+			"aifft", "aifir", "aiifft", "autcor", "basefp", "bezier",
+			"bitmnp", "cacheb", "canrdr", "conven", "dither", "fbital",
+			"idctrn", "iirflt", "matrix", "ospf", "pktflow", "pntrch",
+			"puwmod", "rgbcmy", "rotate", "routelookup", "rspeed", "tblook",
+			"text", "ttsprk", "viterb",
+		}
+		var out []Program
+		seed := int64(30000)
+		for _, k := range kernels {
+			shape := Shape{
+				Params:      2 + int(seed)%2,
+				Segments:    4,
+				MaxDepth:    3,
+				StraightLen: 6,
+				LoopProb:    0.55,
+				BranchProb:  0.2,
+				Carried:     5,
+				LongLived:   12 + int(seed)%11,
+			}
+			out = append(out, Program{Name: k, F: GenSSA(k, seed, shape)})
+			seed += 23
+		}
+		return out
+	},
+}
+
+// SuiteLAOKernels stands in for STMicroelectronics' lao-kernels on ARMv7:
+// very small, loop-heavy kernels where a single bad allocation choice is
+// visible in the totals.
+var SuiteLAOKernels = Suite{
+	Name:      "lao-kernels",
+	Target:    "armv7",
+	Chordal:   true,
+	Registers: ChordalSweep,
+	Load: func() []Program {
+		kernels := []string{
+			"autocor", "bassmgt", "codebk_srch", "convol", "dct",
+			"fir", "latanal", "lms", "max_search", "polysyn",
+			"q_plsf", "subband",
+		}
+		var out []Program
+		seed := int64(40000)
+		for _, k := range kernels {
+			shape := Shape{
+				Params:      2,
+				Segments:    2,
+				MaxDepth:    2,
+				StraightLen: 5,
+				LoopProb:    0.65,
+				BranchProb:  0.15,
+				Carried:     3,
+				LongLived:   8 + (int(seed)%5)*7,
+			}
+			out = append(out, Program{Name: k, F: GenSSA(k, seed, shape)})
+			seed += 31
+		}
+		return out
+	},
+}
+
+// JVM98Benchmarks lists the named SPEC JVM98 applications of Figure 15, in
+// the paper's order.
+var JVM98Benchmarks = []string{
+	"check", "compress", "jess", "raytrace", "db",
+	"javac", "mpegaudio", "mtrt", "jack",
+}
+
+// SuiteJVM98 stands in for SPEC JVM98 methods compiled by the JikesRVM
+// baseline JIT: non-SSA code over a mutable local-variable pool, yielding
+// general (usually non-chordal) interference graphs.
+var SuiteJVM98 = Suite{
+	Name:      "jvm98",
+	Target:    "jvm98",
+	Chordal:   false,
+	Registers: JITSweep,
+	Load: func() []Program {
+		var out []Program
+		seed := int64(50000)
+		for bi, b := range JVM98Benchmarks {
+			nmethods := 6 + bi%3
+			for i := 0; i < nmethods; i++ {
+				shape := NonSSAShape{
+					Vars:        34 + (int(seed)+3*i)%20,
+					Params:      9,
+					Segments:    8 + i%4,
+					MaxDepth:    2,
+					StraightLen: 7,
+					LoopProb:    0.4,
+					BranchProb:  0.35,
+				}
+				name := b + ".m" + strconv.Itoa(i)
+				out = append(out, Program{
+					Name:  name,
+					F:     GenNonSSA(name, seed, shape),
+					Bench: b,
+				})
+				seed += 13
+			}
+		}
+		return out
+	},
+}
+
+// AllSuites lists every workload in figure order.
+var AllSuites = []Suite{SuiteSPEC2000, SuiteEEMBC, SuiteLAOKernels, SuiteJVM98}
+
+// SuiteByName looks up a suite.
+func SuiteByName(name string) (Suite, bool) {
+	for _, s := range AllSuites {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Suite{}, false
+}
+
+func suffix(i int) string { return [3]string{"", ".hot", ".cold"}[i%3] }

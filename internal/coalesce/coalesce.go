@@ -1,0 +1,235 @@
+// Package coalesce implements register coalescing on interference graphs:
+// merging copy-related values so the copies (φ-moves and explicit copies)
+// disappear. The paper's conclusion (§8) lists the interaction between
+// layered allocation and coalescing as the main open integration question;
+// this package provides the two classical policies so that interaction can
+// be measured:
+//
+//   - Aggressive: merge every copy-related, non-interfering pair (Chaitin).
+//     Maximal move elimination, but merging can make the graph harder to
+//     colour.
+//   - Conservative: merge only when the Briggs criterion holds — the merged
+//     node has fewer than R neighbors of significant degree (≥ R) — which
+//     preserves colourability with R registers.
+//
+// Both operate on the vertex set of an ifg.Build via union-find and report
+// the eliminated move cost under the block-frequency model.
+package coalesce
+
+import (
+	"sort"
+
+	"repro/internal/ifg"
+	"repro/internal/ir"
+	"repro/internal/spillcost"
+)
+
+// Move is one register-to-register copy: a φ operand flowing across a CFG
+// edge, or an explicit copy instruction. Costs use the source block's
+// frequency (where the move instruction would be placed).
+type Move struct {
+	// Dst and Src are interference-graph vertices.
+	Dst, Src int
+	// Cost is the dynamic frequency of the move.
+	Cost float64
+}
+
+// Moves extracts all coalescable moves of a function: φ-operand transfers
+// (placed on the incoming edge, charged at the predecessor's frequency) and
+// OpCopy instructions. Moves whose endpoints lack vertices (dead code) are
+// skipped.
+func Moves(b *ifg.Build, model spillcost.Model) []Move {
+	f := b.F
+	freqs := spillcost.BlockFrequencies(f, model)
+	var out []Move
+	add := func(dstVal, srcVal int, cost float64) {
+		dst, src := b.VertexOf[dstVal], b.VertexOf[srcVal]
+		if dst < 0 || src < 0 || dst == src {
+			return
+		}
+		out = append(out, Move{Dst: dst, Src: src, Cost: cost})
+	}
+	for _, blk := range f.Blocks {
+		for _, ins := range blk.Instrs {
+			switch ins.Op {
+			case ir.OpPhi:
+				for k, u := range ins.Uses {
+					if k < len(blk.Preds) {
+						add(ins.Def, u, freqs[blk.Preds[k]])
+					}
+				}
+			case ir.OpCopy:
+				add(ins.Def, ins.Uses[0], freqs[blk.ID])
+			}
+		}
+	}
+	return out
+}
+
+// Result reports a coalescing run.
+type Result struct {
+	// Rep maps each vertex to its representative after merging.
+	Rep []int
+	// Merged is the number of union operations performed.
+	Merged int
+	// EliminatedCost and TotalCost are the move costs removed and present.
+	EliminatedCost, TotalCost float64
+}
+
+// MovesEliminated returns the fraction of move cost eliminated (0 when
+// there are no moves).
+func (r *Result) MovesEliminated() float64 {
+	if r.TotalCost == 0 {
+		return 0
+	}
+	return r.EliminatedCost / r.TotalCost
+}
+
+// Policy selects the merge criterion.
+type Policy int
+
+const (
+	// Aggressive merges every non-interfering copy-related pair.
+	Aggressive Policy = iota
+	// Conservative applies the Briggs test with R registers.
+	Conservative
+)
+
+// Run coalesces the moves over the interference graph of b. R is only used
+// by the Conservative policy. Moves are processed in decreasing cost order
+// (most valuable merges first), the standard priority.
+func Run(b *ifg.Build, moves []Move, policy Policy, r int) *Result {
+	n := b.Graph.N()
+	res := &Result{Rep: make([]int, n)}
+	for i := range res.Rep {
+		res.Rep[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if res.Rep[x] != x {
+			res.Rep[x] = find(res.Rep[x])
+		}
+		return res.Rep[x]
+	}
+	// Working adjacency over representatives.
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int]bool)
+		b.Graph.VisitNeighbors(v, func(u int) { adj[v][u] = true })
+	}
+	merge := func(a, c int) {
+		// Merge c into a.
+		for u := range adj[c] {
+			if u != a {
+				adj[a][u] = true
+				delete(adj[u], c)
+				adj[u][a] = true
+			}
+		}
+		delete(adj[a], c)
+		adj[c] = nil
+		res.Rep[c] = a
+	}
+
+	sorted := append([]Move(nil), moves...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Cost > sorted[j].Cost })
+	for _, m := range sorted {
+		res.TotalCost += m.Cost
+		a, c := find(m.Dst), find(m.Src)
+		if a == c {
+			res.EliminatedCost += m.Cost // already coalesced by an earlier merge
+			continue
+		}
+		if adj[a][c] {
+			continue // interfering: the move is real
+		}
+		if policy == Conservative && !briggsOK(adj, a, c, r) {
+			continue
+		}
+		merge(a, c)
+		res.Merged++
+		res.EliminatedCost += m.Cost
+	}
+	return res
+}
+
+// briggsOK applies the Briggs conservative test: after merging a and c, the
+// combined node must have fewer than r neighbors of degree ≥ r. Such a merge
+// can never turn an r-colourable graph uncolourable (the merged node still
+// simplifies).
+func briggsOK(adj []map[int]bool, a, c, r int) bool {
+	if r <= 0 {
+		return false
+	}
+	significant := 0
+	seen := make(map[int]bool, len(adj[a])+len(adj[c]))
+	for _, side := range [2]int{a, c} {
+		for u := range adj[side] {
+			if u == a || u == c || seen[u] {
+				continue
+			}
+			seen[u] = true
+			deg := len(adj[u])
+			// If u neighbors both a and c, merging reduces its degree by
+			// one; account for that before comparing with r.
+			if adj[a][u] && adj[c][u] {
+				deg--
+			}
+			if deg >= r {
+				significant++
+				if significant >= r {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// MergedGraphColorableBySimplify checks the Briggs guarantee on the merged
+// graph: repeated removal of nodes with degree < r empties it. This is the
+// precise property conservative coalescing preserves (and the test suite
+// asserts).
+func MergedGraphColorableBySimplify(b *ifg.Build, res *Result, r int) bool {
+	// Rebuild merged adjacency.
+	n := b.Graph.N()
+	find := func(x int) int {
+		for res.Rep[x] != x {
+			x = res.Rep[x]
+		}
+		return x
+	}
+	adj := make(map[int]map[int]bool)
+	for v := 0; v < n; v++ {
+		rv := find(v)
+		if adj[rv] == nil {
+			adj[rv] = make(map[int]bool)
+		}
+		b.Graph.VisitNeighbors(v, func(u int) {
+			ru := find(u)
+			if ru != rv {
+				adj[rv][ru] = true
+				if adj[ru] == nil {
+					adj[ru] = make(map[int]bool)
+				}
+				adj[ru][rv] = true
+			}
+		})
+	}
+	for len(adj) > 0 {
+		removed := false
+		for v, nbrs := range adj {
+			if len(nbrs) < r {
+				for u := range nbrs {
+					delete(adj[u], v)
+				}
+				delete(adj, v)
+				removed = true
+			}
+		}
+		if !removed {
+			return false
+		}
+	}
+	return true
+}

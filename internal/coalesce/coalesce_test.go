@@ -1,0 +1,220 @@
+package coalesce_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/coalesce"
+	"repro/internal/ifg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/spillcost"
+)
+
+func prep(t *testing.T, src string) *ifg.Build {
+	t.Helper()
+	f := ir.MustParse(src)
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	return ifg.FromFunc(f)
+}
+
+const diamondSrc = `
+func d ssa {
+b0:
+  x = param 0
+  c = unary x
+  condbr c, b1, b2
+b1:
+  y = arith x, x
+  br b3
+b2:
+  z = arith x, c
+  br b3
+b3:
+  m = phi [b1: y], [b2: z]
+  ret m
+}`
+
+func TestMovesExtraction(t *testing.T) {
+	b := prep(t, diamondSrc)
+	moves := coalesce.Moves(b, spillcost.DefaultModel)
+	// Two φ operands: m←y on the b1 edge, m←z on the b2 edge.
+	if len(moves) != 2 {
+		t.Fatalf("moves = %v, want 2", moves)
+	}
+	for _, m := range moves {
+		if m.Cost != 1 {
+			t.Fatalf("flat-CFG move cost = %g, want 1", m.Cost)
+		}
+	}
+}
+
+func TestAggressiveCoalescesDiamondPhi(t *testing.T) {
+	b := prep(t, diamondSrc)
+	moves := coalesce.Moves(b, spillcost.DefaultModel)
+	res := coalesce.Run(b, moves, coalesce.Aggressive, 2)
+	// y and z never interfere with m: both moves disappear.
+	if res.Merged != 2 || res.MovesEliminated() != 1 {
+		t.Fatalf("merged=%d eliminated=%.2f, want 2 and 1.0",
+			res.Merged, res.MovesEliminated())
+	}
+}
+
+func TestInterferingMoveNotCoalesced(t *testing.T) {
+	// src stays live after the copy: dst and src interfere.
+	b := prep(t, `
+func c ssa {
+b0:
+  a = param 0
+  d = copy a
+  e = arith d, a
+  ret e
+}`)
+	moves := coalesce.Moves(b, spillcost.DefaultModel)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v", moves)
+	}
+	res := coalesce.Run(b, moves, coalesce.Aggressive, 4)
+	if res.Merged != 0 {
+		t.Fatal("interfering copy was coalesced")
+	}
+	if res.MovesEliminated() != 0 {
+		t.Fatal("eliminated cost nonzero")
+	}
+}
+
+func TestLoopPhiMoveCostUsesEdgeFrequency(t *testing.T) {
+	b := prep(t, `
+func l ssa {
+b0:
+  n = param 0
+  br b1
+b1:
+  i = phi [b0: n], [b2: j]
+  c = unary i
+  condbr c, b2, b3
+b2:
+  j = arith i, i
+  br b1
+b3:
+  ret i
+}`)
+	moves := coalesce.Moves(b, spillcost.DefaultModel)
+	if len(moves) != 2 {
+		t.Fatalf("moves = %v", moves)
+	}
+	// i←n charged at b0 (1), i←j at b2 (10).
+	var costs []float64
+	for _, m := range moves {
+		costs = append(costs, m.Cost)
+	}
+	if !(costs[0] == 1 && costs[1] == 10) && !(costs[0] == 10 && costs[1] == 1) {
+		t.Fatalf("move costs = %v, want {1, 10}", costs)
+	}
+}
+
+func genBuild(seed int64) *ifg.Build {
+	f := bench.GenSSA("t", seed, bench.Shape{
+		Params: 3, Segments: 3, MaxDepth: 3, StraightLen: 5,
+		LoopProb: 0.45, BranchProb: 0.3, Carried: 3, LongLived: 8,
+	})
+	return ifg.FromFunc(f)
+}
+
+// TestPropertyConservativePreservesSimplifiability: with R = MaxLive (the
+// graph colours greedily), the Briggs-tested merges keep the merged graph
+// fully simplifiable with R registers.
+func TestPropertyConservativePreservesSimplifiability(t *testing.T) {
+	prop := func(seed int64) bool {
+		b := genBuild(seed)
+		r := b.MaxLive
+		moves := coalesce.Moves(b, spillcost.DefaultModel)
+		res := coalesce.Run(b, moves, coalesce.Conservative, r)
+		return coalesce.MergedGraphColorableBySimplify(b, res, r)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAggressiveEliminatesAtLeastConservative: the aggressive policy
+// always removes at least as much move cost.
+func TestPropertyAggressiveDominatesConservative(t *testing.T) {
+	prop := func(seed int64) bool {
+		b := genBuild(seed)
+		moves := coalesce.Moves(b, spillcost.DefaultModel)
+		r := b.MaxLive
+		agg := coalesce.Run(b, moves, coalesce.Aggressive, r)
+		con := coalesce.Run(b, moves, coalesce.Conservative, r)
+		return agg.EliminatedCost >= con.EliminatedCost-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRepresentativesNeverInterfere: after any run, copy-related
+// merged classes contain no interfering pair.
+func TestPropertyMergedClassesStable(t *testing.T) {
+	prop := func(seed int64) bool {
+		b := genBuild(seed)
+		moves := coalesce.Moves(b, spillcost.DefaultModel)
+		res := coalesce.Run(b, moves, coalesce.Aggressive, 4)
+		find := func(x int) int {
+			for res.Rep[x] != x {
+				x = res.Rep[x]
+			}
+			return x
+		}
+		// No two vertices in the same class interfere.
+		classes := make(map[int][]int)
+		for v := 0; v < b.Graph.N(); v++ {
+			r := find(v)
+			classes[r] = append(classes[r], v)
+		}
+		for _, members := range classes {
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					if b.Graph.HasEdge(members[i], members[j]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoMoves(t *testing.T) {
+	b := prep(t, `
+func s ssa {
+b0:
+  a = param 0
+  ret a
+}`)
+	moves := coalesce.Moves(b, spillcost.DefaultModel)
+	if len(moves) != 0 {
+		t.Fatalf("moves = %v", moves)
+	}
+	res := coalesce.Run(b, moves, coalesce.Aggressive, 2)
+	if res.MovesEliminated() != 0 || res.Merged != 0 {
+		t.Fatal("phantom coalescing")
+	}
+}
+
+func TestLivenessIndependence(t *testing.T) {
+	// Sanity: Moves does not depend on liveness recomputation order.
+	f := ir.MustParse(diamondSrc)
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	info := liveness.Compute(f)
+	b := ifg.FromLiveness(info)
+	if len(coalesce.Moves(b, spillcost.DefaultModel)) != 2 {
+		t.Fatal("moves differ when built from explicit liveness")
+	}
+}

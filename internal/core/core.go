@@ -1,0 +1,169 @@
+// Package core is the high-level entry point of the layered register
+// allocation library: it wires the full decoupled pipeline together —
+// loop analysis, liveness, interference graph construction, spill cost
+// estimation, spill-everywhere allocation with a pluggable allocator,
+// tree-scan register assignment, and spill-code insertion.
+//
+// Typical use:
+//
+//	f := ir.MustParse(src)
+//	out, err := core.Run(f, core.Config{Registers: 8})
+//	// out.Result: which values stay in registers
+//	// out.RegisterOf: concrete register per value (SSA functions)
+//	// out.Rewritten: the function with spill/reload code inserted
+//
+// Lower-level control (custom cost models, direct graph problems) is
+// available from the internal packages this one composes: alloc, ifg,
+// liveness, spillcost, regassign.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/alloc/chaitin"
+	"repro/internal/alloc/layered"
+	"repro/internal/alloc/linearscan"
+	"repro/internal/alloc/optimal"
+	"repro/internal/ifg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/regassign"
+	"repro/internal/spillcost"
+)
+
+// Config controls a pipeline run.
+type Config struct {
+	// Registers is the register count R (required, ≥ 1).
+	Registers int
+	// Allocator selects the allocation algorithm. Nil picks the paper's
+	// best general-purpose chordal allocator (BFPL) for SSA functions and
+	// the layered heuristic (LH) for non-SSA functions.
+	Allocator alloc.Allocator
+	// CostModel overrides the spill-cost estimate (zero value = default).
+	CostModel spillcost.Model
+	// SkipRewrite disables spill-code insertion and register assignment
+	// (allocation decisions only).
+	SkipRewrite bool
+}
+
+// Outcome bundles everything a client may want from one allocation run.
+type Outcome struct {
+	F       *ir.Func
+	Build   *ifg.Build
+	Problem *alloc.Problem
+	Result  *alloc.Result
+	// SpilledValues lists the spilled value IDs, sorted.
+	SpilledValues []int
+	// SpillCost is the total cost of the spilled values.
+	SpillCost float64
+	// MaxLive is the peak register pressure before spilling.
+	MaxLive int
+	// RegisterOf maps value ID → register number (regassign.NoReg for
+	// spilled values); only set for SSA functions when SkipRewrite is off.
+	RegisterOf []int
+	// Rewritten is the function with spill-everywhere code inserted; only
+	// set for SSA functions when SkipRewrite is off.
+	Rewritten *ir.Func
+}
+
+// Run executes the decoupled register-allocation pipeline on f.
+func Run(f *ir.Func, cfg Config) (*Outcome, error) {
+	if cfg.Registers < 1 {
+		return nil, fmt.Errorf("core: Registers must be ≥ 1, got %d", cfg.Registers)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input function: %w", err)
+	}
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	info := liveness.Compute(f)
+	build := ifg.FromLiveness(info)
+	costs := spillcost.Costs(f, cfg.CostModel)
+	p := alloc.NewProblem(build, costs, cfg.Registers)
+	p.Intervals = linearscan.BuildIntervals(info, build)
+
+	a := cfg.Allocator
+	if a == nil {
+		if p.Chordal {
+			a = layered.BFPL()
+		} else {
+			a = layered.NewLH()
+		}
+	}
+	res := a.Allocate(p)
+	if err := p.Validate(res); err != nil {
+		return nil, fmt.Errorf("core: allocator %s returned an invalid allocation: %w", a.Name(), err)
+	}
+
+	out := &Outcome{
+		F:         f,
+		Build:     build,
+		Problem:   p,
+		Result:    res,
+		SpillCost: res.SpillCost(p),
+		MaxLive:   build.MaxLive,
+	}
+	for _, v := range res.Spilled() {
+		out.SpilledValues = append(out.SpilledValues, build.ValueOf[v])
+	}
+	sort.Ints(out.SpilledValues)
+
+	if !cfg.SkipRewrite && f.SSA && p.Chordal {
+		allocatedVals := make([]bool, f.NumValues)
+		for vx, al := range res.Allocated {
+			if al {
+				allocatedVals[build.ValueOf[vx]] = true
+			}
+		}
+		regOf, err := regassign.Assign(f, info, allocatedVals, cfg.Registers)
+		if err != nil {
+			return nil, fmt.Errorf("core: assignment after allocation failed: %w", err)
+		}
+		if err := regassign.VerifyAssignment(info, allocatedVals, regOf); err != nil {
+			return nil, fmt.Errorf("core: assignment verification failed: %w", err)
+		}
+		out.RegisterOf = regOf
+		spilledVals := make([]bool, f.NumValues)
+		for _, v := range out.SpilledValues {
+			spilledVals[v] = true
+		}
+		out.Rewritten = regassign.InsertSpillCode(f, spilledVals)
+		if err := out.Rewritten.Validate(); err != nil {
+			return nil, fmt.Errorf("core: spill-code rewrite broke the function: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// AllocatorByName resolves the paper's allocator names: NL, BL, FPL, BFPL,
+// LH, GC, DLS, BLS, Optimal.
+func AllocatorByName(name string) (alloc.Allocator, error) {
+	switch name {
+	case "NL":
+		return layered.NL(), nil
+	case "BL":
+		return layered.BL(), nil
+	case "FPL":
+		return layered.FPL(), nil
+	case "BFPL":
+		return layered.BFPL(), nil
+	case "LH":
+		return layered.NewLH(), nil
+	case "GC":
+		return chaitin.New(), nil
+	case "DLS":
+		return linearscan.DLS(), nil
+	case "BLS":
+		return linearscan.BLS(), nil
+	case "Optimal":
+		return optimal.New(), nil
+	}
+	return nil, fmt.Errorf("core: unknown allocator %q", name)
+}
+
+// AllocatorNames lists the registered allocator names.
+func AllocatorNames() []string {
+	return []string{"NL", "BL", "FPL", "BFPL", "LH", "GC", "DLS", "BLS", "Optimal"}
+}

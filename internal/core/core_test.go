@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alloc/optimal"
+	"repro/internal/ir"
+	"repro/internal/regassign"
+)
+
+const loopSrc = `
+func loop ssa {
+b0:
+  n = param 0
+  k = param 1
+  m = param 2
+  br b1
+b1:
+  i = phi [b0: n], [b2: j]
+  c = unary i
+  condbr c, b2, b3
+b2:
+  t = arith i, k
+  j = arith t, m
+  br b1
+b3:
+  r = arith i, k
+  ret r
+}`
+
+func TestRunPipelineSSA(t *testing.T) {
+	f := ir.MustParse(loopSrc)
+	out, err := Run(f, Config{Registers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxLive < 3 {
+		t.Fatalf("MaxLive = %d, expected pressure above 2", out.MaxLive)
+	}
+	if len(out.SpilledValues) == 0 {
+		t.Fatal("expected spills with R=2")
+	}
+	if out.Rewritten == nil || out.RegisterOf == nil {
+		t.Fatal("rewrite products missing")
+	}
+	if !strings.Contains(out.Rewritten.String(), "reload") {
+		t.Fatal("no reload in rewritten function")
+	}
+	// All allocated values have registers < R; spilled values have none.
+	spilled := map[int]bool{}
+	for _, v := range out.SpilledValues {
+		spilled[v] = true
+	}
+	for vx, al := range out.Result.Allocated {
+		val := out.Build.ValueOf[vx]
+		if al && (out.RegisterOf[val] < 0 || out.RegisterOf[val] >= 2) {
+			t.Fatalf("allocated value %s has register %d", f.NameOf(val), out.RegisterOf[val])
+		}
+		if !al && out.RegisterOf[val] != regassign.NoReg {
+			t.Fatalf("spilled value %s has a register", f.NameOf(val))
+		}
+	}
+}
+
+func TestRunNoSpillWhenEnoughRegisters(t *testing.T) {
+	f := ir.MustParse(loopSrc)
+	out, err := Run(f, Config{Registers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SpilledValues) != 0 {
+		t.Fatalf("spilled %v with 8 registers", out.SpilledValues)
+	}
+	if out.SpillCost != 0 {
+		t.Fatalf("SpillCost = %g", out.SpillCost)
+	}
+}
+
+func TestRunWithExplicitAllocator(t *testing.T) {
+	f := ir.MustParse(loopSrc)
+	opt, err := AllocatorByName("Optimal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outOpt, err := Run(f, Config{Registers: 2, Allocator: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDef, err := Run(ir.MustParse(loopSrc), Config{Registers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outDef.SpillCost < outOpt.SpillCost {
+		t.Fatalf("heuristic (%g) beat optimal (%g)", outDef.SpillCost, outOpt.SpillCost)
+	}
+	if _, ok := opt.(*optimal.Allocator); !ok {
+		t.Fatal("AllocatorByName(Optimal) wrong type")
+	}
+}
+
+func TestRunNonSSAUsesLH(t *testing.T) {
+	f := ir.MustParse(`
+func ns {
+b0:
+  x = param 0
+  y = param 1
+  z = arith x, y
+  x = arith z, z
+  store x, z
+  ret z
+}`)
+	out, err := Run(f, Config{Registers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Allocator != "LH" {
+		t.Fatalf("default non-SSA allocator = %s, want LH", out.Result.Allocator)
+	}
+	if out.Rewritten != nil {
+		t.Fatal("rewrite attempted on non-SSA function")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	f := ir.MustParse(loopSrc)
+	if _, err := Run(f, Config{Registers: 0}); err == nil {
+		t.Fatal("R=0 accepted")
+	}
+}
+
+func TestRunSkipRewrite(t *testing.T) {
+	f := ir.MustParse(loopSrc)
+	out, err := Run(f, Config{Registers: 2, SkipRewrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rewritten != nil || out.RegisterOf != nil {
+		t.Fatal("rewrite ran despite SkipRewrite")
+	}
+}
+
+func TestAllocatorByNameRegistry(t *testing.T) {
+	for _, name := range AllocatorNames() {
+		a, err := AllocatorByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("AllocatorByName(%s).Name() = %s", name, a.Name())
+		}
+	}
+	if _, err := AllocatorByName("bogus"); err == nil {
+		t.Fatal("unknown allocator accepted")
+	}
+}
+
+func TestRunAllNamedAllocatorsOnChordal(t *testing.T) {
+	// Graph-model allocators (not linear scan) all run through the
+	// pipeline on an SSA function.
+	for _, name := range []string{"NL", "BL", "FPL", "BFPL", "GC", "Optimal", "DLS", "BLS", "LH"} {
+		a, _ := AllocatorByName(name)
+		f := ir.MustParse(loopSrc)
+		out, err := Run(f, Config{Registers: 2, Allocator: a})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.SpillCost < 0 {
+			t.Fatalf("%s: negative spill cost", name)
+		}
+	}
+}

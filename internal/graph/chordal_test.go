@@ -1,0 +1,337 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// paperFig4Graph builds the chordal graph of the paper's Figure 4/5
+// reconstruction: vertices a..g = 0..6.
+//
+//	a-d a-f d-f e-f d-e c-d c-e e-g c-g b-c b-g
+const (
+	va = iota
+	vb
+	vc
+	vd
+	ve
+	vf
+	vg
+)
+
+func paperFig4Graph() *Graph {
+	g := New(7)
+	for _, e := range [][2]int{
+		{va, vd}, {va, vf}, {vd, vf}, {ve, vf}, {vd, ve},
+		{vc, vd}, {vc, ve}, {ve, vg}, {vc, vg}, {vb, vc}, {vb, vg},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestPaperGraphIsChordal(t *testing.T) {
+	g := paperFig4Graph()
+	if !g.IsChordal() {
+		t.Fatal("paper graph must be chordal")
+	}
+	// The paper's PEO [a, f, d, e, b, g, c] must be accepted.
+	if !g.IsPerfectEliminationOrder([]int{va, vf, vd, ve, vb, vg, vc}) {
+		t.Fatal("paper PEO rejected")
+	}
+}
+
+func TestNonChordalCycle(t *testing.T) {
+	// C4 is the canonical non-chordal graph.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	if g.IsChordal() {
+		t.Fatal("C4 reported chordal")
+	}
+	// Adding a chord makes it chordal.
+	g.AddEdge(0, 2)
+	if !g.IsChordal() {
+		t.Fatal("chorded C4 reported non-chordal")
+	}
+}
+
+func TestIsPEORejectsBadOrders(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.IsPerfectEliminationOrder([]int{0, 1}) {
+		t.Fatal("short order accepted")
+	}
+	if g.IsPerfectEliminationOrder([]int{0, 0, 1}) {
+		t.Fatal("duplicate order accepted")
+	}
+	// Path 0-1-2: eliminating 1 first requires {0,2} to be a clique.
+	if g.IsPerfectEliminationOrder([]int{1, 0, 2}) {
+		t.Fatal("non-simplicial first vertex accepted")
+	}
+	if !g.IsPerfectEliminationOrder([]int{0, 1, 2}) {
+		t.Fatal("valid PEO rejected")
+	}
+}
+
+func TestMaximalCliquesPaperGraph(t *testing.T) {
+	g := paperFig4Graph()
+	order := g.PerfectEliminationOrder()
+	cliques := g.MaximalCliques(order)
+	want := map[string]bool{
+		"[0 3 5]": true, // a d f
+		"[3 4 5]": true, // d e f
+		"[2 3 4]": true, // c d e
+		"[2 4 6]": true, // c e g
+		"[1 2 6]": true, // b c g
+	}
+	if len(cliques) != len(want) {
+		t.Fatalf("got %d cliques %v, want %d", len(cliques), cliques, len(want))
+	}
+	for _, c := range cliques {
+		if !want[fmtInts(c)] {
+			t.Errorf("unexpected clique %v", c)
+		}
+		if !g.IsClique(c) {
+			t.Errorf("non-clique %v returned", c)
+		}
+	}
+}
+
+func fmtInts(s []int) string {
+	out := "["
+	for i, v := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += string(rune('0' + v))
+	}
+	return out + "]"
+}
+
+func TestCliqueNumber(t *testing.T) {
+	g := paperFig4Graph()
+	if got := g.CliqueNumber(g.PerfectEliminationOrder()); got != 3 {
+		t.Fatalf("CliqueNumber = %d, want 3", got)
+	}
+	empty := New(3)
+	if got := empty.CliqueNumber(empty.PerfectEliminationOrder()); got != 1 {
+		t.Fatalf("edgeless CliqueNumber = %d, want 1", got)
+	}
+}
+
+func TestGreedyColorPEOPaperGraph(t *testing.T) {
+	g := paperFig4Graph()
+	order := g.PerfectEliminationOrder()
+	colors := g.GreedyColorPEO(order)
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if colors[u] == colors[v] {
+				t.Fatalf("adjacent %d and %d share colour %d", v, u, colors[v])
+			}
+		}
+	}
+	maxc := 0
+	for _, c := range colors {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	if maxc+1 != 3 {
+		t.Fatalf("used %d colours, want ω = 3", maxc+1)
+	}
+}
+
+func TestColorableWith(t *testing.T) {
+	g := paperFig4Graph()
+	all := make([]bool, g.N())
+	for i := range all {
+		all[i] = true
+	}
+	if g.ColorableWith(all, 2) {
+		t.Fatal("ω=3 graph reported 2-colourable")
+	}
+	if !g.ColorableWith(all, 3) {
+		t.Fatal("chordal graph not colourable with ω colours")
+	}
+	// Dropping d and g leaves the path b-c-e-f plus edge a-f: 2-colourable.
+	sub := append([]bool(nil), all...)
+	sub[vd] = false
+	sub[vg] = false
+	if !g.ColorableWith(sub, 2) {
+		t.Fatal("remaining graph should be 2-colourable")
+	}
+}
+
+func TestPropertyIntervalGraphsAreChordal(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomIntervalGraph(r, 2+r.Intn(30))
+		return g.IsChordal()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPEOOrderIsPermutation(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 1+r.Intn(30), 0.3)
+		order := g.PerfectEliminationOrder()
+		if len(order) != g.N() {
+			return false
+		}
+		seen := make([]bool, g.N())
+		for _, v := range order {
+			if v < 0 || v >= g.N() || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMaximalCliquesCoverChordalGraph(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomIntervalGraph(r, 2+r.Intn(25))
+		order := g.PerfectEliminationOrder()
+		if !g.IsPerfectEliminationOrder(order) {
+			return false
+		}
+		cliques := g.MaximalCliques(order)
+		// Every returned set is a clique and truly maximal.
+		for _, c := range cliques {
+			if !g.IsClique(c) {
+				return false
+			}
+			in := make(map[int]bool, len(c))
+			for _, v := range c {
+				in[v] = true
+			}
+			for v := 0; v < g.N(); v++ {
+				if in[v] {
+					continue
+				}
+				extends := true
+				for _, u := range c {
+					if !g.HasEdge(u, v) {
+						extends = false
+						break
+					}
+				}
+				if extends {
+					return false // c was not maximal
+				}
+			}
+		}
+		// Every edge and vertex is covered by some clique.
+		covered := make([]bool, g.N())
+		for _, c := range cliques {
+			for _, v := range c {
+				covered[v] = true
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if !covered[v] {
+				return false
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			for _, u := range g.Neighbors(v) {
+				if u < v {
+					continue
+				}
+				found := false
+				for _, c := range cliques {
+					has := 0
+					for _, x := range c {
+						if x == u || x == v {
+							has++
+						}
+					}
+					if has == 2 {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGreedyColoringOptimalOnChordal(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomIntervalGraph(r, 2+r.Intn(25))
+		order := g.PerfectEliminationOrder()
+		colors := g.GreedyColorPEO(order)
+		for v := 0; v < g.N(); v++ {
+			for _, u := range g.Neighbors(v) {
+				if colors[u] == colors[v] {
+					return false
+				}
+			}
+		}
+		maxc := 0
+		for _, c := range colors {
+			if c > maxc {
+				maxc = c
+			}
+		}
+		return maxc+1 == g.CliqueNumber(order)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPEODeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	g := randomIntervalGraph(r, 40)
+	first := g.PerfectEliminationOrder()
+	for i := 0; i < 5; i++ {
+		again := g.PerfectEliminationOrder()
+		if !equalInts(first, again) {
+			t.Fatalf("PEO differs across runs: %v vs %v", first, again)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMaximalCliquesSortedOutput(t *testing.T) {
+	g := paperFig4Graph()
+	for _, c := range g.MaximalCliques(g.PerfectEliminationOrder()) {
+		if !sort.IntsAreSorted(c) {
+			t.Fatalf("clique %v not sorted", c)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package graph
+
+import "sort"
+
+// CliqueTree is a clique tree (junction tree) of a chordal graph: one node
+// per maximal clique, connected so that for every vertex v the cliques
+// containing v induce a subtree. Register-allocation-wise, the clique tree
+// is the program's pressure skeleton: each node is a program region's live
+// set, and edges share the values that flow between adjacent regions.
+type CliqueTree struct {
+	// Cliques are the maximal cliques (sorted vertex sets).
+	Cliques [][]int
+	// Parent[i] is the index of clique i's parent (-1 for roots; the tree
+	// may be a forest when the graph is disconnected).
+	Parent []int
+	// Separator[i] is the intersection of clique i with its parent (nil
+	// for roots).
+	Separator [][]int
+}
+
+// BuildCliqueTree constructs a clique tree of a chordal graph from a perfect
+// elimination order, as a maximum-weight spanning forest of the clique graph
+// (edges weighted by intersection size) — the classical characterization of
+// clique trees for chordal graphs. Separators are the intersections with the
+// parent clique.
+//
+// Results are undefined for non-chordal graphs; callers should check
+// IsChordal first.
+func (g *Graph) BuildCliqueTree(order []int) *CliqueTree {
+	cliques := g.MaximalCliques(order)
+	k := len(cliques)
+	t := &CliqueTree{
+		Cliques:   cliques,
+		Parent:    make([]int, k),
+		Separator: make([][]int, k),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	if k == 0 {
+		return t
+	}
+	member := make([][]bool, k)
+	for i, c := range cliques {
+		member[i] = make([]bool, g.n)
+		for _, v := range c {
+			member[i][v] = true
+		}
+	}
+	overlap := func(i, j int) int {
+		count := 0
+		for _, v := range cliques[i] {
+			if member[j][v] {
+				count++
+			}
+		}
+		return count
+	}
+	// Prim's algorithm for a maximum-weight spanning forest, restarted per
+	// component; zero-weight edges never connect (disjoint cliques stay in
+	// separate trees).
+	inTree := make([]bool, k)
+	bestW := make([]int, k)  // best connection weight seen so far
+	bestTo := make([]int, k) // the tree node providing it
+	for i := range bestTo {
+		bestTo[i] = -1
+	}
+	for start := 0; start < k; start++ {
+		if inTree[start] {
+			continue
+		}
+		inTree[start] = true // a new root
+		for j := 0; j < k; j++ {
+			if !inTree[j] {
+				if w := overlap(start, j); w > bestW[j] {
+					bestW[j], bestTo[j] = w, start
+				}
+			}
+		}
+		for {
+			next, nw := -1, 0
+			for j := 0; j < k; j++ {
+				if !inTree[j] && bestW[j] > nw {
+					next, nw = j, bestW[j]
+				}
+			}
+			if next < 0 {
+				break // component exhausted
+			}
+			inTree[next] = true
+			t.Parent[next] = bestTo[next]
+			var sep []int
+			for _, v := range cliques[next] {
+				if member[bestTo[next]][v] {
+					sep = append(sep, v)
+				}
+			}
+			sort.Ints(sep)
+			t.Separator[next] = sep
+			for j := 0; j < k; j++ {
+				if !inTree[j] {
+					if w := overlap(next, j); w > bestW[j] {
+						bestW[j], bestTo[j] = w, next
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Validate checks the clique-tree invariants: every separator is shared with
+// the parent, and every vertex's cliques induce a connected subtree (the
+// running-intersection property). It returns false with a description when
+// an invariant fails.
+func (t *CliqueTree) Validate(g *Graph) (bool, string) {
+	for i, sep := range t.Separator {
+		if t.Parent[i] == -1 {
+			if sep != nil {
+				return false, "root with a separator"
+			}
+			continue
+		}
+		parent := t.Cliques[t.Parent[i]]
+		pm := make(map[int]bool, len(parent))
+		for _, v := range parent {
+			pm[v] = true
+		}
+		for _, v := range sep {
+			if !pm[v] {
+				return false, "separator vertex missing from parent"
+			}
+		}
+	}
+	// Running intersection: for each vertex, its cliques form a subtree.
+	cliquesOf := make(map[int][]int)
+	for i, c := range t.Cliques {
+		for _, v := range c {
+			cliquesOf[v] = append(cliquesOf[v], i)
+		}
+	}
+	for _, nodes := range cliquesOf {
+		if len(nodes) <= 1 {
+			continue
+		}
+		// Walk up from each node; the subtree is connected iff all nodes
+		// reach a common "highest" node through nodes that also contain v.
+		in := make(map[int]bool, len(nodes))
+		for _, n := range nodes {
+			in[n] = true
+		}
+		connected := 0
+		for _, n := range nodes {
+			p := t.Parent[n]
+			if p != -1 && in[p] {
+				connected++
+			}
+		}
+		// A tree on k nodes has k-1 edges; the induced subgraph must too.
+		if connected != len(nodes)-1 {
+			return false, "vertex cliques do not induce a subtree"
+		}
+	}
+	return true, ""
+}
+
+// TreeWidth returns the width of the clique tree (largest clique size minus
+// one); for an interference graph this is MaxLive − 1.
+func (t *CliqueTree) TreeWidth() int {
+	w := 0
+	for _, c := range t.Cliques {
+		if len(c) > w {
+			w = len(c)
+		}
+	}
+	return w - 1
+}
+
+// Roots lists the tree roots (one per connected component of the graph's
+// clique structure).
+func (t *CliqueTree) Roots() []int {
+	var roots []int
+	for i, p := range t.Parent {
+		if p == -1 {
+			roots = append(roots, i)
+		}
+	}
+	sort.Ints(roots)
+	return roots
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCliqueTreePaperGraph(t *testing.T) {
+	g := paperFig4Graph()
+	order := g.PerfectEliminationOrder()
+	tree := g.BuildCliqueTree(order)
+	if len(tree.Cliques) != 5 {
+		t.Fatalf("clique count = %d, want 5", len(tree.Cliques))
+	}
+	if ok, why := tree.Validate(g); !ok {
+		t.Fatalf("invalid clique tree: %s", why)
+	}
+	if tree.TreeWidth() != 2 {
+		t.Fatalf("treewidth = %d, want 2 (ω−1)", tree.TreeWidth())
+	}
+	if len(tree.Roots()) != 1 {
+		t.Fatalf("roots = %v, want exactly one for a connected graph", tree.Roots())
+	}
+}
+
+func TestCliqueTreeDisconnected(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1) // component 1
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(2, 4) // component 2: triangle
+	tree := g.BuildCliqueTree(g.PerfectEliminationOrder())
+	if ok, why := tree.Validate(g); !ok {
+		t.Fatalf("invalid clique tree: %s", why)
+	}
+	if len(tree.Roots()) != 2 {
+		t.Fatalf("roots = %v, want 2 (one per component)", tree.Roots())
+	}
+}
+
+func TestCliqueTreeSingleClique(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	tree := g.BuildCliqueTree(g.PerfectEliminationOrder())
+	if len(tree.Cliques) != 1 || tree.Parent[0] != -1 {
+		t.Fatalf("single clique tree wrong: %+v", tree)
+	}
+}
+
+func TestPropertyCliqueTreeValid(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomIntervalGraph(r, 2+r.Intn(30))
+		order := g.PerfectEliminationOrder()
+		if !g.IsPerfectEliminationOrder(order) {
+			return false
+		}
+		tree := g.BuildCliqueTree(order)
+		ok, _ := tree.Validate(g)
+		if !ok {
+			return false
+		}
+		// Treewidth+1 equals the clique number.
+		return tree.TreeWidth()+1 == g.CliqueNumber(order)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package graph provides weighted undirected graphs and the chordal-graph
+// machinery (perfect elimination orders, maximal cliques, greedy colouring)
+// that layered register allocation is built on.
+//
+// Vertices are dense integer IDs in [0, N). Most allocator-facing code works
+// with a *Graph plus a parallel weight slice; the Weighted helper bundles the
+// two. The package is deterministic: every enumeration (neighbors, cliques,
+// orders) is returned in a stable order so allocation results are
+// reproducible run to run.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is an undirected graph over vertices 0..N-1. The zero value is an
+// empty graph with no vertices; use New to pre-size.
+type Graph struct {
+	n   int
+	adj []map[int]bool // adjacency sets, one per vertex
+}
+
+// New returns a graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	g := &Graph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// AddVertex appends a fresh vertex and returns its ID.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, make(map[int]bool))
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge inserts the undirected edge (u, v). Self-loops are rejected;
+// duplicate insertions are no-ops.
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	return g.adj[u][v]
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Neighbors returns the neighbors of v in ascending order. The slice is
+// freshly allocated and safe for the caller to retain.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// VisitNeighbors calls fn for every neighbor of v in unspecified order.
+// It avoids the allocation of Neighbors for hot paths.
+func (g *Graph) VisitNeighbors(v int, fn func(u int)) {
+	g.check(v)
+	for u := range g.adj[v] {
+		fn(u)
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for v, a := range g.adj {
+		for u := range a {
+			c.adj[v][u] = true
+		}
+	}
+	return c
+}
+
+// RemoveVertexEdges detaches v from all of its neighbors, leaving v present
+// but isolated. Register allocators use this to take a spilled variable out
+// of the interference structure without renumbering.
+func (g *Graph) RemoveVertexEdges(v int) {
+	g.check(v)
+	for u := range g.adj[v] {
+		delete(g.adj[u], v)
+	}
+	g.adj[v] = make(map[int]bool)
+}
+
+// InducedSubgraph returns the subgraph induced by keep along with the
+// mapping from new vertex IDs to original ones (newToOld). Vertices are
+// renumbered 0..len(keep)-1 in the sorted order of keep.
+func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
+	newToOld := append([]int(nil), keep...)
+	sort.Ints(newToOld)
+	oldToNew := make(map[int]int, len(newToOld))
+	for i, v := range newToOld {
+		g.check(v)
+		oldToNew[v] = i
+	}
+	sub := New(len(newToOld))
+	for i, v := range newToOld {
+		for u := range g.adj[v] {
+			if j, ok := oldToNew[u]; ok && j > i {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	return sub, newToOld
+}
+
+// IsStableSet reports whether no two vertices of s are adjacent.
+func (g *Graph) IsStableSet(s []int) bool {
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if g.HasEdge(s[i], s[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsClique reports whether every two distinct vertices of s are adjacent.
+func (g *Graph) IsClique(s []int) bool {
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if !g.HasEdge(s[i], s[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the graph as "n=<N> m=<M> edges=[(u,v) ...]" with edges in
+// lexicographic order, mainly for test failure messages.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d m=%d edges=[", g.n, g.M())
+	first := true
+	for v := 0; v < g.n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				if !first {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "(%d,%d)", v, u)
+				first = false
+			}
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// Weighted bundles a graph with per-vertex non-negative weights (spill
+// costs). The two slices are parallel: Weight[v] is the cost of vertex v.
+type Weighted struct {
+	*Graph
+	Weight []float64
+}
+
+// NewWeighted wraps g with the given weights. It panics if the lengths
+// disagree or any weight is negative.
+func NewWeighted(g *Graph, weight []float64) *Weighted {
+	if len(weight) != g.N() {
+		panic(fmt.Sprintf("graph: %d weights for %d vertices", len(weight), g.N()))
+	}
+	for v, w := range weight {
+		if w < 0 {
+			panic(fmt.Sprintf("graph: negative weight %g on vertex %d", w, v))
+		}
+	}
+	return &Weighted{Graph: g, Weight: weight}
+}
+
+// TotalWeight returns the sum of all vertex weights.
+func (w *Weighted) TotalWeight() float64 {
+	total := 0.0
+	for _, x := range w.Weight {
+		total += x
+	}
+	return total
+}
+
+// SetWeight returns the sum of weights over the vertex set s.
+func (w *Weighted) SetWeight(s []int) float64 {
+	total := 0.0
+	for _, v := range s {
+		total += w.Weight[v]
+	}
+	return total
+}

@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph has N=%d M=%d", g.N(), g.M())
+	}
+	if !g.IsChordal() {
+		t.Fatal("empty graph must be chordal")
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1) // duplicate is a no-op
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge (0,1) missing or not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("unexpected edge (0,2)")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatalf("degrees wrong: deg(1)=%d deg(3)=%d", g.Degree(1), g.Degree(3))
+	}
+	if got := g.Neighbors(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Neighbors(1) = %v", got)
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop did not panic")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range vertex did not panic")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(1)
+	v := g.AddVertex()
+	if v != 1 || g.N() != 2 {
+		t.Fatalf("AddVertex = %d, N = %d", v, g.N())
+	}
+	g.AddEdge(0, v)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("edge to fresh vertex missing")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("clone shares edge storage with original")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Fatal("clone lost an edge")
+	}
+}
+
+func TestRemoveVertexEdges(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.RemoveVertexEdges(0)
+	if g.Degree(0) != 0 {
+		t.Fatalf("vertex 0 still has degree %d", g.Degree(0))
+	}
+	if g.HasEdge(1, 0) || g.HasEdge(2, 0) {
+		t.Fatal("neighbors still see removed vertex")
+	}
+	if !g.HasEdge(1, 2) {
+		t.Fatal("unrelated edge removed")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 4)
+	sub, newToOld := g.InducedSubgraph([]int{4, 1, 3})
+	if sub.N() != 3 {
+		t.Fatalf("sub.N = %d", sub.N())
+	}
+	// newToOld sorted: [1, 3, 4]
+	if newToOld[0] != 1 || newToOld[1] != 3 || newToOld[2] != 4 {
+		t.Fatalf("newToOld = %v", newToOld)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Fatalf("subgraph edges wrong: %v", sub)
+	}
+}
+
+func TestStableAndClique(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	if !g.IsClique([]int{0, 1, 2}) {
+		t.Fatal("triangle not recognized as clique")
+	}
+	if g.IsClique([]int{0, 1, 3}) {
+		t.Fatal("non-clique accepted")
+	}
+	if !g.IsStableSet([]int{0, 3}) {
+		t.Fatal("stable set rejected")
+	}
+	if g.IsStableSet([]int{0, 1}) {
+		t.Fatal("adjacent pair accepted as stable")
+	}
+	if !g.IsStableSet(nil) || !g.IsClique(nil) {
+		t.Fatal("empty set must be both stable and a clique")
+	}
+}
+
+func TestWeightedBasics(t *testing.T) {
+	g := New(3)
+	w := NewWeighted(g, []float64{1, 2, 3})
+	if w.TotalWeight() != 6 {
+		t.Fatalf("TotalWeight = %g", w.TotalWeight())
+	}
+	if w.SetWeight([]int{0, 2}) != 4 {
+		t.Fatalf("SetWeight = %g", w.SetWeight([]int{0, 2}))
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"length mismatch": func() { NewWeighted(New(2), []float64{1}) },
+		"negative weight": func() { NewWeighted(New(1), []float64{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// randomGraph builds an Erdős–Rényi graph for property tests.
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// randomIntervalGraph builds an interval graph (always chordal) from random
+// intervals.
+func randomIntervalGraph(rng *rand.Rand, n int) *Graph {
+	type iv struct{ lo, hi int }
+	ivs := make([]iv, n)
+	for i := range ivs {
+		a, b := rng.Intn(4*n), rng.Intn(4*n)
+		if a > b {
+			a, b = b, a
+		}
+		ivs[i] = iv{a, b}
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ivs[i].lo <= ivs[j].hi && ivs[j].lo <= ivs[i].hi {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestPropertySubgraphPreservesAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		g := randomGraph(r, n, 0.3)
+		var keep []int
+		for v := 0; v < n; v++ {
+			if r.Intn(2) == 0 {
+				keep = append(keep, v)
+			}
+		}
+		sub, newToOld := g.InducedSubgraph(keep)
+		for i := 0; i < sub.N(); i++ {
+			for j := i + 1; j < sub.N(); j++ {
+				if sub.HasEdge(i, j) != g.HasEdge(newToOld[i], newToOld[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEdgeCountMatchesDegreeSum(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 1+r.Intn(25), 0.4)
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

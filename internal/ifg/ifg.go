@@ -1,0 +1,211 @@
+// Package ifg builds interference graphs from liveness information.
+//
+// For a strict-SSA function, live ranges are subtrees of the dominance tree,
+// so the interference graph built here is chordal and its maximal cliques
+// correspond to live sets at program points — the structural facts layered
+// allocation relies on. For non-SSA functions the same construction yields a
+// general graph; the live sets are still exported as the register-pressure
+// constraints ("point cliques") used by the pressure-based allocators and
+// the exact solver.
+package ifg
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Build is the result of constructing an interference graph.
+type Build struct {
+	F *ir.Func
+	// Graph has one vertex per allocable value; VertexOf/ValueOf translate.
+	Graph *graph.Graph
+	// VertexOf maps value ID to vertex (-1 when the value never occurs).
+	VertexOf []int
+	// ValueOf maps vertex to value ID.
+	ValueOf []int
+	// LiveSets holds the distinct program-point live sets translated to
+	// vertex IDs, each sorted. Every live set is a clique of Graph.
+	LiveSets [][]int
+	// MaxLive is the peak register pressure.
+	MaxLive int
+}
+
+// FromFunc computes liveness and builds the interference graph in one step.
+func FromFunc(f *ir.Func) *Build {
+	return FromLiveness(liveness.Compute(f))
+}
+
+// FromLiveness builds the interference graph from precomputed liveness.
+//
+// Vertices are created for every value that is defined or live anywhere.
+// Interference edges are added def-against-live (Chaitin's construction,
+// with phi defs interfering with the live-ins of their block), plus
+// clique edges for every program-point live set so that the graph is
+// exactly the intersection graph of live ranges.
+func FromLiveness(info *liveness.Info) *Build {
+	f := info.F
+	b := &Build{
+		F:        f,
+		VertexOf: make([]int, f.NumValues),
+		MaxLive:  info.MaxLive,
+	}
+	for i := range b.VertexOf {
+		b.VertexOf[i] = -1
+	}
+	present := make([]bool, f.NumValues)
+	mark := func(v int) {
+		if v >= 0 && v < f.NumValues {
+			present[v] = true
+		}
+	}
+	for _, blk := range f.Blocks {
+		for _, ins := range blk.Instrs {
+			if ins.Op.HasDef() && ins.Def != ir.NoValue {
+				mark(ins.Def)
+			}
+			for _, u := range ins.Uses {
+				mark(u)
+			}
+		}
+	}
+	for _, p := range info.Points {
+		for _, v := range p.Live {
+			mark(v)
+		}
+	}
+	for v := 0; v < f.NumValues; v++ {
+		if present[v] {
+			b.VertexOf[v] = len(b.ValueOf)
+			b.ValueOf = append(b.ValueOf, v)
+		}
+	}
+	b.Graph = graph.New(len(b.ValueOf))
+
+	// Every program-point live set is a set of simultaneously live values:
+	// make each a clique. This subsumes the def-vs-live rule because the
+	// point before an instruction's successor... more precisely, the def is
+	// in the live set of the point just after the definition whenever it is
+	// used later, and values dead immediately still appear via the def
+	// point's live-before set of the *next* instruction. To also catch
+	// defs that are never used (dead defs still occupy a register at their
+	// definition), add explicit def-vs-live-after edges below.
+	seen := make(map[string]bool)
+	for _, p := range info.Points {
+		if len(p.Live) < 1 {
+			continue
+		}
+		vs := make([]int, len(p.Live))
+		for i, v := range p.Live {
+			vs[i] = b.VertexOf[v]
+		}
+		key := fingerprint(vs)
+		if !seen[key] {
+			seen[key] = true
+			b.LiveSets = append(b.LiveSets, vs)
+		}
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				b.Graph.AddEdge(vs[i], vs[j])
+			}
+		}
+	}
+
+	// Def-vs-live edges for dead or immediately-dead definitions: walk each
+	// block backward like the liveness point computation and connect each
+	// def to everything live after it.
+	liveAfter := make(map[int]bool)
+	for _, blk := range f.Blocks {
+		clear(liveAfter)
+		for _, v := range info.LiveOut[blk.ID] {
+			liveAfter[v] = true
+		}
+		for i := len(blk.Instrs) - 1; i >= 0; i-- {
+			ins := &blk.Instrs[i]
+			if ins.Op == ir.OpPhi {
+				continue
+			}
+			if ins.Op.HasDef() && ins.Def != ir.NoValue {
+				dv := b.VertexOf[ins.Def]
+				for u := range liveAfter {
+					if u != ins.Def {
+						b.Graph.AddEdge(dv, b.VertexOf[u])
+					}
+				}
+				delete(liveAfter, ins.Def)
+			}
+			for _, u := range ins.Uses {
+				liveAfter[u] = true
+			}
+		}
+		// Phi defs all occupy registers simultaneously at the block
+		// boundary and against the block's live-in set.
+		var phiDefs []int
+		for _, ins := range blk.Instrs {
+			if ins.Op == ir.OpPhi {
+				phiDefs = append(phiDefs, ins.Def)
+			}
+		}
+		if len(phiDefs) > 0 {
+			for i := 0; i < len(phiDefs); i++ {
+				for j := i + 1; j < len(phiDefs); j++ {
+					b.Graph.AddEdge(b.VertexOf[phiDefs[i]], b.VertexOf[phiDefs[j]])
+				}
+				for _, u := range info.LiveIn[blk.ID] {
+					if u != phiDefs[i] {
+						b.Graph.AddEdge(b.VertexOf[phiDefs[i]], b.VertexOf[u])
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(b.LiveSets, func(i, j int) bool {
+		return lessIntSlice(b.LiveSets[i], b.LiveSets[j])
+	})
+	return b
+}
+
+// Names returns the printable value names for a vertex set, sorted, for
+// diagnostics.
+func (b *Build) Names(vertices []int) []string {
+	out := make([]string, len(vertices))
+	for i, v := range vertices {
+		out[i] = b.F.NameOf(b.ValueOf[v])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fingerprint(s []int) string {
+	buf := make([]byte, 0, len(s)*4)
+	for _, v := range s {
+		buf = appendInt(buf, v)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+func appendInt(buf []byte, v int) []byte {
+	if v == 0 {
+		return append(buf, '0')
+	}
+	var tmp [12]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(buf, tmp[i:]...)
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,208 @@
+package ifg
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+func build(t *testing.T, src string) *Build {
+	t.Helper()
+	return FromFunc(ir.MustParse(src))
+}
+
+func vertexByName(t *testing.T, b *Build, name string) int {
+	t.Helper()
+	for id, n := range b.F.ValueName {
+		if n == name {
+			if v := b.VertexOf[id]; v >= 0 {
+				return v
+			}
+			t.Fatalf("value %s has no vertex", name)
+		}
+	}
+	t.Fatalf("no value named %s", name)
+	return -1
+}
+
+func TestInterferenceStraightLine(t *testing.T) {
+	b := build(t, `
+func s ssa {
+b0:
+  a = param 0
+  b = param 1
+  c = arith a, b
+  d = arith c, a
+  ret d
+}`)
+	a := vertexByName(t, b, "a")
+	bb := vertexByName(t, b, "b")
+	c := vertexByName(t, b, "c")
+	d := vertexByName(t, b, "d")
+	for _, want := range [][2]int{{a, bb}, {a, c}} {
+		if !b.Graph.HasEdge(want[0], want[1]) {
+			t.Errorf("missing interference %v", want)
+		}
+	}
+	// b dies at c's definition: b–d must not interfere; c dies at d.
+	for _, no := range [][2]int{{bb, d}, {c, d}} {
+		if b.Graph.HasEdge(no[0], no[1]) {
+			t.Errorf("spurious interference %v", no)
+		}
+	}
+}
+
+func TestSSAGraphIsChordalAndCliquesMatchLiveSets(t *testing.T) {
+	b := build(t, `
+func f ssa {
+b0:
+  a = param 0
+  k = param 1
+  c = unary a
+  condbr c, b1, b2
+b1:
+  y = arith a, k
+  br b3
+b2:
+  z = arith a, a
+  br b3
+b3:
+  m = phi [b1: y], [b2: z]
+  r = arith m, k
+  ret r
+}`)
+	if !b.Graph.IsChordal() {
+		t.Fatal("strict-SSA interference graph not chordal")
+	}
+	// Every live set is a clique.
+	for _, ls := range b.LiveSets {
+		if !b.Graph.IsClique(ls) {
+			t.Fatalf("live set %v is not a clique", b.Names(ls))
+		}
+	}
+	// Every maximal clique equals some live set (the Hack correspondence).
+	order := b.Graph.PerfectEliminationOrder()
+	liveKeys := map[string]bool{}
+	for _, ls := range b.LiveSets {
+		liveKeys[fingerprint(ls)] = true
+	}
+	for _, c := range b.Graph.MaximalCliques(order) {
+		if !liveKeys[fingerprint(c)] {
+			t.Errorf("maximal clique %v is not a program-point live set", b.Names(c))
+		}
+	}
+}
+
+func TestDeadDefInterferes(t *testing.T) {
+	b := build(t, `
+func dead ssa {
+b0:
+  a = param 0
+  b = arith a, a
+  ret a
+}`)
+	a := vertexByName(t, b, "a")
+	bb := vertexByName(t, b, "b")
+	if !b.Graph.HasEdge(a, bb) {
+		t.Fatal("dead def must interfere with values live across it")
+	}
+}
+
+func TestPhiDefsInterfere(t *testing.T) {
+	b := build(t, `
+func p ssa {
+b0:
+  a = param 0
+  b = param 1
+  c = unary a
+  condbr c, b1, b2
+b1:
+  x1 = arith a, a
+  y1 = arith b, b
+  br b3
+b2:
+  x2 = arith a, b
+  y2 = arith b, a
+  br b3
+b3:
+  x = phi [b1: x1], [b2: x2]
+  y = phi [b1: y1], [b2: y2]
+  r = arith x, y
+  ret r
+}`)
+	x := vertexByName(t, b, "x")
+	y := vertexByName(t, b, "y")
+	if !b.Graph.HasEdge(x, y) {
+		t.Fatal("simultaneous phi defs must interfere")
+	}
+}
+
+func TestNonSSAOverlappingRedefinitions(t *testing.T) {
+	// u and v alternate definitions so their ranges overlap in a pattern
+	// producing a 4-cycle with w, s: the classic non-chordal shape.
+	b := build(t, `
+func ns {
+b0:
+  u = param 0
+  v = param 1
+  w = arith u, v
+  u = arith w, w
+  s = arith u, w
+  v = arith s, s
+  store u, v
+  ret s
+}`)
+	if b.Graph.N() == 0 {
+		t.Fatal("no vertices built")
+	}
+	for _, ls := range b.LiveSets {
+		if !b.Graph.IsClique(ls) {
+			t.Fatalf("live set %v not a clique", ls)
+		}
+	}
+}
+
+func TestMaxLiveExported(t *testing.T) {
+	f := ir.MustParse(`
+func m ssa {
+b0:
+  a = param 0
+  b = param 1
+  c = param 2
+  d = arith a, b
+  e = arith d, c
+  f1 = arith e, a
+  ret f1
+}`)
+	info := liveness.Compute(f)
+	b := FromLiveness(info)
+	if b.MaxLive != info.MaxLive || b.MaxLive != 3 {
+		t.Fatalf("MaxLive = %d (info %d), want 3", b.MaxLive, info.MaxLive)
+	}
+	// MaxLive equals the largest live set size.
+	max := 0
+	for _, ls := range b.LiveSets {
+		if len(ls) > max {
+			max = len(ls)
+		}
+	}
+	if max != b.MaxLive {
+		t.Fatalf("largest live set %d != MaxLive %d", max, b.MaxLive)
+	}
+}
+
+func TestVertexMappingRoundTrip(t *testing.T) {
+	b := build(t, `
+func r ssa {
+b0:
+  a = param 0
+  b = arith a, a
+  ret b
+}`)
+	for v, val := range b.ValueOf {
+		if b.VertexOf[val] != v {
+			t.Fatalf("mapping mismatch: vertex %d value %d back to %d", v, val, b.VertexOf[val])
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package ir
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorpusRoundTrip parses every .ir file under testdata, validates it,
+// prints it back, reparses, and requires the second print to be identical
+// (print∘parse is a fixpoint).
+func TestCorpusRoundTrip(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.ir")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			first := f.String()
+			g, err := Parse(first)
+			if err != nil {
+				t.Fatalf("reparse: %v\n%s", err, first)
+			}
+			if second := g.String(); second != first {
+				t.Fatalf("print/parse not a fixpoint:\n%s\nvs\n%s", first, second)
+			}
+		})
+	}
+}
+
+// TestCorpusAnalyses runs dominance, loops and liveness-sensitive checks
+// over the corpus to pin their observable behaviour.
+func TestCorpusAnalyses(t *testing.T) {
+	files, _ := filepath.Glob("testdata/*.ir")
+	for _, file := range files {
+		src, _ := os.ReadFile(file)
+		f := MustParse(string(src))
+		dom := f.ComputeDominance()
+		headers := f.ComputeLoops(dom)
+		if strings.Contains(file, "dot") && len(headers) != 1 {
+			t.Errorf("%s: %d loop headers, want 1", file, len(headers))
+		}
+		if strings.Contains(file, "maxpressure") && len(headers) != 0 {
+			t.Errorf("%s: unexpected loops", file)
+		}
+		for _, b := range f.Blocks {
+			if dom.Order[b.ID] >= 0 && b.ID != 0 && dom.Idom[b.ID] < 0 {
+				t.Errorf("%s: reachable block %s lacks an idom", file, b.Name)
+			}
+		}
+	}
+}

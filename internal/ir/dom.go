@@ -1,0 +1,177 @@
+package ir
+
+// Dominance holds the dominator tree of a function, computed with the
+// Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast Dominance
+// Algorithm"). Block 0 is the root; unreachable blocks have Idom -1 and are
+// excluded from the tree.
+type Dominance struct {
+	// Idom[b] is the immediate dominator of block b (-1 for the entry and
+	// for unreachable blocks).
+	Idom []int
+	// Children[b] lists the blocks immediately dominated by b, in
+	// reverse-postorder for determinism.
+	Children [][]int
+	// Order[b] is the reverse-postorder number of block b (-1 if
+	// unreachable).
+	Order []int
+	// Postorder lists reachable block IDs in postorder.
+	Postorder []int
+}
+
+// ComputeDominance builds dominance information for f.
+func (f *Func) ComputeDominance() *Dominance {
+	n := len(f.Blocks)
+	d := &Dominance{
+		Idom:     make([]int, n),
+		Children: make([][]int, n),
+		Order:    make([]int, n),
+	}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+		d.Order[i] = -1
+	}
+	// Iterative DFS postorder from the entry.
+	visited := make([]bool, n)
+	type frame struct {
+		block int
+		next  int
+	}
+	stack := []frame{{block: 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		succs := f.Blocks[top.block].Succs
+		if top.next < len(succs) {
+			s := succs[top.next]
+			top.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{block: s})
+			}
+			continue
+		}
+		d.Postorder = append(d.Postorder, top.block)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]int, 0, len(d.Postorder))
+	for i := len(d.Postorder) - 1; i >= 0; i-- {
+		rpo = append(rpo, d.Postorder[i])
+	}
+	for i, b := range rpo {
+		d.Order[b] = i
+	}
+
+	// Iterate to fixpoint over reverse postorder.
+	d.Idom[0] = 0 // CHK convention: entry's idom is itself during iteration
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range f.Blocks[b].Preds {
+				if d.Order[p] < 0 || d.Idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && d.Idom[b] != newIdom {
+				d.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.Idom[0] = -1 // restore the usual convention for the entry
+	for _, b := range rpo {
+		if b == 0 {
+			continue
+		}
+		if p := d.Idom[b]; p >= 0 {
+			d.Children[p] = append(d.Children[p], b)
+		}
+	}
+	return d
+}
+
+func (d *Dominance) intersect(a, b int) int {
+	for a != b {
+		for d.Order[a] > d.Order[b] {
+			a = d.Idom[a]
+		}
+		for d.Order[b] > d.Order[a] {
+			b = d.Idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (d *Dominance) Dominates(a, b int) bool {
+	if d.Order[b] < 0 || d.Order[a] < 0 {
+		return false
+	}
+	for b != a {
+		if d.Order[b] <= d.Order[a] {
+			return false
+		}
+		b = d.Idom[b]
+		if b < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ComputeLoops fills Block.LoopDepth using natural loops: for every back
+// edge u→h (where h dominates u), all blocks that reach u without passing
+// through h belong to h's loop. Depth is the number of distinct loop headers
+// whose loop contains the block. It returns the set of loop headers.
+func (f *Func) ComputeLoops(dom *Dominance) []int {
+	n := len(f.Blocks)
+	for _, b := range f.Blocks {
+		b.LoopDepth = 0
+	}
+	inLoop := make([]map[int]bool, n) // block -> set of headers
+	for i := range inLoop {
+		inLoop[i] = make(map[int]bool)
+	}
+	var headers []int
+	seenHeader := make(map[int]bool)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if !dom.Dominates(s, b.ID) {
+				continue
+			}
+			h := s
+			if !seenHeader[h] {
+				seenHeader[h] = true
+				headers = append(headers, h)
+			}
+			// Collect the natural loop of back edge b→h.
+			inLoop[h][h] = true
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if inLoop[x][h] {
+					continue
+				}
+				inLoop[x][h] = true
+				for _, p := range f.Blocks[x].Preds {
+					if !inLoop[p][h] {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		b.LoopDepth = len(inLoop[b.ID])
+	}
+	return headers
+}

@@ -1,0 +1,196 @@
+// Package ir implements the small compiler intermediate representation the
+// reproduction allocates registers for: functions of basic blocks holding
+// three-address instructions over virtual registers (values), with a control
+// flow graph, dominance information, and loop nesting.
+//
+// Programs may be in strict SSA form (every value has exactly one textual
+// definition, and definitions dominate uses) — in that case the interference
+// graph is chordal and the layered-optimal allocators apply — or in ordinary
+// multi-def form, as produced by the JVM98-style workload generator, in which
+// case interference graphs are general and only the heuristic allocators
+// apply.
+package ir
+
+import "fmt"
+
+// Op is an instruction opcode. The allocator only cares about def/use
+// structure, so the opcode set is deliberately small; opcodes still matter
+// for printing, validation, and spill-code insertion.
+type Op int
+
+const (
+	OpConst  Op = iota // v = const k
+	OpParam            // v = param i       (function input)
+	OpArith            // v = arith a, b    (any two-operand computation)
+	OpUnary            // v = unary a
+	OpCopy             // v = copy a
+	OpPhi              // v = phi [pred: a], [pred: b], ...  (SSA only)
+	OpLoad             // v = load a        (memory read through address a)
+	OpStore            // store a, b        (no def)
+	OpCall             // v = call a, b, ...
+	OpBranch           // br target         (no def, no use)
+	OpCondBr           // condbr a, then, else
+	OpReturn           // ret a | ret
+	OpSpill            // spill a           (store of a spilled value; inserted)
+	OpReload           // v = reload        (load of a spilled value; inserted)
+)
+
+var opNames = map[Op]string{
+	OpConst:  "const",
+	OpParam:  "param",
+	OpArith:  "arith",
+	OpUnary:  "unary",
+	OpCopy:   "copy",
+	OpPhi:    "phi",
+	OpLoad:   "load",
+	OpStore:  "store",
+	OpCall:   "call",
+	OpBranch: "br",
+	OpCondBr: "condbr",
+	OpReturn: "ret",
+	OpSpill:  "spill",
+	OpReload: "reload",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// HasDef reports whether instructions with this opcode define a value.
+func (o Op) HasDef() bool {
+	switch o {
+	case OpStore, OpBranch, OpCondBr, OpReturn, OpSpill:
+		return false
+	}
+	return true
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Op) IsTerminator() bool {
+	return o == OpBranch || o == OpCondBr || o == OpReturn
+}
+
+// NoValue marks the absence of a defined value in Instr.Def.
+const NoValue = -1
+
+// Instr is one instruction. Def is a value ID or NoValue. Uses lists value
+// IDs; for OpPhi, Uses is parallel to the block's predecessor list. Imm
+// carries the constant for OpConst and the index for OpParam.
+type Instr struct {
+	Op   Op
+	Def  int
+	Uses []int
+	Imm  int64
+	// Targets holds successor block IDs for OpBranch (1) and OpCondBr (2).
+	Targets []int
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// terminator. Phis, if any, come first.
+type Block struct {
+	ID     int
+	Name   string
+	Instrs []Instr
+	Preds  []int
+	Succs  []int
+	// LoopDepth is the natural-loop nesting depth (0 = not in a loop),
+	// filled in by Func.ComputeLoops.
+	LoopDepth int
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := &b.Instrs[len(b.Instrs)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Func is a single function: the unit of register allocation.
+type Func struct {
+	Name   string
+	Blocks []*Block // Blocks[i].ID == i; Blocks[0] is the entry
+	// NumValues is one past the largest value ID in use.
+	NumValues int
+	// ValueName optionally maps value IDs to source-level names (used by
+	// the printer and by figure-reproduction tests); missing entries print
+	// as v<ID>.
+	ValueName map[int]string
+	// SSA records whether the function claims strict SSA form; Validate
+	// enforces the claim.
+	SSA bool
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NameOf returns the printable name of value v.
+func (f *Func) NameOf(v int) string {
+	if n, ok := f.ValueName[v]; ok {
+		return n
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// NewValue allocates a fresh value ID.
+func (f *Func) NewValue() int {
+	id := f.NumValues
+	f.NumValues++
+	return id
+}
+
+// AddBlock appends a new empty block with the given name and returns it.
+func (f *Func) AddBlock(name string) *Block {
+	b := &Block{ID: len(f.Blocks), Name: name}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// AddEdge records a CFG edge from block u to block w, updating both the
+// successor and predecessor lists. Callers must keep edge insertion order
+// consistent with phi operand order.
+func (f *Func) AddEdge(u, w int) {
+	f.Blocks[u].Succs = append(f.Blocks[u].Succs, w)
+	f.Blocks[w].Preds = append(f.Blocks[w].Preds, u)
+}
+
+// Defs returns, for each value ID, the list of (block, instruction index)
+// sites defining it. In strict SSA each list has length one.
+func (f *Func) Defs() [][]DefSite {
+	defs := make([][]DefSite, f.NumValues)
+	for _, b := range f.Blocks {
+		for i, ins := range b.Instrs {
+			if ins.Op.HasDef() && ins.Def != NoValue {
+				defs[ins.Def] = append(defs[ins.Def], DefSite{Block: b.ID, Index: i})
+			}
+		}
+	}
+	return defs
+}
+
+// DefSite locates an instruction within a function.
+type DefSite struct {
+	Block int
+	Index int
+}
+
+// UseCounts returns, per value, the number of textual uses (phi uses
+// included).
+func (f *Func) UseCounts() []int {
+	counts := make([]int, f.NumValues)
+	for _, b := range f.Blocks {
+		for _, ins := range b.Instrs {
+			for _, u := range ins.Uses {
+				counts[u]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,379 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a function in the textual format produced by Func.String.
+// Value and block names are arbitrary identifiers; value IDs are assigned in
+// order of first appearance. Comments start with ';' and run to end of line.
+//
+// The grammar, line-oriented:
+//
+//	func <name> [ssa] {
+//	<block>:
+//	  <val> = const <int>
+//	  <val> = param <int>
+//	  <val> = arith <val>, <val>
+//	  <val> = unary <val>
+//	  <val> = copy <val>
+//	  <val> = phi [<block>: <val>], ...
+//	  <val> = load <val>
+//	  <val> = call <val>, ...        (zero or more arguments)
+//	  <val> = reload
+//	  store <val>, <val>
+//	  spill <val>
+//	  br <block>
+//	  condbr <val>, <block>, <block>
+//	  ret [<val>]
+//	}
+func Parse(src string) (*Func, error) {
+	p := &parser{
+		f:         &Func{ValueName: make(map[int]string)},
+		valueIDs:  make(map[string]int),
+		blockIDs:  make(map[string]int),
+		phiFixups: nil,
+	}
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	if !p.closed {
+		return nil, fmt.Errorf("ir: missing closing brace")
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	if err := p.f.Validate(); err != nil {
+		return nil, err
+	}
+	return p.f, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and examples
+// with literal sources.
+func MustParse(src string) *Func {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	f        *Func
+	cur      *Block
+	valueIDs map[string]int
+	blockIDs map[string]int
+	closed   bool
+	started  bool
+	// Branch targets and phi predecessor labels are resolved after all
+	// blocks are known.
+	branchFixups []branchFixup
+	phiFixups    []phiFixup
+}
+
+type branchFixup struct {
+	block, instr int
+	labels       []string
+}
+
+type phiFixup struct {
+	block, instr int
+	predLabels   []string
+}
+
+func (p *parser) line(line string) error {
+	switch {
+	case strings.HasPrefix(line, "func "):
+		if p.started {
+			return fmt.Errorf("ir: duplicate func header")
+		}
+		p.started = true
+		rest := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "func ")), "{")
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return fmt.Errorf("ir: func header missing name")
+		}
+		p.f.Name = fields[0]
+		for _, fl := range fields[1:] {
+			if fl == "ssa" {
+				p.f.SSA = true
+			} else {
+				return fmt.Errorf("ir: unknown func attribute %q", fl)
+			}
+		}
+		return nil
+	case line == "}":
+		p.closed = true
+		return nil
+	case strings.HasSuffix(line, ":"):
+		name := strings.TrimSuffix(line, ":")
+		if !isIdent(name) {
+			return fmt.Errorf("ir: bad block label %q", name)
+		}
+		if _, dup := p.blockIDs[name]; dup {
+			return fmt.Errorf("ir: duplicate block %q", name)
+		}
+		p.cur = p.f.AddBlock(name)
+		p.blockIDs[name] = p.cur.ID
+		return nil
+	default:
+		if p.cur == nil {
+			return fmt.Errorf("ir: instruction before first block label")
+		}
+		return p.instr(line)
+	}
+}
+
+func (p *parser) instr(line string) error {
+	var defName string
+	if eq := strings.Index(line, "="); eq >= 0 && !strings.Contains(line[:eq], "[") {
+		defName = strings.TrimSpace(line[:eq])
+		line = strings.TrimSpace(line[eq+1:])
+	}
+	op, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	ins := Instr{Def: NoValue}
+	var err error
+	switch op {
+	case "const", "param":
+		ins.Op = OpConst
+		if op == "param" {
+			ins.Op = OpParam
+		}
+		ins.Imm, err = strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return fmt.Errorf("ir: bad %s immediate %q", op, rest)
+		}
+	case "arith":
+		ins.Op = OpArith
+		if ins.Uses, err = p.valueList(rest, 2); err != nil {
+			return err
+		}
+	case "unary", "copy", "load":
+		switch op {
+		case "unary":
+			ins.Op = OpUnary
+		case "copy":
+			ins.Op = OpCopy
+		default:
+			ins.Op = OpLoad
+		}
+		if ins.Uses, err = p.valueList(rest, 1); err != nil {
+			return err
+		}
+	case "call":
+		ins.Op = OpCall
+		if rest != "" {
+			if ins.Uses, err = p.valueList(rest, -1); err != nil {
+				return err
+			}
+		}
+	case "reload":
+		ins.Op = OpReload
+	case "store":
+		ins.Op = OpStore
+		if ins.Uses, err = p.valueList(rest, 2); err != nil {
+			return err
+		}
+	case "spill":
+		ins.Op = OpSpill
+		if ins.Uses, err = p.valueList(rest, 1); err != nil {
+			return err
+		}
+	case "phi":
+		ins.Op = OpPhi
+		preds, uses, err := p.phiOperands(rest)
+		if err != nil {
+			return err
+		}
+		ins.Uses = uses
+		p.phiFixups = append(p.phiFixups, phiFixup{
+			block: p.cur.ID, instr: len(p.cur.Instrs), predLabels: preds,
+		})
+	case "br":
+		ins.Op = OpBranch
+		if !isIdent(rest) {
+			return fmt.Errorf("ir: bad branch target %q", rest)
+		}
+		p.branchFixups = append(p.branchFixups, branchFixup{
+			block: p.cur.ID, instr: len(p.cur.Instrs), labels: []string{rest},
+		})
+	case "condbr":
+		ins.Op = OpCondBr
+		parts := splitComma(rest)
+		if len(parts) != 3 {
+			return fmt.Errorf("ir: condbr needs cond and two targets, got %q", rest)
+		}
+		ins.Uses = []int{p.value(parts[0])}
+		p.branchFixups = append(p.branchFixups, branchFixup{
+			block: p.cur.ID, instr: len(p.cur.Instrs), labels: parts[1:],
+		})
+	case "ret":
+		ins.Op = OpReturn
+		if rest != "" {
+			if ins.Uses, err = p.valueList(rest, 1); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("ir: unknown opcode %q", op)
+	}
+	if ins.Op.HasDef() {
+		if defName == "" {
+			return fmt.Errorf("ir: %s requires a result value", op)
+		}
+		ins.Def = p.value(defName)
+	} else if defName != "" {
+		return fmt.Errorf("ir: %s does not produce a value", op)
+	}
+	p.cur.Instrs = append(p.cur.Instrs, ins)
+	return nil
+}
+
+func (p *parser) value(name string) int {
+	if !isIdent(name) {
+		// Let validation surface it; allocate anyway to keep parsing going.
+		name = "!" + name
+	}
+	if id, ok := p.valueIDs[name]; ok {
+		return id
+	}
+	id := p.f.NewValue()
+	p.valueIDs[name] = id
+	p.f.ValueName[id] = name
+	return id
+}
+
+func (p *parser) valueList(s string, want int) ([]int, error) {
+	parts := splitComma(s)
+	if want >= 0 && len(parts) != want {
+		return nil, fmt.Errorf("ir: expected %d operands, got %q", want, s)
+	}
+	out := make([]int, len(parts))
+	for i, name := range parts {
+		if !isIdent(name) {
+			return nil, fmt.Errorf("ir: bad operand %q", name)
+		}
+		out[i] = p.value(name)
+	}
+	return out, nil
+}
+
+// phiOperands parses "[b1: x], [b2: y]" into predecessor labels and values.
+func (p *parser) phiOperands(s string) (preds []string, uses []int, err error) {
+	for _, part := range splitComma(s) {
+		part = strings.TrimSpace(part)
+		if !strings.HasPrefix(part, "[") || !strings.HasSuffix(part, "]") {
+			return nil, nil, fmt.Errorf("ir: bad phi operand %q", part)
+		}
+		inner := part[1 : len(part)-1]
+		label, val, ok := strings.Cut(inner, ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("ir: bad phi operand %q", part)
+		}
+		label = strings.TrimSpace(label)
+		val = strings.TrimSpace(val)
+		if !isIdent(label) || !isIdent(val) {
+			return nil, nil, fmt.Errorf("ir: bad phi operand %q", part)
+		}
+		preds = append(preds, label)
+		uses = append(uses, p.value(val))
+	}
+	return preds, uses, nil
+}
+
+// resolve patches branch targets, builds CFG edges, and reorders phi
+// operands to match predecessor order.
+func (p *parser) resolve() error {
+	for _, fx := range p.branchFixups {
+		ins := &p.f.Blocks[fx.block].Instrs[fx.instr]
+		for _, label := range fx.labels {
+			id, ok := p.blockIDs[label]
+			if !ok {
+				return fmt.Errorf("ir: undefined block %q", label)
+			}
+			ins.Targets = append(ins.Targets, id)
+		}
+	}
+	// CFG edges in terminator order.
+	for _, b := range p.f.Blocks {
+		if t := b.Terminator(); t != nil {
+			for _, tgt := range t.Targets {
+				p.f.AddEdge(b.ID, tgt)
+			}
+		}
+	}
+	for _, fx := range p.phiFixups {
+		blk := p.f.Blocks[fx.block]
+		ins := &blk.Instrs[fx.instr]
+		if len(fx.predLabels) != len(blk.Preds) {
+			return fmt.Errorf("ir: phi in %s has %d operands for %d predecessors",
+				blk.Name, len(fx.predLabels), len(blk.Preds))
+		}
+		ordered := make([]int, len(blk.Preds))
+		seen := make([]bool, len(blk.Preds))
+		for k, label := range fx.predLabels {
+			id, ok := p.blockIDs[label]
+			if !ok {
+				return fmt.Errorf("ir: phi references undefined block %q", label)
+			}
+			slot := -1
+			for j, pred := range blk.Preds {
+				if pred == id && !seen[j] {
+					slot = j
+					break
+				}
+			}
+			if slot < 0 {
+				return fmt.Errorf("ir: phi in %s names non-predecessor %q", blk.Name, label)
+			}
+			seen[slot] = true
+			ordered[slot] = ins.Uses[k]
+		}
+		ins.Uses = ordered
+	}
+	return nil
+}
+
+func splitComma(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

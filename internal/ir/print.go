@@ -1,0 +1,83 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function in the textual format accepted by Parse:
+//
+//	func name [ssa] {
+//	b0:                                ; preds: b2  loop=1
+//	  v1 = const 42
+//	  v2 = arith v1, v0
+//	  condbr v2, b1, b2
+//	...
+//	}
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s", f.Name)
+	if f.SSA {
+		b.WriteString(" ssa")
+	}
+	b.WriteString(" {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:", blk.Name)
+		if len(blk.Preds) > 0 || blk.LoopDepth > 0 {
+			b.WriteString("                ;")
+			if len(blk.Preds) > 0 {
+				b.WriteString(" preds:")
+				for _, p := range blk.Preds {
+					fmt.Fprintf(&b, " %s", f.Blocks[p].Name)
+				}
+			}
+			if blk.LoopDepth > 0 {
+				fmt.Fprintf(&b, " loop=%d", blk.LoopDepth)
+			}
+		}
+		b.WriteByte('\n')
+		for _, ins := range blk.Instrs {
+			b.WriteString("  ")
+			b.WriteString(f.formatInstr(blk, &ins))
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (f *Func) formatInstr(blk *Block, ins *Instr) string {
+	var b strings.Builder
+	if ins.Op.HasDef() && ins.Def != NoValue {
+		fmt.Fprintf(&b, "%s = ", f.NameOf(ins.Def))
+	}
+	b.WriteString(ins.Op.String())
+	switch ins.Op {
+	case OpConst, OpParam:
+		fmt.Fprintf(&b, " %d", ins.Imm)
+	case OpPhi:
+		for k, u := range ins.Uses {
+			if k > 0 {
+				b.WriteByte(',')
+			}
+			pred := "?"
+			if k < len(blk.Preds) {
+				pred = f.Blocks[blk.Preds[k]].Name
+			}
+			fmt.Fprintf(&b, " [%s: %s]", pred, f.NameOf(u))
+		}
+	case OpBranch:
+		fmt.Fprintf(&b, " %s", f.Blocks[ins.Targets[0]].Name)
+	case OpCondBr:
+		fmt.Fprintf(&b, " %s, %s, %s", f.NameOf(ins.Uses[0]),
+			f.Blocks[ins.Targets[0]].Name, f.Blocks[ins.Targets[1]].Name)
+	default:
+		for k, u := range ins.Uses {
+			if k > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, " %s", f.NameOf(u))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks structural invariants of the function and, when f.SSA is
+// set, strict SSA form (single definitions, definitions dominating uses).
+// It returns a joined error describing every violation found.
+func (f *Func) Validate() error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if len(f.Blocks) == 0 {
+		return errors.New("ir: function has no blocks")
+	}
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			report("ir: block %q has ID %d at index %d", b.Name, b.ID, i)
+		}
+		term := b.Terminator()
+		if term == nil {
+			report("ir: block %s does not end in a terminator", b.Name)
+			continue
+		}
+		for j, ins := range b.Instrs {
+			if ins.Op.IsTerminator() && j != len(b.Instrs)-1 {
+				report("ir: block %s has terminator %s mid-block at %d", b.Name, ins.Op, j)
+			}
+			if ins.Op == OpPhi {
+				if j > 0 && b.Instrs[j-1].Op != OpPhi {
+					report("ir: block %s phi at %d after non-phi", b.Name, j)
+				}
+				if len(ins.Uses) != len(b.Preds) {
+					report("ir: block %s phi has %d operands for %d predecessors",
+						b.Name, len(ins.Uses), len(b.Preds))
+				}
+				if !f.SSA {
+					report("ir: non-SSA function contains phi in block %s", b.Name)
+				}
+			}
+			if ins.Op.HasDef() {
+				if ins.Def == NoValue {
+					report("ir: %s in block %s lacks a def", ins.Op, b.Name)
+				} else if ins.Def < 0 || ins.Def >= f.NumValues {
+					report("ir: def %d out of range in block %s", ins.Def, b.Name)
+				}
+			} else if ins.Def != NoValue {
+				report("ir: %s in block %s must not define a value", ins.Op, b.Name)
+			}
+			for _, u := range ins.Uses {
+				if u < 0 || u >= f.NumValues {
+					report("ir: use %d out of range in block %s", u, b.Name)
+				}
+			}
+		}
+		// Terminator targets must agree with CFG successor lists.
+		var targets []int
+		if term != nil {
+			targets = term.Targets
+		}
+		if len(targets) != len(b.Succs) {
+			report("ir: block %s terminator has %d targets but %d successors",
+				b.Name, len(targets), len(b.Succs))
+		} else {
+			for k, t := range targets {
+				if t != b.Succs[k] {
+					report("ir: block %s target %d is b%d but successor list says b%d",
+						b.Name, k, t, b.Succs[k])
+				}
+			}
+		}
+		for _, s := range b.Succs {
+			if s < 0 || s >= len(f.Blocks) {
+				report("ir: block %s successor %d out of range", b.Name, s)
+				continue
+			}
+			if !containsInt(f.Blocks[s].Preds, b.ID) {
+				report("ir: edge %s→%s missing from predecessor list", b.Name, f.Blocks[s].Name)
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	if f.SSA {
+		if err := f.validateSSA(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (f *Func) validateSSA() error {
+	var errs []error
+	defs := f.Defs()
+	defSite := make([]DefSite, f.NumValues)
+	defined := make([]bool, f.NumValues)
+	for v, sites := range defs {
+		switch {
+		case len(sites) == 0:
+			// Unused IDs are fine; undefined-but-used is caught below.
+		case len(sites) == 1:
+			defSite[v] = sites[0]
+			defined[v] = true
+		default:
+			errs = append(errs, fmt.Errorf("ir: value %s defined %d times", f.NameOf(v), len(sites)))
+		}
+	}
+	dom := f.ComputeDominance()
+	dominatesUse := func(v int, useBlock, useIndex int) bool {
+		ds := defSite[v]
+		if ds.Block == useBlock {
+			return ds.Index < useIndex
+		}
+		return dom.Dominates(ds.Block, useBlock)
+	}
+	for _, b := range f.Blocks {
+		if dom.Order[b.ID] < 0 {
+			continue // unreachable code is not subject to dominance checking
+		}
+		for i, ins := range b.Instrs {
+			if ins.Op == OpPhi {
+				for k, u := range ins.Uses {
+					if !defined[u] {
+						errs = append(errs, fmt.Errorf("ir: phi in %s uses undefined %s", b.Name, f.NameOf(u)))
+						continue
+					}
+					if k >= len(b.Preds) {
+						continue // arity error already reported
+					}
+					p := b.Preds[k]
+					ds := defSite[u]
+					if !(ds.Block == p || dom.Dominates(ds.Block, p)) {
+						errs = append(errs, fmt.Errorf(
+							"ir: phi operand %s in %s not available on edge from %s",
+							f.NameOf(u), b.Name, f.Blocks[p].Name))
+					}
+				}
+				continue
+			}
+			for _, u := range ins.Uses {
+				if !defined[u] {
+					errs = append(errs, fmt.Errorf("ir: %s in %s uses undefined %s", ins.Op, b.Name, f.NameOf(u)))
+					continue
+				}
+				if !dominatesUse(u, b.ID, i) {
+					errs = append(errs, fmt.Errorf(
+						"ir: use of %s in %s not dominated by its definition",
+						f.NameOf(u), b.Name))
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,264 @@
+// Package liveness computes live variable information for ir functions:
+// per-block live-in/live-out sets, per-program-point live sets, and MaxLive,
+// the maximal register pressure. Phi instructions follow the SSA convention:
+// a phi's operands are live out of the corresponding predecessor blocks (not
+// live into the phi's block), and the phi's result is live in.
+package liveness
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/ir"
+)
+
+// Info is the result of analysing one function.
+type Info struct {
+	F *ir.Func
+	// LiveIn[b] / LiveOut[b] are sorted value ID slices for block b.
+	LiveIn  [][]int
+	LiveOut [][]int
+	// Points lists the live set at every program point of every reachable
+	// block, in layout order: for block b, Points entries appear for the
+	// point before each non-phi instruction and one for the block end
+	// (live-out). Phi defs are folded into the block's first point.
+	Points []Point
+	// MaxLive is the maximum, over all points, of the live-set size.
+	MaxLive int
+}
+
+// Point is the live set at one program point.
+type Point struct {
+	Block int
+	// Index is the instruction index the set applies before; len(Instrs)
+	// denotes the block-end point.
+	Index int
+	// Live is the sorted set of values live at (i.e. across) this point.
+	Live []int
+}
+
+// Compute runs the analysis.
+func Compute(f *ir.Func) *Info {
+	n := len(f.Blocks)
+	info := &Info{
+		F:       f,
+		LiveIn:  make([][]int, n),
+		LiveOut: make([][]int, n),
+	}
+	// use[b]: upward-exposed non-phi uses; def[b]: values defined in b
+	// (including phi defs); phiUse[b][p]: values used by phis of b for
+	// predecessor p.
+	use := make([]map[int]bool, n)
+	def := make([]map[int]bool, n)
+	phiDef := make([]map[int]bool, n)
+	phiUse := make([]map[int]map[int]bool, n)
+	for _, b := range f.Blocks {
+		use[b.ID] = make(map[int]bool)
+		def[b.ID] = make(map[int]bool)
+		phiDef[b.ID] = make(map[int]bool)
+		phiUse[b.ID] = make(map[int]map[int]bool)
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpPhi {
+				phiDef[b.ID][ins.Def] = true
+				def[b.ID][ins.Def] = true
+				for k, u := range ins.Uses {
+					if k >= len(b.Preds) {
+						continue
+					}
+					p := b.Preds[k]
+					if phiUse[b.ID][p] == nil {
+						phiUse[b.ID][p] = make(map[int]bool)
+					}
+					phiUse[b.ID][p][u] = true
+				}
+				continue
+			}
+			for _, u := range ins.Uses {
+				if !def[b.ID][u] {
+					use[b.ID][u] = true
+				}
+			}
+			if ins.Op.HasDef() && ins.Def != ir.NoValue {
+				def[b.ID][ins.Def] = true
+			}
+		}
+	}
+	liveIn := make([]map[int]bool, n)
+	liveOut := make([]map[int]bool, n)
+	for i := range liveIn {
+		liveIn[i] = make(map[int]bool)
+		liveOut[i] = make(map[int]bool)
+	}
+	// Backward fixpoint. LiveIn(b) = use(b) ∪ (LiveOut(b) \ (def(b) \ phiDef(b)))
+	// ... with the convention that phi defs are live-in of b (they are
+	// "defined at the block boundary"): LiveIn(b) = use(b) ∪ phiDef(b) ∪
+	// (LiveOut(b) \ def(b)).
+	// LiveOut(b) = ∪_{s∈succ(b)} (LiveIn(s) \ phiDef(s)) ∪ phiUse(s)[b].
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := liveOut[b.ID]
+			for _, s := range b.Succs {
+				for v := range liveIn[s] {
+					if !phiDef[s][v] && !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+				for v := range phiUse[s][b.ID] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := liveIn[b.ID]
+			for v := range use[b.ID] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range phiDef[b.ID] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !def[b.ID][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		info.LiveIn[i] = sortedKeys(liveIn[i])
+		info.LiveOut[i] = sortedKeys(liveOut[i])
+	}
+	info.computePoints(liveOut)
+	return info
+}
+
+// computePoints walks each block backward from its live-out set, recording
+// the live set before every non-phi instruction plus the block-end point.
+func (info *Info) computePoints(liveOut []map[int]bool) {
+	f := info.F
+	for _, b := range f.Blocks {
+		live := make(map[int]bool, len(liveOut[b.ID]))
+		for v := range liveOut[b.ID] {
+			live[v] = true
+		}
+		endPoint := Point{Block: b.ID, Index: len(b.Instrs), Live: sortedKeys(live)}
+		var pts []Point
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			ins := &b.Instrs[i]
+			if ins.Op == ir.OpPhi {
+				// Phi defs live from block entry; the first recorded point
+				// below (live-in) already includes them via the def being
+				// live across. Remove nothing, add nothing here.
+				continue
+			}
+			if ins.Op.HasDef() && ins.Def != ir.NoValue {
+				// The definition instant: the result register is written
+				// while everything live after the instruction still holds
+				// its register. For a dead definition this set is strictly
+				// larger than any surrounding live set, and it is what the
+				// interference graph's cliques reflect — record it so
+				// MaxLive equals the clique number on SSA functions.
+				if !live[ins.Def] {
+					instant := make(map[int]bool, len(live)+1)
+					for v := range live {
+						instant[v] = true
+					}
+					instant[ins.Def] = true
+					pts = append(pts, Point{Block: b.ID, Index: i, Live: sortedKeys(instant)})
+				}
+				delete(live, ins.Def)
+			}
+			for _, u := range ins.Uses {
+				live[u] = true
+			}
+			pts = append(pts, Point{Block: b.ID, Index: i, Live: sortedKeys(live)})
+		}
+		// pts is in reverse layout order; flip, then append block end.
+		for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
+			pts[i], pts[j] = pts[j], pts[i]
+		}
+		// Phi defs are live-in: fold them into the first point so pressure
+		// at the block boundary is accounted for.
+		phiDefs := make([]int, 0, 4)
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpPhi {
+				phiDefs = append(phiDefs, ins.Def)
+			}
+		}
+		if len(phiDefs) > 0 {
+			var first *Point
+			if len(pts) > 0 {
+				first = &pts[0]
+			} else {
+				first = &endPoint
+			}
+			first.Live = mergeSorted(first.Live, phiDefs)
+		}
+		pts = append(pts, endPoint)
+		info.Points = append(info.Points, pts...)
+	}
+	for _, p := range info.Points {
+		if len(p.Live) > info.MaxLive {
+			info.MaxLive = len(p.Live)
+		}
+	}
+}
+
+// LiveSets returns the distinct live sets over all program points, each
+// sorted, with duplicates removed. For a strict-SSA function, the maximal
+// ones among these are exactly the maximal cliques of the interference
+// graph.
+func (info *Info) LiveSets() [][]int {
+	seen := make(map[string]bool)
+	var out [][]int
+	for _, p := range info.Points {
+		if len(p.Live) == 0 {
+			continue
+		}
+		key := fingerprint(p.Live)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, p.Live)
+		}
+	}
+	return out
+}
+
+func fingerprint(s []int) string {
+	buf := make([]byte, 0, len(s)*4)
+	for _, v := range s {
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func mergeSorted(a, b []int) []int {
+	m := make(map[int]bool, len(a)+len(b))
+	for _, v := range a {
+		m[v] = true
+	}
+	for _, v := range b {
+		m[v] = true
+	}
+	return sortedKeys(m)
+}

@@ -1,0 +1,268 @@
+// Package regassign implements the assignment half of decoupled register
+// allocation: once the allocation phase has decided which variables stay in
+// registers (and the register pressure is everywhere at most R), a linear
+// greedy scan over the dominance tree — the "tree-scan" — picks a concrete
+// register for every allocated SSA value. The package also provides
+// spill-everywhere code insertion: spilled variables get a store after their
+// definition and a reload before every use.
+package regassign
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// NoReg marks values that were not assigned a register (spilled values).
+const NoReg = -1
+
+// Assign colours every allocated value of a strict-SSA function with a
+// register in [0, r), walking the dominance tree in preorder and giving each
+// definition the lowest register not held by an allocated value live at the
+// definition point. allocated is indexed by value ID. It fails if some
+// definition finds no free register, which cannot happen when the allocated
+// register pressure is at most r everywhere (chordal/SSA guarantee).
+func Assign(f *ir.Func, info *liveness.Info, allocated []bool, r int) ([]int, error) {
+	if !f.SSA {
+		return nil, fmt.Errorf("regassign: tree-scan requires strict SSA")
+	}
+	regOf := make([]int, f.NumValues)
+	for i := range regOf {
+		regOf[i] = NoReg
+	}
+	dom := f.ComputeDominance()
+	// Preorder over the dominator tree.
+	var orderBlocks func(b int, visit func(int))
+	orderBlocks = func(b int, visit func(int)) {
+		visit(b)
+		for _, c := range dom.Children[b] {
+			orderBlocks(c, visit)
+		}
+	}
+	var fail error
+	orderBlocks(0, func(bid int) {
+		if fail != nil {
+			return
+		}
+		b := f.Blocks[bid]
+		inUse := make([]bool, r)
+		// Registers already held at block entry: allocated live-in values.
+		// Their defining blocks dominate this one, so they are coloured.
+		liveNow := make(map[int]bool)
+		for _, v := range info.LiveIn[bid] {
+			if allocated[v] {
+				liveNow[v] = true
+				if regOf[v] >= 0 {
+					inUse[regOf[v]] = true
+				}
+			}
+		}
+		liveOut := make(map[int]bool, len(info.LiveOut[bid]))
+		for _, v := range info.LiveOut[bid] {
+			liveOut[v] = true
+		}
+		// Death points: last use index of each value not live-out.
+		lastUse := make(map[int]int)
+		for i, ins := range b.Instrs {
+			if ins.Op == ir.OpPhi {
+				continue // phi uses live in predecessors
+			}
+			for _, u := range ins.Uses {
+				if !liveOut[u] {
+					lastUse[u] = i
+				}
+			}
+		}
+		assign := func(v int) {
+			if regOf[v] >= 0 {
+				return // already coloured (phi defs are live-in too)
+			}
+			for reg := 0; reg < r; reg++ {
+				if !inUse[reg] {
+					regOf[v] = reg
+					inUse[reg] = true
+					return
+				}
+			}
+			fail = fmt.Errorf("regassign: no free register for %s in %s (pressure exceeds %d)",
+				f.NameOf(v), b.Name, r)
+		}
+		// Phi defs occupy registers from block entry.
+		for _, ins := range b.Instrs {
+			if ins.Op != ir.OpPhi {
+				break
+			}
+			if allocated[ins.Def] {
+				assign(ins.Def)
+				if fail != nil {
+					return
+				}
+			}
+		}
+		for i, ins := range b.Instrs {
+			if ins.Op == ir.OpPhi {
+				// Handled above; also record death if the phi def is dead
+				// inside this block (freed by lastUse processing below).
+				continue
+			}
+			// Free the registers of allocated values dying at i — after
+			// their use, before the def (use and def may share a register
+			// only when the use dies here; freeing first models that). The
+			// comma-ok lookup matters: a missing entry means "never dies
+			// here" and must not compare equal to instruction index 0.
+			for _, u := range ins.Uses {
+				if death, dies := lastUse[u]; dies && death == i && allocated[u] && regOf[u] >= 0 {
+					inUse[regOf[u]] = false
+				}
+			}
+			if ins.Op.HasDef() && ins.Def != ir.NoValue && allocated[ins.Def] {
+				// A def dead on arrival (never used, not live-out) still
+				// needs a register at the definition instant.
+				assign(ins.Def)
+				if fail != nil {
+					return
+				}
+				if !liveOut[ins.Def] {
+					if _, used := lastUse[ins.Def]; !used {
+						inUse[regOf[ins.Def]] = false
+					}
+				}
+			}
+		}
+	})
+	if fail != nil {
+		return nil, fail
+	}
+	return regOf, nil
+}
+
+// VerifyAssignment checks that no two simultaneously live allocated values
+// share a register, using the per-point live sets.
+func VerifyAssignment(info *liveness.Info, allocated []bool, regOf []int) error {
+	for _, p := range info.Points {
+		seen := make(map[int]int)
+		for _, v := range p.Live {
+			if !allocated[v] || regOf[v] == NoReg {
+				continue
+			}
+			if prev, clash := seen[regOf[v]]; clash {
+				return fmt.Errorf("regassign: values %s and %s share r%d at block %d point %d",
+					info.F.NameOf(prev), info.F.NameOf(v), regOf[v], p.Block, p.Index)
+			}
+			seen[regOf[v]] = v
+		}
+	}
+	return nil
+}
+
+// InsertSpillCode rewrites f (in place is avoided: a deep copy is returned)
+// applying spill-everywhere code generation for the spilled values: a spill
+// (store) is inserted right after each spilled definition, and every use is
+// rewritten to a freshly reloaded value. Phi operands reload at the end of
+// the predecessor block; spilled phi defs spill at the top of their block.
+// The returned function is still strict SSA.
+func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
+	g := cloneFunc(f)
+	for _, b := range g.Blocks {
+		var out []ir.Instr
+		reloadAt := func(uses []int) []int {
+			newUses := append([]int(nil), uses...)
+			for k, u := range newUses {
+				if u < len(spilled) && spilled[u] {
+					nv := g.NewValue()
+					g.ValueName[nv] = g.NameOf(u) + ".r"
+					out = append(out, ir.Instr{Op: ir.OpReload, Def: nv})
+					newUses[k] = nv
+				}
+			}
+			return newUses
+		}
+		// Spills of phi defs must not interleave with the phi block: they
+		// are collected and emitted right after the last phi.
+		var phiSpills []ir.Instr
+		phisDone := false
+		for _, ins := range b.Instrs {
+			if !phisDone && ins.Op != ir.OpPhi {
+				phisDone = true
+				out = append(out, phiSpills...)
+				phiSpills = nil
+			}
+			switch {
+			case ins.Op == ir.OpPhi:
+				// Operand reloads belong in predecessors; handled below.
+				out = append(out, ins)
+			default:
+				ins.Uses = reloadAt(ins.Uses)
+				out = append(out, ins)
+			}
+			if ins.Op.HasDef() && ins.Def != ir.NoValue &&
+				ins.Def < len(spilled) && spilled[ins.Def] {
+				sp := ir.Instr{Op: ir.OpSpill, Def: ir.NoValue, Uses: []int{ins.Def}}
+				if ins.Op == ir.OpPhi {
+					phiSpills = append(phiSpills, sp)
+				} else {
+					out = append(out, sp)
+				}
+			}
+		}
+		out = append(out, phiSpills...)
+		b.Instrs = out
+	}
+	// Phi operand reloads: insert at the end of the predecessor (before its
+	// terminator) and rewrite the operand.
+	for _, b := range g.Blocks {
+		for ii := range b.Instrs {
+			ins := &b.Instrs[ii]
+			if ins.Op != ir.OpPhi {
+				continue
+			}
+			for k, u := range ins.Uses {
+				if u >= len(spilled) || !spilled[u] {
+					continue
+				}
+				if k >= len(b.Preds) {
+					continue
+				}
+				pred := g.Blocks[b.Preds[k]]
+				nv := g.NewValue()
+				g.ValueName[nv] = g.NameOf(u) + ".r"
+				reload := ir.Instr{Op: ir.OpReload, Def: nv}
+				ti := len(pred.Instrs) - 1 // terminator index
+				pred.Instrs = append(pred.Instrs[:ti],
+					append([]ir.Instr{reload}, pred.Instrs[ti:]...)...)
+				ins.Uses[k] = nv
+			}
+		}
+	}
+	return g
+}
+
+func cloneFunc(f *ir.Func) *ir.Func {
+	g := &ir.Func{
+		Name:      f.Name,
+		NumValues: f.NumValues,
+		ValueName: make(map[int]string, len(f.ValueName)),
+		SSA:       f.SSA,
+	}
+	for k, v := range f.ValueName {
+		g.ValueName[k] = v
+	}
+	for _, b := range f.Blocks {
+		nb := &ir.Block{
+			ID:        b.ID,
+			Name:      b.Name,
+			Preds:     append([]int(nil), b.Preds...),
+			Succs:     append([]int(nil), b.Succs...),
+			LoopDepth: b.LoopDepth,
+		}
+		nb.Instrs = make([]ir.Instr, len(b.Instrs))
+		for i, ins := range b.Instrs {
+			ins.Uses = append([]int(nil), ins.Uses...)
+			ins.Targets = append([]int(nil), ins.Targets...)
+			nb.Instrs[i] = ins
+		}
+		g.Blocks = append(g.Blocks, nb)
+	}
+	return g
+}

@@ -1,0 +1,69 @@
+// Package spillcost estimates per-variable spill costs, following the
+// paper's methodology (§6.1.1): the cost of a variable is the sum, over the
+// basic blocks that access it, of the block's execution frequency times the
+// number of accesses in that block. Block frequency is the standard static
+// estimate base^loop-depth.
+package spillcost
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Model controls the cost estimate.
+type Model struct {
+	// LoopBase is the assumed trip-count factor per loop level (default 10).
+	LoopBase float64
+	// StoreFactor scales the cost contribution of the definition (the
+	// store of a spilled variable) relative to a use (a load). Default 1.
+	StoreFactor float64
+}
+
+// DefaultModel is the paper-faithful configuration.
+var DefaultModel = Model{LoopBase: 10, StoreFactor: 1}
+
+// Costs returns the spill cost of every value of f (indexed by value ID).
+// Values never accessed get cost 0.
+func Costs(f *ir.Func, m Model) []float64 {
+	if m.LoopBase == 0 {
+		m.LoopBase = DefaultModel.LoopBase
+	}
+	if m.StoreFactor == 0 {
+		m.StoreFactor = DefaultModel.StoreFactor
+	}
+	cost := make([]float64, f.NumValues)
+	for _, b := range f.Blocks {
+		freq := math.Pow(m.LoopBase, float64(b.LoopDepth))
+		for _, ins := range b.Instrs {
+			if ins.Op.HasDef() && ins.Def != ir.NoValue {
+				cost[ins.Def] += m.StoreFactor * freq
+			}
+			for k, u := range ins.Uses {
+				if ins.Op == ir.OpPhi {
+					// A phi use is a move on the incoming edge: charge it
+					// at the predecessor's frequency.
+					if k < len(b.Preds) {
+						p := f.Blocks[b.Preds[k]]
+						cost[u] += math.Pow(m.LoopBase, float64(p.LoopDepth))
+					}
+					continue
+				}
+				cost[u] += freq
+			}
+		}
+	}
+	return cost
+}
+
+// BlockFrequencies returns the static frequency estimate of every block.
+func BlockFrequencies(f *ir.Func, m Model) []float64 {
+	if m.LoopBase == 0 {
+		m.LoopBase = DefaultModel.LoopBase
+	}
+	out := make([]float64, len(f.Blocks))
+	for i, b := range f.Blocks {
+		out[i] = math.Pow(m.LoopBase, float64(b.LoopDepth))
+	}
+	return out
+}

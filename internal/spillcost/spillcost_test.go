@@ -1,0 +1,130 @@
+package spillcost
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func prep(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f := ir.MustParse(src)
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	return f
+}
+
+func valueByName(f *ir.Func, name string) int {
+	for id, n := range f.ValueName {
+		if n == name {
+			return id
+		}
+	}
+	return -1
+}
+
+func TestFlatCosts(t *testing.T) {
+	f := prep(t, `
+func flat ssa {
+b0:
+  a = param 0
+  b = arith a, a
+  ret b
+}`)
+	costs := Costs(f, DefaultModel)
+	// a: def (1) + two uses (2) = 3; b: def + one use = 2.
+	if got := costs[valueByName(f, "a")]; got != 3 {
+		t.Fatalf("cost(a) = %g, want 3", got)
+	}
+	if got := costs[valueByName(f, "b")]; got != 2 {
+		t.Fatalf("cost(b) = %g, want 2", got)
+	}
+}
+
+func TestLoopCostsScaleWithDepth(t *testing.T) {
+	f := prep(t, `
+func loop ssa {
+b0:
+  n = param 0
+  br b1
+b1:
+  i = phi [b0: n], [b2: j]
+  c = unary i
+  condbr c, b2, b3
+b2:
+  j = arith i, i
+  br b1
+b3:
+  ret i
+}`)
+	costs := Costs(f, DefaultModel)
+	// j: def in loop body (10) + phi use charged at b2's frequency (10).
+	if got := costs[valueByName(f, "j")]; got != 20 {
+		t.Fatalf("cost(j) = %g, want 20", got)
+	}
+	// n: def at depth 0 (1) + phi use charged at b0's frequency (1).
+	if got := costs[valueByName(f, "n")]; got != 2 {
+		t.Fatalf("cost(n) = %g, want 2", got)
+	}
+	// i: phi def in header (10) + uses: unary in b1 (10), two in b2
+	// (10+10), one in b3 (1) = 41.
+	if got := costs[valueByName(f, "i")]; got != 41 {
+		t.Fatalf("cost(i) = %g, want 41", got)
+	}
+}
+
+func TestCustomModel(t *testing.T) {
+	f := prep(t, `
+func flat ssa {
+b0:
+  a = param 0
+  b = arith a, a
+  ret b
+}`)
+	costs := Costs(f, Model{LoopBase: 2, StoreFactor: 3})
+	// a: def 3 + uses 2 = 5.
+	if got := costs[valueByName(f, "a")]; got != 5 {
+		t.Fatalf("cost(a) = %g, want 5", got)
+	}
+}
+
+func TestBlockFrequencies(t *testing.T) {
+	f := prep(t, `
+func loop ssa {
+b0:
+  n = param 0
+  br b1
+b1:
+  i = phi [b0: n], [b2: j]
+  c = unary i
+  condbr c, b2, b3
+b2:
+  j = arith i, i
+  br b1
+b3:
+  ret i
+}`)
+	freqs := BlockFrequencies(f, DefaultModel)
+	want := []float64{1, 10, 10, 1}
+	for b, fw := range want {
+		if freqs[b] != fw {
+			t.Errorf("freq(b%d) = %g, want %g", b, freqs[b], fw)
+		}
+	}
+}
+
+func TestZeroModelDefaults(t *testing.T) {
+	f := prep(t, `
+func z ssa {
+b0:
+  a = param 0
+  ret a
+}`)
+	a := Costs(f, Model{})
+	b := Costs(f, DefaultModel)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("zero model does not default")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package ssa
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestDominanceFrontiersDiamond(t *testing.T) {
+	f := ir.MustParse(`
+func d {
+b0:
+  x = param 0
+  condbr x, b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  ret x
+}`)
+	dom := f.ComputeDominance()
+	fr := dominanceFrontiers(f, dom)
+	// DF(b1) = DF(b2) = {b3}; DF(b0) = DF(b3) = ∅.
+	if len(fr[1]) != 1 || fr[1][0] != 3 {
+		t.Fatalf("DF(b1) = %v", fr[1])
+	}
+	if len(fr[2]) != 1 || fr[2][0] != 3 {
+		t.Fatalf("DF(b2) = %v", fr[2])
+	}
+	if len(fr[0]) != 0 || len(fr[3]) != 0 {
+		t.Fatalf("DF(b0)=%v DF(b3)=%v", fr[0], fr[3])
+	}
+}
+
+func TestDominanceFrontiersLoop(t *testing.T) {
+	f := ir.MustParse(`
+func l {
+b0:
+  x = param 0
+  br b1
+b1:
+  condbr x, b2, b3
+b2:
+  br b1
+b3:
+  ret x
+}`)
+	dom := f.ComputeDominance()
+	fr := dominanceFrontiers(f, dom)
+	// The loop header is in its own frontier (back edge b2→b1).
+	if len(fr[1]) != 1 || fr[1][0] != 1 {
+		t.Fatalf("DF(b1) = %v, want {b1}", fr[1])
+	}
+	if len(fr[2]) != 1 || fr[2][0] != 1 {
+		t.Fatalf("DF(b2) = %v, want {b1}", fr[2])
+	}
+}

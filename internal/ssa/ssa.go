@@ -1,0 +1,274 @@
+// Package ssa converts multiple-definition (non-SSA) ir functions into
+// strict SSA form using the classic Cytron et al. algorithm: phi functions
+// are placed on the pruned iterated dominance frontier of each variable's
+// definition blocks, and a dominator-tree walk renames every definition to a
+// fresh value.
+//
+// The paper's layered-optimal allocators require chordal interference
+// graphs, which strict SSA guarantees; this package is the bridge that lets
+// them run on JIT-style inputs (the paper's §8 notes SSA-based decoupled
+// allocation as the natural deployment). The extension experiment in
+// cmd/experiments compares allocating JVM98-style methods directly (layered
+// heuristic on the non-chordal graph) against converting to SSA first and
+// using the layered-optimal allocators.
+package ssa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Construct returns a strict-SSA copy of f. The input must be phi-free and
+// validate; every use must be dominated by at least one definition on every
+// path (the package inserts no "undef" values — unreachable-on-some-path
+// uses are a bug in the input and are reported as an error).
+func Construct(f *ir.Func) (*ir.Func, error) {
+	if f.SSA {
+		return nil, fmt.Errorf("ssa: input already claims SSA form")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("ssa: invalid input: %w", err)
+	}
+	for _, b := range f.Blocks {
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpPhi {
+				return nil, fmt.Errorf("ssa: input contains phi in block %s", b.Name)
+			}
+		}
+	}
+
+	c := &constructor{
+		in:  f,
+		out: cloneShell(f),
+	}
+	c.dom = f.ComputeDominance()
+	c.frontiers = dominanceFrontiers(f, c.dom)
+	c.live = liveness.Compute(f)
+	c.placePhis()
+	if err := c.rename(); err != nil {
+		return nil, err
+	}
+	c.out.SSA = true
+	if err := c.out.Validate(); err != nil {
+		return nil, fmt.Errorf("ssa: construction produced invalid SSA: %w", err)
+	}
+	return c.out, nil
+}
+
+type constructor struct {
+	in        *ir.Func
+	out       *ir.Func
+	dom       *ir.Dominance
+	frontiers [][]int
+	live      *liveness.Info
+	// phiFor[block] lists the original variables needing a phi there, in
+	// insertion order; phiIndex locates the phi instruction in the output
+	// block for operand filling during renaming.
+	phiVars [][]int
+	// versions counts renamed instances per original variable (naming).
+	versions map[int]int
+}
+
+// cloneShell copies blocks/edges but not instructions.
+func cloneShell(f *ir.Func) *ir.Func {
+	g := &ir.Func{
+		Name:      f.Name,
+		NumValues: f.NumValues, // original IDs stay reserved (unused)
+		ValueName: make(map[int]string, len(f.ValueName)),
+	}
+	for k, v := range f.ValueName {
+		g.ValueName[k] = v
+	}
+	for _, b := range f.Blocks {
+		nb := &ir.Block{
+			ID:        b.ID,
+			Name:      b.Name,
+			Preds:     append([]int(nil), b.Preds...),
+			Succs:     append([]int(nil), b.Succs...),
+			LoopDepth: b.LoopDepth,
+		}
+		g.Blocks = append(g.Blocks, nb)
+	}
+	return g
+}
+
+// dominanceFrontiers computes DF(b) for every block with the standard
+// Cooper–Harvey–Kennedy loop: for each join-point predecessor p of b, walk
+// p up the dominator tree until reaching idom(b), adding b to each walked
+// block's frontier.
+func dominanceFrontiers(f *ir.Func, dom *ir.Dominance) [][]int {
+	n := len(f.Blocks)
+	fr := make([]map[int]bool, n)
+	for i := range fr {
+		fr[i] = make(map[int]bool)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if dom.Order[p] < 0 {
+				continue // unreachable predecessor
+			}
+			runner := p
+			for runner != -1 && runner != dom.Idom[b.ID] {
+				fr[runner][b.ID] = true
+				runner = dom.Idom[runner]
+			}
+		}
+	}
+	out := make([][]int, n)
+	for i, m := range fr {
+		for b := range m {
+			out[i] = append(out[i], b)
+		}
+		sort.Ints(out[i])
+	}
+	return out
+}
+
+// placePhis inserts (pruned) phi placeholders: a variable gets a phi at a
+// frontier block only if it is live into that block.
+func (c *constructor) placePhis() {
+	f := c.in
+	c.phiVars = make([][]int, len(f.Blocks))
+	defBlocks := make(map[int][]int) // variable -> blocks defining it
+	for _, b := range f.Blocks {
+		seen := make(map[int]bool)
+		for _, ins := range b.Instrs {
+			if ins.Op.HasDef() && ins.Def != ir.NoValue && !seen[ins.Def] {
+				seen[ins.Def] = true
+				defBlocks[ins.Def] = append(defBlocks[ins.Def], b.ID)
+			}
+		}
+	}
+	liveIn := make([]map[int]bool, len(f.Blocks))
+	for i, set := range c.live.LiveIn {
+		liveIn[i] = make(map[int]bool, len(set))
+		for _, v := range set {
+			liveIn[i][v] = true
+		}
+	}
+	vars := make([]int, 0, len(defBlocks))
+	for v := range defBlocks {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	for _, v := range vars {
+		hasPhi := make(map[int]bool)
+		work := append([]int(nil), defBlocks[v]...)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, df := range c.frontiers[b] {
+				if hasPhi[df] || !liveIn[df][v] {
+					continue
+				}
+				hasPhi[df] = true
+				c.phiVars[df] = append(c.phiVars[df], v)
+				// The phi is itself a definition of v.
+				work = append(work, df)
+			}
+		}
+	}
+}
+
+// rename walks the dominator tree, maintaining a definition stack per
+// original variable, rewriting uses and minting fresh SSA values for defs.
+// Phi placeholders are pre-placed in every block first so that successor
+// operand slots exist regardless of walk order.
+func (c *constructor) rename() error {
+	c.versions = make(map[int]int)
+	stacks := make(map[int][]int)
+	phiSlot := make([]map[int]int, len(c.out.Blocks))
+	for bid, outB := range c.out.Blocks {
+		phiSlot[bid] = make(map[int]int)
+		for _, orig := range c.phiVars[bid] {
+			phiSlot[bid][orig] = len(outB.Instrs)
+			uses := make([]int, len(outB.Preds))
+			for k := range uses {
+				uses[k] = ir.NoValue
+			}
+			outB.Instrs = append(outB.Instrs, ir.Instr{Op: ir.OpPhi, Def: ir.NoValue, Uses: uses})
+		}
+	}
+
+	var walk func(bid int) error
+	walk = func(bid int) error {
+		inB := c.in.Blocks[bid]
+		outB := c.out.Blocks[bid]
+		var pushed []int // original vars whose stack this block extended
+
+		define := func(orig int) int {
+			nv := c.out.NewValue()
+			c.out.ValueName[nv] = fmt.Sprintf("%s.%d", c.in.NameOf(orig), c.versions[orig])
+			c.versions[orig]++
+			stacks[orig] = append(stacks[orig], nv)
+			pushed = append(pushed, orig)
+			return nv
+		}
+		lookup := func(orig int) (int, error) {
+			s := stacks[orig]
+			if len(s) == 0 {
+				return 0, fmt.Errorf("ssa: use of %s in %s not dominated by any definition",
+					c.in.NameOf(orig), inB.Name)
+			}
+			return s[len(s)-1], nil
+		}
+
+		// The block's phis define their variables first.
+		for _, orig := range c.phiVars[bid] {
+			ins := &outB.Instrs[phiSlot[bid][orig]]
+			ins.Def = define(orig)
+		}
+		// Body instructions: rewrite uses, mint fresh defs.
+		for _, ins := range inB.Instrs {
+			n := ins
+			n.Uses = append([]int(nil), ins.Uses...)
+			n.Targets = append([]int(nil), ins.Targets...)
+			for k, u := range n.Uses {
+				r, err := lookup(u)
+				if err != nil {
+					return err
+				}
+				n.Uses[k] = r
+			}
+			if n.Op.HasDef() && n.Def != ir.NoValue {
+				n.Def = define(ins.Def)
+			}
+			outB.Instrs = append(outB.Instrs, n)
+		}
+		// Fill successor phi operands along each CFG edge out of bid.
+		for _, s := range inB.Succs {
+			succOut := c.out.Blocks[s]
+			for _, orig := range c.phiVars[s] {
+				ins := &succOut.Instrs[phiSlot[s][orig]]
+				for k, pred := range succOut.Preds {
+					if pred != bid || ins.Uses[k] != ir.NoValue {
+						continue
+					}
+					r, err := lookup(orig)
+					if err != nil {
+						return fmt.Errorf("ssa: phi operand for %s on edge %s→%s: %w",
+							c.in.NameOf(orig), inB.Name, succOut.Name, err)
+					}
+					ins.Uses[k] = r
+					break
+				}
+			}
+		}
+		for _, child := range c.dom.Children[bid] {
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		for _, orig := range pushed {
+			stacks[orig] = stacks[orig][:len(stacks[orig])-1]
+		}
+		return nil
+	}
+	return walk(0)
+}

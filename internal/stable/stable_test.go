@@ -1,0 +1,284 @@
+package stable
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Vertices of the paper's Figure 4/5 graph: a..g.
+const (
+	va = iota
+	vb
+	vc
+	vd
+	ve
+	vf
+	vg
+)
+
+func paperGraph() *graph.Graph {
+	g := graph.New(7)
+	for _, e := range [][2]int{
+		{va, vd}, {va, vf}, {vd, vf}, {ve, vf}, {vd, ve},
+		{vc, vd}, {vc, ve}, {ve, vg}, {vc, vg}, {vb, vc}, {vb, vg},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// paperPEO is [a, f, d, e, b, g, c] from the paper's Figure 5.
+func paperPEO() []int { return []int{va, vf, vd, ve, vb, vg, vc} }
+
+// paperWeights: a=1 f=6 d=5 e=2 b=2 g=1 c=2 (Figure 5's table header order).
+func paperWeights() []float64 {
+	w := make([]float64, 7)
+	w[va], w[vf], w[vd], w[ve], w[vb], w[vg], w[vc] = 1, 6, 5, 2, 2, 1, 2
+	return w
+}
+
+// TestFrankPaperExample reproduces the paper's Figure 5 trace: the red phase
+// marks a, f, b (in that order) and the blue phase keeps {b, f}, the maximum
+// weighted stable set, of weight 8.
+func TestFrankPaperExample(t *testing.T) {
+	g := paperGraph()
+	if !g.IsPerfectEliminationOrder(paperPEO()) {
+		t.Fatal("paper PEO invalid for reconstruction")
+	}
+	red := RedPhase(g, paperPEO(), paperWeights())
+	if len(red) != 3 || red[0] != va || red[1] != vf || red[2] != vb {
+		t.Fatalf("red phase = %v, want [a f b]", red)
+	}
+	blue := MaxWeightChordal(g, paperPEO(), paperWeights())
+	sort.Ints(blue)
+	if len(blue) != 2 || blue[0] != vb || blue[1] != vf {
+		t.Fatalf("blue set = %v, want {b, f}", blue)
+	}
+	if got := SetWeight(blue, paperWeights()); got != 8 {
+		t.Fatalf("stable set weight = %g, want 8", got)
+	}
+}
+
+func TestFrankEmptyAndSingleton(t *testing.T) {
+	g := graph.New(0)
+	if got := MaxWeightChordal(g, nil, nil); len(got) != 0 {
+		t.Fatalf("empty graph gave %v", got)
+	}
+	g1 := graph.New(1)
+	got := MaxWeightChordal(g1, []int{0}, []float64{5})
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("singleton gave %v", got)
+	}
+	// Zero-weight vertices are never selected.
+	got = MaxWeightChordal(g1, []int{0}, []float64{0})
+	if len(got) != 0 {
+		t.Fatalf("zero-weight vertex selected: %v", got)
+	}
+}
+
+func TestFrankMismatchedInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MaxWeightChordal(graph.New(2), []int{0}, []float64{1, 1})
+}
+
+// bruteForceMWSS enumerates all subsets (n ≤ 20).
+func bruteForceMWSS(g *graph.Graph, w []float64) float64 {
+	n := g.N()
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var set []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				set = append(set, v)
+			}
+		}
+		if !g.IsStableSet(set) {
+			continue
+		}
+		total := 0.0
+		for _, v := range set {
+			total += w[v]
+		}
+		if total > best {
+			best = total
+		}
+	}
+	return best
+}
+
+func randomIntervalGraph(rng *rand.Rand, n int) *graph.Graph {
+	type iv struct{ lo, hi int }
+	ivs := make([]iv, n)
+	for i := range ivs {
+		a, b := rng.Intn(3*n), rng.Intn(3*n)
+		if a > b {
+			a, b = b, a
+		}
+		ivs[i] = iv{a, b}
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ivs[i].lo <= ivs[j].hi && ivs[j].lo <= ivs[i].hi {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// TestPropertyFrankMatchesBruteForce is the key exactness property: on random
+// chordal graphs Frank's algorithm returns a stable set of maximum weight.
+func TestPropertyFrankMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(14)
+		g := randomIntervalGraph(r, n)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(1 + r.Intn(20))
+		}
+		order := g.PerfectEliminationOrder()
+		got := MaxWeightChordal(g, order, w)
+		if !g.IsStableSet(got) {
+			return false
+		}
+		return SetWeight(got, w) == bruteForceMWSS(g, w)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFrankResultMaximal(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(25)
+		g := randomIntervalGraph(r, n)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(1 + r.Intn(9))
+		}
+		got := MaxWeightChordal(g, g.PerfectEliminationOrder(), w)
+		in := make(map[int]bool)
+		for _, v := range got {
+			in[v] = true
+		}
+		// No positive-weight vertex can be added.
+		for v := 0; v < n; v++ {
+			if in[v] || w[v] <= 0 {
+				continue
+			}
+			addable := true
+			for _, u := range got {
+				if g.HasEdge(u, v) {
+					addable = false
+					break
+				}
+			}
+			if addable {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyMaximal(t *testing.T) {
+	g := paperGraph()
+	// Candidates in decreasing paper weight: f(6) d(5) e(2) b(2) c(2) a(1) g(1).
+	cluster := GreedyMaximal(g, []int{vf, vd, ve, vb, vc, va, vg})
+	if !g.IsStableSet(cluster) {
+		t.Fatalf("cluster %v not stable", cluster)
+	}
+	// f first, then d,e excluded (adjacent to f); b kept; c,g excluded; a
+	// excluded (adjacent to f).
+	sort.Ints(cluster)
+	if len(cluster) != 2 || cluster[0] != vb || cluster[1] != vf {
+		t.Fatalf("cluster = %v, want {b, f}", cluster)
+	}
+}
+
+func TestClusterVerticesPartition(t *testing.T) {
+	g := paperGraph()
+	clusters := ClusterVertices(g, paperWeights())
+	seen := make(map[int]int)
+	for _, c := range clusters {
+		if !g.IsStableSet(c) {
+			t.Fatalf("cluster %v not stable", c)
+		}
+		for _, v := range c {
+			seen[v]++
+		}
+	}
+	if len(seen) != g.N() {
+		t.Fatalf("clusters cover %d of %d vertices", len(seen), g.N())
+	}
+	for v, k := range seen {
+		if k != 1 {
+			t.Fatalf("vertex %d in %d clusters", v, k)
+		}
+	}
+}
+
+func TestPropertyClusterVerticesPartition(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.35 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(1 + r.Intn(50))
+		}
+		clusters := ClusterVertices(g, w)
+		count := make([]int, n)
+		for _, c := range clusters {
+			if !g.IsStableSet(c) {
+				return false
+			}
+			if len(c) == 0 {
+				return false
+			}
+			for _, v := range c {
+				count[v]++
+			}
+		}
+		for _, k := range count {
+			if k != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetWeight(t *testing.T) {
+	w := []float64{1, 2, 4}
+	if SetWeight([]int{0, 2}, w) != 5 {
+		t.Fatalf("SetWeight = %g", SetWeight([]int{0, 2}, w))
+	}
+	if SetWeight(nil, w) != 0 {
+		t.Fatal("empty set weight not 0")
+	}
+}

@@ -73,6 +73,9 @@ func NewProblem(b *ifg.Build, costs []float64, r int) *Problem {
 // examples.
 func NewGraphProblem(g *graph.Weighted, r int, liveSets [][]int) *Problem {
 	p := &Problem{G: g, R: r, LiveSets: liveSets}
+	if !g.Frozen() {
+		g.Freeze()
+	}
 	p.PEO = g.PerfectEliminationOrder()
 	p.Chordal = g.IsPerfectEliminationOrder(p.PEO)
 	if p.LiveSets == nil {

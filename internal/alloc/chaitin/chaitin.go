@@ -11,6 +11,7 @@ package chaitin
 
 import (
 	"repro/internal/alloc"
+	"repro/internal/graph"
 )
 
 // Allocator is the GC baseline.
@@ -118,24 +119,17 @@ func colorOnce(p *alloc.Problem, spilled []bool) int {
 		remove(best)
 	}
 
-	// Select: pop and colour.
+	// Select: pop and colour. Each vertex appears once on the stack, so its
+	// ID is a unique stamp for the shared colour scratch.
 	color := make([]int, n)
 	for i := range color {
 		color[i] = -1
 	}
+	usedAt := graph.NewColorScratch(n)
 	newSpills := 0
 	for i := len(stack) - 1; i >= 0; i-- {
 		v := stack[i]
-		used := make(map[int]bool)
-		p.G.VisitNeighbors(v, func(u int) {
-			if color[u] >= 0 {
-				used[color[u]] = true
-			}
-		})
-		c := 0
-		for used[c] {
-			c++
-		}
+		c := p.G.SmallestFreeColor(v, color, usedAt, v)
 		if c < r {
 			color[v] = c
 		} else {

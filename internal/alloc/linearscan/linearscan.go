@@ -182,9 +182,12 @@ func BuildIntervals(info *liveness.Info, b *ifg.Build) [][2]int {
 	// give them a one-point interval at their block's first point. The
 	// point indices above are positions in info.Points, which is laid out
 	// block by block; find each block's first point index.
-	firstPoint := make(map[int]int)
+	firstPoint := make([]int, len(info.F.Blocks))
+	for i := range firstPoint {
+		firstPoint[i] = -1
+	}
 	for pt, p := range info.Points {
-		if _, ok := firstPoint[p.Block]; !ok {
+		if firstPoint[p.Block] < 0 {
 			firstPoint[p.Block] = pt
 		}
 	}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ifg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Micro-benchmarks for the bitset/CSR core at suite sizes: graph
+// construction, PEO, liveness, and interference build. Run with
+//
+//	go test ./internal/bench -bench 'Micro' -benchmem
+
+// microIntervalEdges returns a deterministic interval-overlap edge list, the
+// densest realistic shape for an interference graph.
+func microIntervalEdges(n int) [][2]int {
+	rng := rand.New(rand.NewSource(42))
+	type iv struct{ lo, hi int }
+	ivs := make([]iv, n)
+	for i := range ivs {
+		a, c := rng.Intn(4*n), rng.Intn(4*n)
+		if a > c {
+			a, c = c, a
+		}
+		if c-a > n/4 {
+			c = a + n/4
+		}
+		ivs[i] = iv{a, c}
+	}
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ivs[i].lo <= ivs[j].hi && ivs[j].lo <= ivs[i].hi {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return edges
+}
+
+func BenchmarkMicroGraphBuild(b *testing.B) {
+	const n = 1000
+	edges := microIntervalEdges(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.New(n)
+		for _, e := range edges {
+			g.AddEdge(e[0], e[1])
+		}
+		g.Freeze()
+	}
+}
+
+func BenchmarkMicroPEO(b *testing.B) {
+	const n = 1000
+	g := graph.New(n)
+	for _, e := range microIntervalEdges(n) {
+		g.AddEdge(e[0], e[1])
+	}
+	g.Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PerfectEliminationOrder()
+	}
+}
+
+func microFuncs() []*ir.Func {
+	var out []*ir.Func
+	for seed := int64(500); seed < 508; seed++ {
+		out = append(out, GenSSA("micro", seed, Shape{
+			Params: 4, Segments: 5, MaxDepth: 3, StraightLen: 6,
+			LoopProb: 0.4, BranchProb: 0.3, Carried: 3, LongLived: 16,
+		}))
+	}
+	return out
+}
+
+func BenchmarkMicroLiveness(b *testing.B) {
+	fs := microFuncs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fs {
+			liveness.Compute(f)
+		}
+	}
+}
+
+func BenchmarkMicroIFGBuild(b *testing.B) {
+	fs := microFuncs()
+	infos := make([]*liveness.Info, len(fs))
+	for i, f := range fs {
+		infos[i] = liveness.Compute(f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, info := range infos {
+			ifg.FromLiveness(info)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package bitset
+
+import "slices"
+
+// Interner deduplicates sorted int slices (live sets, cliques) by content.
+// Lookup is by FNV hash with an overflow list for the rare hash collision,
+// so the common path costs one map probe and one slice comparison.
+type Interner struct {
+	first    map[uint64]int32   // hash → index of the first set hashing to it
+	overflow map[uint64][]int32 // further indices on hash collision (rare)
+	sets     [][]int
+	slab     []int // backing storage for copied sets
+}
+
+// NewInterner returns an interner expecting roughly sizeHint inserts.
+func NewInterner(sizeHint int) *Interner {
+	return &Interner{first: make(map[uint64]int32, sizeHint)}
+}
+
+// Intern returns the canonical index of s, copying it into the interner's
+// slab when new. added reports whether a new entry was created.
+func (it *Interner) Intern(s []int) (idx int, added bool) {
+	return it.intern(s, true)
+}
+
+// InternRef is Intern but stores s itself (no copy) when new; the caller
+// must not mutate s afterwards.
+func (it *Interner) InternRef(s []int) (idx int, added bool) {
+	return it.intern(s, false)
+}
+
+func (it *Interner) intern(s []int, copyIn bool) (int, bool) {
+	h := HashInts(s)
+	if j, ok := it.first[h]; ok {
+		if slices.Equal(it.sets[j], s) {
+			return int(j), false
+		}
+		for _, k := range it.overflow[h] {
+			if slices.Equal(it.sets[k], s) {
+				return int(k), false
+			}
+		}
+		if it.overflow == nil {
+			it.overflow = make(map[uint64][]int32)
+		}
+		it.overflow[h] = append(it.overflow[h], int32(len(it.sets)))
+	} else {
+		it.first[h] = int32(len(it.sets))
+	}
+	stored := s
+	if copyIn {
+		start := len(it.slab)
+		it.slab = append(it.slab, s...)
+		// Earlier sub-slices stay valid across slab regrowth: they keep the
+		// old backing array alive and interned sets are immutable.
+		stored = it.slab[start:len(it.slab):len(it.slab)]
+	}
+	it.sets = append(it.sets, stored)
+	return len(it.sets) - 1, true
+}
+
+// Sets returns the interned sets in first-appearance order. The slice is
+// shared with the interner; callers may reorder it but not mutate the sets.
+func (it *Interner) Sets() [][]int { return it.sets }

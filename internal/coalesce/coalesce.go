@@ -19,6 +19,7 @@ package coalesce
 import (
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/ifg"
 	"repro/internal/ir"
 	"repro/internal/spillcost"
@@ -111,22 +112,24 @@ func Run(b *ifg.Build, moves []Move, policy Policy, r int) *Result {
 		}
 		return res.Rep[x]
 	}
-	// Working adjacency over representatives.
-	adj := make([]map[int]bool, n)
+	// Working adjacency over representatives, as bitset rows copied from the
+	// interference graph.
+	adj := make([]bitset.Set, n)
 	for v := 0; v < n; v++ {
-		adj[v] = make(map[int]bool)
-		b.Graph.VisitNeighbors(v, func(u int) { adj[v][u] = true })
+		adj[v] = b.Graph.AdjRow(v).Clone()
 	}
 	merge := func(a, c int) {
-		// Merge c into a.
-		for u := range adj[c] {
+		// Merge c into a: a inherits c's neighbors, and every neighbor of c
+		// now points at a instead.
+		adj[c].ForEach(func(u int) {
 			if u != a {
-				adj[a][u] = true
-				delete(adj[u], c)
-				adj[u][a] = true
+				adj[u].Remove(c)
+				adj[u].Add(a)
 			}
-		}
-		delete(adj[a], c)
+		})
+		adj[a].Or(adj[c])
+		adj[a].Remove(a)
+		adj[a].Remove(c)
 		adj[c] = nil
 		res.Rep[c] = a
 	}
@@ -140,7 +143,7 @@ func Run(b *ifg.Build, moves []Move, policy Policy, r int) *Result {
 			res.EliminatedCost += m.Cost // already coalesced by an earlier merge
 			continue
 		}
-		if adj[a][c] {
+		if adj[a].Has(c) {
 			continue // interfering: the move is real
 		}
 		if policy == Conservative && !briggsOK(adj, a, c, r) {
@@ -157,33 +160,37 @@ func Run(b *ifg.Build, moves []Move, policy Policy, r int) *Result {
 // combined node must have fewer than r neighbors of degree ≥ r. Such a merge
 // can never turn an r-colourable graph uncolourable (the merged node still
 // simplifies).
-func briggsOK(adj []map[int]bool, a, c, r int) bool {
+func briggsOK(adj []bitset.Set, a, c, r int) bool {
 	if r <= 0 {
 		return false
 	}
+	unionScratch := bitset.Get(len(adj))
+	union := *unionScratch
+	union.CopyFrom(adj[a])
+	union.Or(adj[c])
+	union.Remove(a)
+	union.Remove(c)
 	significant := 0
-	seen := make(map[int]bool, len(adj[a])+len(adj[c]))
-	for _, side := range [2]int{a, c} {
-		for u := range adj[side] {
-			if u == a || u == c || seen[u] {
-				continue
-			}
-			seen[u] = true
-			deg := len(adj[u])
-			// If u neighbors both a and c, merging reduces its degree by
-			// one; account for that before comparing with r.
-			if adj[a][u] && adj[c][u] {
-				deg--
-			}
-			if deg >= r {
-				significant++
-				if significant >= r {
-					return false
-				}
+	ok := true
+	union.ForEach(func(u int) {
+		if !ok {
+			return
+		}
+		deg := adj[u].Count()
+		// If u neighbors both a and c, merging reduces its degree by
+		// one; account for that before comparing with r.
+		if adj[a].Has(u) && adj[c].Has(u) {
+			deg--
+		}
+		if deg >= r {
+			significant++
+			if significant >= r {
+				ok = false
 			}
 		}
-	}
-	return true
+	})
+	bitset.Put(unionScratch)
+	return ok
 }
 
 // MergedGraphColorableBySimplify checks the Briggs guarantee on the merged
@@ -191,7 +198,7 @@ func briggsOK(adj []map[int]bool, a, c, r int) bool {
 // precise property conservative coalescing preserves (and the test suite
 // asserts).
 func MergedGraphColorableBySimplify(b *ifg.Build, res *Result, r int) bool {
-	// Rebuild merged adjacency.
+	// Rebuild merged adjacency over representative vertices.
 	n := b.Graph.N()
 	find := func(x int) int {
 		for res.Rep[x] != x {
@@ -199,34 +206,36 @@ func MergedGraphColorableBySimplify(b *ifg.Build, res *Result, r int) bool {
 		}
 		return x
 	}
-	adj := make(map[int]map[int]bool)
+	adj := make([]bitset.Set, n)
+	present := bitset.New(n)
 	for v := 0; v < n; v++ {
 		rv := find(v)
 		if adj[rv] == nil {
-			adj[rv] = make(map[int]bool)
+			adj[rv] = bitset.New(n)
+			present.Add(rv)
 		}
 		b.Graph.VisitNeighbors(v, func(u int) {
 			ru := find(u)
 			if ru != rv {
-				adj[rv][ru] = true
+				adj[rv].Add(ru)
 				if adj[ru] == nil {
-					adj[ru] = make(map[int]bool)
+					adj[ru] = bitset.New(n)
+					present.Add(ru)
 				}
-				adj[ru][rv] = true
+				adj[ru].Add(rv)
 			}
 		})
 	}
-	for len(adj) > 0 {
+	remaining := present.Count()
+	for remaining > 0 {
 		removed := false
-		for v, nbrs := range adj {
-			if len(nbrs) < r {
-				for u := range nbrs {
-					delete(adj[u], v)
-				}
-				delete(adj, v)
+		present.ForEach(func(v int) {
+			if adj[v].IntersectionCount(present) < r {
+				present.Remove(v)
+				remaining--
 				removed = true
 			}
-		}
+		})
 		if !removed {
 			return false
 		}

@@ -1,7 +1,5 @@
 package graph
 
-import "sort"
-
 // PerfectEliminationOrder computes a vertex order by Maximum Cardinality
 // Search (Tarjan & Yannakakis). If the graph is chordal the returned order is
 // a perfect elimination order; callers that need certainty should follow up
@@ -14,52 +12,65 @@ func (g *Graph) PerfectEliminationOrder() []int {
 	n := g.n
 	// MCS produces a reverse perfect elimination order: repeatedly pick the
 	// unvisited vertex with the most visited neighbors.
+	//
+	// The bucket queue is a set of intrusive doubly-linked lists, one per
+	// weight, over three flat arrays — no per-bucket slice churn, O(1)
+	// promotion of a vertex to the next weight. Ascending neighbor visits
+	// plus deterministic list surgery keep the order reproducible.
 	weight := make([]int, n)
 	visited := make([]bool, n)
-	reverse := make([]int, 0, n)
-
-	// Bucket queue over weights for O(V+E). Buckets may hold stale entries
-	// for vertices whose weight has since increased; pops skip them.
-	buckets := make([][]int, n+1)
-	buckets[0] = make([]int, n)
-	for v := 0; v < n; v++ {
-		buckets[0][v] = v
+	head := make([]int, n+1) // head[w]: first vertex of the weight-w list
+	next := make([]int, n)
+	prev := make([]int, n)
+	for i := range head {
+		head[i] = -1
+	}
+	// Seed the weight-0 list in ascending vertex order.
+	for v := n - 1; v >= 0; v-- {
+		next[v] = head[0]
+		prev[v] = -1
+		if head[0] != -1 {
+			prev[head[0]] = v
+		}
+		head[0] = v
+	}
+	unlink := func(v int) {
+		if prev[v] != -1 {
+			next[prev[v]] = next[v]
+		} else {
+			head[weight[v]] = next[v]
+		}
+		if next[v] != -1 {
+			prev[next[v]] = prev[v]
+		}
 	}
 	maxW := 0
+	reverse := make([]int, 0, n)
 	for len(reverse) < n {
-		for maxW > 0 && len(buckets[maxW]) == 0 {
+		for maxW > 0 && head[maxW] == -1 {
 			maxW--
 		}
-		// Pop an unvisited vertex of maximal weight. Buckets may hold stale
-		// entries for visited vertices; skip them.
-		var v int
-		for {
-			b := buckets[maxW]
-			if len(b) == 0 {
-				maxW--
-				continue
-			}
-			v = b[len(b)-1]
-			buckets[maxW] = b[:len(b)-1]
-			if !visited[v] && weight[v] == maxW {
-				break
-			}
-		}
+		v := head[maxW]
+		unlink(v)
 		visited[v] = true
 		reverse = append(reverse, v)
-		// Sorted neighbor visit keeps bucket contents, and therefore the
-		// resulting order, deterministic across runs.
-		for _, u := range g.Neighbors(v) {
+		g.VisitNeighbors(v, func(u int) {
 			if visited[u] {
-				continue
+				return
 			}
+			unlink(u)
 			weight[u]++
 			w := weight[u]
-			buckets[w] = append(buckets[w], u)
+			next[u] = head[w]
+			prev[u] = -1
+			if head[w] != -1 {
+				prev[head[w]] = u
+			}
+			head[w] = u
 			if w > maxW {
 				maxW = w
 			}
-		}
+		})
 	}
 	// reverse[0] is eliminated last; flip to elimination-first order.
 	order := make([]int, n)
@@ -88,13 +99,14 @@ func (g *Graph) IsPerfectEliminationOrder(order []int) bool {
 	}
 	// For each v, let parent(v) be its earliest later-neighbor; it suffices
 	// to check that v's other later-neighbors are adjacent to parent(v).
+	var later []int
 	for i, v := range order {
-		later := make([]int, 0, len(g.adj[v]))
-		for u := range g.adj[v] {
+		later = later[:0]
+		g.VisitNeighbors(v, func(u int) {
 			if index[u] > i {
 				later = append(later, u)
 			}
-		}
+		})
 		if len(later) <= 1 {
 			continue
 		}
@@ -104,10 +116,15 @@ func (g *Graph) IsPerfectEliminationOrder(order []int) bool {
 				parent = u
 			}
 		}
+		ok := true
 		for _, u := range later {
-			if u != parent && !g.adj[parent][u] {
-				return false
+			if u != parent && !g.adj[parent].Has(u) {
+				ok = false
+				break
 			}
+		}
+		if !ok {
+			return false
 		}
 	}
 	return true
@@ -139,48 +156,82 @@ func (g *Graph) MaximalCliques(order []int) [][]int {
 	// properly contained in C(u) where u is a neighbor of v eliminated
 	// earlier (any containing candidate must include v, and candidates of
 	// later vertices contain only later vertices). We filter non-maximal
-	// candidates with a direct subset test against those candidates.
-	cand := make([][]int, n)
-	candSet := make([]map[int]bool, n)
+	// candidates with a sorted-subset test against those candidates.
+	// Candidate sizes first, then one backing slab for all candidates: the
+	// total is n + Σ|later-neighbors| ≤ n + 2m, so two passes beat per-vertex
+	// slice growth by orders of magnitude in allocations.
+	sizes := make([]int, n)
+	total := 0
 	for i, v := range order {
-		c := []int{v}
-		set := map[int]bool{v: true}
-		for u := range g.adj[v] {
+		cnt := 1
+		g.VisitNeighbors(v, func(u int) {
 			if index[u] > i {
-				c = append(c, u)
-				set[u] = true
+				cnt++
 			}
+		})
+		sizes[i] = cnt
+		total += cnt
+	}
+	slab := make([]int, total)
+	cand := make([][]int, n)
+	offset := 0
+	for i, v := range order {
+		// Ascending neighbor iteration with v spliced in keeps each
+		// candidate sorted without a sort call.
+		c := slab[offset : offset : offset+sizes[i]]
+		offset += sizes[i]
+		placed := false
+		g.VisitNeighbors(v, func(u int) {
+			if index[u] <= i {
+				return
+			}
+			if !placed && u > v {
+				c = append(c, v)
+				placed = true
+			}
+			c = append(c, u)
+		})
+		if !placed {
+			c = append(c, v)
 		}
-		sort.Ints(c)
 		cand[i] = c
-		candSet[i] = set
 	}
 	var cliques [][]int
 	for i, v := range order {
 		c := cand[i]
 		maximal := true
-		for u := range g.adj[v] {
+		g.VisitNeighbors(v, func(u int) {
+			if !maximal {
+				return
+			}
 			j := index[u]
 			if j >= i || len(cand[j]) <= len(c) {
-				continue
+				return
 			}
-			contained := true
-			for _, w := range c {
-				if !candSet[j][w] {
-					contained = false
-					break
-				}
-			}
-			if contained {
+			if sortedSubset(c, cand[j]) {
 				maximal = false
-				break
 			}
-		}
+		})
 		if maximal {
 			cliques = append(cliques, c)
 		}
 	}
 	return cliques
+}
+
+// sortedSubset reports whether sorted slice a is a subset of sorted slice b.
+func sortedSubset(a, b []int) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
 }
 
 // CliqueNumber returns the size of a maximum clique of a chordal graph,
@@ -198,11 +249,11 @@ func (g *Graph) CliqueNumber(order []int) int {
 	}
 	for i, v := range order {
 		later := 1
-		for u := range g.adj[v] {
+		g.VisitNeighbors(v, func(u int) {
 			if index[u] > i {
 				later++
 			}
-		}
+		})
 		if later > best {
 			best = later
 		}
@@ -221,21 +272,40 @@ func (g *Graph) GreedyColorPEO(order []int) []int {
 	for i := range color {
 		color[i] = -1
 	}
+	usedAt := NewColorScratch(n)
 	for i := n - 1; i >= 0; i-- {
 		v := order[i]
-		used := make(map[int]bool, len(g.adj[v]))
-		for u := range g.adj[v] {
-			if color[u] >= 0 {
-				used[color[u]] = true
-			}
-		}
-		c := 0
-		for used[c] {
-			c++
-		}
-		color[v] = c
+		color[v] = g.SmallestFreeColor(v, color, usedAt, i)
 	}
 	return color
+}
+
+// NewColorScratch allocates the stamp array SmallestFreeColor needs for a
+// graph of n vertices, initialized so any stamp ≥ 0 is fresh.
+func NewColorScratch(n int) []int {
+	usedAt := make([]int, n+1)
+	for i := range usedAt {
+		usedAt[i] = -1
+	}
+	return usedAt
+}
+
+// SmallestFreeColor returns the smallest colour not used by any coloured
+// neighbor of v. color maps vertex → colour with -1 for uncoloured; usedAt
+// comes from NewColorScratch and is reused across calls — stamp must be a
+// distinct non-negative value per call (the stamp trick avoids clearing the
+// array between vertices).
+func (g *Graph) SmallestFreeColor(v int, color, usedAt []int, stamp int) int {
+	g.VisitNeighbors(v, func(u int) {
+		if c := color[u]; c >= 0 {
+			usedAt[c] = stamp
+		}
+	})
+	c := 0
+	for usedAt[c] == stamp {
+		c++
+	}
+	return c
 }
 
 // ColorableWith reports whether the subgraph induced by the allocated set is

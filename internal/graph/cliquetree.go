@@ -1,6 +1,10 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/bitset"
+)
 
 // CliqueTree is a clique tree (junction tree) of a chordal graph: one node
 // per maximal clique, connected so that for every vertex v the cliques
@@ -40,21 +44,15 @@ func (g *Graph) BuildCliqueTree(order []int) *CliqueTree {
 	if k == 0 {
 		return t
 	}
-	member := make([][]bool, k)
+	member := make([]bitset.Set, k)
 	for i, c := range cliques {
-		member[i] = make([]bool, g.n)
+		member[i] = bitset.New(g.n)
 		for _, v := range c {
-			member[i][v] = true
+			member[i].Add(v)
 		}
 	}
 	overlap := func(i, j int) int {
-		count := 0
-		for _, v := range cliques[i] {
-			if member[j][v] {
-				count++
-			}
-		}
-		return count
+		return member[i].IntersectionCount(member[j])
 	}
 	// Prim's algorithm for a maximum-weight spanning forest, restarted per
 	// component; zero-weight edges never connect (disjoint cliques stay in
@@ -91,7 +89,7 @@ func (g *Graph) BuildCliqueTree(order []int) *CliqueTree {
 			t.Parent[next] = bestTo[next]
 			var sep []int
 			for _, v := range cliques[next] {
-				if member[bestTo[next]][v] {
+				if member[bestTo[next]].Has(v) {
 					sep = append(sep, v)
 				}
 			}

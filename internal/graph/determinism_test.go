@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildRandomGraph returns an identical random graph for a given seed; two
+// calls with the same seed must produce byte-identical structures.
+func buildRandomGraph(seed int64, n int, p float64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// TestDeterministicEnumeration is the regression test for the package's
+// stable-enumeration promise: two independently built copies of the same
+// graph must agree exactly on neighbor order, PEO, maximal cliques, greedy
+// colouring, and the clique tree — frozen (CSR) or not.
+func TestDeterministicEnumeration(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a := buildRandomGraph(seed, 120, 0.08)
+		b := buildRandomGraph(seed, 120, 0.08)
+		b.Freeze() // one CSR-frozen, one bitset-backed: same enumeration
+
+		for v := 0; v < a.N(); v++ {
+			na, nb := a.Neighbors(v), b.Neighbors(v)
+			if !reflect.DeepEqual(na, nb) {
+				t.Fatalf("seed %d: Neighbors(%d) differ: %v vs %v", seed, v, na, nb)
+			}
+			var va, vb []int
+			a.VisitNeighbors(v, func(u int) { va = append(va, u) })
+			b.VisitNeighbors(v, func(u int) { vb = append(vb, u) })
+			if !reflect.DeepEqual(va, vb) {
+				t.Fatalf("seed %d: VisitNeighbors(%d) differ: %v vs %v", seed, v, va, vb)
+			}
+			for i := 1; i < len(va); i++ {
+				if va[i-1] >= va[i] {
+					t.Fatalf("seed %d: VisitNeighbors(%d) not ascending: %v", seed, v, va)
+				}
+			}
+		}
+
+		ordA, ordB := a.PerfectEliminationOrder(), b.PerfectEliminationOrder()
+		if !reflect.DeepEqual(ordA, ordB) {
+			t.Fatalf("seed %d: PEO differs between runs", seed)
+		}
+		if !reflect.DeepEqual(a.MaximalCliques(ordA), b.MaximalCliques(ordB)) {
+			t.Fatalf("seed %d: MaximalCliques differ between runs", seed)
+		}
+		if !reflect.DeepEqual(a.GreedyColorPEO(ordA), b.GreedyColorPEO(ordB)) {
+			t.Fatalf("seed %d: GreedyColorPEO differs between runs", seed)
+		}
+		ta, tb := a.BuildCliqueTree(ordA), b.BuildCliqueTree(ordB)
+		if !reflect.DeepEqual(ta.Cliques, tb.Cliques) ||
+			!reflect.DeepEqual(ta.Parent, tb.Parent) ||
+			!reflect.DeepEqual(ta.Separator, tb.Separator) {
+			t.Fatalf("seed %d: clique trees differ between runs", seed)
+		}
+	}
+}

@@ -5,21 +5,34 @@
 // Vertices are dense integer IDs in [0, N). Most allocator-facing code works
 // with a *Graph plus a parallel weight slice; the Weighted helper bundles the
 // two. The package is deterministic: every enumeration (neighbors, cliques,
-// orders) is returned in a stable order so allocation results are
+// orders) is returned in ascending/stable order so allocation results are
 // reproducible run to run.
+//
+// Adjacency is stored as dense bitset rows (one word-packed row per vertex),
+// giving O(1) edge tests, O(n/64) row operations, and ascending neighbor
+// iteration by construction. Freeze additionally snapshots a CSR (compressed
+// sparse row) form of the adjacency for cache-friendly neighbor scans in the
+// read-only algorithm phases; any mutation invalidates the snapshot.
 package graph
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/bitset"
 )
 
 // Graph is an undirected graph over vertices 0..N-1. The zero value is an
 // empty graph with no vertices; use New to pre-size.
 type Graph struct {
 	n   int
-	adj []map[int]bool // adjacency sets, one per vertex
+	adj []bitset.Set // adjacency bitset rows, one per vertex
+
+	// Frozen CSR snapshot: neighbors of v are csrAdj[csrOff[v]:csrOff[v+1]],
+	// ascending. Nil when stale; rebuilt by Freeze.
+	csrOff []int32
+	csrAdj []int32
 }
 
 // New returns a graph with n vertices and no edges.
@@ -27,11 +40,7 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative vertex count %d", n))
 	}
-	g := &Graph{n: n, adj: make([]map[int]bool, n)}
-	for i := range g.adj {
-		g.adj[i] = make(map[int]bool)
-	}
-	return g
+	return &Graph{n: n, adj: bitset.NewSlab(n, n)}
 }
 
 // N returns the number of vertices.
@@ -39,17 +48,62 @@ func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges.
 func (g *Graph) M() int {
+	if g.csrOff != nil {
+		return len(g.csrAdj) / 2
+	}
 	total := 0
-	for _, a := range g.adj {
-		total += len(a)
+	for _, row := range g.adj {
+		total += row.Count()
 	}
 	return total / 2
 }
 
+// dirty drops the CSR snapshot after a mutation.
+func (g *Graph) dirty() {
+	g.csrOff, g.csrAdj = nil, nil
+}
+
+// Freeze builds (or rebuilds) the CSR adjacency snapshot. Read-heavy phases
+// (PEO, clique enumeration, colouring, allocation) iterate neighbors through
+// it; calling Freeze is optional — iteration falls back to the bitset rows —
+// but frozen scans are faster on sparse graphs. Any mutation invalidates the
+// snapshot automatically.
+func (g *Graph) Freeze() {
+	off := make([]int32, g.n+1)
+	total := 0
+	for v, row := range g.adj {
+		off[v] = int32(total)
+		total += row.Count()
+	}
+	off[g.n] = int32(total)
+	adj := make([]int32, total)
+	for v, row := range g.adj {
+		i := off[v]
+		row.ForEach(func(u int) {
+			adj[i] = int32(u)
+			i++
+		})
+	}
+	g.csrOff, g.csrAdj = off, adj
+}
+
+// Frozen reports whether a current CSR snapshot exists.
+func (g *Graph) Frozen() bool { return g.csrOff != nil }
+
 // AddVertex appends a fresh vertex and returns its ID.
 func (g *Graph) AddVertex() int {
-	g.adj = append(g.adj, make(map[int]bool))
 	g.n++
+	w := bitset.Words(g.n)
+	for i, row := range g.adj {
+		if len(row) < w {
+			// Rows may share a backing slab; grow into fresh storage.
+			grown := make(bitset.Set, w)
+			copy(grown, row)
+			g.adj[i] = grown
+		}
+	}
+	g.adj = append(g.adj, make(bitset.Set, w))
+	g.dirty()
 	return g.n - 1
 }
 
@@ -61,51 +115,87 @@ func (g *Graph) AddEdge(u, v int) {
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
 	}
-	g.adj[u][v] = true
-	g.adj[v][u] = true
+	g.adj[u].Add(v)
+	g.adj[v].Add(u)
+	g.dirty()
+}
+
+// AddClique makes every pair of vs adjacent, in O(|vs| · n/64) instead of
+// the O(|vs|²) pairwise AddEdge loop. Duplicate members are tolerated.
+func (g *Graph) AddClique(vs []int) {
+	if len(vs) < 2 {
+		return
+	}
+	mask := bitset.Get(g.n)
+	for _, v := range vs {
+		g.check(v)
+		mask.Add(v)
+	}
+	for _, v := range vs {
+		g.adj[v].Or(*mask)
+		g.adj[v].Remove(v) // no self-loops
+	}
+	bitset.Put(mask)
+	g.dirty()
 }
 
 // HasEdge reports whether (u, v) is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
-	return g.adj[u][v]
+	return g.adj[u].Has(v)
 }
 
 // Degree returns the number of neighbors of v.
 func (g *Graph) Degree(v int) int {
 	g.check(v)
-	return len(g.adj[v])
+	if g.csrOff != nil {
+		return int(g.csrOff[v+1] - g.csrOff[v])
+	}
+	return g.adj[v].Count()
 }
 
 // Neighbors returns the neighbors of v in ascending order. The slice is
 // freshly allocated and safe for the caller to retain.
 func (g *Graph) Neighbors(v int) []int {
 	g.check(v)
-	out := make([]int, 0, len(g.adj[v]))
-	for u := range g.adj[v] {
-		out = append(out, u)
+	if g.csrOff != nil {
+		row := g.csrAdj[g.csrOff[v]:g.csrOff[v+1]]
+		out := make([]int, len(row))
+		for i, u := range row {
+			out[i] = int(u)
+		}
+		return out
 	}
-	sort.Ints(out)
-	return out
+	return g.adj[v].AppendTo(make([]int, 0, g.adj[v].Count()))
 }
 
-// VisitNeighbors calls fn for every neighbor of v in unspecified order.
-// It avoids the allocation of Neighbors for hot paths.
+// VisitNeighbors calls fn for every neighbor of v in ascending order. It
+// avoids the allocation of Neighbors for hot paths; when a CSR snapshot is
+// current (see Freeze) the scan runs over the packed neighbor array.
 func (g *Graph) VisitNeighbors(v int, fn func(u int)) {
 	g.check(v)
-	for u := range g.adj[v] {
-		fn(u)
+	if g.csrOff != nil {
+		for _, u := range g.csrAdj[g.csrOff[v]:g.csrOff[v+1]] {
+			fn(int(u))
+		}
+		return
 	}
+	g.adj[v].ForEach(fn)
+}
+
+// AdjRow returns v's adjacency bitset. The row is shared with the graph and
+// must not be mutated; it stays valid until the next AddVertex.
+func (g *Graph) AdjRow(v int) bitset.Set {
+	g.check(v)
+	return g.adj[v]
 }
 
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
-	for v, a := range g.adj {
-		for u := range a {
-			c.adj[v][u] = true
-		}
+	for v, row := range g.adj {
+		c.adj[v].CopyFrom(row)
 	}
 	return c
 }
@@ -115,10 +205,11 @@ func (g *Graph) Clone() *Graph {
 // of the interference structure without renumbering.
 func (g *Graph) RemoveVertexEdges(v int) {
 	g.check(v)
-	for u := range g.adj[v] {
-		delete(g.adj[u], v)
-	}
-	g.adj[v] = make(map[int]bool)
+	g.adj[v].ForEach(func(u int) {
+		g.adj[u].Remove(v)
+	})
+	g.adj[v].Clear()
+	g.dirty()
 }
 
 // InducedSubgraph returns the subgraph induced by keep along with the
@@ -127,19 +218,30 @@ func (g *Graph) RemoveVertexEdges(v int) {
 func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
 	newToOld := append([]int(nil), keep...)
 	sort.Ints(newToOld)
-	oldToNew := make(map[int]int, len(newToOld))
+	oldToNew := make([]int, g.n)
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	mask := bitset.Get(g.n)
 	for i, v := range newToOld {
 		g.check(v)
 		oldToNew[v] = i
+		mask.Add(v)
 	}
 	sub := New(len(newToOld))
+	row := bitset.Get(g.n)
 	for i, v := range newToOld {
-		for u := range g.adj[v] {
-			if j, ok := oldToNew[u]; ok && j > i {
-				sub.AddEdge(i, j)
+		row.CopyFrom(g.adj[v])
+		row.And(*mask)
+		row.ForEach(func(u int) {
+			if j := oldToNew[u]; j > i {
+				sub.adj[i].Add(j)
+				sub.adj[j].Add(i)
 			}
-		}
+		})
 	}
+	bitset.Put(row)
+	bitset.Put(mask)
 	return sub, newToOld
 }
 
@@ -174,7 +276,7 @@ func (g *Graph) String() string {
 	fmt.Fprintf(&b, "n=%d m=%d edges=[", g.n, g.M())
 	first := true
 	for v := 0; v < g.n; v++ {
-		for _, u := range g.Neighbors(v) {
+		g.adj[v].ForEach(func(u int) {
 			if u > v {
 				if !first {
 					b.WriteByte(' ')
@@ -182,7 +284,7 @@ func (g *Graph) String() string {
 				fmt.Fprintf(&b, "(%d,%d)", v, u)
 				first = false
 			}
-		}
+		})
 	}
 	b.WriteByte(']')
 	return b.String()

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// refGraph is the retained map-based reference implementation the bitset
+// Graph replaced; the property test below cross-checks the two on random
+// graphs and operation sequences.
+type refGraph struct {
+	n   int
+	adj []map[int]bool
+}
+
+func newRef(n int) *refGraph {
+	r := &refGraph{n: n, adj: make([]map[int]bool, n)}
+	for i := range r.adj {
+		r.adj[i] = make(map[int]bool)
+	}
+	return r
+}
+
+func (r *refGraph) addEdge(u, v int) {
+	r.adj[u][v] = true
+	r.adj[v][u] = true
+}
+
+func (r *refGraph) removeVertexEdges(v int) {
+	for u := range r.adj[v] {
+		delete(r.adj[u], v)
+	}
+	r.adj[v] = make(map[int]bool)
+}
+
+func (r *refGraph) neighbors(v int) []int {
+	out := make([]int, 0, len(r.adj[v]))
+	for u := range r.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (r *refGraph) m() int {
+	total := 0
+	for _, a := range r.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+func (r *refGraph) inducedSubgraph(keep []int) *refGraph {
+	newToOld := append([]int(nil), keep...)
+	sort.Ints(newToOld)
+	oldToNew := make(map[int]int, len(newToOld))
+	for i, v := range newToOld {
+		oldToNew[v] = i
+	}
+	sub := newRef(len(newToOld))
+	for i, v := range newToOld {
+		for u := range r.adj[v] {
+			if j, ok := oldToNew[u]; ok && j > i {
+				sub.addEdge(i, j)
+			}
+		}
+	}
+	return sub
+}
+
+func checkEquivalent(t *testing.T, g *Graph, r *refGraph, label string) {
+	t.Helper()
+	if g.N() != r.n {
+		t.Fatalf("%s: N = %d, ref %d", label, g.N(), r.n)
+	}
+	if g.M() != r.m() {
+		t.Fatalf("%s: M = %d, ref %d", label, g.M(), r.m())
+	}
+	for v := 0; v < r.n; v++ {
+		want := r.neighbors(v)
+		if got := g.Neighbors(v); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Neighbors(%d) = %v, ref %v", label, v, got, want)
+		}
+		if got := g.Degree(v); got != len(want) {
+			t.Fatalf("%s: Degree(%d) = %d, ref %d", label, v, got, len(want))
+		}
+		for u := 0; u < r.n; u++ {
+			if u != v && g.HasEdge(v, u) != r.adj[v][u] {
+				t.Fatalf("%s: HasEdge(%d,%d) = %v, ref %v", label, v, u, g.HasEdge(v, u), r.adj[v][u])
+			}
+		}
+	}
+}
+
+// TestGraphMatchesReference drives random operation sequences through the
+// bitset Graph and the map reference in lockstep and requires full
+// observational equivalence, frozen or not, including induced subgraphs.
+func TestGraphMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		g := New(n)
+		r := newRef(n)
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(10) {
+			case 0: // occasionally detach a vertex
+				v := rng.Intn(n)
+				g.RemoveVertexEdges(v)
+				r.removeVertexEdges(v)
+			case 1: // occasionally freeze; reads must stay identical
+				g.Freeze()
+			default:
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u != v {
+					g.AddEdge(u, v)
+					r.addEdge(u, v)
+				}
+			}
+		}
+		checkEquivalent(t, g, r, "after ops")
+
+		// Induced subgraph of a random vertex subset.
+		var keep []int
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				keep = append(keep, v)
+			}
+		}
+		sub, newToOld := g.InducedSubgraph(keep)
+		refSub := r.inducedSubgraph(keep)
+		sort.Ints(keep)
+		if !reflect.DeepEqual(newToOld, keep) {
+			t.Fatalf("seed %d: newToOld = %v, want %v", seed, newToOld, keep)
+		}
+		checkEquivalent(t, sub, refSub, "induced subgraph")
+
+		// Stable/clique predicates agree on random sets.
+		for trial := 0; trial < 20; trial++ {
+			var s []int
+			for v := 0; v < n; v++ {
+				if rng.Intn(6) == 0 {
+					s = append(s, v)
+				}
+			}
+			stable, clique := true, true
+			for i := 0; i < len(s); i++ {
+				for j := i + 1; j < len(s); j++ {
+					if r.adj[s[i]][s[j]] {
+						stable = false
+					} else {
+						clique = false
+					}
+				}
+			}
+			if g.IsStableSet(s) != stable {
+				t.Fatalf("seed %d: IsStableSet(%v) mismatch", seed, s)
+			}
+			if g.IsClique(s) != clique {
+				t.Fatalf("seed %d: IsClique(%v) mismatch", seed, s)
+			}
+		}
+	}
+}
+
+// TestAddVertexGrowsUniverse checks row growth across the word boundary:
+// vertices added past the original universe must be usable immediately.
+func TestAddVertexGrowsUniverse(t *testing.T) {
+	g := New(63)
+	g.AddEdge(0, 62)
+	for i := 0; i < 70; i++ {
+		v := g.AddVertex()
+		g.AddEdge(0, v)
+	}
+	if g.N() != 133 {
+		t.Fatalf("N = %d, want 133", g.N())
+	}
+	if g.Degree(0) != 71 {
+		t.Fatalf("Degree(0) = %d, want 71", g.Degree(0))
+	}
+	if !g.HasEdge(0, 132) || !g.HasEdge(132, 0) {
+		t.Fatal("edge to grown vertex missing")
+	}
+}

@@ -12,6 +12,7 @@ package ifg
 import (
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/liveness"
@@ -21,6 +22,7 @@ import (
 type Build struct {
 	F *ir.Func
 	// Graph has one vertex per allocable value; VertexOf/ValueOf translate.
+	// It is returned frozen (CSR snapshot current) for fast neighbor scans.
 	Graph *graph.Graph
 	// VertexOf maps value ID to vertex (-1 when the value never occurs).
 	VertexOf []int
@@ -55,10 +57,10 @@ func FromLiveness(info *liveness.Info) *Build {
 	for i := range b.VertexOf {
 		b.VertexOf[i] = -1
 	}
-	present := make([]bool, f.NumValues)
+	present := bitset.New(f.NumValues)
 	mark := func(v int) {
 		if v >= 0 && v < f.NumValues {
-			present[v] = true
+			present.Add(v)
 		}
 	}
 	for _, blk := range f.Blocks {
@@ -76,51 +78,43 @@ func FromLiveness(info *liveness.Info) *Build {
 			mark(v)
 		}
 	}
-	for v := 0; v < f.NumValues; v++ {
-		if present[v] {
-			b.VertexOf[v] = len(b.ValueOf)
-			b.ValueOf = append(b.ValueOf, v)
-		}
-	}
+	present.ForEach(func(v int) {
+		b.VertexOf[v] = len(b.ValueOf)
+		b.ValueOf = append(b.ValueOf, v)
+	})
 	b.Graph = graph.New(len(b.ValueOf))
 
 	// Every program-point live set is a set of simultaneously live values:
-	// make each a clique. This subsumes the def-vs-live rule because the
-	// point before an instruction's successor... more precisely, the def is
-	// in the live set of the point just after the definition whenever it is
-	// used later, and values dead immediately still appear via the def
-	// point's live-before set of the *next* instruction. To also catch
-	// defs that are never used (dead defs still occupy a register at their
-	// definition), add explicit def-vs-live-after edges below.
-	seen := make(map[string]bool)
+	// make each a clique. This subsumes the def-vs-live rule for defs with
+	// uses; dead defs are handled by the explicit def-vs-live-after pass
+	// below. Each point is translated into a reusable scratch slice and
+	// deduplicated through the interner (no string fingerprints, no
+	// allocation for duplicate points).
+	intern := bitset.NewInterner(len(info.Points))
+	var vsBuf []int
 	for _, p := range info.Points {
 		if len(p.Live) < 1 {
 			continue
 		}
-		vs := make([]int, len(p.Live))
-		for i, v := range p.Live {
-			vs[i] = b.VertexOf[v]
+		vsBuf = vsBuf[:0]
+		for _, v := range p.Live {
+			vsBuf = append(vsBuf, b.VertexOf[v])
 		}
-		key := fingerprint(vs)
-		if !seen[key] {
-			seen[key] = true
-			b.LiveSets = append(b.LiveSets, vs)
-		}
-		for i := 0; i < len(vs); i++ {
-			for j := i + 1; j < len(vs); j++ {
-				b.Graph.AddEdge(vs[i], vs[j])
-			}
+		if idx, added := intern.Intern(vsBuf); added {
+			b.Graph.AddClique(intern.Sets()[idx])
 		}
 	}
+	b.LiveSets = intern.Sets()
 
 	// Def-vs-live edges for dead or immediately-dead definitions: walk each
 	// block backward like the liveness point computation and connect each
 	// def to everything live after it.
-	liveAfter := make(map[int]bool)
+	liveAfterScratch := bitset.Get(f.NumValues)
+	liveAfter := *liveAfterScratch
 	for _, blk := range f.Blocks {
-		clear(liveAfter)
+		liveAfter.Clear()
 		for _, v := range info.LiveOut[blk.ID] {
-			liveAfter[v] = true
+			liveAfter.Add(v)
 		}
 		for i := len(blk.Instrs) - 1; i >= 0; i-- {
 			ins := &blk.Instrs[i]
@@ -129,15 +123,15 @@ func FromLiveness(info *liveness.Info) *Build {
 			}
 			if ins.Op.HasDef() && ins.Def != ir.NoValue {
 				dv := b.VertexOf[ins.Def]
-				for u := range liveAfter {
+				liveAfter.ForEach(func(u int) {
 					if u != ins.Def {
 						b.Graph.AddEdge(dv, b.VertexOf[u])
 					}
-				}
-				delete(liveAfter, ins.Def)
+				})
+				liveAfter.Remove(ins.Def)
 			}
 			for _, u := range ins.Uses {
-				liveAfter[u] = true
+				liveAfter.Add(u)
 			}
 		}
 		// Phi defs all occupy registers simultaneously at the block
@@ -161,9 +155,11 @@ func FromLiveness(info *liveness.Info) *Build {
 			}
 		}
 	}
+	bitset.Put(liveAfterScratch)
 	sort.Slice(b.LiveSets, func(i, j int) bool {
 		return lessIntSlice(b.LiveSets[i], b.LiveSets[j])
 	})
+	b.Graph.Freeze()
 	return b
 }
 
@@ -176,29 +172,6 @@ func (b *Build) Names(vertices []int) []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-func fingerprint(s []int) string {
-	buf := make([]byte, 0, len(s)*4)
-	for _, v := range s {
-		buf = appendInt(buf, v)
-		buf = append(buf, ',')
-	}
-	return string(buf)
-}
-
-func appendInt(buf []byte, v int) []byte {
-	if v == 0 {
-		return append(buf, '0')
-	}
-	var tmp [12]byte
-	i := len(tmp)
-	for v > 0 {
-		i--
-		tmp[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return append(buf, tmp[i:]...)
 }
 
 func lessIntSlice(a, b []int) bool {

@@ -1,11 +1,15 @@
 package ifg
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/ir"
 	"repro/internal/liveness"
 )
+
+// fingerprint keys a sorted vertex set for test-side set comparison.
+func fingerprint(s []int) string { return fmt.Sprint(s) }
 
 func build(t *testing.T, src string) *Build {
 	t.Helper()

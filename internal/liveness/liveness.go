@@ -3,12 +3,16 @@
 // the maximal register pressure. Phi instructions follow the SSA convention:
 // a phi's operands are live out of the corresponding predecessor blocks (not
 // live into the phi's block), and the phi's result is live in.
+//
+// Internally every set is a dense bitset over value IDs; the public API
+// stays sorted []int slices (ascending by construction of the bitset
+// iteration), so callers are unaffected by the representation.
 package liveness
 
 import (
 	"sort"
-	"strconv"
 
+	"repro/internal/bitset"
 	"repro/internal/ir"
 )
 
@@ -37,106 +41,99 @@ type Point struct {
 	Live []int
 }
 
+// blockSets carries the per-block bitsets of the dataflow problem.
+type blockSets struct {
+	use, def, phiDef []bitset.Set
+	// phiUse[b][p] holds the values used by phis of b for predecessor p
+	// (nil when b has no phis reading from p).
+	phiUse []map[int]bitset.Set
+}
+
 // Compute runs the analysis.
 func Compute(f *ir.Func) *Info {
 	n := len(f.Blocks)
+	nv := f.NumValues
 	info := &Info{
 		F:       f,
 		LiveIn:  make([][]int, n),
 		LiveOut: make([][]int, n),
 	}
-	// use[b]: upward-exposed non-phi uses; def[b]: values defined in b
-	// (including phi defs); phiUse[b][p]: values used by phis of b for
-	// predecessor p.
-	use := make([]map[int]bool, n)
-	def := make([]map[int]bool, n)
-	phiDef := make([]map[int]bool, n)
-	phiUse := make([]map[int]map[int]bool, n)
+	sets := blockSets{
+		use:    bitset.NewSlab(n, nv),
+		def:    bitset.NewSlab(n, nv),
+		phiDef: bitset.NewSlab(n, nv),
+		phiUse: make([]map[int]bitset.Set, n),
+	}
 	for _, b := range f.Blocks {
-		use[b.ID] = make(map[int]bool)
-		def[b.ID] = make(map[int]bool)
-		phiDef[b.ID] = make(map[int]bool)
-		phiUse[b.ID] = make(map[int]map[int]bool)
 		for _, ins := range b.Instrs {
 			if ins.Op == ir.OpPhi {
-				phiDef[b.ID][ins.Def] = true
-				def[b.ID][ins.Def] = true
+				sets.phiDef[b.ID].Add(ins.Def)
+				sets.def[b.ID].Add(ins.Def)
 				for k, u := range ins.Uses {
 					if k >= len(b.Preds) {
 						continue
 					}
 					p := b.Preds[k]
-					if phiUse[b.ID][p] == nil {
-						phiUse[b.ID][p] = make(map[int]bool)
+					if sets.phiUse[b.ID] == nil {
+						sets.phiUse[b.ID] = make(map[int]bitset.Set, len(b.Preds))
 					}
-					phiUse[b.ID][p][u] = true
+					if sets.phiUse[b.ID][p] == nil {
+						sets.phiUse[b.ID][p] = bitset.New(nv)
+					}
+					sets.phiUse[b.ID][p].Add(u)
 				}
 				continue
 			}
 			for _, u := range ins.Uses {
-				if !def[b.ID][u] {
-					use[b.ID][u] = true
+				if !sets.def[b.ID].Has(u) {
+					sets.use[b.ID].Add(u)
 				}
 			}
 			if ins.Op.HasDef() && ins.Def != ir.NoValue {
-				def[b.ID][ins.Def] = true
+				sets.def[b.ID].Add(ins.Def)
 			}
 		}
 	}
-	liveIn := make([]map[int]bool, n)
-	liveOut := make([]map[int]bool, n)
-	for i := range liveIn {
-		liveIn[i] = make(map[int]bool)
-		liveOut[i] = make(map[int]bool)
-	}
-	// Backward fixpoint. LiveIn(b) = use(b) ∪ (LiveOut(b) \ (def(b) \ phiDef(b)))
-	// ... with the convention that phi defs are live-in of b (they are
-	// "defined at the block boundary"): LiveIn(b) = use(b) ∪ phiDef(b) ∪
-	// (LiveOut(b) \ def(b)).
+	liveIn := bitset.NewSlab(n, nv)
+	liveOut := bitset.NewSlab(n, nv)
+	// Backward fixpoint. LiveIn(b) = use(b) ∪ phiDef(b) ∪ (LiveOut(b) \ def(b))
+	// (phi defs are "defined at the block boundary" and count as live-in).
 	// LiveOut(b) = ∪_{s∈succ(b)} (LiveIn(s) \ phiDef(s)) ∪ phiUse(s)[b].
+	tmpScratch := bitset.Get(nv)
+	tmp := *tmpScratch
 	for changed := true; changed; {
 		changed = false
 		for i := n - 1; i >= 0; i-- {
 			b := f.Blocks[i]
 			out := liveOut[b.ID]
 			for _, s := range b.Succs {
-				for v := range liveIn[s] {
-					if !phiDef[s][v] && !out[v] {
-						out[v] = true
-						changed = true
-					}
+				tmp.CopyFrom(liveIn[s])
+				tmp.AndNot(sets.phiDef[s])
+				if out.OrChanged(tmp) {
+					changed = true
 				}
-				for v := range phiUse[s][b.ID] {
-					if !out[v] {
-						out[v] = true
-						changed = true
-					}
+				if pu := sets.phiUse[s][b.ID]; pu != nil && out.OrChanged(pu) {
+					changed = true
 				}
 			}
 			in := liveIn[b.ID]
-			for v := range use[b.ID] {
-				if !in[v] {
-					in[v] = true
-					changed = true
-				}
+			if in.OrChanged(sets.use[b.ID]) {
+				changed = true
 			}
-			for v := range phiDef[b.ID] {
-				if !in[v] {
-					in[v] = true
-					changed = true
-				}
+			if in.OrChanged(sets.phiDef[b.ID]) {
+				changed = true
 			}
-			for v := range out {
-				if !def[b.ID][v] && !in[v] {
-					in[v] = true
-					changed = true
-				}
+			tmp.CopyFrom(out)
+			tmp.AndNot(sets.def[b.ID])
+			if in.OrChanged(tmp) {
+				changed = true
 			}
 		}
 	}
+	bitset.Put(tmpScratch)
 	for i := 0; i < n; i++ {
-		info.LiveIn[i] = sortedKeys(liveIn[i])
-		info.LiveOut[i] = sortedKeys(liveOut[i])
+		info.LiveIn[i] = liveIn[i].AppendTo(make([]int, 0, liveIn[i].Count()))
+		info.LiveOut[i] = liveOut[i].AppendTo(make([]int, 0, liveOut[i].Count()))
 	}
 	info.computePoints(liveOut)
 	return info
@@ -144,14 +141,18 @@ func Compute(f *ir.Func) *Info {
 
 // computePoints walks each block backward from its live-out set, recording
 // the live set before every non-phi instruction plus the block-end point.
-func (info *Info) computePoints(liveOut []map[int]bool) {
+func (info *Info) computePoints(liveOut []bitset.Set) {
 	f := info.F
+	nv := f.NumValues
+	liveScratch := bitset.Get(nv)
+	defer bitset.Put(liveScratch)
+	live := *liveScratch
+	snapshot := func() []int {
+		return live.AppendTo(make([]int, 0, live.Count()))
+	}
 	for _, b := range f.Blocks {
-		live := make(map[int]bool, len(liveOut[b.ID]))
-		for v := range liveOut[b.ID] {
-			live[v] = true
-		}
-		endPoint := Point{Block: b.ID, Index: len(b.Instrs), Live: sortedKeys(live)}
+		live.CopyFrom(liveOut[b.ID])
+		endPoint := Point{Block: b.ID, Index: len(b.Instrs), Live: snapshot()}
 		var pts []Point
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
 			ins := &b.Instrs[i]
@@ -168,20 +169,16 @@ func (info *Info) computePoints(liveOut []map[int]bool) {
 				// larger than any surrounding live set, and it is what the
 				// interference graph's cliques reflect — record it so
 				// MaxLive equals the clique number on SSA functions.
-				if !live[ins.Def] {
-					instant := make(map[int]bool, len(live)+1)
-					for v := range live {
-						instant[v] = true
-					}
-					instant[ins.Def] = true
-					pts = append(pts, Point{Block: b.ID, Index: i, Live: sortedKeys(instant)})
+				if !live.Has(ins.Def) {
+					live.Add(ins.Def)
+					pts = append(pts, Point{Block: b.ID, Index: i, Live: snapshot()})
 				}
-				delete(live, ins.Def)
+				live.Remove(ins.Def)
 			}
 			for _, u := range ins.Uses {
-				live[u] = true
+				live.Add(u)
 			}
-			pts = append(pts, Point{Block: b.ID, Index: i, Live: sortedKeys(live)})
+			pts = append(pts, Point{Block: b.ID, Index: i, Live: snapshot()})
 		}
 		// pts is in reverse layout order; flip, then append block end.
 		for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
@@ -196,6 +193,7 @@ func (info *Info) computePoints(liveOut []map[int]bool) {
 			}
 		}
 		if len(phiDefs) > 0 {
+			sort.Ints(phiDefs)
 			var first *Point
 			if len(pts) > 0 {
 				first = &pts[0]
@@ -219,46 +217,35 @@ func (info *Info) computePoints(liveOut []map[int]bool) {
 // ones among these are exactly the maximal cliques of the interference
 // graph.
 func (info *Info) LiveSets() [][]int {
-	seen := make(map[string]bool)
-	var out [][]int
+	intern := bitset.NewInterner(len(info.Points))
 	for _, p := range info.Points {
 		if len(p.Live) == 0 {
 			continue
 		}
-		key := fingerprint(p.Live)
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, p.Live)
+		intern.InternRef(p.Live)
+	}
+	return intern.Sets()
+}
+
+// mergeSorted merges two sorted slices into a fresh sorted slice without
+// duplicates.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
 		}
 	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
-}
-
-func fingerprint(s []int) string {
-	buf := make([]byte, 0, len(s)*4)
-	for _, v := range s {
-		buf = strconv.AppendInt(buf, int64(v), 10)
-		buf = append(buf, ',')
-	}
-	return string(buf)
-}
-
-func sortedKeys(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for v := range m {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
-}
-
-func mergeSorted(a, b []int) []int {
-	m := make(map[int]bool, len(a)+len(b))
-	for _, v := range a {
-		m[v] = true
-	}
-	for _, v := range b {
-		m[v] = true
-	}
-	return sortedKeys(m)
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,11 +20,24 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate (8..15); 0 = all")
-	ext := flag.Bool("ext", false, "also run the SSA-construction extension experiment")
-	coal := flag.Bool("coalesce", false, "also run the coalescing extension experiment")
-	verbose := flag.Bool("v", false, "print per-program progress")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fig := fs.Int("fig", 0, "figure to regenerate (8..15); 0 = all")
+	ext := fs.Bool("ext", false, "also run the SSA-construction extension experiment")
+	coal := fs.Bool("coalesce", false, "also run the coalescing extension experiment")
+	verbose := fs.Bool("v", false, "print per-program progress")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	var progress io.Writer
 	if *verbose {
@@ -62,18 +76,18 @@ func main() {
 		}
 		instances := bench.Run(pair.suite, progress)
 		if want(pair.meanFig) {
-			fmt.Printf("%s\n", pair.meanTitle)
-			fmt.Print(bench.FormatMeansTable(bench.NormalizedMeans(instances, names), names))
-			fmt.Println()
+			fmt.Fprintf(out, "%s\n", pair.meanTitle)
+			fmt.Fprint(out, bench.FormatMeansTable(bench.NormalizedMeans(instances, names), names))
+			fmt.Fprintln(out)
 		}
 		if want(pair.distFig) {
 			ratios, skipped := bench.PerProgramRatios(instances, names)
-			fmt.Printf("%s\n", pair.distTitle)
-			fmt.Print(bench.FormatDistTable(ratios, names))
+			fmt.Fprintf(out, "%s\n", pair.distTitle)
+			fmt.Fprint(out, bench.FormatDistTable(ratios, names))
 			if skipped > 0 {
-				fmt.Printf("(skipped %d undefined ratios: optimal cost was zero)\n", skipped)
+				fmt.Fprintf(out, "(skipped %d undefined ratios: optimal cost was zero)\n", skipped)
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
 
@@ -84,33 +98,33 @@ func main() {
 		}
 		instances := bench.Run(bench.SuiteJVM98, progress)
 		if want(14) {
-			fmt.Println("Figure 14: mean normalized allocation cost, SPEC JVM98 (non-chordal)")
-			fmt.Print(bench.FormatMeansTable(bench.NormalizedMeans(instances, names), names))
-			fmt.Println()
+			fmt.Fprintln(out, "Figure 14: mean normalized allocation cost, SPEC JVM98 (non-chordal)")
+			fmt.Fprint(out, bench.FormatMeansTable(bench.NormalizedMeans(instances, names), names))
+			fmt.Fprintln(out)
 		}
 		if want(15) {
-			fmt.Println("Figure 15: per-benchmark normalized allocation cost, SPEC JVM98, R=6")
-			fmt.Print(bench.FormatPerBenchTable(bench.PerBenchmarkMeans(instances, names, 6), names))
-			fmt.Println()
+			fmt.Fprintln(out, "Figure 15: per-benchmark normalized allocation cost, SPEC JVM98, R=6")
+			fmt.Fprint(out, bench.FormatPerBenchTable(bench.PerBenchmarkMeans(instances, names, 6), names))
+			fmt.Fprintln(out)
 		}
 	}
 
 	if *ext {
 		rows, err := bench.RunSSAExtension(bench.JITSweep)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println("Extension: SSA-based layered-optimal allocation of the JVM98 methods")
-		fmt.Println("(each heuristic normalized by the exact optimum of its own representation)")
-		fmt.Print(bench.FormatSSAExtension(rows))
-		fmt.Println()
+		fmt.Fprintln(out, "Extension: SSA-based layered-optimal allocation of the JVM98 methods")
+		fmt.Fprintln(out, "(each heuristic normalized by the exact optimum of its own representation)")
+		fmt.Fprint(out, bench.FormatSSAExtension(rows))
+		fmt.Fprintln(out)
 	}
 
 	if *coal {
-		fmt.Println("Extension: φ-move elimination by coalescing policy (R = per-function MaxLive)")
-		fmt.Print(bench.FormatCoalesce(bench.RunCoalesce(
+		fmt.Fprintln(out, "Extension: φ-move elimination by coalescing policy (R = per-function MaxLive)")
+		fmt.Fprint(out, bench.FormatCoalesce(bench.RunCoalesce(
 			[]bench.Suite{bench.SuiteSPEC2000, bench.SuiteEEMBC, bench.SuiteLAOKernels})))
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
+	return nil
 }

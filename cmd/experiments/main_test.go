@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFigure14 smoke-tests the experiment driver on the fastest figure:
+// the JVM98 table must appear with the JIT allocator lineup as columns and
+// the Optimal column pinned at 1.000 on every row.
+func TestRunFigure14(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "14"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Figure 14") {
+		t.Fatalf("missing figure title:\n%s", text)
+	}
+	for _, col := range []string{"DLS", "BLS", "GC", "LH", "Optimal"} {
+		if !strings.Contains(text, col) {
+			t.Errorf("missing allocator column %s", col)
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 6 && fields[0] != "registers" {
+			if fields[5] != "1.000" {
+				t.Errorf("Optimal not normalized to 1.000 in row: %s", line)
+			}
+		}
+	}
+}
+
+// TestRunFigure15 shares figure 14's dataset and exercises the
+// per-benchmark aggregation path.
+func TestRunFigure15(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "15"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 15") || !strings.Contains(out.String(), "benchmark") {
+		t.Fatalf("figure 15 table malformed:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "notanumber"}, &out); err == nil {
+		t.Error("bad -fig value accepted")
+	}
+}

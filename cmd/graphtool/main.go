@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,19 +23,25 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "graphtool:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	file := flag.String("file", "", "textual IR file ('-' or empty = stdin)")
-	suiteName := flag.String("suite", "", "take the program from this workload suite")
-	progName := flag.String("prog", "", "program name within -suite")
-	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
-	cliques := flag.Bool("cliques", false, "list the pressure constraints (live sets)")
-	flag.Parse()
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphtool", flag.ContinueOnError)
+	file := fs.String("file", "", "textual IR file ('-' or empty = stdin)")
+	suiteName := fs.String("suite", "", "take the program from this workload suite")
+	progName := fs.String("prog", "", "program name within -suite")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+	cliques := fs.Bool("cliques", false, "list the pressure constraints (live sets)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	f, err := loadFunc(*file, *suiteName, *progName)
 	if err != nil {
@@ -47,52 +54,52 @@ func run() error {
 	costs := spillcost.Costs(f, spillcost.DefaultModel)
 
 	if *dot {
-		emitDOT(b, costs)
+		emitDOT(out, b, costs)
 		return nil
 	}
 
 	order := b.Graph.PerfectEliminationOrder()
 	chordal := b.Graph.IsPerfectEliminationOrder(order)
-	fmt.Printf("function  %s (ssa=%v)\n", f.Name, f.SSA)
-	fmt.Printf("blocks    %d\n", len(f.Blocks))
-	fmt.Printf("vertices  %d\n", b.Graph.N())
-	fmt.Printf("edges     %d\n", b.Graph.M())
-	fmt.Printf("maxlive   %d\n", b.MaxLive)
-	fmt.Printf("chordal   %v\n", chordal)
+	fmt.Fprintf(out, "function  %s (ssa=%v)\n", f.Name, f.SSA)
+	fmt.Fprintf(out, "blocks    %d\n", len(f.Blocks))
+	fmt.Fprintf(out, "vertices  %d\n", b.Graph.N())
+	fmt.Fprintf(out, "edges     %d\n", b.Graph.M())
+	fmt.Fprintf(out, "maxlive   %d\n", b.MaxLive)
+	fmt.Fprintf(out, "chordal   %v\n", chordal)
 	if chordal {
-		fmt.Printf("cliques   %d (max size %d)\n",
+		fmt.Fprintf(out, "cliques   %d (max size %d)\n",
 			len(b.Graph.MaximalCliques(order)), b.Graph.CliqueNumber(order))
 	} else {
-		fmt.Printf("live sets %d\n", len(b.LiveSets))
+		fmt.Fprintf(out, "live sets %d\n", len(b.LiveSets))
 	}
 	if *cliques {
-		fmt.Println("pressure constraints:")
+		fmt.Fprintln(out, "pressure constraints:")
 		sets := b.LiveSets
 		if chordal && f.SSA {
 			sets = b.Graph.MaximalCliques(order)
 		}
 		for _, ls := range sets {
-			fmt.Printf("  {%s}\n", strings.Join(b.Names(ls), " "))
+			fmt.Fprintf(out, "  {%s}\n", strings.Join(b.Names(ls), " "))
 		}
 	}
 	return nil
 }
 
-func emitDOT(b *ifg.Build, costs []float64) {
-	fmt.Println("graph interference {")
-	fmt.Println("  node [shape=ellipse];")
+func emitDOT(out io.Writer, b *ifg.Build, costs []float64) {
+	fmt.Fprintln(out, "graph interference {")
+	fmt.Fprintln(out, "  node [shape=ellipse];")
 	for v := 0; v < b.Graph.N(); v++ {
 		val := b.ValueOf[v]
-		fmt.Printf("  n%d [label=\"%s\\n%.0f\"];\n", v, b.F.NameOf(val), costs[val])
+		fmt.Fprintf(out, "  n%d [label=\"%s\\n%.0f\"];\n", v, b.F.NameOf(val), costs[val])
 	}
 	for v := 0; v < b.Graph.N(); v++ {
 		for _, u := range b.Graph.Neighbors(v) {
 			if u > v {
-				fmt.Printf("  n%d -- n%d;\n", v, u)
+				fmt.Fprintf(out, "  n%d -- n%d;\n", v, u)
 			}
 		}
 	}
-	fmt.Println("}")
+	fmt.Fprintln(out, "}")
 }
 
 func loadFunc(file, suiteName, progName string) (*ir.Func, error) {

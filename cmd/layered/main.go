@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,21 +27,27 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "layered:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	regs := flag.Int("r", 0, "register count (default: the -arch register file)")
-	allocName := flag.String("alloc", "", "allocator: "+strings.Join(core.AllocatorNames(), ", ")+" (default BFPL/LH)")
-	machine := flag.String("arch", "st231", "machine for the default register count (st231, armv7, jvm98)")
-	file := flag.String("file", "", "textual IR file to allocate ('-' or empty = stdin)")
-	suiteName := flag.String("suite", "", "take the program from this workload suite")
-	progName := flag.String("prog", "", "program name within -suite")
-	print := flag.Bool("print", false, "print the rewritten function (SSA inputs)")
-	flag.Parse()
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("layered", flag.ContinueOnError)
+	regs := fs.Int("r", 0, "register count (default: the -arch register file)")
+	allocName := fs.String("alloc", "", "allocator: "+strings.Join(core.AllocatorNames(), ", ")+" (default BFPL/LH)")
+	machine := fs.String("arch", "st231", "machine for the default register count (st231, armv7, jvm98)")
+	file := fs.String("file", "", "textual IR file to allocate ('-' or empty = stdin)")
+	suiteName := fs.String("suite", "", "take the program from this workload suite")
+	progName := fs.String("prog", "", "program name within -suite")
+	print := fs.Bool("print", false, "print the rewritten function (SSA inputs)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	f, err := loadFunc(*file, *suiteName, *progName)
 	if err != nil {
@@ -64,39 +71,39 @@ func run() error {
 		}
 		cfg.Allocator = a
 	}
-	out, err := core.Run(f, cfg)
+	res, err := core.Run(f, cfg)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("function   %s\n", f.Name)
-	fmt.Printf("allocator  %s\n", out.Result.Allocator)
-	fmt.Printf("registers  %d\n", r)
-	fmt.Printf("values     %d\n", out.Build.Graph.N())
-	fmt.Printf("maxlive    %d\n", out.MaxLive)
-	fmt.Printf("spilled    %d (cost %.1f of %.1f)\n",
-		len(out.SpilledValues), out.SpillCost, out.Problem.G.TotalWeight())
-	if len(out.SpilledValues) > 0 {
-		names := make([]string, len(out.SpilledValues))
-		for i, v := range out.SpilledValues {
+	fmt.Fprintf(out, "function   %s\n", f.Name)
+	fmt.Fprintf(out, "allocator  %s\n", res.Result.Allocator)
+	fmt.Fprintf(out, "registers  %d\n", r)
+	fmt.Fprintf(out, "values     %d\n", res.Build.Graph.N())
+	fmt.Fprintf(out, "maxlive    %d\n", res.MaxLive)
+	fmt.Fprintf(out, "spilled    %d (cost %.1f of %.1f)\n",
+		len(res.SpilledValues), res.SpillCost, res.Problem.G.TotalWeight())
+	if len(res.SpilledValues) > 0 {
+		names := make([]string, len(res.SpilledValues))
+		for i, v := range res.SpilledValues {
 			names[i] = f.NameOf(v)
 		}
 		sort.Strings(names)
-		fmt.Printf("spill set  %s\n", strings.Join(names, " "))
+		fmt.Fprintf(out, "spill set  %s\n", strings.Join(names, " "))
 	}
-	if out.RegisterOf != nil {
+	if res.RegisterOf != nil {
 		var cells []string
-		for val, reg := range out.RegisterOf {
+		for val, reg := range res.RegisterOf {
 			if reg >= 0 {
 				cells = append(cells, fmt.Sprintf("%s=r%d", f.NameOf(val), reg))
 			}
 		}
 		sort.Strings(cells)
-		fmt.Printf("assignment %s\n", strings.Join(cells, " "))
+		fmt.Fprintf(out, "assignment %s\n", strings.Join(cells, " "))
 	}
-	if *print && out.Rewritten != nil {
-		fmt.Println()
-		fmt.Print(out.Rewritten.String())
+	if *print && res.Rewritten != nil {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, res.Rewritten.String())
 	}
 	return nil
 }

@@ -1,0 +1,105 @@
+// Command verify runs the semantic verification harness offline: long soak
+// runs of the differential check (reference interpretation of original vs
+// spill-everywhere-rewritten functions, allocation pressure, register
+// assignment) over seeded random programs or a textual IR file.
+//
+// Usage:
+//
+//	verify [-n 200] [-seed 1] [-r 2,3,4,8] [-alloc BFPL,LH] [-budget 4096] [-max-fail 1] [-v]
+//	verify -file f.ir
+//
+// Every failure prints the generator seed, allocator, register count and
+// input vector needed to replay it deterministically. Exit status is
+// non-zero if any check fails.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/verify"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	n := fs.Int("n", 200, "number of generated functions to check")
+	seed := fs.Int64("seed", 1, "base generator seed")
+	regs := fs.String("r", "2,3,4,8", "comma-separated register counts")
+	allocs := fs.String("alloc", "", "comma-separated allocator names (default: all)")
+	budget := fs.Int("budget", 0, "interpreter semantic step budget (0 = default)")
+	maxFail := fs.Int("max-fail", 1, "stop after this many failures")
+	file := fs.String("file", "", "check one textual IR file instead of soaking")
+	verbose := fs.Bool("v", false, "print progress every 100 functions")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	opts := verify.Options{Budget: *budget}
+	for _, part := range strings.Split(*regs, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.Atoi(part)
+		if err != nil || r < 1 {
+			return fmt.Errorf("bad register count %q", part)
+		}
+		opts.Registers = append(opts.Registers, r)
+	}
+	if *allocs != "" {
+		for _, a := range strings.Split(*allocs, ",") {
+			opts.Allocators = append(opts.Allocators, strings.TrimSpace(a))
+		}
+	}
+
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		f, err := ir.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		if err := verify.CheckFunc(f, opts); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ok   %s: all allocator/register configurations verified\n", f.Name)
+		return nil
+	}
+
+	var progress func(done, failed int)
+	if *verbose {
+		progress = func(done, failed int) {
+			if done%100 == 0 {
+				fmt.Fprintf(out, "  %d/%d checked, %d failures\n", done, *n, failed)
+			}
+		}
+	}
+	fails := verify.Soak(*seed, *n, opts, *maxFail, progress)
+	fmt.Fprintf(out, "checked %d generated functions (seeds %d..%d), registers %v: %d failures\n",
+		*n, *seed, *seed+int64(*n)-1, opts.Registers, len(fails))
+	for _, f := range fails {
+		fmt.Fprintf(out, "FAIL %v\n", f)
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("%d of %d functions failed verification", len(fails), *n)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSoak(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "5", "-seed", "1", "-r", "2,4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "checked 5 generated functions") || !strings.Contains(text, "0 failures") {
+		t.Fatalf("unexpected soak summary:\n%s", text)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	var out strings.Builder
+	file := filepath.Join("..", "..", "internal", "ir", "testdata", "deadphi.ir")
+	if err := run([]string{"-file", file}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok   deadphi") {
+		t.Fatalf("file check not reported:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-r", "zero"}, &out); err == nil {
+		t.Error("bad -r accepted")
+	}
+	if err := run([]string{"-file", "missing.ir"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-n", "1", "-alloc", "bogus"}, &out); err == nil {
+		t.Error("unknown allocator accepted")
+	}
+}

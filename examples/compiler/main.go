@@ -13,6 +13,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -22,6 +23,12 @@ import (
 )
 
 func main() {
+	if err := runExample(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runExample(stdout io.Writer) error {
 	// A deterministic SPEC-like function from the workload generator: ~30
 	// long-lived temporaries across three loop nests.
 	f := bench.GenSSA("hot_kernel", 2026, bench.Shape{
@@ -40,12 +47,12 @@ func main() {
 
 	probe, err := core.Run(f, core.Config{Registers: 1, SkipRewrite: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("function %s: %d values, %d interference edges, MaxLive %d\n\n",
+	fmt.Fprintf(stdout, "function %s: %d values, %d interference edges, MaxLive %d\n\n",
 		f.Name, probe.Build.Graph.N(), probe.Build.Graph.M(), probe.MaxLive)
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	w := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprint(w, "R\t")
 	for _, name := range allocators {
 		fmt.Fprintf(w, "%s\t", name)
@@ -56,20 +63,21 @@ func main() {
 		for _, name := range allocators {
 			a, err := core.AllocatorByName(name)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			out, err := core.Run(f, core.Config{
 				Registers: r, Allocator: a, SkipRewrite: true,
 			})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			fmt.Fprintf(w, "%.0f\t", out.SpillCost)
 		}
 		fmt.Fprintln(w)
 	}
 	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\n(table entries are total spill costs; lower is better)")
+	fmt.Fprintln(stdout, "\n(table entries are total spill costs; lower is better)")
+	return nil
 }

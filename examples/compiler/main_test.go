@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunExample smoke-tests the compiler-backend sweep: one function, all
+// chordal allocators, several register counts, costs tabulated.
+func TestRunExample(t *testing.T) {
+	var out strings.Builder
+	if err := runExample(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "function hot_kernel:") {
+		t.Fatalf("missing header:\n%s", text)
+	}
+	for _, col := range []string{"GC", "NL", "FPL", "BL", "BFPL", "Optimal"} {
+		if !strings.Contains(text, col) {
+			t.Errorf("missing allocator column %s", col)
+		}
+	}
+	if !strings.Contains(text, "lower is better") {
+		t.Errorf("missing footer:\n%s", text)
+	}
+}

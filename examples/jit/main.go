@@ -16,6 +16,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -26,9 +27,15 @@ import (
 )
 
 func main() {
+	if err := runExample(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runExample(stdout io.Writer) error {
 	target := arch.JVM98
 	regs := 6
-	fmt.Printf("JIT target %s: allocating with %d of %d registers\n\n",
+	fmt.Fprintf(stdout, "JIT target %s: allocating with %d of %d registers\n\n",
 		target.Name, regs, target.IntRegs)
 
 	var progs []bench.Program
@@ -47,7 +54,7 @@ func main() {
 	}
 
 	allocators := []string{"DLS", "BLS", "GC", "LH", "Optimal"}
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	w := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprint(w, "method\t|V|\tmaxlive\t")
 	for _, a := range allocators {
 		fmt.Fprintf(w, "%s\t", a)
@@ -61,11 +68,11 @@ func main() {
 		for _, name := range allocators {
 			a, err := core.AllocatorByName(name)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			out, err := core.Run(p.F, core.Config{Registers: regs, Allocator: a})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			cells = append(cells, out.SpillCost)
 			totals[name] += out.SpillCost
@@ -83,12 +90,13 @@ func main() {
 	}
 	fmt.Fprintln(w)
 	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("\nnormalized to optimal:")
+	fmt.Fprintf(stdout, "\nnormalized to optimal:")
 	for _, name := range allocators {
-		fmt.Printf("  %s %.2f", name, totals[name]/totals["Optimal"])
+		fmt.Fprintf(stdout, "  %s %.2f", name, totals[name]/totals["Optimal"])
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunExample smoke-tests the JIT comparison: five methods, the JIT
+// allocator lineup as columns, and a normalized summary in which the
+// layered heuristic does not lose to the linear scans.
+func TestRunExample(t *testing.T) {
+	var out strings.Builder
+	if err := runExample(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"JIT target", "method0", "method4", "total", "normalized to optimal:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	for _, col := range []string{"DLS", "BLS", "GC", "LH", "Optimal"} {
+		if !strings.Contains(text, col) {
+			t.Errorf("missing allocator column %s", col)
+		}
+	}
+}

@@ -10,7 +10,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -48,28 +50,35 @@ b3:
 }`
 
 func main() {
+	if err := runExample(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runExample(stdout io.Writer) error {
 	f := ir.MustParse(src)
 	out, err := core.Run(f, core.Config{Registers: 3})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("function %s: %d values, MaxLive %d, %d registers\n",
+	fmt.Fprintf(stdout, "function %s: %d values, MaxLive %d, %d registers\n",
 		f.Name, out.Build.Graph.N(), out.MaxLive, 3)
-	fmt.Printf("allocator %s spilled %d values (cost %.0f of %.0f):\n",
+	fmt.Fprintf(stdout, "allocator %s spilled %d values (cost %.0f of %.0f):\n",
 		out.Result.Allocator, len(out.SpilledValues),
 		out.SpillCost, out.Problem.G.TotalWeight())
 	for _, v := range out.SpilledValues {
-		fmt.Printf("  spill %-5s (cost %.0f)\n", f.NameOf(v), out.Problem.G.Weight[out.Build.VertexOf[v]])
+		fmt.Fprintf(stdout, "  spill %-5s (cost %.0f)\n", f.NameOf(v), out.Problem.G.Weight[out.Build.VertexOf[v]])
 	}
 
-	fmt.Println("\nregister assignment (tree-scan over the dominance tree):")
+	fmt.Fprintln(stdout, "\nregister assignment (tree-scan over the dominance tree):")
 	for val := 0; val < f.NumValues; val++ {
 		if reg := out.RegisterOf[val]; reg >= 0 {
-			fmt.Printf("  %-5s -> r%d\n", f.NameOf(val), reg)
+			fmt.Fprintf(stdout, "  %-5s -> r%d\n", f.NameOf(val), reg)
 		}
 	}
 
-	fmt.Println("\nrewritten function (spill-everywhere code):")
-	fmt.Print(out.Rewritten.String())
+	fmt.Fprintln(stdout, "\nrewritten function (spill-everywhere code):")
+	fmt.Fprint(stdout, out.Rewritten.String())
+	return nil
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunExample smoke-tests the quickstart end to end: it must report the
+// pipeline stages and print a rewritten function containing spill code
+// (three registers against MaxLive 7 forces spills).
+func TestRunExample(t *testing.T) {
+	var out strings.Builder
+	if err := runExample(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"function dot:",
+		"spilled",
+		"register assignment",
+		"rewritten function",
+		"func dot ssa {",
+		"reload",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

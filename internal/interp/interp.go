@@ -1,0 +1,378 @@
+// Package interp is a reference interpreter for the ir package: it executes
+// a *ir.Func on concrete int64 inputs and reports the observable behaviour —
+// the returned value plus a deterministic trace of side effects (stores and
+// calls). Its purpose is semantic differential testing: a register-allocation
+// rewrite (spill/reload insertion) is correct exactly when the rewritten
+// function's observable behaviour matches the original's on every input.
+//
+// All opcodes are given a fixed deterministic semantics:
+//
+//   - arith/unary are injective-ish integer mixing functions (and arith is
+//     deliberately non-commutative, so swapped operands are observable);
+//   - load reads a flat memory keyed by the address operand's value, with a
+//     deterministic hash of the address standing in for uninitialized cells;
+//   - store writes Uses[0] to the address in Uses[1] and appends to the trace;
+//   - call is a pure hash of its arguments, also appended to the trace;
+//   - spill/reload move values through spill slots (see ir.Instr: a spill's
+//     slot is its operand, a reload's slot is carried in Imm).
+//
+// Loops in generated programs need not terminate, so execution carries a step
+// budget. Crucially the budget counts only *semantic* instructions — spills
+// and reloads are free — so an original function and its spill-everywhere
+// rewrite run out of budget at exactly the same program point and remain
+// comparable even when they time out.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// DefaultBudget is the semantic step budget used when Run is given a budget
+// of zero or less.
+const DefaultBudget = 4096
+
+// EventKind labels one observable side effect.
+type EventKind int
+
+const (
+	// EvStore is a memory write: A = address, B = value stored.
+	EvStore EventKind = iota
+	// EvCall is a call: A = hash of the argument list, B = result.
+	EvCall
+)
+
+func (k EventKind) String() string {
+	if k == EvStore {
+		return "store"
+	}
+	return "call"
+}
+
+// Event is one entry of the side-effect trace.
+type Event struct {
+	Kind EventKind
+	A, B int64
+}
+
+// Result is the observable outcome of one execution.
+type Result struct {
+	// Returned reports whether a `ret <val>` was reached (false for bare
+	// `ret` and for timed-out executions).
+	Returned bool
+	// Return is the returned value when Returned is set.
+	Return int64
+	// TimedOut reports that the step budget was exhausted first.
+	TimedOut bool
+	// Steps is the number of semantic (non-spill, non-reload) instructions
+	// executed.
+	Steps int
+	// Trace is the ordered side-effect trace.
+	Trace []Event
+}
+
+// Equal reports whether two executions are observably identical.
+func (r *Result) Equal(o *Result) bool {
+	return r.Diff(o) == ""
+}
+
+// Diff describes the first observable divergence between two executions, or
+// returns "" when they match.
+func (r *Result) Diff(o *Result) string {
+	n := len(r.Trace)
+	if len(o.Trace) < n {
+		n = len(o.Trace)
+	}
+	for i := 0; i < n; i++ {
+		if r.Trace[i] != o.Trace[i] {
+			return fmt.Sprintf("trace[%d]: %s(%d,%d) vs %s(%d,%d)",
+				i, r.Trace[i].Kind, r.Trace[i].A, r.Trace[i].B,
+				o.Trace[i].Kind, o.Trace[i].A, o.Trace[i].B)
+		}
+	}
+	if len(r.Trace) != len(o.Trace) {
+		return fmt.Sprintf("trace length %d vs %d", len(r.Trace), len(o.Trace))
+	}
+	if r.TimedOut != o.TimedOut {
+		return fmt.Sprintf("timed out %v vs %v", r.TimedOut, o.TimedOut)
+	}
+	if r.Steps != o.Steps {
+		return fmt.Sprintf("steps %d vs %d", r.Steps, o.Steps)
+	}
+	if r.Returned != o.Returned {
+		return fmt.Sprintf("returned %v vs %v", r.Returned, o.Returned)
+	}
+	if r.Returned && r.Return != o.Return {
+		return fmt.Sprintf("return value %d vs %d", r.Return, o.Return)
+	}
+	return ""
+}
+
+// RuntimeError reports a dynamic violation — using a value no definition has
+// reached, reloading an unwritten or unknown slot, or falling off a block.
+// Any RuntimeError on generator- or rewriter-produced code is a bug in the
+// producer, not in the program.
+type RuntimeError struct {
+	Block string
+	Index int
+	Msg   string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("interp: %s (block %s, instr %d)", e.Msg, e.Block, e.Index)
+}
+
+const (
+	mixC1 = 0x9e3779b97f4a7c15 // golden-ratio constant (splitmix64)
+	mixC2 = 0xbf58476d1ce4e5b9
+	mixC3 = 0x94d049bb133111eb
+)
+
+// mix1 is the deterministic unary operation.
+func mix1(a int64) int64 {
+	x := uint64(a) + mixC1
+	x = (x ^ (x >> 30)) * mixC2
+	x = (x ^ (x >> 27)) * mixC3
+	return int64(x ^ (x >> 31))
+}
+
+// mix2 is the deterministic binary operation; it is non-commutative so that
+// operand order is observable.
+func mix2(a, b int64) int64 {
+	return mix1(a*3 + mix1(b))
+}
+
+// memDefault is the deterministic content of an uninitialized memory cell.
+func memDefault(addr int64) int64 { return mix1(int64(uint64(addr) ^ mixC2)) }
+
+// paramDefault is the value of a parameter index the caller did not supply.
+func paramDefault(i int64) int64 { return mix1(int64(uint64(i) ^ mixC3)) }
+
+type machine struct {
+	f       *ir.Func
+	regs    []int64
+	defined []bool
+	mem     map[int64]int64
+	slots   map[int]int64
+	hasSlot map[int]bool
+	res     *Result
+	budget  int
+}
+
+// Run executes f with the given parameter values and semantic step budget
+// (<= 0 selects DefaultBudget). Parameters beyond len(params) read a
+// deterministic per-index default, so any function is runnable on any input
+// vector. The error is non-nil only for dynamic violations (RuntimeError);
+// budget exhaustion is reported via Result.TimedOut.
+func Run(f *ir.Func, params []int64, budget int) (*Result, error) {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	m := &machine{
+		f:       f,
+		regs:    make([]int64, f.NumValues),
+		defined: make([]bool, f.NumValues),
+		mem:     make(map[int64]int64),
+		slots:   make(map[int]int64),
+		hasSlot: make(map[int]bool),
+		res:     &Result{},
+		budget:  budget,
+	}
+	return m.res, m.run(params)
+}
+
+func (m *machine) use(b *ir.Block, i int, v int) (int64, error) {
+	if v < 0 || v >= len(m.regs) {
+		return 0, &RuntimeError{b.Name, i, fmt.Sprintf("use of out-of-range value %d", v)}
+	}
+	if !m.defined[v] {
+		return 0, &RuntimeError{b.Name, i, fmt.Sprintf("use of undefined value %s", m.f.NameOf(v))}
+	}
+	return m.regs[v], nil
+}
+
+func (m *machine) set(v int, x int64) {
+	m.regs[v] = x
+	m.defined[v] = true
+}
+
+func (m *machine) run(params []int64) error {
+	f := m.f
+	cur := f.Entry()
+	prev := -1 // block we arrived from, for phi operand selection
+	for {
+		// Phis evaluate in parallel on the incoming edge: read all operands
+		// first, then write all defs.
+		nphi := 0
+		for _, ins := range cur.Instrs {
+			if ins.Op != ir.OpPhi {
+				break
+			}
+			nphi++
+		}
+		if nphi > 0 {
+			k := -1
+			for j, p := range cur.Preds {
+				if p == prev {
+					k = j
+					break
+				}
+			}
+			if k < 0 {
+				return &RuntimeError{cur.Name, 0, fmt.Sprintf("phi block entered from non-predecessor b%d", prev)}
+			}
+			vals := make([]int64, nphi)
+			for i := 0; i < nphi; i++ {
+				ins := &cur.Instrs[i]
+				if k >= len(ins.Uses) {
+					return &RuntimeError{cur.Name, i, "phi operand missing for incoming edge"}
+				}
+				x, err := m.use(cur, i, ins.Uses[k])
+				if err != nil {
+					return err
+				}
+				vals[i] = x
+			}
+			for i := 0; i < nphi; i++ {
+				if m.step() {
+					return nil
+				}
+				m.set(cur.Instrs[i].Def, vals[i])
+			}
+		}
+		branched := false
+		for i := nphi; i < len(cur.Instrs) && !branched; i++ {
+			ins := &cur.Instrs[i]
+			switch ins.Op {
+			case ir.OpSpill:
+				// Free: spills/reloads are the rewrite's own instructions and
+				// must not shift the budget cut point.
+				x, err := m.use(cur, i, ins.Uses[0])
+				if err != nil {
+					return err
+				}
+				m.slots[ins.Uses[0]] = x
+				m.hasSlot[ins.Uses[0]] = true
+				continue
+			case ir.OpReload:
+				slot := int(ins.Imm)
+				if ins.Imm < 0 {
+					return &RuntimeError{cur.Name, i, "reload with unknown slot"}
+				}
+				if !m.hasSlot[slot] {
+					return &RuntimeError{cur.Name, i, fmt.Sprintf("reload of unwritten slot %s", f.NameOf(slot))}
+				}
+				m.set(ins.Def, m.slots[slot])
+				continue
+			}
+			if m.step() {
+				return nil
+			}
+			switch ins.Op {
+			case ir.OpConst:
+				m.set(ins.Def, ins.Imm)
+			case ir.OpParam:
+				if ins.Imm >= 0 && int(ins.Imm) < len(params) {
+					m.set(ins.Def, params[ins.Imm])
+				} else {
+					m.set(ins.Def, paramDefault(ins.Imm))
+				}
+			case ir.OpArith:
+				a, err := m.use(cur, i, ins.Uses[0])
+				if err != nil {
+					return err
+				}
+				b, err := m.use(cur, i, ins.Uses[1])
+				if err != nil {
+					return err
+				}
+				m.set(ins.Def, mix2(a, b))
+			case ir.OpUnary:
+				a, err := m.use(cur, i, ins.Uses[0])
+				if err != nil {
+					return err
+				}
+				m.set(ins.Def, mix1(a))
+			case ir.OpCopy:
+				a, err := m.use(cur, i, ins.Uses[0])
+				if err != nil {
+					return err
+				}
+				m.set(ins.Def, a)
+			case ir.OpLoad:
+				addr, err := m.use(cur, i, ins.Uses[0])
+				if err != nil {
+					return err
+				}
+				x, ok := m.mem[addr]
+				if !ok {
+					x = memDefault(addr)
+				}
+				m.set(ins.Def, x)
+			case ir.OpStore:
+				val, err := m.use(cur, i, ins.Uses[0])
+				if err != nil {
+					return err
+				}
+				addr, err := m.use(cur, i, ins.Uses[1])
+				if err != nil {
+					return err
+				}
+				m.mem[addr] = val
+				m.res.Trace = append(m.res.Trace, Event{EvStore, addr, val})
+			case ir.OpCall:
+				h := mix1(int64(len(ins.Uses)))
+				for _, u := range ins.Uses {
+					a, err := m.use(cur, i, u)
+					if err != nil {
+						return err
+					}
+					h = mix2(h, a)
+				}
+				m.set(ins.Def, mix1(h))
+				m.res.Trace = append(m.res.Trace, Event{EvCall, h, m.regs[ins.Def]})
+			case ir.OpBranch:
+				prev, cur = cur.ID, f.Blocks[ins.Targets[0]]
+				branched = true
+			case ir.OpCondBr:
+				c, err := m.use(cur, i, ins.Uses[0])
+				if err != nil {
+					return err
+				}
+				t := ins.Targets[1]
+				if c != 0 {
+					t = ins.Targets[0]
+				}
+				prev, cur = cur.ID, f.Blocks[t]
+				branched = true
+			case ir.OpReturn:
+				if len(ins.Uses) > 0 {
+					x, err := m.use(cur, i, ins.Uses[0])
+					if err != nil {
+						return err
+					}
+					m.res.Returned = true
+					m.res.Return = x
+				}
+				return nil
+			default:
+				return &RuntimeError{cur.Name, i, fmt.Sprintf("unexecutable op %s", ins.Op)}
+			}
+		}
+		if !branched {
+			return &RuntimeError{cur.Name, len(cur.Instrs), "control fell off the block"}
+		}
+	}
+}
+
+// step charges one semantic instruction against the budget and reports
+// whether execution must stop.
+func (m *machine) step() bool {
+	if m.res.Steps >= m.budget {
+		m.res.TimedOut = true
+		return true
+	}
+	m.res.Steps++
+	return false
+}

@@ -52,10 +52,146 @@ func TestCorpusAnalyses(t *testing.T) {
 		if strings.Contains(file, "maxpressure") && len(headers) != 0 {
 			t.Errorf("%s: unexpected loops", file)
 		}
+		if strings.Contains(file, "selfloop") {
+			if len(headers) != 1 {
+				t.Errorf("%s: %d loop headers, want 1", file, len(headers))
+			}
+			if !hasCriticalEdge(f) {
+				t.Errorf("%s: self-loop back edge should be critical", file)
+			}
+		}
+		if strings.Contains(file, "critedge") && !hasCriticalEdge(f) {
+			t.Errorf("%s: no critical edge found", file)
+		}
+		if strings.Contains(file, "unreach") {
+			unreachable := 0
+			for _, b := range f.Blocks {
+				if dom.Order[b.ID] < 0 {
+					unreachable++
+				}
+			}
+			if unreachable != 1 {
+				t.Errorf("%s: %d unreachable blocks, want 1", file, unreachable)
+			}
+		}
 		for _, b := range f.Blocks {
 			if dom.Order[b.ID] >= 0 && b.ID != 0 && dom.Idom[b.ID] < 0 {
 				t.Errorf("%s: reachable block %s lacks an idom", file, b.Name)
 			}
 		}
+	}
+}
+
+func hasCriticalEdge(f *Func) bool {
+	for _, b := range f.Blocks {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for _, s := range b.Succs {
+			if len(f.Blocks[s].Preds) > 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestValidateRejections pins the validator on the adversarial *invalid*
+// variants of the corpus scenarios: each source must be rejected.
+func TestValidateRejections(t *testing.T) {
+	cases := map[string]string{
+		"phi arity under critical edge": `
+func f ssa {
+b0:
+  a = param 0
+  condbr a, b1, b2
+b1:
+  br b2
+b2:
+  m = phi [b1: a]
+  ret m
+}`,
+		"self-loop phi using its own undefined back value": `
+func f ssa {
+b0:
+  a = param 0
+  br b1
+b1:
+  i = phi [b0: a], [b1: j]
+  c = unary i
+  condbr c, b1, b2
+b2:
+  ret i
+}`,
+		"terminator mid-block": `
+func f ssa {
+b0:
+  a = param 0
+  ret a
+  b = unary a
+  ret b
+}`,
+		"use not dominated by def": `
+func f ssa {
+b0:
+  a = param 0
+  condbr a, b1, b2
+b1:
+  x = unary a
+  br b2
+b2:
+  ret x
+}`,
+		"double definition in ssa": `
+func f ssa {
+b0:
+  a = param 0
+  a = unary a
+  ret a
+}`,
+		"phi in non-ssa function": `
+func f {
+b0:
+  a = param 0
+  br b1
+b1:
+  m = phi [b0: a]
+  ret m
+}`,
+		"branch to undefined block": `
+func f ssa {
+b0:
+  a = param 0
+  br nowhere
+}`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted invalid program", name)
+		}
+	}
+}
+
+// TestReloadSlotValidation: a reload's slot is carried in Imm and must stay
+// in range; out-of-range slots are a structural error.
+func TestReloadSlotValidation(t *testing.T) {
+	f := MustParse(`
+func f ssa {
+b0:
+  a = param 0
+  spill a
+  b = reload a
+  ret b
+}`)
+	// Parsed form is fine; now corrupt the slot.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == OpReload {
+				b.Instrs[i].Imm = int64(f.NumValues) + 5
+			}
+		}
+	}
+	if err := f.Validate(); err == nil {
+		t.Fatal("out-of-range reload slot accepted")
 	}
 }

@@ -31,8 +31,8 @@ const (
 	OpBranch           // br target         (no def, no use)
 	OpCondBr           // condbr a, then, else
 	OpReturn           // ret a | ret
-	OpSpill            // spill a           (store of a spilled value; inserted)
-	OpReload           // v = reload        (load of a spilled value; inserted)
+	OpSpill            // spill a           (store of a into spill slot a; inserted)
+	OpReload           // v = reload a      (load of spill slot a; inserted)
 )
 
 var opNames = map[Op]string{
@@ -79,6 +79,12 @@ const NoValue = -1
 // Instr is one instruction. Def is a value ID or NoValue. Uses lists value
 // IDs; for OpPhi, Uses is parallel to the block's predecessor list. Imm
 // carries the constant for OpConst and the index for OpParam.
+//
+// Spill slots: an OpSpill stores its operand into the slot named by that
+// operand's value ID (slot ≡ Uses[0]). An OpReload carries the slot it reads
+// in Imm — a value ID that is *not* a use (the reload must not extend the
+// spilled value's register live range); Imm < 0 means the slot is unknown,
+// which the reference interpreter rejects.
 type Instr struct {
 	Op   Op
 	Def  int

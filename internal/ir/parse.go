@@ -22,7 +22,7 @@ import (
 //	  <val> = phi [<block>: <val>], ...
 //	  <val> = load <val>
 //	  <val> = call <val>, ...        (zero or more arguments)
-//	  <val> = reload
+//	  <val> = reload [<val>]         (operand names the spill slot)
 //	  store <val>, <val>
 //	  spill <val>
 //	  br <block>
@@ -117,9 +117,15 @@ func (p *parser) line(line string) error {
 		}
 		return nil
 	case line == "}":
+		if !p.started {
+			return fmt.Errorf("ir: %q before func header", line)
+		}
 		p.closed = true
 		return nil
 	case strings.HasSuffix(line, ":"):
+		if !p.started {
+			return fmt.Errorf("ir: block label before func header")
+		}
 		name := strings.TrimSuffix(line, ":")
 		if !isIdent(name) {
 			return fmt.Errorf("ir: bad block label %q", name)
@@ -184,6 +190,15 @@ func (p *parser) instr(line string) error {
 		}
 	case "reload":
 		ins.Op = OpReload
+		// The optional operand names the spill slot; it is carried in Imm,
+		// not Uses, so it does not extend the spilled value's live range.
+		ins.Imm = -1
+		if rest != "" {
+			if !isIdent(rest) {
+				return fmt.Errorf("ir: bad reload slot %q", rest)
+			}
+			ins.Imm = int64(p.value(rest))
+		}
 	case "store":
 		ins.Op = OpStore
 		if ins.Uses, err = p.valueList(rest, 2); err != nil {
@@ -218,6 +233,9 @@ func (p *parser) instr(line string) error {
 		if len(parts) != 3 {
 			return fmt.Errorf("ir: condbr needs cond and two targets, got %q", rest)
 		}
+		if !isIdent(parts[0]) {
+			return fmt.Errorf("ir: bad condbr condition %q", parts[0])
+		}
 		ins.Uses = []int{p.value(parts[0])}
 		p.branchFixups = append(p.branchFixups, branchFixup{
 			block: p.cur.ID, instr: len(p.cur.Instrs), labels: parts[1:],
@@ -235,6 +253,9 @@ func (p *parser) instr(line string) error {
 	if ins.Op.HasDef() {
 		if defName == "" {
 			return fmt.Errorf("ir: %s requires a result value", op)
+		}
+		if !isIdent(defName) {
+			return fmt.Errorf("ir: bad result name %q", defName)
 		}
 		ins.Def = p.value(defName)
 	} else if defName != "" {

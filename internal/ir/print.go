@@ -55,6 +55,10 @@ func (f *Func) formatInstr(blk *Block, ins *Instr) string {
 	switch ins.Op {
 	case OpConst, OpParam:
 		fmt.Fprintf(&b, " %d", ins.Imm)
+	case OpReload:
+		if ins.Imm >= 0 {
+			fmt.Fprintf(&b, " %s", f.NameOf(int(ins.Imm)))
+		}
 	case OpPhi:
 		for k, u := range ins.Uses {
 			if k > 0 {

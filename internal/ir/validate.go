@@ -55,6 +55,9 @@ func (f *Func) Validate() error {
 					report("ir: use %d out of range in block %s", u, b.Name)
 				}
 			}
+			if ins.Op == OpReload && ins.Imm >= int64(f.NumValues) {
+				report("ir: reload slot %d out of range in block %s", ins.Imm, b.Name)
+			}
 		}
 		// Terminator targets must agree with CFG successor lists.
 		var targets []int

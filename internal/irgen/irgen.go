@@ -1,0 +1,660 @@
+// Package irgen is a seeded random generator of *valid* ir functions for
+// differential and property testing. Unlike the workload generators in
+// internal/bench — which are tuned to reproduce the statistical shape of the
+// paper's benchmark suites — irgen aims for structural coverage: it emits
+// every opcode (memory traffic, calls, copies, constants), every control
+// shape the allocator pipeline must survive (nested loops, diamonds,
+// triangles with critical edges, self-loop blocks, unreachable blocks), and
+// configurable register pressure, in both strict-SSA and multiple-definition
+// form.
+//
+// Every generated function passes ir.Validate — the generator reuses the
+// validator as its own oracle and panics if it ever emits an invalid
+// function, so a panic here is a generator bug by construction. Functions
+// are also executable by internal/interp on any input: SSA definitions
+// dominate uses, and the non-SSA generator tracks definite initialization
+// so no path reaches a use before a def.
+package irgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// Config shapes one generated function.
+type Config struct {
+	// SSA selects strict-SSA output (phis, single defs, chordal
+	// interference) versus mutable-variable output (multi-def, general
+	// interference).
+	SSA bool
+	// Params is the number of function inputs.
+	Params int
+	// Segments is the number of top-level code regions.
+	Segments int
+	// MaxDepth bounds control-flow nesting.
+	MaxDepth int
+	// StraightLen is the maximum length of a straight-line run.
+	StraightLen int
+	// LoopProb and BranchProb weight the region kinds (rest: straight).
+	LoopProb, BranchProb float64
+	// MemProb is the per-instruction probability of a load or store;
+	// CallProb of a call.
+	MemProb, CallProb float64
+	// Carried is the maximum number of loop-carried phis (SSA only).
+	Carried int
+	// LongLived is the number of entry-defined values kept alive to the
+	// return, the main source of register pressure (SSA only).
+	LongLived int
+	// Vars is the mutable variable pool size (non-SSA only).
+	Vars int
+	// UnreachableProb is the chance of appending a dead block, exercising
+	// the unreachable-code paths of the analyses.
+	UnreachableProb float64
+}
+
+// RandomConfig derives a generation config from rng, covering small-to-
+// medium functions with all features enabled at varying rates.
+func RandomConfig(rng *rand.Rand, ssa bool) Config {
+	lp := rng.Float64() * 0.5
+	bp := rng.Float64() * 0.5
+	if lp+bp > 0.85 {
+		s := 0.85 / (lp + bp)
+		lp, bp = lp*s, bp*s
+	}
+	return Config{
+		SSA:             ssa,
+		Params:          1 + rng.Intn(4),
+		Segments:        1 + rng.Intn(5),
+		MaxDepth:        1 + rng.Intn(3),
+		StraightLen:     1 + rng.Intn(6),
+		LoopProb:        lp,
+		BranchProb:      bp,
+		MemProb:         rng.Float64() * 0.4,
+		CallProb:        rng.Float64() * 0.3,
+		Carried:         1 + rng.Intn(3),
+		LongLived:       rng.Intn(13),
+		Vars:            4 + rng.Intn(13),
+		UnreachableProb: rng.Float64() * 0.3,
+	}
+}
+
+// FromSeed generates one function entirely determined by seed: the seed
+// picks SSA-ness, the config, and the program. This is the single-integer
+// entry point the fuzz targets use.
+func FromSeed(seed int64) *ir.Func {
+	rng := rand.New(rand.NewSource(seed))
+	ssa := rng.Intn(2) == 0
+	cfg := RandomConfig(rng, ssa)
+	return Generate(fmt.Sprintf("gen%d", seed), rng.Int63(), cfg)
+}
+
+// Generate emits one function. The same (seed, cfg) always yields the same
+// function. It panics if the result fails ir.Validate (generator bug).
+func Generate(name string, seed int64, cfg Config) *ir.Func {
+	if cfg.StraightLen < 1 {
+		cfg.StraightLen = 1
+	}
+	if cfg.Segments < 1 {
+		cfg.Segments = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var f *ir.Func
+	if cfg.SSA {
+		f = (&ssaGen{cfg: cfg, rng: rng}).generate(name)
+	} else {
+		f = (&varGen{cfg: cfg, rng: rng}).generate(name)
+	}
+	if err := f.Validate(); err != nil {
+		panic(fmt.Sprintf("irgen: generated invalid function %s: %v\n%s", name, err, f))
+	}
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	return f
+}
+
+// ---------------------------------------------------------------- SSA mode
+
+type ssaGen struct {
+	cfg       Config
+	rng       *rand.Rand
+	f         *ir.Func
+	longLived []int
+}
+
+func (g *ssaGen) generate(name string) *ir.Func {
+	g.f = &ir.Func{Name: name, ValueName: map[int]string{}, SSA: true}
+	entry := g.f.AddBlock("b0")
+	var avail []int
+	for i := 0; i < g.cfg.Params; i++ {
+		v := g.f.NewValue()
+		entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.OpParam, Def: v, Imm: int64(i)})
+		avail = append(avail, v)
+	}
+	if len(avail) == 0 {
+		v := g.f.NewValue()
+		entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.OpConst, Def: v, Imm: 1})
+		avail = append(avail, v)
+	}
+	for i := 0; i < g.cfg.LongLived; i++ {
+		v := g.f.NewValue()
+		entry.Instrs = append(entry.Instrs, ir.Instr{
+			Op: ir.OpArith, Def: v, Uses: []int{g.pick(avail), g.pick(avail)},
+		})
+		avail = append(avail, v)
+		g.longLived = append(g.longLived, v)
+	}
+	cur := entry
+	for s := 0; s < g.cfg.Segments; s++ {
+		cur, avail = g.segment(cur, avail, 0)
+	}
+	// Sink: consume the long-lived values so their ranges span the body.
+	ret := g.pick(avail)
+	for _, v := range g.longLived {
+		acc := g.f.NewValue()
+		cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpArith, Def: acc, Uses: []int{ret, v}})
+		ret = acc
+	}
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpReturn, Def: ir.NoValue, Uses: []int{ret}})
+	g.deadBlock()
+	return g.f
+}
+
+// deadBlock appends an unreachable, self-contained block.
+func (g *ssaGen) deadBlock() {
+	if g.rng.Float64() >= g.cfg.UnreachableProb {
+		return
+	}
+	b := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+	b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpReturn, Def: ir.NoValue})
+}
+
+func (g *ssaGen) newBlock() *ir.Block {
+	return g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+}
+
+func (g *ssaGen) segment(cur *ir.Block, avail []int, depth int) (*ir.Block, []int) {
+	r := g.rng.Float64()
+	switch {
+	case depth < g.cfg.MaxDepth && r < g.cfg.LoopProb:
+		if g.rng.Float64() < 0.4 {
+			return g.selfLoop(cur, avail)
+		}
+		return g.loop(cur, avail, depth)
+	case depth < g.cfg.MaxDepth && r < g.cfg.LoopProb+g.cfg.BranchProb:
+		if g.rng.Float64() < 0.35 {
+			return g.triangle(cur, avail, depth)
+		}
+		return g.diamond(cur, avail, depth)
+	default:
+		return cur, g.straight(cur, avail)
+	}
+}
+
+// straight appends 1..StraightLen instructions mixing arithmetic, memory
+// traffic, calls, copies and constants.
+func (g *ssaGen) straight(cur *ir.Block, avail []int) []int {
+	avail = append([]int(nil), avail...) // callers may share the backing array
+	n := 1 + g.rng.Intn(g.cfg.StraightLen)
+	for i := 0; i < n; i++ {
+		r := g.rng.Float64()
+		if r >= g.cfg.MemProb/2 && r < g.cfg.MemProb {
+			cur.Instrs = append(cur.Instrs, ir.Instr{
+				Op: ir.OpStore, Def: ir.NoValue, Uses: []int{g.pick(avail), g.pick(avail)},
+			})
+			continue
+		}
+		v := g.f.NewValue()
+		switch {
+		case r < g.cfg.MemProb/2:
+			cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpLoad, Def: v, Uses: []int{g.pick(avail)}})
+		case r < g.cfg.MemProb+g.cfg.CallProb:
+			nargs := 1 + g.rng.Intn(3)
+			args := make([]int, nargs)
+			for k := range args {
+				args[k] = g.pick(avail)
+			}
+			cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpCall, Def: v, Uses: args})
+		default:
+			switch g.rng.Intn(8) {
+			case 0:
+				cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpConst, Def: v, Imm: int64(g.rng.Intn(64))})
+			case 1:
+				cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpCopy, Def: v, Uses: []int{g.pick(avail)}})
+			case 2:
+				cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpUnary, Def: v, Uses: []int{g.pick(avail)}})
+			default:
+				cur.Instrs = append(cur.Instrs, ir.Instr{
+					Op: ir.OpArith, Def: v, Uses: []int{g.pick(avail), g.pick(avail)},
+				})
+			}
+		}
+		avail = append(avail, v)
+	}
+	return avail
+}
+
+// diamond is an if/then/else with phi joins.
+func (g *ssaGen) diamond(cur *ir.Block, avail []int, depth int) (*ir.Block, []int) {
+	cond := g.f.NewValue()
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpUnary, Def: cond, Uses: []int{g.pick(avail)}})
+	thenB, elseB := g.newBlock(), g.newBlock()
+	cur.Instrs = append(cur.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{cond}, Targets: []int{thenB.ID, elseB.ID},
+	})
+	g.f.AddEdge(cur.ID, thenB.ID)
+	g.f.AddEdge(cur.ID, elseB.ID)
+
+	tEnd, tAvail := thenB, g.straight(thenB, avail)
+	if depth+1 < g.cfg.MaxDepth && g.rng.Float64() < 0.3 {
+		tEnd, tAvail = g.segment(tEnd, tAvail, depth+1)
+	}
+	eEnd, eAvail := elseB, g.straight(elseB, avail)
+	if depth+1 < g.cfg.MaxDepth && g.rng.Float64() < 0.3 {
+		eEnd, eAvail = g.segment(eEnd, eAvail, depth+1)
+	}
+
+	join := g.newBlock()
+	tEnd.Instrs = append(tEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{join.ID}})
+	g.f.AddEdge(tEnd.ID, join.ID)
+	eEnd.Instrs = append(eEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{join.ID}})
+	g.f.AddEdge(eEnd.ID, join.ID)
+
+	out := append([]int(nil), avail...)
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		tv, ev := pickFresh(g.rng, tAvail, avail), pickFresh(g.rng, eAvail, avail)
+		if tv < 0 || ev < 0 {
+			break
+		}
+		v := g.f.NewValue()
+		join.Instrs = append(join.Instrs, ir.Instr{Op: ir.OpPhi, Def: v, Uses: []int{tv, ev}})
+		out = append(out, v)
+	}
+	return join, out
+}
+
+// triangle is an if-without-else: condbr straight to the join creates a
+// critical edge (cur has two successors, join two predecessors), the shape
+// that breaks naive phi-elimination and stresses edge-sensitive passes.
+func (g *ssaGen) triangle(cur *ir.Block, avail []int, depth int) (*ir.Block, []int) {
+	cond := g.f.NewValue()
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpUnary, Def: cond, Uses: []int{g.pick(avail)}})
+	thenB, join := g.newBlock(), g.newBlock()
+	cur.Instrs = append(cur.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{cond}, Targets: []int{thenB.ID, join.ID},
+	})
+	g.f.AddEdge(cur.ID, thenB.ID)
+	g.f.AddEdge(cur.ID, join.ID) // the critical edge
+
+	tEnd, tAvail := thenB, g.straight(thenB, avail)
+	if depth+1 < g.cfg.MaxDepth && g.rng.Float64() < 0.3 {
+		tEnd, tAvail = g.segment(tEnd, tAvail, depth+1)
+	}
+	tEnd.Instrs = append(tEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{join.ID}})
+	g.f.AddEdge(tEnd.ID, join.ID)
+
+	out := append([]int(nil), avail...)
+	// join.Preds = [cur, tEnd]: operands in that order.
+	for i, n := 0, 1+g.rng.Intn(2); i < n; i++ {
+		tv := pickFresh(g.rng, tAvail, avail)
+		if tv < 0 {
+			break
+		}
+		v := g.f.NewValue()
+		join.Instrs = append(join.Instrs, ir.Instr{Op: ir.OpPhi, Def: v, Uses: []int{g.pick(avail), tv}})
+		out = append(out, v)
+	}
+	return join, out
+}
+
+// loop is a head-test natural loop: header holds the carried phis and the
+// exit test; the body (recursively generated) closes the back edge.
+func (g *ssaGen) loop(cur *ir.Block, avail []int, depth int) (*ir.Block, []int) {
+	header := g.newBlock()
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{header.ID}})
+	g.f.AddEdge(cur.ID, header.ID)
+
+	ncarried := 1 + g.rng.Intn(maxInt(g.cfg.Carried, 1))
+	phis := make([]int, ncarried)
+	for i := range phis {
+		v := g.f.NewValue()
+		phis[i] = v
+		header.Instrs = append(header.Instrs, ir.Instr{
+			// Back-edge operand patched once the body exists.
+			Op: ir.OpPhi, Def: v, Uses: []int{g.pick(avail), ir.NoValue},
+		})
+	}
+	headAvail := append(append([]int(nil), avail...), phis...)
+
+	body, exit := g.newBlock(), g.newBlock()
+	cond := g.f.NewValue()
+	header.Instrs = append(header.Instrs, ir.Instr{Op: ir.OpUnary, Def: cond, Uses: []int{phis[0]}})
+	header.Instrs = append(header.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{cond}, Targets: []int{body.ID, exit.ID},
+	})
+	g.f.AddEdge(header.ID, body.ID)
+	g.f.AddEdge(header.ID, exit.ID)
+
+	bodyEnd, bodyAvail := body, g.straight(body, headAvail)
+	if depth+1 < g.cfg.MaxDepth && g.rng.Float64() < 0.5 {
+		bodyEnd, bodyAvail = g.segment(bodyEnd, bodyAvail, depth+1)
+	}
+	bodyEnd.Instrs = append(bodyEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{header.ID}})
+	g.f.AddEdge(bodyEnd.ID, header.ID)
+
+	for i := range phis {
+		bv := pickFresh(g.rng, bodyAvail, avail)
+		if bv < 0 {
+			bv = phis[i] // self-carried
+		}
+		header.Instrs[i].Uses[1] = bv
+	}
+	// Body-defined values do not dominate the exit.
+	return exit, append(append([]int(nil), avail...), phis...)
+}
+
+// selfLoop is a single-block loop: phis, a short straight run, and a condbr
+// back to the block itself. The back edge is critical (the block has two
+// successors and two predecessors), and the phi's back-edge operand is
+// defined in the block itself.
+func (g *ssaGen) selfLoop(cur *ir.Block, avail []int) (*ir.Block, []int) {
+	header := g.newBlock()
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{header.ID}})
+	g.f.AddEdge(cur.ID, header.ID)
+
+	ncarried := 1 + g.rng.Intn(maxInt(g.cfg.Carried, 1))
+	phis := make([]int, ncarried)
+	for i := range phis {
+		v := g.f.NewValue()
+		phis[i] = v
+		header.Instrs = append(header.Instrs, ir.Instr{
+			Op: ir.OpPhi, Def: v, Uses: []int{g.pick(avail), ir.NoValue},
+		})
+	}
+	bodyAvail := g.straight(header, append(append([]int(nil), avail...), phis...))
+	for i := range phis {
+		bv := pickFresh(g.rng, bodyAvail, avail)
+		if bv < 0 {
+			bv = phis[i]
+		}
+		header.Instrs[i].Uses[1] = bv
+	}
+	exit := g.newBlock()
+	cond := g.f.NewValue()
+	header.Instrs = append(header.Instrs, ir.Instr{Op: ir.OpUnary, Def: cond, Uses: []int{phis[0]}})
+	header.Instrs = append(header.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{cond}, Targets: []int{header.ID, exit.ID},
+	})
+	g.f.AddEdge(header.ID, header.ID)
+	g.f.AddEdge(header.ID, exit.ID)
+	return exit, append(append([]int(nil), avail...), phis...)
+}
+
+func (g *ssaGen) pick(avail []int) int {
+	if len(g.longLived) > 0 && g.rng.Float64() < 0.15 {
+		return g.longLived[g.rng.Intn(len(g.longLived))]
+	}
+	n := len(avail)
+	if n == 1 {
+		return avail[0]
+	}
+	if g.rng.Float64() < 0.7 {
+		lo := n - 1 - g.rng.Intn(minInt(8, n))
+		if lo < 0 {
+			lo = 0
+		}
+		return avail[lo]
+	}
+	return avail[g.rng.Intn(n)]
+}
+
+// ------------------------------------------------------------ non-SSA mode
+
+// varGen emits multiple-definition functions over a mutable variable pool,
+// tracking definite initialization so every use is preceded by a def on
+// every path (the property interp enforces dynamically).
+type varGen struct {
+	cfg  Config
+	rng  *rand.Rand
+	f    *ir.Func
+	vars []int
+}
+
+func (g *varGen) generate(name string) *ir.Func {
+	g.f = &ir.Func{Name: name, ValueName: map[int]string{}, SSA: false}
+	nvars := maxInt(g.cfg.Vars, 2)
+	for i := 0; i < nvars; i++ {
+		v := g.f.NewValue()
+		g.f.ValueName[v] = fmt.Sprintf("x%d", i)
+		g.vars = append(g.vars, v)
+	}
+	entry := g.f.AddBlock("b0")
+	init := make(map[int]bool)
+	nparams := maxInt(g.cfg.Params, 1)
+	for i := 0; i < nparams && i < len(g.vars); i++ {
+		entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.OpParam, Def: g.vars[i], Imm: int64(i)})
+		init[g.vars[i]] = true
+	}
+	cur := entry
+	for s := 0; s < g.cfg.Segments; s++ {
+		cur, init = g.segment(cur, init, 0)
+	}
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpReturn, Def: ir.NoValue, Uses: []int{g.pick(init)}})
+	if g.rng.Float64() < g.cfg.UnreachableProb {
+		b := g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpReturn, Def: ir.NoValue})
+	}
+	return g.f
+}
+
+func (g *varGen) newBlock() *ir.Block {
+	return g.f.AddBlock(fmt.Sprintf("b%d", len(g.f.Blocks)))
+}
+
+func (g *varGen) segment(cur *ir.Block, init map[int]bool, depth int) (*ir.Block, map[int]bool) {
+	r := g.rng.Float64()
+	switch {
+	case depth < g.cfg.MaxDepth && r < g.cfg.LoopProb:
+		if g.rng.Float64() < 0.4 {
+			return g.selfLoop(cur, init)
+		}
+		return g.loop(cur, init, depth)
+	case depth < g.cfg.MaxDepth && r < g.cfg.LoopProb+g.cfg.BranchProb:
+		if g.rng.Float64() < 0.35 {
+			return g.triangle(cur, init, depth)
+		}
+		return g.diamond(cur, init, depth)
+	default:
+		return cur, g.straight(cur, init)
+	}
+}
+
+func (g *varGen) straight(cur *ir.Block, init map[int]bool) map[int]bool {
+	out := copySet(init)
+	n := 1 + g.rng.Intn(g.cfg.StraightLen)
+	for i := 0; i < n; i++ {
+		r := g.rng.Float64()
+		dst := g.vars[g.rng.Intn(len(g.vars))]
+		switch {
+		case r < g.cfg.MemProb/2:
+			cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpLoad, Def: dst, Uses: []int{g.pick(out)}})
+		case r < g.cfg.MemProb:
+			cur.Instrs = append(cur.Instrs, ir.Instr{
+				Op: ir.OpStore, Def: ir.NoValue, Uses: []int{g.pick(out), g.pick(out)},
+			})
+			continue
+		case r < g.cfg.MemProb+g.cfg.CallProb:
+			nargs := 1 + g.rng.Intn(3)
+			args := make([]int, nargs)
+			for k := range args {
+				args[k] = g.pick(out)
+			}
+			cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpCall, Def: dst, Uses: args})
+		default:
+			switch g.rng.Intn(8) {
+			case 0:
+				cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpConst, Def: dst, Imm: int64(g.rng.Intn(64))})
+			case 1:
+				cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpCopy, Def: dst, Uses: []int{g.pick(out)}})
+			case 2:
+				cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpUnary, Def: dst, Uses: []int{g.pick(out)}})
+			default:
+				cur.Instrs = append(cur.Instrs, ir.Instr{
+					Op: ir.OpArith, Def: dst, Uses: []int{g.pick(out), g.pick(out)},
+				})
+			}
+		}
+		out[dst] = true
+	}
+	return out
+}
+
+func (g *varGen) diamond(cur *ir.Block, init map[int]bool, depth int) (*ir.Block, map[int]bool) {
+	thenB, elseB := g.newBlock(), g.newBlock()
+	cur.Instrs = append(cur.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{g.pick(init)}, Targets: []int{thenB.ID, elseB.ID},
+	})
+	g.f.AddEdge(cur.ID, thenB.ID)
+	g.f.AddEdge(cur.ID, elseB.ID)
+	tEnd, tInit := thenB, g.straight(thenB, init)
+	if depth+1 < g.cfg.MaxDepth && g.rng.Float64() < 0.3 {
+		tEnd, tInit = g.segment(tEnd, tInit, depth+1)
+	}
+	eEnd, eInit := elseB, g.straight(elseB, init)
+	if depth+1 < g.cfg.MaxDepth && g.rng.Float64() < 0.3 {
+		eEnd, eInit = g.segment(eEnd, eInit, depth+1)
+	}
+	join := g.newBlock()
+	tEnd.Instrs = append(tEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{join.ID}})
+	g.f.AddEdge(tEnd.ID, join.ID)
+	eEnd.Instrs = append(eEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{join.ID}})
+	g.f.AddEdge(eEnd.ID, join.ID)
+	return join, intersect(tInit, eInit)
+}
+
+func (g *varGen) triangle(cur *ir.Block, init map[int]bool, depth int) (*ir.Block, map[int]bool) {
+	thenB, join := g.newBlock(), g.newBlock()
+	cur.Instrs = append(cur.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{g.pick(init)}, Targets: []int{thenB.ID, join.ID},
+	})
+	g.f.AddEdge(cur.ID, thenB.ID)
+	g.f.AddEdge(cur.ID, join.ID) // critical edge
+	tEnd, tInit := thenB, g.straight(thenB, init)
+	if depth+1 < g.cfg.MaxDepth && g.rng.Float64() < 0.3 {
+		tEnd, tInit = g.segment(tEnd, tInit, depth+1)
+	}
+	_ = tInit
+	tEnd.Instrs = append(tEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{join.ID}})
+	g.f.AddEdge(tEnd.ID, join.ID)
+	// Only what was initialized before the branch is definite at the join.
+	return join, copySet(init)
+}
+
+func (g *varGen) loop(cur *ir.Block, init map[int]bool, depth int) (*ir.Block, map[int]bool) {
+	header := g.newBlock()
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{header.ID}})
+	g.f.AddEdge(cur.ID, header.ID)
+	body, exit := g.newBlock(), g.newBlock()
+	header.Instrs = append(header.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{g.pick(init)}, Targets: []int{body.ID, exit.ID},
+	})
+	g.f.AddEdge(header.ID, body.ID)
+	g.f.AddEdge(header.ID, exit.ID)
+	bodyEnd, bodyInit := body, g.straight(body, init)
+	if depth+1 < g.cfg.MaxDepth && g.rng.Float64() < 0.4 {
+		bodyEnd, bodyInit = g.segment(bodyEnd, bodyInit, depth+1)
+	}
+	bodyEnd.Instrs = append(bodyEnd.Instrs, ir.Instr{
+		Op: ir.OpStore, Def: ir.NoValue, Uses: []int{g.pick(bodyInit), g.pick(bodyInit)},
+	})
+	bodyEnd.Instrs = append(bodyEnd.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{header.ID}})
+	g.f.AddEdge(bodyEnd.ID, header.ID)
+	// The body may never run.
+	return exit, copySet(init)
+}
+
+// selfLoop emits a one-block loop with a critical back edge.
+func (g *varGen) selfLoop(cur *ir.Block, init map[int]bool) (*ir.Block, map[int]bool) {
+	header := g.newBlock()
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{header.ID}})
+	g.f.AddEdge(cur.ID, header.ID)
+	bodyInit := g.straight(header, init)
+	exit := g.newBlock()
+	header.Instrs = append(header.Instrs, ir.Instr{
+		Op: ir.OpCondBr, Def: ir.NoValue, Uses: []int{g.pick(bodyInit)}, Targets: []int{header.ID, exit.ID},
+	})
+	g.f.AddEdge(header.ID, header.ID)
+	g.f.AddEdge(header.ID, exit.ID)
+	// Everything the block initializes is definite at the exit: the block
+	// runs at least once on the way through.
+	return exit, bodyInit
+}
+
+func (g *varGen) pick(init map[int]bool) int {
+	pool := make([]int, 0, len(init))
+	for _, v := range g.vars { // iterate the pool, not the map: determinism
+		if init[v] {
+			pool = append(pool, v)
+		}
+	}
+	if len(pool) == 0 {
+		panic("irgen: no initialized variable available")
+	}
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// ---------------------------------------------------------------- helpers
+
+// pickFresh picks a value in list but not in base (defined inside the
+// current region), or -1.
+func pickFresh(rng *rand.Rand, list, base []int) int {
+	baseSet := make(map[int]bool, len(base))
+	for _, v := range base {
+		baseSet[v] = true
+	}
+	var fresh []int
+	for _, v := range list {
+		if !baseSet[v] {
+			fresh = append(fresh, v)
+		}
+	}
+	if len(fresh) == 0 {
+		return -1
+	}
+	return fresh[rng.Intn(len(fresh))]
+}
+
+func copySet(s map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(s))
+	for k, v := range s {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func intersect(a, b map[int]bool) map[int]bool {
+	out := make(map[int]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -100,10 +100,27 @@ func Assign(f *ir.Func, info *liveness.Info, allocated []bool, r int) ([]int, er
 				}
 			}
 		}
+		// A phi def with no use in the block and not live-out dies at block
+		// entry: it occupies a register only at the boundary instant (which
+		// the liveness points account for) and must be freed before the
+		// first non-phi instruction, or a dead phi def would pin a register
+		// for the whole block and spuriously exhaust the register file.
+		for _, ins := range b.Instrs {
+			if ins.Op != ir.OpPhi {
+				break
+			}
+			d := ins.Def
+			if !allocated[d] || liveOut[d] {
+				continue
+			}
+			if _, used := lastUse[d]; !used {
+				inUse[regOf[d]] = false
+			}
+		}
 		for i, ins := range b.Instrs {
 			if ins.Op == ir.OpPhi {
-				// Handled above; also record death if the phi def is dead
-				// inside this block (freed by lastUse processing below).
+				// Assigned above; death inside the block is freed by the
+				// lastUse processing below like any other value.
 				continue
 			}
 			// Free the registers of allocated values dying at i — after
@@ -172,7 +189,7 @@ func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
 				if u < len(spilled) && spilled[u] {
 					nv := g.NewValue()
 					g.ValueName[nv] = g.NameOf(u) + ".r"
-					out = append(out, ir.Instr{Op: ir.OpReload, Def: nv})
+					out = append(out, ir.Instr{Op: ir.OpReload, Def: nv, Imm: int64(u)})
 					newUses[k] = nv
 				}
 			}
@@ -227,7 +244,7 @@ func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
 				pred := g.Blocks[b.Preds[k]]
 				nv := g.NewValue()
 				g.ValueName[nv] = g.NameOf(u) + ".r"
-				reload := ir.Instr{Op: ir.OpReload, Def: nv}
+				reload := ir.Instr{Op: ir.OpReload, Def: nv, Imm: int64(u)}
 				ti := len(pred.Instrs) - 1 // terminator index
 				pred.Instrs = append(pred.Instrs[:ti],
 					append([]ir.Instr{reload}, pred.Instrs[ti:]...)...)

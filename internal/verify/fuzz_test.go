@@ -1,0 +1,66 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/irgen"
+	"repro/internal/regassign"
+)
+
+// FuzzDifferentialSeed is the main fuzz surface of the verification
+// subsystem: the fuzzed integer fully determines a generated function
+// (SSA-ness, shape, and body via irgen.FromSeed), which is then pushed
+// through the whole differential matrix — every applicable allocator at
+// every default register count, with semantic, pressure, and assignment
+// checks. Run long with:
+//
+//	go test -run '^$' -fuzz FuzzDifferentialSeed ./internal/verify
+func FuzzDifferentialSeed(f *testing.F) {
+	// Seeds that found (or guard) real bugs, plus a spread of shapes.
+	for _, seed := range []int64{0, 1, 2, 5, 11, 16, 27, 33, 35, 47, 100, 12345, -1, 1 << 33} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		// A modest budget keeps executions per input bounded; timeout
+		// points are still compared exactly between original and rewrite.
+		if err := CheckSeed(seed, Options{Budget: 1024}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzSpillEverywhere drives the rewriter alone, harder than the allocator
+// matrix would: an arbitrary subset of values (chosen by the mask) is
+// spilled regardless of any allocator's opinion, and the rewrite must stay
+// valid and observably equivalent.
+func FuzzSpillEverywhere(f *testing.F) {
+	f.Add(int64(1), uint64(0))
+	f.Add(int64(7), uint64(0xffffffffffffffff))
+	f.Add(int64(42), uint64(0xaaaaaaaaaaaaaaaa))
+	f.Add(int64(5), uint64(0x123456789))
+	f.Fuzz(func(t *testing.T, seed int64, mask uint64) {
+		fn := irgen.FromSeed(seed)
+		spilled := make([]bool, fn.NumValues)
+		for v := range spilled {
+			spilled[v] = mask>>(uint(v)%64)&1 == 1
+		}
+		g := regassign.InsertSpillCode(fn, spilled)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("rewrite invalid: %v\n%s", err, g)
+		}
+		for _, in := range DefaultInputs {
+			r1, err := interp.Run(fn, in, 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := interp.Run(g, in, 1024)
+			if err != nil {
+				t.Fatalf("rewritten: %v", err)
+			}
+			if d := r1.Diff(r2); d != "" {
+				t.Fatalf("spill mask %#x changed behaviour: %s", mask, d)
+			}
+		}
+	})
+}

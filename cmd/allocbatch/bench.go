@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/pipeline"
+)
+
+// The throughput benchmark measures the batch pipeline end to end:
+// functions/second over a generated module at several worker counts, and
+// the allocation profile per function with and without per-worker scratch
+// reuse. It writes a machine-readable JSON report (BENCH_pr3.json in CI)
+// so the repository's perf trajectory is tracked in data, not prose.
+
+type benchConfig struct {
+	Funcs     int
+	Seed      int64
+	Registers int
+	Allocator string
+	Rounds    int
+	OutPath   string
+}
+
+// benchRow is one measured configuration.
+type benchRow struct {
+	Jobs          int     `json:"jobs"`
+	ScratchReuse  bool    `json:"scratch_reuse"`
+	FuncsPerSec   float64 `json:"funcs_per_sec"`
+	NsPerFunc     float64 `json:"ns_per_func"`
+	AllocsPerFunc float64 `json:"allocs_per_func"`
+	BytesPerFunc  float64 `json:"bytes_per_func"`
+}
+
+// benchReport is the BENCH_pr3.json schema. Speedups are quoted against
+// the pre-batch baseline (jobs=1, no scratch reuse — exactly what a caller
+// looping over core.Run got before the pipeline existed) and, for
+// transparency, against jobs=1 with reuse.
+type benchReport struct {
+	Bench                   string     `json:"bench"`
+	GoVersion               string     `json:"go"`
+	CPUs                    int        `json:"cpus"`
+	GOMAXPROCS              int        `json:"gomaxprocs"`
+	Functions               int        `json:"functions"`
+	Seed                    int64      `json:"seed"`
+	Registers               int        `json:"registers"`
+	Allocator               string     `json:"allocator"`
+	Rounds                  int        `json:"rounds"`
+	Configs                 []benchRow `json:"configs"`
+	Baseline                string     `json:"baseline"`
+	Speedup4Workers         float64    `json:"speedup_at_4_workers"`
+	Speedup4WorkersNoReuse  float64    `json:"speedup_at_4_workers_vs_jobs1_same_reuse"`
+	AllocsReductionReuse    float64    `json:"allocs_reduction_from_scratch_reuse"`
+	BytesReductionReuse     float64    `json:"bytes_reduction_from_scratch_reuse"`
+	NsPerFuncReductionReuse float64    `json:"ns_per_func_reduction_from_scratch_reuse"`
+}
+
+func runBench(out io.Writer, cfg benchConfig) error {
+	if cfg.Funcs < 1 {
+		return fmt.Errorf("bench: -funcs must be ≥ 1")
+	}
+	if cfg.Rounds < 1 {
+		cfg.Rounds = 1
+	}
+	m := irgen.GenerateModule(cfg.Seed, cfg.Funcs)
+	fmt.Fprintf(out, "bench: module of %d functions (seed %d), R=%d, %d rounds per config\n",
+		cfg.Funcs, cfg.Seed, cfg.Registers, cfg.Rounds)
+
+	type key struct {
+		jobs  int
+		reuse bool
+	}
+	configs := []key{
+		{1, false}, {4, false},
+		{1, true}, {2, true}, {4, true}, {8, true}, {16, true},
+	}
+	rows := make([]benchRow, 0, len(configs))
+	byKey := make(map[key]benchRow, len(configs))
+	for _, k := range configs {
+		pcfg := pipeline.Config{
+			Registers: cfg.Registers, Allocator: cfg.Allocator,
+			Jobs: k.jobs, NoScratchReuse: !k.reuse,
+		}
+		// Warm-up: fault in code paths and steady-state the heap.
+		if _, err := runOnce(m, pcfg); err != nil {
+			return err
+		}
+		best := benchRow{Jobs: k.jobs, ScratchReuse: k.reuse}
+		for round := 0; round < cfg.Rounds; round++ {
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			if _, err := runOnce(m, pcfg); err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			n := float64(cfg.Funcs)
+			row := benchRow{
+				Jobs: k.jobs, ScratchReuse: k.reuse,
+				FuncsPerSec:   n / elapsed.Seconds(),
+				NsPerFunc:     float64(elapsed.Nanoseconds()) / n,
+				AllocsPerFunc: float64(after.Mallocs-before.Mallocs) / n,
+				BytesPerFunc:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+			}
+			if best.FuncsPerSec == 0 || row.FuncsPerSec > best.FuncsPerSec {
+				best = row
+			}
+		}
+		rows = append(rows, best)
+		byKey[k] = best
+		fmt.Fprintf(out, "  jobs=%-2d reuse=%-5v  %9.1f funcs/sec  %8.0f ns/func  %7.1f allocs/func  %8.0f B/func\n",
+			k.jobs, k.reuse, best.FuncsPerSec, best.NsPerFunc, best.AllocsPerFunc, best.BytesPerFunc)
+	}
+
+	base := byKey[key{1, false}]
+	rep := benchReport{
+		Bench:      "module_batch_throughput_pr3",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Functions:  cfg.Funcs,
+		Seed:       cfg.Seed,
+		Registers:  cfg.Registers,
+		Allocator:  cfg.Allocator,
+		Rounds:     cfg.Rounds,
+		Configs:    rows,
+		Baseline:   "jobs=1 scratch_reuse=false (pre-pipeline behaviour: one core.Run per function)",
+	}
+	if base.FuncsPerSec > 0 {
+		rep.Speedup4Workers = byKey[key{4, true}].FuncsPerSec / base.FuncsPerSec
+	}
+	if r1 := byKey[key{1, true}]; r1.FuncsPerSec > 0 {
+		rep.Speedup4WorkersNoReuse = byKey[key{4, true}].FuncsPerSec / r1.FuncsPerSec
+	}
+	if r1 := byKey[key{1, true}]; r1.AllocsPerFunc > 0 {
+		rep.AllocsReductionReuse = base.AllocsPerFunc / r1.AllocsPerFunc
+		rep.BytesReductionReuse = base.BytesPerFunc / r1.BytesPerFunc
+		rep.NsPerFuncReductionReuse = base.NsPerFunc / r1.NsPerFunc
+	}
+	fmt.Fprintf(out, "speedup at 4 workers vs baseline: %.2fx; allocs/func reduction from scratch reuse: %.2fx\n",
+		rep.Speedup4Workers, rep.AllocsReductionReuse)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(cfg.OutPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", cfg.OutPath)
+	return nil
+}
+
+// runOnce is one timed batch pass; any per-function failure aborts the
+// benchmark (the generated corpus must allocate cleanly).
+func runOnce(m *ir.Module, cfg pipeline.Config) ([]pipeline.FuncResult, error) {
+	results, err := pipeline.RunModule(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := pipeline.FirstErr(results); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return results, nil
+}

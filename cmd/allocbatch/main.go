@@ -1,0 +1,275 @@
+// Command allocbatch is the module-level batch front-end of the allocator:
+// it fans the functions of a compilation unit out over a worker pool
+// (internal/pipeline) and reports the allocation decisions per function.
+//
+// Modes:
+//
+//	allocbatch -r 4 -alloc BFPL -jobs 4 -module m.ir        # batch a module file
+//	allocbatch -r 4 -gen 500 -seed 7                        # batch a generated module
+//	allocbatch -jsonl -jobs 8                               # JSONL request/response service
+//	allocbatch -bench -funcs 800 -out BENCH_pr3.json        # throughput benchmark
+//
+// In JSONL mode every stdin line is one request and every stdout line one
+// response, emitted in request order, so the tool can be driven as a
+// service by any line-oriented client:
+//
+//	{"id":"1","ir":"func f ssa { ... }","registers":4,"allocator":"BFPL","print":true}
+//	{"id":"1","func":"f","allocator":"BFPL","registers":4,"values":9,"maxlive":3,
+//	 "spilled":["a"],"spillCost":12.5,"assignment":{"b":0},"rewritten":"func f ssa {...}"}
+//
+// Requests may omit registers/allocator to inherit the command-line
+// defaults; failures come back as {"id":..., "error": "..."} without
+// stopping the stream.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "allocbatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("allocbatch", flag.ContinueOnError)
+	regs := fs.Int("r", 4, "register count")
+	allocName := fs.String("alloc", "", "allocator: "+strings.Join(core.AllocatorNames(), ", ")+" (default BFPL/LH)")
+	jobs := fs.Int("jobs", 0, "worker count (0 = GOMAXPROCS)")
+	module := fs.String("module", "", "textual IR module file ('-' = stdin)")
+	gen := fs.Int("gen", 0, "generate a module of this many functions instead of reading one")
+	seed := fs.Int64("seed", 1, "generator seed for -gen and -bench")
+	print := fs.Bool("print", false, "per-function detail: assignment and rewritten body")
+	jsonl := fs.Bool("jsonl", false, "JSONL service mode: one request per stdin line, one response per stdout line")
+	bench := fs.Bool("bench", false, "run the module-throughput benchmark")
+	funcs := fs.Int("funcs", 800, "benchmark module size (with -bench)")
+	rounds := fs.Int("rounds", 3, "benchmark repetitions per configuration, best kept (with -bench)")
+	benchOut := fs.String("out", "BENCH_pr3.json", "benchmark JSON output path (with -bench)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	switch {
+	case *bench:
+		return runBench(out, benchConfig{
+			Funcs: *funcs, Seed: *seed, Registers: *regs, Allocator: *allocName,
+			Rounds: *rounds, OutPath: *benchOut,
+		})
+	case *jsonl:
+		return runJSONL(in, out, *regs, *allocName, *jobs)
+	default:
+		m, err := loadModule(*module, *gen, *seed, in)
+		if err != nil {
+			return err
+		}
+		return runBatch(out, m, *regs, *allocName, *jobs, *print)
+	}
+}
+
+func loadModule(path string, gen int, seed int64, in io.Reader) (*ir.Module, error) {
+	if gen > 0 {
+		return irgen.GenerateModule(seed, gen), nil
+	}
+	var src []byte
+	var err error
+	if path == "" || path == "-" {
+		src, err = io.ReadAll(in)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ir.ParseModule(string(src))
+}
+
+func runBatch(out io.Writer, m *ir.Module, regs int, allocName string, jobs int, detail bool) error {
+	results, err := pipeline.RunModule(m, pipeline.Config{
+		Registers: regs, Allocator: allocName, Jobs: jobs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, pipeline.FormatResults(results, detail))
+	t := pipeline.Summarize(results)
+	fmt.Fprintf(out, "total %d functions, %d spilled values (cost %.1f), %d errors\n",
+		t.Funcs, t.Spilled, t.SpillCost, t.Errors)
+	if t.Errors > 0 {
+		return fmt.Errorf("%d of %d functions failed", t.Errors, t.Funcs)
+	}
+	return nil
+}
+
+// ------------------------------------------------------------- JSONL mode
+
+// request is one JSONL line in. Registers/Allocator default to the
+// command-line flags when omitted.
+type request struct {
+	ID        string `json:"id"`
+	IR        string `json:"ir"`
+	Registers int    `json:"registers"`
+	Allocator string `json:"allocator"`
+	Print     bool   `json:"print"`
+}
+
+// response is one JSONL line out, in request order.
+type response struct {
+	ID         string         `json:"id,omitempty"`
+	Func       string         `json:"func,omitempty"`
+	Allocator  string         `json:"allocator,omitempty"`
+	Registers  int            `json:"registers,omitempty"`
+	Values     int            `json:"values,omitempty"`
+	MaxLive    int            `json:"maxlive,omitempty"`
+	Spilled    []string       `json:"spilled,omitempty"`
+	SpillCost  float64        `json:"spillCost"`
+	Assignment map[string]int `json:"assignment,omitempty"`
+	Rewritten  string         `json:"rewritten,omitempty"`
+	Error      string         `json:"error,omitempty"`
+}
+
+// runJSONL streams requests through a fixed worker pool, each worker with
+// its own scratch-reusing core.Runner, and emits responses in request order
+// with a bounded in-flight window.
+func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc string, jobs int) error {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	type slot struct {
+		req  request
+		err  error // request decode error
+		done chan response
+	}
+	work := make(chan *slot)
+	pending := make(chan *slot, jobs*4)
+
+	var writeErr error
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		enc := json.NewEncoder(out)
+		for s := range pending {
+			if err := enc.Encode(<-s.done); err != nil && writeErr == nil {
+				writeErr = err
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runner := core.NewRunner()
+			for s := range work {
+				s.done <- serve(runner, s.req, s.err, defRegs, defAlloc)
+			}
+		}()
+	}
+
+	// bufio.Reader rather than a Scanner: a Scanner's line cap would kill
+	// the whole stream on one oversized request, breaking the
+	// errors-are-per-request contract.
+	br := bufio.NewReaderSize(in, 1<<20)
+	var readErr error
+	for {
+		line, err := br.ReadString('\n')
+		if trimmed := strings.TrimSpace(line); trimmed != "" {
+			s := &slot{done: make(chan response, 1)}
+			s.err = json.Unmarshal([]byte(trimmed), &s.req)
+			pending <- s
+			work <- s
+		}
+		if err != nil {
+			if err != io.EOF {
+				readErr = err
+			}
+			break
+		}
+	}
+	close(work)
+	wg.Wait()
+	close(pending)
+	<-writerDone
+	if readErr != nil {
+		return readErr
+	}
+	return writeErr
+}
+
+// serve handles one JSONL request on one worker.
+func serve(runner *core.Runner, req request, decodeErr error, defRegs int, defAlloc string) response {
+	resp := response{ID: req.ID}
+	if decodeErr != nil {
+		resp.Error = "bad request: " + decodeErr.Error()
+		return resp
+	}
+	r := req.Registers
+	if r == 0 {
+		r = defRegs
+	}
+	allocName := req.Allocator
+	if allocName == "" {
+		allocName = defAlloc
+	}
+	resp.Registers = r
+	cfg := core.Config{Registers: r}
+	if allocName != "" {
+		a, err := core.AllocatorByName(allocName)
+		if err != nil {
+			resp.Error = err.Error()
+			return resp
+		}
+		cfg.Allocator = a
+	}
+	f, err := ir.Parse(req.IR)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.Func = f.Name
+	out, err := pipeline.RunFunc(runner, f, cfg)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.Allocator = out.Result.Allocator
+	resp.Values = out.Build.Graph.N()
+	resp.MaxLive = out.MaxLive
+	resp.SpillCost = out.SpillCost
+	for _, v := range out.SpilledValues {
+		resp.Spilled = append(resp.Spilled, f.NameOf(v))
+	}
+	sort.Strings(resp.Spilled)
+	if out.RegisterOf != nil {
+		resp.Assignment = make(map[string]int)
+		for val, reg := range out.RegisterOf {
+			if reg >= 0 {
+				resp.Assignment[f.NameOf(val)] = reg
+			}
+		}
+	}
+	if req.Print && out.Rewritten != nil {
+		resp.Rewritten = out.Rewritten.String()
+	}
+	return resp
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func moduleCorpus(name string) string {
+	return filepath.Join("..", "..", "internal", "ir", "testdata", "modules", name)
+}
+
+func TestRunModuleFile(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-module", moduleCorpus("mixed.ir"), "-r", "2", "-jobs", "2"}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"func looped", "func branchy", "func multidef", "total 3 functions"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunGeneratedModule(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "15", "-seed", "9", "-r", "4", "-jobs", "3", "-print"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "total 15 functions") {
+		t.Errorf("missing totals:\n%s", out.String())
+	}
+}
+
+// TestRunModuleStdinDeterministic: the same module through 1 and 8 workers
+// must print identical reports (the CLI-level echo of the pipeline
+// determinism guarantee).
+func TestRunModuleStdinDeterministic(t *testing.T) {
+	src, err := os.ReadFile(moduleCorpus("mixed.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := run([]string{"-r", "3", "-jobs", "1", "-print"}, strings.NewReader(string(src)), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-r", "3", "-jobs", "8", "-print"}, strings.NewReader(string(src)), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("jobs=1 and jobs=8 reports differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunJSONL(t *testing.T) {
+	in := strings.Join([]string{
+		`{"id":"a","ir":"func f ssa {\nb0:\n  x = param 0\n  y = arith x, x\n  ret y\n}","registers":2}`,
+		``,
+		`{"id":"b","ir":"not ir at all"}`,
+		`{"id":"c","ir":"func g ssa {\nb0:\n  x = param 0\n  ret x\n}","allocator":"NL","print":true}`,
+	}, "\n") + "\n"
+	var out strings.Builder
+	if err := run([]string{"-jsonl", "-jobs", "2"}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d response lines, want 3:\n%s", len(lines), out.String())
+	}
+	// Responses come back in request order.
+	var resp struct {
+		ID        string `json:"id"`
+		Func      string `json:"func"`
+		Allocator string `json:"allocator"`
+		Error     string `json:"error"`
+		Rewritten string `json:"rewritten"`
+	}
+	for i, wantID := range []string{"a", "b", "c"} {
+		if err := json.Unmarshal([]byte(lines[i]), &resp); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if resp.ID != wantID {
+			t.Fatalf("line %d has id %q, want %q (ordering broken)", i, resp.ID, wantID)
+		}
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Error("bad IR did not produce an error response")
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Allocator != "NL" || resp.Rewritten == "" {
+		t.Errorf("request overrides not honoured: %+v", resp)
+	}
+}
+
+func TestRunBenchSmoke(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	err := run([]string{"-bench", "-funcs", "20", "-rounds", "1", "-out", outPath}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Bench     string `json:"bench"`
+		Functions int    `json:"functions"`
+		Configs   []struct {
+			Jobs        int     `json:"jobs"`
+			FuncsPerSec float64 `json:"funcs_per_sec"`
+		} `json:"configs"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench JSON does not parse: %v", err)
+	}
+	if rep.Functions != 20 || len(rep.Configs) == 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	for _, c := range rep.Configs {
+		if c.FuncsPerSec <= 0 {
+			t.Fatalf("non-positive throughput in %+v", c)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-module", "missing.ir"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing module file accepted")
+	}
+	if err := run([]string{"-gen", "3", "-alloc", "bogus"}, strings.NewReader(""), &out); err == nil {
+		t.Error("unknown allocator accepted")
+	}
+	if err := run([]string{}, strings.NewReader("not a module"), &out); err == nil {
+		t.Error("bad stdin module accepted")
+	}
+}

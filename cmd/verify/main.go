@@ -7,6 +7,7 @@
 //
 //	verify [-n 200] [-seed 1] [-r 2,3,4,8] [-alloc BFPL,LH] [-budget 4096] [-max-fail 1] [-v]
 //	verify -file f.ir
+//	verify -module m.ir
 //
 // Every failure prints the generator seed, allocator, register count and
 // input vector needed to replay it deterministically. Exit status is
@@ -42,6 +43,7 @@ func run(args []string, out io.Writer) error {
 	budget := fs.Int("budget", 0, "interpreter semantic step budget (0 = default)")
 	maxFail := fs.Int("max-fail", 1, "stop after this many failures")
 	file := fs.String("file", "", "check one textual IR file instead of soaking")
+	module := fs.String("module", "", "check every function of a textual IR module file")
 	verbose := fs.Bool("v", false, "print progress every 100 functions")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -81,6 +83,22 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "ok   %s: all allocator/register configurations verified\n", f.Name)
+		return nil
+	}
+
+	if *module != "" {
+		src, err := os.ReadFile(*module)
+		if err != nil {
+			return err
+		}
+		m, err := ir.ParseModule(string(src))
+		if err != nil {
+			return err
+		}
+		if err := verify.CheckModule(m, opts); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ok   %d module functions: all allocator/register configurations verified\n", len(m.Funcs))
 		return nil
 	}
 

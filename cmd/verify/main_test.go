@@ -40,3 +40,14 @@ func TestRunBadFlags(t *testing.T) {
 		t.Error("unknown allocator accepted")
 	}
 }
+
+func TestRunModuleFile(t *testing.T) {
+	var out strings.Builder
+	path := filepath.Join("..", "..", "internal", "ir", "testdata", "modules", "mixed.ir")
+	if err := run([]string{"-module", path, "-r", "2,4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok   3 module functions") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}

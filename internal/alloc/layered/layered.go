@@ -171,6 +171,14 @@ func newState(p *Problem) *state {
 // obtained by zeroing non-candidate weights (zero-weight vertices are never
 // selected by Frank's algorithm and charge nothing, so this equals running
 // it on the induced subgraph).
+//
+// Frank's "w' > 0" test also skips *candidates* whose weight is zero (a
+// dead-cheap value, or any cost-0 variable under a stores-are-free model),
+// which would leave them spilled — and gaining pointless spill code in the
+// rewrite — even with registers sitting idle. The layer is therefore
+// extended with every zero-weight candidate that fits: the additions carry
+// zero weight, so the set remains a maximum weighted stable set, uniformly
+// across NL, BL, FPL and BFPL.
 func (st *state) layer(opt Option) []int {
 	p := st.p
 	n := p.G.N()
@@ -195,7 +203,37 @@ func (st *state) layer(opt Option) []int {
 			w[v] = p.G.Weight[v]
 		}
 	}
-	return stable.MaxWeightChordal(p.G.Graph, p.PEO, w)
+	layer := stable.MaxWeightChordal(p.G.Graph, p.PEO, w)
+	return st.extendZeroWeight(layer, w)
+}
+
+// extendZeroWeight greedily adds zero-weight candidates (ascending vertex
+// order, for determinism) that are not adjacent to the layer or to each
+// other. With slack in the graph this allocates cost-0 values instead of
+// spilling them; the layer's total weight — and hence its optimality — is
+// unchanged.
+func (st *state) extendZeroWeight(layer []int, w []float64) []int {
+	p := st.p
+	inLayer := make([]bool, p.G.N())
+	for _, v := range layer {
+		inLayer[v] = true
+	}
+	for v := 0; v < p.G.N(); v++ {
+		if !st.candidate[v] || inLayer[v] || w[v] != 0 {
+			continue
+		}
+		free := true
+		p.G.VisitNeighbors(v, func(u int) {
+			if inLayer[u] {
+				free = false
+			}
+		})
+		if free {
+			layer = append(layer, v)
+			inLayer[v] = true
+		}
+	}
+	return layer
 }
 
 func (st *state) allocate(layer []int) {

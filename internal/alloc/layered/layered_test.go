@@ -342,3 +342,89 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+// TestZeroWeightValuesAllocatedWithSlack is the regression test for the
+// zero-cost-value inconsistency: Frank's algorithm never selects zero-weight
+// vertices, so NL/FPL used to spill every cost-0 value even with registers
+// idle, while BL kept the ones whose bias (deg > 0) made the weight
+// positive. All four variants must now keep a zero-weight vertex whenever a
+// layer has room for it.
+func TestZeroWeightValuesAllocatedWithSlack(t *testing.T) {
+	// Path a — b — c, weights 5, 0, 5. With R=2, {a, c} is the first layer
+	// and b (weight 0) fits in the second.
+	build := func() *alloc.Problem {
+		g := graph.New(3)
+		g.AddEdge(0, 1)
+		g.AddEdge(1, 2)
+		return alloc.NewGraphProblem(graph.NewWeighted(g, []float64{5, 0, 5}), 2, nil)
+	}
+	for _, a := range []*Allocator{NL(), BL(), FPL(), BFPL()} {
+		p := build()
+		res := a.Allocate(p)
+		if err := p.Validate(res); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		for v := 0; v < 3; v++ {
+			if !res.Allocated[v] {
+				t.Errorf("%s: vertex %d spilled with registers idle (weight %g)",
+					a.Name(), v, p.G.Weight[v])
+			}
+		}
+	}
+}
+
+// TestZeroWeightParityNLvsBL: an *isolated* zero-weight vertex gets no help
+// from the degree bias, so before the fix NL and BL disagreed even on it.
+// Both must keep it, and a saturated neighbourhood must still force spills
+// of zero-weight vertices that genuinely do not fit.
+func TestZeroWeightParityNLvsBL(t *testing.T) {
+	// Triangle x-y-z (weights 3,3,3) plus an isolated vertex d of weight 0.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	w := []float64{3, 3, 3, 0}
+	for _, a := range []*Allocator{NL(), BL()} {
+		p := alloc.NewGraphProblem(graph.NewWeighted(g.Clone(), append([]float64(nil), w...)), 2, nil)
+		res := a.Allocate(p)
+		if err := p.Validate(res); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if !res.Allocated[3] {
+			t.Errorf("%s: isolated zero-weight vertex spilled", a.Name())
+		}
+		// R=2 on a triangle: exactly one of x,y,z spills regardless.
+		spilled := 0
+		for v := 0; v < 3; v++ {
+			if !res.Allocated[v] {
+				spilled++
+			}
+		}
+		if spilled != 1 {
+			t.Errorf("%s: %d of the triangle spilled, want 1", a.Name(), spilled)
+		}
+	}
+}
+
+// TestAllZeroWeightGraph: when *every* candidate is zero-weight (Frank's
+// algorithm returns an empty set), the extension alone must fill the
+// layers.
+func TestAllZeroWeightGraph(t *testing.T) {
+	// Path 0-1-2-3 (chordal), all weights 0, R=2: 2-colourable — all fit.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	p := alloc.NewGraphProblem(graph.NewWeighted(g, []float64{0, 0, 0, 0}), 2, nil)
+	for _, a := range []*Allocator{NL(), BFPL()} {
+		res := a.Allocate(p)
+		if err := p.Validate(res); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		for v := 0; v < 4; v++ {
+			if !res.Allocated[v] {
+				t.Errorf("%s: zero-weight vertex %d spilled in a 2-colourable graph", a.Name(), v)
+			}
+		}
+	}
+}

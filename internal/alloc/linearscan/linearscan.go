@@ -44,6 +44,15 @@ func BLS() *Allocator { return &Allocator{Belady: true, name: "BLS"} }
 func (a *Allocator) Name() string { return a.name }
 
 // Allocate implements alloc.Allocator. The problem must carry Intervals.
+//
+// Empty intervals (Intervals[v] = [s, e] with e < s, the BuildIntervals
+// encoding for values live at no program point) are *allocated-as-dead*:
+// the value is reported kept (Allocated[v] = true, it contributes no spill
+// cost and gains no spill code) but never enters the scan, so it occupies
+// no register slot at any point. This is deliberate, not fall-through:
+// such a value is in no live set, so keeping it cannot violate a pressure
+// constraint, and spilling it would only manufacture spill code for a
+// value that is never live. Pinned by TestEmptyIntervalAllocatedAsDead.
 func (a *Allocator) Allocate(p *alloc.Problem) *alloc.Result {
 	if p.Intervals == nil {
 		panic("linearscan: problem has no live intervals")
@@ -58,6 +67,7 @@ func (a *Allocator) Allocate(p *alloc.Problem) *alloc.Result {
 		if p.Intervals[v][1] >= p.Intervals[v][0] {
 			order = append(order, v)
 		}
+		// else: empty interval — allocated-as-dead, see above.
 	}
 	sort.SliceStable(order, func(i, j int) bool {
 		si, sj := p.Intervals[order[i]][0], p.Intervals[order[j]][0]
@@ -73,7 +83,14 @@ func (a *Allocator) Allocate(p *alloc.Problem) *alloc.Result {
 	endOf := func(v int) int { return p.Intervals[v][1] }
 	for _, v := range order {
 		start := p.Intervals[v][0]
-		// Expire intervals that ended strictly before start.
+		// Expire intervals that ended strictly before start. This is the
+		// Poletto–Sarkar ExpireOldIntervals boundary ("if endpoint[j] ≥
+		// startpoint[i] then return") on our *inclusive* [start, end]
+		// intervals: a value ending exactly where another starts is still
+		// live at that shared point — both are in its live set — so it must
+		// keep holding its register (endOf(u) == start does not expire),
+		// while endOf(u) == start-1 frees the slot. Pinned by
+		// TestExpiryBoundary{Touching,Adjacent}.
 		keep := active[:0]
 		for _, u := range active {
 			if endOf(u) >= start {

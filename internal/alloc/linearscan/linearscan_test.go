@@ -226,3 +226,99 @@ b3:
 		}
 	}
 }
+
+// TestEmptyIntervalAllocatedAsDead pins the empty-interval decision: a
+// value with Intervals[v][1] < Intervals[v][0] is live at no point, never
+// enters the scan, never occupies a register slot — and is reported
+// *allocated* (as-dead), so it contributes no spill cost and gains no
+// spill code. Before this was made explicit the value fell through the
+// scan-order filter by accident; the behaviour is now contractual.
+func TestEmptyIntervalAllocatedAsDead(t *testing.T) {
+	// Two real intervals saturating R=1, plus an empty-interval vertex.
+	ivs := [][2]int{{0, 5}, {2, 8}, {0, -1}}
+	w := []float64{1, 2, 99}
+	for _, a := range []*Allocator{DLS(), BLS()} {
+		p := intervalsProblem(ivs, w, 1)
+		res := a.Allocate(p)
+		if err := p.Validate(res); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if !res.Allocated[2] {
+			t.Errorf("%s: empty-interval value spilled", a.Name())
+		}
+		// The dead value must not have shielded the live conflict: exactly
+		// one of the two real intervals spills.
+		if res.Allocated[0] == res.Allocated[1] {
+			t.Errorf("%s: overlap at R=1 not resolved: %v", a.Name(), res.Allocated)
+		}
+		if res.SpillCost(p) >= 99 {
+			t.Errorf("%s: dead value charged spill cost", a.Name())
+		}
+	}
+}
+
+// TestExpiryBoundaryTouching audits the ExpireOldIntervals boundary against
+// the Poletto–Sarkar definition on inclusive intervals: u ending exactly at
+// v's start still holds its register at that shared point, so with R=1 the
+// pair must conflict (one spills).
+func TestExpiryBoundaryTouching(t *testing.T) {
+	ivs := [][2]int{{0, 4}, {4, 8}}
+	p := intervalsProblem(ivs, []float64{1, 1}, 1)
+	for _, a := range []*Allocator{DLS(), BLS()} {
+		res := a.Allocate(p)
+		if err := p.Validate(res); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if res.Allocated[0] && res.Allocated[1] {
+			t.Fatalf("%s: touching intervals [0,4] and [4,8] both kept one register", a.Name())
+		}
+	}
+}
+
+// TestExpiryBoundaryAdjacent: u ending at start-1 is expired and its
+// register reused — adjacent-but-disjoint intervals share one register.
+func TestExpiryBoundaryAdjacent(t *testing.T) {
+	ivs := [][2]int{{0, 3}, {4, 8}}
+	p := intervalsProblem(ivs, []float64{1, 1}, 1)
+	for _, a := range []*Allocator{DLS(), BLS()} {
+		res := a.Allocate(p)
+		if err := p.Validate(res); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if !res.Allocated[0] || !res.Allocated[1] {
+			t.Fatalf("%s: disjoint intervals did not share the register: %v", a.Name(), res.Allocated)
+		}
+	}
+}
+
+// TestBuildIntervalsNeverEmptyForDefs: on real functions every defined
+// value gets a non-empty interval (dead defs occupy their definition
+// point), so allocated-as-dead only triggers for hand-built problems.
+func TestBuildIntervalsNeverEmptyForDefs(t *testing.T) {
+	f := ir.MustParse(`
+func d ssa {
+b0:
+  a = param 0
+  dead = unary a
+  b = arith a, a
+  ret b
+}`)
+	info := liveness.Compute(f)
+	b := ifg.FromLiveness(info)
+	ivs := BuildIntervals(info, b)
+	for _, name := range []string{"a", "dead", "b"} {
+		var val int = -1
+		for id, n := range f.ValueName {
+			if n == name {
+				val = id
+			}
+		}
+		vx := b.VertexOf[val]
+		if vx < 0 {
+			t.Fatalf("%s has no vertex", name)
+		}
+		if ivs[vx][1] < ivs[vx][0] {
+			t.Errorf("%s got an empty interval %v", name, ivs[vx])
+		}
+	}
+}

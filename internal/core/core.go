@@ -68,17 +68,47 @@ type Outcome struct {
 	Rewritten *ir.Func
 }
 
+// Runner executes the pipeline repeatedly, reusing the analysis scratch
+// memory (liveness bitsets, live-set snapshots) across functions instead of
+// reallocating it per call — the batch pipeline gives each worker one
+// Runner. Outcomes never reference scratch memory, so they stay valid across
+// subsequent Run calls; a Runner is not safe for concurrent use.
+type Runner struct {
+	live *liveness.Scratch
+}
+
+// NewRunner returns a Runner with empty scratch.
+func NewRunner() *Runner { return &Runner{live: liveness.NewScratch()} }
+
+// Run executes the decoupled register-allocation pipeline on f, reusing the
+// runner's scratch.
+func (r *Runner) Run(f *ir.Func, cfg Config) (*Outcome, error) {
+	return run(f, cfg, r.live)
+}
+
 // Run executes the decoupled register-allocation pipeline on f.
 func Run(f *ir.Func, cfg Config) (*Outcome, error) {
+	return run(f, cfg, nil)
+}
+
+func run(f *ir.Func, cfg Config, scratch *liveness.Scratch) (*Outcome, error) {
 	if cfg.Registers < 1 {
 		return nil, fmt.Errorf("core: Registers must be ≥ 1, got %d", cfg.Registers)
+	}
+	if err := cfg.CostModel.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid cost model: %w", err)
 	}
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid input function: %w", err)
 	}
 	dom := f.ComputeDominance()
 	f.ComputeLoops(dom)
-	info := liveness.Compute(f)
+	var info *liveness.Info
+	if scratch != nil {
+		info = scratch.Compute(f)
+	} else {
+		info = liveness.Compute(f)
+	}
 	build := ifg.FromLiveness(info)
 	costs := spillcost.Costs(f, cfg.CostModel)
 	p := alloc.NewProblem(build, costs, cfg.Registers)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/alloc/optimal"
 	"repro/internal/ir"
 	"repro/internal/regassign"
+	"repro/internal/spillcost"
 )
 
 const loopSrc = `
@@ -168,5 +169,67 @@ func TestRunAllNamedAllocatorsOnChordal(t *testing.T) {
 		if out.SpillCost < 0 {
 			t.Fatalf("%s: negative spill cost", name)
 		}
+	}
+}
+
+// TestZeroCostValueKeptAcrossLayeredVariants is the end-to-end regression
+// test for the zero-cost-value inconsistency: with a stores-are-free cost
+// model, a defined-but-unused value has spill cost 0, and NL used to spill
+// it (Frank's algorithm never selects zero-weight vertices) while BL kept
+// it — inserting needless spill code in the NL rewrite. With registers
+// idle, every layered variant must keep it and the rewrite must gain no
+// spill or reload instructions.
+func TestZeroCostValueKeptAcrossLayeredVariants(t *testing.T) {
+	src := `
+func deadcheap ssa {
+b0:
+  a = param 0
+  d = unary a
+  b = arith a, a
+  ret b
+}`
+	model := spillcost.Model{LoopBase: 10, StoreFactor: 0}
+	for _, name := range []string{"NL", "BL", "FPL", "BFPL"} {
+		f := ir.MustParse(src)
+		a, err := AllocatorByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Run(f, Config{Registers: 4, Allocator: a, CostModel: model})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out.SpilledValues) != 0 {
+			names := make([]string, len(out.SpilledValues))
+			for i, v := range out.SpilledValues {
+				names[i] = f.NameOf(v)
+			}
+			t.Fatalf("%s: spilled %v with registers idle", name, names)
+		}
+		if out.Rewritten == nil {
+			t.Fatalf("%s: no rewrite produced", name)
+		}
+		for _, b := range out.Rewritten.Blocks {
+			for _, ins := range b.Instrs {
+				if ins.Op == ir.OpSpill || ins.Op == ir.OpReload {
+					t.Fatalf("%s: rewrite gained spill code: %s", name, out.Rewritten)
+				}
+			}
+		}
+	}
+}
+
+// TestCostModelValidatedByRun: meaningless cost models are rejected before
+// allocation instead of producing garbage costs.
+func TestCostModelValidatedByRun(t *testing.T) {
+	f := ir.MustParse(`
+func v ssa {
+b0:
+  a = param 0
+  ret a
+}`)
+	_, err := Run(f, Config{Registers: 2, CostModel: spillcost.Model{LoopBase: -3, StoreFactor: 1}})
+	if err == nil {
+		t.Fatal("negative LoopBase accepted")
 	}
 }

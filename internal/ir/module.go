@@ -1,0 +1,128 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Module is a compilation unit: an ordered sequence of functions sharing one
+// textual source. It is the unit the batch pipeline (internal/pipeline)
+// fans out over; function order is significant and preserved by parse/print.
+type Module struct {
+	Funcs []*Func
+}
+
+// ParseModule reads a module in the textual format produced by
+// Module.String: a sequence of func blocks (each in the single-function
+// format accepted by Parse), separated by blank lines or comments. A source
+// holding exactly one function is a valid one-function module, so every
+// single-function .ir file is also a module file.
+func ParseModule(src string) (*Module, error) {
+	m := &Module{}
+	lines := strings.Split(src, "\n")
+	var chunk []string
+	chunkStart := 0
+	inFunc := false
+	flush := func(end int) error {
+		f, err := Parse(strings.Join(chunk, "\n"))
+		if err != nil {
+			return fmt.Errorf("ir: module func #%d (lines %d-%d): %w",
+				len(m.Funcs)+1, chunkStart+1, end+1, err)
+		}
+		m.Funcs = append(m.Funcs, f)
+		chunk = chunk[:0]
+		return nil
+	}
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case inFunc:
+			chunk = append(chunk, raw)
+			if line == "}" {
+				if err := flush(lineNo); err != nil {
+					return nil, err
+				}
+				inFunc = false
+			}
+		case strings.HasPrefix(line, "func "):
+			inFunc = true
+			chunkStart = lineNo
+			chunk = append(chunk, raw)
+		case line == "":
+			// Blank lines and comments between functions.
+		default:
+			return nil, fmt.Errorf("ir: line %d: %q outside any function", lineNo+1, line)
+		}
+	}
+	if inFunc {
+		return nil, fmt.Errorf("ir: module func #%d (line %d): missing closing brace",
+			len(m.Funcs)+1, chunkStart+1)
+	}
+	if len(m.Funcs) == 0 {
+		return nil, fmt.Errorf("ir: module has no functions")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustParseModule is ParseModule that panics on error, for tests and
+// examples with literal sources.
+func MustParseModule(src string) *Module {
+	m, err := ParseModule(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// String renders the module in the format accepted by ParseModule: the
+// functions in order, separated by one blank line. print∘parse is a
+// fixpoint, as for single functions.
+func (m *Module) String() string {
+	var b strings.Builder
+	for i, f := range m.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// Validate checks every function and that function names are unique within
+// the module (the batch front-end addresses results by name).
+func (m *Module) Validate() error {
+	if len(m.Funcs) == 0 {
+		return fmt.Errorf("ir: module has no functions")
+	}
+	seen := make(map[string]bool, len(m.Funcs))
+	for i, f := range m.Funcs {
+		if f.Name == "" {
+			return fmt.Errorf("ir: module func #%d has no name", i+1)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("ir: duplicate function %q in module", f.Name)
+		}
+		seen[f.Name] = true
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("ir: module func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// FuncByName returns the function named name, or nil.
+func (m *Module) FuncByName(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package ir
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestModuleCorpusRoundTrip: every module under testdata/modules parses,
+// validates, and print∘parse is a fixpoint (same property the function
+// corpus pins, lifted to compilation units).
+func TestModuleCorpusRoundTrip(t *testing.T) {
+	files, err := filepath.Glob("testdata/modules/*.ir")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no module corpus files: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := ParseModule(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			first := m.String()
+			m2, err := ParseModule(first)
+			if err != nil {
+				t.Fatalf("reparse: %v\n%s", err, first)
+			}
+			if second := m2.String(); second != first {
+				t.Fatalf("module print/parse not a fixpoint:\n%s\nvs\n%s", first, second)
+			}
+			if len(m2.Funcs) != len(m.Funcs) {
+				t.Fatalf("round trip changed function count: %d vs %d", len(m2.Funcs), len(m.Funcs))
+			}
+		})
+	}
+}
+
+// TestModuleSingleFunctionCompatible: every single-function corpus file is
+// also a valid one-function module.
+func TestModuleSingleFunctionCompatible(t *testing.T) {
+	files, _ := filepath.Glob("testdata/*.ir")
+	if len(files) == 0 {
+		t.Fatal("no corpus files")
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := ParseModule(string(src))
+		if err != nil {
+			t.Fatalf("%s as module: %v", file, err)
+		}
+		if len(m.Funcs) != 1 {
+			t.Fatalf("%s: %d functions, want 1", file, len(m.Funcs))
+		}
+	}
+}
+
+func TestModuleFuncByName(t *testing.T) {
+	m := MustParseModule(`
+func a ssa {
+b0:
+  x = param 0
+  ret x
+}
+func b ssa {
+b0:
+  y = param 0
+  ret y
+}`)
+	if f := m.FuncByName("b"); f == nil || f.Name != "b" {
+		t.Fatalf("FuncByName(b) = %v", f)
+	}
+	if m.FuncByName("nope") != nil {
+		t.Fatal("FuncByName returned a function for a missing name")
+	}
+}
+
+// TestModuleParseErrors pins the module-level rejection paths.
+func TestModuleParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty source": "\n; just a comment\n",
+		"duplicate function names": `
+func f ssa {
+b0:
+  a = param 0
+  ret a
+}
+func f ssa {
+b0:
+  a = param 0
+  ret a
+}`,
+		"junk between functions": `
+func f ssa {
+b0:
+  a = param 0
+  ret a
+}
+ret a
+`,
+		"unterminated function": `
+func f ssa {
+b0:
+  a = param 0
+  ret a
+`,
+		"invalid member function": `
+func f ssa {
+b0:
+  ret a
+}`,
+	}
+	for name, src := range cases {
+		if _, err := ParseModule(src); err == nil {
+			t.Errorf("%s: accepted invalid module", name)
+		}
+	}
+}
+
+// TestModuleErrorNamesOffendingFunc: a parse error inside the N-th function
+// must identify it, not point at the whole file.
+func TestModuleErrorNamesOffendingFunc(t *testing.T) {
+	_, err := ParseModule(`
+func good ssa {
+b0:
+  a = param 0
+  ret a
+}
+
+func bad ssa {
+b0:
+  x = bogusop a
+  ret x
+}`)
+	if err == nil {
+		t.Fatal("accepted module with a bad function")
+	}
+	if !strings.Contains(err.Error(), "func #2") {
+		t.Fatalf("error does not locate the offending function: %v", err)
+	}
+}

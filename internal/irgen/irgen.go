@@ -90,6 +90,28 @@ func FromSeed(seed int64) *ir.Func {
 	return Generate(fmt.Sprintf("gen%d", seed), rng.Int63(), cfg)
 }
 
+// GenerateModule emits a compilation unit of nFuncs functions, entirely
+// determined by seed: a mix of SSA and non-SSA functions with independently
+// drawn configs, named f0..f<n-1> (unique within the module by
+// construction). It is the corpus source for the batch pipeline's
+// determinism and throughput tests.
+func GenerateModule(seed int64, nFuncs int) *ir.Module {
+	if nFuncs < 1 {
+		nFuncs = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &ir.Module{Funcs: make([]*ir.Func, 0, nFuncs)}
+	for i := 0; i < nFuncs; i++ {
+		ssa := rng.Intn(2) == 0
+		cfg := RandomConfig(rng, ssa)
+		m.Funcs = append(m.Funcs, Generate(fmt.Sprintf("f%d", i), rng.Int63(), cfg))
+	}
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("irgen: generated invalid module (seed %d): %v", seed, err))
+	}
+	return m
+}
+
 // Generate emits one function. The same (seed, cfg) always yields the same
 // function. It panics if the result fails ir.Validate (generator bug).
 func Generate(name string, seed int64, cfg Config) *ir.Func {

@@ -49,8 +49,38 @@ type blockSets struct {
 	phiUse []map[int]bitset.Set
 }
 
-// Compute runs the analysis.
+// Scratch recycles the analysis' backing memory across functions: dataflow
+// bitsets, live-in/out slices and per-point snapshots are carved from one
+// arena that is reset per Compute call instead of reallocated. Batch
+// pipeline workers hold one Scratch each and run thousands of functions
+// through it.
+//
+// The lifetime contract is strict: an Info returned by (*Scratch).Compute —
+// including every []int inside LiveIn, LiveOut and Points — is valid only
+// until the next Compute call on the same Scratch. Callers that retain
+// liveness results across functions must use the package-level Compute.
+// A Scratch is not safe for concurrent use.
+type Scratch struct {
+	arena bitset.Arena
+}
+
+// NewScratch returns an empty reusable scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Compute runs the analysis reusing s's backing memory. See the Scratch
+// lifetime contract.
+func (s *Scratch) Compute(f *ir.Func) *Info {
+	s.arena.Reset()
+	return compute(f, &s.arena)
+}
+
+// Compute runs the analysis with a private arena; the result does not alias
+// any shared memory and stays valid indefinitely.
 func Compute(f *ir.Func) *Info {
+	return compute(f, new(bitset.Arena))
+}
+
+func compute(f *ir.Func, arena *bitset.Arena) *Info {
 	n := len(f.Blocks)
 	nv := f.NumValues
 	info := &Info{
@@ -59,9 +89,9 @@ func Compute(f *ir.Func) *Info {
 		LiveOut: make([][]int, n),
 	}
 	sets := blockSets{
-		use:    bitset.NewSlab(n, nv),
-		def:    bitset.NewSlab(n, nv),
-		phiDef: bitset.NewSlab(n, nv),
+		use:    arena.Slab(n, nv),
+		def:    arena.Slab(n, nv),
+		phiDef: arena.Slab(n, nv),
 		phiUse: make([]map[int]bitset.Set, n),
 	}
 	for _, b := range f.Blocks {
@@ -78,7 +108,7 @@ func Compute(f *ir.Func) *Info {
 						sets.phiUse[b.ID] = make(map[int]bitset.Set, len(b.Preds))
 					}
 					if sets.phiUse[b.ID][p] == nil {
-						sets.phiUse[b.ID][p] = bitset.New(nv)
+						sets.phiUse[b.ID][p] = arena.Set(nv)
 					}
 					sets.phiUse[b.ID][p].Add(u)
 				}
@@ -94,13 +124,12 @@ func Compute(f *ir.Func) *Info {
 			}
 		}
 	}
-	liveIn := bitset.NewSlab(n, nv)
-	liveOut := bitset.NewSlab(n, nv)
+	liveIn := arena.Slab(n, nv)
+	liveOut := arena.Slab(n, nv)
 	// Backward fixpoint. LiveIn(b) = use(b) ∪ phiDef(b) ∪ (LiveOut(b) \ def(b))
 	// (phi defs are "defined at the block boundary" and count as live-in).
 	// LiveOut(b) = ∪_{s∈succ(b)} (LiveIn(s) \ phiDef(s)) ∪ phiUse(s)[b].
-	tmpScratch := bitset.Get(nv)
-	tmp := *tmpScratch
+	tmp := arena.Set(nv)
 	for changed := true; changed; {
 		changed = false
 		for i := n - 1; i >= 0; i-- {
@@ -130,25 +159,22 @@ func Compute(f *ir.Func) *Info {
 			}
 		}
 	}
-	bitset.Put(tmpScratch)
 	for i := 0; i < n; i++ {
-		info.LiveIn[i] = liveIn[i].AppendTo(make([]int, 0, liveIn[i].Count()))
-		info.LiveOut[i] = liveOut[i].AppendTo(make([]int, 0, liveOut[i].Count()))
+		info.LiveIn[i] = liveIn[i].AppendTo(arena.Ints(liveIn[i].Count()))
+		info.LiveOut[i] = liveOut[i].AppendTo(arena.Ints(liveOut[i].Count()))
 	}
-	info.computePoints(liveOut)
+	info.computePoints(liveOut, arena)
 	return info
 }
 
 // computePoints walks each block backward from its live-out set, recording
 // the live set before every non-phi instruction plus the block-end point.
-func (info *Info) computePoints(liveOut []bitset.Set) {
+func (info *Info) computePoints(liveOut []bitset.Set, arena *bitset.Arena) {
 	f := info.F
 	nv := f.NumValues
-	liveScratch := bitset.Get(nv)
-	defer bitset.Put(liveScratch)
-	live := *liveScratch
+	live := arena.Set(nv)
 	snapshot := func() []int {
-		return live.AppendTo(make([]int, 0, live.Count()))
+		return live.AppendTo(arena.Ints(live.Count()))
 	}
 	for _, b := range f.Blocks {
 		live.CopyFrom(liveOut[b.ID])
@@ -200,7 +226,7 @@ func (info *Info) computePoints(liveOut []bitset.Set) {
 			} else {
 				first = &endPoint
 			}
-			first.Live = mergeSorted(first.Live, phiDefs)
+			first.Live = mergeSorted(arena.Ints(len(first.Live)+len(phiDefs)), first.Live, phiDefs)
 		}
 		pts = append(pts, endPoint)
 		info.Points = append(info.Points, pts...)
@@ -227,10 +253,9 @@ func (info *Info) LiveSets() [][]int {
 	return intern.Sets()
 }
 
-// mergeSorted merges two sorted slices into a fresh sorted slice without
-// duplicates.
-func mergeSorted(a, b []int) []int {
-	out := make([]int, 0, len(a)+len(b))
+// mergeSorted merges two sorted slices into out (an empty slice with enough
+// capacity) without duplicates.
+func mergeSorted(out, a, b []int) []int {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

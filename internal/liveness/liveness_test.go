@@ -1,6 +1,7 @@
 package liveness
 
 import (
+	"slices"
 	"sort"
 	"testing"
 
@@ -275,5 +276,62 @@ b3:
 	}
 	if got := sortedNames(f, info.LiveOut[1]); !eq(got, []string{"x"}) {
 		t.Fatalf("live-out b1 = %v", got)
+	}
+}
+
+// TestScratchComputeMatchesFresh: the arena-backed Scratch must produce the
+// same analysis as the package-level Compute, call after call, including
+// after the arena has been recycled by a differently-shaped function.
+func TestScratchComputeMatchesFresh(t *testing.T) {
+	srcs := []string{`
+func a ssa {
+b0:
+  x = param 0
+  y = param 1
+  br b1
+b1:
+  i = phi [b0: x], [b1: j]
+  j = arith i, y
+  c = unary j
+  condbr c, b1, b2
+b2:
+  ret j
+}`, `
+func b ssa {
+b0:
+  x = param 0
+  ret x
+}`, `
+func c {
+b0:
+  v = param 0
+  w = arith v, v
+  v = unary w
+  store v, w
+  ret v
+}`}
+	s := NewScratch()
+	// Two passes: the second exercises reuse of a dirtied arena.
+	for pass := 0; pass < 2; pass++ {
+		for _, src := range srcs {
+			f := ir.MustParse(src)
+			fresh := Compute(f)
+			reused := s.Compute(f)
+			if len(fresh.Points) != len(reused.Points) || fresh.MaxLive != reused.MaxLive {
+				t.Fatalf("pass %d %s: point/maxlive mismatch", pass, f.Name)
+			}
+			for i := range fresh.Points {
+				if !slices.Equal(fresh.Points[i].Live, reused.Points[i].Live) {
+					t.Fatalf("pass %d %s: point %d live set differs: %v vs %v",
+						pass, f.Name, i, fresh.Points[i].Live, reused.Points[i].Live)
+				}
+			}
+			for b := range fresh.LiveIn {
+				if !slices.Equal(fresh.LiveIn[b], reused.LiveIn[b]) ||
+					!slices.Equal(fresh.LiveOut[b], reused.LiveOut[b]) {
+					t.Fatalf("pass %d %s: block %d live-in/out differs", pass, f.Name, b)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,228 @@
+// Package pipeline runs the register-allocation pipeline over whole
+// modules: it fans the functions of an ir.Module out over a fixed worker
+// pool, reuses per-worker analysis scratch (a core.Runner each) across
+// functions instead of reallocating it, and returns results in module
+// order regardless of the worker count — the batch layer that turns the
+// single-function library into a throughput-oriented system.
+//
+// Determinism contract: the result for each function depends only on that
+// function and the configuration, never on scheduling, so RunModule output
+// is byte-identical across worker counts (pinned by the package tests under
+// the race detector).
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/spillcost"
+)
+
+// Config controls one batch run. Unlike core.Config it names the allocator
+// instead of carrying an instance: allocator implementations may keep
+// per-run state (the exact solver records LastExact), so each worker
+// resolves a private instance.
+type Config struct {
+	// Registers is the register count R (required, ≥ 1).
+	Registers int
+	// Allocator is a core.AllocatorByName name; "" picks the default
+	// (BFPL for chordal/SSA functions, LH otherwise).
+	Allocator string
+	// CostModel overrides the spill-cost estimate (zero value = default).
+	CostModel spillcost.Model
+	// SkipRewrite disables spill-code insertion and register assignment.
+	SkipRewrite bool
+	// Jobs is the worker count; 0 means GOMAXPROCS.
+	Jobs int
+	// NoScratchReuse gives every function a fresh pipeline instead of the
+	// per-worker core.Runner. Allocation-benchmark ablation only — results
+	// are identical either way.
+	NoScratchReuse bool
+}
+
+// FuncResult is the outcome of one function of the module.
+type FuncResult struct {
+	// Index is the function's position in the module.
+	Index int
+	// Name is the function's name.
+	Name string
+	// Outcome is the full pipeline outcome (nil when Err is set).
+	Outcome *core.Outcome
+	// Err is the per-function failure, if any; other functions of the
+	// module are unaffected.
+	Err error
+}
+
+// RunModule allocates every function of m under cfg. The returned slice is
+// indexed by module position (deterministic for any worker count);
+// per-function failures land in FuncResult.Err rather than aborting the
+// batch. The module functions themselves are annotated in place with loop
+// depths, as core.Run does.
+func RunModule(m *ir.Module, cfg Config) ([]FuncResult, error) {
+	if m == nil || len(m.Funcs) == 0 {
+		return nil, fmt.Errorf("pipeline: empty module")
+	}
+	if cfg.Registers < 1 {
+		return nil, fmt.Errorf("pipeline: Registers must be ≥ 1, got %d", cfg.Registers)
+	}
+	if cfg.Allocator != "" {
+		// Fail fast on unknown names instead of once per function.
+		if _, err := core.AllocatorByName(cfg.Allocator); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.CostModel.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(m.Funcs) {
+		jobs = len(m.Funcs)
+	}
+	results := make([]FuncResult, len(m.Funcs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(m, cfg, results, &next)
+		}()
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// worker drains the module's function queue with one reusable Runner (and
+// one private allocator instance).
+func worker(m *ir.Module, cfg Config, results []FuncResult, next *atomic.Int64) {
+	var runner *core.Runner
+	if !cfg.NoScratchReuse {
+		runner = core.NewRunner()
+	}
+	ccfg := core.Config{
+		Registers:   cfg.Registers,
+		CostModel:   cfg.CostModel,
+		SkipRewrite: cfg.SkipRewrite,
+	}
+	if cfg.Allocator != "" {
+		a, err := core.AllocatorByName(cfg.Allocator)
+		if err != nil {
+			panic(err) // unreachable: RunModule validates the name up front
+		}
+		ccfg.Allocator = a
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(m.Funcs) {
+			return
+		}
+		f := m.Funcs[i]
+		out, err := RunFunc(runner, f, ccfg)
+		results[i] = FuncResult{Index: i, Name: f.Name, Outcome: out, Err: err}
+	}
+}
+
+// RunFunc runs one function through runner (or a fresh pipeline when
+// runner is nil), converting allocator contract panics into errors so one
+// bad function cannot take down a batch service. Exported for front-ends
+// that stream single functions (the JSONL service) rather than modules.
+func RunFunc(runner *core.Runner, f *ir.Func, cfg core.Config) (out *core.Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("pipeline: panic allocating %s: %v", f.Name, r)
+		}
+	}()
+	if runner != nil {
+		return runner.Run(f, cfg)
+	}
+	return core.Run(f, cfg)
+}
+
+// FirstErr returns the first per-function error in module order, or nil.
+func FirstErr(results []FuncResult) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return fmt.Errorf("%s: %w", results[i].Name, results[i].Err)
+		}
+	}
+	return nil
+}
+
+// FormatResults renders results as the canonical batch report: one line per
+// function, plus (with detail) the register assignment and the rewritten
+// body of each SSA function. The rendering is a pure function of the
+// results, so it doubles as the byte-identity witness of the determinism
+// tests.
+func FormatResults(results []FuncResult, detail bool) string {
+	var b strings.Builder
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			fmt.Fprintf(&b, "func %-16s ERROR %v\n", r.Name, r.Err)
+			continue
+		}
+		out := r.Outcome
+		fmt.Fprintf(&b, "func %-16s alloc=%-5s values=%-4d maxlive=%-3d spilled=%-3d cost=%.1f/%.1f",
+			r.Name, out.Result.Allocator, out.Build.Graph.N(), out.MaxLive,
+			len(out.SpilledValues), out.SpillCost, out.Problem.G.TotalWeight())
+		if len(out.SpilledValues) > 0 {
+			names := make([]string, len(out.SpilledValues))
+			for k, v := range out.SpilledValues {
+				names[k] = out.F.NameOf(v)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(&b, " spill=[%s]", strings.Join(names, " "))
+		}
+		b.WriteByte('\n')
+		if detail {
+			if out.RegisterOf != nil {
+				var cells []string
+				for val, reg := range out.RegisterOf {
+					if reg >= 0 {
+						cells = append(cells, fmt.Sprintf("%s=r%d", out.F.NameOf(val), reg))
+					}
+				}
+				sort.Strings(cells)
+				fmt.Fprintf(&b, "  assignment: %s\n", strings.Join(cells, " "))
+			}
+			if out.Rewritten != nil {
+				for _, line := range strings.Split(strings.TrimRight(out.Rewritten.String(), "\n"), "\n") {
+					fmt.Fprintf(&b, "  | %s\n", line)
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// Totals aggregates a batch: function, spill and error counts plus total
+// spill cost.
+type Totals struct {
+	Funcs     int
+	Errors    int
+	Spilled   int
+	SpillCost float64
+}
+
+// Summarize computes batch totals.
+func Summarize(results []FuncResult) Totals {
+	t := Totals{Funcs: len(results)}
+	for i := range results {
+		if results[i].Err != nil {
+			t.Errors++
+			continue
+		}
+		t.Spilled += len(results[i].Outcome.SpilledValues)
+		t.SpillCost += results[i].Outcome.SpillCost
+	}
+	return t
+}

@@ -6,32 +6,68 @@
 package spillcost
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/ir"
 )
 
 // Model controls the cost estimate.
+//
+// Zero-value semantics: a wholly-zero Model means DefaultModel, so
+// `core.Config{}`-style zero values keep working — but a *partially* zero
+// model is taken verbatim. Model{LoopBase: 10, StoreFactor: 0} really means
+// "stores are free" and Model{LoopBase: 0, StoreFactor: 1} really means
+// "loop bodies count like straight-line code"; neither is silently
+// rewritten to the defaults. Use NewModel to construct explicit models.
 type Model struct {
 	// LoopBase is the assumed trip-count factor per loop level (default 10).
 	LoopBase float64
 	// StoreFactor scales the cost contribution of the definition (the
 	// store of a spilled variable) relative to a use (a load). Default 1.
 	StoreFactor float64
+	// explicit marks models built by NewModel, which are always taken
+	// verbatim — even wholly zero.
+	explicit bool
 }
 
 // DefaultModel is the paper-faithful configuration.
 var DefaultModel = Model{LoopBase: 10, StoreFactor: 1}
 
+// NewModel returns the explicit model (loopBase, storeFactor), taken
+// verbatim with no zero-value defaulting at all: NewModel(0, 0) really
+// charges nothing for loop bodies or stores, unlike the literal Model{}.
+func NewModel(loopBase, storeFactor float64) Model {
+	return Model{LoopBase: loopBase, StoreFactor: storeFactor, explicit: true}
+}
+
+// normalize resolves the zero-value convention: only the wholly-zero
+// non-explicit model defaults.
+func (m Model) normalize() Model {
+	if m == (Model{}) {
+		return DefaultModel
+	}
+	return m
+}
+
+// Validate rejects models the estimate is meaningless for (negative
+// factors). The pipeline driver calls it before costing.
+func (m Model) Validate() error {
+	m = m.normalize()
+	if m.LoopBase < 0 || math.IsNaN(m.LoopBase) || math.IsInf(m.LoopBase, 0) {
+		return fmt.Errorf("spillcost: LoopBase %g must be a finite non-negative number", m.LoopBase)
+	}
+	if m.StoreFactor < 0 || math.IsNaN(m.StoreFactor) || math.IsInf(m.StoreFactor, 0) {
+		return fmt.Errorf("spillcost: StoreFactor %g must be a finite non-negative number", m.StoreFactor)
+	}
+	return nil
+}
+
 // Costs returns the spill cost of every value of f (indexed by value ID).
-// Values never accessed get cost 0.
+// Values never accessed get cost 0 — and under StoreFactor 0, so do values
+// that are defined but never used.
 func Costs(f *ir.Func, m Model) []float64 {
-	if m.LoopBase == 0 {
-		m.LoopBase = DefaultModel.LoopBase
-	}
-	if m.StoreFactor == 0 {
-		m.StoreFactor = DefaultModel.StoreFactor
-	}
+	m = m.normalize()
 	cost := make([]float64, f.NumValues)
 	for _, b := range f.Blocks {
 		freq := math.Pow(m.LoopBase, float64(b.LoopDepth))
@@ -42,10 +78,16 @@ func Costs(f *ir.Func, m Model) []float64 {
 			for k, u := range ins.Uses {
 				if ins.Op == ir.OpPhi {
 					// A phi use is a move on the incoming edge: charge it
-					// at the predecessor's frequency.
+					// at the predecessor's frequency. A malformed phi (more
+					// operands than predecessors — ir.Validate rejects it,
+					// but cost estimation must not rely on that) charges at
+					// the phi's own block instead of silently dropping the
+					// access.
 					if k < len(b.Preds) {
 						p := f.Blocks[b.Preds[k]]
 						cost[u] += math.Pow(m.LoopBase, float64(p.LoopDepth))
+					} else {
+						cost[u] += freq
 					}
 					continue
 				}
@@ -58,9 +100,7 @@ func Costs(f *ir.Func, m Model) []float64 {
 
 // BlockFrequencies returns the static frequency estimate of every block.
 func BlockFrequencies(f *ir.Func, m Model) []float64 {
-	if m.LoopBase == 0 {
-		m.LoopBase = DefaultModel.LoopBase
-	}
+	m = m.normalize()
 	out := make([]float64, len(f.Blocks))
 	for i, b := range f.Blocks {
 		out[i] = math.Pow(m.LoopBase, float64(b.LoopDepth))

@@ -128,3 +128,138 @@ b0:
 		}
 	}
 }
+
+// TestStoreFactorZeroExpressible is the regression test for the zero-value
+// rewrite bug: Costs used to silently turn StoreFactor 0 (and LoopBase 0)
+// back into the defaults, making "stores are free" inexpressible. Only the
+// wholly-zero model defaults now.
+func TestStoreFactorZeroExpressible(t *testing.T) {
+	f := prep(t, `
+func z ssa {
+b0:
+  a = param 0
+  d = unary a
+  b = arith a, a
+  ret b
+}`)
+	costs := Costs(f, Model{LoopBase: 10, StoreFactor: 0})
+	// d is defined but never used: with free stores its cost must be 0.
+	if got := costs[valueByName(f, "d")]; got != 0 {
+		t.Fatalf("cost(d) = %g under StoreFactor 0, want 0", got)
+	}
+	// a is used three times (cost 3) but its def adds nothing.
+	if got := costs[valueByName(f, "a")]; got != 3 {
+		t.Fatalf("cost(a) = %g under StoreFactor 0, want 3", got)
+	}
+	// The constructor route expresses the same model.
+	if got := Costs(f, NewModel(10, 0)); got[valueByName(f, "d")] != 0 {
+		t.Fatalf("cost(d) = %g via NewModel(10, 0), want 0", got[valueByName(f, "d")])
+	}
+}
+
+// TestNewModelAllZeroVerbatim: NewModel is verbatim even in the both-zero
+// corner — unlike the literal Model{}, NewModel(0, 0) means "loops free AND
+// stores free", leaving only depth-0 use counts.
+func TestNewModelAllZeroVerbatim(t *testing.T) {
+	f := prep(t, `
+func az ssa {
+b0:
+  a = param 0
+  br b1
+b1:
+  i = phi [b0: a], [b2: j]
+  c = unary i
+  condbr c, b2, b3
+b2:
+  j = arith i, i
+  br b1
+b3:
+  ret i
+}`)
+	costs := Costs(f, NewModel(0, 0))
+	// j: defined and used only at loop depth 1 → 0 under LoopBase 0.
+	if got := costs[valueByName(f, "j")]; got != 0 {
+		t.Fatalf("cost(j) = %g under NewModel(0, 0), want 0", got)
+	}
+	// a: free def, one phi-edge use from depth-0 b0 → exactly 1.
+	if got := costs[valueByName(f, "a")]; got != 1 {
+		t.Fatalf("cost(a) = %g under NewModel(0, 0), want 1", got)
+	}
+	// The literal zero Model still means the paper defaults.
+	if def := Costs(f, Model{}); def[valueByName(f, "j")] == 0 {
+		t.Fatal("Model{} no longer defaults")
+	}
+}
+
+// TestLoopBaseZeroExpressible: LoopBase 0 zeroes loop-body contributions
+// (0^depth) instead of snapping back to 10.
+func TestLoopBaseZeroExpressible(t *testing.T) {
+	f := prep(t, `
+func l ssa {
+b0:
+  a = param 0
+  br b1
+b1:
+  i = phi [b0: a], [b2: j]
+  c = unary i
+  condbr c, b2, b3
+b2:
+  j = arith i, i
+  br b1
+b3:
+  ret i
+}`)
+	costs := Costs(f, Model{LoopBase: 0, StoreFactor: 1})
+	// j lives entirely at loop depth 1: def and uses all weigh 0^1 = 0.
+	if got := costs[valueByName(f, "j")]; got != 0 {
+		t.Fatalf("cost(j) = %g under LoopBase 0, want 0", got)
+	}
+	// a: def at depth 0 (cost 1) + phi use charged on the b0 edge (1).
+	if got := costs[valueByName(f, "a")]; got != 2 {
+		t.Fatalf("cost(a) = %g under LoopBase 0, want 2", got)
+	}
+}
+
+// TestModelValidate pins the guard against meaningless models.
+func TestModelValidate(t *testing.T) {
+	for _, m := range []Model{{}, DefaultModel, {LoopBase: 10, StoreFactor: 0}, {LoopBase: 0, StoreFactor: 1}} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", m, err)
+		}
+	}
+	for _, m := range []Model{{LoopBase: -1, StoreFactor: 1}, {LoopBase: 10, StoreFactor: -0.5}} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v accepted", m)
+		}
+	}
+}
+
+// TestPhiArityOverflowCharged: a phi with more operands than predecessors
+// is invalid IR, but the estimator must not silently drop the charge — the
+// excess operand is charged at the phi's own block frequency.
+func TestPhiArityOverflowCharged(t *testing.T) {
+	f := prep(t, `
+func p ssa {
+b0:
+  a = param 0
+  br b1
+b1:
+  m = phi [b0: a]
+  ret m
+}`)
+	// Corrupt the phi: append an extra operand beyond the predecessor list.
+	extra := valueByName(f, "a")
+	var base, corrupted []float64
+	base = Costs(f, DefaultModel)
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpPhi {
+				b.Instrs[i].Uses = append(b.Instrs[i].Uses, extra)
+			}
+		}
+	}
+	corrupted = Costs(f, DefaultModel)
+	if corrupted[extra] <= base[extra] {
+		t.Fatalf("excess phi operand dropped: cost(a) %g -> %g", base[extra], corrupted[extra])
+	}
+}

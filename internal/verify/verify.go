@@ -92,6 +92,21 @@ func CheckSeed(seed int64, opts Options) error {
 	return CheckFunc(irgen.FromSeed(seed), opts)
 }
 
+// CheckModule runs the full differential matrix over every function of a
+// compilation unit, in module order, returning the first failure — the
+// module-level entry point the batch pipeline's corpus tests drive.
+func CheckModule(m *ir.Module, opts Options) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	for _, f := range m.Funcs {
+		if err := CheckFunc(f, opts); err != nil {
+			return fmt.Errorf("module func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
 // CheckFunc runs the full differential matrix over f and returns the first
 // failure, or nil.
 func CheckFunc(f *ir.Func, opts Options) error {
@@ -282,4 +297,3 @@ func Soak(base int64, n int, opts Options, maxFail int, report func(done int, fa
 	}
 	return fails
 }
-

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/irgen"
 )
 
 // TestDifferentialAcceptance is the subsystem's acceptance bar: 500
@@ -136,5 +137,31 @@ func TestSoak(t *testing.T) {
 	}
 	if calls != 10 {
 		t.Fatalf("progress callback saw %d seeds, want 10", calls)
+	}
+}
+
+// TestCheckModule runs the differential matrix per module function: the
+// verify-harness hookup for the batch pipeline's compilation units. It also
+// checks failures are attributed to the offending member function.
+func TestCheckModule(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	m := irgen.GenerateModule(2026, n)
+	if err := CheckModule(m, Options{Registers: []int{2, 4}}); err != nil {
+		t.Fatalf("generated module failed verification: %v", err)
+	}
+	// The module corpus file must verify too.
+	src, err := os.ReadFile(filepath.Join("..", "ir", "testdata", "modules", "mixed.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := ir.ParseModule(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckModule(corpus, Options{}); err != nil {
+		t.Fatalf("module corpus failed verification: %v", err)
 	}
 }

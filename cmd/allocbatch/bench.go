@@ -14,51 +14,61 @@ import (
 )
 
 // The throughput benchmark measures the batch pipeline end to end:
-// functions/second over a generated module at several worker counts, and
-// the allocation profile per function with and without per-worker scratch
-// reuse. It writes a machine-readable JSON report (BENCH_pr3.json in CI)
-// so the repository's perf trajectory is tracked in data, not prose.
+// functions/second over a generated module at several worker counts, the
+// allocation profile per function with and without per-worker scratch
+// reuse, and — since PR 4 — the IFG-free fast path against the legacy
+// explicit-interference-graph path. It writes a machine-readable JSON
+// report (BENCH_pr4.json in CI) so the repository's perf trajectory is
+// tracked in data, not prose.
 
 type benchConfig struct {
-	Funcs     int
-	Seed      int64
-	Registers int
-	Allocator string
-	Rounds    int
-	OutPath   string
+	Funcs      int
+	Seed       int64
+	Registers  int
+	Allocator  string
+	Rounds     int
+	OutPath    string
+	CPUProfile string
+	MemProfile string
 }
 
 // benchRow is one measured configuration.
 type benchRow struct {
 	Jobs          int     `json:"jobs"`
 	ScratchReuse  bool    `json:"scratch_reuse"`
+	FastPath      bool    `json:"fast_path"`
 	FuncsPerSec   float64 `json:"funcs_per_sec"`
 	NsPerFunc     float64 `json:"ns_per_func"`
 	AllocsPerFunc float64 `json:"allocs_per_func"`
 	BytesPerFunc  float64 `json:"bytes_per_func"`
 }
 
-// benchReport is the BENCH_pr3.json schema. Speedups are quoted against
-// the pre-batch baseline (jobs=1, no scratch reuse — exactly what a caller
-// looping over core.Run got before the pipeline existed) and, for
-// transparency, against jobs=1 with reuse.
+// benchReport is the BENCH_pr4.json schema. The headline ratios compare the
+// IFG-free fast path against the legacy explicit-graph path at jobs=1 with
+// scratch reuse — the PR-3 steady-state configuration — measured in the
+// same process on the same workload.
 type benchReport struct {
-	Bench                   string     `json:"bench"`
-	GoVersion               string     `json:"go"`
-	CPUs                    int        `json:"cpus"`
-	GOMAXPROCS              int        `json:"gomaxprocs"`
-	Functions               int        `json:"functions"`
-	Seed                    int64      `json:"seed"`
-	Registers               int        `json:"registers"`
-	Allocator               string     `json:"allocator"`
-	Rounds                  int        `json:"rounds"`
-	Configs                 []benchRow `json:"configs"`
-	Baseline                string     `json:"baseline"`
-	Speedup4Workers         float64    `json:"speedup_at_4_workers"`
-	Speedup4WorkersNoReuse  float64    `json:"speedup_at_4_workers_vs_jobs1_same_reuse"`
-	AllocsReductionReuse    float64    `json:"allocs_reduction_from_scratch_reuse"`
-	BytesReductionReuse     float64    `json:"bytes_reduction_from_scratch_reuse"`
-	NsPerFuncReductionReuse float64    `json:"ns_per_func_reduction_from_scratch_reuse"`
+	Bench      string     `json:"bench"`
+	GoVersion  string     `json:"go"`
+	CPUs       int        `json:"cpus"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Functions  int        `json:"functions"`
+	Seed       int64      `json:"seed"`
+	Registers  int        `json:"registers"`
+	Allocator  string     `json:"allocator"`
+	Rounds     int        `json:"rounds"`
+	Configs    []benchRow `json:"configs"`
+	Baseline   string     `json:"baseline"`
+	// Fast path vs legacy IFG path, both at jobs=1 + scratch reuse.
+	SpeedupFastPath       float64 `json:"speedup_fast_path_vs_legacy"`
+	AllocsReductionFast   float64 `json:"allocs_reduction_fast_path_vs_legacy"`
+	BytesReductionFast    float64 `json:"bytes_reduction_fast_path_vs_legacy"`
+	NsPerFuncReductionFast float64 `json:"ns_per_func_reduction_fast_path_vs_legacy"`
+	// Scratch reuse ablation on the fast path (jobs=1).
+	AllocsReductionReuse float64 `json:"allocs_reduction_from_scratch_reuse"`
+	BytesReductionReuse  float64 `json:"bytes_reduction_from_scratch_reuse"`
+	// Parallel scaling on the fast path.
+	Speedup4Workers float64 `json:"speedup_at_4_workers_vs_jobs1"`
 }
 
 func runBench(out io.Writer, cfg benchConfig) error {
@@ -73,25 +83,35 @@ func runBench(out io.Writer, cfg benchConfig) error {
 		cfg.Funcs, cfg.Seed, cfg.Registers, cfg.Rounds)
 
 	type key struct {
-		jobs  int
-		reuse bool
+		jobs   int
+		reuse  bool
+		legacy bool
 	}
 	configs := []key{
-		{1, false}, {4, false},
-		{1, true}, {2, true}, {4, true}, {8, true}, {16, true},
+		{1, true, true}, // legacy IFG path: the PR-3 configuration
+		{1, false, false},
+		{1, true, false},
+		{2, true, false},
+		{4, true, false},
+		{8, true, false},
+		{16, true, false},
 	}
 	rows := make([]benchRow, 0, len(configs))
 	byKey := make(map[key]benchRow, len(configs))
+	stopProfiles, err := startProfiles(cfg.CPUProfile)
+	if err != nil {
+		return err
+	}
 	for _, k := range configs {
 		pcfg := pipeline.Config{
 			Registers: cfg.Registers, Allocator: cfg.Allocator,
-			Jobs: k.jobs, NoScratchReuse: !k.reuse,
+			Jobs: k.jobs, NoScratchReuse: !k.reuse, LegacyIFG: k.legacy,
 		}
 		// Warm-up: fault in code paths and steady-state the heap.
 		if _, err := runOnce(m, pcfg); err != nil {
 			return err
 		}
-		best := benchRow{Jobs: k.jobs, ScratchReuse: k.reuse}
+		best := benchRow{Jobs: k.jobs, ScratchReuse: k.reuse, FastPath: !k.legacy}
 		for round := 0; round < cfg.Rounds; round++ {
 			runtime.GC()
 			var before, after runtime.MemStats
@@ -104,7 +124,7 @@ func runBench(out io.Writer, cfg benchConfig) error {
 			runtime.ReadMemStats(&after)
 			n := float64(cfg.Funcs)
 			row := benchRow{
-				Jobs: k.jobs, ScratchReuse: k.reuse,
+				Jobs: k.jobs, ScratchReuse: k.reuse, FastPath: !k.legacy,
 				FuncsPerSec:   n / elapsed.Seconds(),
 				NsPerFunc:     float64(elapsed.Nanoseconds()) / n,
 				AllocsPerFunc: float64(after.Mallocs-before.Mallocs) / n,
@@ -116,13 +136,15 @@ func runBench(out io.Writer, cfg benchConfig) error {
 		}
 		rows = append(rows, best)
 		byKey[k] = best
-		fmt.Fprintf(out, "  jobs=%-2d reuse=%-5v  %9.1f funcs/sec  %8.0f ns/func  %7.1f allocs/func  %8.0f B/func\n",
-			k.jobs, k.reuse, best.FuncsPerSec, best.NsPerFunc, best.AllocsPerFunc, best.BytesPerFunc)
+		fmt.Fprintf(out, "  jobs=%-2d reuse=%-5v fast=%-5v  %9.1f funcs/sec  %8.0f ns/func  %7.1f allocs/func  %8.0f B/func\n",
+			k.jobs, k.reuse, !k.legacy, best.FuncsPerSec, best.NsPerFunc, best.AllocsPerFunc, best.BytesPerFunc)
+	}
+	if err := stopProfiles(cfg.MemProfile); err != nil {
+		return err
 	}
 
-	base := byKey[key{1, false}]
 	rep := benchReport{
-		Bench:      "module_batch_throughput_pr3",
+		Bench:      "module_batch_throughput_pr4",
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -132,21 +154,25 @@ func runBench(out io.Writer, cfg benchConfig) error {
 		Allocator:  cfg.Allocator,
 		Rounds:     cfg.Rounds,
 		Configs:    rows,
-		Baseline:   "jobs=1 scratch_reuse=false (pre-pipeline behaviour: one core.Run per function)",
+		Baseline:   "jobs=1 scratch_reuse=true fast_path=false (the PR-3 steady-state configuration: legacy explicit-IFG pipeline)",
 	}
-	if base.FuncsPerSec > 0 {
-		rep.Speedup4Workers = byKey[key{4, true}].FuncsPerSec / base.FuncsPerSec
+	legacy := byKey[key{1, true, true}]
+	fast := byKey[key{1, true, false}]
+	if legacy.FuncsPerSec > 0 && fast.FuncsPerSec > 0 {
+		rep.SpeedupFastPath = fast.FuncsPerSec / legacy.FuncsPerSec
+		rep.AllocsReductionFast = legacy.AllocsPerFunc / fast.AllocsPerFunc
+		rep.BytesReductionFast = legacy.BytesPerFunc / fast.BytesPerFunc
+		rep.NsPerFuncReductionFast = legacy.NsPerFunc / fast.NsPerFunc
 	}
-	if r1 := byKey[key{1, true}]; r1.FuncsPerSec > 0 {
-		rep.Speedup4WorkersNoReuse = byKey[key{4, true}].FuncsPerSec / r1.FuncsPerSec
+	if noReuse := byKey[key{1, false, false}]; fast.AllocsPerFunc > 0 && noReuse.AllocsPerFunc > 0 {
+		rep.AllocsReductionReuse = noReuse.AllocsPerFunc / fast.AllocsPerFunc
+		rep.BytesReductionReuse = noReuse.BytesPerFunc / fast.BytesPerFunc
 	}
-	if r1 := byKey[key{1, true}]; r1.AllocsPerFunc > 0 {
-		rep.AllocsReductionReuse = base.AllocsPerFunc / r1.AllocsPerFunc
-		rep.BytesReductionReuse = base.BytesPerFunc / r1.BytesPerFunc
-		rep.NsPerFuncReductionReuse = base.NsPerFunc / r1.NsPerFunc
+	if fast.FuncsPerSec > 0 {
+		rep.Speedup4Workers = byKey[key{4, true, false}].FuncsPerSec / fast.FuncsPerSec
 	}
-	fmt.Fprintf(out, "speedup at 4 workers vs baseline: %.2fx; allocs/func reduction from scratch reuse: %.2fx\n",
-		rep.Speedup4Workers, rep.AllocsReductionReuse)
+	fmt.Fprintf(out, "fast path vs legacy IFG (jobs=1, reuse): %.2fx funcs/sec, %.2fx fewer allocs/func, %.2fx fewer bytes/func\n",
+		rep.SpeedupFastPath, rep.AllocsReductionFast, rep.BytesReductionFast)
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -7,7 +7,7 @@
 //	allocbatch -r 4 -alloc BFPL -jobs 4 -module m.ir        # batch a module file
 //	allocbatch -r 4 -gen 500 -seed 7                        # batch a generated module
 //	allocbatch -jsonl -jobs 8                               # JSONL request/response service
-//	allocbatch -bench -funcs 800 -out BENCH_pr3.json        # throughput benchmark
+//	allocbatch -bench -funcs 800 -out BENCH_pr4.json        # throughput benchmark
 //
 // In JSONL mode every stdin line is one request and every stdout line one
 // response, emitted in request order, so the tool can be driven as a
@@ -61,7 +61,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	bench := fs.Bool("bench", false, "run the module-throughput benchmark")
 	funcs := fs.Int("funcs", 800, "benchmark module size (with -bench)")
 	rounds := fs.Int("rounds", 3, "benchmark repetitions per configuration, best kept (with -bench)")
-	benchOut := fs.String("out", "BENCH_pr3.json", "benchmark JSON output path (with -bench)")
+	benchOut := fs.String("out", "BENCH_pr4.json", "benchmark JSON output path (with -bench)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark to this file (with -bench)")
+	memProfile := fs.String("memprofile", "", "write an allocation profile of the benchmark to this file (with -bench)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -74,6 +76,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return runBench(out, benchConfig{
 			Funcs: *funcs, Seed: *seed, Registers: *regs, Allocator: *allocName,
 			Rounds: *rounds, OutPath: *benchOut,
+			CPUProfile: *cpuProfile, MemProfile: *memProfile,
 		})
 	case *jsonl:
 		return runJSONL(in, out, *regs, *allocName, *jobs)
@@ -253,7 +256,7 @@ func serve(runner *core.Runner, req request, decodeErr error, defRegs int, defAl
 		return resp
 	}
 	resp.Allocator = out.Result.Allocator
-	resp.Values = out.Build.Graph.N()
+	resp.Values = out.Problem.N()
 	resp.MaxLive = out.MaxLive
 	resp.SpillCost = out.SpillCost
 	for _, v := range out.SpilledValues {

@@ -102,9 +102,13 @@ func TestRunJSONL(t *testing.T) {
 }
 
 func TestRunBenchSmoke(t *testing.T) {
-	outPath := filepath.Join(t.TempDir(), "bench.json")
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "bench.json")
+	cpuPath := filepath.Join(dir, "cpu.out")
+	memPath := filepath.Join(dir, "mem.out")
 	var out strings.Builder
-	err := run([]string{"-bench", "-funcs", "20", "-rounds", "1", "-out", outPath}, strings.NewReader(""), &out)
+	err := run([]string{"-bench", "-funcs", "20", "-rounds", "1", "-out", outPath,
+		"-cpuprofile", cpuPath, "-memprofile", memPath}, strings.NewReader(""), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,6 +121,7 @@ func TestRunBenchSmoke(t *testing.T) {
 		Functions int    `json:"functions"`
 		Configs   []struct {
 			Jobs        int     `json:"jobs"`
+			FastPath    bool    `json:"fast_path"`
 			FuncsPerSec float64 `json:"funcs_per_sec"`
 		} `json:"configs"`
 	}
@@ -126,9 +131,28 @@ func TestRunBenchSmoke(t *testing.T) {
 	if rep.Functions != 20 || len(rep.Configs) == 0 {
 		t.Fatalf("unexpected report: %+v", rep)
 	}
+	fastRows, legacyRows := 0, 0
 	for _, c := range rep.Configs {
 		if c.FuncsPerSec <= 0 {
 			t.Fatalf("non-positive throughput in %+v", c)
+		}
+		if c.FastPath {
+			fastRows++
+		} else {
+			legacyRows++
+		}
+	}
+	if fastRows == 0 || legacyRows == 0 {
+		t.Fatalf("bench must measure both paths, got %d fast / %d legacy rows", fastRows, legacyRows)
+	}
+	// The pprof flags must produce non-empty profiles.
+	for _, p := range []string{cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
 		}
 	}
 }

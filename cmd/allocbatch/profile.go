@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles begins CPU profiling when cpuPath is non-empty and returns a
+// stop function that ends it and, when memPath is non-empty, writes an
+// allocation profile. Used by the bench mode so hot-path regressions are
+// diagnosable straight from the benchmark binary:
+//
+//	allocbatch -bench -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+func startProfiles(cpuPath string) (stop func(memPath string) error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("bench: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("bench: -cpuprofile: %w", err)
+		}
+	}
+	return func(memPath string) error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("bench: -memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final heap state
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("bench: -memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -79,10 +79,10 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "function   %s\n", f.Name)
 	fmt.Fprintf(out, "allocator  %s\n", res.Result.Allocator)
 	fmt.Fprintf(out, "registers  %d\n", r)
-	fmt.Fprintf(out, "values     %d\n", res.Build.Graph.N())
+	fmt.Fprintf(out, "values     %d\n", res.Problem.N())
 	fmt.Fprintf(out, "maxlive    %d\n", res.MaxLive)
 	fmt.Fprintf(out, "spilled    %d (cost %.1f of %.1f)\n",
-		len(res.SpilledValues), res.SpillCost, res.Problem.G.TotalWeight())
+		len(res.SpilledValues), res.SpillCost, res.Problem.TotalWeight())
 	if len(res.SpilledValues) > 0 {
 		names := make([]string, len(res.SpilledValues))
 		for i, v := range res.SpilledValues {

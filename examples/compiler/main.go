@@ -50,7 +50,7 @@ func runExample(stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "function %s: %d values, %d interference edges, MaxLive %d\n\n",
-		f.Name, probe.Build.Graph.N(), probe.Build.Graph.M(), probe.MaxLive)
+		f.Name, probe.Problem.N(), probe.Problem.Graph().Graph.M(), probe.MaxLive)
 
 	w := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprint(w, "R\t")

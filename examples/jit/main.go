@@ -76,7 +76,7 @@ func runExample(stdout io.Writer) error {
 			}
 			cells = append(cells, out.SpillCost)
 			totals[name] += out.SpillCost
-			size, maxlive = out.Build.Graph.N(), out.MaxLive
+			size, maxlive = out.Problem.N(), out.MaxLive
 		}
 		fmt.Fprintf(w, "%s\t%d\t%d\t", p.Name, size, maxlive)
 		for _, c := range cells {

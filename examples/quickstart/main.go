@@ -63,12 +63,12 @@ func runExample(stdout io.Writer) error {
 	}
 
 	fmt.Fprintf(stdout, "function %s: %d values, MaxLive %d, %d registers\n",
-		f.Name, out.Build.Graph.N(), out.MaxLive, 3)
+		f.Name, out.Problem.N(), out.MaxLive, 3)
 	fmt.Fprintf(stdout, "allocator %s spilled %d values (cost %.0f of %.0f):\n",
 		out.Result.Allocator, len(out.SpilledValues),
-		out.SpillCost, out.Problem.G.TotalWeight())
+		out.SpillCost, out.Problem.TotalWeight())
 	for _, v := range out.SpilledValues {
-		fmt.Fprintf(stdout, "  spill %-5s (cost %.0f)\n", f.NameOf(v), out.Problem.G.Weight[out.Build.VertexOf[v]])
+		fmt.Fprintf(stdout, "  spill %-5s (cost %.0f)\n", f.NameOf(v), out.Problem.Weight[out.VertexOf[v]])
 	}
 
 	fmt.Fprintln(stdout, "\nregister assignment (tree-scan over the dominance tree):")

@@ -2,34 +2,48 @@
 // spill-everywhere allocation in a decoupled framework — and the common
 // types every allocator implements.
 //
-// A Problem is an interference graph with spill costs, a register count R,
-// and the register-pressure constraints (live sets, which are cliques of
-// the graph). An allocation is a subset of variables kept in registers; it
-// is valid when no live set keeps more than R variables, which for chordal
+// A Problem carries the register-pressure constraints (live sets, which are
+// cliques of the interference graph), per-vertex spill costs, and a register
+// count R. An allocation is a subset of variables kept in registers; it is
+// valid when no live set keeps more than R variables, which for chordal
 // (strict SSA) graphs is exactly R-colourability. The allocation cost of a
 // solution is the total spill cost of the variables not kept.
+//
+// Two interference representations back a Problem. The fast path carries a
+// cliques.Structure — live sets, def-point sets and a dominance-derived
+// elimination order, straight from liveness, with no explicit graph — which
+// is everything the layered and linear-scan allocators need. Allocators that
+// genuinely require edge adjacency (Chaitin-style colouring, the exact
+// solver, the general-graph heuristic) call Graph, which lazily materializes
+// the classical weighted graph from whichever representation is present.
 package alloc
 
 import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cliques"
 	"repro/internal/graph"
 	"repro/internal/ifg"
+	"repro/internal/ir"
 )
 
 // Problem is one spill-everywhere allocation instance.
 type Problem struct {
-	// G is the weighted interference graph; weights are spill costs.
-	G *graph.Weighted
 	// R is the number of available registers.
 	R int
+	// Weight is the per-vertex spill cost.
+	Weight []float64
 	// LiveSets are the register-pressure constraints: sorted vertex sets,
-	// each a clique of G, of which at most R members may be allocated.
-	// For chordal instances these are the maximal cliques.
+	// each a clique of the interference graph, of which at most R members
+	// may be allocated. On the graph path of a chordal instance these are
+	// the maximal cliques; on the clique fast path they are the distinct
+	// program-point live sets (a superset of the maximal cliques, yielding
+	// identical constraint semantics).
 	LiveSets [][]int
-	// Chordal records whether G is chordal; PEO is a perfect elimination
-	// order when it is (and a best-effort MCS order otherwise).
+	// Chordal records whether the interference graph is chordal; PEO is a
+	// perfect elimination order when it is (and a best-effort MCS order
+	// otherwise).
 	Chordal bool
 	PEO     []int
 	// Name optionally identifies the instance (benchmark name) in reports.
@@ -38,27 +52,59 @@ type Problem struct {
 	// point range of its live interval on a linearized layout. Linear-scan
 	// allocators require it; graph-only instances leave it nil.
 	Intervals [][2]int
+	// Cliques is the IFG-free structure of the SSA fast path (nil on the
+	// graph path). When set, layered allocation runs natively on it.
+	Cliques *cliques.Structure
+
+	g *graph.Weighted // explicit graph; lazily built from Cliques when nil
 }
 
 // NewProblem assembles a Problem from an interference graph build and
-// per-value spill costs.
+// per-value spill costs (the explicit-graph path).
+//
+// For strict-SSA functions the perfect elimination order is the canonical
+// dominance order (reverse definition order along a dominance-tree
+// preorder) — the same order the clique fast path derives without the graph
+// — so the two paths make identical tie-break decisions. Non-SSA (or
+// structurally unusual) inputs keep the maximum-cardinality-search order.
 func NewProblem(b *ifg.Build, costs []float64, r int) *Problem {
+	return NewProblemDom(b, costs, r, nil)
+}
+
+// NewProblemDom is NewProblem with the function's dominance tree supplied by
+// the caller (the pipeline driver already computed one during validation);
+// nil computes it on demand for SSA inputs.
+func NewProblemDom(b *ifg.Build, costs []float64, r int, dom *ir.Dominance) *Problem {
 	w := make([]float64, b.Graph.N())
 	for v := range w {
 		w[v] = costs[b.ValueOf[v]]
 	}
 	p := &Problem{
-		G:    graph.NewWeighted(b.Graph, w),
-		R:    r,
-		Name: b.F.Name,
+		g:      graph.NewWeighted(b.Graph, w),
+		Weight: w,
+		R:      r,
+		Name:   b.F.Name,
 	}
-	p.PEO = b.Graph.PerfectEliminationOrder()
+	var domPEO []int
+	if b.F.SSA {
+		if dom == nil {
+			dom = b.F.ComputeDominance()
+		}
+		if cliques.Applicable(b.F, dom) {
+			domPEO = cliques.DominancePEO(b.F, dom, b.VertexOf, b.Graph.N())
+		}
+	}
 	// The clique ↔ live-set correspondence that lets allocators treat graph
 	// cliques as register-pressure constraints only holds for strict SSA.
 	// A non-SSA program may produce an accidentally chordal graph whose
 	// maximal cliques were never simultaneously live; its constraints must
 	// stay the program-point live sets.
-	p.Chordal = b.F.SSA && b.Graph.IsPerfectEliminationOrder(p.PEO)
+	if domPEO != nil && b.Graph.IsPerfectEliminationOrder(domPEO) {
+		p.PEO, p.Chordal = domPEO, true
+	} else {
+		p.PEO = b.Graph.PerfectEliminationOrder()
+		p.Chordal = b.F.SSA && b.Graph.IsPerfectEliminationOrder(p.PEO)
+	}
 	if p.Chordal {
 		p.LiveSets = b.Graph.MaximalCliques(p.PEO)
 	} else {
@@ -67,12 +113,32 @@ func NewProblem(b *ifg.Build, costs []float64, r int) *Problem {
 	return p
 }
 
+// NewCliqueProblem wraps a clique structure as a Problem (the IFG-free SSA
+// fast path). costs are per value ID; r is the register count. The instance
+// is chordal by construction (Derive only succeeds on strict SSA with the
+// dominance elimination order intact).
+func NewCliqueProblem(cs *cliques.Structure, costs []float64, r int) *Problem {
+	w := make([]float64, cs.N)
+	for v := range w {
+		w[v] = costs[cs.ValueOf[v]]
+	}
+	return &Problem{
+		R:        r,
+		Weight:   w,
+		LiveSets: cs.Sets,
+		Chordal:  true,
+		PEO:      cs.PEO,
+		Name:     cs.F.Name,
+		Cliques:  cs,
+	}
+}
+
 // NewGraphProblem wraps a bare weighted graph as a Problem, deriving the
 // pressure constraints from the graph's maximal cliques (requires a chordal
 // graph unless liveSets is supplied). Used by tests and the graph-level
 // examples.
 func NewGraphProblem(g *graph.Weighted, r int, liveSets [][]int) *Problem {
-	p := &Problem{G: g, R: r, LiveSets: liveSets}
+	p := &Problem{g: g, Weight: g.Weight, R: r, LiveSets: liveSets}
 	if !g.Frozen() {
 		g.Freeze()
 	}
@@ -85,6 +151,39 @@ func NewGraphProblem(g *graph.Weighted, r int, liveSets [][]int) *Problem {
 		p.LiveSets = g.MaximalCliques(p.PEO)
 	}
 	return p
+}
+
+// NewRawProblem wraps a weighted graph with explicit, already-derived
+// constraints: liveSets, chordality and PEO are taken verbatim with no
+// recomputation or checking. For callers (sub-problem builders, tests) that
+// know the structure of what they built.
+func NewRawProblem(g *graph.Weighted, r int, liveSets [][]int, chordal bool, peo []int) *Problem {
+	return &Problem{g: g, Weight: g.Weight, R: r, LiveSets: liveSets, Chordal: chordal, PEO: peo}
+}
+
+// N returns the number of vertices.
+func (p *Problem) N() int { return len(p.Weight) }
+
+// Graph returns the explicit weighted interference graph, materializing it
+// from the clique structure on first use when the problem came through the
+// fast path. The result is cached on the problem.
+func (p *Problem) Graph() *graph.Weighted {
+	if p.g == nil {
+		p.g = graph.NewWeighted(p.Cliques.BuildGraph(), p.Weight)
+	}
+	return p.g
+}
+
+// HasGraph reports whether the explicit graph is already materialized.
+func (p *Problem) HasGraph() bool { return p.g != nil }
+
+// TotalWeight sums the spill costs of all vertices.
+func (p *Problem) TotalWeight() float64 {
+	total := 0.0
+	for _, w := range p.Weight {
+		total += w
+	}
+	return total
 }
 
 // Result is the outcome of one allocator run.
@@ -131,7 +230,7 @@ func (r *Result) SpillCost(p *Problem) float64 {
 	cost := 0.0
 	for v, a := range r.Allocated {
 		if !a {
-			cost += p.G.Weight[v]
+			cost += p.Weight[v]
 		}
 	}
 	return cost
@@ -141,8 +240,8 @@ func (r *Result) SpillCost(p *Problem) float64 {
 // (≤ R allocated per live set). On chordal instances this is equivalent to
 // the allocated subgraph being R-colourable.
 func (p *Problem) Validate(r *Result) error {
-	if len(r.Allocated) != p.G.N() {
-		return fmt.Errorf("alloc: result covers %d of %d vertices", len(r.Allocated), p.G.N())
+	if len(r.Allocated) != p.N() {
+		return fmt.Errorf("alloc: result covers %d of %d vertices", len(r.Allocated), p.N())
 	}
 	for _, ls := range p.LiveSets {
 		count := 0

@@ -94,11 +94,11 @@ b0:
 	if !p.Chordal {
 		t.Fatal("SSA problem must be chordal")
 	}
-	if p.G.N() != b.Graph.N() {
+	if p.N() != b.Graph.N() {
 		t.Fatal("graph size mismatch")
 	}
-	for v := 0; v < p.G.N(); v++ {
-		if p.G.Weight[v] != costs[b.ValueOf[v]] {
+	for v := 0; v < p.N(); v++ {
+		if p.Weight[v] != costs[b.ValueOf[v]] {
 			t.Fatal("weights not translated")
 		}
 	}

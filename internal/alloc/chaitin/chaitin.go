@@ -25,7 +25,7 @@ func (*Allocator) Name() string { return "GC" }
 
 // Allocate implements alloc.Allocator.
 func (*Allocator) Allocate(p *alloc.Problem) *alloc.Result {
-	n := p.G.N()
+	n := p.N()
 	spilled := make([]bool, n)
 	for {
 		newSpills := colorOnce(p, spilled)
@@ -46,7 +46,8 @@ func (*Allocator) Allocate(p *alloc.Problem) *alloc.Result {
 // marking any nodes that fail to colour in spilled. It returns the number of
 // newly spilled nodes.
 func colorOnce(p *alloc.Problem, spilled []bool) int {
-	n := p.G.N()
+	g := p.Graph()
+	n := p.N()
 	r := p.R
 	// Working degrees over the live (non-spilled, not-yet-removed) graph.
 	present := make([]bool, n)
@@ -64,7 +65,7 @@ func colorOnce(p *alloc.Problem, spilled []bool) int {
 			continue
 		}
 		d := 0
-		p.G.VisitNeighbors(v, func(u int) {
+		g.VisitNeighbors(v, func(u int) {
 			if present[u] {
 				d++
 			}
@@ -77,7 +78,7 @@ func colorOnce(p *alloc.Problem, spilled []bool) int {
 	remove := func(v int) {
 		removed[v] = true
 		stack = append(stack, v)
-		p.G.VisitNeighbors(v, func(u int) {
+		g.VisitNeighbors(v, func(u int) {
 			if present[u] && !removed[u] {
 				degree[u]--
 			}
@@ -111,7 +112,7 @@ func colorOnce(p *alloc.Problem, spilled []bool) int {
 			if d == 0 {
 				d = 1
 			}
-			m := p.G.Weight[v] / float64(d)
+			m := g.Weight[v] / float64(d)
 			if best < 0 || m < bestMetric {
 				best, bestMetric = v, m
 			}
@@ -129,7 +130,7 @@ func colorOnce(p *alloc.Problem, spilled []bool) int {
 	newSpills := 0
 	for i := len(stack) - 1; i >= 0; i-- {
 		v := stack[i]
-		c := p.G.SmallestFreeColor(v, color, usedAt, v)
+		c := g.SmallestFreeColor(v, color, usedAt, v)
 		if c < r {
 			color[v] = c
 		} else {

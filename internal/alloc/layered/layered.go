@@ -15,12 +15,24 @@
 //
 // For general (non-chordal) graphs, the LH allocator (Algorithms 5 and 6)
 // replaces the exact stable sets with greedy weight-ordered clusters.
+//
+// The allocator is representation-polymorphic: on fast-path problems
+// (Problem.Cliques set) every phase — Frank's stable sets, degree bias,
+// zero-weight extension, clique bookkeeping — runs directly on the clique
+// structure with no interference graph in sight; on graph problems the
+// classical edge-based implementation is used. Both produce identical
+// allocations for the same instance (pinned by the core fast-path
+// differential test).
+//
+// An Allocator reuses its internal scratch across Allocate calls and is
+// therefore not safe for concurrent use; give each worker its own instance.
 package layered
 
 import (
 	"sort"
 
 	"repro/internal/alloc"
+	"repro/internal/cliques"
 	"repro/internal/stable"
 )
 
@@ -54,6 +66,7 @@ type Option struct {
 type Allocator struct {
 	opt  Option
 	name string
+	scr  scratch
 }
 
 // NL returns the plain layered-optimal allocator.
@@ -92,8 +105,8 @@ func (a *Allocator) AllocateProblem(p *Problem) *alloc.Result {
 	if !p.Chordal {
 		panic("layered: " + a.name + " requires a chordal problem (use LH for general graphs)")
 	}
-	n := p.G.N()
-	st := newState(p)
+	n := p.N()
+	st := a.newState(p)
 
 	// Phase 1 (Algorithm 2): at most R optimal single-register layers.
 	for count := 0; count < p.R && st.remaining > 0; count++ {
@@ -107,7 +120,7 @@ func (a *Allocator) AllocateProblem(p *Problem) *alloc.Result {
 	if a.opt.FixedPoint {
 		// Phase 2 (Algorithm 3 lines 8–13): account for the R first layers,
 		// prune saturated cliques, then keep allocating until fixpoint.
-		st.update(st.allocatedList, a.opt)
+		st.update(st.scr.allocatedList, a.opt)
 		rounds := 0
 		for st.remaining > 0 {
 			if a.opt.MaxFixpointRounds > 0 && rounds >= a.opt.MaxFixpointRounds {
@@ -123,45 +136,64 @@ func (a *Allocator) AllocateProblem(p *Problem) *alloc.Result {
 		}
 	}
 
-	return alloc.NewResult(n, st.allocatedList, a.name)
+	return alloc.NewResult(n, st.scr.allocatedList, a.name)
+}
+
+// scratch is the reusable backing memory of one Allocator.
+type scratch struct {
+	candidate          []bool
+	allocated          []bool
+	allocatedList      []int
+	cliquesOf          [][]int // graph path only; clique path uses the CSR index
+	allocatedPerClique []int
+	saturated          []bool
+	w                  []float64
+	inLayer            []bool
+	layerCnt           []int32 // clique path: per-clique in-layer counts
+	stamp              []int32 // clique path: vertex stamps for dynamic bias
+	stampGen           int32
+	frank              cliques.FrankScratch
 }
 
 // state carries the candidate set and clique occupancy across layers.
 type state struct {
-	p             *Problem
-	candidate     []bool
-	remaining     int
-	allocated     []bool
-	allocatedList []int
-	// cliquesOf[v] lists indices into p.LiveSets containing v.
-	cliquesOf [][]int
-	// allocatedPerClique counts allocated members per live set; a set
-	// reaching R is saturated and its members leave the candidate pool.
-	allocatedPerClique []int
-	saturated          []bool
-	staticDeg          []int
+	p         *Problem
+	cs        *cliques.Structure // nil on the graph path
+	scr       *scratch
+	remaining int
+	staticDeg []int
 }
 
-func newState(p *Problem) *state {
-	n := p.G.N()
-	st := &state{
-		p:                  p,
-		candidate:          make([]bool, n),
-		remaining:          n,
-		allocated:          make([]bool, n),
-		cliquesOf:          make([][]int, n),
-		allocatedPerClique: make([]int, len(p.LiveSets)),
-		saturated:          make([]bool, len(p.LiveSets)),
-		staticDeg:          make([]int, n),
-	}
-	for v := 0; v < n; v++ {
-		st.candidate[v] = true
-		st.staticDeg[v] = p.G.Degree(v)
-	}
-	for ci, ls := range p.LiveSets {
-		for _, v := range ls {
-			st.cliquesOf[v] = append(st.cliquesOf[v], ci)
+func (a *Allocator) newState(p *Problem) *state {
+	n := p.N()
+	scr := &a.scr
+	scr.candidate = resizeBools(scr.candidate, n, true)
+	scr.allocated = resizeBools(scr.allocated, n, false)
+	scr.allocatedList = scr.allocatedList[:0]
+	scr.allocatedPerClique = resizeInts(scr.allocatedPerClique, len(p.LiveSets), 0)
+	scr.saturated = resizeBools(scr.saturated, len(p.LiveSets), false)
+	st := &state{p: p, cs: p.Cliques, scr: scr, remaining: n}
+	if st.cs != nil {
+		st.staticDeg = st.cs.Degrees()
+	} else {
+		g := p.Graph()
+		if cap(scr.cliquesOf) < n {
+			scr.cliquesOf = make([][]int, n)
 		}
+		scr.cliquesOf = scr.cliquesOf[:n]
+		for v := range scr.cliquesOf {
+			scr.cliquesOf[v] = scr.cliquesOf[v][:0]
+		}
+		for ci, ls := range p.LiveSets {
+			for _, v := range ls {
+				scr.cliquesOf[v] = append(scr.cliquesOf[v], ci)
+			}
+		}
+		deg := resizeInts(nil, n, 0)
+		for v := 0; v < n; v++ {
+			deg[v] = g.Degree(v)
+		}
+		st.staticDeg = deg
 	}
 	return st
 }
@@ -181,30 +213,69 @@ func newState(p *Problem) *state {
 // across NL, BL, FPL and BFPL.
 func (st *state) layer(opt Option) []int {
 	p := st.p
-	n := p.G.N()
-	w := make([]float64, n)
+	n := p.N()
+	scr := st.scr
+	scr.w = resizeFloats(scr.w, n, 0)
+	w := scr.w
+	candidate := scr.candidate
 	scale := float64(n)
 	for v := 0; v < n; v++ {
-		if !st.candidate[v] {
+		if !candidate[v] {
 			continue
 		}
 		if opt.Bias {
 			deg := st.staticDeg[v]
 			if opt.DynamicBias {
-				deg = 0
-				p.G.VisitNeighbors(v, func(u int) {
-					if st.candidate[u] {
-						deg++
-					}
-				})
+				deg = st.dynamicDegree(v)
 			}
-			w[v] = p.G.Weight[v]*scale + float64(deg)
+			w[v] = p.Weight[v]*scale + float64(deg)
 		} else {
-			w[v] = p.G.Weight[v]
+			w[v] = p.Weight[v]
 		}
 	}
-	layer := stable.MaxWeightChordal(p.G.Graph, p.PEO, w)
+	var layer []int
+	if st.cs != nil {
+		layer = st.cs.MaxWeightStable(w, &scr.frank)
+	} else {
+		layer = stable.MaxWeightChordal(p.Graph().Graph, p.PEO, w)
+	}
 	return st.extendZeroWeight(layer, w)
+}
+
+// dynamicDegree counts v's still-candidate neighbours for the DynamicBias
+// ablation.
+func (st *state) dynamicDegree(v int) int {
+	scr := st.scr
+	if st.cs == nil {
+		deg := 0
+		st.p.Graph().VisitNeighbors(v, func(u int) {
+			if scr.candidate[u] {
+				deg++
+			}
+		})
+		return deg
+	}
+	// Neighbours are the union of v's live sets; dedup with a stamp array.
+	if cap(scr.stamp) < st.cs.N {
+		scr.stamp = make([]int32, st.cs.N)
+		scr.stampGen = 0
+	}
+	stamp := scr.stamp[:st.cs.N]
+	scr.stampGen++
+	gen := scr.stampGen
+	deg := 0
+	for _, ci := range st.cs.CliquesOf(v) {
+		for _, u := range st.cs.Sets[ci] {
+			if u == v || stamp[u] == gen {
+				continue
+			}
+			stamp[u] = gen
+			if scr.candidate[u] {
+				deg++
+			}
+		}
+	}
+	return deg
 }
 
 // extendZeroWeight greedily adds zero-weight candidates (ascending vertex
@@ -214,37 +285,81 @@ func (st *state) layer(opt Option) []int {
 // unchanged.
 func (st *state) extendZeroWeight(layer []int, w []float64) []int {
 	p := st.p
-	inLayer := make([]bool, p.G.N())
+	n := p.N()
+	scr := st.scr
+	scr.inLayer = resizeBools(scr.inLayer, n, false)
+	inLayer := scr.inLayer
 	for _, v := range layer {
 		inLayer[v] = true
 	}
-	for v := 0; v < p.G.N(); v++ {
-		if !st.candidate[v] || inLayer[v] || w[v] != 0 {
-			continue
-		}
-		free := true
-		p.G.VisitNeighbors(v, func(u int) {
-			if inLayer[u] {
-				free = false
+	if st.cs != nil {
+		// Adjacency to the layer ⇔ sharing a live set with a layer member:
+		// track per-clique in-layer counts instead of scanning edges.
+		scr.layerCnt = resizeInt32s(scr.layerCnt, len(st.cs.Sets), 0)
+		cnt := scr.layerCnt
+		for _, v := range layer {
+			for _, ci := range st.cs.CliquesOf(v) {
+				cnt[ci]++
 			}
-		})
-		if free {
-			layer = append(layer, v)
-			inLayer[v] = true
 		}
+		for v := 0; v < n; v++ {
+			if !scr.candidate[v] || inLayer[v] || w[v] != 0 {
+				continue
+			}
+			free := true
+			for _, ci := range st.cs.CliquesOf(v) {
+				if cnt[ci] > 0 {
+					free = false
+					break
+				}
+			}
+			if free {
+				layer = append(layer, v)
+				inLayer[v] = true
+				for _, ci := range st.cs.CliquesOf(v) {
+					cnt[ci]++
+				}
+			}
+		}
+		for _, v := range layer {
+			for _, ci := range st.cs.CliquesOf(v) {
+				cnt[ci] = 0
+			}
+		}
+	} else {
+		g := p.Graph()
+		for v := 0; v < n; v++ {
+			if !scr.candidate[v] || inLayer[v] || w[v] != 0 {
+				continue
+			}
+			free := true
+			g.VisitNeighbors(v, func(u int) {
+				if inLayer[u] {
+					free = false
+				}
+			})
+			if free {
+				layer = append(layer, v)
+				inLayer[v] = true
+			}
+		}
+	}
+	for _, v := range layer {
+		inLayer[v] = false
 	}
 	return layer
 }
 
 func (st *state) allocate(layer []int) {
+	scr := st.scr
 	for _, v := range layer {
-		if !st.candidate[v] {
+		if !scr.candidate[v] {
 			continue
 		}
-		st.candidate[v] = false
+		scr.candidate[v] = false
 		st.remaining--
-		st.allocated[v] = true
-		st.allocatedList = append(st.allocatedList, v)
+		scr.allocated[v] = true
+		scr.allocatedList = append(scr.allocatedList, v)
 	}
 }
 
@@ -256,20 +371,32 @@ func (st *state) update(fresh []int, opt Option) {
 		st.naiveUpdate()
 		return
 	}
-	for _, v := range fresh {
-		for _, ci := range st.cliquesOf[v] {
-			if st.saturated[ci] {
-				continue
-			}
-			st.allocatedPerClique[ci]++
-			if st.allocatedPerClique[ci] >= st.p.R {
-				st.saturated[ci] = true
-				for _, u := range st.p.LiveSets[ci] {
-					if st.candidate[u] {
-						st.candidate[u] = false
-						st.remaining--
-					}
+	scr := st.scr
+	bump := func(ci int) {
+		if scr.saturated[ci] {
+			return
+		}
+		scr.allocatedPerClique[ci]++
+		if scr.allocatedPerClique[ci] >= st.p.R {
+			scr.saturated[ci] = true
+			for _, u := range st.p.LiveSets[ci] {
+				if scr.candidate[u] {
+					scr.candidate[u] = false
+					st.remaining--
 				}
+			}
+		}
+	}
+	if st.cs != nil {
+		for _, v := range fresh {
+			for _, ci := range st.cs.CliquesOf(v) {
+				bump(int(ci))
+			}
+		}
+	} else {
+		for _, v := range fresh {
+			for _, ci := range scr.cliquesOf[v] {
+				bump(ci)
 			}
 		}
 	}
@@ -278,24 +405,69 @@ func (st *state) update(fresh []int, opt Option) {
 // naiveUpdate recomputes every clique's occupancy from the allocated flags
 // (the ablation baseline for Algorithm 4's incremental counters).
 func (st *state) naiveUpdate() {
+	scr := st.scr
 	for ci, ls := range st.p.LiveSets {
 		count := 0
 		for _, v := range ls {
-			if st.allocated[v] {
+			if scr.allocated[v] {
 				count++
 			}
 		}
-		st.allocatedPerClique[ci] = count
-		if count >= st.p.R && !st.saturated[ci] {
-			st.saturated[ci] = true
+		scr.allocatedPerClique[ci] = count
+		if count >= st.p.R && !scr.saturated[ci] {
+			scr.saturated[ci] = true
 			for _, u := range ls {
-				if st.candidate[u] {
-					st.candidate[u] = false
+				if scr.candidate[u] {
+					scr.candidate[u] = false
 					st.remaining--
 				}
 			}
 		}
 	}
+}
+
+func resizeBools(s []bool, n int, fill bool) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = fill
+	}
+	return s
+}
+
+func resizeInts(s []int, n, fill int) []int {
+	if cap(s) < n {
+		s = make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = fill
+	}
+	return s
+}
+
+func resizeInt32s(s []int32, n int, fill int32) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = fill
+	}
+	return s
+}
+
+func resizeFloats(s []float64, n int, fill float64) []float64 {
+	if cap(s) < n {
+		s = make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = fill
+	}
+	return s
 }
 
 // LH is the layered-heuristic allocator for general interference graphs
@@ -311,10 +483,11 @@ func (*LH) Name() string { return "LH" }
 
 // Allocate implements alloc.Allocator.
 func (*LH) Allocate(p *Problem) *alloc.Result {
-	clusters := stable.ClusterVertices(p.G.Graph, p.G.Weight)
+	g := p.Graph()
+	clusters := stable.ClusterVertices(g.Graph, g.Weight)
 	sort.SliceStable(clusters, func(i, j int) bool {
-		return stable.SetWeight(clusters[i], p.G.Weight) >
-			stable.SetWeight(clusters[j], p.G.Weight)
+		return stable.SetWeight(clusters[i], g.Weight) >
+			stable.SetWeight(clusters[j], g.Weight)
 	})
 	if len(clusters) > p.R {
 		clusters = clusters[:p.R]
@@ -323,5 +496,5 @@ func (*LH) Allocate(p *Problem) *alloc.Result {
 	for _, c := range clusters {
 		allocated = append(allocated, c...)
 	}
-	return alloc.NewResult(p.G.N(), allocated, "LH")
+	return alloc.NewResult(p.N(), allocated, "LH")
 }

@@ -237,17 +237,17 @@ func TestPropertyFirstLayerMaximal(t *testing.T) {
 		p := randomChordalProblem(r, 2+r.Intn(25), 1)
 		res := NL().Allocate(p)
 		set := res.AllocatedList()
-		if !p.G.IsStableSet(set) {
+		if !p.Graph().IsStableSet(set) {
 			return false
 		}
 		// Maximality: no vertex can be added.
-		for v := 0; v < p.G.N(); v++ {
+		for v := 0; v < p.N(); v++ {
 			if res.Allocated[v] {
 				continue
 			}
 			ok := true
 			for _, u := range set {
-				if p.G.HasEdge(u, v) {
+				if p.Graph().HasEdge(u, v) {
 					ok = false
 					break
 				}
@@ -283,7 +283,7 @@ func TestLHStructuralGuarantee(t *testing.T) {
 			w[i] = float64(1 + r.Intn(100))
 		}
 		regs := 1 + r.Intn(5)
-		p := &alloc.Problem{G: graph.NewWeighted(g, w), R: regs, LiveSets: nil}
+		p := alloc.NewRawProblem(graph.NewWeighted(g, w), regs, nil, false, nil)
 		res := NewLH().Allocate(p)
 		// Recompute the clusters LH used; its allocation must be exactly
 		// the union of the R heaviest (ties broken stably).
@@ -367,7 +367,7 @@ func TestZeroWeightValuesAllocatedWithSlack(t *testing.T) {
 		for v := 0; v < 3; v++ {
 			if !res.Allocated[v] {
 				t.Errorf("%s: vertex %d spilled with registers idle (weight %g)",
-					a.Name(), v, p.G.Weight[v])
+					a.Name(), v, p.Weight[v])
 			}
 		}
 	}

@@ -42,7 +42,7 @@ func (s *StepAllocator) Allocate(p *alloc.Problem) *alloc.Result {
 	if s.Step < 1 {
 		panic("layered: step must be ≥ 1")
 	}
-	n := p.G.N()
+	n := p.N()
 	candidate := make([]bool, n)
 	for v := range candidate {
 		candidate[v] = true
@@ -80,14 +80,14 @@ func (s *StepAllocator) solveLayer(p *alloc.Problem, candidate []bool, step int)
 			keep = append(keep, v)
 		}
 	}
-	sub, newToOld := p.G.InducedSubgraph(keep)
+	sub, newToOld := p.Graph().InducedSubgraph(keep)
 	oldToNew := make(map[int]int, len(newToOld))
 	for i, v := range newToOld {
 		oldToNew[v] = i
 	}
 	w := make([]float64, sub.N())
 	for i, v := range newToOld {
-		w[i] = p.G.Weight[v]
+		w[i] = p.Weight[v]
 	}
 	var liveSets [][]int
 	for _, ls := range p.LiveSets {
@@ -101,13 +101,8 @@ func (s *StepAllocator) solveLayer(p *alloc.Problem, candidate []bool, step int)
 			liveSets = append(liveSets, restricted)
 		}
 	}
-	subProblem := &alloc.Problem{
-		G:        graph.NewWeighted(sub, w),
-		R:        step,
-		LiveSets: liveSets,
-		Chordal:  true,
-		PEO:      sub.PerfectEliminationOrder(),
-	}
+	subProblem := alloc.NewRawProblem(
+		graph.NewWeighted(sub, w), step, liveSets, true, sub.PerfectEliminationOrder())
 	res := s.Solve(subProblem)
 	var out []int
 	for i, al := range res.Allocated {

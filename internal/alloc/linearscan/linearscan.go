@@ -57,7 +57,7 @@ func (a *Allocator) Allocate(p *alloc.Problem) *alloc.Result {
 	if p.Intervals == nil {
 		panic("linearscan: problem has no live intervals")
 	}
-	n := p.G.N()
+	n := p.N()
 	threshold := a.Threshold
 	if threshold == 0 {
 		threshold = DefaultThreshold
@@ -139,16 +139,16 @@ func (a *Allocator) pickVictim(p *alloc.Problem, active []int, cur int, threshol
 	}
 	// BLS: find the cheapest candidates (within the threshold window) and
 	// among them spill the furthest-ending one.
-	minCost := p.G.Weight[candidates[0]]
+	minCost := p.Weight[candidates[0]]
 	for _, u := range candidates[1:] {
-		if p.G.Weight[u] < minCost {
-			minCost = p.G.Weight[u]
+		if p.Weight[u] < minCost {
+			minCost = p.Weight[u]
 		}
 	}
 	limit := minCost * (1 + threshold)
 	victim := -1
 	for _, u := range candidates {
-		if p.G.Weight[u] > limit {
+		if p.Weight[u] > limit {
 			continue
 		}
 		if victim < 0 || p.Intervals[u][1] > p.Intervals[victim][1] {
@@ -171,7 +171,15 @@ func insertByEnd(active []int, v int, endOf func(int) int) []int {
 // [start, end] point range over which the value is live (def points
 // included). Vertices that never appear get the empty interval [0, -1].
 func BuildIntervals(info *liveness.Info, b *ifg.Build) [][2]int {
-	intervals := make([][2]int, b.Graph.N())
+	return IntervalsFromLiveness(info, b.VertexOf, b.Graph.N())
+}
+
+// IntervalsFromLiveness is BuildIntervals decoupled from the interference
+// graph build: it needs only the liveness points and a value→vertex map of
+// size n, so the IFG-free fast path can construct linear-scan intervals
+// without ever materializing a graph.
+func IntervalsFromLiveness(info *liveness.Info, vertexOf []int, n int) [][2]int {
+	intervals := make([][2]int, n)
 	for i := range intervals {
 		intervals[i] = [2]int{0, -1}
 	}
@@ -190,7 +198,7 @@ func BuildIntervals(info *liveness.Info, b *ifg.Build) [][2]int {
 	}
 	for pt, p := range info.Points {
 		for _, val := range p.Live {
-			if vx := b.VertexOf[val]; vx >= 0 {
+			if vx := vertexOf[val]; vx >= 0 {
 				touch(vx, pt)
 			}
 		}
@@ -213,7 +221,7 @@ func BuildIntervals(info *liveness.Info, b *ifg.Build) [][2]int {
 			if !ins.Op.HasDef() || ins.Def == ir.NoValue {
 				continue
 			}
-			vx := b.VertexOf[ins.Def]
+			vx := vertexOf[ins.Def]
 			if vx >= 0 && intervals[vx][1] < intervals[vx][0] {
 				touch(vx, firstPoint[blk.ID])
 			}

@@ -42,10 +42,8 @@ func intervalsProblem(ivs [][2]int, weights []float64, r int) *alloc.Problem {
 			}
 		}
 	}
-	p := &alloc.Problem{
-		G: graph.NewWeighted(g, weights), R: r,
-		LiveSets: liveSets, Intervals: ivs,
-	}
+	p := alloc.NewRawProblem(graph.NewWeighted(g, weights), r, liveSets, false, nil)
+	p.Intervals = ivs
 	return p
 }
 
@@ -102,7 +100,7 @@ func TestNamesAndMissingIntervalsPanic(t *testing.T) {
 	if DLS().Name() != "DLS" || BLS().Name() != "BLS" {
 		t.Fatal("names wrong")
 	}
-	p := &alloc.Problem{G: graph.NewWeighted(graph.New(1), []float64{1})}
+	p := alloc.NewRawProblem(graph.NewWeighted(graph.New(1), []float64{1}), 0, nil, false, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("missing intervals did not panic")

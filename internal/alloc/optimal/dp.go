@@ -22,10 +22,10 @@ func solveChordalDP(p *alloc.Problem, stateBudget int64) *alloc.Result {
 	if !p.Chordal {
 		return nil
 	}
-	tree := p.G.BuildCliqueTree(p.PEO)
+	tree := p.Graph().BuildCliqueTree(p.PEO)
 	k := len(tree.Cliques)
 	if k == 0 {
-		return alloc.NewResult(p.G.N(), nil, "Optimal")
+		return alloc.NewResult(p.N(), nil, "Optimal")
 	}
 	// Feasibility estimate: Σ over nodes of C(|clique|, ≤R), and cliques
 	// must fit in a 64-bit mask.
@@ -125,7 +125,7 @@ func solveChordalDP(p *alloc.Problem, stateBudget int64) *alloc.Result {
 			weight := 0.0
 			for b := range c {
 				if mask&(1<<uint(b)) != 0 && countHere[i][b] {
-					weight += p.G.Weight[c[b]]
+					weight += p.Weight[c[b]]
 				}
 			}
 			ok := true
@@ -155,7 +155,7 @@ func solveChordalDP(p *alloc.Problem, stateBudget int64) *alloc.Result {
 	}
 
 	// Reconstruct the allocation top-down.
-	allocated := make([]bool, p.G.N())
+	allocated := make([]bool, p.N())
 	var recover func(i int, sepKey uint64)
 	recover = func(i int, sepKey uint64) {
 		mask := tables[i].choice[sepKey]
@@ -178,7 +178,7 @@ func solveChordalDP(p *alloc.Problem, stateBudget int64) *alloc.Result {
 			list = append(list, v)
 		}
 	}
-	return alloc.NewResult(p.G.N(), list, "Optimal")
+	return alloc.NewResult(p.N(), list, "Optimal")
 }
 
 // enumerateSubsets calls fn for every bitmask over n positions with at most

@@ -84,12 +84,12 @@ func (a *Allocator) Allocate(p *alloc.Problem) *alloc.Result {
 	a.LastExact = s.exact
 	a.LastNodes = s.nodes
 	var allocated []int
-	for v := 0; v < p.G.N(); v++ {
+	for v := 0; v < p.N(); v++ {
 		if s.bestAlloc[v] {
 			allocated = append(allocated, v)
 		}
 	}
-	return alloc.NewResult(p.G.N(), allocated, "Optimal")
+	return alloc.NewResult(p.N(), allocated, "Optimal")
 }
 
 type solver struct {
@@ -119,7 +119,7 @@ const (
 )
 
 func newSolver(p *alloc.Problem) *solver {
-	n := p.G.N()
+	n := p.N()
 	s := &solver{
 		p:         p,
 		rank:      make([]int, n),
@@ -132,7 +132,7 @@ func newSolver(p *alloc.Problem) *solver {
 		s.order[i] = i
 	}
 	sort.SliceStable(s.order, func(i, j int) bool {
-		wi, wj := p.G.Weight[s.order[i]], p.G.Weight[s.order[j]]
+		wi, wj := p.Weight[s.order[i]], p.Weight[s.order[j]]
 		if wi != wj {
 			return wi > wj
 		}
@@ -209,7 +209,7 @@ func (s *solver) solve() {
 		}
 		if ok {
 			greedyAlloc[v] = true
-			greedyWeight += s.p.G.Weight[v]
+			greedyWeight += s.p.Weight[v]
 			for _, ci := range s.setsOf[v] {
 				capCopy[ci]--
 			}
@@ -301,7 +301,7 @@ func (s *solver) apply(v int, st int8) {
 		}
 	}
 	if st == allocated {
-		s.current += s.p.G.Weight[v]
+		s.current += s.p.Weight[v]
 	}
 }
 
@@ -315,7 +315,7 @@ func (s *solver) unapply(v int) {
 		}
 	}
 	if st == allocated {
-		s.current -= s.p.G.Weight[v]
+		s.current -= s.p.Weight[v]
 	}
 }
 
@@ -384,12 +384,12 @@ func (s *solver) bound(pos int) float64 {
 			continue
 		}
 		if tight < 0 {
-			ub += s.p.G.Weight[v]
+			ub += s.p.Weight[v]
 			continue
 		}
 		if taken[tight] < tightCap {
 			taken[tight]++
-			ub += s.p.G.Weight[v]
+			ub += s.p.Weight[v]
 		}
 	}
 	return ub

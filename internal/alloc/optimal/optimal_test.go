@@ -106,7 +106,7 @@ func TestAllAllocatedWhenPressureFits(t *testing.T) {
 
 // bruteForce solves the pressure-constrained problem by enumeration.
 func bruteForce(p *alloc.Problem) float64 {
-	n := p.G.N()
+	n := p.N()
 	best := 0.0
 	for mask := 0; mask < 1<<n; mask++ {
 		ok := true
@@ -128,7 +128,7 @@ func bruteForce(p *alloc.Problem) float64 {
 		total := 0.0
 		for v := 0; v < n; v++ {
 			if mask&(1<<v) != 0 {
-				total += p.G.Weight[v]
+				total += p.Weight[v]
 			}
 		}
 		if total > best {
@@ -180,7 +180,7 @@ func TestPropertyMatchesBruteForce(t *testing.T) {
 		allocated := 0.0
 		for v, al := range res.Allocated {
 			if al {
-				allocated += p.G.Weight[v]
+				allocated += p.Weight[v]
 			}
 		}
 		return allocated == bruteForce(p)

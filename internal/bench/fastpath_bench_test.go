@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cliques"
+	"repro/internal/graph"
+	"repro/internal/ifg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Benchmarks for the IFG-free fast path: deriving the clique structure
+// straight from liveness versus building (and freezing) the explicit
+// interference graph, on generated SSA functions of ~200 and ~2000 values.
+// Run with
+//
+//	go test ./internal/bench -bench 'CliqueDerivation|IFGFromLiveness' -benchmem
+
+// fastPathFunc generates an SSA function with roughly n values.
+func fastPathFunc(n int) *ir.Func {
+	shape := Shape{
+		Params: 4, Segments: 3, MaxDepth: 2, StraightLen: 6,
+		LoopProb: 0.4, BranchProb: 0.3, Carried: 2, LongLived: 12,
+	}
+	// Scale the segment count until the function reaches the target size.
+	for seg := 3; seg < 4096; seg *= 2 {
+		shape.Segments = seg
+		f := GenSSA("fastpath", 4242, shape)
+		if f.NumValues >= n {
+			return f
+		}
+	}
+	panic("bench: could not reach target size")
+}
+
+func benchCliqueDerivation(b *testing.B, n int) {
+	f := fastPathFunc(n)
+	dom := f.ComputeDominance()
+	if !cliques.Applicable(f, dom) {
+		b.Fatal("generated function not fast-path eligible")
+	}
+	info := liveness.Compute(f)
+	scratch := cliques.NewScratch()
+	b.ReportMetric(float64(f.NumValues), "values")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cliques.Derive(info, dom, scratch) == nil {
+			b.Fatal("derive failed")
+		}
+	}
+}
+
+func benchIFGFromLiveness(b *testing.B, n int) {
+	f := fastPathFunc(n)
+	info := liveness.Compute(f)
+	b.ReportMetric(float64(f.NumValues), "values")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		build := ifg.FromLiveness(info)
+		if !build.Graph.Frozen() {
+			b.Fatal("graph not frozen")
+		}
+	}
+}
+
+func BenchmarkCliqueDerivation200(b *testing.B)  { benchCliqueDerivation(b, 200) }
+func BenchmarkCliqueDerivation2000(b *testing.B) { benchCliqueDerivation(b, 2000) }
+func BenchmarkIFGFromLiveness200(b *testing.B)   { benchIFGFromLiveness(b, 200) }
+func BenchmarkIFGFromLiveness2000(b *testing.B)  { benchIFGFromLiveness(b, 2000) }
+
+// BenchmarkCliqueFrank measures a single allocation layer (one maximum
+// weighted stable set) computed from the clique structure, against Frank's
+// algorithm on the explicit graph — the inner loop of layered allocation.
+func BenchmarkCliqueFrank2000(b *testing.B) {
+	f := fastPathFunc(2000)
+	dom := f.ComputeDominance()
+	info := liveness.Compute(f)
+	cs := cliques.Derive(info, dom, nil)
+	if cs == nil {
+		b.Fatal("derive failed")
+	}
+	w := make([]float64, cs.N)
+	for i := range w {
+		w[i] = float64(1 + i%17)
+	}
+	var fs cliques.FrankScratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.MaxWeightStable(w, &fs)
+	}
+}
+
+// BenchmarkGraphMaterialize measures the lazy graph construction the
+// edge-based allocators pay on first use of a fast-path problem.
+func BenchmarkGraphMaterialize2000(b *testing.B) {
+	f := fastPathFunc(2000)
+	dom := f.ComputeDominance()
+	info := liveness.Compute(f)
+	cs := cliques.Derive(info, dom, nil)
+	if cs == nil {
+		b.Fatal("derive failed")
+	}
+	var g *graph.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g = cs.BuildGraph()
+	}
+	_ = g
+}

@@ -180,17 +180,17 @@ func (s Set) AppendTo(dst []int) []int {
 	return dst
 }
 
-// HashInts hashes an int slice with FNV-1a, for deduplicating sets kept as
-// sorted slices without building a string key.
+// HashInts hashes an int slice with word-level FNV-1a, for deduplicating
+// sets kept as sorted slices without building a string key. One
+// xor-multiply per element: the hash is only a bucket key (collisions fall
+// back to slice comparison), so discrimination matters and avalanche does
+// not.
 func HashInts(s []int) uint64 {
 	const offset64, prime64 = 14695981039346656037, 1099511628211
 	h := uint64(offset64)
 	for _, v := range s {
-		u := uint64(v)
-		for b := 0; b < 8; b++ {
-			h ^= u >> (8 * b) & 0xff
-			h *= prime64
-		}
+		h ^= uint64(v)
+		h *= prime64
 	}
 	return h
 }

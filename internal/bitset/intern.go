@@ -62,3 +62,16 @@ func (it *Interner) intern(s []int, copyIn bool) (int, bool) {
 // Sets returns the interned sets in first-appearance order. The slice is
 // shared with the interner; callers may reorder it but not mutate the sets.
 func (it *Interner) Sets() [][]int { return it.sets }
+
+// Len returns the number of distinct sets interned so far.
+func (it *Interner) Len() int { return len(it.sets) }
+
+// Reset empties the interner while keeping its backing memory (hash tables,
+// set headers, slab), so one interner can be recycled across many analysis
+// passes. Everything previously returned by Sets is invalidated.
+func (it *Interner) Reset() {
+	clear(it.first)
+	clear(it.overflow)
+	it.sets = it.sets[:0]
+	it.slab = it.slab[:0]
+}

@@ -1,0 +1,442 @@
+// Package cliques derives the clique structure of a strict-SSA function's
+// interference graph straight from liveness information, without ever
+// materializing the graph — no edge rows, no MCS, no maximal-clique
+// enumeration.
+//
+// For a strict-SSA function the interference graph is chordal by
+// construction and everything the layered allocators need is already present
+// in the liveness result:
+//
+//   - the maximal cliques are (among) the live sets at definition points;
+//   - reversing the order in which values are defined along a dominance-tree
+//     preorder yields a perfect elimination order (if u and v interfere, one
+//     is live at the other's definition, so the later-defined vertex sees
+//     all of its earlier-defined neighbours inside one def-point live set —
+//     a clique);
+//   - Frank's maximum-weighted-stable-set algorithm only ever charges a
+//     vertex against its not-yet-processed neighbours, which in this order
+//     are exactly the members of its def-point live set.
+//
+// Structure packages those facts: a vertex numbering identical to the
+// ifg.Build one, the deduplicated program-point live sets (which cover every
+// interference edge), each vertex's def-point set, and the dominance PEO. It
+// supports the full layered allocation natively (MaxWeightStable, Degrees,
+// per-clique membership) and can lazily materialize the classical
+// graph.Graph for the allocators that genuinely need edges (Chaitin-style
+// colouring, the exact solver, the general-graph heuristic).
+//
+// Derive is defensive: it returns nil whenever a structural assumption does
+// not hold (a present value without a definition, unreachable blocks that
+// carry code), and callers fall back to the explicit interference-graph
+// path. Applicable is the cheap pre-check the pipeline gates on.
+package cliques
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Structure is the IFG-free representation of a strict-SSA interference
+// problem. All vertex-indexed fields use the same dense numbering an
+// ifg.Build would produce (values that occur anywhere, ascending by value
+// ID), so results are interchangeable between the two representations.
+type Structure struct {
+	F *ir.Func
+	// N is the vertex count.
+	N int
+	// VertexOf maps value ID to vertex (-1 when the value never occurs).
+	VertexOf []int
+	// ValueOf maps vertex to value ID (ascending by construction).
+	ValueOf []int
+	// Sets holds the distinct program-point live sets translated to vertex
+	// IDs, each sorted ascending. Every set is a clique of the interference
+	// graph, every interference edge is covered by at least one set, and
+	// every maximal clique appears as the def-point set of its last-defined
+	// member.
+	Sets [][]int
+	// DefSetOf[v] indexes the set in Sets recorded at v's definition
+	// instant; it always contains v, and it contains every neighbour of v
+	// defined before v.
+	DefSetOf []int32
+	// PEO is the perfect elimination order: vertices in reverse definition
+	// order along a dominance-tree preorder (phis at their block boundary
+	// in instruction order, then non-phi defs in instruction order).
+	PEO []int
+	// MaxLive is the peak register pressure (the clique number).
+	MaxLive int
+
+	// CSR membership index: the sets containing v are
+	// CliqueIdx[CliqueOff[v]:CliqueOff[v+1]].
+	CliqueOff []int32
+	CliqueIdx []int32
+
+	degrees []int // lazy, see Degrees
+}
+
+// Applicable reports whether the IFG-free fast path may be used for f: the
+// function must be strict SSA and any unreachable block must be inert (no
+// defs, no uses, no successors), so that it contributes neither vertices nor
+// live sets. Unreachable code is exempt from SSA dominance checking, so a
+// non-inert dead block could break the dominance ordering the fast path's
+// elimination order relies on.
+func Applicable(f *ir.Func, dom *ir.Dominance) bool {
+	if !f.SSA {
+		return false
+	}
+	for _, b := range f.Blocks {
+		if dom.Order[b.ID] >= 0 {
+			continue
+		}
+		if len(b.Succs) > 0 {
+			return false
+		}
+		for _, ins := range b.Instrs {
+			if ins.Op.HasDef() && ins.Def != ir.NoValue {
+				return false
+			}
+			if len(ins.Uses) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Scratch recycles the transient memory of Derive across functions (bitsets,
+// the live-set interner, temporary index slices). The Structures returned by
+// Derive never alias scratch memory and stay valid indefinitely; the Scratch
+// itself is not safe for concurrent use.
+type Scratch struct {
+	arena  bitset.Arena
+	intern *bitset.Interner
+	vsBuf  []int
+}
+
+// NewScratch returns an empty reusable scratch.
+func NewScratch() *Scratch { return &Scratch{intern: bitset.NewInterner(64)} }
+
+// Derive builds the clique structure of f from its liveness information and
+// dominance tree. It returns nil when a structural assumption fails — the
+// caller must then fall back to the explicit interference-graph path. A nil
+// scratch uses private transient memory.
+//
+// The caller is responsible for gating on Applicable (Derive also returns
+// nil on most non-applicable inputs, but Applicable is the documented
+// contract).
+func Derive(info *liveness.Info, dom *ir.Dominance, scratch *Scratch) *Structure {
+	if scratch == nil {
+		scratch = NewScratch()
+	}
+	scratch.arena.Reset()
+	scratch.intern.Reset()
+	arena := &scratch.arena
+
+	f := info.F
+	nv := f.NumValues
+	s := &Structure{F: f, MaxLive: info.MaxLive}
+
+	// Vertex numbering: every value that is defined, used, or live anywhere,
+	// ascending — byte-identical to the ifg.Build numbering.
+	present := arena.Set(nv)
+	mark := func(v int) {
+		if v >= 0 && v < nv {
+			present.Add(v)
+		}
+	}
+	for _, blk := range f.Blocks {
+		for _, ins := range blk.Instrs {
+			if ins.Op.HasDef() && ins.Def != ir.NoValue {
+				mark(ins.Def)
+			}
+			for _, u := range ins.Uses {
+				mark(u)
+			}
+		}
+	}
+	for _, p := range info.Points {
+		for _, v := range p.Live {
+			mark(v)
+		}
+	}
+	n := present.Count()
+	s.N = n
+	s.VertexOf = make([]int, nv)
+	for i := range s.VertexOf {
+		s.VertexOf[i] = -1
+	}
+	s.ValueOf = make([]int, 0, n)
+	present.ForEach(func(v int) {
+		s.VertexOf[v] = len(s.ValueOf)
+		s.ValueOf = append(s.ValueOf, v)
+	})
+
+	// Intern the program-point live sets (translated to vertex IDs) and
+	// remember, per point, which interned set it maps to.
+	pointSet := arena.Ints(len(info.Points))
+	pointSet = pointSet[:len(info.Points)]
+	intern := scratch.intern
+	for pi, p := range info.Points {
+		if len(p.Live) == 0 {
+			pointSet[pi] = -1
+			continue
+		}
+		vs := scratch.vsBuf[:0]
+		for _, v := range p.Live {
+			vs = append(vs, s.VertexOf[v])
+		}
+		scratch.vsBuf = vs
+		idx, _ := intern.Intern(vs)
+		pointSet[pi] = idx
+	}
+
+	// Def-point sets. Every vertex must have a recorded definition instant;
+	// a miss means the input was not the strict SSA shape this path is for.
+	s.DefSetOf = make([]int32, n)
+	for vx, val := range s.ValueOf {
+		dp := info.DefPointOf[val]
+		if dp < 0 || dp >= len(pointSet) || pointSet[dp] < 0 {
+			return nil
+		}
+		s.DefSetOf[vx] = int32(pointSet[dp])
+	}
+
+	// PEO: reverse definition order along a dominance-tree preorder.
+	s.PEO = dominancePEO(f, dom, s.VertexOf, n, arena)
+	if s.PEO == nil {
+		return nil
+	}
+
+	// Copy the interned sets out into one exact-size retained slab (the
+	// interner's storage is scratch and will be recycled).
+	interned := intern.Sets()
+	total := 0
+	for _, set := range interned {
+		total += len(set)
+	}
+	slab := make([]int, 0, total)
+	s.Sets = make([][]int, len(interned))
+	for i, set := range interned {
+		start := len(slab)
+		slab = append(slab, set...)
+		s.Sets[i] = slab[start:len(slab):len(slab)]
+	}
+
+	// CSR membership index.
+	s.CliqueOff = make([]int32, n+1)
+	for _, set := range s.Sets {
+		for _, v := range set {
+			s.CliqueOff[v+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		s.CliqueOff[v+1] += s.CliqueOff[v]
+	}
+	s.CliqueIdx = make([]int32, total)
+	fill := arena.Ints(n)
+	fill = fill[:n]
+	for v := range fill {
+		fill[v] = int(s.CliqueOff[v])
+	}
+	for ci, set := range s.Sets {
+		for _, v := range set {
+			s.CliqueIdx[fill[v]] = int32(ci)
+			fill[v]++
+		}
+	}
+	return s
+}
+
+// DominancePEO returns the vertices of a strict-SSA function in reverse
+// definition order along a dominance-tree preorder — a perfect elimination
+// order of the interference graph — or nil when some vertex lacks a unique
+// definition in reachable code. vertexOf maps value IDs to the caller's
+// dense vertex numbering of size n. The explicit-graph path uses this so its
+// elimination order (and therefore every allocation tie-break) matches the
+// clique fast path exactly.
+func DominancePEO(f *ir.Func, dom *ir.Dominance, vertexOf []int, n int) []int {
+	var arena bitset.Arena
+	return dominancePEO(f, dom, vertexOf, n, &arena)
+}
+
+// dominancePEO returns the vertices in reverse definition order along a
+// dominance-tree preorder, or nil when some vertex lacks a (unique)
+// definition in reachable code.
+func dominancePEO(f *ir.Func, dom *ir.Dominance, vertexOf []int, n int, arena *bitset.Arena) []int {
+	peo := make([]int, n)
+	next := n // fill from the back: first-defined vertex ends up last
+	seen := arena.Set(n)
+	emit := func(val int) bool {
+		vx := vertexOf[val]
+		if vx < 0 || seen.Has(vx) {
+			return false
+		}
+		seen.Add(vx)
+		next--
+		peo[next] = vx
+		return true
+	}
+	stack := arena.Ints(len(f.Blocks))
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		bid := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ins := range f.Blocks[bid].Instrs {
+			if !ins.Op.HasDef() || ins.Def == ir.NoValue {
+				continue
+			}
+			if !emit(ins.Def) {
+				return nil // double definition, or a value with no vertex
+			}
+		}
+		// Children are pushed in reverse so they pop in Children order; any
+		// preorder works (ancestors precede descendants), this one is the
+		// deterministic choice.
+		children := dom.Children[bid]
+		for i := len(children) - 1; i >= 0; i-- {
+			stack = append(stack, children[i])
+		}
+	}
+	if next != 0 {
+		return nil // some vertex is never defined in reachable code
+	}
+	return peo
+}
+
+// FrankScratch recycles the per-layer memory of MaxWeightStable.
+type FrankScratch struct {
+	current []float64
+	red     []int
+	blue    []bool
+	out     []int
+}
+
+// MaxWeightStable computes a maximum weighted stable set of the interference
+// graph, equivalent to stable.MaxWeightChordal on the materialized graph
+// with the structure's PEO — but using only the def-point sets.
+//
+// Frank's algorithm charges each vertex, in elimination order, against its
+// not-yet-processed neighbours; in reverse definition order those are
+// exactly the members of the vertex's def-point set (charging the
+// already-processed members as well is harmless: their residual weight is
+// never read again). The returned slice is valid until the next call with
+// the same scratch.
+func (s *Structure) MaxWeightStable(w []float64, fs *FrankScratch) []int {
+	n := s.N
+	if cap(fs.current) < n {
+		fs.current = make([]float64, n)
+		fs.blue = make([]bool, n)
+	}
+	current := fs.current[:n]
+	copy(current, w)
+	blue := fs.blue[:n]
+	for i := range blue {
+		blue[i] = false
+	}
+	red := fs.red[:0]
+	// Phase 1: scan the PEO; greedily charge each still-positive vertex
+	// against its def-point set, marking it red (LIFO).
+	for _, v := range s.PEO {
+		cv := current[v]
+		if cv <= 0 {
+			continue
+		}
+		red = append(red, v)
+		for _, u := range s.Sets[s.DefSetOf[v]] {
+			if u == v {
+				continue
+			}
+			current[u] -= cv
+			if current[u] < 0 {
+				current[u] = 0
+			}
+		}
+		current[v] = 0
+	}
+	fs.red = red
+	// Phase 2: pop reds LIFO (definition order); keep each red none of
+	// whose earlier-defined neighbours — all inside its def-point set — was
+	// kept. Later-defined neighbours cannot be blue yet, so the def-point
+	// set check is complete.
+	out := fs.out[:0]
+	for i := len(red) - 1; i >= 0; i-- {
+		v := red[i]
+		ok := true
+		for _, u := range s.Sets[s.DefSetOf[v]] {
+			if u != v && blue[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			blue[v] = true
+			out = append(out, v)
+		}
+	}
+	fs.out = out
+	return out
+}
+
+// Degrees returns the interference-graph degree of every vertex, computed
+// from the def-point sets alone: every edge {u,v} (with u defined before v)
+// appears exactly once as u ∈ DefSet(v), except between phi defs of the same
+// block, whose def sets mutually contain each other and would double-count.
+// The result is cached on the structure.
+func (s *Structure) Degrees() []int {
+	if s.degrees != nil {
+		return s.degrees
+	}
+	deg := make([]int, s.N)
+	for v := 0; v < s.N; v++ {
+		for _, u := range s.Sets[s.DefSetOf[v]] {
+			if u != v {
+				deg[u]++
+				deg[v]++
+			}
+		}
+	}
+	// Phi defs of one block are pairwise mutual members of each other's def
+	// sets (the block's first point): each of the k phis was over-counted by
+	// k-1.
+	for _, b := range s.F.Blocks {
+		k := 0
+		for _, ins := range b.Instrs {
+			if ins.Op != ir.OpPhi {
+				break
+			}
+			k++
+		}
+		if k < 2 {
+			continue
+		}
+		for _, ins := range b.Instrs {
+			if ins.Op != ir.OpPhi {
+				break
+			}
+			if vx := s.VertexOf[ins.Def]; vx >= 0 {
+				deg[vx] -= k - 1
+			}
+		}
+	}
+	s.degrees = deg
+	return deg
+}
+
+// CliquesOf returns the indices (into Sets) of the live sets containing v.
+func (s *Structure) CliquesOf(v int) []int32 {
+	return s.CliqueIdx[s.CliqueOff[v]:s.CliqueOff[v+1]]
+}
+
+// BuildGraph materializes the explicit interference graph: the union of the
+// live-set cliques, which covers every interference edge. The result is
+// frozen and identical to the graph ifg.FromLiveness builds for the same
+// function.
+func (s *Structure) BuildGraph() *graph.Graph {
+	g := graph.New(s.N)
+	for _, set := range s.Sets {
+		g.AddClique(set)
+	}
+	g.Freeze()
+	return g
+}

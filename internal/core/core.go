@@ -1,8 +1,8 @@
 // Package core is the high-level entry point of the layered register
 // allocation library: it wires the full decoupled pipeline together —
-// loop analysis, liveness, interference graph construction, spill cost
-// estimation, spill-everywhere allocation with a pluggable allocator,
-// tree-scan register assignment, and spill-code insertion.
+// loop analysis, liveness, interference analysis, spill cost estimation,
+// spill-everywhere allocation with a pluggable allocator, tree-scan register
+// assignment, and spill-code insertion.
 //
 // Typical use:
 //
@@ -12,20 +12,30 @@
 //	// out.RegisterOf: concrete register per value (SSA functions)
 //	// out.Rewritten: the function with spill/reload code inserted
 //
+// Two interference representations back the pipeline. Strict-SSA functions
+// take the IFG-free fast path: the clique structure the layered allocators
+// need (live sets, def-point cliques, dominance elimination order) is
+// derived straight from liveness by internal/cliques, and no interference
+// graph is ever materialized unless an edge-based allocator (GC, Optimal,
+// LH) asks for one. Non-SSA functions — and SSA functions with non-inert
+// unreachable code, or any run with Config.LegacyIFG — build the explicit
+// graph via internal/ifg as before. Both paths produce identical
+// allocations (pinned by TestFastPathMatchesIFGPath).
+//
 // Lower-level control (custom cost models, direct graph problems) is
-// available from the internal packages this one composes: alloc, ifg,
-// liveness, spillcost, regassign.
+// available from the internal packages this one composes: alloc, cliques,
+// ifg, liveness, spillcost, regassign.
 package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/alloc"
 	"repro/internal/alloc/chaitin"
 	"repro/internal/alloc/layered"
 	"repro/internal/alloc/linearscan"
 	"repro/internal/alloc/optimal"
+	"repro/internal/cliques"
 	"repro/internal/ifg"
 	"repro/internal/ir"
 	"repro/internal/liveness"
@@ -46,14 +56,30 @@ type Config struct {
 	// SkipRewrite disables spill-code insertion and register assignment
 	// (allocation decisions only).
 	SkipRewrite bool
+	// LegacyIFG forces the explicit interference-graph path even for
+	// functions eligible for the IFG-free fast path. Diagnostics and the
+	// fast-path differential tests only; results are identical either way.
+	LegacyIFG bool
+	// TrustedCostModel skips the per-function CostModel validation. Batch
+	// drivers that validate the model once per module set this; leave it
+	// false everywhere else.
+	TrustedCostModel bool
 }
 
 // Outcome bundles everything a client may want from one allocation run.
 type Outcome struct {
-	F       *ir.Func
-	Build   *ifg.Build
+	F *ir.Func
+	// Build is the explicit interference-graph build; nil on the IFG-free
+	// fast path (use Problem.Graph() to materialize one on demand).
+	Build *ifg.Build
+	// Cliques is the fast path's structure; nil on the legacy graph path.
+	Cliques *cliques.Structure
 	Problem *alloc.Problem
 	Result  *alloc.Result
+	// VertexOf/ValueOf translate between value IDs and problem vertices
+	// (identical on both paths).
+	VertexOf []int
+	ValueOf  []int
 	// SpilledValues lists the spilled value IDs, sorted.
 	SpilledValues []int
 	// SpillCost is the total cost of the spilled values.
@@ -69,21 +95,40 @@ type Outcome struct {
 }
 
 // Runner executes the pipeline repeatedly, reusing the analysis scratch
-// memory (liveness bitsets, live-set snapshots) across functions instead of
-// reallocating it per call — the batch pipeline gives each worker one
-// Runner. Outcomes never reference scratch memory, so they stay valid across
-// subsequent Run calls; a Runner is not safe for concurrent use.
+// memory (liveness bitsets, clique-structure transients, assignment and
+// rewrite scratch) across functions instead of reallocating it per call —
+// the batch pipeline gives each worker one Runner. Outcomes never reference
+// scratch memory, so they stay valid across subsequent Run calls; a Runner
+// is not safe for concurrent use.
 type Runner struct {
 	live *liveness.Scratch
+	cs   *cliques.Scratch
+	ra   *regassign.Scratch
+	// Cached default allocators: layered allocators reuse their own
+	// internal scratch across calls, so the defaults are resolved once per
+	// Runner rather than once per function.
+	defaultChordal alloc.Allocator
+	defaultGeneral alloc.Allocator
+	// Reusable value-indexed flag slices for the rewrite stage.
+	allocatedVals []bool
+	spilledVals   []bool
 }
 
 // NewRunner returns a Runner with empty scratch.
-func NewRunner() *Runner { return &Runner{live: liveness.NewScratch()} }
+func NewRunner() *Runner {
+	return &Runner{
+		live:           liveness.NewScratch(),
+		cs:             cliques.NewScratch(),
+		ra:             regassign.NewScratch(),
+		defaultChordal: layered.BFPL(),
+		defaultGeneral: layered.NewLH(),
+	}
+}
 
 // Run executes the decoupled register-allocation pipeline on f, reusing the
 // runner's scratch.
 func (r *Runner) Run(f *ir.Func, cfg Config) (*Outcome, error) {
-	return run(f, cfg, r.live)
+	return run(f, cfg, r)
 }
 
 // Run executes the decoupled register-allocation pipeline on f.
@@ -91,34 +136,59 @@ func Run(f *ir.Func, cfg Config) (*Outcome, error) {
 	return run(f, cfg, nil)
 }
 
-func run(f *ir.Func, cfg Config, scratch *liveness.Scratch) (*Outcome, error) {
+func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 	if cfg.Registers < 1 {
 		return nil, fmt.Errorf("core: Registers must be ≥ 1, got %d", cfg.Registers)
 	}
-	if err := cfg.CostModel.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid cost model: %w", err)
+	if !cfg.TrustedCostModel {
+		if err := cfg.CostModel.Validate(); err != nil {
+			return nil, fmt.Errorf("core: invalid cost model: %w", err)
+		}
 	}
-	if err := f.Validate(); err != nil {
+	dom, err := f.ValidateAnalyzed()
+	if err != nil {
 		return nil, fmt.Errorf("core: invalid input function: %w", err)
 	}
-	dom := f.ComputeDominance()
 	f.ComputeLoops(dom)
 	var info *liveness.Info
-	if scratch != nil {
-		info = scratch.Compute(f)
+	if runner != nil {
+		info = runner.live.Compute(f)
 	} else {
 		info = liveness.Compute(f)
 	}
-	build := ifg.FromLiveness(info)
 	costs := spillcost.Costs(f, cfg.CostModel)
-	p := alloc.NewProblem(build, costs, cfg.Registers)
-	p.Intervals = linearscan.BuildIntervals(info, build)
+
+	// Interference analysis: clique structure straight from liveness for
+	// strict SSA (the fast path), explicit graph otherwise.
+	var build *ifg.Build
+	var cs *cliques.Structure
+	var p *alloc.Problem
+	if !cfg.LegacyIFG && cliques.Applicable(f, dom) {
+		var scratch *cliques.Scratch
+		if runner != nil {
+			scratch = runner.cs
+		}
+		cs = cliques.Derive(info, dom, scratch)
+	}
+	if cs != nil {
+		p = alloc.NewCliqueProblem(cs, costs, cfg.Registers)
+		p.Intervals = linearscan.IntervalsFromLiveness(info, cs.VertexOf, cs.N)
+	} else {
+		build = ifg.FromLiveness(info)
+		p = alloc.NewProblemDom(build, costs, cfg.Registers, dom)
+		p.Intervals = linearscan.BuildIntervals(info, build)
+	}
 
 	a := cfg.Allocator
 	if a == nil {
-		if p.Chordal {
+		switch {
+		case p.Chordal && runner != nil:
+			a = runner.defaultChordal
+		case p.Chordal:
 			a = layered.BFPL()
-		} else {
+		case runner != nil:
+			a = runner.defaultGeneral
+		default:
 			a = layered.NewLH()
 		}
 	}
@@ -130,24 +200,54 @@ func run(f *ir.Func, cfg Config, scratch *liveness.Scratch) (*Outcome, error) {
 	out := &Outcome{
 		F:         f,
 		Build:     build,
+		Cliques:   cs,
 		Problem:   p,
 		Result:    res,
 		SpillCost: res.SpillCost(p),
-		MaxLive:   build.MaxLive,
 	}
-	for _, v := range res.Spilled() {
-		out.SpilledValues = append(out.SpilledValues, build.ValueOf[v])
+	if cs != nil {
+		out.VertexOf, out.ValueOf = cs.VertexOf, cs.ValueOf
+		out.MaxLive = cs.MaxLive
+	} else {
+		out.VertexOf, out.ValueOf = build.VertexOf, build.ValueOf
+		out.MaxLive = build.MaxLive
 	}
-	sort.Ints(out.SpilledValues)
-
-	if !cfg.SkipRewrite && f.SSA && p.Chordal {
-		allocatedVals := make([]bool, f.NumValues)
+	spilledCount := 0
+	for _, al := range res.Allocated {
+		if !al {
+			spilledCount++
+		}
+	}
+	if spilledCount > 0 {
+		// ValueOf ascends with the vertex ID, so this list is born sorted.
+		out.SpilledValues = make([]int, 0, spilledCount)
 		for vx, al := range res.Allocated {
-			if al {
-				allocatedVals[build.ValueOf[vx]] = true
+			if !al {
+				out.SpilledValues = append(out.SpilledValues, out.ValueOf[vx])
 			}
 		}
-		regOf, err := regassign.Assign(f, info, allocatedVals, cfg.Registers)
+	}
+
+	if !cfg.SkipRewrite && f.SSA && p.Chordal {
+		var allocatedVals, spilledVals []bool
+		if runner != nil {
+			runner.allocatedVals = resizeFlags(runner.allocatedVals, f.NumValues)
+			runner.spilledVals = resizeFlags(runner.spilledVals, f.NumValues)
+			allocatedVals, spilledVals = runner.allocatedVals, runner.spilledVals
+		} else {
+			allocatedVals = make([]bool, f.NumValues)
+			spilledVals = make([]bool, f.NumValues)
+		}
+		for vx, al := range res.Allocated {
+			if al {
+				allocatedVals[out.ValueOf[vx]] = true
+			}
+		}
+		var ra *regassign.Scratch
+		if runner != nil {
+			ra = runner.ra
+		}
+		regOf, err := regassign.AssignWith(f, dom, info, allocatedVals, cfg.Registers, ra)
 		if err != nil {
 			return nil, fmt.Errorf("core: assignment after allocation failed: %w", err)
 		}
@@ -155,16 +255,32 @@ func run(f *ir.Func, cfg Config, scratch *liveness.Scratch) (*Outcome, error) {
 			return nil, fmt.Errorf("core: assignment verification failed: %w", err)
 		}
 		out.RegisterOf = regOf
-		spilledVals := make([]bool, f.NumValues)
 		for _, v := range out.SpilledValues {
 			spilledVals[v] = true
 		}
 		out.Rewritten = regassign.InsertSpillCode(f, spilledVals)
-		if err := out.Rewritten.Validate(); err != nil {
-			return nil, fmt.Errorf("core: spill-code rewrite broke the function: %w", err)
+		if len(out.SpilledValues) > 0 {
+			// With no spills the rewrite is a plain clone of the function
+			// validated above; re-validating it would just recompute
+			// dominance for nothing.
+			if err := out.Rewritten.Validate(); err != nil {
+				return nil, fmt.Errorf("core: spill-code rewrite broke the function: %w", err)
+			}
 		}
 	}
 	return out, nil
+}
+
+// resizeFlags returns s resized to n with every flag cleared.
+func resizeFlags(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 // AllocatorByName resolves the paper's allocator names: NL, BL, FPL, BFPL,

@@ -54,7 +54,7 @@ func TestRunPipelineSSA(t *testing.T) {
 		spilled[v] = true
 	}
 	for vx, al := range out.Result.Allocated {
-		val := out.Build.ValueOf[vx]
+		val := out.ValueOf[vx]
 		if al && (out.RegisterOf[val] < 0 || out.RegisterOf[val] >= 2) {
 			t.Fatalf("allocated value %s has register %d", f.NameOf(val), out.RegisterOf[val])
 		}

@@ -18,54 +18,65 @@ type Dominance struct {
 	Postorder []int
 }
 
-// ComputeDominance builds dominance information for f.
+// ComputeDominance builds dominance information for f. All integer arrays
+// (Idom, Order, Postorder, the DFS worklist) are carved from one backing
+// slab, and Children sub-slices a second one, so a call costs a handful of
+// allocations regardless of block count.
 func (f *Func) ComputeDominance() *Dominance {
 	n := len(f.Blocks)
+	slab := make([]int, 4*n)
 	d := &Dominance{
-		Idom:     make([]int, n),
+		Idom:     slab[0:n:n],
+		Order:    slab[n : 2*n : 2*n],
 		Children: make([][]int, n),
-		Order:    make([]int, n),
 	}
 	for i := range d.Idom {
 		d.Idom[i] = -1
 		d.Order[i] = -1
 	}
-	// Iterative DFS postorder from the entry.
-	visited := make([]bool, n)
-	type frame struct {
-		block int
-		next  int
+	// Iterative DFS postorder from the entry. The stack packs (block, next
+	// successor index) into one int each to stay inside the slab; the
+	// modulus must exceed every successor count, which can top n+1 when a
+	// block lists the same successor twice (a condbr with equal targets in
+	// a tiny function).
+	mod := n + 1
+	for _, b := range f.Blocks {
+		if len(b.Succs) >= mod {
+			mod = len(b.Succs) + 1
+		}
 	}
-	stack := []frame{{block: 0}}
+	post := slab[2*n : 2*n : 3*n]
+	stack := slab[3*n : 3*n : 4*n]
+	visited := make([]bool, n)
+	push := func(b int) { stack = append(stack, b*mod) }
+	push(0)
 	visited[0] = true
 	for len(stack) > 0 {
-		top := &stack[len(stack)-1]
-		succs := f.Blocks[top.block].Succs
-		if top.next < len(succs) {
-			s := succs[top.next]
-			top.next++
-			if !visited[s] {
+		top := stack[len(stack)-1]
+		block, next := top/mod, top%mod
+		succs := f.Blocks[block].Succs
+		if next < len(succs) {
+			stack[len(stack)-1]++
+			if s := succs[next]; !visited[s] {
 				visited[s] = true
-				stack = append(stack, frame{block: s})
+				push(s)
 			}
 			continue
 		}
-		d.Postorder = append(d.Postorder, top.block)
+		post = append(post, block)
 		stack = stack[:len(stack)-1]
 	}
-	rpo := make([]int, 0, len(d.Postorder))
-	for i := len(d.Postorder) - 1; i >= 0; i-- {
-		rpo = append(rpo, d.Postorder[i])
-	}
-	for i, b := range rpo {
-		d.Order[b] = i
+	d.Postorder = post
+	for i, b := range post {
+		d.Order[b] = len(post) - 1 - i
 	}
 
 	// Iterate to fixpoint over reverse postorder.
 	d.Idom[0] = 0 // CHK convention: entry's idom is itself during iteration
 	for changed := true; changed; {
 		changed = false
-		for _, b := range rpo {
+		for i := len(post) - 1; i >= 0; i-- {
+			b := post[i]
 			if b == 0 {
 				continue
 			}
@@ -87,13 +98,35 @@ func (f *Func) ComputeDominance() *Dominance {
 		}
 	}
 	d.Idom[0] = -1 // restore the usual convention for the entry
-	for _, b := range rpo {
+	// Children in reverse postorder, carved from one slab.
+	counts := make([]int, n+1)
+	for _, b := range post {
+		if b != 0 {
+			if p := d.Idom[b]; p >= 0 {
+				counts[p+1]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	kids := make([]int, counts[n])
+	fill := counts // prefix sums double as fill cursors
+	for i := len(post) - 1; i >= 0; i-- {
+		b := post[i]
 		if b == 0 {
 			continue
 		}
 		if p := d.Idom[b]; p >= 0 {
-			d.Children[p] = append(d.Children[p], b)
+			kids[fill[p]] = b
+			fill[p]++
 		}
+	}
+	off := 0
+	for p := 0; p < n; p++ {
+		end := fill[p]
+		d.Children[p] = kids[off:end:end]
+		off = end
 	}
 	return d
 }
@@ -136,42 +169,55 @@ func (f *Func) ComputeLoops(dom *Dominance) []int {
 	for _, b := range f.Blocks {
 		b.LoopDepth = 0
 	}
-	inLoop := make([]map[int]bool, n) // block -> set of headers
-	for i := range inLoop {
-		inLoop[i] = make(map[int]bool)
-	}
 	var headers []int
-	seenHeader := make(map[int]bool)
+	isHeader := make([]bool, n)
 	for _, b := range f.Blocks {
 		for _, s := range b.Succs {
-			if !dom.Dominates(s, b.ID) {
-				continue
+			if dom.Dominates(s, b.ID) && !isHeader[s] {
+				isHeader[s] = true
+				headers = append(headers, s)
 			}
-			h := s
-			if !seenHeader[h] {
-				seenHeader[h] = true
-				headers = append(headers, h)
-			}
-			// Collect the natural loop of back edge b→h.
-			inLoop[h][h] = true
-			stack := []int{b.ID}
-			for len(stack) > 0 {
-				x := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				if inLoop[x][h] {
+		}
+	}
+	if len(headers) == 0 {
+		return nil
+	}
+	// One membership sweep per header: the union of the natural loops of
+	// its back edges, bumping LoopDepth of every member.
+	inLoop := make([]bool, n)
+	stack := make([]int, 0, n)
+	for _, h := range headers {
+		for i := range inLoop {
+			inLoop[i] = false
+		}
+		inLoop[h] = true
+		for _, b := range f.Blocks {
+			for _, s := range b.Succs {
+				if s != h || !dom.Dominates(h, b.ID) {
 					continue
 				}
-				inLoop[x][h] = true
-				for _, p := range f.Blocks[x].Preds {
-					if !inLoop[p][h] {
-						stack = append(stack, p)
+				// Collect the natural loop of back edge b→h.
+				stack = append(stack[:0], b.ID)
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if inLoop[x] {
+						continue
+					}
+					inLoop[x] = true
+					for _, p := range f.Blocks[x].Preds {
+						if !inLoop[p] {
+							stack = append(stack, p)
+						}
 					}
 				}
 			}
 		}
-	}
-	for _, b := range f.Blocks {
-		b.LoopDepth = len(inLoop[b.ID])
+		for _, b := range f.Blocks {
+			if inLoop[b.ID] {
+				b.LoopDepth++
+			}
+		}
 	}
 	return headers
 }

@@ -1,0 +1,24 @@
+package ir
+
+import "testing"
+
+// TestDominanceCondbrSelfLoopSingleBlock pins a regression in the packed
+// DFS stack of ComputeDominance: a single-block function whose condbr lists
+// the block twice has a successor count exceeding the block count, which
+// overflowed the (block, next-successor) encoding and panicked.
+func TestDominanceCondbrSelfLoopSingleBlock(t *testing.T) {
+	src := `
+func f ssa {
+b0:
+  c = param 0
+  condbr c, b0, b0
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	dom := f.ComputeDominance()
+	if dom.Order[0] != 0 || dom.Idom[0] != -1 {
+		t.Fatalf("entry dominance wrong: order=%d idom=%d", dom.Order[0], dom.Idom[0])
+	}
+}

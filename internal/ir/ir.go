@@ -11,7 +11,10 @@
 // apply.
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Op is an instruction opcode. The allocator only cares about def/use
 // structure, so the opcode set is deliberately small; opcodes still matter
@@ -142,7 +145,7 @@ func (f *Func) NameOf(v int) string {
 	if n, ok := f.ValueName[v]; ok {
 		return n
 	}
-	return fmt.Sprintf("v%d", v)
+	return "v" + strconv.Itoa(v)
 }
 
 // NewValue allocates a fresh value ID.

@@ -9,12 +9,21 @@ import (
 // set, strict SSA form (single definitions, definitions dominating uses).
 // It returns a joined error describing every violation found.
 func (f *Func) Validate() error {
+	_, err := f.ValidateAnalyzed()
+	return err
+}
+
+// ValidateAnalyzed is Validate, but it also returns the dominance tree it
+// computed along the way (nil when the function is structurally invalid),
+// so pipeline drivers validating every input anyway don't compute dominance
+// twice per function.
+func (f *Func) ValidateAnalyzed() (*Dominance, error) {
 	var errs []error
 	report := func(format string, args ...any) {
 		errs = append(errs, fmt.Errorf(format, args...))
 	}
 	if len(f.Blocks) == 0 {
-		return errors.New("ir: function has no blocks")
+		return nil, errors.New("ir: function has no blocks")
 	}
 	for i, b := range f.Blocks {
 		if b.ID != i {
@@ -86,33 +95,44 @@ func (f *Func) Validate() error {
 		}
 	}
 	if len(errs) > 0 {
-		return errors.Join(errs...)
+		return nil, errors.Join(errs...)
 	}
+	// The structure is sound, so dominance is computable.
+	dom := f.ComputeDominance()
 	if f.SSA {
-		if err := f.validateSSA(); err != nil {
+		if err := f.validateSSA(dom); err != nil {
 			errs = append(errs, err)
 		}
 	}
-	return errors.Join(errs...)
+	return dom, errors.Join(errs...)
 }
 
-func (f *Func) validateSSA() error {
+func (f *Func) validateSSA(dom *Dominance) error {
 	var errs []error
-	defs := f.Defs()
+	// Inline single-definition bookkeeping (Defs would allocate per-value
+	// site lists; this is the per-function hot path of the batch pipeline).
 	defSite := make([]DefSite, f.NumValues)
+	defCount := make([]int32, f.NumValues)
 	defined := make([]bool, f.NumValues)
-	for v, sites := range defs {
-		switch {
-		case len(sites) == 0:
-			// Unused IDs are fine; undefined-but-used is caught below.
-		case len(sites) == 1:
-			defSite[v] = sites[0]
-			defined[v] = true
-		default:
-			errs = append(errs, fmt.Errorf("ir: value %s defined %d times", f.NameOf(v), len(sites)))
+	for _, b := range f.Blocks {
+		for i, ins := range b.Instrs {
+			if !ins.Op.HasDef() || ins.Def == NoValue {
+				continue
+			}
+			if defCount[ins.Def] == 0 {
+				defSite[ins.Def] = DefSite{Block: b.ID, Index: i}
+			}
+			defCount[ins.Def]++
 		}
 	}
-	dom := f.ComputeDominance()
+	for v, c := range defCount {
+		switch {
+		case c == 1:
+			defined[v] = true
+		case c > 1:
+			errs = append(errs, fmt.Errorf("ir: value %s defined %d times", f.NameOf(v), c))
+		}
+	}
 	dominatesUse := func(v int, useBlock, useIndex int) bool {
 		ds := defSite[v]
 		if ds.Block == useBlock {

@@ -27,6 +27,17 @@ type Info struct {
 	// point before each non-phi instruction and one for the block end
 	// (live-out). Phi defs are folded into the block's first point.
 	Points []Point
+	// DefPointOf maps each value ID to the index in Points of its
+	// definition instant — the program point at which the value's register
+	// is written while everything live after the defining instruction still
+	// holds its register. For phi defs this is the block's first point
+	// (phis define at the block boundary). -1 for values with no
+	// definition. Only meaningful for single-definition (strict SSA)
+	// functions; with multiple definitions the last block processed wins.
+	// This is the hook the IFG-free fast path builds its clique structure
+	// from: Points[DefPointOf[v]].Live is exactly the def-point clique the
+	// interference graph would materialize around v.
+	DefPointOf []int
 	// MaxLive is the maximum, over all points, of the live-set size.
 	MaxLive int
 }
@@ -44,16 +55,19 @@ type Point struct {
 // blockSets carries the per-block bitsets of the dataflow problem.
 type blockSets struct {
 	use, def, phiDef []bitset.Set
-	// phiUse[b][p] holds the values used by phis of b for predecessor p
-	// (nil when b has no phis reading from p).
-	phiUse []map[int]bitset.Set
+	// Phi-operand liveness, flattened: block b's predecessor slot k (the
+	// k-th operand of its phis) is phiUse[phiOff[b]+k]. Blocks without phis
+	// get no slots (phiOff[b] == phiOff[b+1]), so the whole table is two
+	// arena carvings instead of one map per phi block.
+	phiOff []int
+	phiUse []bitset.Set
 }
 
 // Scratch recycles the analysis' backing memory across functions: dataflow
-// bitsets, live-in/out slices and per-point snapshots are carved from one
-// arena that is reset per Compute call instead of reallocated. Batch
-// pipeline workers hold one Scratch each and run thousands of functions
-// through it.
+// bitsets, live-in/out slices, per-point snapshots and the program-point
+// list itself are carved from reusable storage that is reset per Compute
+// call instead of reallocated. Batch pipeline workers hold one Scratch each
+// and run thousands of functions through it.
 //
 // The lifetime contract is strict: an Info returned by (*Scratch).Compute —
 // including every []int inside LiveIn, LiveOut and Points — is valid only
@@ -61,7 +75,8 @@ type blockSets struct {
 // liveness results across functions must use the package-level Compute.
 // A Scratch is not safe for concurrent use.
 type Scratch struct {
-	arena bitset.Arena
+	arena  bitset.Arena
+	points []Point
 }
 
 // NewScratch returns an empty reusable scratch.
@@ -71,16 +86,18 @@ func NewScratch() *Scratch { return &Scratch{} }
 // lifetime contract.
 func (s *Scratch) Compute(f *ir.Func) *Info {
 	s.arena.Reset()
-	return compute(f, &s.arena)
+	info := compute(f, &s.arena, s.points[:0])
+	s.points = info.Points
+	return info
 }
 
 // Compute runs the analysis with a private arena; the result does not alias
 // any shared memory and stays valid indefinitely.
 func Compute(f *ir.Func) *Info {
-	return compute(f, new(bitset.Arena))
+	return compute(f, new(bitset.Arena), nil)
 }
 
-func compute(f *ir.Func, arena *bitset.Arena) *Info {
+func compute(f *ir.Func, arena *bitset.Arena, ptsBuf []Point) *Info {
 	n := len(f.Blocks)
 	nv := f.NumValues
 	info := &Info{
@@ -92,25 +109,30 @@ func compute(f *ir.Func, arena *bitset.Arena) *Info {
 		use:    arena.Slab(n, nv),
 		def:    arena.Slab(n, nv),
 		phiDef: arena.Slab(n, nv),
-		phiUse: make([]map[int]bitset.Set, n),
 	}
+	sets.phiOff = arena.Ints(n + 1)
+	sets.phiOff = sets.phiOff[:n+1]
+	slots := 0
+	for _, b := range f.Blocks {
+		sets.phiOff[b.ID] = slots
+		if len(b.Instrs) > 0 && b.Instrs[0].Op == ir.OpPhi {
+			slots += len(b.Preds)
+		}
+	}
+	sets.phiOff[n] = slots
+	sets.phiUse = arena.Slab(slots, nv)
 	for _, b := range f.Blocks {
 		for _, ins := range b.Instrs {
 			if ins.Op == ir.OpPhi {
 				sets.phiDef[b.ID].Add(ins.Def)
 				sets.def[b.ID].Add(ins.Def)
 				for k, u := range ins.Uses {
-					if k >= len(b.Preds) {
+					// The second guard covers malformed inputs (a phi not
+					// leading its block gets no slots).
+					if k >= len(b.Preds) || sets.phiOff[b.ID]+k >= sets.phiOff[b.ID+1] {
 						continue
 					}
-					p := b.Preds[k]
-					if sets.phiUse[b.ID] == nil {
-						sets.phiUse[b.ID] = make(map[int]bitset.Set, len(b.Preds))
-					}
-					if sets.phiUse[b.ID][p] == nil {
-						sets.phiUse[b.ID][p] = arena.Set(nv)
-					}
-					sets.phiUse[b.ID][p].Add(u)
+					sets.phiUse[sets.phiOff[b.ID]+k].Add(u)
 				}
 				continue
 			}
@@ -141,8 +163,12 @@ func compute(f *ir.Func, arena *bitset.Arena) *Info {
 				if out.OrChanged(tmp) {
 					changed = true
 				}
-				if pu := sets.phiUse[s][b.ID]; pu != nil && out.OrChanged(pu) {
-					changed = true
+				if lo, hi := sets.phiOff[s], sets.phiOff[s+1]; hi > lo {
+					for k, p := range f.Blocks[s].Preds {
+						if p == b.ID && out.OrChanged(sets.phiUse[lo+k]) {
+							changed = true
+						}
+					}
 				}
 			}
 			in := liveIn[b.ID]
@@ -163,12 +189,14 @@ func compute(f *ir.Func, arena *bitset.Arena) *Info {
 		info.LiveIn[i] = liveIn[i].AppendTo(arena.Ints(liveIn[i].Count()))
 		info.LiveOut[i] = liveOut[i].AppendTo(arena.Ints(liveOut[i].Count()))
 	}
+	info.Points = ptsBuf
 	info.computePoints(liveOut, arena)
 	return info
 }
 
 // computePoints walks each block backward from its live-out set, recording
-// the live set before every non-phi instruction plus the block-end point.
+// the live set before every non-phi instruction plus the block-end point,
+// and the definition instant of every value (DefPointOf).
 func (info *Info) computePoints(liveOut []bitset.Set, arena *bitset.Arena) {
 	f := info.F
 	nv := f.NumValues
@@ -176,10 +204,23 @@ func (info *Info) computePoints(liveOut []bitset.Set, arena *bitset.Arena) {
 	snapshot := func() []int {
 		return live.AppendTo(arena.Ints(live.Count()))
 	}
+	info.DefPointOf = arena.Ints(nv)
+	info.DefPointOf = info.DefPointOf[:nv]
+	for i := range info.DefPointOf {
+		info.DefPointOf[i] = -1
+	}
+	var phiBuf []int
 	for _, b := range f.Blocks {
 		live.CopyFrom(liveOut[b.ID])
 		endPoint := Point{Block: b.ID, Index: len(b.Instrs), Live: snapshot()}
-		var pts []Point
+		// Points of this block are appended to info.Points in reverse layout
+		// order starting at base, then flipped in place — no per-block
+		// staging slice. Def instants are first recorded as backward
+		// positions within the block segment, encoded negative (-(bwd+3), or
+		// -2 for the block-end point) so the forward translation pass below
+		// can tell them apart from the final Points indices of earlier
+		// blocks.
+		base := len(info.Points)
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
 			ins := &b.Instrs[i]
 			if ins.Op == ir.OpPhi {
@@ -197,39 +238,63 @@ func (info *Info) computePoints(liveOut []bitset.Set, arena *bitset.Arena) {
 				// MaxLive equals the clique number on SSA functions.
 				if !live.Has(ins.Def) {
 					live.Add(ins.Def)
-					pts = append(pts, Point{Block: b.ID, Index: i, Live: snapshot()})
+					info.Points = append(info.Points, Point{Block: b.ID, Index: i, Live: snapshot()})
+					info.DefPointOf[ins.Def] = -(len(info.Points) - base - 1 + 3)
+				} else if len(info.Points) > base {
+					// Live def: the instant is the point just after the
+					// instruction, i.e. the last point recorded so far.
+					info.DefPointOf[ins.Def] = -(len(info.Points) - base - 1 + 3)
+				} else {
+					info.DefPointOf[ins.Def] = -2 // block-end point
 				}
 				live.Remove(ins.Def)
 			}
 			for _, u := range ins.Uses {
 				live.Add(u)
 			}
-			pts = append(pts, Point{Block: b.ID, Index: i, Live: snapshot()})
+			info.Points = append(info.Points, Point{Block: b.ID, Index: i, Live: snapshot()})
 		}
-		// pts is in reverse layout order; flip, then append block end.
-		for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
-			pts[i], pts[j] = pts[j], pts[i]
+		m := len(info.Points) - base
+		// The segment is in reverse layout order; flip, then append the
+		// block end.
+		seg := info.Points[base:]
+		for i, j := 0, len(seg)-1; i < j; i, j = i+1, j-1 {
+			seg[i], seg[j] = seg[j], seg[i]
 		}
 		// Phi defs are live-in: fold them into the first point so pressure
 		// at the block boundary is accounted for.
-		phiDefs := make([]int, 0, 4)
+		phiDefs := phiBuf[:0]
 		for _, ins := range b.Instrs {
 			if ins.Op == ir.OpPhi {
 				phiDefs = append(phiDefs, ins.Def)
 			}
 		}
+		phiBuf = phiDefs
 		if len(phiDefs) > 0 {
 			sort.Ints(phiDefs)
 			var first *Point
-			if len(pts) > 0 {
-				first = &pts[0]
+			if m > 0 {
+				first = &seg[0]
 			} else {
 				first = &endPoint
 			}
 			first.Live = mergeSorted(arena.Ints(len(first.Live)+len(phiDefs)), first.Live, phiDefs)
 		}
-		pts = append(pts, endPoint)
-		info.Points = append(info.Points, pts...)
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpPhi || !ins.Op.HasDef() || ins.Def == ir.NoValue {
+				continue
+			}
+			switch dp := info.DefPointOf[ins.Def]; {
+			case dp == -2:
+				info.DefPointOf[ins.Def] = base + m // block-end point
+			case dp <= -3:
+				info.DefPointOf[ins.Def] = base + (m - 1 - (-dp - 3))
+			}
+		}
+		for _, pd := range phiDefs {
+			info.DefPointOf[pd] = base // first point (or block end when m == 0)
+		}
+		info.Points = append(info.Points, endPoint)
 	}
 	for _, p := range info.Points {
 		if len(p.Live) > info.MaxLive {

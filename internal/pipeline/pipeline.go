@@ -44,6 +44,10 @@ type Config struct {
 	// per-worker core.Runner. Allocation-benchmark ablation only — results
 	// are identical either way.
 	NoScratchReuse bool
+	// LegacyIFG forces the explicit interference-graph path even for
+	// functions eligible for the IFG-free fast path (benchmark ablation and
+	// differential testing; results are identical either way).
+	LegacyIFG bool
 }
 
 // FuncResult is the outcome of one function of the module.
@@ -112,6 +116,9 @@ func worker(m *ir.Module, cfg Config, results []FuncResult, next *atomic.Int64) 
 		Registers:   cfg.Registers,
 		CostModel:   cfg.CostModel,
 		SkipRewrite: cfg.SkipRewrite,
+		LegacyIFG:   cfg.LegacyIFG,
+		// RunModule validated the model once for the whole batch.
+		TrustedCostModel: true,
 	}
 	if cfg.Allocator != "" {
 		a, err := core.AllocatorByName(cfg.Allocator)
@@ -172,8 +179,8 @@ func FormatResults(results []FuncResult, detail bool) string {
 		}
 		out := r.Outcome
 		fmt.Fprintf(&b, "func %-16s alloc=%-5s values=%-4d maxlive=%-3d spilled=%-3d cost=%.1f/%.1f",
-			r.Name, out.Result.Allocator, out.Build.Graph.N(), out.MaxLive,
-			len(out.SpilledValues), out.SpillCost, out.Problem.G.TotalWeight())
+			r.Name, out.Result.Allocator, out.Problem.N(), out.MaxLive,
+			len(out.SpilledValues), out.SpillCost, out.Problem.TotalWeight())
 		if len(out.SpilledValues) > 0 {
 			names := make([]string, len(out.SpilledValues))
 			for k, v := range out.SpilledValues {

@@ -9,6 +9,7 @@ package regassign
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/ir"
 	"repro/internal/liveness"
@@ -17,6 +18,36 @@ import (
 // NoReg marks values that were not assigned a register (spilled values).
 const NoReg = -1
 
+// Scratch recycles the tree-scan's per-block working memory (liveness
+// stamps, last-use indices, the register file) across functions. A Scratch
+// is not safe for concurrent use; batch workers hold one each.
+type Scratch struct {
+	liveOutAt []int32 // stamp: liveOutAt[v] == epoch ⇔ v live out of the current block
+	lastUse   []int32 // last use index, valid when lastUseAt[v] == epoch
+	lastUseAt []int32
+	inUse     []bool
+	epoch     int32
+}
+
+// NewScratch returns an empty reusable scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func (s *Scratch) resize(nv, r int) {
+	if cap(s.liveOutAt) < nv {
+		s.liveOutAt = make([]int32, nv)
+		s.lastUse = make([]int32, nv)
+		s.lastUseAt = make([]int32, nv)
+		s.epoch = 0
+	}
+	s.liveOutAt = s.liveOutAt[:nv]
+	s.lastUse = s.lastUse[:nv]
+	s.lastUseAt = s.lastUseAt[:nv]
+	if cap(s.inUse) < r {
+		s.inUse = make([]bool, r)
+	}
+	s.inUse = s.inUse[:r]
+}
+
 // Assign colours every allocated value of a strict-SSA function with a
 // register in [0, r), walking the dominance tree in preorder and giving each
 // definition the lowest register not held by an allocated value live at the
@@ -24,14 +55,23 @@ const NoReg = -1
 // definition finds no free register, which cannot happen when the allocated
 // register pressure is at most r everywhere (chordal/SSA guarantee).
 func Assign(f *ir.Func, info *liveness.Info, allocated []bool, r int) ([]int, error) {
+	return AssignWith(f, f.ComputeDominance(), info, allocated, r, nil)
+}
+
+// AssignWith is Assign with the dominance tree supplied by the caller (the
+// pipeline already has one) and an optional reusable scratch.
+func AssignWith(f *ir.Func, dom *ir.Dominance, info *liveness.Info, allocated []bool, r int, scratch *Scratch) ([]int, error) {
 	if !f.SSA {
 		return nil, fmt.Errorf("regassign: tree-scan requires strict SSA")
 	}
+	if scratch == nil {
+		scratch = NewScratch()
+	}
+	scratch.resize(f.NumValues, r)
 	regOf := make([]int, f.NumValues)
 	for i := range regOf {
 		regOf[i] = NoReg
 	}
-	dom := f.ComputeDominance()
 	// Preorder over the dominator tree.
 	var orderBlocks func(b int, visit func(int))
 	orderBlocks = func(b int, visit func(int)) {
@@ -46,33 +86,48 @@ func Assign(f *ir.Func, info *liveness.Info, allocated []bool, r int) ([]int, er
 			return
 		}
 		b := f.Blocks[bid]
-		inUse := make([]bool, r)
+		// A long-lived scratch (JSONL service workers) increments the epoch
+		// once per block forever; on wrap, clear the stamps so a stale entry
+		// from one full cycle ago cannot alias the current epoch.
+		if scratch.epoch == math.MaxInt32 {
+			clear(scratch.liveOutAt[:cap(scratch.liveOutAt)])
+			clear(scratch.lastUseAt[:cap(scratch.lastUseAt)])
+			scratch.epoch = 0
+		}
+		scratch.epoch++
+		epoch := scratch.epoch
+		inUse := scratch.inUse
+		for i := range inUse {
+			inUse[i] = false
+		}
 		// Registers already held at block entry: allocated live-in values.
 		// Their defining blocks dominate this one, so they are coloured.
-		liveNow := make(map[int]bool)
 		for _, v := range info.LiveIn[bid] {
-			if allocated[v] {
-				liveNow[v] = true
-				if regOf[v] >= 0 {
-					inUse[regOf[v]] = true
-				}
+			if allocated[v] && regOf[v] >= 0 {
+				inUse[regOf[v]] = true
 			}
 		}
-		liveOut := make(map[int]bool, len(info.LiveOut[bid]))
+		liveOut := func(v int) bool { return scratch.liveOutAt[v] == epoch }
 		for _, v := range info.LiveOut[bid] {
-			liveOut[v] = true
+			scratch.liveOutAt[v] = epoch
 		}
 		// Death points: last use index of each value not live-out.
-		lastUse := make(map[int]int)
 		for i, ins := range b.Instrs {
 			if ins.Op == ir.OpPhi {
 				continue // phi uses live in predecessors
 			}
 			for _, u := range ins.Uses {
-				if !liveOut[u] {
-					lastUse[u] = i
+				if !liveOut(u) {
+					scratch.lastUse[u] = int32(i)
+					scratch.lastUseAt[u] = epoch
 				}
 			}
+		}
+		lastUse := func(v int) (int, bool) {
+			if scratch.lastUseAt[v] == epoch {
+				return int(scratch.lastUse[v]), true
+			}
+			return 0, false
 		}
 		assign := func(v int) {
 			if regOf[v] >= 0 {
@@ -110,10 +165,10 @@ func Assign(f *ir.Func, info *liveness.Info, allocated []bool, r int) ([]int, er
 				break
 			}
 			d := ins.Def
-			if !allocated[d] || liveOut[d] {
+			if !allocated[d] || liveOut(d) {
 				continue
 			}
-			if _, used := lastUse[d]; !used {
+			if _, used := lastUse(d); !used {
 				inUse[regOf[d]] = false
 			}
 		}
@@ -129,7 +184,7 @@ func Assign(f *ir.Func, info *liveness.Info, allocated []bool, r int) ([]int, er
 			// comma-ok lookup matters: a missing entry means "never dies
 			// here" and must not compare equal to instruction index 0.
 			for _, u := range ins.Uses {
-				if death, dies := lastUse[u]; dies && death == i && allocated[u] && regOf[u] >= 0 {
+				if death, dies := lastUse(u); dies && death == i && allocated[u] && regOf[u] >= 0 {
 					inUse[regOf[u]] = false
 				}
 			}
@@ -140,8 +195,8 @@ func Assign(f *ir.Func, info *liveness.Info, allocated []bool, r int) ([]int, er
 				if fail != nil {
 					return
 				}
-				if !liveOut[ins.Def] {
-					if _, used := lastUse[ins.Def]; !used {
+				if !liveOut(ins.Def) {
+					if _, used := lastUse(ins.Def); !used {
 						inUse[regOf[ins.Def]] = false
 					}
 				}
@@ -157,129 +212,32 @@ func Assign(f *ir.Func, info *liveness.Info, allocated []bool, r int) ([]int, er
 // VerifyAssignment checks that no two simultaneously live allocated values
 // share a register, using the per-point live sets.
 func VerifyAssignment(info *liveness.Info, allocated []bool, regOf []int) error {
+	maxReg := -1
+	for _, reg := range regOf {
+		if reg > maxReg {
+			maxReg = reg
+		}
+	}
+	seen := make([]int, maxReg+1)
+	for i := range seen {
+		seen[i] = -1
+	}
 	for _, p := range info.Points {
-		seen := make(map[int]int)
 		for _, v := range p.Live {
 			if !allocated[v] || regOf[v] == NoReg {
 				continue
 			}
-			if prev, clash := seen[regOf[v]]; clash {
+			if prev := seen[regOf[v]]; prev >= 0 {
 				return fmt.Errorf("regassign: values %s and %s share r%d at block %d point %d",
 					info.F.NameOf(prev), info.F.NameOf(v), regOf[v], p.Block, p.Index)
 			}
 			seen[regOf[v]] = v
 		}
+		for _, v := range p.Live {
+			if regOf[v] >= 0 {
+				seen[regOf[v]] = -1
+			}
+		}
 	}
 	return nil
-}
-
-// InsertSpillCode rewrites f (in place is avoided: a deep copy is returned)
-// applying spill-everywhere code generation for the spilled values: a spill
-// (store) is inserted right after each spilled definition, and every use is
-// rewritten to a freshly reloaded value. Phi operands reload at the end of
-// the predecessor block; spilled phi defs spill at the top of their block.
-// The returned function is still strict SSA.
-func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
-	g := cloneFunc(f)
-	for _, b := range g.Blocks {
-		var out []ir.Instr
-		reloadAt := func(uses []int) []int {
-			newUses := append([]int(nil), uses...)
-			for k, u := range newUses {
-				if u < len(spilled) && spilled[u] {
-					nv := g.NewValue()
-					g.ValueName[nv] = g.NameOf(u) + ".r"
-					out = append(out, ir.Instr{Op: ir.OpReload, Def: nv, Imm: int64(u)})
-					newUses[k] = nv
-				}
-			}
-			return newUses
-		}
-		// Spills of phi defs must not interleave with the phi block: they
-		// are collected and emitted right after the last phi.
-		var phiSpills []ir.Instr
-		phisDone := false
-		for _, ins := range b.Instrs {
-			if !phisDone && ins.Op != ir.OpPhi {
-				phisDone = true
-				out = append(out, phiSpills...)
-				phiSpills = nil
-			}
-			switch {
-			case ins.Op == ir.OpPhi:
-				// Operand reloads belong in predecessors; handled below.
-				out = append(out, ins)
-			default:
-				ins.Uses = reloadAt(ins.Uses)
-				out = append(out, ins)
-			}
-			if ins.Op.HasDef() && ins.Def != ir.NoValue &&
-				ins.Def < len(spilled) && spilled[ins.Def] {
-				sp := ir.Instr{Op: ir.OpSpill, Def: ir.NoValue, Uses: []int{ins.Def}}
-				if ins.Op == ir.OpPhi {
-					phiSpills = append(phiSpills, sp)
-				} else {
-					out = append(out, sp)
-				}
-			}
-		}
-		out = append(out, phiSpills...)
-		b.Instrs = out
-	}
-	// Phi operand reloads: insert at the end of the predecessor (before its
-	// terminator) and rewrite the operand.
-	for _, b := range g.Blocks {
-		for ii := range b.Instrs {
-			ins := &b.Instrs[ii]
-			if ins.Op != ir.OpPhi {
-				continue
-			}
-			for k, u := range ins.Uses {
-				if u >= len(spilled) || !spilled[u] {
-					continue
-				}
-				if k >= len(b.Preds) {
-					continue
-				}
-				pred := g.Blocks[b.Preds[k]]
-				nv := g.NewValue()
-				g.ValueName[nv] = g.NameOf(u) + ".r"
-				reload := ir.Instr{Op: ir.OpReload, Def: nv, Imm: int64(u)}
-				ti := len(pred.Instrs) - 1 // terminator index
-				pred.Instrs = append(pred.Instrs[:ti],
-					append([]ir.Instr{reload}, pred.Instrs[ti:]...)...)
-				ins.Uses[k] = nv
-			}
-		}
-	}
-	return g
-}
-
-func cloneFunc(f *ir.Func) *ir.Func {
-	g := &ir.Func{
-		Name:      f.Name,
-		NumValues: f.NumValues,
-		ValueName: make(map[int]string, len(f.ValueName)),
-		SSA:       f.SSA,
-	}
-	for k, v := range f.ValueName {
-		g.ValueName[k] = v
-	}
-	for _, b := range f.Blocks {
-		nb := &ir.Block{
-			ID:        b.ID,
-			Name:      b.Name,
-			Preds:     append([]int(nil), b.Preds...),
-			Succs:     append([]int(nil), b.Succs...),
-			LoopDepth: b.LoopDepth,
-		}
-		nb.Instrs = make([]ir.Instr, len(b.Instrs))
-		for i, ins := range b.Instrs {
-			ins.Uses = append([]int(nil), ins.Uses...)
-			ins.Targets = append([]int(nil), ins.Targets...)
-			nb.Instrs[i] = ins
-		}
-		g.Blocks = append(g.Blocks, nb)
-	}
-	return g
 }

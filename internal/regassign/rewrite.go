@@ -1,0 +1,163 @@
+package regassign
+
+import "repro/internal/ir"
+
+// InsertSpillCode rewrites f (in place is avoided: a deep copy is returned)
+// applying spill-everywhere code generation for the spilled values: a spill
+// (store) is inserted right after each spilled definition, and every use is
+// rewritten to a freshly reloaded value. Phi operands reload at the end of
+// the predecessor block; spilled phi defs spill at the top of their block.
+// The returned function is still strict SSA.
+func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
+	g := cloneFunc(f)
+	anySpill := false
+	for _, s := range spilled {
+		if s {
+			anySpill = true
+			break
+		}
+	}
+	if !anySpill {
+		return g
+	}
+	for _, b := range g.Blocks {
+		// Pre-size the rewritten instruction list: one reload per spilled
+		// non-phi use, one spill per spilled def.
+		extra := 0
+		for _, ins := range b.Instrs {
+			if ins.Op != ir.OpPhi {
+				for _, u := range ins.Uses {
+					if u < len(spilled) && spilled[u] {
+						extra++
+					}
+				}
+			}
+			if ins.Op.HasDef() && ins.Def != ir.NoValue &&
+				ins.Def < len(spilled) && spilled[ins.Def] {
+				extra++
+			}
+		}
+		if extra == 0 {
+			continue
+		}
+		out := make([]ir.Instr, 0, len(b.Instrs)+extra)
+		// The clone owns its Uses storage, so reloads rewrite operands in
+		// place instead of copying every instruction's use list.
+		reloadAt := func(uses []int) {
+			for k, u := range uses {
+				if u < len(spilled) && spilled[u] {
+					nv := g.NewValue()
+					g.ValueName[nv] = g.NameOf(u) + ".r"
+					out = append(out, ir.Instr{Op: ir.OpReload, Def: nv, Imm: int64(u)})
+					uses[k] = nv
+				}
+			}
+		}
+		// Spills of phi defs must not interleave with the phi block: they
+		// are collected and emitted right after the last phi.
+		var phiSpills []ir.Instr
+		phisDone := false
+		for _, ins := range b.Instrs {
+			if !phisDone && ins.Op != ir.OpPhi {
+				phisDone = true
+				out = append(out, phiSpills...)
+				phiSpills = nil
+			}
+			switch {
+			case ins.Op == ir.OpPhi:
+				// Operand reloads belong in predecessors; handled below.
+				out = append(out, ins)
+			default:
+				reloadAt(ins.Uses)
+				out = append(out, ins)
+			}
+			if ins.Op.HasDef() && ins.Def != ir.NoValue &&
+				ins.Def < len(spilled) && spilled[ins.Def] {
+				sp := ir.Instr{Op: ir.OpSpill, Def: ir.NoValue, Uses: []int{ins.Def}}
+				if ins.Op == ir.OpPhi {
+					phiSpills = append(phiSpills, sp)
+				} else {
+					out = append(out, sp)
+				}
+			}
+		}
+		out = append(out, phiSpills...)
+		b.Instrs = out
+	}
+	// Phi operand reloads: insert at the end of the predecessor (before its
+	// terminator) and rewrite the operand.
+	for _, b := range g.Blocks {
+		for ii := range b.Instrs {
+			ins := &b.Instrs[ii]
+			if ins.Op != ir.OpPhi {
+				continue
+			}
+			for k, u := range ins.Uses {
+				if u >= len(spilled) || !spilled[u] {
+					continue
+				}
+				if k >= len(b.Preds) {
+					continue
+				}
+				pred := g.Blocks[b.Preds[k]]
+				nv := g.NewValue()
+				g.ValueName[nv] = g.NameOf(u) + ".r"
+				reload := ir.Instr{Op: ir.OpReload, Def: nv, Imm: int64(u)}
+				ti := len(pred.Instrs) - 1 // terminator index
+				pred.Instrs = append(pred.Instrs[:ti],
+					append([]ir.Instr{reload}, pred.Instrs[ti:]...)...)
+				ins.Uses[k] = nv
+			}
+		}
+	}
+	return g
+}
+
+// cloneFunc deep-copies f. All instruction use/target lists (and the block
+// pred/succ lists) are carved from one exact-size int slab, so the clone
+// costs a handful of allocations rather than one per instruction.
+func cloneFunc(f *ir.Func) *ir.Func {
+	g := &ir.Func{
+		Name:      f.Name,
+		NumValues: f.NumValues,
+		ValueName: make(map[int]string, len(f.ValueName)),
+		SSA:       f.SSA,
+	}
+	for k, v := range f.ValueName {
+		g.ValueName[k] = v
+	}
+	total := 0
+	for _, b := range f.Blocks {
+		total += len(b.Preds) + len(b.Succs)
+		for _, ins := range b.Instrs {
+			total += len(ins.Uses) + len(ins.Targets)
+		}
+	}
+	slab := make([]int, 0, total)
+	carve := func(s []int) []int {
+		if len(s) == 0 {
+			return s // preserve nil-ness and empty slices as-is
+		}
+		start := len(slab)
+		slab = append(slab, s...)
+		return slab[start:len(slab):len(slab)]
+	}
+	g.Blocks = make([]*ir.Block, 0, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &ir.Block{
+			ID:        b.ID,
+			Name:      b.Name,
+			Preds:     carve(b.Preds),
+			Succs:     carve(b.Succs),
+			LoopDepth: b.LoopDepth,
+		}
+		nb.Instrs = make([]ir.Instr, len(b.Instrs))
+		for i, ins := range b.Instrs {
+			ins.Uses = carve(ins.Uses)
+			ins.Targets = carve(ins.Targets)
+			nb.Instrs[i] = ins
+		}
+		g.Blocks = append(g.Blocks, nb)
+	}
+	return g
+}

@@ -142,18 +142,31 @@ func ClusterVertices(g *graph.Graph, weight []float64) [][]int {
 		return candidates[i] < candidates[j]
 	})
 	assigned := make([]bool, n)
+	excluded := make([]bool, n)
+	pool := make([]int, 0, n)
 	var clusters [][]int
 	remaining := n
 	for remaining > 0 {
-		var pool []int
+		// Inlined GreedyMaximal over the unassigned candidates, reusing the
+		// pool and exclusion scratch across clusters (the per-cluster
+		// allocations dominated the heuristic's profile).
+		pool = pool[:0]
 		for _, v := range candidates {
 			if !assigned[v] {
 				pool = append(pool, v)
+				excluded[v] = false
 			}
 		}
-		cluster := GreedyMaximal(g, pool)
-		for _, v := range cluster {
+		var cluster []int
+		for _, v := range pool {
+			if excluded[v] {
+				continue
+			}
+			cluster = append(cluster, v)
 			assigned[v] = true
+			g.VisitNeighbors(v, func(u int) {
+				excluded[u] = true
+			})
 		}
 		remaining -= len(cluster)
 		clusters = append(clusters, cluster)

@@ -257,7 +257,7 @@ func allocatedValues(out *core.Outcome) []bool {
 	allocated := make([]bool, out.F.NumValues)
 	for vx, al := range out.Result.Allocated {
 		if al {
-			allocated[out.Build.ValueOf[vx]] = true
+			allocated[out.ValueOf[vx]] = true
 		}
 	}
 	return allocated

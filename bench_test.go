@@ -209,7 +209,7 @@ func benchProblem(r int) *alloc.Problem {
 	info := liveness.Compute(f)
 	build := ifg.FromLiveness(info)
 	costs := spillcost.Costs(f, spillcost.DefaultModel)
-	p := alloc.NewProblem(build, costs, r)
+	p := alloc.BuildProblem(alloc.Spec{Build: build, Costs: costs, R: r})
 	p.Intervals = linearscan.BuildIntervals(info, build)
 	return p
 }
@@ -274,7 +274,7 @@ func ablationProblems() []*alloc.Problem {
 		})
 		build := ifg.FromFunc(f)
 		costs := spillcost.Costs(f, spillcost.DefaultModel)
-		out = append(out, alloc.NewProblem(build, costs, 6))
+		out = append(out, alloc.BuildProblem(alloc.Spec{Build: build, Costs: costs, R: 6}))
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,9 +9,9 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/ir"
-	"repro/internal/irgen"
-	"repro/internal/pipeline"
+	"repro/regalloc"
+	"repro/regalloc/irx"
+	"repro/regalloc/workload"
 )
 
 // The throughput benchmark measures the batch pipeline end to end:
@@ -78,7 +79,7 @@ func runBench(out io.Writer, cfg benchConfig) error {
 	if cfg.Rounds < 1 {
 		cfg.Rounds = 1
 	}
-	m := irgen.GenerateModule(cfg.Seed, cfg.Funcs)
+	m := workload.GenerateModule(cfg.Seed, cfg.Funcs)
 	fmt.Fprintf(out, "bench: module of %d functions (seed %d), R=%d, %d rounds per config\n",
 		cfg.Funcs, cfg.Seed, cfg.Registers, cfg.Rounds)
 
@@ -103,12 +104,24 @@ func runBench(out io.Writer, cfg benchConfig) error {
 		return err
 	}
 	for _, k := range configs {
-		pcfg := pipeline.Config{
-			Registers: cfg.Registers, Allocator: cfg.Allocator,
-			Jobs: k.jobs, NoScratchReuse: !k.reuse, LegacyIFG: k.legacy,
+		eopts := []regalloc.Option{
+			regalloc.WithRegisters(cfg.Registers), regalloc.WithJobs(k.jobs),
+		}
+		if cfg.Allocator != "" {
+			eopts = append(eopts, regalloc.WithAllocator(cfg.Allocator))
+		}
+		if !k.reuse {
+			eopts = append(eopts, regalloc.WithoutScratchReuse())
+		}
+		if k.legacy {
+			eopts = append(eopts, regalloc.WithLegacyIFG())
+		}
+		eng, err := regalloc.New(eopts...)
+		if err != nil {
+			return err
 		}
 		// Warm-up: fault in code paths and steady-state the heap.
-		if _, err := runOnce(m, pcfg); err != nil {
+		if _, err := runOnce(eng, m); err != nil {
 			return err
 		}
 		best := benchRow{Jobs: k.jobs, ScratchReuse: k.reuse, FastPath: !k.legacy}
@@ -117,7 +130,7 @@ func runBench(out io.Writer, cfg benchConfig) error {
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			start := time.Now()
-			if _, err := runOnce(m, pcfg); err != nil {
+			if _, err := runOnce(eng, m); err != nil {
 				return err
 			}
 			elapsed := time.Since(start)
@@ -188,12 +201,12 @@ func runBench(out io.Writer, cfg benchConfig) error {
 
 // runOnce is one timed batch pass; any per-function failure aborts the
 // benchmark (the generated corpus must allocate cleanly).
-func runOnce(m *ir.Module, cfg pipeline.Config) ([]pipeline.FuncResult, error) {
-	results, err := pipeline.RunModule(m, cfg)
+func runOnce(eng *regalloc.Engine, m *irx.Module) ([]regalloc.FuncResult, error) {
+	results, err := eng.AllocateModule(context.Background(), m)
 	if err != nil {
 		return nil, err
 	}
-	if err := pipeline.FirstErr(results); err != nil {
+	if err := regalloc.FirstError(results); err != nil {
 		return nil, fmt.Errorf("bench: %w", err)
 	}
 	return results, nil

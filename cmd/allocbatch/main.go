@@ -1,6 +1,6 @@
 // Command allocbatch is the module-level batch front-end of the allocator:
-// it fans the functions of a compilation unit out over a worker pool
-// (internal/pipeline) and reports the allocation decisions per function.
+// it fans the functions of a compilation unit out over the regalloc
+// engine's worker pool and reports the allocation decisions per function.
 //
 // Modes:
 //
@@ -19,11 +19,12 @@
 //
 // Requests may omit registers/allocator to inherit the command-line
 // defaults; failures come back as {"id":..., "error": "..."} without
-// stopping the stream.
+// stopping the stream. `-alloc help` lists the registered allocator names.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -35,10 +36,9 @@ import (
 	"strings"
 	"sync"
 
-	"repro/internal/core"
-	"repro/internal/ir"
-	"repro/internal/irgen"
-	"repro/internal/pipeline"
+	"repro/regalloc"
+	"repro/regalloc/irx"
+	"repro/regalloc/workload"
 )
 
 func main() {
@@ -51,7 +51,7 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("allocbatch", flag.ContinueOnError)
 	regs := fs.Int("r", 4, "register count")
-	allocName := fs.String("alloc", "", "allocator: "+strings.Join(core.AllocatorNames(), ", ")+" (default BFPL/LH)")
+	allocName := fs.String("alloc", "", "allocator name, or 'help' to list (default BFPL/LH)")
 	jobs := fs.Int("jobs", 0, "worker count (0 = GOMAXPROCS)")
 	module := fs.String("module", "", "textual IR module file ('-' = stdin)")
 	gen := fs.Int("gen", 0, "generate a module of this many functions instead of reading one")
@@ -69,6 +69,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			return nil
 		}
 		return err
+	}
+	if *allocName == "help" {
+		fmt.Fprintln(out, strings.Join(regalloc.Allocators(), "\n"))
+		return nil
 	}
 
 	switch {
@@ -89,9 +93,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 }
 
-func loadModule(path string, gen int, seed int64, in io.Reader) (*ir.Module, error) {
+func loadModule(path string, gen int, seed int64, in io.Reader) (*irx.Module, error) {
 	if gen > 0 {
-		return irgen.GenerateModule(seed, gen), nil
+		return workload.GenerateModule(seed, gen), nil
 	}
 	var src []byte
 	var err error
@@ -103,18 +107,30 @@ func loadModule(path string, gen int, seed int64, in io.Reader) (*ir.Module, err
 	if err != nil {
 		return nil, err
 	}
-	return ir.ParseModule(string(src))
+	return irx.ParseModule(string(src))
 }
 
-func runBatch(out io.Writer, m *ir.Module, regs int, allocName string, jobs int, detail bool) error {
-	results, err := pipeline.RunModule(m, pipeline.Config{
-		Registers: regs, Allocator: allocName, Jobs: jobs,
-	})
+// newEngine assembles the engine for one (registers, allocator, jobs)
+// configuration; shared by the batch and JSONL modes.
+func newEngine(regs int, allocName string, jobs int) (*regalloc.Engine, error) {
+	opts := []regalloc.Option{regalloc.WithRegisters(regs), regalloc.WithJobs(jobs)}
+	if allocName != "" {
+		opts = append(opts, regalloc.WithAllocator(allocName))
+	}
+	return regalloc.New(opts...)
+}
+
+func runBatch(out io.Writer, m *irx.Module, regs int, allocName string, jobs int, detail bool) error {
+	eng, err := newEngine(regs, allocName, jobs)
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(out, pipeline.FormatResults(results, detail))
-	t := pipeline.Summarize(results)
+	results, err := eng.AllocateModule(context.Background(), m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, regalloc.FormatResults(results, detail))
+	t := regalloc.Summarize(results)
 	fmt.Fprintf(out, "total %d functions, %d spilled values (cost %.1f), %d errors\n",
 		t.Funcs, t.Spilled, t.SpillCost, t.Errors)
 	if t.Errors > 0 {
@@ -150,9 +166,34 @@ type response struct {
 	Error      string         `json:"error,omitempty"`
 }
 
-// runJSONL streams requests through a fixed worker pool, each worker with
-// its own scratch-reusing core.Runner, and emits responses in request order
-// with a bounded in-flight window.
+// engineCache resolves one shared engine per (registers, allocator)
+// request configuration; engines pool their analysis scratch internally,
+// so the JSONL workers just share them.
+type engineCache struct {
+	mu sync.Mutex
+	m  map[string]*regalloc.Engine
+}
+
+func (c *engineCache) get(regs int, allocName string) (*regalloc.Engine, error) {
+	key := fmt.Sprintf("%d\x00%s", regs, strings.ToLower(allocName))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if eng, ok := c.m[key]; ok {
+		return eng, nil
+	}
+	eng, err := newEngine(regs, allocName, 0)
+	if err != nil {
+		return nil, err
+	}
+	if c.m == nil {
+		c.m = make(map[string]*regalloc.Engine)
+	}
+	c.m[key] = eng
+	return eng, nil
+}
+
+// runJSONL streams requests through a fixed worker pool and emits
+// responses in request order with a bounded in-flight window.
 func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc string, jobs int) error {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -177,14 +218,14 @@ func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc string, jobs in
 		}
 	}()
 
+	engines := &engineCache{}
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runner := core.NewRunner()
 			for s := range work {
-				s.done <- serve(runner, s.req, s.err, defRegs, defAlloc)
+				s.done <- serve(engines, s.req, s.err, defRegs, defAlloc)
 			}
 		}()
 	}
@@ -220,7 +261,7 @@ func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc string, jobs in
 }
 
 // serve handles one JSONL request on one worker.
-func serve(runner *core.Runner, req request, decodeErr error, defRegs int, defAlloc string) response {
+func serve(engines *engineCache, req request, decodeErr error, defRegs int, defAlloc string) response {
 	resp := response{ID: req.ID}
 	if decodeErr != nil {
 		resp.Error = "bad request: " + decodeErr.Error()
@@ -235,22 +276,18 @@ func serve(runner *core.Runner, req request, decodeErr error, defRegs int, defAl
 		allocName = defAlloc
 	}
 	resp.Registers = r
-	cfg := core.Config{Registers: r}
-	if allocName != "" {
-		a, err := core.AllocatorByName(allocName)
-		if err != nil {
-			resp.Error = err.Error()
-			return resp
-		}
-		cfg.Allocator = a
+	eng, err := engines.get(r, allocName)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
 	}
-	f, err := ir.Parse(req.IR)
+	f, err := irx.Parse(req.IR)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
 	}
 	resp.Func = f.Name
-	out, err := pipeline.RunFunc(runner, f, cfg)
+	out, err := eng.AllocateFunc(context.Background(), f)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp

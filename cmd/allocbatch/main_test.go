@@ -169,3 +169,14 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bad stdin module accepted")
 	}
 }
+
+// TestAllocHelp: `-alloc help` lists the registered allocator names.
+func TestAllocHelp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-alloc", "help"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BFPL") || !strings.Contains(out.String(), "Optimal") {
+		t.Errorf("-alloc help output incomplete:\n%s", out.String())
+	}
+}

@@ -16,7 +16,7 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/bench"
+	"repro/regalloc/workload"
 )
 
 func main() {
@@ -49,20 +49,20 @@ func run(args []string, out io.Writer) error {
 	// The chordal figures come in pairs sharing a dataset: (8,11) SPEC2000,
 	// (9,12) EEMBC, (10,13) lao-kernels. (14,15) share the JVM98 dataset.
 	type figurePair struct {
-		suite     bench.Suite
+		suite     workload.Suite
 		meanFig   int
 		distFig   int
 		meanTitle string
 		distTitle string
 	}
 	pairs := []figurePair{
-		{bench.SuiteSPEC2000, 8, 11,
+		{workload.SuiteSPEC2000, 8, 11,
 			"Figure 8: mean normalized allocation cost, SPEC CPU 2000int on ST231",
 			"Figure 11: distribution of per-program normalized costs, SPEC CPU 2000int on ST231"},
-		{bench.SuiteEEMBC, 9, 12,
+		{workload.SuiteEEMBC, 9, 12,
 			"Figure 9: mean normalized allocation cost, EEMBC on ST231",
 			"Figure 12: distribution of per-program normalized costs, EEMBC on ST231"},
-		{bench.SuiteLAOKernels, 10, 13,
+		{workload.SuiteLAOKernels, 10, 13,
 			"Figure 10: mean normalized allocation cost, lao-kernels on ARMv7",
 			"Figure 13: distribution of per-program normalized costs, lao-kernels on ARMv7"},
 	}
@@ -70,20 +70,20 @@ func run(args []string, out io.Writer) error {
 		if !want(pair.meanFig) && !want(pair.distFig) {
 			continue
 		}
-		names := bench.AllocatorNames(bench.ChordalAllocators())
+		names := workload.AllocatorNames(workload.ChordalAllocators())
 		if progress != nil {
 			fmt.Fprintf(progress, "suite %s:\n", pair.suite.Name)
 		}
-		instances := bench.Run(pair.suite, progress)
+		instances := workload.Run(pair.suite, progress)
 		if want(pair.meanFig) {
 			fmt.Fprintf(out, "%s\n", pair.meanTitle)
-			fmt.Fprint(out, bench.FormatMeansTable(bench.NormalizedMeans(instances, names), names))
+			fmt.Fprint(out, workload.FormatMeansTable(workload.NormalizedMeans(instances, names), names))
 			fmt.Fprintln(out)
 		}
 		if want(pair.distFig) {
-			ratios, skipped := bench.PerProgramRatios(instances, names)
+			ratios, skipped := workload.PerProgramRatios(instances, names)
 			fmt.Fprintf(out, "%s\n", pair.distTitle)
-			fmt.Fprint(out, bench.FormatDistTable(ratios, names))
+			fmt.Fprint(out, workload.FormatDistTable(ratios, names))
 			if skipped > 0 {
 				fmt.Fprintf(out, "(skipped %d undefined ratios: optimal cost was zero)\n", skipped)
 			}
@@ -92,38 +92,38 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if want(14) || want(15) {
-		names := bench.AllocatorNames(bench.JITAllocators())
+		names := workload.AllocatorNames(workload.JITAllocators())
 		if progress != nil {
-			fmt.Fprintf(progress, "suite %s:\n", bench.SuiteJVM98.Name)
+			fmt.Fprintf(progress, "suite %s:\n", workload.SuiteJVM98.Name)
 		}
-		instances := bench.Run(bench.SuiteJVM98, progress)
+		instances := workload.Run(workload.SuiteJVM98, progress)
 		if want(14) {
 			fmt.Fprintln(out, "Figure 14: mean normalized allocation cost, SPEC JVM98 (non-chordal)")
-			fmt.Fprint(out, bench.FormatMeansTable(bench.NormalizedMeans(instances, names), names))
+			fmt.Fprint(out, workload.FormatMeansTable(workload.NormalizedMeans(instances, names), names))
 			fmt.Fprintln(out)
 		}
 		if want(15) {
 			fmt.Fprintln(out, "Figure 15: per-benchmark normalized allocation cost, SPEC JVM98, R=6")
-			fmt.Fprint(out, bench.FormatPerBenchTable(bench.PerBenchmarkMeans(instances, names, 6), names))
+			fmt.Fprint(out, workload.FormatPerBenchTable(workload.PerBenchmarkMeans(instances, names, 6), names))
 			fmt.Fprintln(out)
 		}
 	}
 
 	if *ext {
-		rows, err := bench.RunSSAExtension(bench.JITSweep)
+		rows, err := workload.RunSSAExtension(workload.JITSweep)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, "Extension: SSA-based layered-optimal allocation of the JVM98 methods")
 		fmt.Fprintln(out, "(each heuristic normalized by the exact optimum of its own representation)")
-		fmt.Fprint(out, bench.FormatSSAExtension(rows))
+		fmt.Fprint(out, workload.FormatSSAExtension(rows))
 		fmt.Fprintln(out)
 	}
 
 	if *coal {
 		fmt.Fprintln(out, "Extension: φ-move elimination by coalescing policy (R = per-function MaxLive)")
-		fmt.Fprint(out, bench.FormatCoalesce(bench.RunCoalesce(
-			[]bench.Suite{bench.SuiteSPEC2000, bench.SuiteEEMBC, bench.SuiteLAOKernels})))
+		fmt.Fprint(out, workload.FormatCoalesce(workload.RunCoalesce(
+			[]workload.Suite{workload.SuiteSPEC2000, workload.SuiteEEMBC, workload.SuiteLAOKernels})))
 		fmt.Fprintln(out)
 	}
 	return nil

@@ -15,11 +15,9 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/bench"
-	"repro/internal/ifg"
-	"repro/internal/ir"
-	"repro/internal/liveness"
-	"repro/internal/spillcost"
+	"repro/regalloc"
+	"repro/regalloc/irx"
+	"repro/regalloc/workload"
 )
 
 func main() {
@@ -47,64 +45,38 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	dom := f.ComputeDominance()
-	f.ComputeLoops(dom)
-	info := liveness.Compute(f)
-	b := ifg.FromLiveness(info)
-	costs := spillcost.Costs(f, spillcost.DefaultModel)
-
-	if *dot {
-		emitDOT(out, b, costs)
-		return nil
+	ins, err := regalloc.Inspect(f)
+	if err != nil {
+		return err
 	}
 
-	order := b.Graph.PerfectEliminationOrder()
-	chordal := b.Graph.IsPerfectEliminationOrder(order)
+	if *dot {
+		return ins.WriteDOT(out)
+	}
+
 	fmt.Fprintf(out, "function  %s (ssa=%v)\n", f.Name, f.SSA)
 	fmt.Fprintf(out, "blocks    %d\n", len(f.Blocks))
-	fmt.Fprintf(out, "vertices  %d\n", b.Graph.N())
-	fmt.Fprintf(out, "edges     %d\n", b.Graph.M())
-	fmt.Fprintf(out, "maxlive   %d\n", b.MaxLive)
-	fmt.Fprintf(out, "chordal   %v\n", chordal)
-	if chordal {
-		fmt.Fprintf(out, "cliques   %d (max size %d)\n",
-			len(b.Graph.MaximalCliques(order)), b.Graph.CliqueNumber(order))
+	fmt.Fprintf(out, "vertices  %d\n", ins.Vertices)
+	fmt.Fprintf(out, "edges     %d\n", ins.Edges)
+	fmt.Fprintf(out, "maxlive   %d\n", ins.MaxLive)
+	fmt.Fprintf(out, "chordal   %v\n", ins.Chordal)
+	if ins.Chordal {
+		fmt.Fprintf(out, "cliques   %d (max size %d)\n", ins.CliqueCount, ins.CliqueNumber)
 	} else {
-		fmt.Fprintf(out, "live sets %d\n", len(b.LiveSets))
+		fmt.Fprintf(out, "live sets %d\n", len(ins.PressureSets))
 	}
 	if *cliques {
 		fmt.Fprintln(out, "pressure constraints:")
-		sets := b.LiveSets
-		if chordal && f.SSA {
-			sets = b.Graph.MaximalCliques(order)
-		}
-		for _, ls := range sets {
-			fmt.Fprintf(out, "  {%s}\n", strings.Join(b.Names(ls), " "))
+		for _, ls := range ins.PressureSets {
+			fmt.Fprintf(out, "  {%s}\n", strings.Join(ls, " "))
 		}
 	}
 	return nil
 }
 
-func emitDOT(out io.Writer, b *ifg.Build, costs []float64) {
-	fmt.Fprintln(out, "graph interference {")
-	fmt.Fprintln(out, "  node [shape=ellipse];")
-	for v := 0; v < b.Graph.N(); v++ {
-		val := b.ValueOf[v]
-		fmt.Fprintf(out, "  n%d [label=\"%s\\n%.0f\"];\n", v, b.F.NameOf(val), costs[val])
-	}
-	for v := 0; v < b.Graph.N(); v++ {
-		for _, u := range b.Graph.Neighbors(v) {
-			if u > v {
-				fmt.Fprintf(out, "  n%d -- n%d;\n", v, u)
-			}
-		}
-	}
-	fmt.Fprintln(out, "}")
-}
-
-func loadFunc(file, suiteName, progName string) (*ir.Func, error) {
+func loadFunc(file, suiteName, progName string) (*irx.Func, error) {
 	if suiteName != "" {
-		s, ok := bench.SuiteByName(suiteName)
+		s, ok := workload.SuiteByName(suiteName)
 		if !ok {
 			return nil, fmt.Errorf("unknown suite %q", suiteName)
 		}
@@ -125,5 +97,5 @@ func loadFunc(file, suiteName, progName string) (*ir.Func, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ir.Parse(string(src))
+	return irx.Parse(string(src))
 }

@@ -6,12 +6,14 @@
 //
 //	layered -r 8 [-alloc BFPL] [-arch st231] (-file f.ir | -suite eembc -prog aifir) [-print]
 //
-// The input is either a textual IR file (see internal/ir's format) or a
+// The input is either a textual IR file (see regalloc/irx's format) or a
 // named program from one of the built-in workload suites. With no -file and
-// no -suite, it reads IR from standard input.
+// no -suite, it reads IR from standard input. `-alloc help` lists the
+// registered allocator names.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -20,10 +22,9 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/arch"
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/ir"
+	"repro/regalloc"
+	"repro/regalloc/irx"
+	"repro/regalloc/workload"
 )
 
 func main() {
@@ -36,7 +37,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("layered", flag.ContinueOnError)
 	regs := fs.Int("r", 0, "register count (default: the -arch register file)")
-	allocName := fs.String("alloc", "", "allocator: "+strings.Join(core.AllocatorNames(), ", ")+" (default BFPL/LH)")
+	allocName := fs.String("alloc", "", "allocator name, or 'help' to list (default BFPL/LH)")
 	machine := fs.String("arch", "st231", "machine for the default register count (st231, armv7, jvm98)")
 	file := fs.String("file", "", "textual IR file to allocate ('-' or empty = stdin)")
 	suiteName := fs.String("suite", "", "take the program from this workload suite")
@@ -48,6 +49,10 @@ func run(args []string, out io.Writer) error {
 		}
 		return err
 	}
+	if *allocName == "help" {
+		fmt.Fprintln(out, strings.Join(regalloc.Allocators(), "\n"))
+		return nil
+	}
 
 	f, err := loadFunc(*file, *suiteName, *progName)
 	if err != nil {
@@ -56,22 +61,22 @@ func run(args []string, out io.Writer) error {
 
 	r := *regs
 	if r == 0 {
-		m, err := arch.ByName(*machine)
+		m, err := regalloc.MachineByName(*machine)
 		if err != nil {
 			return err
 		}
 		r = m.Allocable()
 	}
 
-	cfg := core.Config{Registers: r}
+	opts := []regalloc.Option{regalloc.WithRegisters(r)}
 	if *allocName != "" {
-		a, err := core.AllocatorByName(*allocName)
-		if err != nil {
-			return err
-		}
-		cfg.Allocator = a
+		opts = append(opts, regalloc.WithAllocator(*allocName))
 	}
-	res, err := core.Run(f, cfg)
+	eng, err := regalloc.New(opts...)
+	if err != nil {
+		return err
+	}
+	res, err := eng.AllocateFunc(context.Background(), f)
 	if err != nil {
 		return err
 	}
@@ -108,9 +113,9 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func loadFunc(file, suiteName, progName string) (*ir.Func, error) {
+func loadFunc(file, suiteName, progName string) (*irx.Func, error) {
 	if suiteName != "" {
-		s, ok := bench.SuiteByName(suiteName)
+		s, ok := workload.SuiteByName(suiteName)
 		if !ok {
 			return nil, fmt.Errorf("unknown suite %q", suiteName)
 		}
@@ -131,5 +136,5 @@ func loadFunc(file, suiteName, progName string) (*ir.Func, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ir.Parse(string(src))
+	return irx.Parse(string(src))
 }

@@ -60,3 +60,29 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown arch accepted")
 	}
 }
+
+// TestAllocHelp: `-alloc help` lists the registered allocator names,
+// sorted, one per line — the registry-backed discovery satellite.
+func TestAllocHelp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-alloc", "help"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	for _, want := range []string{"BFPL", "LH", "Optimal"} {
+		found := false
+		for _, l := range lines {
+			if l == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("-alloc help missing %s:\n%s", want, out.String())
+		}
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Fatalf("-alloc help not sorted: %v", lines)
+		}
+	}
+}

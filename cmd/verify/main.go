@@ -23,8 +23,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/ir"
-	"repro/internal/verify"
+	"repro/regalloc/irx"
+	"repro/regalloc/verifier"
 )
 
 func main() {
@@ -52,7 +52,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	opts := verify.Options{Budget: *budget}
+	opts := verifier.Options{Budget: *budget}
 	for _, part := range strings.Split(*regs, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -75,11 +75,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		f, err := ir.Parse(string(src))
+		f, err := irx.Parse(string(src))
 		if err != nil {
 			return err
 		}
-		if err := verify.CheckFunc(f, opts); err != nil {
+		if err := verifier.CheckFunc(f, opts); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "ok   %s: all allocator/register configurations verified\n", f.Name)
@@ -91,11 +91,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		m, err := ir.ParseModule(string(src))
+		m, err := irx.ParseModule(string(src))
 		if err != nil {
 			return err
 		}
-		if err := verify.CheckModule(m, opts); err != nil {
+		if err := verifier.CheckModule(m, opts); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "ok   %d module functions: all allocator/register configurations verified\n", len(m.Funcs))
@@ -110,7 +110,7 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	fails := verify.Soak(*seed, *n, opts, *maxFail, progress)
+	fails := verifier.Soak(*seed, *n, opts, *maxFail, progress)
 	fmt.Fprintf(out, "checked %d generated functions (seeds %d..%d), registers %v: %d failures\n",
 		*n, *seed, *seed+int64(*n)-1, opts.Registers, len(fails))
 	for _, f := range fails {

@@ -12,14 +12,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"text/tabwriter"
 
-	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/regalloc"
+	"repro/regalloc/workload"
 )
 
 func main() {
@@ -31,7 +32,7 @@ func main() {
 func runExample(stdout io.Writer) error {
 	// A deterministic SPEC-like function from the workload generator: ~30
 	// long-lived temporaries across three loop nests.
-	f := bench.GenSSA("hot_kernel", 2026, bench.Shape{
+	f := workload.GenSSA("hot_kernel", 2026, workload.Shape{
 		Params:      4,
 		Segments:    6,
 		MaxDepth:    3,
@@ -45,7 +46,11 @@ func runExample(stdout io.Writer) error {
 	allocators := []string{"GC", "NL", "FPL", "BL", "BFPL", "Optimal"}
 	registers := []int{2, 4, 8, 16, 24}
 
-	probe, err := core.Run(f, core.Config{Registers: 1, SkipRewrite: true})
+	probeEng, err := regalloc.New(regalloc.WithRegisters(1), regalloc.WithoutRewrite())
+	if err != nil {
+		return err
+	}
+	probe, err := probeEng.AllocateFunc(context.Background(), f)
 	if err != nil {
 		return err
 	}
@@ -61,13 +66,13 @@ func runExample(stdout io.Writer) error {
 	for _, r := range registers {
 		fmt.Fprintf(w, "%d\t", r)
 		for _, name := range allocators {
-			a, err := core.AllocatorByName(name)
+			eng, err := regalloc.New(
+				regalloc.WithRegisters(r), regalloc.WithAllocator(name),
+				regalloc.WithoutRewrite())
 			if err != nil {
 				return err
 			}
-			out, err := core.Run(f, core.Config{
-				Registers: r, Allocator: a, SkipRewrite: true,
-			})
+			out, err := eng.AllocateFunc(context.Background(), f)
 			if err != nil {
 				return err
 			}

@@ -15,15 +15,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"text/tabwriter"
 
-	"repro/internal/arch"
-	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/regalloc"
+	"repro/regalloc/workload"
 )
 
 func main() {
@@ -33,15 +33,15 @@ func main() {
 }
 
 func runExample(stdout io.Writer) error {
-	target := arch.JVM98
+	target := regalloc.JVM98
 	regs := 6
 	fmt.Fprintf(stdout, "JIT target %s: allocating with %d of %d registers\n\n",
 		target.Name, regs, target.IntRegs)
 
-	var progs []bench.Program
+	var progs []workload.Program
 	for i := 0; i < 5; i++ {
 		name := fmt.Sprintf("method%d", i)
-		f := bench.GenNonSSA(name, int64(9000+37*i), bench.NonSSAShape{
+		f := workload.GenNonSSA(name, int64(9000+37*i), workload.NonSSAShape{
 			Vars:        20 + 3*i,
 			Params:      4,
 			Segments:    5,
@@ -50,7 +50,7 @@ func runExample(stdout io.Writer) error {
 			LoopProb:    0.4,
 			BranchProb:  0.35,
 		})
-		progs = append(progs, bench.Program{Name: name, F: f})
+		progs = append(progs, workload.Program{Name: name, F: f})
 	}
 
 	allocators := []string{"DLS", "BLS", "GC", "LH", "Optimal"}
@@ -66,11 +66,12 @@ func runExample(stdout io.Writer) error {
 		var cells []float64
 		var size, maxlive int
 		for _, name := range allocators {
-			a, err := core.AllocatorByName(name)
+			eng, err := regalloc.New(
+				regalloc.WithRegisters(regs), regalloc.WithAllocator(name))
 			if err != nil {
 				return err
 			}
-			out, err := core.Run(p.F, core.Config{Registers: regs, Allocator: a})
+			out, err := eng.AllocateFunc(context.Background(), p.F)
 			if err != nil {
 				return err
 			}

@@ -1,7 +1,8 @@
-// Quickstart: allocate registers for a small SSA function with the
-// layered-optimal allocator (BFPL) and print every stage of the decoupled
-// pipeline — pressure, spill decisions, register assignment, and the
-// rewritten function with spill code.
+// Quickstart: allocate registers for a small SSA function through the
+// public regalloc API — construct an Engine with functional options, run
+// one function, and print every stage of the decoupled pipeline: pressure,
+// spill decisions, register assignment, and the rewritten function with
+// spill code.
 //
 // Run with:
 //
@@ -9,13 +10,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/ir"
+	"repro/regalloc"
+	"repro/regalloc/irx"
 )
 
 // A hot loop with more simultaneously live values than registers: with
@@ -56,8 +58,15 @@ func main() {
 }
 
 func runExample(stdout io.Writer) error {
-	f := ir.MustParse(src)
-	out, err := core.Run(f, core.Config{Registers: 3})
+	f := irx.MustParse(src)
+	eng, err := regalloc.New(
+		regalloc.WithRegisters(3),
+		regalloc.WithAllocator("BFPL"),
+	)
+	if err != nil {
+		return err
+	}
+	out, err := eng.AllocateFunc(context.Background(), f)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,71 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoInternalImportsInFrontEnds enforces the public-API boundary: every
+// file under cmd/ and examples/ — the code external users copy from — must
+// import only the supported surface (repro/regalloc and its subpackages),
+// never repro/internal/... directly. Parsing the imports keeps the guard
+// honest even for files behind build tags.
+func TestNoInternalImportsInFrontEnds(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, root := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return err
+				}
+				if p == "repro/internal" || strings.HasPrefix(p, "repro/internal/") {
+					t.Errorf("%s imports %s: cmd/ and examples/ must use the public regalloc surface only", path, p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPublicAPISurfaceGolden diffs `go doc repro/regalloc` against the
+// committed golden file, so changes to the public surface are deliberate:
+// editing the API means regenerating regalloc/api.golden in the same
+// commit (go doc repro/regalloc > regalloc/api.golden).
+func TestPublicAPISurfaceGolden(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not on PATH")
+	}
+	out, err := exec.Command(goBin, "doc", "repro/regalloc").Output()
+	if err != nil {
+		t.Fatalf("go doc repro/regalloc: %v", err)
+	}
+	golden, err := os.ReadFile(filepath.Join("regalloc", "api.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(golden) {
+		t.Errorf("public API surface changed.\nIf intentional, regenerate the golden file:\n  go doc repro/regalloc > regalloc/api.golden\n--- go doc\n%s\n--- golden\n%s", out, golden)
+	}
+}

@@ -59,78 +59,110 @@ type Problem struct {
 	g *graph.Weighted // explicit graph; lazily built from Cliques when nil
 }
 
-// NewProblem assembles a Problem from an interference graph build and
-// per-value spill costs (the explicit-graph path).
+// Spec describes one allocation problem for BuildProblem, the single
+// builder behind every pipeline path. Exactly one interference
+// representation must be set — Cliques (the IFG-free SSA fast path), Build
+// (the legacy explicit-graph path), or Graph (a bare weighted graph with
+// caller-derived structure) — so the fast/legacy choice is a field, not an
+// API fork.
+type Spec struct {
+	// Cliques is the IFG-free structure derived straight from liveness.
+	Cliques *cliques.Structure
+	// Build is the explicit interference-graph build.
+	Build *ifg.Build
+	// Graph is a bare weighted graph whose structure the caller already
+	// derived; LiveSets, Chordal and PEO are taken verbatim (sub-problem
+	// builders and tests know what they built). Costs is ignored — the
+	// weights come from the graph.
+	Graph *graph.Weighted
+	// Dom optionally supplies the function's dominance tree on the Build
+	// path (the pipeline driver computed one during validation); nil
+	// computes it on demand for SSA inputs.
+	Dom *ir.Dominance
+	// Costs is the per-value spill cost (Cliques and Build paths).
+	Costs []float64
+	// R is the register count.
+	R int
+	// LiveSets/Chordal/PEO carry the verbatim structure of the Graph path.
+	LiveSets [][]int
+	Chordal  bool
+	PEO      []int
+}
+
+// BuildProblem assembles a Problem from whichever interference
+// representation the spec carries.
 //
-// For strict-SSA functions the perfect elimination order is the canonical
-// dominance order (reverse definition order along a dominance-tree
-// preorder) — the same order the clique fast path derives without the graph
-// — so the two paths make identical tie-break decisions. Non-SSA (or
-// structurally unusual) inputs keep the maximum-cardinality-search order.
-func NewProblem(b *ifg.Build, costs []float64, r int) *Problem {
-	return NewProblemDom(b, costs, r, nil)
-}
-
-// NewProblemDom is NewProblem with the function's dominance tree supplied by
-// the caller (the pipeline driver already computed one during validation);
-// nil computes it on demand for SSA inputs.
-func NewProblemDom(b *ifg.Build, costs []float64, r int, dom *ir.Dominance) *Problem {
-	w := make([]float64, b.Graph.N())
-	for v := range w {
-		w[v] = costs[b.ValueOf[v]]
-	}
-	p := &Problem{
-		g:      graph.NewWeighted(b.Graph, w),
-		Weight: w,
-		R:      r,
-		Name:   b.F.Name,
-	}
-	var domPEO []int
-	if b.F.SSA {
-		if dom == nil {
-			dom = b.F.ComputeDominance()
+// On the Cliques path the instance is chordal by construction (Derive only
+// succeeds on strict SSA with the dominance elimination order intact) and
+// no explicit graph is materialized. On the Build path, strict-SSA
+// functions get the canonical dominance elimination order (reverse
+// definition order along a dominance-tree preorder) — the same order the
+// clique fast path derives without the graph — so the two paths make
+// identical tie-break decisions; non-SSA (or structurally unusual) inputs
+// keep the maximum-cardinality-search order.
+func BuildProblem(s Spec) *Problem {
+	switch {
+	case s.Cliques != nil:
+		cs := s.Cliques
+		w := make([]float64, cs.N)
+		for v := range w {
+			w[v] = s.Costs[cs.ValueOf[v]]
 		}
-		if cliques.Applicable(b.F, dom) {
-			domPEO = cliques.DominancePEO(b.F, dom, b.VertexOf, b.Graph.N())
+		return &Problem{
+			R:        s.R,
+			Weight:   w,
+			LiveSets: cs.Sets,
+			Chordal:  true,
+			PEO:      cs.PEO,
+			Name:     cs.F.Name,
+			Cliques:  cs,
+		}
+	case s.Build != nil:
+		b := s.Build
+		w := make([]float64, b.Graph.N())
+		for v := range w {
+			w[v] = s.Costs[b.ValueOf[v]]
+		}
+		p := &Problem{
+			g:      graph.NewWeighted(b.Graph, w),
+			Weight: w,
+			R:      s.R,
+			Name:   b.F.Name,
+		}
+		var domPEO []int
+		if b.F.SSA {
+			dom := s.Dom
+			if dom == nil {
+				dom = b.F.ComputeDominance()
+			}
+			if cliques.Applicable(b.F, dom) {
+				domPEO = cliques.DominancePEO(b.F, dom, b.VertexOf, b.Graph.N())
+			}
+		}
+		// The clique ↔ live-set correspondence that lets allocators treat
+		// graph cliques as register-pressure constraints only holds for
+		// strict SSA. A non-SSA program may produce an accidentally chordal
+		// graph whose maximal cliques were never simultaneously live; its
+		// constraints must stay the program-point live sets.
+		if domPEO != nil && b.Graph.IsPerfectEliminationOrder(domPEO) {
+			p.PEO, p.Chordal = domPEO, true
+		} else {
+			p.PEO = b.Graph.PerfectEliminationOrder()
+			p.Chordal = b.F.SSA && b.Graph.IsPerfectEliminationOrder(p.PEO)
+		}
+		if p.Chordal {
+			p.LiveSets = b.Graph.MaximalCliques(p.PEO)
+		} else {
+			p.LiveSets = b.LiveSets
+		}
+		return p
+	case s.Graph != nil:
+		return &Problem{
+			g: s.Graph, Weight: s.Graph.Weight, R: s.R,
+			LiveSets: s.LiveSets, Chordal: s.Chordal, PEO: s.PEO,
 		}
 	}
-	// The clique ↔ live-set correspondence that lets allocators treat graph
-	// cliques as register-pressure constraints only holds for strict SSA.
-	// A non-SSA program may produce an accidentally chordal graph whose
-	// maximal cliques were never simultaneously live; its constraints must
-	// stay the program-point live sets.
-	if domPEO != nil && b.Graph.IsPerfectEliminationOrder(domPEO) {
-		p.PEO, p.Chordal = domPEO, true
-	} else {
-		p.PEO = b.Graph.PerfectEliminationOrder()
-		p.Chordal = b.F.SSA && b.Graph.IsPerfectEliminationOrder(p.PEO)
-	}
-	if p.Chordal {
-		p.LiveSets = b.Graph.MaximalCliques(p.PEO)
-	} else {
-		p.LiveSets = b.LiveSets
-	}
-	return p
-}
-
-// NewCliqueProblem wraps a clique structure as a Problem (the IFG-free SSA
-// fast path). costs are per value ID; r is the register count. The instance
-// is chordal by construction (Derive only succeeds on strict SSA with the
-// dominance elimination order intact).
-func NewCliqueProblem(cs *cliques.Structure, costs []float64, r int) *Problem {
-	w := make([]float64, cs.N)
-	for v := range w {
-		w[v] = costs[cs.ValueOf[v]]
-	}
-	return &Problem{
-		R:        r,
-		Weight:   w,
-		LiveSets: cs.Sets,
-		Chordal:  true,
-		PEO:      cs.PEO,
-		Name:     cs.F.Name,
-		Cliques:  cs,
-	}
+	panic("alloc: BuildProblem spec carries no interference representation")
 }
 
 // NewGraphProblem wraps a bare weighted graph as a Problem, deriving the
@@ -151,14 +183,6 @@ func NewGraphProblem(g *graph.Weighted, r int, liveSets [][]int) *Problem {
 		p.LiveSets = g.MaximalCliques(p.PEO)
 	}
 	return p
-}
-
-// NewRawProblem wraps a weighted graph with explicit, already-derived
-// constraints: liveSets, chordality and PEO are taken verbatim with no
-// recomputation or checking. For callers (sub-problem builders, tests) that
-// know the structure of what they built.
-func NewRawProblem(g *graph.Weighted, r int, liveSets [][]int, chordal bool, peo []int) *Problem {
-	return &Problem{g: g, Weight: g.Weight, R: r, LiveSets: liveSets, Chordal: chordal, PEO: peo}
 }
 
 // N returns the number of vertices.

@@ -90,7 +90,7 @@ b0:
 	f.ComputeLoops(dom)
 	b := ifg.FromFunc(f)
 	costs := spillcost.Costs(f, spillcost.DefaultModel)
-	p := NewProblem(b, costs, 2)
+	p := BuildProblem(Spec{Build: b, Costs: costs, R: 2})
 	if !p.Chordal {
 		t.Fatal("SSA problem must be chordal")
 	}
@@ -123,7 +123,7 @@ b0:
 	f.ComputeLoops(dom)
 	b := ifg.FromFunc(f)
 	costs := spillcost.Costs(f, spillcost.DefaultModel)
-	p := NewProblem(b, costs, 2)
+	p := BuildProblem(Spec{Build: b, Costs: costs, R: 2})
 	if p.Chordal {
 		t.Fatal("non-SSA problem must not claim the chordal clique model")
 	}

@@ -127,7 +127,7 @@ func TestPropertyValidOnGeneralGraphs(t *testing.T) {
 		if liveSets == nil {
 			liveSets = [][]int{}
 		}
-		p := alloc.NewRawProblem(graph.NewWeighted(g, w), regs, liveSets, false, nil)
+		p := alloc.BuildProblem(alloc.Spec{Graph: graph.NewWeighted(g, w), R: regs, LiveSets: liveSets})
 		res := New().Allocate(p)
 		if regs >= 2 {
 			if err := p.Validate(res); err != nil {

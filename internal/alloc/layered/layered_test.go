@@ -283,7 +283,7 @@ func TestLHStructuralGuarantee(t *testing.T) {
 			w[i] = float64(1 + r.Intn(100))
 		}
 		regs := 1 + r.Intn(5)
-		p := alloc.NewRawProblem(graph.NewWeighted(g, w), regs, nil, false, nil)
+		p := alloc.BuildProblem(alloc.Spec{Graph: graph.NewWeighted(g, w), R: regs})
 		res := NewLH().Allocate(p)
 		// Recompute the clusters LH used; its allocation must be exactly
 		// the union of the R heaviest (ties broken stably).

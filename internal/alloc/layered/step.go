@@ -101,8 +101,10 @@ func (s *StepAllocator) solveLayer(p *alloc.Problem, candidate []bool, step int)
 			liveSets = append(liveSets, restricted)
 		}
 	}
-	subProblem := alloc.NewRawProblem(
-		graph.NewWeighted(sub, w), step, liveSets, true, sub.PerfectEliminationOrder())
+	subProblem := alloc.BuildProblem(alloc.Spec{
+		Graph: graph.NewWeighted(sub, w), R: step, LiveSets: liveSets,
+		Chordal: true, PEO: sub.PerfectEliminationOrder(),
+	})
 	res := s.Solve(subProblem)
 	var out []int
 	for i, al := range res.Allocated {

@@ -42,7 +42,7 @@ func intervalsProblem(ivs [][2]int, weights []float64, r int) *alloc.Problem {
 			}
 		}
 	}
-	p := alloc.NewRawProblem(graph.NewWeighted(g, weights), r, liveSets, false, nil)
+	p := alloc.BuildProblem(alloc.Spec{Graph: graph.NewWeighted(g, weights), R: r, LiveSets: liveSets})
 	p.Intervals = ivs
 	return p
 }
@@ -100,7 +100,7 @@ func TestNamesAndMissingIntervalsPanic(t *testing.T) {
 	if DLS().Name() != "DLS" || BLS().Name() != "BLS" {
 		t.Fatal("names wrong")
 	}
-	p := alloc.NewRawProblem(graph.NewWeighted(graph.New(1), []float64{1}), 0, nil, false, nil)
+	p := alloc.BuildProblem(alloc.Spec{Graph: graph.NewWeighted(graph.New(1), []float64{1})})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("missing intervals did not panic")
@@ -215,7 +215,7 @@ b3:
 		costs[i] = 1
 	}
 	for r := 1; r <= 4; r++ {
-		p := alloc.NewProblem(b, costs, r)
+		p := alloc.BuildProblem(alloc.Spec{Build: b, Costs: costs, R: r})
 		p.Intervals = BuildIntervals(info, b)
 		for _, a := range []*Allocator{DLS(), BLS()} {
 			if err := p.Validate(a.Allocate(p)); err != nil {

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/regalloc"
+)
+
+// BenchmarkEngineVsCore pins the public façade's overhead over the
+// internal scratch-reusing runner on the fast path: the Engine sub-bench
+// must stay within 1% ns/op and 0 allocs/op of the Core sub-bench
+// (run with -benchmem to see the allocation columns).
+func BenchmarkEngineVsCore(b *testing.B) {
+	f := fastPathFunc(200)
+	b.Run("Core", func(b *testing.B) {
+		runner := core.NewRunner()
+		cfg := core.Config{Registers: 4, TrustedCostModel: true}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := runner.Run(f, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Engine", func(b *testing.B) {
+		eng, err := regalloc.New(regalloc.WithRegisters(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.AllocateFunc(ctx, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestEngineZeroAllocOverhead is the enforced form of the benchmark's
+// allocs/op column: steady-state, Engine.AllocateFunc must allocate
+// exactly as much as the internal runner it wraps — the façade costs
+// nothing on the hot path.
+func TestEngineZeroAllocOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector disables sync.Pool caching; allocation counts are not meaningful")
+	}
+	f := fastPathFunc(200)
+	runner := core.NewRunner()
+	cfg := core.Config{Registers: 4, TrustedCostModel: true}
+	coreAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := runner.Run(f, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng, err := regalloc.New(regalloc.WithRegisters(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm the engine's worker pool out of the measured region.
+	if _, err := eng.AllocateFunc(ctx, f); err != nil {
+		t.Fatal(err)
+	}
+	engineAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := eng.AllocateFunc(ctx, f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if engineAllocs > coreAllocs {
+		t.Errorf("Engine.AllocateFunc allocates %.1f/op, core.Runner.Run %.1f/op — façade overhead must be 0",
+			engineAllocs, coreAllocs)
+	}
+}

@@ -63,7 +63,7 @@ func Run(s Suite, progress io.Writer) []*Instance {
 		costs := spillcost.Costs(prog.F, spillcost.DefaultModel)
 		intervals := linearscan.BuildIntervals(info, build)
 		for _, r := range s.Registers {
-			p := alloc.NewProblem(build, costs, r)
+			p := alloc.BuildProblem(alloc.Spec{Build: build, Costs: costs, R: r})
 			p.Name = prog.Name
 			p.Intervals = intervals
 			inst := &Instance{

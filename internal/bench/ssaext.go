@@ -80,7 +80,7 @@ func costPair(f *ir.Func, r int, a alloc.Allocator) (float64, float64, error) {
 	info := liveness.Compute(f)
 	build := ifg.FromLiveness(info)
 	costs := spillcost.Costs(f, spillcost.DefaultModel)
-	p := alloc.NewProblem(build, costs, r)
+	p := alloc.BuildProblem(alloc.Spec{Build: build, Costs: costs, R: r})
 	res := a.Allocate(p)
 	if err := p.Validate(res); err != nil {
 		return 0, 0, fmt.Errorf("bench: %s on %s (R=%d): %w", a.Name(), f.Name, r, err)

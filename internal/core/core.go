@@ -39,6 +39,7 @@ import (
 	"repro/internal/ifg"
 	"repro/internal/ir"
 	"repro/internal/liveness"
+	"repro/internal/raerr"
 	"repro/internal/regassign"
 	"repro/internal/spillcost"
 )
@@ -138,16 +139,17 @@ func Run(f *ir.Func, cfg Config) (*Outcome, error) {
 
 func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 	if cfg.Registers < 1 {
-		return nil, fmt.Errorf("core: Registers must be ≥ 1, got %d", cfg.Registers)
+		return nil, fmt.Errorf("%w: Registers must be ≥ 1, got %d", raerr.ErrInvalidConfig, cfg.Registers)
 	}
 	if !cfg.TrustedCostModel {
 		if err := cfg.CostModel.Validate(); err != nil {
-			return nil, fmt.Errorf("core: invalid cost model: %w", err)
+			return nil, fmt.Errorf("%w: invalid cost model: %w", raerr.ErrInvalidConfig, err)
 		}
 	}
 	dom, err := f.ValidateAnalyzed()
 	if err != nil {
-		return nil, fmt.Errorf("core: invalid input function: %w", err)
+		return nil, &raerr.FuncError{Func: f.Name, Stage: "validate",
+			Err: fmt.Errorf("invalid input function: %w", err)}
 	}
 	f.ComputeLoops(dom)
 	var info *liveness.Info
@@ -171,11 +173,11 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 		cs = cliques.Derive(info, dom, scratch)
 	}
 	if cs != nil {
-		p = alloc.NewCliqueProblem(cs, costs, cfg.Registers)
+		p = alloc.BuildProblem(alloc.Spec{Cliques: cs, Costs: costs, R: cfg.Registers})
 		p.Intervals = linearscan.IntervalsFromLiveness(info, cs.VertexOf, cs.N)
 	} else {
 		build = ifg.FromLiveness(info)
-		p = alloc.NewProblemDom(build, costs, cfg.Registers, dom)
+		p = alloc.BuildProblem(alloc.Spec{Build: build, Costs: costs, R: cfg.Registers, Dom: dom})
 		p.Intervals = linearscan.BuildIntervals(info, build)
 	}
 
@@ -192,9 +194,27 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 			a = layered.NewLH()
 		}
 	}
+	if !p.Chordal && alloc.ChordalOnly(a.Name()) {
+		return nil, &raerr.FuncError{Func: f.Name, Stage: "allocate",
+			Err: fmt.Errorf("%w: allocator %s requires a chordal (strict-SSA) instance",
+				raerr.ErrNotSSA, a.Name())}
+	}
 	res := a.Allocate(p)
+	// A structurally malformed result (custom allocators) is a contract
+	// violation, not a pressure failure — keep the taxonomy honest.
+	if res == nil || len(res.Allocated) != p.N() {
+		got := -1
+		if res != nil {
+			got = len(res.Allocated)
+		}
+		return nil, &raerr.FuncError{Func: f.Name, Stage: "allocate",
+			Err: fmt.Errorf("allocator %s returned a malformed result: %d of %d vertices covered",
+				a.Name(), got, p.N())}
+	}
 	if err := p.Validate(res); err != nil {
-		return nil, fmt.Errorf("core: allocator %s returned an invalid allocation: %w", a.Name(), err)
+		return nil, &raerr.FuncError{Func: f.Name, Stage: "allocate",
+			Err: fmt.Errorf("%w: allocator %s returned an invalid allocation: %w",
+				raerr.ErrPressureUnsatisfiable, a.Name(), err)}
 	}
 
 	out := &Outcome{
@@ -249,10 +269,13 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 		}
 		regOf, err := regassign.AssignWith(f, dom, info, allocatedVals, cfg.Registers, ra)
 		if err != nil {
-			return nil, fmt.Errorf("core: assignment after allocation failed: %w", err)
+			return nil, &raerr.FuncError{Func: f.Name, Stage: "assign",
+				Err: fmt.Errorf("%w: assignment after allocation failed: %w",
+					raerr.ErrPressureUnsatisfiable, err)}
 		}
 		if err := regassign.VerifyAssignment(info, allocatedVals, regOf); err != nil {
-			return nil, fmt.Errorf("core: assignment verification failed: %w", err)
+			return nil, &raerr.FuncError{Func: f.Name, Stage: "assign",
+				Err: fmt.Errorf("assignment verification failed: %w", err)}
 		}
 		out.RegisterOf = regOf
 		for _, v := range out.SpilledValues {
@@ -264,7 +287,8 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 			// validated above; re-validating it would just recompute
 			// dominance for nothing.
 			if err := out.Rewritten.Validate(); err != nil {
-				return nil, fmt.Errorf("core: spill-code rewrite broke the function: %w", err)
+				return nil, &raerr.FuncError{Func: f.Name, Stage: "rewrite",
+					Err: fmt.Errorf("spill-code rewrite broke the function: %w", err)}
 			}
 		}
 	}
@@ -283,33 +307,32 @@ func resizeFlags(s []bool, n int) []bool {
 	return s
 }
 
-// AllocatorByName resolves the paper's allocator names: NL, BL, FPL, BFPL,
-// LH, GC, DLS, BLS, Optimal.
-func AllocatorByName(name string) (alloc.Allocator, error) {
-	switch name {
-	case "NL":
-		return layered.NL(), nil
-	case "BL":
-		return layered.BL(), nil
-	case "FPL":
-		return layered.FPL(), nil
-	case "BFPL":
-		return layered.BFPL(), nil
-	case "LH":
-		return layered.NewLH(), nil
-	case "GC":
-		return chaitin.New(), nil
-	case "DLS":
-		return linearscan.DLS(), nil
-	case "BLS":
-		return linearscan.BLS(), nil
-	case "Optimal":
-		return optimal.New(), nil
-	}
-	return nil, fmt.Errorf("core: unknown allocator %q", name)
+// The paper's allocators, registered once at init into the shared registry
+// (internal/alloc); the public regalloc.Register adds external ones to the
+// same table. NL/BL/FPL/BFPL are chordal-only: they require a strict-SSA
+// (chordal) instance and the pipeline rejects them on anything else with a
+// typed raerr.ErrNotSSA.
+func init() {
+	alloc.MustRegisterAllocator("NL", true, func() alloc.Allocator { return layered.NL() })
+	alloc.MustRegisterAllocator("BL", true, func() alloc.Allocator { return layered.BL() })
+	alloc.MustRegisterAllocator("FPL", true, func() alloc.Allocator { return layered.FPL() })
+	alloc.MustRegisterAllocator("BFPL", true, func() alloc.Allocator { return layered.BFPL() })
+	alloc.MustRegisterAllocator("LH", false, func() alloc.Allocator { return layered.NewLH() })
+	alloc.MustRegisterAllocator("GC", false, func() alloc.Allocator { return chaitin.New() })
+	alloc.MustRegisterAllocator("DLS", false, func() alloc.Allocator { return linearscan.DLS() })
+	alloc.MustRegisterAllocator("BLS", false, func() alloc.Allocator { return linearscan.BLS() })
+	alloc.MustRegisterAllocator("Optimal", false, func() alloc.Allocator { return optimal.New() })
 }
 
-// AllocatorNames lists the registered allocator names.
+// AllocatorByName resolves a registered allocator name (case-insensitive) to
+// a fresh instance: the paper's NL, BL, FPL, BFPL, LH, GC, DLS, BLS and
+// Optimal, plus anything added through the registry. Unknown names fail with
+// raerr.ErrUnknownAllocator.
+func AllocatorByName(name string) (alloc.Allocator, error) {
+	return alloc.NewByName(name)
+}
+
+// AllocatorNames lists the registered allocator names, sorted.
 func AllocatorNames() []string {
-	return []string{"NL", "BL", "FPL", "BFPL", "LH", "GC", "DLS", "BLS", "Optimal"}
+	return alloc.RegisteredNames()
 }

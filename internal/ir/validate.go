@@ -3,6 +3,8 @@ package ir
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/raerr"
 )
 
 // Validate checks structural invariants of the function and, when f.SSA is
@@ -101,7 +103,9 @@ func (f *Func) ValidateAnalyzed() (*Dominance, error) {
 	dom := f.ComputeDominance()
 	if f.SSA {
 		if err := f.validateSSA(dom); err != nil {
-			errs = append(errs, err)
+			// Tag SSA-form violations so clients can dispatch on them with
+			// errors.Is(err, raerr.ErrNotSSA) across the whole stack.
+			errs = append(errs, fmt.Errorf("%w: %w", raerr.ErrNotSSA, err))
 		}
 	}
 	return dom, errors.Join(errs...)

@@ -12,6 +12,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/raerr"
 	"repro/internal/spillcost"
 )
 
@@ -48,6 +50,14 @@ type Config struct {
 	// functions eligible for the IFG-free fast path (benchmark ablation and
 	// differential testing; results are identical either way).
 	LegacyIFG bool
+	// TrustedCostModel skips the batch-level CostModel validation: the
+	// caller (the regalloc Engine, which validates at construction time)
+	// guarantees the model is well-formed.
+	TrustedCostModel bool
+	// onFuncDone, when set, runs on the worker goroutine after every
+	// completed function — a package-internal test hook that makes
+	// mid-batch cancellation deterministic to provoke.
+	onFuncDone func()
 }
 
 // FuncResult is the outcome of one function of the module.
@@ -68,22 +78,83 @@ type FuncResult struct {
 // per-function failures land in FuncResult.Err rather than aborting the
 // batch. The module functions themselves are annotated in place with loop
 // depths, as core.Run does.
-func RunModule(m *ir.Module, cfg Config) ([]FuncResult, error) {
+//
+// Workers check ctx between functions, so a long batch is cancellable: on
+// cancellation RunModule still returns the full-length result slice with
+// every function that completed before the cut, marks the unprocessed ones
+// with raerr.ErrCanceled, and returns an error wrapping both
+// raerr.ErrCanceled and the context's own error.
+func RunModule(ctx context.Context, m *ir.Module, cfg Config) ([]FuncResult, error) {
+	results, _, err := start(ctx, m, cfg, nil)
+	return results, err
+}
+
+// RunModuleStream is RunModule in streaming form: yield observes every
+// FuncResult in module order (the same deterministic order RunModule
+// returns) as soon as it and all its predecessors are done, without waiting
+// for the rest of the batch. A non-nil error from yield stops the workers
+// and is returned verbatim. On context cancellation the stream ends early
+// with an error wrapping raerr.ErrCanceled; results that were computed but
+// not yet yielded are dropped, never reordered.
+func RunModuleStream(ctx context.Context, m *ir.Module, cfg Config, yield func(FuncResult) error) error {
+	notify := make(chan int)
+	results, wait, err := start(ctx, m, cfg, notify)
+	if err != nil && results == nil {
+		return err // configuration error: no workers were started
+	}
+	emitted, nextEmit := make([]bool, len(results)), 0
+	var yieldErr error
+	for i := range notify {
+		emitted[i] = true
+		for nextEmit < len(results) && emitted[nextEmit] {
+			if yieldErr == nil {
+				if yieldErr = yield(results[nextEmit]); yieldErr != nil {
+					wait.cancel() // stop the workers; keep draining notify
+				}
+			}
+			nextEmit++
+		}
+	}
+	if yieldErr != nil {
+		return yieldErr
+	}
+	return wait.err()
+}
+
+// batchHandle lets the stream front-end cancel and join a running batch.
+type batchHandle struct {
+	cancel context.CancelFunc
+	errFn  func() error
+}
+
+func (h *batchHandle) err() error { return h.errFn() }
+
+// start validates cfg, fans the workers out, and — when notify is nil —
+// joins them before returning. With a notify channel, completion indexes
+// are delivered on it as workers finish functions and the channel is closed
+// once all workers exit; the caller drains it and then calls handle.err().
+func start(ctx context.Context, m *ir.Module, cfg Config, notify chan int) ([]FuncResult, *batchHandle, error) {
 	if m == nil || len(m.Funcs) == 0 {
-		return nil, fmt.Errorf("pipeline: empty module")
+		return nil, nil, fmt.Errorf("%w: empty module", raerr.ErrInvalidConfig)
 	}
 	if cfg.Registers < 1 {
-		return nil, fmt.Errorf("pipeline: Registers must be ≥ 1, got %d", cfg.Registers)
+		return nil, nil, fmt.Errorf("%w: Registers must be ≥ 1, got %d", raerr.ErrInvalidConfig, cfg.Registers)
 	}
 	if cfg.Allocator != "" {
 		// Fail fast on unknown names instead of once per function.
 		if _, err := core.AllocatorByName(cfg.Allocator); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	if err := cfg.CostModel.Validate(); err != nil {
-		return nil, err
+	if !cfg.TrustedCostModel {
+		if err := cfg.CostModel.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("%w: invalid cost model: %w", raerr.ErrInvalidConfig, err)
+		}
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
 	jobs := cfg.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -98,16 +169,47 @@ func RunModule(m *ir.Module, cfg Config) ([]FuncResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			worker(m, cfg, results, &next)
+			worker(ctx, m, cfg, results, &next, notify)
 		}()
 	}
-	wg.Wait()
-	return results, nil
+	finish := func() error {
+		wg.Wait()
+		defer cancel()
+		if err := ctx.Err(); err != nil {
+			// Partial batch: mark every function no worker reached. A
+			// claimed function always carries its name, so unprocessed
+			// entries are exactly the zero-valued ones.
+			for i := range results {
+				if results[i].Name == "" && results[i].Outcome == nil && results[i].Err == nil {
+					results[i] = FuncResult{Index: i, Name: m.Funcs[i].Name,
+						Err: fmt.Errorf("%w: %w", raerr.ErrCanceled, err)}
+				}
+			}
+			return fmt.Errorf("pipeline: module run interrupted: %w: %w", raerr.ErrCanceled, err)
+		}
+		return nil
+	}
+	if notify == nil {
+		return results, &batchHandle{cancel: cancel}, finish()
+	}
+	handle := &batchHandle{cancel: cancel}
+	var joinOnce sync.Once
+	var joinErr error
+	handle.errFn = func() error {
+		joinOnce.Do(func() { joinErr = finish() })
+		return joinErr
+	}
+	go func() {
+		wg.Wait()
+		close(notify)
+	}()
+	return results, handle, nil
 }
 
 // worker drains the module's function queue with one reusable Runner (and
-// one private allocator instance).
-func worker(m *ir.Module, cfg Config, results []FuncResult, next *atomic.Int64) {
+// one private allocator instance), checking for cancellation between
+// functions.
+func worker(ctx context.Context, m *ir.Module, cfg Config, results []FuncResult, next *atomic.Int64, notify chan int) {
 	var runner *core.Runner
 	if !cfg.NoScratchReuse {
 		runner = core.NewRunner()
@@ -116,18 +218,22 @@ func worker(m *ir.Module, cfg Config, results []FuncResult, next *atomic.Int64) 
 		Registers:   cfg.Registers,
 		CostModel:   cfg.CostModel,
 		SkipRewrite: cfg.SkipRewrite,
-		LegacyIFG:   cfg.LegacyIFG,
-		// RunModule validated the model once for the whole batch.
+		LegacyIFG: cfg.LegacyIFG,
+		// Either start validated the model for the whole batch, or the
+		// caller set Config.TrustedCostModel and owns that guarantee.
 		TrustedCostModel: true,
 	}
 	if cfg.Allocator != "" {
 		a, err := core.AllocatorByName(cfg.Allocator)
 		if err != nil {
-			panic(err) // unreachable: RunModule validates the name up front
+			panic(err) // unreachable: start validates the name up front
 		}
 		ccfg.Allocator = a
 	}
 	for {
+		if ctx.Err() != nil {
+			return
+		}
 		i := int(next.Add(1)) - 1
 		if i >= len(m.Funcs) {
 			return
@@ -135,6 +241,12 @@ func worker(m *ir.Module, cfg Config, results []FuncResult, next *atomic.Int64) 
 		f := m.Funcs[i]
 		out, err := RunFunc(runner, f, ccfg)
 		results[i] = FuncResult{Index: i, Name: f.Name, Outcome: out, Err: err}
+		if cfg.onFuncDone != nil {
+			cfg.onFuncDone()
+		}
+		if notify != nil {
+			notify <- i
+		}
 	}
 }
 
@@ -145,7 +257,10 @@ func worker(m *ir.Module, cfg Config, results []FuncResult, next *atomic.Int64) 
 func RunFunc(runner *core.Runner, f *ir.Func, cfg core.Config) (out *core.Outcome, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			out, err = nil, fmt.Errorf("pipeline: panic allocating %s: %v", f.Name, r)
+			// Keep the typed per-function contract even for panicking
+			// (custom) allocators: clients dispatch on *FuncError.
+			out, err = nil, &raerr.FuncError{Func: f.Name, Stage: "allocate",
+				Err: fmt.Errorf("allocator panicked: %v", r)}
 		}
 	}()
 	if runner != nil {

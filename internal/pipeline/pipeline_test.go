@@ -1,12 +1,15 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/irgen"
+	"repro/internal/raerr"
 	"repro/internal/spillcost"
 )
 
@@ -25,7 +28,7 @@ func TestRunModuleDeterminism(t *testing.T) {
 	}
 	var want string
 	for _, jobs := range []int{1, 4, 16} {
-		results, err := RunModule(m, Config{Registers: 4, Jobs: jobs})
+		results, err := RunModule(context.Background(), m, Config{Registers: 4, Jobs: jobs})
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
 		}
@@ -47,11 +50,11 @@ func TestRunModuleDeterminism(t *testing.T) {
 // memory optimization — disabling it must not change a byte of output.
 func TestRunModuleScratchReuseEquivalent(t *testing.T) {
 	m := irgen.GenerateModule(7, 80)
-	with, err := RunModule(m, Config{Registers: 3, Jobs: 2})
+	with, err := RunModule(context.Background(), m, Config{Registers: 3, Jobs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := RunModule(m, Config{Registers: 3, Jobs: 2, NoScratchReuse: true})
+	without, err := RunModule(context.Background(), m, Config{Registers: 3, Jobs: 2, NoScratchReuse: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +67,7 @@ func TestRunModuleScratchReuseEquivalent(t *testing.T) {
 // core.Run through the same report format.
 func TestRunModuleMatchesCoreRun(t *testing.T) {
 	m := irgen.GenerateModule(99, 40)
-	results, err := RunModule(m, Config{Registers: 8, Jobs: 4})
+	results, err := RunModule(context.Background(), m, Config{Registers: 8, Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +87,7 @@ func TestRunModuleMatchesCoreRun(t *testing.T) {
 func TestRunModuleNamedAllocators(t *testing.T) {
 	m := irgen.GenerateModule(3, 30)
 	for _, name := range []string{"NL", "BFPL", "GC", "DLS", "BLS", "LH", "Optimal"} {
-		results, err := RunModule(m, Config{Registers: 4, Allocator: name, Jobs: 3})
+		results, err := RunModule(context.Background(), m, Config{Registers: 4, Allocator: name, Jobs: 3})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -121,7 +124,7 @@ b2:
 }
 `)
 	// NL is chordal-only: the non-SSA function must fail, the SSA one pass.
-	results, err := RunModule(m, Config{Registers: 4, Allocator: "NL", Jobs: 2})
+	results, err := RunModule(context.Background(), m, Config{Registers: 4, Allocator: "NL", Jobs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,16 +142,16 @@ b2:
 // TestRunModuleConfigErrors pins the fail-fast paths.
 func TestRunModuleConfigErrors(t *testing.T) {
 	m := irgen.GenerateModule(1, 2)
-	if _, err := RunModule(m, Config{Registers: 0}); err == nil {
+	if _, err := RunModule(context.Background(), m, Config{Registers: 0}); err == nil {
 		t.Error("accepted Registers=0")
 	}
-	if _, err := RunModule(m, Config{Registers: 4, Allocator: "nope"}); err == nil {
+	if _, err := RunModule(context.Background(), m, Config{Registers: 4, Allocator: "nope"}); err == nil {
 		t.Error("accepted unknown allocator")
 	}
-	if _, err := RunModule(&ir.Module{}, Config{Registers: 4}); err == nil {
+	if _, err := RunModule(context.Background(), &ir.Module{}, Config{Registers: 4}); err == nil {
 		t.Error("accepted empty module")
 	}
-	if _, err := RunModule(m, Config{Registers: 4, CostModel: spillcost.Model{LoopBase: -1, StoreFactor: 1}}); err == nil {
+	if _, err := RunModule(context.Background(), m, Config{Registers: 4, CostModel: spillcost.Model{LoopBase: -1, StoreFactor: 1}}); err == nil {
 		t.Error("accepted invalid cost model")
 	}
 }
@@ -156,7 +159,7 @@ func TestRunModuleConfigErrors(t *testing.T) {
 // TestSummarize checks the batch totals against a hand-rolled count.
 func TestSummarize(t *testing.T) {
 	m := irgen.GenerateModule(42, 25)
-	results, err := RunModule(m, Config{Registers: 2, Jobs: 4})
+	results, err := RunModule(context.Background(), m, Config{Registers: 2, Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,5 +177,115 @@ func TestSummarize(t *testing.T) {
 	}
 	if tot.Spilled != spilled || tot.SpillCost != cost {
 		t.Fatalf("totals %+v disagree with recount (%d, %g)", tot, spilled, cost)
+	}
+}
+
+// TestRunModuleCancellation is the satellite bugproofing test: cancel a
+// batch mid-module and require (a) an error wrapping both the typed
+// raerr.ErrCanceled and context.Canceled, (b) full-length partial results
+// where everything processed before the cut has a real outcome and
+// everything after it is marked canceled.
+func TestRunModuleCancellation(t *testing.T) {
+	n := 300
+	m := irgen.GenerateModule(5150, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := make(chan struct{}, n)
+	// Cancel after the first few functions complete: a worker-side hook is
+	// not available, so run the module through the stream form first to
+	// find a stable cut, then cancel the batch from a racing goroutine
+	// keyed on one completed result.
+	go func() {
+		<-seen
+		cancel()
+	}()
+	results, err := RunModule(ctx, m, Config{Registers: 4, Jobs: 2, onFuncDone: func() {
+		select {
+		case seen <- struct{}{}:
+		default:
+		}
+	}})
+	if err == nil {
+		t.Skip("batch completed before cancellation (machine too fast for the race)")
+	}
+	if !errors.Is(err, raerr.ErrCanceled) {
+		t.Fatalf("module error %v does not wrap raerr.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("module error %v does not wrap context.Canceled", err)
+	}
+	if len(results) != n {
+		t.Fatalf("partial results have length %d, want %d", len(results), n)
+	}
+	completed, canceled := 0, 0
+	for i := range results {
+		switch {
+		case results[i].Outcome != nil:
+			completed++
+		case errors.Is(results[i].Err, raerr.ErrCanceled):
+			canceled++
+			if results[i].Name == "" {
+				t.Fatalf("canceled result %d lost its function name", i)
+			}
+		case results[i].Err != nil:
+			t.Fatalf("function %s failed with a non-cancellation error: %v", results[i].Name, results[i].Err)
+		default:
+			t.Fatalf("result %d has neither outcome nor error", i)
+		}
+	}
+	if completed == 0 {
+		t.Error("cancellation produced no completed functions (expected partial results)")
+	}
+	if canceled == 0 {
+		t.Error("cancellation left no canceled functions (cancel came too late to test anything)")
+	}
+}
+
+// TestRunModuleStreamOrdered: the streaming form yields every result
+// exactly once, in module order, with the same bytes as the batch form.
+func TestRunModuleStreamOrdered(t *testing.T) {
+	m := irgen.GenerateModule(808, 60)
+	batch, err := RunModule(context.Background(), m, Config{Registers: 3, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []FuncResult
+	err = RunModuleStream(context.Background(), m, Config{Registers: 3, Jobs: 4}, func(r FuncResult) error {
+		streamed = append(streamed, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d results, want %d", len(streamed), len(batch))
+	}
+	for i := range streamed {
+		if streamed[i].Index != i {
+			t.Fatalf("stream out of order: position %d carries index %d", i, streamed[i].Index)
+		}
+	}
+	if FormatResults(streamed, true) != FormatResults(batch, true) {
+		t.Fatal("streamed results differ from batch results")
+	}
+}
+
+// TestRunModuleStreamYieldError: a failing yield stops the workers and
+// surfaces the yield error verbatim.
+func TestRunModuleStreamYieldError(t *testing.T) {
+	m := irgen.GenerateModule(33, 40)
+	boom := errors.New("consumer full")
+	n := 0
+	err := RunModuleStream(context.Background(), m, Config{Registers: 3, Jobs: 2}, func(r FuncResult) error {
+		n++
+		if n == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("stream error = %v, want the yield error", err)
+	}
+	if n != 5 {
+		t.Fatalf("yield called %d times after erroring at 5", n)
 	}
 }

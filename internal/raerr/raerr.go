@@ -1,0 +1,54 @@
+// Package raerr defines the typed error taxonomy of the register-allocation
+// system. It is the leaf package every layer (ir, alloc, core, pipeline) may
+// import to tag failures, and the public regalloc façade re-exports its
+// sentinels verbatim, so `errors.Is`/`errors.As` work identically whether a
+// client holds an error from the public API or from an internal layer.
+package raerr
+
+import "errors"
+
+var (
+	// ErrInvalidConfig tags configuration errors: a register count below 1,
+	// a malformed cost model, a negative worker count.
+	ErrInvalidConfig = errors.New("regalloc: invalid configuration")
+
+	// ErrUnknownAllocator tags allocator-name lookups that match no
+	// registered allocator.
+	ErrUnknownAllocator = errors.New("regalloc: unknown allocator")
+
+	// ErrNotSSA tags failures that require strict SSA form: a function
+	// declared `ssa` that violates single definitions or dominance of uses,
+	// or a chordal-only allocator (NL, BL, FPL, BFPL) applied to a
+	// non-chordal instance.
+	ErrNotSSA = errors.New("regalloc: function is not in strict SSA form")
+
+	// ErrPressureUnsatisfiable tags allocation results that violate the
+	// register-pressure constraints: an allocator kept more than R values of
+	// one live set, or register assignment ran out of registers. Built-in
+	// allocators never produce it; a custom Register'ed allocator can.
+	ErrPressureUnsatisfiable = errors.New("regalloc: register pressure unsatisfiable")
+
+	// ErrCanceled tags module runs interrupted by context cancellation.
+	// Errors carrying it also wrap the context's own error, so
+	// errors.Is(err, context.Canceled) keeps working.
+	ErrCanceled = errors.New("regalloc: allocation canceled")
+)
+
+// FuncError is a failure localized to one function of a run. It wraps the
+// underlying cause (errors.Is/As see through it) and records which pipeline
+// stage failed.
+type FuncError struct {
+	// Func is the function's name.
+	Func string
+	// Stage is the pipeline stage that failed: "validate", "allocate",
+	// "assign" or "rewrite".
+	Stage string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *FuncError) Error() string {
+	return "regalloc: func " + e.Func + ": " + e.Stage + ": " + e.Err.Error()
+}
+
+func (e *FuncError) Unwrap() error { return e.Err }

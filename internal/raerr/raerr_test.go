@@ -1,0 +1,34 @@
+package raerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFuncErrorWrapping(t *testing.T) {
+	cause := fmt.Errorf("boom: %w", ErrNotSSA)
+	fe := &FuncError{Func: "f", Stage: "validate", Err: cause}
+	if got := fe.Error(); got != "regalloc: func f: validate: boom: "+ErrNotSSA.Error() {
+		t.Errorf("Error() = %q", got)
+	}
+	if !errors.Is(fe, ErrNotSSA) {
+		t.Error("errors.Is does not see through FuncError")
+	}
+	var target *FuncError
+	wrapped := fmt.Errorf("outer: %w", fe)
+	if !errors.As(wrapped, &target) || target.Func != "f" || target.Stage != "validate" {
+		t.Errorf("errors.As failed: %+v", target)
+	}
+}
+
+func TestSentinelsDistinct(t *testing.T) {
+	sentinels := []error{ErrInvalidConfig, ErrUnknownAllocator, ErrNotSSA, ErrPressureUnsatisfiable, ErrCanceled}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Errorf("sentinel identity broken: Is(%v, %v) = %v", a, b, errors.Is(a, b))
+			}
+		}
+	}
+}

@@ -46,7 +46,7 @@ func TestAssignInvariantCorpus(t *testing.T) {
 		build := ifg.FromLiveness(info)
 		costs := spillcost.Costs(f, spillcost.DefaultModel)
 		for _, r := range []int{1, 2, 3, 4, 8} {
-			p := alloc.NewProblem(build, costs, r)
+			p := alloc.BuildProblem(alloc.Spec{Build: build, Costs: costs, R: r})
 			if !p.Chordal {
 				t.Fatalf("%s: SSA function produced a non-chordal problem", file)
 			}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/ifg"
 	"repro/internal/interp"
@@ -135,14 +136,13 @@ func CheckFunc(f *ir.Func, opts Options) error {
 		b := ifg.FromLiveness(info)
 		chordal = b.Graph.IsPerfectEliminationOrder(b.Graph.PerfectEliminationOrder())
 	}
-	chordalOnly := map[string]bool{"NL": true, "BL": true, "FPL": true, "BFPL": true}
 	// Rewrites are a function of the spill set alone, so executions are
 	// cached across allocators that agree on what to spill.
 	type rewriteRuns struct{ runs []*interp.Result }
 	cache := make(map[string]*rewriteRuns)
 
 	for _, allocName := range opts.Allocators {
-		if chordalOnly[allocName] && !chordal {
+		if alloc.ChordalOnly(allocName) && !chordal {
 			continue
 		}
 		a, err := core.AllocatorByName(allocName)

@@ -1,0 +1,38 @@
+package regalloc
+
+import "repro/internal/raerr"
+
+// The typed error taxonomy. Every failure the public API returns wraps one
+// of these sentinels (or *FuncError), so clients dispatch with errors.Is
+// and errors.As instead of matching message strings.
+var (
+	// ErrInvalidConfig tags configuration errors: a register count below 1,
+	// a malformed cost model, a negative worker count, an empty module.
+	ErrInvalidConfig = raerr.ErrInvalidConfig
+
+	// ErrUnknownAllocator tags WithAllocator names that match no registered
+	// allocator. Its message lists the registered names.
+	ErrUnknownAllocator = raerr.ErrUnknownAllocator
+
+	// ErrNotSSA tags failures that require strict SSA form: a function
+	// declared `ssa` violating single definitions or dominance of uses, or
+	// a chordal-only allocator (NL, BL, FPL, BFPL) applied to a function
+	// whose interference structure is not chordal.
+	ErrNotSSA = raerr.ErrNotSSA
+
+	// ErrPressureUnsatisfiable tags allocation results that violate the
+	// register-pressure constraints — more than R simultaneously-live
+	// values kept, or assignment running out of registers. The built-in
+	// allocators never produce it; a custom Register'ed allocator can.
+	ErrPressureUnsatisfiable = raerr.ErrPressureUnsatisfiable
+
+	// ErrCanceled tags module runs interrupted by context cancellation.
+	// Errors carrying it also wrap the context's own error, so
+	// errors.Is(err, context.Canceled) keeps working too.
+	ErrCanceled = raerr.ErrCanceled
+)
+
+// FuncError is a failure localized to one function of a run: the function
+// name, the pipeline stage that failed ("validate", "allocate", "assign",
+// "rewrite"), and the underlying cause, which errors.Is/As see through.
+type FuncError = raerr.FuncError

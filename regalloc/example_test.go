@@ -1,0 +1,99 @@
+package regalloc_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/regalloc"
+	"repro/regalloc/irx"
+)
+
+// The quickstart: build an engine with functional options, allocate one
+// SSA function, and read the spill decisions and register assignment off
+// the outcome.
+func Example() {
+	f := irx.MustParse(`
+func dot ssa {
+b0:
+  a = param 0
+  b = param 1
+  c = param 2
+  d = arith a, b
+  e = arith d, c
+  g = arith e, a
+  ret g
+}`)
+	eng, err := regalloc.New(
+		regalloc.WithRegisters(2),
+		regalloc.WithAllocator("BFPL"),
+	)
+	if err != nil {
+		panic(err)
+	}
+	out, err := eng.AllocateFunc(context.Background(), f)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("maxlive %d with %d registers\n", out.MaxLive, 2)
+	fmt.Printf("spilled %d values, cost %.0f\n", len(out.SpilledValues), out.SpillCost)
+	for _, v := range out.SpilledValues {
+		fmt.Printf("  spill %s\n", f.NameOf(v))
+	}
+	fmt.Printf("rewritten has spill code: %v\n", strings.Contains(out.Rewritten.String(), "reload"))
+	// Output:
+	// maxlive 3 with 2 registers
+	// spilled 1 values, cost 2
+	//   spill c
+	// rewritten has spill code: true
+}
+
+// Module runs fan out over a worker pool and come back in deterministic
+// module order; per-function failures never abort the batch.
+func ExampleEngine_AllocateModule() {
+	m := irx.MustParseModule(`
+func first ssa {
+b0:
+  a = param 0
+  b = arith a, a
+  ret b
+}
+
+func second ssa {
+b0:
+  x = param 0
+  y = param 1
+  z = arith x, y
+  ret z
+}`)
+	eng, err := regalloc.New(regalloc.WithRegisters(4), regalloc.WithJobs(2))
+	if err != nil {
+		panic(err)
+	}
+	results, err := eng.AllocateModule(context.Background(), m)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: %d spilled\n", r.Name, len(r.Outcome.SpilledValues))
+	}
+	t := regalloc.Summarize(results)
+	fmt.Printf("total %d functions, %d errors\n", t.Funcs, t.Errors)
+	// Output:
+	// first: 0 spilled
+	// second: 0 spilled
+	// total 2 functions, 0 errors
+}
+
+// Failures carry a typed taxonomy: dispatch with errors.Is instead of
+// matching message strings.
+func ExampleNew_errors() {
+	_, err := regalloc.New(regalloc.WithRegisters(4), regalloc.WithAllocator("frobnicate"))
+	fmt.Println(errors.Is(err, regalloc.ErrUnknownAllocator))
+	_, err = regalloc.New(regalloc.WithRegisters(0))
+	fmt.Println(errors.Is(err, regalloc.ErrInvalidConfig))
+	// Output:
+	// true
+	// true
+}

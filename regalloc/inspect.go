@@ -1,0 +1,111 @@
+package regalloc
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ifg"
+	"repro/internal/liveness"
+	"repro/internal/raerr"
+	"repro/internal/spillcost"
+	"repro/regalloc/irx"
+)
+
+// Inspection is a diagnostic view of one function's interference
+// structure: graph size, register pressure, chordality, and the pressure
+// constraints by value name. Produced by Inspect; the graphtool CLI is a
+// thin printer over it.
+type Inspection struct {
+	// F is the inspected function (annotated in place with loop depths).
+	F *irx.Func
+	// Vertices and Edges size the interference graph (vertices are the
+	// allocable values).
+	Vertices, Edges int
+	// MaxLive is the peak register pressure.
+	MaxLive int
+	// Chordal reports whether the interference graph is chordal (always
+	// true for strict-SSA functions).
+	Chordal bool
+	// CliqueCount and CliqueNumber are the number of maximal cliques and
+	// the largest maximal-clique size (chordal instances only).
+	CliqueCount, CliqueNumber int
+	// PressureSets are the register-pressure constraints as sorted sets of
+	// value names: the maximal cliques for chordal SSA instances, the
+	// distinct program-point live sets otherwise.
+	PressureSets [][]string
+
+	build *ifg.Build
+	costs []float64
+}
+
+// Inspect validates f and materializes its explicit interference graph
+// with the default cost model — the diagnostic path; allocation itself
+// uses the IFG-free fast path wherever possible.
+func Inspect(f *irx.Func) (*Inspection, error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w: nil function", raerr.ErrInvalidConfig)
+	}
+	dom, err := f.ValidateAnalyzed()
+	if err != nil {
+		return nil, &raerr.FuncError{Func: f.Name, Stage: "validate",
+			Err: fmt.Errorf("invalid input function: %w", err)}
+	}
+	f.ComputeLoops(dom)
+	info := liveness.Compute(f)
+	b := ifg.FromLiveness(info)
+	ins := &Inspection{
+		F:        f,
+		Vertices: b.Graph.N(),
+		Edges:    b.Graph.M(),
+		MaxLive:  b.MaxLive,
+		build:    b,
+		costs:    spillcost.Costs(f, spillcost.DefaultModel),
+	}
+	order := b.Graph.PerfectEliminationOrder()
+	ins.Chordal = b.Graph.IsPerfectEliminationOrder(order)
+	sets := b.LiveSets
+	if ins.Chordal {
+		cliques := b.Graph.MaximalCliques(order)
+		ins.CliqueCount = len(cliques)
+		ins.CliqueNumber = b.Graph.CliqueNumber(order)
+		if f.SSA {
+			// The clique ↔ live-set correspondence only holds for strict
+			// SSA; an accidentally chordal non-SSA graph keeps its
+			// program-point live sets as the honest constraints.
+			sets = cliques
+		}
+	}
+	ins.PressureSets = make([][]string, len(sets))
+	for i, ls := range sets {
+		ins.PressureSets[i] = b.Names(ls)
+	}
+	return ins, nil
+}
+
+// SpillCost returns the default-model spill cost of the named pipeline
+// vertex v (0 ≤ v < Vertices).
+func (ins *Inspection) SpillCost(v int) float64 { return ins.costs[ins.build.ValueOf[v]] }
+
+// VertexName returns the value name of vertex v.
+func (ins *Inspection) VertexName(v int) string { return ins.F.NameOf(ins.build.ValueOf[v]) }
+
+// WriteDOT emits the interference graph as Graphviz DOT, labelling each
+// vertex with its value name and default-model spill cost.
+func (ins *Inspection) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "graph interference {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  node [shape=ellipse];")
+	for v := 0; v < ins.Vertices; v++ {
+		fmt.Fprintf(w, "  n%d [label=\"%s\\n%.0f\"];\n", v, ins.VertexName(v), ins.SpillCost(v))
+	}
+	for v := 0; v < ins.Vertices; v++ {
+		for _, u := range ins.build.Graph.Neighbors(v) {
+			if u > v {
+				fmt.Fprintf(w, "  n%d -- n%d;\n", v, u)
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

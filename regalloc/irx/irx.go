@@ -1,0 +1,76 @@
+// Package irx is the public IR surface of the regalloc module: the textual
+// intermediate representation the allocator consumes (parse, print,
+// validate), re-exported from the internal implementation as type aliases so
+// values flow between the public API and the IR with no conversion.
+//
+// A function is a list of basic blocks of three-address instructions over
+// virtual registers ("values"), in optional strict SSA form:
+//
+//	func dot ssa {
+//	b0:
+//	  n   = param 0
+//	  acc = const 0
+//	  br b1
+//	b1:
+//	  i = phi [b0: n], [b2: i2]
+//	  ...
+//	}
+//
+// A module is a sequence of such functions with unique names. Parsing and
+// printing round-trip: Parse(f.String()) reproduces f exactly.
+package irx
+
+import "repro/internal/ir"
+
+// Core IR types, aliased so *irx.Func and the internal *ir.Func are the
+// same type.
+type (
+	// Func is one function: blocks, value names, SSA flag.
+	Func = ir.Func
+	// Module is a multi-function compilation unit.
+	Module = ir.Module
+	// Block is one basic block: instructions plus CFG edges.
+	Block = ir.Block
+	// Instr is one three-address instruction.
+	Instr = ir.Instr
+	// Op enumerates the instruction opcodes.
+	Op = ir.Op
+	// Dominance is a function's dominance tree (ComputeDominance).
+	Dominance = ir.Dominance
+	// DefSite locates one definition of a value.
+	DefSite = ir.DefSite
+)
+
+// NoValue marks the absence of a defined value in an Instr.
+const NoValue = ir.NoValue
+
+// The instruction set.
+const (
+	OpConst  = ir.OpConst
+	OpParam  = ir.OpParam
+	OpArith  = ir.OpArith
+	OpUnary  = ir.OpUnary
+	OpCopy   = ir.OpCopy
+	OpPhi    = ir.OpPhi
+	OpLoad   = ir.OpLoad
+	OpStore  = ir.OpStore
+	OpCall   = ir.OpCall
+	OpBranch = ir.OpBranch
+	OpCondBr = ir.OpCondBr
+	OpReturn = ir.OpReturn
+	OpSpill  = ir.OpSpill
+	OpReload = ir.OpReload
+)
+
+// Parse parses one textual IR function.
+func Parse(src string) (*Func, error) { return ir.Parse(src) }
+
+// MustParse is Parse, panicking on error (tests and examples).
+func MustParse(src string) *Func { return ir.MustParse(src) }
+
+// ParseModule parses a textual IR module: one or more functions with
+// unique names.
+func ParseModule(src string) (*Module, error) { return ir.ParseModule(src) }
+
+// MustParseModule is ParseModule, panicking on error.
+func MustParseModule(src string) *Module { return ir.MustParseModule(src) }

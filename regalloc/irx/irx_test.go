@@ -1,0 +1,86 @@
+package irx_test
+
+import (
+	"testing"
+
+	"repro/regalloc/irx"
+)
+
+// TestAliasesRoundTrip: the public IR surface is the internal one (type
+// aliases), so parse → print → parse round-trips through irx exactly.
+func TestAliasesRoundTrip(t *testing.T) {
+	src := `func f ssa {
+b0:
+  a = param 0
+  b = arith a, a
+  c = unary b
+  condbr c, b1, b2
+b1:
+  d = arith b, a
+  br b2
+b2:
+  e = phi [b0: b], [b1: d]
+  ret e
+}
+`
+	f, err := irx.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.SSA || f.Name != "f" {
+		t.Fatalf("parsed func = {Name: %q, SSA: %v}", f.Name, f.SSA)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	printed := f.String()
+	again, err := irx.Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if again.String() != printed {
+		t.Error("print ∘ parse not idempotent through irx")
+	}
+}
+
+func TestModuleParse(t *testing.T) {
+	m, err := irx.ParseModule(`
+func a ssa {
+b0:
+  x = param 0
+  ret x
+}
+
+func b ssa {
+b0:
+  y = param 0
+  ret y
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) != 2 || m.Funcs[0].Name != "a" || m.Funcs[1].Name != "b" {
+		t.Fatalf("module funcs wrong: %d", len(m.Funcs))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpcodesExported(t *testing.T) {
+	// The opcode constants must be the internal values (aliased consts).
+	f := irx.MustParse(`func f ssa {
+b0:
+  a = param 0
+  ret a
+}`)
+	if got := f.Blocks[0].Instrs[0].Op; got != irx.OpParam {
+		t.Errorf("first op = %v, want OpParam", got)
+	}
+	if got := f.Blocks[0].Instrs[1].Op; got != irx.OpReturn {
+		t.Errorf("last op = %v, want OpReturn", got)
+	}
+	if !irx.OpBranch.IsTerminator() || irx.OpArith.IsTerminator() {
+		t.Error("IsTerminator misbehaves through the alias")
+	}
+}

@@ -1,0 +1,23 @@
+package regalloc
+
+import "repro/internal/arch"
+
+// Machine describes the register file of one evaluation target; its
+// Allocable method is the natural WithRegisters argument for clients that
+// target a named machine rather than an explicit R.
+type Machine = arch.Machine
+
+// The paper's evaluation targets.
+var (
+	// ST231 is the STMicroelectronics ST231 VLIW core (SPEC CPU 2000int,
+	// EEMBC and lao-kernels experiments).
+	ST231 = arch.ST231
+	// ARMv7 is the ARM Cortex A8 target (lao-kernels experiment).
+	ARMv7 = arch.ARMv7
+	// JVM98 is the JikesRVM/IA32-flavoured JIT target of the non-chordal
+	// experiments.
+	JVM98 = arch.JVM98
+)
+
+// MachineByName resolves a target name ("st231", "armv7", "jvm98").
+func MachineByName(name string) (Machine, error) { return arch.ByName(name) }

@@ -1,0 +1,287 @@
+// Package regalloc is the public API of the repository's register
+// allocator: spill-everywhere allocation in the paper's decoupled
+// spill-then-assign framework, with the layered (near-optimal) allocators,
+// tree-scan register assignment and spill-code rewriting behind a single
+// engine type.
+//
+// This package and its subpackages (regalloc/irx for the IR surface,
+// regalloc/workload for benchmark suites and program generators,
+// regalloc/verifier for the differential checking harness) are the only
+// supported import surface; everything under repro/internal/... is
+// implementation and may change without notice.
+//
+// # Quickstart
+//
+// Construct an Engine with functional options, then run functions or whole
+// modules through it:
+//
+//	eng, err := regalloc.New(
+//		regalloc.WithRegisters(8),
+//		regalloc.WithAllocator("bfpl"),
+//		regalloc.WithJobs(4),
+//	)
+//	if err != nil { ... }
+//	f, err := irx.Parse(src)
+//	out, err := eng.AllocateFunc(ctx, f)
+//	// out.SpilledValues, out.RegisterOf, out.Rewritten
+//
+// An Engine is safe for concurrent use: analysis scratch memory is pooled
+// per goroutine, so single-function calls are as fast as the internal
+// batch pipeline's workers (pinned by BenchmarkEngineVsCore: zero
+// allocation overhead over the internal layer).
+//
+// # Errors
+//
+// Failures carry a typed taxonomy (ErrInvalidConfig, ErrUnknownAllocator,
+// ErrNotSSA, ErrPressureUnsatisfiable, ErrCanceled) and per-function
+// failures wrap *FuncError with the function name and failing pipeline
+// stage; everything composes with errors.Is/errors.As.
+//
+// # Custom allocators
+//
+// Register adds an allocator factory under a new name, making it available
+// to WithAllocator, the pipeline and every front-end flag; Allocators lists
+// the registry.
+package regalloc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/raerr"
+	"repro/internal/spillcost"
+	"repro/regalloc/irx"
+)
+
+// Outcome bundles everything a client may want from one allocation run:
+// the spill decisions, their cost, the per-value register assignment and
+// the rewritten function. It aliases the internal pipeline's outcome type,
+// so no copying happens at the API boundary.
+type Outcome = core.Outcome
+
+// FuncResult is the outcome of one function of a module run: its module
+// position, name, and either an Outcome or a per-function error.
+type FuncResult = pipeline.FuncResult
+
+// Totals aggregates a module run: function, spill and error counts plus
+// total spill cost.
+type Totals = pipeline.Totals
+
+// CostModel parameterizes the spill-cost estimate: the per-loop-level
+// multiplier and the store/reload weight ratio. The zero value means
+// DefaultCostModel.
+type CostModel = spillcost.Model
+
+// DefaultCostModel is the paper's spill-cost model: 10× per loop-nesting
+// level, stores as expensive as reloads.
+var DefaultCostModel = spillcost.DefaultModel
+
+// NewCostModel builds a CostModel from the loop-level multiplier and the
+// store cost factor, where zero fields are meant literally ("stores are
+// free"), unlike the zero CostModel which means DefaultCostModel.
+func NewCostModel(loopBase, storeFactor float64) CostModel {
+	return spillcost.NewModel(loopBase, storeFactor)
+}
+
+// options collects the functional-option state of New.
+type options struct {
+	registers      int
+	allocator      string
+	costModel      CostModel
+	jobs           int
+	skipRewrite    bool
+	legacyIFG      bool
+	trustedCost    bool
+	noScratchReuse bool
+}
+
+// Option configures an Engine (New).
+type Option func(*options)
+
+// WithRegisters sets the register count R the engine allocates for.
+// Required; New rejects engines without it.
+func WithRegisters(n int) Option { return func(o *options) { o.registers = n } }
+
+// WithAllocator selects the allocation algorithm by registry name
+// (case-insensitive): the paper's NL, BL, FPL, BFPL, LH, GC, DLS, BLS and
+// Optimal, or anything added with Register. The default picks the paper's
+// best general-purpose chordal allocator (BFPL) for strict-SSA functions
+// and the layered heuristic (LH) otherwise.
+func WithAllocator(name string) Option { return func(o *options) { o.allocator = name } }
+
+// WithCostModel overrides the spill-cost model (default DefaultCostModel).
+func WithCostModel(m CostModel) Option { return func(o *options) { o.costModel = m } }
+
+// WithJobs sets the worker count for module runs (default: GOMAXPROCS).
+// Results are deterministic — byte-identical — at any worker count.
+func WithJobs(n int) Option { return func(o *options) { o.jobs = n } }
+
+// WithoutRewrite disables spill-code insertion and register assignment:
+// the engine reports allocation decisions (spill sets and costs) only.
+func WithoutRewrite() Option { return func(o *options) { o.skipRewrite = true } }
+
+// WithLegacyIFG forces the explicit interference-graph path even for
+// functions eligible for the IFG-free SSA fast path. Diagnostics and
+// differential testing only; results are identical either way.
+func WithLegacyIFG() Option { return func(o *options) { o.legacyIFG = true } }
+
+// WithTrustedCostModel skips cost-model validation at New; the caller
+// guarantees the model is well-formed.
+func WithTrustedCostModel() Option { return func(o *options) { o.trustedCost = true } }
+
+// WithoutScratchReuse gives every function a fresh analysis pipeline
+// instead of pooled per-worker scratch memory. Benchmark ablation only —
+// results are identical either way, just slower.
+func WithoutScratchReuse() Option { return func(o *options) { o.noScratchReuse = true } }
+
+// Engine runs the register-allocation pipeline. It wraps the internal
+// scratch-reusing runner and the module worker pool behind one validated
+// configuration; construct it with New and reuse it — an Engine is safe
+// for concurrent use by multiple goroutines.
+type Engine struct {
+	opts options
+	pool sync.Pool // *worker
+}
+
+// worker is one goroutine's pipeline instance: reusable analysis scratch
+// plus a private allocator instance (allocators keep per-run state).
+type worker struct {
+	runner *core.Runner
+	cfg    core.Config
+}
+
+// New validates the configuration and builds an Engine. Errors wrap
+// ErrInvalidConfig (bad register/worker counts, malformed cost model) or
+// ErrUnknownAllocator.
+func New(opt ...Option) (*Engine, error) {
+	var o options
+	for _, fn := range opt {
+		fn(&o)
+	}
+	if o.registers < 1 {
+		return nil, fmt.Errorf("%w: WithRegisters(n ≥ 1) is required, got %d", raerr.ErrInvalidConfig, o.registers)
+	}
+	if o.jobs < 0 {
+		return nil, fmt.Errorf("%w: WithJobs(%d) is negative", raerr.ErrInvalidConfig, o.jobs)
+	}
+	if o.allocator != "" {
+		if _, err := alloc.NewByName(o.allocator); err != nil {
+			return nil, err
+		}
+	}
+	if !o.trustedCost {
+		if err := o.costModel.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: invalid cost model: %w", raerr.ErrInvalidConfig, err)
+		}
+	}
+	e := &Engine{opts: o}
+	e.pool.New = func() any { return e.newWorker() }
+	return e, nil
+}
+
+// newWorker builds one pipeline instance under the engine's (already
+// validated) configuration.
+func (e *Engine) newWorker() *worker {
+	w := &worker{cfg: core.Config{
+		Registers:   e.opts.registers,
+		CostModel:   e.opts.costModel,
+		SkipRewrite: e.opts.skipRewrite,
+		LegacyIFG:   e.opts.legacyIFG,
+		// New validated the model once for the engine's lifetime.
+		TrustedCostModel: true,
+	}}
+	if !e.opts.noScratchReuse {
+		w.runner = core.NewRunner()
+	}
+	if e.opts.allocator != "" {
+		a, err := alloc.NewByName(e.opts.allocator)
+		if err != nil {
+			// Unreachable: New resolved the name once already, and
+			// registrations are never removed.
+			panic(err)
+		}
+		w.cfg.Allocator = a
+	}
+	return w
+}
+
+// AllocateFunc runs the full pipeline — liveness, interference analysis,
+// spill-everywhere allocation, tree-scan assignment, spill-code rewrite —
+// on one function. The function is annotated in place with loop depths,
+// so concurrent AllocateFunc calls are safe as long as they do not share
+// one *Func value; the Outcome never aliases engine scratch, so it stays
+// valid across subsequent calls. Cancellation is checked once on entry (a
+// single function is the pipeline's atomic unit); per-function failures
+// are *FuncError.
+func (e *Engine) AllocateFunc(ctx context.Context, f *irx.Func) (*Outcome, error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w: nil function", raerr.ErrInvalidConfig)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %w", raerr.ErrCanceled, err)
+		}
+	}
+	w := e.pool.Get().(*worker)
+	out, err := pipeline.RunFunc(w.runner, f, w.cfg)
+	e.pool.Put(w)
+	return out, err
+}
+
+// moduleConfig translates the engine options for the module pipeline.
+func (e *Engine) moduleConfig() pipeline.Config {
+	return pipeline.Config{
+		Registers:      e.opts.registers,
+		Allocator:      e.opts.allocator,
+		CostModel:      e.opts.costModel,
+		SkipRewrite:    e.opts.skipRewrite,
+		Jobs:           e.opts.jobs,
+		NoScratchReuse: e.opts.noScratchReuse,
+		LegacyIFG:      e.opts.legacyIFG,
+		// New validated the model (or the caller opted out with
+		// WithTrustedCostModel); don't re-validate per module run.
+		TrustedCostModel: true,
+	}
+}
+
+// AllocateModule allocates every function of m over the engine's worker
+// pool. The returned slice is indexed by module position and deterministic
+// (byte-identical results) for any WithJobs count; per-function failures
+// land in FuncResult.Err rather than aborting the batch. Workers observe
+// ctx between functions: on cancellation the full-length slice is still
+// returned with every function that completed before the cut (with
+// several workers these are not necessarily a prefix), the unprocessed
+// functions marked with ErrCanceled, and the returned error wraps both
+// ErrCanceled and the context's error.
+func (e *Engine) AllocateModule(ctx context.Context, m *irx.Module) ([]FuncResult, error) {
+	return pipeline.RunModule(ctx, m, e.moduleConfig())
+}
+
+// AllocateStream is AllocateModule in streaming form: yield observes every
+// FuncResult in module order as soon as it and all its predecessors are
+// done, without waiting for the rest of the batch — the shape a compiler
+// driver wants for pipelining codegen behind allocation. A non-nil error
+// from yield stops the workers and is returned verbatim; cancellation ends
+// the stream with an error wrapping ErrCanceled.
+func (e *Engine) AllocateStream(ctx context.Context, m *irx.Module, yield func(FuncResult) error) error {
+	return pipeline.RunModuleStream(ctx, m, e.moduleConfig(), yield)
+}
+
+// FirstError returns the first per-function error of a module run in
+// module order, or nil.
+func FirstError(results []FuncResult) error { return pipeline.FirstErr(results) }
+
+// FormatResults renders module results as the canonical batch report: one
+// line per function plus, with detail, the register assignment and the
+// rewritten body of each SSA function. The rendering is a pure function of
+// the results (the byte-identity witness of the determinism guarantee).
+func FormatResults(results []FuncResult, detail bool) string {
+	return pipeline.FormatResults(results, detail)
+}
+
+// Summarize computes module-run totals.
+func Summarize(results []FuncResult) Totals { return pipeline.Summarize(results) }

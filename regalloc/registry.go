@@ -1,0 +1,44 @@
+package regalloc
+
+import "repro/internal/alloc"
+
+// Problem is one spill-everywhere allocation instance as an Allocator sees
+// it: per-vertex spill weights, the register-pressure constraints
+// (LiveSets, each a clique of the interference graph), the register count
+// R, and — for chordal instances — a perfect elimination order. Graph()
+// materializes the explicit weighted interference graph on demand.
+type Problem = alloc.Problem
+
+// Result is an allocator's answer: which vertices stay in registers, and
+// the algorithm's name for reports.
+type Result = alloc.Result
+
+// Allocator is a spill-everywhere register allocator. Implementations must
+// return a Result keeping at most R vertices of every live set; the engine
+// verifies this and fails with ErrPressureUnsatisfiable otherwise.
+type Allocator = alloc.Allocator
+
+// Register adds a named allocator factory to the registry, making the name
+// available to WithAllocator, the module pipeline and every front-end
+// -alloc flag. Names are case-insensitive and must be new; registering a
+// taken name (in any casing), an empty name or a nil factory fails with
+// ErrInvalidConfig. A factory is registered rather than an instance
+// because allocators may keep per-run state: every engine worker resolves
+// a private instance.
+//
+// Registered allocators are assumed to handle arbitrary (non-chordal)
+// instances; the paper's chordal-only allocators are pre-registered with
+// the stricter gate.
+func Register(name string, factory func() Allocator) error {
+	return alloc.RegisterAllocator(name, false, factory)
+}
+
+// Allocators lists the registered allocator names, sorted — the paper's
+// built-ins (BFPL, BL, BLS, DLS, FPL, GC, LH, NL, Optimal) plus anything
+// added with Register.
+func Allocators() []string { return alloc.RegisteredNames() }
+
+// NewAllocator resolves a registered name (case-insensitive) to a fresh
+// allocator instance, for clients driving Problem/Result directly; unknown
+// names fail with ErrUnknownAllocator.
+func NewAllocator(name string) (Allocator, error) { return alloc.NewByName(name) }

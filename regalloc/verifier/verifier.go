@@ -1,0 +1,40 @@
+// Package verifier is the public face of the semantic verification
+// harness: differential checking of the allocator pipeline against a
+// reference interpreter. For one function, every allocator and every
+// register count it asserts allocation soundness (≤ R simultaneously-live
+// kept values), assignment soundness (no register shared by interfering
+// values) and semantic preservation (the spill-everywhere rewrite computes
+// the same results on concrete inputs). See cmd/verify for the CLI.
+package verifier
+
+import (
+	"repro/internal/verify"
+	"repro/regalloc/irx"
+)
+
+// Options configures a check run. The zero value sweeps the default
+// register counts, every registered allocator and the default inputs.
+type Options = verify.Options
+
+// Failure is one invariant violation, carrying enough context (seed,
+// allocator, register count, input vector) to replay it deterministically.
+type Failure = verify.Failure
+
+// CheckFunc runs the full differential matrix over f and returns the
+// first failure, or nil.
+func CheckFunc(f *irx.Func, opts Options) error { return verify.CheckFunc(f, opts) }
+
+// CheckModule runs the differential matrix over every function of m in
+// module order, returning the first failure.
+func CheckModule(m *irx.Module, opts Options) error { return verify.CheckModule(m, opts) }
+
+// CheckSeed generates the function for one generator seed (the same
+// generator as workload.GenerateFunc) and checks it.
+func CheckSeed(seed int64, opts Options) error { return verify.CheckSeed(seed, opts) }
+
+// Soak checks n generated functions starting at the base seed, stopping
+// after maxFail failures; report, when non-nil, observes progress after
+// every function.
+func Soak(base int64, n int, opts Options, maxFail int, report func(done, failed int)) []*Failure {
+	return verify.Soak(base, n, opts, maxFail, report)
+}

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/regalloc"
+	"repro/regalloc/irx"
+	"repro/regalloc/workload"
+)
+
+// The outcome-cache benchmark (-cachebench) measures the content-addressed
+// cache and incremental recompilation end to end over duplication-controlled
+// corpora: module throughput with the cache off / cold / warm at the
+// configured duplication rate, the pure cache overhead on duplication-free
+// traffic, the per-function cost of a warm hit against a full allocation,
+// and the cost of an incremental revision against the fraction of functions
+// that changed. It writes BENCH_cache.json (CI artifact) so the cache's
+// perf claims are tracked in data.
+
+type cacheBenchConfig struct {
+	Funcs     int
+	Seed      int64
+	Registers int
+	Allocator string
+	Rounds    int
+	DupRate   float64
+	OutPath   string
+}
+
+// cacheBenchRow is one measured configuration; cache counters are the
+// totals after the measured pass.
+type cacheBenchRow struct {
+	Name        string  `json:"name"`
+	CacheOn     bool    `json:"cache_on"`
+	Warm        bool    `json:"warm"`
+	DupRate     float64 `json:"dup_rate"`
+	FuncsPerSec float64 `json:"funcs_per_sec"`
+	NsPerFunc   float64 `json:"ns_per_func"`
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+}
+
+// cacheBenchReport is the BENCH_cache.json schema. All rows run at jobs=1
+// with scratch reuse — the steady-state configuration — so the ratios
+// isolate the cache, not scheduling.
+type cacheBenchReport struct {
+	Bench      string          `json:"bench"`
+	GoVersion  string          `json:"go"`
+	CPUs       int             `json:"cpus"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Functions  int             `json:"functions"`
+	Seed       int64           `json:"seed"`
+	Registers  int             `json:"registers"`
+	Allocator  string          `json:"allocator"`
+	Rounds     int             `json:"rounds"`
+	DupRate    float64         `json:"dup_rate"`
+	Configs    []cacheBenchRow `json:"configs"`
+	// Module throughput on the duplicated corpus: warm (every function
+	// resident) and cold (one pass from an empty cache, hits arriving as
+	// duplicates repeat) against the cache-off baseline.
+	SpeedupWarmDup float64 `json:"speedup_warm_cache_dup_vs_off"`
+	SpeedupColdDup float64 `json:"speedup_cold_cache_dup_vs_off"`
+	// Cache tax on duplication-free traffic: one cold pass with the cache
+	// on versus the cache off (2Q admission means no entry is ever built).
+	OverheadUniquePct float64 `json:"overhead_cache_on_unique_pct"`
+	// Per-function warm-hit cost against a full allocation.
+	HitNsPerFunc  float64 `json:"warm_hit_ns_per_func"`
+	FullNsPerFunc float64 `json:"full_alloc_ns_per_func"`
+	HitSpeedup    float64 `json:"hit_speedup_vs_full_alloc"`
+	// Incremental recompilation time as a fraction of a full run when 10%
+	// and 50% of the module's functions changed (ideal: the fraction plus
+	// a fingerprint pass).
+	IncrRatio10 float64 `json:"incremental_time_ratio_10pct_changed"`
+	IncrRatio50 float64 `json:"incremental_time_ratio_50pct_changed"`
+}
+
+func runCacheBench(out io.Writer, cfg cacheBenchConfig) error {
+	if cfg.Funcs < 10 {
+		return fmt.Errorf("cachebench: -funcs must be ≥ 10")
+	}
+	if cfg.Rounds < 1 {
+		cfg.Rounds = 1
+	}
+	if cfg.DupRate < 0 || cfg.DupRate >= 1 {
+		return fmt.Errorf("cachebench: -dup must be in [0, 1)")
+	}
+	dupM := workload.GenDuplicated(cfg.Seed, cfg.Funcs, cfg.DupRate)
+	uniqM := workload.GenDuplicated(cfg.Seed+1, cfg.Funcs, 0)
+	fmt.Fprintf(out, "cachebench: %d functions (seed %d), dup rate %.0f%%, R=%d, %d rounds per config\n",
+		cfg.Funcs, cfg.Seed, cfg.DupRate*100, cfg.Registers, cfg.Rounds)
+
+	newEng := func(cacheCap int) (*regalloc.Engine, error) {
+		opts := []regalloc.Option{regalloc.WithRegisters(cfg.Registers), regalloc.WithJobs(1)}
+		if cfg.Allocator != "" {
+			opts = append(opts, regalloc.WithAllocator(cfg.Allocator))
+		}
+		if cacheCap > 0 {
+			opts = append(opts, regalloc.WithCache(cacheCap))
+		}
+		return regalloc.New(opts...)
+	}
+	// timeOnce measures one pass; fresh != nil rebuilds the engine before
+	// every round (cold-cache rows must not warm across rounds).
+	timed := func(name string, m *irx.Module, eng *regalloc.Engine, fresh func() (*regalloc.Engine, error), warmups int, row *cacheBenchRow) error {
+		for i := 0; i < warmups; i++ {
+			if _, err := runOnce(eng, m); err != nil {
+				return err
+			}
+		}
+		for round := 0; round < cfg.Rounds; round++ {
+			if fresh != nil {
+				var err error
+				if eng, err = fresh(); err != nil {
+					return err
+				}
+			}
+			runtime.GC()
+			start := time.Now()
+			if _, err := runOnce(eng, m); err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			n := float64(len(m.Funcs))
+			fps := n / elapsed.Seconds()
+			if row.FuncsPerSec == 0 || fps > row.FuncsPerSec {
+				row.FuncsPerSec = fps
+				row.NsPerFunc = float64(elapsed.Nanoseconds()) / n
+				s := eng.CacheStats()
+				row.Hits, row.Misses = s.Hits, s.Misses
+			}
+		}
+		fmt.Fprintf(out, "  %-28s %9.1f funcs/sec  %8.0f ns/func  (hits %d, misses %d)\n",
+			row.Name, row.FuncsPerSec, row.NsPerFunc, row.Hits, row.Misses)
+		return nil
+	}
+
+	var offDup, coldDup, warmDup, offUniq, coldUniq cacheBenchRow
+	offDup = cacheBenchRow{Name: "dup_cache_off", DupRate: cfg.DupRate}
+	eng, err := newEng(0)
+	if err != nil {
+		return err
+	}
+	if err := timed("dup_cache_off", dupM, eng, nil, 1, &offDup); err != nil {
+		return err
+	}
+
+	coldDup = cacheBenchRow{Name: "dup_cache_cold", CacheOn: true, DupRate: cfg.DupRate}
+	if err := timed("dup_cache_cold", dupM, nil, func() (*regalloc.Engine, error) { return newEng(2 * cfg.Funcs) }, 0, &coldDup); err != nil {
+		return err
+	}
+
+	warmDup = cacheBenchRow{Name: "dup_cache_warm", CacheOn: true, Warm: true, DupRate: cfg.DupRate}
+	if eng, err = newEng(2 * cfg.Funcs); err != nil {
+		return err
+	}
+	// Three passes make every function resident (2Q admits on the second
+	// sighting); the measured rounds then serve hits only.
+	if err := timed("dup_cache_warm", dupM, eng, nil, 3, &warmDup); err != nil {
+		return err
+	}
+
+	offUniq = cacheBenchRow{Name: "uniq_cache_off"}
+	if eng, err = newEng(0); err != nil {
+		return err
+	}
+	if err := timed("uniq_cache_off", uniqM, eng, nil, 1, &offUniq); err != nil {
+		return err
+	}
+
+	coldUniq = cacheBenchRow{Name: "uniq_cache_cold", CacheOn: true}
+	if err := timed("uniq_cache_cold", uniqM, nil, func() (*regalloc.Engine, error) { return newEng(2 * cfg.Funcs) }, 0, &coldUniq); err != nil {
+		return err
+	}
+
+	// Incremental recompilation: time a revision with k% of the functions
+	// mutated against a full from-scratch allocation of the same module.
+	base := workload.GenerateModule(cfg.Seed+2, cfg.Funcs)
+	if eng, err = newEng(0); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	_, rev, err := eng.AllocateModuleIncremental(ctx, base, nil)
+	if err != nil {
+		return err
+	}
+	incrRatio := func(frac float64) (float64, error) {
+		changed := int(frac * float64(len(base.Funcs)))
+		m2 := &irx.Module{Funcs: append([]*irx.Func(nil), base.Funcs...)}
+		for i := 0; i < changed; i++ {
+			g := m2.Funcs[i].Clone()
+			g.Blocks[0].Instrs[0].Imm += 1000
+			m2.Funcs[i] = g
+		}
+		var full, incr time.Duration
+		for round := 0; round < cfg.Rounds; round++ {
+			runtime.GC()
+			start := time.Now()
+			results, err := eng.AllocateModule(ctx, m2)
+			if err != nil {
+				return 0, err
+			}
+			if err := regalloc.FirstError(results); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); full == 0 || d < full {
+				full = d
+			}
+			runtime.GC()
+			start = time.Now()
+			results, _, err = eng.AllocateModuleIncremental(ctx, m2, rev)
+			if err != nil {
+				return 0, err
+			}
+			if err := regalloc.FirstError(results); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); incr == 0 || d < incr {
+				incr = d
+			}
+		}
+		ratio := incr.Seconds() / full.Seconds()
+		fmt.Fprintf(out, "  incremental %3.0f%% changed      %.3f of full-run time (%s vs %s)\n",
+			frac*100, ratio, incr, full)
+		return ratio, nil
+	}
+	r10, err := incrRatio(0.10)
+	if err != nil {
+		return err
+	}
+	r50, err := incrRatio(0.50)
+	if err != nil {
+		return err
+	}
+
+	rep := cacheBenchReport{
+		Bench:      "outcome_cache_pr6",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Functions:  cfg.Funcs,
+		Seed:       cfg.Seed,
+		Registers:  cfg.Registers,
+		Allocator:  cfg.Allocator,
+		Rounds:     cfg.Rounds,
+		DupRate:    cfg.DupRate,
+		Configs:    []cacheBenchRow{offDup, coldDup, warmDup, offUniq, coldUniq},
+
+		SpeedupWarmDup:    warmDup.FuncsPerSec / offDup.FuncsPerSec,
+		SpeedupColdDup:    coldDup.FuncsPerSec / offDup.FuncsPerSec,
+		OverheadUniquePct: (coldUniq.NsPerFunc - offUniq.NsPerFunc) / offUniq.NsPerFunc * 100,
+		HitNsPerFunc:      warmDup.NsPerFunc,
+		FullNsPerFunc:     offDup.NsPerFunc,
+		HitSpeedup:        offDup.NsPerFunc / warmDup.NsPerFunc,
+		IncrRatio10:       r10,
+		IncrRatio50:       r50,
+	}
+	fmt.Fprintf(out, "warm cache at %.0f%% duplication: %.2fx module throughput; warm hit %.0f ns/func vs %.0f full (%.1fx); unique-corpus overhead %.2f%%\n",
+		cfg.DupRate*100, rep.SpeedupWarmDup, rep.HitNsPerFunc, rep.FullNsPerFunc, rep.HitSpeedup, rep.OverheadUniquePct)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(cfg.OutPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", cfg.OutPath)
+	return nil
+}

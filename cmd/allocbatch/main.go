@@ -6,8 +6,10 @@
 //
 //	allocbatch -r 4 -alloc BFPL -jobs 4 -module m.ir        # batch a module file
 //	allocbatch -r 4 -gen 500 -seed 7                        # batch a generated module
-//	allocbatch -jsonl -jobs 8                               # JSONL request/response service
+//	allocbatch -r 4 -gen 500 -cache 1024                    # batch with the outcome cache
+//	allocbatch -jsonl -jobs 8 -cache 4096                   # JSONL service, shared outcome cache
 //	allocbatch -bench -funcs 800 -out BENCH_pr4.json        # throughput benchmark
+//	allocbatch -cachebench -funcs 400 -dup 0.8              # outcome-cache benchmark (BENCH_cache.json)
 //
 // In JSONL mode every stdin line is one request and every stdout line one
 // response, emitted in request order, so the tool can be driven as a
@@ -58,7 +60,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "generator seed for -gen and -bench")
 	print := fs.Bool("print", false, "per-function detail: assignment and rewritten body")
 	jsonl := fs.Bool("jsonl", false, "JSONL service mode: one request per stdin line, one response per stdout line")
+	cacheSize := fs.Int("cache", 0, "outcome-cache capacity in entries (0 = off); batch mode gets a private cache, JSONL mode one cache shared across request configurations")
 	bench := fs.Bool("bench", false, "run the module-throughput benchmark")
+	cacheBench := fs.Bool("cachebench", false, "run the outcome-cache benchmark over duplication-controlled corpora")
+	dup := fs.Float64("dup", 0.8, "duplication rate of the redundant corpus (with -cachebench)")
 	funcs := fs.Int("funcs", 800, "benchmark module size (with -bench)")
 	rounds := fs.Int("rounds", 3, "benchmark repetitions per configuration, best kept (with -bench)")
 	benchOut := fs.String("out", "BENCH_pr4.json", "benchmark JSON output path (with -bench)")
@@ -76,6 +81,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 
 	switch {
+	case *cacheBench:
+		outPath := *benchOut
+		if outPath == "BENCH_pr4.json" { // untouched default: separate artifact
+			outPath = "BENCH_cache.json"
+		}
+		return runCacheBench(out, cacheBenchConfig{
+			Funcs: *funcs, Seed: *seed, Registers: *regs, Allocator: *allocName,
+			Rounds: *rounds, DupRate: *dup, OutPath: outPath,
+		})
 	case *bench:
 		return runBench(out, benchConfig{
 			Funcs: *funcs, Seed: *seed, Registers: *regs, Allocator: *allocName,
@@ -83,13 +97,13 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			CPUProfile: *cpuProfile, MemProfile: *memProfile,
 		})
 	case *jsonl:
-		return runJSONL(in, out, *regs, *allocName, *jobs)
+		return runJSONL(in, out, *regs, *allocName, *jobs, *cacheSize)
 	default:
 		m, err := loadModule(*module, *gen, *seed, in)
 		if err != nil {
 			return err
 		}
-		return runBatch(out, m, *regs, *allocName, *jobs, *print)
+		return runBatch(out, m, *regs, *allocName, *jobs, *print, *cacheSize)
 	}
 }
 
@@ -111,17 +125,24 @@ func loadModule(path string, gen int, seed int64, in io.Reader) (*irx.Module, er
 }
 
 // newEngine assembles the engine for one (registers, allocator, jobs)
-// configuration; shared by the batch and JSONL modes.
-func newEngine(regs int, allocName string, jobs int) (*regalloc.Engine, error) {
+// configuration; shared by the batch and JSONL modes. A non-nil shared
+// cache attaches to the engine; cacheSize > 0 gives it a private one.
+func newEngine(regs int, allocName string, jobs, cacheSize int, shared *regalloc.Cache) (*regalloc.Engine, error) {
 	opts := []regalloc.Option{regalloc.WithRegisters(regs), regalloc.WithJobs(jobs)}
 	if allocName != "" {
 		opts = append(opts, regalloc.WithAllocator(allocName))
 	}
+	switch {
+	case shared != nil:
+		opts = append(opts, regalloc.WithSharedCache(shared))
+	case cacheSize > 0:
+		opts = append(opts, regalloc.WithCache(cacheSize))
+	}
 	return regalloc.New(opts...)
 }
 
-func runBatch(out io.Writer, m *irx.Module, regs int, allocName string, jobs int, detail bool) error {
-	eng, err := newEngine(regs, allocName, jobs)
+func runBatch(out io.Writer, m *irx.Module, regs int, allocName string, jobs int, detail bool, cacheSize int) error {
+	eng, err := newEngine(regs, allocName, jobs, cacheSize, nil)
 	if err != nil {
 		return err
 	}
@@ -133,6 +154,11 @@ func runBatch(out io.Writer, m *irx.Module, regs int, allocName string, jobs int
 	t := regalloc.Summarize(results)
 	fmt.Fprintf(out, "total %d functions, %d spilled values (cost %.1f), %d errors\n",
 		t.Funcs, t.Spilled, t.SpillCost, t.Errors)
+	if cacheSize > 0 {
+		s := eng.CacheStats()
+		fmt.Fprintf(out, "cache: %d hits, %d misses, %d resident entries (capacity %d), %d evicted\n",
+			s.Hits, s.Misses, s.Entries, s.Capacity, s.Evicted)
+	}
 	if t.Errors > 0 {
 		return fmt.Errorf("%d of %d functions failed", t.Errors, t.Funcs)
 	}
@@ -142,13 +168,29 @@ func runBatch(out io.Writer, m *irx.Module, regs int, allocName string, jobs int
 // ------------------------------------------------------------- JSONL mode
 
 // request is one JSONL line in. Registers/Allocator default to the
-// command-line flags when omitted.
+// command-line flags when omitted. A request with "stats":true returns
+// the service counters instead of allocating.
 type request struct {
 	ID        string `json:"id"`
 	IR        string `json:"ir"`
 	Registers int    `json:"registers"`
 	Allocator string `json:"allocator"`
 	Print     bool   `json:"print"`
+	Stats     bool   `json:"stats"`
+}
+
+// serviceStats is the payload of a "stats":true response: the resident
+// engine count of the bounded per-configuration engine table and, when the
+// service runs with -cache, the shared outcome-cache counters.
+type serviceStats struct {
+	Engines        int    `json:"engines"`
+	EngineCapacity int    `json:"engineCapacity"`
+	CacheHits      uint64 `json:"cacheHits"`
+	CacheMisses    uint64 `json:"cacheMisses"`
+	CacheEntries   int    `json:"cacheEntries"`
+	CacheEvicted   uint64 `json:"cacheEvicted"`
+	CacheBytes     int64  `json:"cacheBytes"`
+	CacheCapacity  int    `json:"cacheCapacity"`
 }
 
 // response is one JSONL line out, in request order.
@@ -163,38 +205,77 @@ type response struct {
 	SpillCost  float64        `json:"spillCost"`
 	Assignment map[string]int `json:"assignment,omitempty"`
 	Rewritten  string         `json:"rewritten,omitempty"`
+	Stats      *serviceStats  `json:"stats,omitempty"`
 	Error      string         `json:"error,omitempty"`
 }
 
+// engineCacheCap bounds the per-configuration engine table: a long-lived
+// service fed adversarial (registers, allocator) combinations must not
+// grow engines — and their pooled scratch — without limit.
+const engineCacheCap = 64
+
 // engineCache resolves one shared engine per (registers, allocator)
-// request configuration; engines pool their analysis scratch internally,
-// so the JSONL workers just share them.
+// request configuration, bounded to engineCacheCap entries with
+// least-recently-used eviction. Engines pool their analysis scratch
+// internally, so the JSONL workers just share them; evicting an engine
+// only drops pooled scratch — with -cache, its allocation outcomes live on
+// in the shared outcome cache (keys fold the configuration), so a
+// re-built engine keeps hitting them.
 type engineCache struct {
-	mu sync.Mutex
-	m  map[string]*regalloc.Engine
+	mu     sync.Mutex
+	m      map[string]*engineEntry
+	shared *regalloc.Cache // nil when the service runs cache-less
+	seq    uint64
+}
+
+type engineEntry struct {
+	eng  *regalloc.Engine
+	used uint64 // last-touched tick for LRU eviction
 }
 
 func (c *engineCache) get(regs int, allocName string) (*regalloc.Engine, error) {
 	key := fmt.Sprintf("%d\x00%s", regs, strings.ToLower(allocName))
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if eng, ok := c.m[key]; ok {
-		return eng, nil
+	c.seq++
+	if e, ok := c.m[key]; ok {
+		e.used = c.seq
+		return e.eng, nil
 	}
-	eng, err := newEngine(regs, allocName, 0)
+	eng, err := newEngine(regs, allocName, 0, 0, c.shared)
 	if err != nil {
 		return nil, err
 	}
 	if c.m == nil {
-		c.m = make(map[string]*regalloc.Engine)
+		c.m = make(map[string]*engineEntry)
 	}
-	c.m[key] = eng
+	c.m[key] = &engineEntry{eng: eng, used: c.seq}
+	if len(c.m) > engineCacheCap {
+		var lruKey string
+		lru := uint64(1<<64 - 1)
+		for k, e := range c.m {
+			if e.used < lru {
+				lru, lruKey = e.used, k
+			}
+		}
+		delete(c.m, lruKey)
+	}
 	return eng, nil
 }
 
+// len returns the resident engine count.
+func (c *engineCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
 // runJSONL streams requests through a fixed worker pool and emits
-// responses in request order with a bounded in-flight window.
-func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc string, jobs int) error {
+// responses in request order with a bounded in-flight window. With
+// cacheSize > 0 every engine shares one outcome cache, so repeated
+// function bodies — even under different names or from different request
+// configurations — cost a fingerprint plus a copy after the first runs.
+func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc string, jobs, cacheSize int) error {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -219,6 +300,9 @@ func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc string, jobs in
 	}()
 
 	engines := &engineCache{}
+	if cacheSize > 0 {
+		engines.shared = regalloc.NewCache(cacheSize)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
@@ -265,6 +349,17 @@ func serve(engines *engineCache, req request, decodeErr error, defRegs int, defA
 	resp := response{ID: req.ID}
 	if decodeErr != nil {
 		resp.Error = "bad request: " + decodeErr.Error()
+		return resp
+	}
+	if req.Stats {
+		st := &serviceStats{Engines: engines.len(), EngineCapacity: engineCacheCap}
+		if engines.shared != nil {
+			cs := engines.shared.Stats()
+			st.CacheHits, st.CacheMisses = cs.Hits, cs.Misses
+			st.CacheEntries, st.CacheEvicted = cs.Entries, cs.Evicted
+			st.CacheBytes, st.CacheCapacity = cs.Bytes, cs.Capacity
+		}
+		resp.Stats = st
 		return resp
 	}
 	r := req.Registers

@@ -180,3 +180,141 @@ func TestAllocHelp(t *testing.T) {
 		t.Errorf("-alloc help output incomplete:\n%s", out.String())
 	}
 }
+
+// TestRunBatchWithCache: the -cache flag must not change a byte of the
+// report (only append the cache-stats line), and repeated passes inside
+// one batch of duplicated functions produce hits.
+func TestRunBatchWithCache(t *testing.T) {
+	args := func(extra ...string) []string {
+		return append([]string{"-gen", "30", "-seed", "4", "-r", "4", "-jobs", "2", "-print"}, extra...)
+	}
+	var off, on strings.Builder
+	if err := run(args(), strings.NewReader(""), &off); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("-cache", "256"), strings.NewReader(""), &on); err != nil {
+		t.Fatal(err)
+	}
+	onText := on.String()
+	i := strings.Index(onText, "cache: ")
+	if i < 0 {
+		t.Fatalf("-cache run did not print the cache stats line:\n%s", onText)
+	}
+	if onText[:i] != off.String() {
+		t.Fatal("-cache changed the report bytes before the stats line")
+	}
+}
+
+// TestRunJSONLStatsAndCache: a shared -cache across JSONL requests serves
+// the third sighting of a body (under a different name) from the cache,
+// and a "stats":true request reports the engine table and cache counters.
+func TestRunJSONLStatsAndCache(t *testing.T) {
+	body := `func %s ssa {\nb0:\n  x = param 0\n  y = arith x, x\n  ret y\n}`
+	mk := func(id, name string) string {
+		return `{"id":"` + id + `","ir":"` + strings.ReplaceAll(body, "%s", name) + `","registers":3}`
+	}
+	in := strings.Join([]string{
+		mk("1", "alpha"),
+		mk("2", "beta"),
+		mk("3", "gamma"),
+		`{"id":"4","stats":true}`,
+	}, "\n") + "\n"
+	var out strings.Builder
+	// jobs=1 keeps request processing sequential, so the hit count is exact.
+	if err := run([]string{"-jsonl", "-jobs", "1", "-cache", "64"}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d response lines, want 4:\n%s", len(lines), out.String())
+	}
+	var funcResp struct {
+		Func       string         `json:"func"`
+		Assignment map[string]int `json:"assignment"`
+		Error      string         `json:"error"`
+	}
+	var want string
+	for i, name := range []string{"alpha", "beta", "gamma"} {
+		if err := json.Unmarshal([]byte(lines[i]), &funcResp); err != nil {
+			t.Fatal(err)
+		}
+		if funcResp.Error != "" || funcResp.Func != name {
+			t.Fatalf("line %d: %+v", i, funcResp)
+		}
+		got, _ := json.Marshal(funcResp.Assignment)
+		if i == 0 {
+			want = string(got)
+		} else if string(got) != want {
+			t.Fatalf("cached response %d assignment differs: %s vs %s", i, got, want)
+		}
+	}
+	var statsResp struct {
+		ID    string `json:"id"`
+		Stats *struct {
+			Engines        int    `json:"engines"`
+			EngineCapacity int    `json:"engineCapacity"`
+			CacheHits      uint64 `json:"cacheHits"`
+			CacheMisses    uint64 `json:"cacheMisses"`
+			CacheEntries   int    `json:"cacheEntries"`
+			CacheCapacity  int    `json:"cacheCapacity"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(lines[3]), &statsResp); err != nil {
+		t.Fatal(err)
+	}
+	s := statsResp.Stats
+	if s == nil {
+		t.Fatalf("stats request returned no stats payload: %s", lines[3])
+	}
+	if s.Engines != 1 || s.EngineCapacity != engineCacheCap {
+		t.Errorf("engine table stats wrong: %+v", s)
+	}
+	// alpha: miss (ghost), beta: miss (admit), gamma: hit.
+	if s.CacheHits != 1 || s.CacheMisses != 2 || s.CacheEntries != 1 {
+		t.Errorf("cache counters = %+v, want 1 hit / 2 misses / 1 entry", s)
+	}
+	if s.CacheCapacity != 64 {
+		t.Errorf("cache capacity = %d, want 64", s.CacheCapacity)
+	}
+}
+
+// TestRunCacheBenchSmoke: the -cachebench mode writes a parseable
+// BENCH_cache.json with positive throughputs and sane ratios.
+func TestRunCacheBenchSmoke(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "cache.json")
+	var out strings.Builder
+	err := run([]string{"-cachebench", "-funcs", "40", "-rounds", "1", "-dup", "0.8", "-out", outPath},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Bench   string `json:"bench"`
+		Configs []struct {
+			Name        string  `json:"name"`
+			FuncsPerSec float64 `json:"funcs_per_sec"`
+		} `json:"configs"`
+		SpeedupWarm float64 `json:"speedup_warm_cache_dup_vs_off"`
+		HitSpeedup  float64 `json:"hit_speedup_vs_full_alloc"`
+		Incr10      float64 `json:"incremental_time_ratio_10pct_changed"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("cache bench JSON does not parse: %v", err)
+	}
+	if rep.Bench != "outcome_cache_pr6" || len(rep.Configs) != 5 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	for _, c := range rep.Configs {
+		if c.FuncsPerSec <= 0 {
+			t.Fatalf("non-positive throughput in %+v", c)
+		}
+	}
+	if rep.SpeedupWarm <= 0 || rep.HitSpeedup <= 0 || rep.Incr10 <= 0 {
+		t.Fatalf("ratios missing from report: %+v", rep)
+	}
+}

@@ -1,13 +1,18 @@
-// JIT scenario: a just-in-time compiler allocating registers for non-SSA
-// bytecode-derived methods, where interference graphs are not chordal and
-// compile time matters. The layered heuristic (LH) clusters variables into
-// greedy stable sets and keeps the R heaviest clusters — linear time, like
-// linear scan, but with the paper's near-optimal spill quality.
+// JIT scenario: a tiering just-in-time compiler recompiling a mutating
+// module of non-SSA bytecode-derived methods, where interference graphs are
+// not chordal and compile time matters. Allocation runs the layered
+// heuristic (LH) — linear time, like linear scan, but with the paper's
+// near-optimal spill quality — and the module is recompiled each tick with
+// the engine's incremental API: only methods whose code actually changed
+// re-run the allocator, everything else is reused from the previous
+// revision at fingerprint cost.
 //
-// The example compiles a small batch of "methods" with 6 registers (an
-// IA32-flavoured JIT target) and compares LH with the JIT baselines:
-// original linear scan (DLS), the Belady variant (BLS), and Chaitin–Briggs
-// colouring (GC), all against the exact optimum.
+// Each tick the profiler "promotes" a few hot methods to a higher
+// optimization tier (their bodies change), the runtime occasionally
+// hot-swaps the method table order, and new methods get loaded; the
+// example prints how many methods each revision truly compiled versus
+// reused. The diff is content-addressed, not positional, so the reorder
+// tick compiles nothing.
 //
 // Run with:
 //
@@ -20,9 +25,9 @@ import (
 	"io"
 	"log"
 	"os"
-	"text/tabwriter"
 
 	"repro/regalloc"
+	"repro/regalloc/irx"
 	"repro/regalloc/workload"
 )
 
@@ -32,72 +37,112 @@ func main() {
 	}
 }
 
+const (
+	numMethods = 12
+	regs       = 6
+	ticks      = 6
+)
+
+// genMethod deterministically builds method i at the given optimization
+// tier; a tier bump changes the body (longer straight-line segments, the
+// shape of inlining), so the method's fingerprint changes and it must be
+// recompiled.
+func genMethod(i, tier int) *irx.Func {
+	return workload.GenNonSSA(fmt.Sprintf("method%d", i), int64(9000+37*i+1000*tier), workload.NonSSAShape{
+		Vars:        18 + 2*(i%5) + 2*tier,
+		Params:      4,
+		Segments:    4,
+		MaxDepth:    2,
+		StraightLen: 5 + tier,
+		LoopProb:    0.4,
+		BranchProb:  0.35,
+	})
+}
+
 func runExample(stdout io.Writer) error {
 	target := regalloc.JVM98
-	regs := 6
-	fmt.Fprintf(stdout, "JIT target %s: allocating with %d of %d registers\n\n",
-		target.Name, regs, target.IntRegs)
+	fmt.Fprintf(stdout, "tiering JIT on %s: %d methods, %d of %d registers, LH allocator\n\n",
+		target.Name, numMethods, regs, target.IntRegs)
 
-	var progs []workload.Program
-	for i := 0; i < 5; i++ {
-		name := fmt.Sprintf("method%d", i)
-		f := workload.GenNonSSA(name, int64(9000+37*i), workload.NonSSAShape{
-			Vars:        20 + 3*i,
-			Params:      4,
-			Segments:    5,
-			MaxDepth:    2,
-			StraightLen: 6,
-			LoopProb:    0.4,
-			BranchProb:  0.35,
-		})
-		progs = append(progs, workload.Program{Name: name, F: f})
-	}
-
-	allocators := []string{"DLS", "BLS", "GC", "LH", "Optimal"}
-	w := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprint(w, "method\t|V|\tmaxlive\t")
-	for _, a := range allocators {
-		fmt.Fprintf(w, "%s\t", a)
-	}
-	fmt.Fprintln(w)
-
-	totals := make(map[string]float64)
-	for _, p := range progs {
-		var cells []float64
-		var size, maxlive int
-		for _, name := range allocators {
-			eng, err := regalloc.New(
-				regalloc.WithRegisters(regs), regalloc.WithAllocator(name))
-			if err != nil {
-				return err
-			}
-			out, err := eng.AllocateFunc(context.Background(), p.F)
-			if err != nil {
-				return err
-			}
-			cells = append(cells, out.SpillCost)
-			totals[name] += out.SpillCost
-			size, maxlive = out.Problem.N(), out.MaxLive
-		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t", p.Name, size, maxlive)
-		for _, c := range cells {
-			fmt.Fprintf(w, "%.0f\t", c)
-		}
-		fmt.Fprintln(w)
-	}
-	fmt.Fprint(w, "total\t\t\t")
-	for _, name := range allocators {
-		fmt.Fprintf(w, "%.0f\t", totals[name])
-	}
-	fmt.Fprintln(w)
-	if err := w.Flush(); err != nil {
+	eng, err := regalloc.New(
+		regalloc.WithRegisters(regs),
+		regalloc.WithAllocator("LH"),
+		regalloc.WithJobs(2),
+	)
+	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(stdout, "\nnormalized to optimal:")
-	for _, name := range allocators {
-		fmt.Fprintf(stdout, "  %s %.2f", name, totals[name]/totals["Optimal"])
+	module := &irx.Module{}
+	tier := make(map[string]int)
+	for i := 0; i < numMethods; i++ {
+		module.Funcs = append(module.Funcs, genMethod(i, 0))
 	}
-	fmt.Fprintln(stdout)
+
+	ctx := context.Background()
+	var rev *regalloc.Revision
+	totalCompiled, totalScheduled := 0, 0
+	for tick := 1; tick <= ticks; tick++ {
+		var event string
+		switch {
+		case tick == 1:
+			event = "initial load"
+		case tick == 4:
+			// The runtime hot-swaps the dispatch table: same bodies, new
+			// order. Content-addressed reuse makes this free.
+			for i, j := 0, len(module.Funcs)-1; i < j; i, j = i+1, j-1 {
+				module.Funcs[i], module.Funcs[j] = module.Funcs[j], module.Funcs[i]
+			}
+			event = "method table reordered"
+		default:
+			// The profiler promotes a deterministic handful of hot methods.
+			var promoted []string
+			for i := 0; i < numMethods; i++ {
+				if (i+tick)%5 == 0 {
+					name := fmt.Sprintf("method%d", i)
+					tier[name]++
+					for j, f := range module.Funcs {
+						if f.Name == name {
+							module.Funcs[j] = genMethod(i, tier[name])
+						}
+					}
+					promoted = append(promoted, fmt.Sprintf("%s→t%d", name, tier[name]))
+				}
+			}
+			event = "promoted " + fmt.Sprint(promoted)
+		}
+		if tick == 5 {
+			// A class load brings in two new methods.
+			for i := numMethods; i < numMethods+2; i++ {
+				module.Funcs = append(module.Funcs, genMethod(i, 0))
+			}
+			event += " + 2 methods loaded"
+		}
+
+		results, next, err := eng.AllocateModuleIncremental(ctx, module, rev)
+		if err != nil {
+			return err
+		}
+		if err := regalloc.FirstError(results); err != nil {
+			return err
+		}
+		compiled, reused, cost := 0, 0, 0.0
+		for i := range results {
+			if results[i].Cached {
+				reused++
+			} else {
+				compiled++
+			}
+			cost += results[i].Outcome.SpillCost
+		}
+		totalCompiled += compiled
+		totalScheduled += len(results)
+		fmt.Fprintf(stdout, "tick %d: compiled %2d, reused %2d  (spill cost %5.0f)  %s\n",
+			tick, compiled, reused, cost, event)
+		rev = next
+	}
+
+	fmt.Fprintf(stdout, "\nallocator ran on %d of %d scheduled method compilations; revision holds %d method outcomes\n",
+		totalCompiled, totalScheduled, rev.Len())
 	return nil
 }

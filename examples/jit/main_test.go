@@ -5,23 +5,39 @@ import (
 	"testing"
 )
 
-// TestRunExample smoke-tests the JIT comparison: five methods, the JIT
-// allocator lineup as columns, and a normalized summary in which the
-// layered heuristic does not lose to the linear scans.
+// TestRunExample smoke-tests the tiering JIT loop: the initial revision
+// compiles every method, promotion ticks recompile only the promoted
+// handful, and the hot-swap reorder tick compiles nothing (the incremental
+// diff is content-addressed). The output is fully deterministic.
 func TestRunExample(t *testing.T) {
 	var out strings.Builder
 	if err := runExample(&out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
-	for _, want := range []string{"JIT target", "method0", "method4", "total", "normalized to optimal:"} {
+	for _, want := range []string{
+		"tiering JIT",
+		"tick 1: compiled 12, reused  0",
+		"tick 4: compiled  0, reused 12",
+		"method table reordered",
+		"methods loaded",
+		"revision holds 14 method outcomes",
+	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}
 	}
-	for _, col := range []string{"DLS", "BLS", "GC", "LH", "Optimal"} {
-		if !strings.Contains(text, col) {
-			t.Errorf("missing allocator column %s", col)
-		}
+	// Every tick after the first must reuse most of the module.
+	if strings.Count(text, "promoted [") != 4 {
+		t.Errorf("expected 4 promotion ticks:\n%s", text)
+	}
+
+	// Determinism: a second run prints identical bytes.
+	var again strings.Builder
+	if err := runExample(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != text {
+		t.Error("example output is not deterministic across runs")
 	}
 }

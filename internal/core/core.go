@@ -113,6 +113,9 @@ type Runner struct {
 	// Reusable value-indexed flag slices for the rewrite stage.
 	allocatedVals []bool
 	spilledVals   []bool
+	// Reusable spill-cost vector (BuildProblem copies what it keeps, so
+	// the buffer never escapes into an Outcome).
+	costs []float64
 }
 
 // NewRunner returns a Runner with empty scratch.
@@ -158,7 +161,13 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 	} else {
 		info = liveness.Compute(f)
 	}
-	costs := spillcost.Costs(f, cfg.CostModel)
+	var costs []float64
+	if runner != nil {
+		runner.costs = spillcost.CostsInto(runner.costs, f, cfg.CostModel)
+		costs = runner.costs
+	} else {
+		costs = spillcost.Costs(f, cfg.CostModel)
+	}
 
 	// Interference analysis: clique structure straight from liveness for
 	// strict SSA (the fast path), explicit graph otherwise.

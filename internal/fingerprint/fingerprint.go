@@ -1,0 +1,176 @@
+// Package fingerprint computes canonical, content-addressed identities for
+// IR functions and allocation configurations — the keys of the outcome
+// cache (internal/outcache) and of incremental module recompilation.
+//
+// A function fingerprint covers exactly the structure the allocation
+// pipeline consumes: opcodes, def/use value IDs, immediates, CFG edges and
+// block order, plus the SSA flag and the value-ID space. It deliberately
+// ignores every naming artifact — the function name, value names and block
+// names — so two alpha-renamed copies of the same code fingerprint equal
+// (the pipeline's decisions are functions of value IDs, never of names;
+// cache hits re-bind names to the requesting function). Any semantic edit —
+// a different opcode, immediate, operand, CFG edge, or block/instruction
+// order — changes the fingerprint.
+//
+// Fingerprints are 128 bits: two word-level FNV-1a accumulators over the
+// same canonical word stream, the second over splitmix64-mixed words so the
+// two lanes collide independently. At 2^-128 the collision probability is
+// ignorable even for a long-lived compile server, which is what lets the
+// cache return outcomes on fingerprint equality alone.
+package fingerprint
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/spillcost"
+)
+
+// FP is a 128-bit fingerprint, usable directly as a map key.
+type FP struct {
+	Hi, Lo uint64
+}
+
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// hasher folds a word stream into two decorrelated FNV-1a lanes.
+type hasher struct {
+	lo, hi uint64
+}
+
+func newHasher() hasher { return hasher{lo: offset64, hi: offset64} }
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche so the hi lane
+// sees an unrelated permutation of every word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (h *hasher) word(w uint64) {
+	h.lo = (h.lo ^ w) * prime64
+	h.hi = (h.hi ^ mix64(w)) * prime64
+}
+
+func (h *hasher) int(v int) { h.word(uint64(int64(v))) }
+
+func (h *hasher) ints(s []int) {
+	h.int(len(s))
+	for _, v := range s {
+		h.int(v)
+	}
+}
+
+func (h *hasher) str(s string) {
+	h.int(len(s))
+	for i := 0; i < len(s); i += 8 {
+		var w uint64
+		for j := i; j < len(s) && j < i+8; j++ {
+			w = w<<8 | uint64(s[j])
+		}
+		h.word(w)
+	}
+}
+
+func (h *hasher) sum() FP { return FP{Hi: h.hi, Lo: h.lo} }
+
+// Per-section tags keep the encoding injective across field boundaries.
+const (
+	tagFunc uint64 = 0x46554e43 + iota // "FUNC"
+	tagBlock
+	tagInstr
+	tagConfig
+)
+
+// Func fingerprints the structure of f. Names (function, value, block) are
+// excluded; everything the pipeline's decisions depend on is included.
+func Func(f *ir.Func) FP {
+	h := newHasher()
+	hashFunc(&h, f)
+	return h.sum()
+}
+
+func hashFunc(h *hasher, f *ir.Func) {
+	h.word(tagFunc)
+	ssa := uint64(0)
+	if f.SSA {
+		ssa = 1
+	}
+	h.word(ssa)
+	h.int(f.NumValues)
+	h.int(len(f.Blocks))
+	for _, b := range f.Blocks {
+		h.word(tagBlock)
+		h.ints(b.Preds)
+		h.ints(b.Succs)
+		h.int(len(b.Instrs))
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			h.word(tagInstr)
+			h.int(int(ins.Op))
+			h.int(ins.Def)
+			h.ints(ins.Uses)
+			h.word(uint64(ins.Imm))
+			h.ints(ins.Targets)
+		}
+	}
+}
+
+// Config is the allocation-relevant engine configuration folded into a
+// cache key: two runs with equal Config and structurally equal functions
+// are guaranteed byte-identical outcomes (the pipeline is deterministic),
+// so the pair (Func fingerprint, Config) addresses an outcome completely.
+// Flags that cannot change the outcome — the legacy-IFG path toggle,
+// scratch reuse, worker counts — are deliberately absent.
+type Config struct {
+	// Registers is the register count R.
+	Registers int
+	// Allocator is the canonical (lower-cased) allocator registry name;
+	// "" is the per-function default lineup, itself a pure function of the
+	// function's structure.
+	Allocator string
+	// LoopBase and StoreFactor are the normalized cost-model parameters.
+	LoopBase, StoreFactor float64
+	// Rewrite records whether assignment and spill-code insertion run.
+	Rewrite bool
+}
+
+// NewConfig canonicalizes one engine configuration: the allocator name is
+// case-folded (the registry is case-insensitive) and the cost model is
+// normalized (the zero model means the default model).
+func NewConfig(registers int, allocator string, m spillcost.Model, rewrite bool) Config {
+	loopBase, storeFactor := m.Params()
+	return Config{
+		Registers:   registers,
+		Allocator:   strings.ToLower(allocator),
+		LoopBase:    loopBase,
+		StoreFactor: storeFactor,
+		Rewrite:     rewrite,
+	}
+}
+
+// Key folds f's structural fingerprint with the configuration: the
+// content-addressed cache key.
+func Key(f *ir.Func, c Config) FP {
+	h := newHasher()
+	hashFunc(&h, f)
+	h.word(tagConfig)
+	h.int(c.Registers)
+	h.str(c.Allocator)
+	h.word(math.Float64bits(c.LoopBase))
+	h.word(math.Float64bits(c.StoreFactor))
+	rw := uint64(0)
+	if c.Rewrite {
+		rw = 1
+	}
+	h.word(rw)
+	return h.sum()
+}

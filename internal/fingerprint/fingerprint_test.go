@@ -1,0 +1,214 @@
+package fingerprint_test
+
+import (
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/spillcost"
+)
+
+// base is the hand-built function the semantic-edit tests mutate: it has
+// every structural dimension a fingerprint must cover (constants with
+// immediates, multi-operand instructions, a conditional branch with two
+// targets, a merge block with two predecessors).
+func base(t *testing.T) *ir.Func {
+	t.Helper()
+	m := ir.MustParseModule(`
+func base ssa {
+b0:
+  a = param 0
+  k = const 7
+  b = arith a, k
+  condbr b, b1, b2
+b1:
+  c = unary b
+  br b2
+b2:
+  ret b
+}
+`)
+	return m.Funcs[0]
+}
+
+// TestFingerprintNameInsensitivity: the fingerprint must ignore every
+// naming artifact — function name, value names, block names — because the
+// pipeline's decisions are functions of value IDs alone and cache hits
+// re-bind names to the requesting function.
+func TestFingerprintNameInsensitivity(t *testing.T) {
+	f := base(t)
+	want := fingerprint.Func(f)
+
+	g := f.Clone()
+	g.Name = "entirely_different"
+	if fingerprint.Func(g) != want {
+		t.Error("function name changed the fingerprint")
+	}
+
+	g = f.Clone()
+	for _, b := range g.Blocks {
+		b.Name = "blk_" + b.Name
+	}
+	if fingerprint.Func(g) != want {
+		t.Error("block names changed the fingerprint")
+	}
+
+	g = f.Clone()
+	g.ValueName = map[int]string{0: "x", 1: "y", 2: "z"}
+	if fingerprint.Func(g) != want {
+		t.Error("value names changed the fingerprint")
+	}
+
+	g = f.Clone()
+	g.ValueName = nil
+	if fingerprint.Func(g) != want {
+		t.Error("dropping value names changed the fingerprint")
+	}
+}
+
+// TestFingerprintAlphaRenameInvariant: over generated functions of both
+// SSA and non-SSA shape, a full alpha-rename (fresh function, value and
+// block names) fingerprints equal, and the config-folded key does too.
+func TestFingerprintAlphaRenameInvariant(t *testing.T) {
+	cfg := fingerprint.NewConfig(4, "", spillcost.Model{}, true)
+	for seed := int64(1); seed <= 25; seed++ {
+		f := irgen.FromSeed(seed)
+		g := irgen.AlphaRename(f, "renamed", int(seed))
+		if fingerprint.Func(f) != fingerprint.Func(g) {
+			t.Fatalf("seed %d: alpha-rename changed the fingerprint", seed)
+		}
+		if fingerprint.Key(f, cfg) != fingerprint.Key(g, cfg) {
+			t.Fatalf("seed %d: alpha-rename changed the config-folded key", seed)
+		}
+	}
+}
+
+// TestFingerprintSemanticEdits: every edit the pipeline could observe —
+// opcode, immediate, operand, definition, branch target, CFG edge order,
+// block order, block count, instruction count, value-ID space, SSA flag —
+// must change the fingerprint. Edits are applied to clones; the mutants
+// need not be valid IR (the fingerprint never validates).
+func TestFingerprintSemanticEdits(t *testing.T) {
+	f := base(t)
+	want := fingerprint.Func(f)
+	edits := []struct {
+		name string
+		edit func(g *ir.Func)
+	}{
+		{"ssa flag", func(g *ir.Func) { g.SSA = false }},
+		{"value-ID space", func(g *ir.Func) { g.NumValues++ }},
+		{"opcode", func(g *ir.Func) { g.Blocks[0].Instrs[2].Op = ir.OpCopy }},
+		{"immediate", func(g *ir.Func) { g.Blocks[0].Instrs[1].Imm++ }},
+		{"operand", func(g *ir.Func) { g.Blocks[0].Instrs[2].Uses[1] = 0 }},
+		{"definition", func(g *ir.Func) { g.Blocks[1].Instrs[0].Def = 0 }},
+		{"branch targets", func(g *ir.Func) {
+			tg := g.Blocks[0].Terminator().Targets
+			tg[0], tg[1] = tg[1], tg[0]
+		}},
+		{"pred order", func(g *ir.Func) {
+			p := g.Blocks[2].Preds
+			p[0], p[1] = p[1], p[0]
+		}},
+		{"succ order", func(g *ir.Func) {
+			s := g.Blocks[0].Succs
+			s[0], s[1] = s[1], s[0]
+		}},
+		{"block order", func(g *ir.Func) {
+			g.Blocks[1], g.Blocks[2] = g.Blocks[2], g.Blocks[1]
+		}},
+		{"block count", func(g *ir.Func) { g.Blocks = append(g.Blocks, &ir.Block{ID: 3}) }},
+		{"instruction count", func(g *ir.Func) {
+			b := g.Blocks[1]
+			b.Instrs = append(b.Instrs, b.Instrs[0])
+		}},
+		{"use count", func(g *ir.Func) {
+			ins := &g.Blocks[0].Instrs[2]
+			ins.Uses = ins.Uses[:1]
+		}},
+	}
+	for _, e := range edits {
+		g := f.Clone()
+		e.edit(g)
+		if fingerprint.Func(g) == want {
+			t.Errorf("%s edit preserved the fingerprint", e.name)
+		}
+	}
+}
+
+// TestFingerprintDeterminism: hashing is a pure function — repeated and
+// clone-of hashes agree.
+func TestFingerprintDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		f := irgen.FromSeed(seed)
+		a, b, c := fingerprint.Func(f), fingerprint.Func(f), fingerprint.Func(f.Clone())
+		if a != b || a != c {
+			t.Fatalf("seed %d: fingerprint not deterministic (%v %v %v)", seed, a, b, c)
+		}
+	}
+}
+
+// TestKeyConfigFold: the key must separate every configuration dimension
+// that can change an outcome, and canonicalize the two aliasing inputs
+// (allocator case, the zero cost model meaning the default model).
+func TestKeyConfigFold(t *testing.T) {
+	f := base(t)
+	ref := fingerprint.Key(f, fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true))
+
+	if got := fingerprint.Key(f, fingerprint.NewConfig(4, "BFPL", spillcost.Model{}, true)); got != ref {
+		t.Error("allocator name case changed the key (registry is case-insensitive)")
+	}
+	if got := fingerprint.Key(f, fingerprint.NewConfig(4, "bfpl", spillcost.DefaultModel, true)); got != ref {
+		t.Error("zero model and DefaultModel produced different keys")
+	}
+
+	diffs := []fingerprint.Config{
+		fingerprint.NewConfig(5, "bfpl", spillcost.Model{}, true),
+		fingerprint.NewConfig(4, "nl", spillcost.Model{}, true),
+		fingerprint.NewConfig(4, "", spillcost.Model{}, true),
+		fingerprint.NewConfig(4, "bfpl", spillcost.NewModel(2, 1), true),
+		fingerprint.NewConfig(4, "bfpl", spillcost.NewModel(10, 0.5), true),
+		fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, false),
+	}
+	for i, c := range diffs {
+		if fingerprint.Key(f, c) == ref {
+			t.Errorf("config variant %d collided with the reference key (%+v)", i, c)
+		}
+	}
+
+	g := f.Clone()
+	g.Blocks[0].Instrs[1].Imm++
+	if fingerprint.Key(g, fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true)) == ref {
+		t.Error("function edit did not change the config-folded key")
+	}
+}
+
+// FuzzFingerprint fuzzes the two core properties over the seeded program
+// generator: alpha-renaming never changes the fingerprint, and a semantic
+// edit (immediate bump, value-space bump, opcode flip) always does.
+func FuzzFingerprint(f *testing.F) {
+	f.Add(int64(1), 1)
+	f.Add(int64(42), 7)
+	f.Add(int64(20260808), 3)
+	f.Add(int64(-9000), 250)
+	f.Fuzz(func(t *testing.T, seed int64, tag int) {
+		fn := irgen.FromSeed(seed)
+		fp := fingerprint.Func(fn)
+		if fingerprint.Func(fn) != fp {
+			t.Fatal("fingerprint not deterministic")
+		}
+		if fingerprint.Func(irgen.AlphaRename(fn, "fuzzed", tag)) != fp {
+			t.Fatal("alpha-rename changed the fingerprint")
+		}
+		g := fn.Clone()
+		g.Blocks[0].Instrs[0].Imm++
+		if fingerprint.Func(g) == fp {
+			t.Fatal("immediate edit preserved the fingerprint")
+		}
+		g = fn.Clone()
+		g.NumValues++
+		if fingerprint.Func(g) == fp {
+			t.Fatal("value-space edit preserved the fingerprint")
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package ir
+
+// Clone deep-copies f. All instruction use/target lists (and the block
+// pred/succ lists) are carved from one exact-size int slab, so the clone
+// costs a handful of allocations rather than one per instruction. Slice
+// nil-ness is preserved, and a nil ValueName map stays nil.
+func (f *Func) Clone() *Func {
+	g := &Func{
+		Name:      f.Name,
+		NumValues: f.NumValues,
+		SSA:       f.SSA,
+	}
+	if f.ValueName != nil {
+		g.ValueName = make(map[int]string, len(f.ValueName))
+		for k, v := range f.ValueName {
+			g.ValueName[k] = v
+		}
+	}
+	total := 0
+	for _, b := range f.Blocks {
+		total += len(b.Preds) + len(b.Succs)
+		for _, ins := range b.Instrs {
+			total += len(ins.Uses) + len(ins.Targets)
+		}
+	}
+	slab := make([]int, 0, total)
+	carve := func(s []int) []int {
+		if len(s) == 0 {
+			return s // preserve nil-ness and empty slices as-is
+		}
+		start := len(slab)
+		slab = append(slab, s...)
+		return slab[start:len(slab):len(slab)]
+	}
+	g.Blocks = make([]*Block, 0, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{
+			ID:        b.ID,
+			Name:      b.Name,
+			Preds:     carve(b.Preds),
+			Succs:     carve(b.Succs),
+			LoopDepth: b.LoopDepth,
+		}
+		nb.Instrs = make([]Instr, len(b.Instrs))
+		for i, ins := range b.Instrs {
+			ins.Uses = carve(ins.Uses)
+			ins.Targets = carve(ins.Targets)
+			nb.Instrs[i] = ins
+		}
+		g.Blocks = append(g.Blocks, nb)
+	}
+	return g
+}

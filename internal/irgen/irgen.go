@@ -112,6 +112,55 @@ func GenerateModule(seed int64, nFuncs int) *ir.Module {
 	return m
 }
 
+// GenDuplicated emits a compilation unit of n functions with controlled
+// redundancy: each function after the first is, with probability dupRate,
+// an alpha-renamed copy of a uniformly chosen earlier function (fresh
+// value and block names, identical structure), and a fresh generated
+// function otherwise. The module is entirely determined by (seed, n,
+// dupRate). It is the duplication-controlled corpus behind the outcome
+// cache benchmarks: at dupRate 0 every function is unique, at 0.8 roughly
+// four fifths of the traffic is redundant — the shape of real JIT and
+// compile-server workloads.
+func GenDuplicated(seed int64, n int, dupRate float64) *ir.Module {
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &ir.Module{Funcs: make([]*ir.Func, 0, n)}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("f%d", i)
+		if i > 0 && rng.Float64() < dupRate {
+			base := m.Funcs[rng.Intn(i)]
+			m.Funcs = append(m.Funcs, AlphaRename(base, name, i))
+			continue
+		}
+		ssa := rng.Intn(2) == 0
+		cfg := RandomConfig(rng, ssa)
+		m.Funcs = append(m.Funcs, Generate(name, rng.Int63(), cfg))
+	}
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("irgen: generated invalid duplicated module (seed %d): %v", seed, err))
+	}
+	return m
+}
+
+// AlphaRename returns a structurally identical copy of f under the given
+// function name with fresh value and block names (tag disambiguates the
+// name space). Alpha-renamed copies fingerprint equal and allocate
+// identically — the property the outcome cache is keyed on.
+func AlphaRename(f *ir.Func, name string, tag int) *ir.Func {
+	g := f.Clone()
+	g.Name = name
+	g.ValueName = make(map[int]string, f.NumValues)
+	for v := 0; v < f.NumValues; v++ {
+		g.ValueName[v] = fmt.Sprintf("x%d_%d", v, tag)
+	}
+	for _, b := range g.Blocks {
+		b.Name = fmt.Sprintf("%s_%d", b.Name, tag)
+	}
+	return g
+}
+
 // Generate emits one function. The same (seed, cfg) always yields the same
 // function. It panics if the result fails ir.Validate (generator bug).
 func Generate(name string, seed int64, cfg Config) *ir.Func {

@@ -1,0 +1,327 @@
+// Package outcache is a concurrent, bounded, content-addressed cache of
+// allocation outcomes: fingerprint.Key → canonical Entry. It sits in front
+// of the allocation engine so redundant traffic — the same small functions
+// compiled over and over, the bread and butter of JIT and compile-server
+// workloads — costs a hash plus a copy instead of a full pipeline run.
+//
+// Soundness rests on two facts: the pipeline is deterministic (equal
+// structure + equal config ⇒ byte-identical outcome, pinned by the
+// pipeline's determinism tests), and fingerprints are 128-bit so collisions
+// are ignorable. Entries are deep-copied on insert and again on every hit,
+// so cached buffers never alias a producing run's arena/scratch chain, and
+// no caller can poison the cache by mutating an outcome it was handed.
+//
+// Eviction is 2Q-flavoured segmented LRU. A bounded ghost FIFO of
+// fingerprints admits a value only on its second miss, which keeps the
+// overhead on duplication-free traffic to the fingerprint itself — no
+// entry is built for code never seen twice. Admitted entries start in a
+// probationary segment and are promoted to a protected segment (80% of
+// capacity) on their first hit; eviction takes the probationary LRU first,
+// so one-hit wonders cannot flush the working set.
+package outcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/ir"
+)
+
+// Key is the content-addressed cache key: a function's structural
+// fingerprint folded with the allocation config (fingerprint.Key).
+type Key = fingerprint.FP
+
+// DefaultCapacity is the entry bound used when New is given a
+// non-positive capacity.
+const DefaultCapacity = 4096
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses uint64
+	// Admitted counts entries stored (second miss of a fingerprint);
+	// Evicted counts entries dropped by the capacity bound.
+	Admitted, Evicted uint64
+	// Entries and Bytes are the current resident entry count and their
+	// estimated total size.
+	Entries int
+	Bytes   int64
+	// Capacity is the configured entry bound.
+	Capacity int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// node is one resident entry, threaded on its segment's LRU list.
+type node struct {
+	key        Key
+	e          *Entry
+	prev, next *node
+	protected  bool
+}
+
+// list is an intrusive doubly-linked LRU list (front = MRU, back = LRU).
+type list struct {
+	front, back *node
+	n           int
+}
+
+func (l *list) pushFront(x *node) {
+	x.prev, x.next = nil, l.front
+	if l.front != nil {
+		l.front.prev = x
+	} else {
+		l.back = x
+	}
+	l.front = x
+	l.n++
+}
+
+func (l *list) remove(x *node) {
+	if x.prev != nil {
+		x.prev.next = x.next
+	} else {
+		l.front = x.next
+	}
+	if x.next != nil {
+		x.next.prev = x.prev
+	} else {
+		l.back = x.prev
+	}
+	x.prev, x.next = nil, nil
+	l.n--
+}
+
+// ghostNode is one admission-filter slot: a fingerprint seen once.
+type ghostNode struct {
+	key        Key
+	prev, next *ghostNode
+}
+
+type ghostList struct {
+	front, back *ghostNode
+	n           int
+}
+
+func (l *ghostList) pushFront(x *ghostNode) {
+	x.prev, x.next = nil, l.front
+	if l.front != nil {
+		l.front.prev = x
+	} else {
+		l.back = x
+	}
+	l.front = x
+	l.n++
+}
+
+func (l *ghostList) popBack() *ghostNode {
+	x := l.back
+	if x == nil {
+		return nil
+	}
+	l.back = x.prev
+	if x.prev != nil {
+		x.prev.next = nil
+	} else {
+		l.front = nil
+	}
+	x.prev, x.next = nil, nil
+	l.n--
+	return x
+}
+
+// shard is one lock domain of the cache.
+type shard struct {
+	mu        sync.Mutex
+	byKey     map[Key]*node
+	ghost     map[Key]*ghostNode
+	ghostFifo ghostList
+	probation list
+	protected list
+	cap       int // value-entry bound for this shard
+	protCap   int
+	ghostCap  int
+}
+
+// Cache is the concurrent content-addressed outcome cache. It is safe for
+// use by any number of goroutines and may be shared between engines.
+type Cache struct {
+	shards   []*shard
+	capacity int
+
+	hits, misses, admitted, evicted atomic.Uint64
+	entries                         atomic.Int64
+	bytes                           atomic.Int64
+}
+
+// New builds a cache bounded to capacity entries (DefaultCapacity when
+// capacity ≤ 0). The bound is a hard ceiling: the resident entry count
+// never exceeds it.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	nshards := 8
+	if capacity < 64 {
+		nshards = 1
+	}
+	shardCap := capacity / nshards // floor keeps the total ≤ capacity
+	c := &Cache{capacity: nshards * shardCap}
+	for i := 0; i < nshards; i++ {
+		protCap := shardCap * 4 / 5
+		if protCap < 1 {
+			protCap = 1
+		}
+		c.shards = append(c.shards, &shard{
+			byKey:    make(map[Key]*node),
+			ghost:    make(map[Key]*ghostNode),
+			cap:      shardCap,
+			protCap:  protCap,
+			ghostCap: shardCap,
+		})
+	}
+	return c
+}
+
+func (c *Cache) shard(key Key) *shard {
+	return c.shards[key.Lo%uint64(len(c.shards))]
+}
+
+// Get looks key up and, on a hit, materializes a fresh outcome bound to f
+// (a deep copy the caller owns outright). It returns nil on a miss.
+func (c *Cache) Get(key Key, f *ir.Func) *core.Outcome {
+	s := c.shard(key)
+	s.mu.Lock()
+	n, ok := s.byKey[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil
+	}
+	// Promote: probation → protected on first hit; protected → MRU.
+	if n.protected {
+		s.protected.remove(n)
+		s.protected.pushFront(n)
+	} else {
+		s.probation.remove(n)
+		n.protected = true
+		s.protected.pushFront(n)
+		if s.protected.n > s.protCap {
+			// Demote the protected LRU back to probation MRU; total
+			// residency is unchanged, so no eviction here.
+			d := s.protected.back
+			s.protected.remove(d)
+			d.protected = false
+			s.probation.pushFront(d)
+		}
+	}
+	e := n.e
+	s.mu.Unlock()
+	out := e.Materialize(f) // outside the lock: entries are immutable
+	if out == nil {
+		// NumValues guard tripped: a fingerprint collision (~2^-128) or a
+		// caller bug. Treat as a miss rather than serve a wrong outcome.
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return out
+}
+
+// Put offers the outcome computed for key. The first sighting of a
+// fingerprint only records it in the admission filter (no entry is built);
+// the second sighting deep-copies the outcome into the cache. Callers
+// simply Put after every miss and let the policy decide.
+func (c *Cache) Put(key Key, out *core.Outcome) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if _, ok := s.byKey[key]; ok {
+		s.mu.Unlock() // another goroutine admitted it first
+		return
+	}
+	g, seen := s.ghost[key]
+	if !seen {
+		gn := &ghostNode{key: key}
+		s.ghost[key] = gn
+		s.ghostFifo.pushFront(gn)
+		if s.ghostFifo.n > s.ghostCap {
+			old := s.ghostFifo.popBack()
+			delete(s.ghost, old.key)
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.ghostFifo.remove(g)
+	delete(s.ghost, key)
+	s.mu.Unlock()
+
+	e := NewEntry(out) // the expensive deep copy, outside the lock
+
+	s.mu.Lock()
+	if _, ok := s.byKey[key]; ok {
+		s.mu.Unlock()
+		return
+	}
+	n := &node{key: key, e: e}
+	s.byKey[key] = n
+	s.probation.pushFront(n)
+	c.entries.Add(1)
+	c.bytes.Add(e.bytes)
+	c.admitted.Add(1)
+	for s.probation.n+s.protected.n > s.cap {
+		victim := s.probation.back
+		if victim == nil {
+			victim = s.protected.back
+			s.protected.remove(victim)
+		} else {
+			s.probation.remove(victim)
+		}
+		delete(s.byKey, victim.key)
+		c.entries.Add(-1)
+		c.bytes.Add(-victim.e.bytes)
+		c.evicted.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+func (l *ghostList) remove(x *ghostNode) {
+	if x.prev != nil {
+		x.prev.next = x.next
+	} else {
+		l.front = x.next
+	}
+	if x.next != nil {
+		x.next.prev = x.prev
+	} else {
+		l.back = x.prev
+	}
+	x.prev, x.next = nil, nil
+	l.n--
+}
+
+// Len returns the current resident entry count.
+func (c *Cache) Len() int { return int(c.entries.Load()) }
+
+// Capacity returns the configured entry bound.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Admitted: c.admitted.Load(),
+		Evicted:  c.evicted.Load(),
+		Entries:  int(c.entries.Load()),
+		Bytes:    c.bytes.Load(),
+		Capacity: c.capacity,
+	}
+}

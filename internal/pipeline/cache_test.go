@@ -1,0 +1,258 @@
+package pipeline
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/outcache"
+)
+
+// TestRunModuleCacheByteIdentity is the cache's headline guarantee: over a
+// duplication-heavy generated module and the checked-in corpus, the full
+// detailed report with the cache attached — cold pass, then a warm pass
+// serving mostly hits — is byte-identical to the cache-off report, at
+// one worker and several.
+func TestRunModuleCacheByteIdentity(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 40
+	}
+	modules := map[string]*ir.Module{
+		"dup80": irgen.GenDuplicated(20260808, n, 0.8),
+		"dup0":  irgen.GenDuplicated(20260809, n/2, 0),
+	}
+	if src, err := os.ReadFile("../ir/testdata/modules/mixed.ir"); err == nil {
+		modules["corpus"] = ir.MustParseModule(string(src))
+	} else {
+		t.Logf("corpus module unavailable: %v", err)
+	}
+
+	for name, m := range modules {
+		for _, jobs := range []int{1, 4} {
+			base, err := RunModule(context.Background(), m, Config{Registers: 4, Jobs: jobs})
+			if err != nil {
+				t.Fatalf("%s jobs=%d: %v", name, jobs, err)
+			}
+			want := FormatResults(base, true)
+
+			c := outcache.New(1024)
+			cfg := Config{Registers: 4, Jobs: jobs, Cache: c}
+			for pass := 1; pass <= 3; pass++ {
+				results, err := RunModule(context.Background(), m, cfg)
+				if err != nil {
+					t.Fatalf("%s jobs=%d pass %d: %v", name, jobs, pass, err)
+				}
+				if got := FormatResults(results, true); got != want {
+					t.Fatalf("%s jobs=%d pass %d: cached report differs from cache-off report", name, jobs, pass)
+				}
+			}
+			if name == "dup80" {
+				if s := c.Stats(); s.Hits == 0 {
+					t.Errorf("%s jobs=%d: three passes over 80%%-duplicated code produced no hits: %+v", name, jobs, s)
+				}
+			}
+		}
+	}
+}
+
+// TestRunModuleCacheMarksCached: warm-pass results carry Cached=true, and
+// FormatResults deliberately ignores the flag (it is metadata, not output).
+func TestRunModuleCacheMarksCached(t *testing.T) {
+	m := irgen.GenerateModule(404, 30)
+	c := outcache.New(256)
+	cfg := Config{Registers: 4, Jobs: 2, Cache: c}
+	// Pass 1 seeds the ghost filter, pass 2 admits, pass 3 hits.
+	for pass := 1; pass <= 2; pass++ {
+		if _, err := RunModule(context.Background(), m, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := RunModule(context.Background(), m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := 0
+	for i := range results {
+		if results[i].Cached {
+			cached++
+			if results[i].Outcome == nil {
+				t.Fatalf("function %s marked Cached without an outcome", results[i].Name)
+			}
+		}
+	}
+	if cached == 0 {
+		t.Fatal("third pass over an unchanged module served no cached results")
+	}
+	if strings.Contains(FormatResults(results, true), "ached") {
+		t.Fatal("FormatResults leaked the Cached flag into the report")
+	}
+}
+
+// runsCounted wires the package-internal per-function worker hook into a
+// counter. Incremental reuse happens before the worker pool is even
+// started, so the counter observes exactly the functions that truly
+// re-ran. Callers must keep Jobs at 1 whenever the count is asserted
+// exactly (the hook runs on worker goroutines).
+func runsCounted(cfg Config, n *int) Config {
+	cfg.onFuncDone = func() { *n++ }
+	return cfg
+}
+
+// TestRunModuleIncrementalOnlyChanged: mutating k of n functions re-runs
+// exactly k — the worker pool never sees an unchanged function — while the
+// full-length results stay byte-identical to a from-scratch run.
+func TestRunModuleIncrementalOnlyChanged(t *testing.T) {
+	const n = 40
+	m := irgen.GenerateModule(606, n)
+	cfg := Config{Registers: 4, Jobs: 1}
+
+	ran := 0
+	r1, rev1, err := RunModuleIncremental(context.Background(), m, runsCounted(cfg, &ran), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != n {
+		t.Fatalf("first revision ran %d functions, want all %d", ran, n)
+	}
+	if rev1.Len() != n {
+		t.Fatalf("revision holds %d outcomes, want %d", rev1.Len(), n)
+	}
+
+	// Mutate three functions (an immediate tweak each), leave the rest.
+	m2 := &ir.Module{Funcs: append([]*ir.Func(nil), m.Funcs...)}
+	mutated := map[int]bool{3: true, 17: true, 29: true}
+	for i := range mutated {
+		g := m2.Funcs[i].Clone()
+		g.Blocks[0].Instrs[0].Imm += 40
+		m2.Funcs[i] = g
+	}
+
+	ran = 0
+	r2, rev2, err := RunModuleIncremental(context.Background(), m2, runsCounted(cfg, &ran), rev1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != len(mutated) {
+		t.Fatalf("incremental run executed %d functions, want exactly the %d changed", ran, len(mutated))
+	}
+	if rev2.Len() != n {
+		t.Fatalf("second revision holds %d outcomes, want %d", rev2.Len(), n)
+	}
+	for i := range r2 {
+		if r2[i].Cached == mutated[i] {
+			t.Fatalf("function %d: Cached=%v but mutated=%v", i, r2[i].Cached, mutated[i])
+		}
+	}
+
+	// Byte-identity against a from-scratch run of the mutated module.
+	scratch, err := RunModule(context.Background(), m2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatResults(r2, true) != FormatResults(scratch, true) {
+		t.Fatal("incremental results differ from a from-scratch run")
+	}
+	_ = r1
+}
+
+// TestRunModuleIncrementalContentAddressed: renaming, reordering and
+// duplicating functions with known bodies is free — no function re-runs.
+func TestRunModuleIncrementalContentAddressed(t *testing.T) {
+	m := irgen.GenerateModule(707, 12)
+	cfg := Config{Registers: 4, Jobs: 2}
+	_, rev1, err := RunModuleIncremental(context.Background(), m, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Next revision: reversed order, fresh names, plus a duplicate.
+	funcs := make([]*ir.Func, 0, len(m.Funcs)+1)
+	for i := len(m.Funcs) - 1; i >= 0; i-- {
+		funcs = append(funcs, irgen.AlphaRename(m.Funcs[i], "ren"+m.Funcs[i].Name, 100+i))
+	}
+	funcs = append(funcs, irgen.AlphaRename(m.Funcs[0], "dup0", 200))
+	m2 := &ir.Module{Funcs: funcs}
+
+	ran := 0
+	r2, _, err := RunModuleIncremental(context.Background(), m2, runsCounted(cfg, &ran), rev1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 0 {
+		t.Fatalf("rename+reorder+duplicate re-ran %d functions, want 0 (diff is content-addressed)", ran)
+	}
+	scratch, err := RunModule(context.Background(), m2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatResults(r2, true) != FormatResults(scratch, true) {
+		t.Fatal("fully-reused incremental results differ from a from-scratch run")
+	}
+}
+
+// TestRunModuleIncrementalErrors: failing functions carry their error,
+// are absent from the revision, and re-run on the next revision.
+func TestRunModuleIncrementalErrors(t *testing.T) {
+	m := ir.MustParseModule(`
+func ok ssa {
+b0:
+  a = param 0
+  b = arith a, a
+  ret b
+}
+
+func multidef {
+b0:
+  x = param 0
+  x = arith x, x
+  ret x
+}
+`)
+	cfg := Config{Registers: 4, Allocator: "NL", Jobs: 1} // chordal-only: multidef fails
+	r1, rev1, err := RunModuleIncremental(context.Background(), m, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[0].Err != nil || r1[1].Err == nil {
+		t.Fatalf("expected [ok, error], got errs [%v, %v]", r1[0].Err, r1[1].Err)
+	}
+	if rev1.Len() != 1 {
+		t.Fatalf("revision holds %d outcomes, want 1 (failed functions are not cached)", rev1.Len())
+	}
+
+	ran := 0
+	r2, rev2, err := RunModuleIncremental(context.Background(), m, runsCounted(cfg, &ran), rev1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("second revision ran %d functions, want 1 (only the failing one)", ran)
+	}
+	if !r2[0].Cached || r2[0].Err != nil {
+		t.Fatalf("ok function not reused: cached=%v err=%v", r2[0].Cached, r2[0].Err)
+	}
+	if r2[1].Err == nil {
+		t.Fatal("failing function lost its error on re-run")
+	}
+	if rev2.Len() != 1 {
+		t.Fatalf("second revision holds %d outcomes, want 1", rev2.Len())
+	}
+}
+
+// TestRunModuleIncrementalConfigErrors pins the fail-fast paths.
+func TestRunModuleIncrementalConfigErrors(t *testing.T) {
+	m := irgen.GenerateModule(1, 2)
+	if _, _, err := RunModuleIncremental(context.Background(), m, Config{Registers: 0}, nil); err == nil {
+		t.Error("accepted Registers=0")
+	}
+	if _, _, err := RunModuleIncremental(context.Background(), &ir.Module{}, Config{Registers: 4}, nil); err == nil {
+		t.Error("accepted empty module")
+	}
+	if _, _, err := RunModuleIncremental(context.Background(), nil, Config{Registers: 4}, nil); err == nil {
+		t.Error("accepted nil module")
+	}
+}

@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/fingerprint"
+	"repro/internal/ir"
+	"repro/internal/outcache"
+	"repro/internal/raerr"
+)
+
+// Revision is the content-addressed snapshot of one module allocation: for
+// every function that allocated successfully, its canonical outcome keyed
+// by (structural fingerprint × config). RunModuleIncremental diffs the next
+// module against it and re-runs only the functions whose key is new —
+// the recompilation loop of a tiering JIT or compile server.
+//
+// A Revision is immutable and safe for concurrent use; entries are shared
+// (never copied) between consecutive revisions, so carrying a long chain of
+// revisions costs only the changed functions.
+type Revision struct {
+	entries map[fingerprint.FP]*outcache.Entry
+}
+
+// Len returns the number of cached function outcomes in the revision.
+func (r *Revision) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.entries)
+}
+
+// RunModuleIncremental allocates m, reusing from prev the outcome of every
+// function whose fingerprint (structure × config) is unchanged and running
+// the rest through the regular worker pool. A nil prev runs everything.
+// It returns the full-length, module-ordered results — reused outcomes are
+// marked Cached and are byte-identical to recomputed ones — plus the next
+// Revision to diff against. The diff is content-addressed, not positional:
+// renamed, reordered or duplicated functions with known bodies all reuse.
+//
+// Reuse is free of scheduling effects, so results keep RunModule's
+// determinism guarantee at any Jobs count. Functions that fail carry their
+// error as usual and are simply absent from the returned Revision (they
+// re-run next time). On cancellation the changed subset degrades exactly
+// like RunModule — completed functions are kept, unprocessed ones are
+// marked ErrCanceled — while reused functions are always present.
+func RunModuleIncremental(ctx context.Context, m *ir.Module, cfg Config, prev *Revision) ([]FuncResult, *Revision, error) {
+	if m == nil || len(m.Funcs) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty module", raerr.ErrInvalidConfig)
+	}
+	if err := validateConfig(cfg); err != nil {
+		return nil, nil, err
+	}
+	fold := fingerprintConfig(cfg)
+	results := make([]FuncResult, len(m.Funcs))
+	keys := make([]fingerprint.FP, len(m.Funcs))
+	next := &Revision{entries: make(map[fingerprint.FP]*outcache.Entry, len(m.Funcs))}
+	var changed []*ir.Func
+	var changedIdx []int
+	for i, f := range m.Funcs {
+		keys[i] = fingerprint.Key(f, fold)
+		if prev != nil {
+			if e, ok := prev.entries[keys[i]]; ok {
+				if out := e.Materialize(f); out != nil {
+					results[i] = FuncResult{Index: i, Name: f.Name, Outcome: out, Cached: true}
+					next.entries[keys[i]] = e
+					continue
+				}
+			}
+		}
+		changed = append(changed, f)
+		changedIdx = append(changedIdx, i)
+	}
+	var runErr error
+	if len(changed) > 0 {
+		sub := &ir.Module{Funcs: changed}
+		subResults, err := RunModule(ctx, sub, cfg)
+		runErr = err
+		for j := range subResults {
+			r := subResults[j]
+			i := changedIdx[j]
+			r.Index = i
+			results[i] = r
+			if r.Err == nil {
+				if _, ok := next.entries[keys[i]]; !ok {
+					next.entries[keys[i]] = outcache.NewEntry(r.Outcome)
+				}
+			}
+		}
+	}
+	return results, next, runErr
+}

@@ -21,7 +21,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fingerprint"
 	"repro/internal/ir"
+	"repro/internal/outcache"
 	"repro/internal/raerr"
 	"repro/internal/spillcost"
 )
@@ -54,6 +56,12 @@ type Config struct {
 	// caller (the regalloc Engine, which validates at construction time)
 	// guarantees the model is well-formed.
 	TrustedCostModel bool
+	// Cache, when non-nil, is consulted before each function runs and
+	// published to after each successful run: workers key it by the
+	// function's structural fingerprint folded with the allocation config,
+	// so redundant functions cost a hash plus a copy. Results are
+	// byte-identical with the cache on or off, at any Jobs count.
+	Cache *outcache.Cache
 	// onFuncDone, when set, runs on the worker goroutine after every
 	// completed function — a package-internal test hook that makes
 	// mid-batch cancellation deterministic to provoke.
@@ -71,6 +79,12 @@ type FuncResult struct {
 	// Err is the per-function failure, if any; other functions of the
 	// module are unaffected.
 	Err error
+	// Cached reports that the outcome was served from the outcome cache
+	// (Config.Cache) or reused from a previous revision (incremental mode)
+	// instead of being recomputed. Cached outcomes are byte-identical to
+	// recomputed ones; FormatResults deliberately ignores this flag so the
+	// rendering stays the determinism witness.
+	Cached bool
 }
 
 // RunModule allocates every function of m under cfg. The returned slice is
@@ -137,19 +151,8 @@ func start(ctx context.Context, m *ir.Module, cfg Config, notify chan int) ([]Fu
 	if m == nil || len(m.Funcs) == 0 {
 		return nil, nil, fmt.Errorf("%w: empty module", raerr.ErrInvalidConfig)
 	}
-	if cfg.Registers < 1 {
-		return nil, nil, fmt.Errorf("%w: Registers must be ≥ 1, got %d", raerr.ErrInvalidConfig, cfg.Registers)
-	}
-	if cfg.Allocator != "" {
-		// Fail fast on unknown names instead of once per function.
-		if _, err := core.AllocatorByName(cfg.Allocator); err != nil {
-			return nil, nil, err
-		}
-	}
-	if !cfg.TrustedCostModel {
-		if err := cfg.CostModel.Validate(); err != nil {
-			return nil, nil, fmt.Errorf("%w: invalid cost model: %w", raerr.ErrInvalidConfig, err)
-		}
+	if err := validateConfig(cfg); err != nil {
+		return nil, nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -206,6 +209,33 @@ func start(ctx context.Context, m *ir.Module, cfg Config, notify chan int) ([]Fu
 	return results, handle, nil
 }
 
+// validateConfig is the batch-level configuration check shared by the
+// module entry points (start and RunModuleIncremental).
+func validateConfig(cfg Config) error {
+	if cfg.Registers < 1 {
+		return fmt.Errorf("%w: Registers must be ≥ 1, got %d", raerr.ErrInvalidConfig, cfg.Registers)
+	}
+	if cfg.Allocator != "" {
+		// Fail fast on unknown names instead of once per function.
+		if _, err := core.AllocatorByName(cfg.Allocator); err != nil {
+			return err
+		}
+	}
+	if !cfg.TrustedCostModel {
+		if err := cfg.CostModel.Validate(); err != nil {
+			return fmt.Errorf("%w: invalid cost model: %w", raerr.ErrInvalidConfig, err)
+		}
+	}
+	return nil
+}
+
+// fingerprintConfig is the canonical fold of the outcome-affecting half of
+// cfg — the content-addressed cache key component shared by the batch
+// workers, the engine's single-function path and incremental mode.
+func fingerprintConfig(cfg Config) fingerprint.Config {
+	return fingerprint.NewConfig(cfg.Registers, cfg.Allocator, cfg.CostModel, !cfg.SkipRewrite)
+}
+
 // worker drains the module's function queue with one reusable Runner (and
 // one private allocator instance), checking for cancellation between
 // functions.
@@ -230,6 +260,10 @@ func worker(ctx context.Context, m *ir.Module, cfg Config, results []FuncResult,
 		}
 		ccfg.Allocator = a
 	}
+	var fold fingerprint.Config
+	if cfg.Cache != nil {
+		fold = fingerprintConfig(cfg)
+	}
 	for {
 		if ctx.Err() != nil {
 			return
@@ -239,8 +273,21 @@ func worker(ctx context.Context, m *ir.Module, cfg Config, results []FuncResult,
 			return
 		}
 		f := m.Funcs[i]
-		out, err := RunFunc(runner, f, ccfg)
-		results[i] = FuncResult{Index: i, Name: f.Name, Outcome: out, Err: err}
+		if cfg.Cache != nil {
+			key := fingerprint.Key(f, fold)
+			if out := cfg.Cache.Get(key, f); out != nil {
+				results[i] = FuncResult{Index: i, Name: f.Name, Outcome: out, Cached: true}
+			} else {
+				out, err := RunFunc(runner, f, ccfg)
+				results[i] = FuncResult{Index: i, Name: f.Name, Outcome: out, Err: err}
+				if err == nil {
+					cfg.Cache.Put(key, out)
+				}
+			}
+		} else {
+			out, err := RunFunc(runner, f, ccfg)
+			results[i] = FuncResult{Index: i, Name: f.Name, Outcome: out, Err: err}
+		}
 		if cfg.onFuncDone != nil {
 			cfg.onFuncDone()
 		}

@@ -9,7 +9,7 @@ import "repro/internal/ir"
 // the predecessor block; spilled phi defs spill at the top of their block.
 // The returned function is still strict SSA.
 func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
-	g := cloneFunc(f)
+	g := f.Clone()
 	anySpill := false
 	for _, s := range spilled {
 		if s {
@@ -19,6 +19,9 @@ func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
 	}
 	if !anySpill {
 		return g
+	}
+	if g.ValueName == nil {
+		g.ValueName = make(map[int]string)
 	}
 	for _, b := range g.Blocks {
 		// Pre-size the rewritten instruction list: one reload per spilled
@@ -109,55 +112,6 @@ func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
 				ins.Uses[k] = nv
 			}
 		}
-	}
-	return g
-}
-
-// cloneFunc deep-copies f. All instruction use/target lists (and the block
-// pred/succ lists) are carved from one exact-size int slab, so the clone
-// costs a handful of allocations rather than one per instruction.
-func cloneFunc(f *ir.Func) *ir.Func {
-	g := &ir.Func{
-		Name:      f.Name,
-		NumValues: f.NumValues,
-		ValueName: make(map[int]string, len(f.ValueName)),
-		SSA:       f.SSA,
-	}
-	for k, v := range f.ValueName {
-		g.ValueName[k] = v
-	}
-	total := 0
-	for _, b := range f.Blocks {
-		total += len(b.Preds) + len(b.Succs)
-		for _, ins := range b.Instrs {
-			total += len(ins.Uses) + len(ins.Targets)
-		}
-	}
-	slab := make([]int, 0, total)
-	carve := func(s []int) []int {
-		if len(s) == 0 {
-			return s // preserve nil-ness and empty slices as-is
-		}
-		start := len(slab)
-		slab = append(slab, s...)
-		return slab[start:len(slab):len(slab)]
-	}
-	g.Blocks = make([]*ir.Block, 0, len(f.Blocks))
-	for _, b := range f.Blocks {
-		nb := &ir.Block{
-			ID:        b.ID,
-			Name:      b.Name,
-			Preds:     carve(b.Preds),
-			Succs:     carve(b.Succs),
-			LoopDepth: b.LoopDepth,
-		}
-		nb.Instrs = make([]ir.Instr, len(b.Instrs))
-		for i, ins := range b.Instrs {
-			ins.Uses = carve(ins.Uses)
-			ins.Targets = carve(ins.Targets)
-			nb.Instrs[i] = ins
-		}
-		g.Blocks = append(g.Blocks, nb)
 	}
 	return g
 }

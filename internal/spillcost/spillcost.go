@@ -50,6 +50,15 @@ func (m Model) normalize() Model {
 	return m
 }
 
+// Params returns the effective (loopBase, storeFactor) pair after
+// zero-value normalization — the canonical form of the model, under which
+// Model{} and DefaultModel compare equal. Cache keys and config
+// fingerprints fold these instead of the raw struct.
+func (m Model) Params() (loopBase, storeFactor float64) {
+	m = m.normalize()
+	return m.LoopBase, m.StoreFactor
+}
+
 // Validate rejects models the estimate is meaningless for (negative
 // factors). The pipeline driver calls it before costing.
 func (m Model) Validate() error {
@@ -67,8 +76,26 @@ func (m Model) Validate() error {
 // Values never accessed get cost 0 — and under StoreFactor 0, so do values
 // that are defined but never used.
 func Costs(f *ir.Func, m Model) []float64 {
+	return CostsInto(nil, f, m)
+}
+
+// CostsInto is Costs with a caller-provided buffer: dst is resized to
+// f.NumValues (reallocating only when its capacity is too small), zeroed
+// and filled. The batch pipeline's per-worker Runner feeds its scratch
+// buffer through here, so steady-state allocation costs no cost-vector
+// allocation per function — BuildProblem copies the costs it keeps, so the
+// buffer never escapes into an Outcome.
+func CostsInto(dst []float64, f *ir.Func, m Model) []float64 {
 	m = m.normalize()
-	cost := make([]float64, f.NumValues)
+	cost := dst
+	if cap(cost) < f.NumValues {
+		cost = make([]float64, f.NumValues)
+	} else {
+		cost = cost[:f.NumValues]
+		for i := range cost {
+			cost[i] = 0
+		}
+	}
 	for _, b := range f.Blocks {
 		freq := math.Pow(m.LoopBase, float64(b.LoopDepth))
 		for _, ins := range b.Instrs {

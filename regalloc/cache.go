@@ -1,0 +1,58 @@
+package regalloc
+
+import (
+	"context"
+
+	"repro/internal/outcache"
+	"repro/internal/pipeline"
+	"repro/regalloc/irx"
+)
+
+// Cache is a concurrent, bounded, content-addressed cache of allocation
+// outcomes, shared between any number of engines and goroutines. Keys are
+// structural function fingerprints (alpha-renaming-insensitive) folded
+// with the allocation configuration, so a hit is guaranteed byte-identical
+// to a recomputation; stored outcomes are deep-copied on insert and on
+// every hit, so no caller can poison the cache through an outcome it was
+// handed. Attach one to an engine with WithCache (private) or
+// WithSharedCache (shared); see those options for the admission and
+// eviction policy.
+type Cache = outcache.Cache
+
+// CacheStats is a point-in-time snapshot of a cache's hit/miss/eviction
+// counters and residency.
+type CacheStats = outcache.Stats
+
+// NewCache builds a shareable outcome cache bounded to capacity entries
+// (a default capacity when capacity ≤ 0), for WithSharedCache.
+func NewCache(capacity int) *Cache { return outcache.New(capacity) }
+
+// CacheStats snapshots the engine's outcome-cache counters; the zero
+// CacheStats when the engine has no cache.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// Revision is the content-addressed snapshot AllocateModuleIncremental
+// diffs against: every successfully allocated function of one module run,
+// keyed by structure and configuration. Revisions are immutable, safe for
+// concurrent use, and share entries with their predecessors, so keeping
+// one per tier or per client costs only the functions that changed.
+type Revision = pipeline.Revision
+
+// AllocateModuleIncremental is AllocateModule for recompilation loops: it
+// reuses from prev the outcome of every function whose code (up to
+// alpha-renaming) is unchanged and re-runs only the rest, returning the
+// full-length module-ordered results plus the next Revision. A nil prev
+// allocates everything. Reused results are marked FuncResult.Cached and
+// are byte-identical to recomputed ones; the diff is content-addressed,
+// not positional, so renaming, reordering or duplicating functions with
+// known bodies never forces a re-run. The allocation cost of a revision is
+// proportional to its changed functions (plus a fingerprint pass over the
+// module), which is what a tiering JIT wants from hot-method swaps.
+func (e *Engine) AllocateModuleIncremental(ctx context.Context, m *irx.Module, prev *Revision) ([]FuncResult, *Revision, error) {
+	return pipeline.RunModuleIncremental(ctx, m, e.moduleConfig(), prev)
+}

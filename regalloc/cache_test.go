@@ -1,0 +1,211 @@
+package regalloc_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/regalloc"
+	"repro/regalloc/irx"
+	"repro/regalloc/workload"
+)
+
+// TestEngineCacheByteIdentity: the public engine's headline cache claim —
+// reports with a cache attached (cold and warm passes alike) are
+// byte-identical to a cache-free engine's, over a duplication-heavy module.
+func TestEngineCacheByteIdentity(t *testing.T) {
+	m := workload.GenDuplicated(1234, 80, 0.8)
+
+	plain, err := regalloc.New(regalloc.WithRegisters(4), regalloc.WithJobs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := plain.AllocateModule(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := regalloc.FormatResults(base, true)
+
+	cached, err := regalloc.New(regalloc.WithRegisters(4), regalloc.WithJobs(2), regalloc.WithCache(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 1; pass <= 3; pass++ {
+		results, err := cached.AllocateModule(context.Background(), m)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if got := regalloc.FormatResults(results, true); got != want {
+			t.Fatalf("pass %d: cached engine report differs from cache-free engine", pass)
+		}
+	}
+	s := cached.CacheStats()
+	if s.Hits == 0 {
+		t.Errorf("three passes over an 80%%-duplicated module produced no hits: %+v", s)
+	}
+	if s.Entries == 0 || s.Entries > s.Capacity {
+		t.Errorf("resident entries %d out of range (0, %d]", s.Entries, s.Capacity)
+	}
+}
+
+// TestEngineCachedAllocateFunc: single-function calls consult the cache
+// (2Q: second sighting admits, third call hits) and hits stay
+// byte-identical through the detailed report.
+func TestEngineCachedAllocateFunc(t *testing.T) {
+	eng, err := regalloc.New(regalloc.WithRegisters(3), regalloc.WithCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := workload.GenerateFunc(99)
+	var first *regalloc.Outcome
+	for i := 0; i < 3; i++ {
+		out, err := eng.AllocateFunc(context.Background(), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = out
+			continue
+		}
+		got := regalloc.FormatResults([]regalloc.FuncResult{{Name: f.Name, Outcome: out}}, true)
+		want := regalloc.FormatResults([]regalloc.FuncResult{{Name: f.Name, Outcome: first}}, true)
+		if got != want {
+			t.Fatalf("call %d: outcome differs from the first call", i+1)
+		}
+	}
+	s := eng.CacheStats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses over three identical calls", s)
+	}
+}
+
+// TestWithSharedCache: engines with the same configuration share entries;
+// an engine with a different configuration sharing the same cache never
+// cross-serves (keys fold the config), and its results stay correct.
+func TestWithSharedCache(t *testing.T) {
+	shared := regalloc.NewCache(256)
+	mk := func(r int) *regalloc.Engine {
+		t.Helper()
+		eng, err := regalloc.New(regalloc.WithRegisters(r), regalloc.WithSharedCache(shared))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	a, b, other := mk(4), mk(4), mk(2)
+
+	f := workload.GenerateFunc(7)
+	ctx := context.Background()
+	// Engine a: miss, miss (admits on the second sighting).
+	for i := 0; i < 2; i++ {
+		if _, err := a.AllocateFunc(ctx, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hitsBefore := shared.Stats().Hits
+	outB, err := b.AllocateFunc(ctx, f) // same config: must hit a's entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Stats().Hits != hitsBefore+1 {
+		t.Fatal("same-config engine did not hit the shared entry")
+	}
+
+	outOther, err := other.AllocateFunc(ctx, f) // different R: must not cross-serve
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outOther.Problem.R != 2 || outB.Problem.R != 4 {
+		t.Fatalf("cross-served outcome: R=%d served to an R=2 engine", outOther.Problem.R)
+	}
+
+	// CacheStats on a shared cache reads the same counters from any engine.
+	if a.CacheStats() != b.CacheStats() {
+		t.Fatal("engines sharing one cache report different stats")
+	}
+}
+
+// TestCacheConfigErrors: WithCache and WithSharedCache are mutually
+// exclusive, negative capacities are rejected, and both failures carry
+// ErrInvalidConfig.
+func TestCacheConfigErrors(t *testing.T) {
+	_, err := regalloc.New(regalloc.WithRegisters(4), regalloc.WithCache(-1))
+	if !errors.Is(err, regalloc.ErrInvalidConfig) {
+		t.Errorf("WithCache(-1): err = %v, want ErrInvalidConfig", err)
+	}
+	_, err = regalloc.New(regalloc.WithRegisters(4),
+		regalloc.WithCache(16), regalloc.WithSharedCache(regalloc.NewCache(16)))
+	if !errors.Is(err, regalloc.ErrInvalidConfig) {
+		t.Errorf("WithCache+WithSharedCache: err = %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestCacheStatsWithoutCache: a cache-free engine reports the zero stats.
+func TestCacheStatsWithoutCache(t *testing.T) {
+	eng, err := regalloc.New(regalloc.WithRegisters(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.CacheStats(); s != (regalloc.CacheStats{}) {
+		t.Fatalf("cache-free engine reports non-zero stats: %+v", s)
+	}
+}
+
+// TestAllocateModuleIncremental drives the public incremental API through
+// a mutate-and-recompile loop: full results every revision, reuse marked
+// Cached, and bytes identical to a from-scratch run of each revision.
+func TestAllocateModuleIncremental(t *testing.T) {
+	eng, err := regalloc.New(regalloc.WithRegisters(4), regalloc.WithJobs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	m := workload.GenerateModule(55, 30)
+
+	r1, rev1, err := eng.AllocateModuleIncremental(ctx, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev1.Len() != len(m.Funcs) {
+		t.Fatalf("revision 1 holds %d outcomes, want %d", rev1.Len(), len(m.Funcs))
+	}
+	for i := range r1 {
+		if r1[i].Cached {
+			t.Fatalf("first revision marked %s cached with a nil previous revision", r1[i].Name)
+		}
+	}
+
+	// Swap one function body, keep the rest.
+	m2 := &irx.Module{Funcs: append([]*irx.Func(nil), m.Funcs...)}
+	m2.Funcs[11] = irx.MustParse(`
+func swapped ssa {
+b0:
+  a = param 0
+  b = arith a, a
+  ret b
+}`)
+	r2, rev2, err := eng.AllocateModuleIncremental(ctx, m2, rev1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := 0
+	for i := range r2 {
+		if r2[i].Cached {
+			reused++
+		}
+	}
+	if reused != len(m.Funcs)-1 {
+		t.Fatalf("reused %d functions, want %d", reused, len(m.Funcs)-1)
+	}
+	if rev2.Len() != len(m.Funcs) {
+		t.Fatalf("revision 2 holds %d outcomes, want %d", rev2.Len(), len(m.Funcs))
+	}
+
+	scratch, err := eng.AllocateModule(ctx, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regalloc.FormatResults(r2, true) != regalloc.FormatResults(scratch, true) {
+		t.Fatal("incremental revision differs from a from-scratch run")
+	}
+}

@@ -86,6 +86,44 @@ b0:
 	// total 2 functions, 0 errors
 }
 
+// A cached engine serves repeated structure — here the same function body
+// under three different names — from the outcome cache. The 2Q admission
+// policy stores an outcome on the second sighting of its fingerprint, so
+// the third call is the first hit; results are byte-identical either way.
+func ExampleWithCache() {
+	src := `
+func %s ssa {
+b0:
+  a = param 0
+  b = param 1
+  c = arith a, b
+  d = arith c, a
+  ret d
+}`
+	eng, err := regalloc.New(
+		regalloc.WithRegisters(4),
+		regalloc.WithCache(256),
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		f := irx.MustParse(fmt.Sprintf(src, name))
+		out, err := eng.AllocateFunc(context.Background(), f)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d spilled, rewritten as %q\n", name, len(out.SpilledValues), out.Rewritten.Name)
+	}
+	s := eng.CacheStats()
+	fmt.Printf("hits %d, misses %d, resident %d\n", s.Hits, s.Misses, s.Entries)
+	// Output:
+	// alpha: 0 spilled, rewritten as "alpha"
+	// beta: 0 spilled, rewritten as "beta"
+	// gamma: 0 spilled, rewritten as "gamma"
+	// hits 1, misses 2, resident 1
+}
+
 // Failures carry a typed taxonomy: dispatch with errors.Is instead of
 // matching message strings.
 func ExampleNew_errors() {

@@ -51,6 +51,8 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/outcache"
 	"repro/internal/pipeline"
 	"repro/internal/raerr"
 	"repro/internal/spillcost"
@@ -97,6 +99,8 @@ type options struct {
 	legacyIFG      bool
 	trustedCost    bool
 	noScratchReuse bool
+	cacheSize      int
+	sharedCache    *Cache
 }
 
 // Option configures an Engine (New).
@@ -138,13 +142,37 @@ func WithTrustedCostModel() Option { return func(o *options) { o.trustedCost = t
 // results are identical either way, just slower.
 func WithoutScratchReuse() Option { return func(o *options) { o.noScratchReuse = true } }
 
+// WithCache gives the engine a private content-addressed outcome cache
+// bounded to capacity entries (capacity ≥ 1). Every AllocateFunc /
+// AllocateModule / AllocateStream call consults it before running and
+// publishes after: functions whose structure (alpha-renaming aside) and
+// configuration were seen before cost roughly a fingerprint plus a copy
+// instead of a full pipeline run. Results are byte-identical with the cache
+// on or off — allocation is deterministic, which is what makes the cache
+// sound — but cache-hit outcomes are decision-level: they carry the spill
+// set, costs, assignment and rewritten body, not the analysis structures
+// (Outcome.Cliques, Outcome.Build and the Problem's interference
+// representation are absent), and a hit does not annotate the input
+// function with loop depths. Admission is 2Q-style: an outcome is stored
+// on the second sighting of its fingerprint, so duplication-free traffic
+// pays only the hash.
+func WithCache(capacity int) Option { return func(o *options) { o.cacheSize = capacity } }
+
+// WithSharedCache attaches an existing cache (NewCache) to the engine, so
+// several engines — e.g. one per request configuration in a compile
+// service — share one bounded pool. Entries are keyed by configuration as
+// well as content, so engines with different configs never cross-serve.
+func WithSharedCache(c *Cache) Option { return func(o *options) { o.sharedCache = c } }
+
 // Engine runs the register-allocation pipeline. It wraps the internal
 // scratch-reusing runner and the module worker pool behind one validated
 // configuration; construct it with New and reuse it — an Engine is safe
 // for concurrent use by multiple goroutines.
 type Engine struct {
-	opts options
-	pool sync.Pool // *worker
+	opts  options
+	pool  sync.Pool // *worker
+	cache *outcache.Cache
+	fold  fingerprint.Config // cache-key fold of the engine config
 }
 
 // worker is one goroutine's pipeline instance: reusable analysis scratch
@@ -178,8 +206,21 @@ func New(opt ...Option) (*Engine, error) {
 			return nil, fmt.Errorf("%w: invalid cost model: %w", raerr.ErrInvalidConfig, err)
 		}
 	}
+	if o.cacheSize < 0 || (o.cacheSize > 0 && o.sharedCache != nil) {
+		return nil, fmt.Errorf("%w: WithCache(%d) and WithSharedCache are mutually exclusive and require capacity ≥ 1",
+			raerr.ErrInvalidConfig, o.cacheSize)
+	}
 	e := &Engine{opts: o}
 	e.pool.New = func() any { return e.newWorker() }
+	switch {
+	case o.sharedCache != nil:
+		e.cache = o.sharedCache
+	case o.cacheSize > 0:
+		e.cache = outcache.New(o.cacheSize)
+	}
+	if e.cache != nil {
+		e.fold = fingerprint.NewConfig(o.registers, o.allocator, o.costModel, !o.skipRewrite)
+	}
 	return e, nil
 }
 
@@ -226,6 +267,19 @@ func (e *Engine) AllocateFunc(ctx context.Context, f *irx.Func) (*Outcome, error
 			return nil, fmt.Errorf("%w: %w", raerr.ErrCanceled, err)
 		}
 	}
+	if e.cache != nil {
+		key := fingerprint.Key(f, e.fold)
+		if out := e.cache.Get(key, f); out != nil {
+			return out, nil
+		}
+		w := e.pool.Get().(*worker)
+		out, err := pipeline.RunFunc(w.runner, f, w.cfg)
+		e.pool.Put(w)
+		if err == nil {
+			e.cache.Put(key, out)
+		}
+		return out, err
+	}
 	w := e.pool.Get().(*worker)
 	out, err := pipeline.RunFunc(w.runner, f, w.cfg)
 	e.pool.Put(w)
@@ -245,6 +299,7 @@ func (e *Engine) moduleConfig() pipeline.Config {
 		// New validated the model (or the caller opted out with
 		// WithTrustedCostModel); don't re-validate per module run.
 		TrustedCostModel: true,
+		Cache:            e.cache,
 	}
 }
 

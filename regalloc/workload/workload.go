@@ -72,6 +72,15 @@ func GenerateModule(seed int64, n int) *irx.Module { return irgen.GenerateModule
 // the generator behind the verifier's soak mode.
 func GenerateFunc(seed int64) *irx.Func { return irgen.FromSeed(seed) }
 
+// GenDuplicated deterministically generates a module of n functions with a
+// controlled duplication rate: each function after the first is, with
+// probability dupRate, an alpha-renamed copy of an earlier one. This is
+// the corpus shape of redundant JIT / compile-server traffic, and the
+// workload behind the outcome-cache benchmarks (BENCH_cache.json).
+func GenDuplicated(seed int64, n int, dupRate float64) *irx.Module {
+	return irgen.GenDuplicated(seed, n, dupRate)
+}
+
 // ChordalAllocators is the paper's chordal lineup (GC, NL, FPL, BL, BFPL,
 // Optimal).
 func ChordalAllocators() []regalloc.Allocator { return bench.ChordalAllocators() }

@@ -34,12 +34,12 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 
 	"repro/regalloc"
 	"repro/regalloc/irx"
+	"repro/regalloc/service"
 	"repro/regalloc/workload"
 )
 
@@ -167,149 +167,64 @@ func runBatch(out io.Writer, m *irx.Module, regs int, allocName string, jobs int
 
 // ------------------------------------------------------------- JSONL mode
 
-// request is one JSONL line in. Registers/Allocator default to the
-// command-line flags when omitted. A request with "stats":true returns
-// the service counters instead of allocating.
-type request struct {
-	ID        string `json:"id"`
-	IR        string `json:"ir"`
-	Registers int    `json:"registers"`
-	Allocator string `json:"allocator"`
-	Print     bool   `json:"print"`
-	Stats     bool   `json:"stats"`
-}
-
-// serviceStats is the payload of a "stats":true response: the resident
-// engine count of the bounded per-configuration engine table and, when the
-// service runs with -cache, the shared outcome-cache counters.
-type serviceStats struct {
-	Engines        int    `json:"engines"`
-	EngineCapacity int    `json:"engineCapacity"`
-	CacheHits      uint64 `json:"cacheHits"`
-	CacheMisses    uint64 `json:"cacheMisses"`
-	CacheEntries   int    `json:"cacheEntries"`
-	CacheEvicted   uint64 `json:"cacheEvicted"`
-	CacheBytes     int64  `json:"cacheBytes"`
-	CacheCapacity  int    `json:"cacheCapacity"`
-}
-
-// response is one JSONL line out, in request order.
-type response struct {
-	ID         string         `json:"id,omitempty"`
-	Func       string         `json:"func,omitempty"`
-	Allocator  string         `json:"allocator,omitempty"`
-	Registers  int            `json:"registers,omitempty"`
-	Values     int            `json:"values,omitempty"`
-	MaxLive    int            `json:"maxlive,omitempty"`
-	Spilled    []string       `json:"spilled,omitempty"`
-	SpillCost  float64        `json:"spillCost"`
-	Assignment map[string]int `json:"assignment,omitempty"`
-	Rewritten  string         `json:"rewritten,omitempty"`
-	Stats      *serviceStats  `json:"stats,omitempty"`
-	Error      string         `json:"error,omitempty"`
-}
-
-// engineCacheCap bounds the per-configuration engine table: a long-lived
-// service fed adversarial (registers, allocator) combinations must not
-// grow engines — and their pooled scratch — without limit.
-const engineCacheCap = 64
-
-// engineCache resolves one shared engine per (registers, allocator)
-// request configuration, bounded to engineCacheCap entries with
-// least-recently-used eviction. Engines pool their analysis scratch
-// internally, so the JSONL workers just share them; evicting an engine
-// only drops pooled scratch — with -cache, its allocation outcomes live on
-// in the shared outcome cache (keys fold the configuration), so a
-// re-built engine keeps hitting them.
-type engineCache struct {
-	mu     sync.Mutex
-	m      map[string]*engineEntry
-	shared *regalloc.Cache // nil when the service runs cache-less
-	seq    uint64
-}
-
-type engineEntry struct {
-	eng  *regalloc.Engine
-	used uint64 // last-touched tick for LRU eviction
-}
-
-func (c *engineCache) get(regs int, allocName string) (*regalloc.Engine, error) {
-	key := fmt.Sprintf("%d\x00%s", regs, strings.ToLower(allocName))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.seq++
-	if e, ok := c.m[key]; ok {
-		e.used = c.seq
-		return e.eng, nil
-	}
-	eng, err := newEngine(regs, allocName, 0, 0, c.shared)
-	if err != nil {
-		return nil, err
-	}
-	if c.m == nil {
-		c.m = make(map[string]*engineEntry)
-	}
-	c.m[key] = &engineEntry{eng: eng, used: c.seq}
-	if len(c.m) > engineCacheCap {
-		var lruKey string
-		lru := uint64(1<<64 - 1)
-		for k, e := range c.m {
-			if e.used < lru {
-				lru, lruKey = e.used, k
-			}
-		}
-		delete(c.m, lruKey)
-	}
-	return eng, nil
-}
-
-// len returns the resident engine count.
-func (c *engineCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
-}
+// The request/response schema, the bounded per-configuration engine table
+// and the single-request serving logic live in regalloc/service, shared
+// verbatim with the HTTP allocation server (cmd/allocserve).
 
 // runJSONL streams requests through a fixed worker pool and emits
 // responses in request order with a bounded in-flight window. With
 // cacheSize > 0 every engine shares one outcome cache, so repeated
 // function bodies — even under different names or from different request
 // configurations — cost a fingerprint plus a copy after the first runs.
+//
+// The first response-encoding failure (closed stdout, broken pipe) stops
+// intake promptly: the reader stops consuming stdin and the pool drains
+// what is already in flight without allocating into a dead sink; runJSONL
+// then returns that write error.
 func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc string, jobs, cacheSize int) error {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	type slot struct {
-		req  request
+		req  service.Request
 		err  error // request decode error
-		done chan response
+		done chan service.Response
 	}
-	work := make(chan *slot)
+	// Both queues are buffered so intake, the workers and the ordered
+	// writer only serialize on genuine capacity, not on every handoff.
+	work := make(chan *slot, jobs*4)
 	pending := make(chan *slot, jobs*4)
 
 	var writeErr error
+	writeFailed := make(chan struct{}) // closed on the first encode error
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		enc := json.NewEncoder(out)
 		for s := range pending {
-			if err := enc.Encode(<-s.done); err != nil && writeErr == nil {
+			resp := <-s.done
+			if writeErr != nil {
+				continue // keep draining, stop encoding into a dead sink
+			}
+			if err := enc.Encode(resp); err != nil {
 				writeErr = err
+				close(writeFailed)
 			}
 		}
 	}()
 
-	engines := &engineCache{}
+	var shared *regalloc.Cache
 	if cacheSize > 0 {
-		engines.shared = regalloc.NewCache(cacheSize)
+		shared = regalloc.NewCache(cacheSize)
 	}
+	engines := service.NewEngineCache(shared, 0)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for s := range work {
-				s.done <- serve(engines, s.req, s.err, defRegs, defAlloc)
+				s.done <- service.Do(context.Background(), engines, s.req, s.err, defRegs, defAlloc, nil)
 			}
 		}()
 	}
@@ -319,10 +234,18 @@ func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc string, jobs, c
 	// errors-are-per-request contract.
 	br := bufio.NewReaderSize(in, 1<<20)
 	var readErr error
+intake:
 	for {
+		select {
+		case <-writeFailed:
+			// No response can reach the client anymore; parsing and
+			// allocating the rest of stdin would be pure waste.
+			break intake
+		default:
+		}
 		line, err := br.ReadString('\n')
 		if trimmed := strings.TrimSpace(line); trimmed != "" {
-			s := &slot{done: make(chan response, 1)}
+			s := &slot{done: make(chan service.Response, 1)}
 			s.err = json.Unmarshal([]byte(trimmed), &s.req)
 			pending <- s
 			work <- s
@@ -342,69 +265,4 @@ func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc string, jobs, c
 		return readErr
 	}
 	return writeErr
-}
-
-// serve handles one JSONL request on one worker.
-func serve(engines *engineCache, req request, decodeErr error, defRegs int, defAlloc string) response {
-	resp := response{ID: req.ID}
-	if decodeErr != nil {
-		resp.Error = "bad request: " + decodeErr.Error()
-		return resp
-	}
-	if req.Stats {
-		st := &serviceStats{Engines: engines.len(), EngineCapacity: engineCacheCap}
-		if engines.shared != nil {
-			cs := engines.shared.Stats()
-			st.CacheHits, st.CacheMisses = cs.Hits, cs.Misses
-			st.CacheEntries, st.CacheEvicted = cs.Entries, cs.Evicted
-			st.CacheBytes, st.CacheCapacity = cs.Bytes, cs.Capacity
-		}
-		resp.Stats = st
-		return resp
-	}
-	r := req.Registers
-	if r == 0 {
-		r = defRegs
-	}
-	allocName := req.Allocator
-	if allocName == "" {
-		allocName = defAlloc
-	}
-	resp.Registers = r
-	eng, err := engines.get(r, allocName)
-	if err != nil {
-		resp.Error = err.Error()
-		return resp
-	}
-	f, err := irx.Parse(req.IR)
-	if err != nil {
-		resp.Error = err.Error()
-		return resp
-	}
-	resp.Func = f.Name
-	out, err := eng.AllocateFunc(context.Background(), f)
-	if err != nil {
-		resp.Error = err.Error()
-		return resp
-	}
-	resp.Allocator = out.Result.Allocator
-	resp.Values = out.Problem.N()
-	resp.MaxLive = out.MaxLive
-	resp.SpillCost = out.SpillCost
-	for _, v := range out.SpilledValues {
-		resp.Spilled = append(resp.Spilled, f.NameOf(v))
-	}
-	sort.Strings(resp.Spilled)
-	if out.RegisterOf != nil {
-		resp.Assignment = make(map[string]int)
-		for val, reg := range out.RegisterOf {
-			if reg >= 0 {
-				resp.Assignment[f.NameOf(val)] = reg
-			}
-		}
-	}
-	if req.Print && out.Rewritten != nil {
-		resp.Rewritten = out.Rewritten.String()
-	}
-	return resp
 }

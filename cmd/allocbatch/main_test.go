@@ -2,10 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+
+	"repro/regalloc/service"
 )
 
 func moduleCorpus(name string) string {
@@ -266,7 +271,7 @@ func TestRunJSONLStatsAndCache(t *testing.T) {
 	if s == nil {
 		t.Fatalf("stats request returned no stats payload: %s", lines[3])
 	}
-	if s.Engines != 1 || s.EngineCapacity != engineCacheCap {
+	if s.Engines != 1 || s.EngineCapacity != service.EngineCacheCap {
 		t.Errorf("engine table stats wrong: %+v", s)
 	}
 	// alpha: miss (ghost), beta: miss (admit), gamma: hit.
@@ -275,6 +280,59 @@ func TestRunJSONLStatsAndCache(t *testing.T) {
 	}
 	if s.CacheCapacity != 64 {
 		t.Errorf("cache capacity = %d, want 64", s.CacheCapacity)
+	}
+}
+
+// lineReader hands runJSONL one request line per Read call and counts how
+// many it has emitted, so a test can observe exactly how far intake got.
+type lineReader struct {
+	line    string
+	total   int
+	emitted atomic.Int64
+}
+
+func (r *lineReader) Read(p []byte) (int, error) {
+	n := int(r.emitted.Load())
+	if n >= r.total {
+		return 0, io.EOF
+	}
+	if len(p) < len(r.line) {
+		return 0, io.ErrShortBuffer
+	}
+	r.emitted.Add(1)
+	return copy(p, r.line), nil
+}
+
+// failWriter fails every Write and counts the attempts.
+type failWriter struct{ writes atomic.Int64 }
+
+var errSinkClosed = errors.New("sink closed")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.writes.Add(1)
+	return 0, errSinkClosed
+}
+
+// TestRunJSONLWriterErrorStopsIntake: once a response fails to encode
+// (closed stdout, broken pipe), the service must stop consuming stdin and
+// stop encoding into the dead sink instead of parsing and allocating the
+// whole remaining stream; the write error surfaces as the run error.
+func TestRunJSONLWriterErrorStopsIntake(t *testing.T) {
+	const total = 400
+	in := &lineReader{
+		line:  `{"id":"x","ir":"func f ssa {\nb0:\n  x = param 0\n  y = arith x, x\n  ret y\n}","registers":2}` + "\n",
+		total: total,
+	}
+	sink := &failWriter{}
+	err := runJSONL(in, sink, 4, "", 2, 0)
+	if !errors.Is(err, errSinkClosed) {
+		t.Fatalf("run error = %v, want the writer's error", err)
+	}
+	if got := sink.writes.Load(); got != 1 {
+		t.Errorf("writer saw %d encode attempts after failing, want exactly 1", got)
+	}
+	if got := in.emitted.Load(); got >= total/2 {
+		t.Errorf("intake consumed %d of %d lines after the sink died, want an early stop", got, total)
 	}
 }
 

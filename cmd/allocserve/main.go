@@ -1,0 +1,133 @@
+// Command allocserve runs the register allocator as a long-lived network
+// service: HTTP/1.1 + h2c (cleartext HTTP/2), stdlib-only.
+//
+//	allocserve -addr :8080 -r 4 -alloc BFPL -cache 4096
+//	allocserve -addr :8080 -max-inflight 256 -timeout 10s
+//	allocserve -selfbench -funcs 800 -out BENCH_pr7.json   # scaling sweep
+//
+// Endpoints:
+//
+//	POST /v1/allocate   one JSON request (the allocbatch JSONL schema:
+//	                    "ir" for a single function or "module" for a
+//	                    compilation unit), one JSON response
+//	GET  /metrics       Prometheus text metrics
+//	GET  /healthz       200 serving / 503 draining
+//
+// Admission is bounded: at most -max-inflight requests are served
+// concurrently and the rest are rejected immediately with 429 +
+// Retry-After. Every request runs under the -timeout deadline. On SIGTERM
+// or SIGINT the server drains gracefully: it stops accepting, finishes
+// the in-flight requests (bounded by -drain-timeout) and flushes a final
+// metrics snapshot to stdout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/regalloc"
+	"repro/regalloc/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "allocserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point. A non-nil ready channel receives the
+// bound listen address once the server accepts connections (tests use it
+// to race-freely learn the port of addr ":0").
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("allocserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	regs := fs.Int("r", 4, "default register count for requests that omit one")
+	allocName := fs.String("alloc", "", "default allocator name, or 'help' to list (default BFPL/LH)")
+	jobs := fs.Int("jobs", 0, "worker count for module requests (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 0, "outcome-cache capacity in entries, shared across request configurations (0 = off)")
+	maxInFlight := fs.Int("max-inflight", service.DefaultMaxInFlight, "admission bound: concurrent requests beyond it get 429")
+	timeout := fs.Duration("timeout", service.DefaultRequestTimeout, "per-request allocation deadline (negative = none)")
+	drainTimeout := fs.Duration("drain-timeout", service.DefaultDrainTimeout, "graceful-drain bound for in-flight requests on SIGTERM")
+	selfbench := fs.Bool("selfbench", false, "run the multi-core scaling sweep (jobs and client concurrency 1,2,4,8) and exit")
+	funcs := fs.Int("funcs", 800, "benchmark module size (with -selfbench)")
+	seed := fs.Int64("seed", 42, "benchmark corpus seed (with -selfbench)")
+	rounds := fs.Int("rounds", 3, "benchmark repetitions per configuration, best kept (with -selfbench)")
+	benchOut := fs.String("out", "BENCH_pr7.json", "benchmark JSON output path (with -selfbench)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *allocName == "help" {
+		fmt.Fprintln(out, strings.Join(regalloc.Allocators(), "\n"))
+		return nil
+	}
+	cfg := service.Config{
+		Registers:      *regs,
+		Allocator:      *allocName,
+		Jobs:           *jobs,
+		CacheSize:      *cacheSize,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drainTimeout,
+	}
+	if *selfbench {
+		return runSelfBench(out, benchOpts{
+			Funcs: *funcs, Seed: *seed, Registers: *regs, Allocator: *allocName,
+			Rounds: *rounds, OutPath: *benchOut, Config: cfg,
+		})
+	}
+
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	bound, done, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "allocserve: listening on %s (R=%d alloc=%s max-inflight=%d timeout=%v cache=%d)\n",
+		bound, *regs, defaultName(*allocName), *maxInFlight, *timeout, *cacheSize)
+	if ready != nil {
+		ready <- bound.String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-done:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(out, "allocserve: received %v, draining (bound %v)\n", got, *drainTimeout)
+		start := time.Now()
+		drainErr := srv.Drain(context.Background())
+		<-done
+		if drainErr != nil {
+			fmt.Fprintf(out, "allocserve: drain incomplete after %v: %v\n", time.Since(start).Round(time.Millisecond), drainErr)
+		} else {
+			fmt.Fprintf(out, "allocserve: drained in %v\n", time.Since(start).Round(time.Millisecond))
+		}
+		// Final metrics flush: the last scrape a collector would have seen,
+		// plus whatever the drain window finished.
+		fmt.Fprint(out, srv.MetricsText())
+		return drainErr
+	}
+}
+
+func defaultName(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
+}

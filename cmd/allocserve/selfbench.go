@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/regalloc"
+	"repro/regalloc/irx"
+	"repro/regalloc/service"
+	"repro/regalloc/workload"
+)
+
+// The self-benchmark is the multi-core scaling rig ROADMAP item 1 asks
+// for: it sweeps the worker-pool size (jobs = 1, 2, 4, 8) over the module
+// pipeline in-process, then sweeps client concurrency (1, 2, 4, 8) against
+// a live HTTP server end to end, and writes both curves plus a generated
+// contention analysis to a machine-readable JSON report (BENCH_pr7.json).
+// Every BENCH before PR 7 ran in a 1-CPU container, so the pool's scaling
+// curve was literally unmeasured; this rig makes the sweep a one-command
+// artifact on any machine (and a CI job runs it on a multi-vCPU runner).
+
+type benchOpts struct {
+	Funcs     int
+	Seed      int64
+	Registers int
+	Allocator string
+	Rounds    int
+	OutPath   string
+	Config    service.Config
+}
+
+// pipelineRow is one worker-pool configuration of the in-process sweep.
+type pipelineRow struct {
+	Jobs          int     `json:"jobs"`
+	FuncsPerSec   float64 `json:"funcs_per_sec"`
+	NsPerFunc     float64 `json:"ns_per_func"`
+	SpeedupVs1    float64 `json:"speedup_vs_jobs1"`
+}
+
+// serverRow is one client-concurrency configuration of the HTTP sweep.
+type serverRow struct {
+	Clients     int     `json:"clients"`
+	ReqsPerSec  float64 `json:"reqs_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	SpeedupVs1  float64 `json:"speedup_vs_clients1"`
+}
+
+// scalingReport is the BENCH_pr7.json schema.
+type scalingReport struct {
+	Bench      string        `json:"bench"`
+	GoVersion  string        `json:"go"`
+	CPUs       int           `json:"cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Functions  int           `json:"functions"`
+	Seed       int64         `json:"seed"`
+	Registers  int           `json:"registers"`
+	Allocator  string        `json:"allocator"`
+	Rounds     int           `json:"rounds"`
+	Pipeline   []pipelineRow `json:"pipeline"`
+	Server     []serverRow   `json:"server"`
+	// Headline scaling ratios.
+	SpeedupJobs4    float64 `json:"speedup_at_jobs4_vs_jobs1"`
+	SpeedupClients4 float64 `json:"speedup_at_clients4_vs_clients1"`
+	Analysis        string  `json:"analysis"`
+}
+
+var sweep = []int{1, 2, 4, 8}
+
+func runSelfBench(out io.Writer, opts benchOpts) error {
+	if opts.Funcs < 1 {
+		return fmt.Errorf("selfbench: -funcs must be ≥ 1")
+	}
+	if opts.Rounds < 1 {
+		opts.Rounds = 1
+	}
+	m := workload.GenerateModule(opts.Seed, opts.Funcs)
+	fmt.Fprintf(out, "selfbench: %d functions (seed %d), R=%d, %d rounds, NumCPU=%d GOMAXPROCS=%d\n",
+		opts.Funcs, opts.Seed, opts.Registers, opts.Rounds, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+
+	// --- In-process worker-pool sweep -----------------------------------
+	var pipeRows []pipelineRow
+	for _, jobs := range sweep {
+		eopts := []regalloc.Option{regalloc.WithRegisters(opts.Registers), regalloc.WithJobs(jobs)}
+		if opts.Allocator != "" {
+			eopts = append(eopts, regalloc.WithAllocator(opts.Allocator))
+		}
+		eng, err := regalloc.New(eopts...)
+		if err != nil {
+			return err
+		}
+		if err := benchRunOnce(eng, m); err != nil { // warm-up
+			return err
+		}
+		best := 0.0
+		for round := 0; round < opts.Rounds; round++ {
+			runtime.GC()
+			start := time.Now()
+			if err := benchRunOnce(eng, m); err != nil {
+				return err
+			}
+			if fps := float64(opts.Funcs) / time.Since(start).Seconds(); fps > best {
+				best = fps
+			}
+		}
+		row := pipelineRow{Jobs: jobs, FuncsPerSec: best, NsPerFunc: 1e9 / best}
+		if len(pipeRows) > 0 {
+			row.SpeedupVs1 = best / pipeRows[0].FuncsPerSec
+		} else {
+			row.SpeedupVs1 = 1
+		}
+		pipeRows = append(pipeRows, row)
+		fmt.Fprintf(out, "  pipeline jobs=%-2d %9.1f funcs/sec  (%.2fx vs jobs=1)\n", jobs, best, row.SpeedupVs1)
+	}
+
+	// --- End-to-end HTTP sweep ------------------------------------------
+	cfg := opts.Config
+	cfg.MaxInFlight = 1024 // the sweep measures throughput, not admission
+	cfg.CacheSize = 0      // cold allocations: cache hits would hide pool scaling
+	cfg.Jobs = 1           // single-function requests; parallelism comes from clients
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	addr, done, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	url := "http://" + addr.String() + "/v1/allocate"
+	bodies := make([][]byte, len(m.Funcs))
+	for i, f := range m.Funcs {
+		b, err := json.Marshal(service.Request{ID: f.Name, IR: f.String()})
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+	transport := &http.Transport{MaxIdleConns: 64, MaxIdleConnsPerHost: 64}
+	client := &http.Client{Transport: transport, Timeout: 60 * time.Second}
+
+	var srvRows []serverRow
+	for _, clients := range sweep {
+		var best serverRow
+		for round := 0; round < opts.Rounds; round++ {
+			row, err := httpRound(client, url, bodies, clients)
+			if err != nil {
+				return err
+			}
+			if row.ReqsPerSec > best.ReqsPerSec {
+				best = row
+			}
+		}
+		if len(srvRows) > 0 {
+			best.SpeedupVs1 = best.ReqsPerSec / srvRows[0].ReqsPerSec
+		} else {
+			best.SpeedupVs1 = 1
+		}
+		srvRows = append(srvRows, best)
+		fmt.Fprintf(out, "  server clients=%-2d %9.1f reqs/sec  p50=%.2fms p99=%.2fms (%.2fx vs clients=1)\n",
+			best.Clients, best.ReqsPerSec, best.P50Ms, best.P99Ms, best.SpeedupVs1)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		return err
+	}
+	<-done
+
+	rep := scalingReport{
+		Bench:      "allocserve_scaling_pr7",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Functions:  opts.Funcs,
+		Seed:       opts.Seed,
+		Registers:  opts.Registers,
+		Allocator:  opts.Allocator,
+		Rounds:     opts.Rounds,
+		Pipeline:   pipeRows,
+		Server:     srvRows,
+	}
+	for _, r := range pipeRows {
+		if r.Jobs == 4 {
+			rep.SpeedupJobs4 = r.SpeedupVs1
+		}
+	}
+	for _, r := range srvRows {
+		if r.Clients == 4 {
+			rep.SpeedupClients4 = r.SpeedupVs1
+		}
+	}
+	rep.Analysis = analysis(rep)
+	fmt.Fprintf(out, "jobs=4 vs jobs=1: %.2fx | clients=4 vs clients=1: %.2fx\n", rep.SpeedupJobs4, rep.SpeedupClients4)
+	fmt.Fprintf(out, "analysis: %s\n", rep.Analysis)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(opts.OutPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", opts.OutPath)
+	return nil
+}
+
+// analysis generates the scaling verdict the BENCH file documents: honest
+// about the rig it ran on.
+func analysis(rep scalingReport) string {
+	if rep.CPUs <= 1 {
+		return fmt.Sprintf("single-CPU rig (NumCPU=%d): the sweep cannot exceed 1.0x by construction — worker-pool "+
+			"parallelism has no cores to run on, so jobs=4 at %.2fx of jobs=1 measures pure overhead, not contention. "+
+			"The structural serialization points named by the roadmap are addressed regardless: module workers claim "+
+			"functions from a lock-free atomic counter and write results to disjoint slice slots (no work channel, no "+
+			"result lock), the streaming result-ordering barrier now uses a module-sized buffered notify channel so a "+
+			"slow consumer back-pressures emission rather than the pool, and the JSONL front-end's work queue is "+
+			"buffered. Re-run `allocserve -selfbench` on a multi-core machine (the CI multicore job does) for the real curve.",
+			rep.CPUs, rep.SpeedupJobs4)
+	}
+	verdict := "near-linear"
+	switch {
+	case rep.SpeedupJobs4 < 1.5:
+		verdict = "sub-linear (below the 1.5x acceptance bar — profile the pool handoff)"
+	case rep.SpeedupJobs4 < 3:
+		verdict = "moderate"
+	}
+	return fmt.Sprintf("multi-core rig (NumCPU=%d): jobs=4 reaches %.2fx of jobs=1 (%s), clients=4 reaches %.2fx "+
+		"end to end over HTTP. Workers claim functions from a lock-free atomic counter into disjoint result slots; "+
+		"the ordering barrier is buffered; remaining ceilings are GC and the h2c connection handling.",
+		rep.CPUs, rep.SpeedupJobs4, verdict, rep.SpeedupClients4)
+}
+
+func benchRunOnce(eng *regalloc.Engine, m *irx.Module) error {
+	results, err := eng.AllocateModule(context.Background(), m)
+	if err != nil {
+		return err
+	}
+	return regalloc.FirstError(results)
+}
+
+// httpRound fires every request body once, spread over `clients` concurrent
+// goroutines, and reports throughput and client-observed latency quantiles.
+func httpRound(client *http.Client, url string, bodies [][]byte, clients int) (serverRow, error) {
+	latencies := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(bodies); i += clients {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				var r service.Response
+				err = json.NewDecoder(resp.Body).Decode(&r)
+				resp.Body.Close()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if r.Error != "" {
+					errs[c] = fmt.Errorf("request %s: %s", r.ID, r.Error)
+					return
+				}
+				latencies[c] = append(latencies[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return serverRow{}, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Microseconds()) / 1000
+	}
+	return serverRow{
+		Clients:    clients,
+		ReqsPerSec: float64(len(bodies)) / elapsed.Seconds(),
+		P50Ms:      q(0.5),
+		P99Ms:      q(0.99),
+	}, nil
+}

@@ -144,6 +144,10 @@ type shard struct {
 	byKey     map[Key]*node
 	ghost     map[Key]*ghostNode
 	ghostFifo ghostList
+	// pending reserves keys whose admission copy is being built outside the
+	// lock: a concurrent Put for the same key must neither duplicate the
+	// copy nor re-register the key as a first sighting in the ghost filter.
+	pending   map[Key]struct{}
 	probation list
 	protected list
 	cap       int // value-entry bound for this shard
@@ -183,6 +187,7 @@ func New(capacity int) *Cache {
 		c.shards = append(c.shards, &shard{
 			byKey:    make(map[Key]*node),
 			ghost:    make(map[Key]*ghostNode),
+			pending:  make(map[Key]struct{}),
 			cap:      shardCap,
 			protCap:  protCap,
 			ghostCap: shardCap,
@@ -236,6 +241,11 @@ func (c *Cache) Get(key Key, f *ir.Func) *core.Outcome {
 	return out
 }
 
+// admitCopyHook, when non-nil, runs on the Put goroutine between dropping
+// the shard lock for the admission deep copy and retaking it. Test-only: it
+// makes the copy window deterministic to interleave against.
+var admitCopyHook func()
+
 // Put offers the outcome computed for key. The first sighting of a
 // fingerprint only records it in the admission filter (no entry is built);
 // the second sighting deep-copies the outcome into the cache. Callers
@@ -245,6 +255,10 @@ func (c *Cache) Put(key Key, out *core.Outcome) {
 	s.mu.Lock()
 	if _, ok := s.byKey[key]; ok {
 		s.mu.Unlock() // another goroutine admitted it first
+		return
+	}
+	if _, inflight := s.pending[key]; inflight {
+		s.mu.Unlock() // another goroutine is building the admission copy
 		return
 	}
 	g, seen := s.ghost[key]
@@ -259,13 +273,22 @@ func (c *Cache) Put(key Key, out *core.Outcome) {
 		s.mu.Unlock()
 		return
 	}
+	// Second sighting: admit. Reserve the key while the deep copy happens
+	// outside the lock, so a concurrent Put neither re-registers the key as
+	// a first sighting (a ghost node for a now-resident entry) nor builds a
+	// duplicate copy.
 	s.ghostFifo.remove(g)
 	delete(s.ghost, key)
+	s.pending[key] = struct{}{}
 	s.mu.Unlock()
 
+	if admitCopyHook != nil {
+		admitCopyHook()
+	}
 	e := NewEntry(out) // the expensive deep copy, outside the lock
 
 	s.mu.Lock()
+	delete(s.pending, key)
 	if _, ok := s.byKey[key]; ok {
 		s.mu.Unlock()
 		return
@@ -288,6 +311,19 @@ func (c *Cache) Put(key Key, out *core.Outcome) {
 		c.entries.Add(-1)
 		c.bytes.Add(-victim.e.bytes)
 		c.evicted.Add(1)
+		// Standard 2Q: an evicted key keeps its fingerprint in the ghost
+		// FIFO, so a previously resident (possibly hot) key is readmitted
+		// on its next single miss instead of starting probation from zero
+		// and missing twice.
+		if _, ok := s.ghost[victim.key]; !ok {
+			gn := &ghostNode{key: victim.key}
+			s.ghost[victim.key] = gn
+			s.ghostFifo.pushFront(gn)
+			if s.ghostFifo.n > s.ghostCap {
+				old := s.ghostFifo.popBack()
+				delete(s.ghost, old.key)
+			}
+		}
 	}
 	s.mu.Unlock()
 }

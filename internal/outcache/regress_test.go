@@ -1,0 +1,198 @@
+package outcache
+
+// White-box regression tests for the two admission bugs fixed in PR 7:
+//
+//  1. Put dropped and retook the shard lock around the admission deep copy;
+//     a concurrent Put for the same key in that window found neither a
+//     resident entry nor a ghost (already consumed) and re-registered the
+//     key as a "first sighting" — a stale ghost node for a now-resident
+//     entry, wasting a ghost slot and letting the next admission after
+//     eviction skip probation.
+//  2. Eviction discarded the victim's fingerprint entirely, so a
+//     previously resident key had to miss twice to be readmitted; standard
+//     2Q keeps the evicted key in the ghost FIFO.
+//
+// These are in-package tests: they assert directly on shard structure
+// (ghost filter vs resident map), which the public surface cannot observe.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/spillcost"
+)
+
+var regressFold = fingerprint.NewConfig(4, "", spillcost.Model{}, true)
+
+func regressOutcome(t testing.TB, f *ir.Func) *core.Outcome {
+	t.Helper()
+	out, err := core.Run(f, core.Config{Registers: 4})
+	if err != nil {
+		t.Fatalf("pipeline run on %s: %v", f.Name, err)
+	}
+	return out
+}
+
+// checkShardInvariants asserts the structural consistency every shard must
+// keep: a key is never simultaneously resident and ghosted, and the list
+// lengths agree with the maps.
+func checkShardInvariants(t *testing.T, c *Cache) {
+	t.Helper()
+	total := 0
+	for i, s := range c.shards {
+		s.mu.Lock()
+		for key := range s.byKey {
+			if _, ok := s.ghost[key]; ok {
+				t.Errorf("shard %d: key %v is both resident and in the ghost filter", i, key)
+			}
+		}
+		if s.ghostFifo.n != len(s.ghost) {
+			t.Errorf("shard %d: ghost FIFO length %d != ghost map size %d", i, s.ghostFifo.n, len(s.ghost))
+		}
+		if got := s.probation.n + s.protected.n; got != len(s.byKey) {
+			t.Errorf("shard %d: segment lengths %d != resident map size %d", i, got, len(s.byKey))
+		}
+		if len(s.pending) != 0 {
+			t.Errorf("shard %d: %d pending admissions leaked", i, len(s.pending))
+		}
+		total += len(s.byKey)
+		s.mu.Unlock()
+	}
+	if got := int(c.entries.Load()); got != total {
+		t.Errorf("entries counter %d != resident total %d", got, total)
+	}
+}
+
+// TestPutConcurrentAdmissionNoGhostResurrection provokes the exact window
+// of bug 1 deterministically: goroutine A is parked (via admitCopyHook)
+// between consuming the ghost node and inserting the entry, while a second
+// Put for the same key lands. The second Put must not re-register the key
+// in the ghost filter.
+func TestPutConcurrentAdmissionNoGhostResurrection(t *testing.T) {
+	c := New(128)
+	f := irgen.FromSeed(11)
+	key := fingerprint.Key(f, regressFold)
+	out := regressOutcome(t, f)
+
+	c.Put(key, out) // first sighting: ghost only
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	admitCopyHook = func() {
+		close(entered)
+		<-release
+	}
+	defer func() { admitCopyHook = nil }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Put(key, out) // second sighting: admits, parks in the copy window
+	}()
+	<-entered
+	admitCopyHook = nil // the racing Put must not park
+	c.Put(key, out)     // lands inside A's copy window
+	close(release)
+	wg.Wait()
+
+	s := c.shard(key)
+	s.mu.Lock()
+	_, resident := s.byKey[key]
+	_, ghosted := s.ghost[key]
+	s.mu.Unlock()
+	if !resident {
+		t.Fatal("admission lost: key is not resident after both Puts")
+	}
+	if ghosted {
+		t.Fatal("racing Put re-registered a now-resident key as a first sighting (stale ghost node)")
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Admitted != 1 {
+		t.Fatalf("want exactly one admitted entry, got %+v", st)
+	}
+	checkShardInvariants(t, c)
+}
+
+// TestEvictedKeyKeepsGhostFingerprint pins the 2Q readmission contract of
+// bug 2: after a resident key is evicted, its fingerprint stays in the
+// ghost FIFO, so one further sighting readmits it — it does not restart the
+// two-miss probation from zero.
+func TestEvictedKeyKeepsGhostFingerprint(t *testing.T) {
+	const capEntries = 8
+	c := New(capEntries) // < 64 entries: a single shard, deterministic LRU
+	funcs := make([]*ir.Func, capEntries+1)
+	keys := make([]Key, capEntries+1)
+	outs := make([]*core.Outcome, capEntries+1)
+	for i := range funcs {
+		funcs[i] = irgen.FromSeed(int64(100 + i))
+		keys[i] = fingerprint.Key(funcs[i], regressFold)
+		outs[i] = regressOutcome(t, funcs[i])
+		for j := 0; j < i; j++ {
+			if keys[j] == keys[i] {
+				t.Fatalf("seeds %d and %d collide on one fingerprint", 100+j, 100+i)
+			}
+		}
+	}
+	// Fill the cache: two sightings each (2Q admission).
+	for i := 0; i < capEntries; i++ {
+		c.Put(keys[i], outs[i])
+		c.Put(keys[i], outs[i])
+	}
+	if st := c.Stats(); st.Entries != capEntries {
+		t.Fatalf("fill failed: %+v", st)
+	}
+	// Admit one more: the probation LRU — keys[0], the oldest — is evicted.
+	c.Put(keys[capEntries], outs[capEntries])
+	c.Put(keys[capEntries], outs[capEntries])
+	st := c.Stats()
+	if st.Evicted == 0 {
+		t.Fatalf("over-capacity admission evicted nothing: %+v", st)
+	}
+	if got := c.Get(keys[0], funcs[0]); got != nil {
+		t.Fatal("evicted key still resident (eviction order changed; test needs a new victim)")
+	}
+
+	// One sighting of the evicted key must readmit it.
+	c.Put(keys[0], outs[0])
+	if got := c.Get(keys[0], funcs[0]); got == nil {
+		t.Fatal("evicted key lost its ghost fingerprint: one sighting did not readmit it (2Q requires readmission on the next miss)")
+	}
+	checkShardInvariants(t, c)
+}
+
+// TestPutConcurrentSameKeyInvariants hammers a handful of keys from many
+// goroutines and asserts the shard invariants afterwards — the race-detector
+// probe for the pending-reservation path and the eviction ghost re-insert.
+func TestPutConcurrentSameKeyInvariants(t *testing.T) {
+	const nKeys = 6
+	const workers = 8
+	const rounds = 60
+	c := New(4) // tiny: constant eviction traffic
+	funcs := make([]*ir.Func, nKeys)
+	keys := make([]Key, nKeys)
+	outs := make([]*core.Outcome, nKeys)
+	for i := range funcs {
+		funcs[i] = irgen.FromSeed(int64(200 + i))
+		keys[i] = fingerprint.Key(funcs[i], regressFold)
+		outs[i] = regressOutcome(t, funcs[i])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % nKeys
+				if c.Get(keys[i], funcs[i]) == nil {
+					c.Put(keys[i], outs[i])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkShardInvariants(t, c)
+}

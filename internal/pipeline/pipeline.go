@@ -111,7 +111,15 @@ func RunModule(ctx context.Context, m *ir.Module, cfg Config) ([]FuncResult, err
 // with an error wrapping raerr.ErrCanceled; results that were computed but
 // not yet yielded are dropped, never reordered.
 func RunModuleStream(ctx context.Context, m *ir.Module, cfg Config, yield func(FuncResult) error) error {
-	notify := make(chan int)
+	// Each index is sent exactly once, so a module-sized buffer means a
+	// worker never blocks on the ordering barrier: a slow yield (or a slow
+	// head-of-line function) back-pressures the emission loop, not the
+	// pool. This was a measurable serialization point for multi-core runs.
+	buf := 0
+	if m != nil {
+		buf = len(m.Funcs)
+	}
+	notify := make(chan int, buf)
 	results, wait, err := start(ctx, m, cfg, notify)
 	if err != nil && results == nil {
 		return err // configuration error: no workers were started
@@ -166,24 +174,29 @@ func start(ctx context.Context, m *ir.Module, cfg Config, notify chan int) ([]Fu
 		jobs = len(m.Funcs)
 	}
 	results := make([]FuncResult, len(m.Funcs))
+	// done[i] is the explicit completion marker for function i, set by the
+	// worker that processed it (each index is claimed by exactly one worker
+	// and wg.Wait orders the writes before finish reads them). The
+	// cancellation accounting below keys on this marker, never on
+	// zero-value sentinels in results — a legitimate result can look
+	// zero-ish, state must not be conflated with data.
+	done := make([]bool, len(m.Funcs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			worker(ctx, m, cfg, results, &next, notify)
+			worker(ctx, m, cfg, results, done, &next, notify)
 		}()
 	}
 	finish := func() error {
 		wg.Wait()
 		defer cancel()
 		if err := ctx.Err(); err != nil {
-			// Partial batch: mark every function no worker reached. A
-			// claimed function always carries its name, so unprocessed
-			// entries are exactly the zero-valued ones.
+			// Partial batch: mark every function no worker completed.
 			for i := range results {
-				if results[i].Name == "" && results[i].Outcome == nil && results[i].Err == nil {
+				if !done[i] {
 					results[i] = FuncResult{Index: i, Name: m.Funcs[i].Name,
 						Err: fmt.Errorf("%w: %w", raerr.ErrCanceled, err)}
 				}
@@ -239,7 +252,7 @@ func fingerprintConfig(cfg Config) fingerprint.Config {
 // worker drains the module's function queue with one reusable Runner (and
 // one private allocator instance), checking for cancellation between
 // functions.
-func worker(ctx context.Context, m *ir.Module, cfg Config, results []FuncResult, next *atomic.Int64, notify chan int) {
+func worker(ctx context.Context, m *ir.Module, cfg Config, results []FuncResult, done []bool, next *atomic.Int64, notify chan int) {
 	var runner *core.Runner
 	if !cfg.NoScratchReuse {
 		runner = core.NewRunner()
@@ -288,6 +301,7 @@ func worker(ctx context.Context, m *ir.Module, cfg Config, results []FuncResult,
 			out, err := RunFunc(runner, f, ccfg)
 			results[i] = FuncResult{Index: i, Name: f.Name, Outcome: out, Err: err}
 		}
+		done[i] = true
 		if cfg.onFuncDone != nil {
 			cfg.onFuncDone()
 		}

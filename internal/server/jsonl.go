@@ -1,0 +1,311 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/regalloc"
+	"repro/regalloc/irx"
+)
+
+// This file is the request/response schema of the allocation service —
+// shared verbatim between the JSONL stdin/stdout mode of cmd/allocbatch
+// and the HTTP body of POST /v1/allocate — plus the bounded
+// per-configuration engine table and the single-request serving logic both
+// front-ends drive.
+
+// Request is one allocation request: a single function (IR) or a whole
+// compilation unit (Module), with optional per-request overrides of the
+// service's default register count and allocator. A request with
+// "stats":true returns the service counters instead of allocating.
+type Request struct {
+	ID        string `json:"id"`
+	IR        string `json:"ir,omitempty"`
+	Module    string `json:"module,omitempty"`
+	Registers int    `json:"registers,omitempty"`
+	Allocator string `json:"allocator,omitempty"`
+	Print     bool   `json:"print,omitempty"`
+	Stats     bool   `json:"stats,omitempty"`
+}
+
+// ServiceStats is the payload of a "stats":true response: the resident
+// engine count of the bounded per-configuration engine table and, when the
+// service runs with an outcome cache, the shared cache counters.
+type ServiceStats struct {
+	Engines        int    `json:"engines"`
+	EngineCapacity int    `json:"engineCapacity"`
+	CacheHits      uint64 `json:"cacheHits"`
+	CacheMisses    uint64 `json:"cacheMisses"`
+	CacheEntries   int    `json:"cacheEntries"`
+	CacheEvicted   uint64 `json:"cacheEvicted"`
+	CacheBytes     int64  `json:"cacheBytes"`
+	CacheCapacity  int    `json:"cacheCapacity"`
+}
+
+// Response is one allocation response. Single-function requests fill the
+// per-function fields directly; module requests return one entry per
+// function, in module order, under Results. Failures come back in Error —
+// per-function failures inside a module land on that function's entry
+// without failing the sibling functions.
+type Response struct {
+	ID         string         `json:"id,omitempty"`
+	Func       string         `json:"func,omitempty"`
+	Allocator  string         `json:"allocator,omitempty"`
+	Registers  int            `json:"registers,omitempty"`
+	Values     int            `json:"values,omitempty"`
+	MaxLive    int            `json:"maxlive,omitempty"`
+	Spilled    []string       `json:"spilled,omitempty"`
+	SpillCost  float64        `json:"spillCost"`
+	Assignment map[string]int `json:"assignment,omitempty"`
+	Rewritten  string         `json:"rewritten,omitempty"`
+	Cached     bool           `json:"cached,omitempty"`
+	Results    []Response     `json:"results,omitempty"`
+	Stats      *ServiceStats  `json:"stats,omitempty"`
+	Error      string         `json:"error,omitempty"`
+}
+
+// EngineCacheCap bounds the per-configuration engine table: a long-lived
+// service fed adversarial (registers, allocator) combinations must not
+// grow engines — and their pooled scratch — without limit.
+const EngineCacheCap = 64
+
+// EngineCache resolves one shared engine per (registers, allocator)
+// request configuration, bounded to EngineCacheCap entries with
+// least-recently-used eviction. Engines pool their analysis scratch
+// internally, so concurrent requests just share them; evicting an engine
+// only drops pooled scratch — with an outcome cache attached, its
+// allocation outcomes live on in the shared cache (keys fold the
+// configuration), so a re-built engine keeps hitting them.
+type EngineCache struct {
+	mu     sync.Mutex
+	m      map[string]*engineEntry
+	shared *regalloc.Cache // nil when the service runs cache-less
+	jobs   int             // worker count for module requests
+	seq    uint64
+}
+
+type engineEntry struct {
+	eng  *regalloc.Engine
+	used uint64 // last-touched tick for LRU eviction
+}
+
+// NewEngineCache builds the engine table. A non-nil shared outcome cache is
+// attached to every engine; jobs is the per-module-request worker count
+// (0 = GOMAXPROCS).
+func NewEngineCache(shared *regalloc.Cache, jobs int) *EngineCache {
+	return &EngineCache{shared: shared, jobs: jobs}
+}
+
+// SharedCache returns the outcome cache the table attaches to its engines,
+// or nil.
+func (c *EngineCache) SharedCache() *regalloc.Cache { return c.shared }
+
+// Get resolves (or builds and caches) the engine for one request
+// configuration.
+func (c *EngineCache) Get(regs int, allocName string) (*regalloc.Engine, error) {
+	key := fmt.Sprintf("%d\x00%s", regs, strings.ToLower(allocName))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	if e, ok := c.m[key]; ok {
+		e.used = c.seq
+		return e.eng, nil
+	}
+	opts := []regalloc.Option{regalloc.WithRegisters(regs), regalloc.WithJobs(c.jobs)}
+	if allocName != "" {
+		opts = append(opts, regalloc.WithAllocator(allocName))
+	}
+	if c.shared != nil {
+		opts = append(opts, regalloc.WithSharedCache(c.shared))
+	}
+	eng, err := regalloc.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if c.m == nil {
+		c.m = make(map[string]*engineEntry)
+	}
+	c.m[key] = &engineEntry{eng: eng, used: c.seq}
+	if len(c.m) > EngineCacheCap {
+		var lruKey string
+		lru := uint64(1<<64 - 1)
+		for k, e := range c.m {
+			if e.used < lru {
+				lru, lruKey = e.used, k
+			}
+		}
+		delete(c.m, lruKey)
+	}
+	return eng, nil
+}
+
+// Len returns the resident engine count.
+func (c *EngineCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// ServiceStats snapshots the table and (when attached) cache counters.
+func (c *EngineCache) ServiceStats() *ServiceStats {
+	st := &ServiceStats{Engines: c.Len(), EngineCapacity: EngineCacheCap}
+	if c.shared != nil {
+		cs := c.shared.Stats()
+		st.CacheHits, st.CacheMisses = cs.Hits, cs.Misses
+		st.CacheEntries, st.CacheEvicted = cs.Entries, cs.Evicted
+		st.CacheBytes, st.CacheCapacity = cs.Bytes, cs.Capacity
+	}
+	return st
+}
+
+// Observer receives serving telemetry from Do: per-stage latencies and
+// per-function outcomes. A nil Observer is valid and free.
+type Observer interface {
+	// ObserveStage records one completed stage (StageParse, StageAllocate).
+	ObserveStage(stage string, seconds float64)
+	// ObserveFunc records one allocated function: whether it failed and,
+	// when it succeeded, its spill quality (spilled cost / total weight).
+	ObserveFunc(failed bool, spillRatio float64)
+}
+
+// Do serves one request against the engine table: resolve the engine for
+// the request's configuration, parse the IR, allocate, shape the response.
+// decodeErr carries an upstream body-decoding failure into the in-band
+// error contract. ctx bounds the allocation (module requests are cancelled
+// between functions; a single function is the pipeline's atomic unit).
+func Do(ctx context.Context, engines *EngineCache, req Request, decodeErr error, defRegs int, defAlloc string, obs Observer) Response {
+	resp := Response{ID: req.ID}
+	if decodeErr != nil {
+		resp.Error = "bad request: " + decodeErr.Error()
+		return resp
+	}
+	if req.Stats {
+		resp.Stats = engines.ServiceStats()
+		return resp
+	}
+	if req.IR != "" && req.Module != "" {
+		resp.Error = "bad request: ir and module are mutually exclusive"
+		return resp
+	}
+	if req.IR == "" && req.Module == "" {
+		resp.Error = "bad request: one of ir or module is required"
+		return resp
+	}
+	r := req.Registers
+	if r == 0 {
+		r = defRegs
+	}
+	allocName := req.Allocator
+	if allocName == "" {
+		allocName = defAlloc
+	}
+	resp.Registers = r
+	eng, err := engines.Get(r, allocName)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	if req.Module != "" {
+		return serveModule(ctx, eng, req, resp, obs)
+	}
+
+	start := time.Now()
+	f, err := irx.Parse(req.IR)
+	observeStage(obs, StageParse, start)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.Func = f.Name
+	start = time.Now()
+	out, err := eng.AllocateFunc(ctx, f)
+	observeStage(obs, StageAllocate, start)
+	if err != nil {
+		if obs != nil {
+			obs.ObserveFunc(true, 0)
+		}
+		resp.Error = err.Error()
+		return resp
+	}
+	fillOutcome(&resp, f, out, req.Print, obs)
+	return resp
+}
+
+// serveModule is the compilation-unit body of Do.
+func serveModule(ctx context.Context, eng *regalloc.Engine, req Request, resp Response, obs Observer) Response {
+	start := time.Now()
+	m, err := irx.ParseModule(req.Module)
+	observeStage(obs, StageParse, start)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	start = time.Now()
+	results, err := eng.AllocateModule(ctx, m)
+	observeStage(obs, StageAllocate, start)
+	if err != nil && results == nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.Results = make([]Response, len(results))
+	for i := range results {
+		fr := &results[i]
+		sub := Response{Func: fr.Name, Registers: resp.Registers, Cached: fr.Cached}
+		if fr.Err != nil {
+			if obs != nil {
+				obs.ObserveFunc(true, 0)
+			}
+			sub.Error = fr.Err.Error()
+		} else {
+			fillOutcome(&sub, m.Funcs[i], fr.Outcome, req.Print, obs)
+		}
+		resp.Results[i] = sub
+	}
+	if err != nil && resp.Error == "" {
+		// Partial batch (cancellation): the per-function entries carry
+		// their state; surface the module-level error too.
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+// fillOutcome shapes one successful allocation outcome into a response.
+func fillOutcome(resp *Response, f *irx.Func, out *regalloc.Outcome, print bool, obs Observer) {
+	resp.Func = f.Name
+	resp.Allocator = out.Result.Allocator
+	resp.Values = out.Problem.N()
+	resp.MaxLive = out.MaxLive
+	resp.SpillCost = out.SpillCost
+	for _, v := range out.SpilledValues {
+		resp.Spilled = append(resp.Spilled, f.NameOf(v))
+	}
+	sort.Strings(resp.Spilled)
+	if out.RegisterOf != nil {
+		resp.Assignment = make(map[string]int)
+		for val, reg := range out.RegisterOf {
+			if reg >= 0 {
+				resp.Assignment[f.NameOf(val)] = reg
+			}
+		}
+	}
+	if print && out.Rewritten != nil {
+		resp.Rewritten = out.Rewritten.String()
+	}
+	if obs != nil {
+		ratio := 0.0
+		if tw := out.Problem.TotalWeight(); tw > 0 {
+			ratio = out.SpillCost / tw
+		}
+		obs.ObserveFunc(false, ratio)
+	}
+}
+
+func observeStage(obs Observer, stage string, start time.Time) {
+	if obs != nil {
+		obs.ObserveStage(stage, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// The metrics layer is a minimal, dependency-free Prometheus text-format
+// (0.0.4) exposition: counters, gauges and fixed-bucket histograms backed
+// by atomics, rendered deterministically. It exists so the allocation
+// server can be scraped by any Prometheus-compatible collector without
+// pulling a client library into a stdlib-only repository.
+
+// counter is a monotonically increasing metric.
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) Add(n uint64)  { c.v.Add(n) }
+func (c *counter) Value() uint64 { return c.v.Load() }
+
+// gauge is a current-value metric.
+type gauge struct{ v atomic.Int64 }
+
+func (g *gauge) Set(n int64)  { g.v.Store(n) }
+func (g *gauge) Add(n int64)  { g.v.Add(n) }
+func (g *gauge) Value() int64 { return g.v.Load() }
+
+// histogram is a fixed-bound cumulative histogram with an atomic float sum.
+// Observations are lock-free; rendering and quantile estimation read a
+// point-in-time snapshot of the buckets.
+type histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// snapshot returns the per-bucket counts (non-cumulative), total count and
+// sum as of one pass over the atomics.
+func (h *histogram) snapshot() (counts []uint64, total uint64, sum float64) {
+	counts = make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return counts, total, math.Float64frombits(h.sum.Load())
+}
+
+// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket holding the target rank — the standard
+// histogram_quantile estimate. It returns 0 before any observation; ranks
+// landing in the +Inf bucket report the largest finite bound.
+func (h *histogram) quantile(q float64) float64 {
+	counts, total, _ := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(h.bounds) { // +Inf bucket
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// writeHistogram renders one labelled histogram series.
+func writeHistogram(w io.Writer, name, labels string, h *histogram) {
+	counts, total, sum := h.snapshot()
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, formatBound(b), cum)
+	}
+	cum += counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, bareLabels(labels), formatFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, bareLabels(labels), total)
+}
+
+// bareLabels turns a chained label prefix ("stage=\"x\"," or "") into the
+// braced form a non-bucket series wants ("{stage=\"x\"}" or nothing).
+func bareLabels(labels string) string {
+	if n := len(labels); n > 0 {
+		if labels[n-1] == ',' {
+			labels = labels[:n-1]
+		}
+		return "{" + labels + "}"
+	}
+	return ""
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// latencyBounds are the per-stage latency buckets in seconds: 50µs to 10s,
+// roughly ×2–2.5 per step — allocation of a typical generated function is
+// tens of microseconds, a large module request can take seconds.
+var latencyBounds = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// spillRatioBounds bucket the per-function spill quality: spilled cost as a
+// fraction of the function's total spill weight (0 = nothing spilled).
+var spillRatioBounds = []float64{0, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1}
+
+// stages are the per-request pipeline stages the server times.
+var stages = []string{StageDecode, StageParse, StageAllocate, StageEncode}
+
+// Stage names, exported for observers.
+const (
+	StageDecode   = "decode"   // read + unmarshal the request body
+	StageParse    = "parse"    // textual IR → ir.Func/Module
+	StageAllocate = "allocate" // the allocation engine run
+	StageEncode   = "encode"   // marshal + write the response
+)
+
+// metrics is the server's metric set.
+type metrics struct {
+	requests  map[int]*counter // by HTTP status code
+	funcsOK   counter
+	funcsErr  counter
+	inFlight  gauge
+	maxInFlight int64
+	stageLat  map[string]*histogram
+	spillHist *histogram
+}
+
+// requestCodes are the status codes the server can answer with; the map is
+// laid out up front so scrapes never race a map write.
+var requestCodes = []int{200, 400, 404, 405, 408, 413, 429, 500, 503, 504}
+
+func newMetrics(maxInFlight int) *metrics {
+	m := &metrics{
+		requests:    make(map[int]*counter, len(requestCodes)),
+		stageLat:    make(map[string]*histogram, len(stages)),
+		spillHist:   newHistogram(spillRatioBounds),
+		maxInFlight: int64(maxInFlight),
+	}
+	for _, c := range requestCodes {
+		m.requests[c] = &counter{}
+	}
+	for _, s := range stages {
+		m.stageLat[s] = newHistogram(latencyBounds)
+	}
+	return m
+}
+
+func (m *metrics) countRequest(code int) {
+	c, ok := m.requests[code]
+	if !ok {
+		c = m.requests[500]
+	}
+	c.Add(1)
+}
+
+func (m *metrics) observeStage(stage string, seconds float64) {
+	if h, ok := m.stageLat[stage]; ok {
+		h.Observe(seconds)
+	}
+}
+
+func (m *metrics) observeFunc(failed bool, spillRatio float64) {
+	if failed {
+		m.funcsErr.Add(1)
+		return
+	}
+	m.funcsOK.Add(1)
+	m.spillHist.Observe(spillRatio)
+}
+
+// cacheStats is the slice of outcome-cache counters the exposition needs;
+// filled from regalloc.CacheStats at scrape time.
+type cacheStats struct {
+	hits, misses, evicted uint64
+	entries               int
+	bytes                 int64
+	capacity              int
+}
+
+// write renders the full exposition. engines/cache describe the serving
+// state at scrape time; cache may be nil when the server runs cache-less.
+func (m *metrics) write(w io.Writer, engines int, cache *cacheStats) {
+	fmt.Fprint(w, "# HELP allocserve_requests_total HTTP requests served, by status code.\n")
+	fmt.Fprint(w, "# TYPE allocserve_requests_total counter\n")
+	for _, code := range requestCodes {
+		fmt.Fprintf(w, "allocserve_requests_total{code=\"%d\"} %d\n", code, m.requests[code].Value())
+	}
+
+	fmt.Fprint(w, "# HELP allocserve_funcs_total Functions allocated, by result.\n")
+	fmt.Fprint(w, "# TYPE allocserve_funcs_total counter\n")
+	fmt.Fprintf(w, "allocserve_funcs_total{result=\"ok\"} %d\n", m.funcsOK.Value())
+	fmt.Fprintf(w, "allocserve_funcs_total{result=\"error\"} %d\n", m.funcsErr.Value())
+
+	fmt.Fprint(w, "# HELP allocserve_in_flight Requests currently being served.\n")
+	fmt.Fprint(w, "# TYPE allocserve_in_flight gauge\n")
+	fmt.Fprintf(w, "allocserve_in_flight %d\n", m.inFlight.Value())
+	fmt.Fprint(w, "# HELP allocserve_max_in_flight The admission bound: requests beyond it are rejected with 429.\n")
+	fmt.Fprint(w, "# TYPE allocserve_max_in_flight gauge\n")
+	fmt.Fprintf(w, "allocserve_max_in_flight %d\n", m.maxInFlight)
+
+	fmt.Fprint(w, "# HELP allocserve_stage_seconds Per-stage request latency.\n")
+	fmt.Fprint(w, "# TYPE allocserve_stage_seconds histogram\n")
+	for _, s := range stages {
+		writeHistogram(w, "allocserve_stage_seconds", fmt.Sprintf("stage=%q,", s), m.stageLat[s])
+	}
+	fmt.Fprint(w, "# HELP allocserve_stage_seconds_quantile Estimated latency quantiles per stage (from the histogram buckets).\n")
+	fmt.Fprint(w, "# TYPE allocserve_stage_seconds_quantile gauge\n")
+	for _, s := range stages {
+		h := m.stageLat[s]
+		fmt.Fprintf(w, "allocserve_stage_seconds_quantile{stage=%q,q=\"0.5\"} %s\n", s, formatFloat(h.quantile(0.5)))
+		fmt.Fprintf(w, "allocserve_stage_seconds_quantile{stage=%q,q=\"0.99\"} %s\n", s, formatFloat(h.quantile(0.99)))
+	}
+
+	fmt.Fprint(w, "# HELP allocserve_spill_ratio Per-function spill quality: spilled cost over total spill weight.\n")
+	fmt.Fprint(w, "# TYPE allocserve_spill_ratio histogram\n")
+	writeHistogram(w, "allocserve_spill_ratio", "", m.spillHist)
+
+	fmt.Fprint(w, "# HELP allocserve_engines Resident engines in the per-configuration table.\n")
+	fmt.Fprint(w, "# TYPE allocserve_engines gauge\n")
+	fmt.Fprintf(w, "allocserve_engines %d\n", engines)
+
+	if cache != nil {
+		fmt.Fprint(w, "# HELP allocserve_cache_hits_total Outcome-cache hits.\n")
+		fmt.Fprint(w, "# TYPE allocserve_cache_hits_total counter\n")
+		fmt.Fprintf(w, "allocserve_cache_hits_total %d\n", cache.hits)
+		fmt.Fprint(w, "# HELP allocserve_cache_misses_total Outcome-cache misses.\n")
+		fmt.Fprint(w, "# TYPE allocserve_cache_misses_total counter\n")
+		fmt.Fprintf(w, "allocserve_cache_misses_total %d\n", cache.misses)
+		fmt.Fprint(w, "# HELP allocserve_cache_evicted_total Outcome-cache evictions.\n")
+		fmt.Fprint(w, "# TYPE allocserve_cache_evicted_total counter\n")
+		fmt.Fprintf(w, "allocserve_cache_evicted_total %d\n", cache.evicted)
+		fmt.Fprint(w, "# HELP allocserve_cache_entries Resident outcome-cache entries.\n")
+		fmt.Fprint(w, "# TYPE allocserve_cache_entries gauge\n")
+		fmt.Fprintf(w, "allocserve_cache_entries %d\n", cache.entries)
+		fmt.Fprint(w, "# HELP allocserve_cache_bytes Estimated resident bytes of the outcome cache.\n")
+		fmt.Fprint(w, "# TYPE allocserve_cache_bytes gauge\n")
+		fmt.Fprintf(w, "allocserve_cache_bytes %d\n", cache.bytes)
+		fmt.Fprint(w, "# HELP allocserve_cache_capacity Configured outcome-cache entry bound.\n")
+		fmt.Fprint(w, "# TYPE allocserve_cache_capacity gauge\n")
+		fmt.Fprintf(w, "allocserve_cache_capacity %d\n", cache.capacity)
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	if q := h.quantile(0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", q)
+	}
+	// 100 observations uniform in (0, 1]: p50 interpolates inside the first
+	// bucket, p99 stays below its upper bound.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if q := h.quantile(0.5); q != 0.5 {
+		t.Errorf("p50 = %v, want 0.5 (linear interpolation in [0,1])", q)
+	}
+	if q := h.quantile(0.99); q != 0.99 {
+		t.Errorf("p99 = %v, want 0.99", q)
+	}
+	// An observation beyond every bound lands in +Inf and quantiles clamp to
+	// the largest finite bound.
+	big := newHistogram([]float64{1, 2})
+	big.Observe(100)
+	if q := big.quantile(0.99); q != 2 {
+		t.Errorf("overflow quantile = %v, want the largest finite bound 2", q)
+	}
+}
+
+func TestHistogramSumAndCount(t *testing.T) {
+	h := newHistogram(latencyBounds)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	_, total, sum := h.snapshot()
+	if total != 4000 {
+		t.Errorf("count = %d, want 4000", total)
+	}
+	if math.Abs(sum-4.0) > 1e-9 {
+		t.Errorf("sum = %v, want 4.0", sum)
+	}
+}
+
+func TestMetricsWriteRendersAllFamilies(t *testing.T) {
+	m := newMetrics(16)
+	m.countRequest(200)
+	m.countRequest(200)
+	m.countRequest(777) // unknown codes fold into 500
+	m.observeStage(StageAllocate, 0.002)
+	m.observeFunc(false, 0.25)
+	m.observeFunc(true, 0)
+
+	var b strings.Builder
+	m.write(&b, 3, &cacheStats{hits: 5, misses: 7, evicted: 1, entries: 2, bytes: 1024, capacity: 64})
+	text := b.String()
+	for _, want := range []string{
+		`allocserve_requests_total{code="200"} 2`,
+		`allocserve_requests_total{code="500"} 1`,
+		`allocserve_funcs_total{result="ok"} 1`,
+		`allocserve_funcs_total{result="error"} 1`,
+		`allocserve_max_in_flight 16`,
+		`allocserve_stage_seconds_count{stage="allocate"} 1`,
+		`allocserve_spill_ratio_bucket{le="0.3"} 1`,
+		`allocserve_engines 3`,
+		`allocserve_cache_hits_total 5`,
+		`allocserve_cache_misses_total 7`,
+		`allocserve_cache_evicted_total 1`,
+		`allocserve_cache_bytes 1024`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Cache-less servers must not advertise cache series at all.
+	b.Reset()
+	m.write(&b, 1, nil)
+	if strings.Contains(b.String(), "allocserve_cache_") {
+		t.Error("cache series rendered without a cache")
+	}
+}

@@ -1,0 +1,113 @@
+package verifier_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/regalloc"
+	"repro/regalloc/irx"
+	"repro/regalloc/verifier"
+	"repro/regalloc/workload"
+)
+
+// Every test passes an explicit allocator list: the registry is global to
+// the test binary, and the zero Options sweep all registered names — which
+// would include the deliberately broken allocator below.
+var goodOpts = verifier.Options{
+	Registers:  []int{2, 4},
+	Allocators: []string{"BFPL", "LH", "NL"},
+}
+
+// keepAll is a deliberately unsound allocator: it keeps every value in a
+// register regardless of pressure, violating allocation soundness whenever
+// MaxLive exceeds R.
+type keepAll struct{}
+
+func (keepAll) Name() string { return "keepall-test" }
+
+func (keepAll) Allocate(p *regalloc.Problem) *regalloc.Result {
+	keep := make([]bool, p.N())
+	for i := range keep {
+		keep[i] = true
+	}
+	return &regalloc.Result{Allocated: keep, Allocator: "keepall-test"}
+}
+
+var registerKeepAll = sync.OnceValue(func() error {
+	return regalloc.Register("keepall-test", func() regalloc.Allocator { return keepAll{} })
+})
+
+// pressured is a function with MaxLive 3: a, b, c are live together at the
+// first arith.
+const pressured = `func pressured ssa {
+b0:
+  a = param 0
+  b = param 1
+  c = param 2
+  d = arith a, b
+  e = arith d, c
+  ret e
+}`
+
+func TestCheckFuncPasses(t *testing.T) {
+	f, err := irx.Parse(pressured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.CheckFunc(f, goodOpts); err != nil {
+		t.Errorf("sound allocators failed verification: %v", err)
+	}
+}
+
+func TestCheckFuncCatchesUnsoundAllocator(t *testing.T) {
+	if err := registerKeepAll(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := irx.Parse(pressured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = verifier.CheckFunc(f, verifier.Options{
+		Registers:  []int{2}, // MaxLive is 3: keeping everything is unsound
+		Allocators: []string{"keepall-test"},
+	})
+	if err == nil {
+		t.Fatal("over-allocating allocator passed verification")
+	}
+	var fail *verifier.Failure
+	if !errors.As(err, &fail) {
+		t.Fatalf("error is %T (%v), want *verifier.Failure", err, err)
+	}
+	if fail.Allocator != "keepall-test" || fail.R != 2 || fail.Func != "pressured" {
+		t.Errorf("failure context incomplete: %+v", fail)
+	}
+	if fail.Detail == "" || fail.Error() == "" {
+		t.Errorf("failure carries no detail: %+v", fail)
+	}
+	if !strings.Contains(fail.Error(), "keepall-test") {
+		t.Errorf("Error() misses the allocator name: %s", fail.Error())
+	}
+}
+
+func TestCheckModule(t *testing.T) {
+	m := workload.GenerateModule(11, 6)
+	if err := verifier.CheckModule(m, goodOpts); err != nil {
+		t.Errorf("generated module failed verification: %v", err)
+	}
+}
+
+func TestCheckSeedAndSoak(t *testing.T) {
+	if err := verifier.CheckSeed(42, goodOpts); err != nil {
+		t.Errorf("seed 42: %v", err)
+	}
+	var reports int
+	fails := verifier.Soak(100, 3, goodOpts, 1, func(done, failed int) { reports++ })
+	if len(fails) != 0 {
+		t.Errorf("soak found %d failures on sound allocators: %v", len(fails), fails[0])
+	}
+	if reports != 3 {
+		t.Errorf("progress reported %d times, want 3", reports)
+	}
+}

@@ -52,6 +52,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	regs := fs.Int("r", 4, "default register count for requests that omit one")
 	allocName := fs.String("alloc", "", "default allocator name, or 'help' to list (default BFPL/LH)")
+	machine := fs.String("machine", "", "default target machine for machine-constrained allocation, or 'help' to list (default unconstrained)")
 	jobs := fs.Int("jobs", 0, "worker count for module requests (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 0, "outcome-cache capacity in entries, shared across request configurations (0 = off)")
 	maxInFlight := fs.Int("max-inflight", service.DefaultMaxInFlight, "admission bound: concurrent requests beyond it get 429")
@@ -72,9 +73,14 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		fmt.Fprintln(out, strings.Join(regalloc.Allocators(), "\n"))
 		return nil
 	}
+	if *machine == "help" {
+		fmt.Fprintln(out, strings.Join(regalloc.MachineNames(), "\n"))
+		return nil
+	}
 	cfg := service.Config{
 		Registers:      *regs,
 		Allocator:      *allocName,
+		Machine:        *machine,
 		Jobs:           *jobs,
 		CacheSize:      *cacheSize,
 		MaxInFlight:    *maxInFlight,

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	verify [-n 200] [-seed 1] [-r 2,3,4,8] [-alloc BFPL,LH] [-budget 4096] [-max-fail 1] [-v]
+//	verify -machines all            # machine-constrained soak over every machine
+//	verify -machines st231,armv7    # ... over specific machines
 //	verify -file f.ir
 //	verify -module m.ir
 //
@@ -42,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	allocs := fs.String("alloc", "", "comma-separated allocator names (default: all)")
 	budget := fs.Int("budget", 0, "interpreter semantic step budget (0 = default)")
 	maxFail := fs.Int("max-fail", 1, "stop after this many failures")
+	machines := fs.String("machines", "", "comma-separated machine names for the machine-constrained soak ('all' = every registered machine; default: unconstrained soak)")
 	file := fs.String("file", "", "check one textual IR file instead of soaking")
 	module := fs.String("module", "", "check every function of a textual IR module file")
 	verbose := fs.Bool("v", false, "print progress every 100 functions")
@@ -110,9 +113,26 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	fails := verifier.Soak(*seed, *n, opts, *maxFail, progress)
-	fmt.Fprintf(out, "checked %d generated functions (seeds %d..%d), registers %v: %d failures\n",
-		*n, *seed, *seed+int64(*n)-1, opts.Registers, len(fails))
+	var fails []*verifier.Failure
+	if *machines != "" {
+		var names []string
+		if *machines != "all" {
+			for _, m := range strings.Split(*machines, ",") {
+				names = append(names, strings.TrimSpace(m))
+			}
+		}
+		var err error
+		fails, err = verifier.SoakConstrained(*seed, *n, names, opts, *maxFail, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "checked %d constrained seeds (%d..%d), machines %s, registers %v: %d failures\n",
+			*n, *seed, *seed+int64(*n)-1, *machines, opts.Registers, len(fails))
+	} else {
+		fails = verifier.Soak(*seed, *n, opts, *maxFail, progress)
+		fmt.Fprintf(out, "checked %d generated functions (seeds %d..%d), registers %v: %d failures\n",
+			*n, *seed, *seed+int64(*n)-1, opts.Registers, len(fails))
+	}
 	for _, f := range fails {
 		fmt.Fprintf(out, "FAIL %v\n", f)
 	}

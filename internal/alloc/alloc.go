@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/arch"
 	"repro/internal/cliques"
 	"repro/internal/graph"
 	"repro/internal/ifg"
@@ -55,6 +56,13 @@ type Problem struct {
 	// Cliques is the IFG-free structure of the SSA fast path (nil on the
 	// graph path). When set, layered allocation runs natively on it.
 	Cliques *cliques.Structure
+	// Constraints, when non-nil, records the machine description the
+	// instance was built under. It changes Validate's pressure semantics:
+	// live sets are checked per register class against each class's
+	// capacity instead of against the single R (this is the validation the
+	// merged result of the per-class decomposition must satisfy). Requires
+	// Cliques (class membership is read off the function).
+	Constraints *arch.Constraints
 
 	g *graph.Weighted // explicit graph; lazily built from Cliques when nil
 }
@@ -83,6 +91,9 @@ type Spec struct {
 	Costs []float64
 	// R is the register count.
 	R int
+	// Constraints optionally carries the machine description of a
+	// constrained run (Cliques path only); see Problem.Constraints.
+	Constraints *arch.Constraints
 	// LiveSets/Chordal/PEO carry the verbatim structure of the Graph path.
 	LiveSets [][]int
 	Chordal  bool
@@ -109,13 +120,14 @@ func BuildProblem(s Spec) *Problem {
 			w[v] = s.Costs[cs.ValueOf[v]]
 		}
 		return &Problem{
-			R:        s.R,
-			Weight:   w,
-			LiveSets: cs.Sets,
-			Chordal:  true,
-			PEO:      cs.PEO,
-			Name:     cs.F.Name,
-			Cliques:  cs,
+			R:           s.R,
+			Weight:      w,
+			LiveSets:    cs.Sets,
+			Chordal:     true,
+			PEO:         cs.PEO,
+			Name:        cs.F.Name,
+			Cliques:     cs,
+			Constraints: s.Constraints,
 		}
 	case s.Build != nil:
 		b := s.Build
@@ -266,6 +278,26 @@ func (r *Result) SpillCost(p *Problem) float64 {
 func (p *Problem) Validate(r *Result) error {
 	if len(r.Allocated) != p.N() {
 		return fmt.Errorf("alloc: result covers %d of %d vertices", len(r.Allocated), p.N())
+	}
+	if p.Constraints != nil && p.Cliques != nil {
+		// Machine-constrained instance: pressure is per register class —
+		// at most cap(c) allocated members of class c per live set.
+		f := p.Cliques.F
+		for _, ls := range p.LiveSets {
+			var count [ir.NumClasses]int
+			for _, v := range ls {
+				if r.Allocated[v] {
+					count[f.ClassOf(p.Cliques.ValueOf[v])]++
+				}
+			}
+			for c := ir.Class(0); c < ir.NumClasses; c++ {
+				if count[c] > p.Constraints.Cap(c) {
+					return fmt.Errorf("alloc: %s: live set %v keeps %d %s values > class capacity %d",
+						r.Allocator, ls, count[c], c, p.Constraints.Cap(c))
+				}
+			}
+		}
+		return nil
 	}
 	for _, ls := range p.LiveSets {
 		count := 0

@@ -1,10 +1,34 @@
 // Package arch describes the register files of the evaluation targets. The
 // experiments sweep the register count explicitly (the paper varies R from 1
 // to 32 regardless of the physical register file), so these descriptions
-// mainly provide named defaults for the CLIs and examples.
+// provide named defaults for the CLIs and examples — and, for
+// machine-constrained allocation, the per-class shape of the target:
+// which classes exist, how many of each class's registers the ABI passes
+// arguments in, and how many a call clobbers.
 package arch
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// ClassShape describes how a machine carves one register class out of a
+// swept register count R. The sweep keeps R as the per-class capacity (the
+// paper varies R regardless of the physical file); the shape scales the
+// ABI structure with it.
+type ClassShape struct {
+	// Present reports whether the target has this register class at all.
+	Present bool
+	// CallerSavedPct is the percentage of the class's registers that are
+	// caller-saved (clobbered at call sites), rounded up and clamped to
+	// [1, cap] — every real ABI clobbers at least one register per class.
+	CallerSavedPct int
+	// ParamRegs is the number of leading registers the ABI dedicates to
+	// argument passing (0 = arguments on the stack).
+	ParamRegs int
+}
 
 // Machine describes one target.
 type Machine struct {
@@ -20,31 +44,172 @@ type Machine struct {
 	// model exposes it for the examples but the paper's evaluation does
 	// not use it.
 	CISCMemOperands bool
+	// GPR and FP are the constraint shapes of the two register classes.
+	GPR ClassShape
+	FP  ClassShape
 }
 
 // Allocable returns the number of registers available to the allocator.
 func (m Machine) Allocable() int { return m.IntRegs - m.Reserved }
 
-// ST231 is the STMicroelectronics ST231 VLIW core used for the SPEC CPU
-// 2000int, EEMBC and lao-kernels experiments.
-var ST231 = Machine{Name: "st231", IntRegs: 64, Reserved: 2}
+// Shape returns the machine's shape for a register class.
+func (m Machine) Shape(c ir.Class) ClassShape {
+	if c == ir.ClassFP {
+		return m.FP
+	}
+	return m.GPR
+}
 
-// ARMv7 is the ARM Cortex A8 target used for the lao-kernels experiment.
-var ARMv7 = Machine{Name: "armv7", IntRegs: 16, Reserved: 3}
+// ClassFile is one register class of a Constraints instance: Cap registers,
+// of which indexes [0, CallerSaved) are clobbered by calls and indexes
+// [0, ParamRegs) carry the leading arguments.
+type ClassFile struct {
+	Cap         int
+	CallerSaved int
+	ParamRegs   int
+}
+
+// Constraints is a machine description instantiated at a concrete per-class
+// register count R — the object threaded through the allocation stack when
+// machine-constrained allocation is on.
+type Constraints struct {
+	// Machine names the target the constraints were instantiated from.
+	Machine string
+	// Classes holds one register file per ir.Class; a class the target
+	// lacks has Cap 0.
+	Classes [ir.NumClasses]ClassFile
+}
+
+// Constraints instantiates the machine's constraint shape at per-class
+// register count r (r must be ≥ 1 and ≤ ir.RegStride).
+func (m Machine) Constraints(r int) *Constraints {
+	cs := &Constraints{Machine: m.Name}
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		shape := m.Shape(c)
+		if !shape.Present {
+			continue
+		}
+		file := ClassFile{Cap: r}
+		file.CallerSaved = (r*shape.CallerSavedPct + 99) / 100
+		if file.CallerSaved < 1 {
+			file.CallerSaved = 1
+		}
+		if file.CallerSaved > r {
+			file.CallerSaved = r
+		}
+		file.ParamRegs = shape.ParamRegs
+		if file.ParamRegs > r {
+			file.ParamRegs = r
+		}
+		cs.Classes[c] = file
+	}
+	return cs
+}
+
+// Class returns the register file of class c.
+func (cs *Constraints) Class(c ir.Class) ClassFile {
+	if c < 0 || c >= ir.NumClasses {
+		return ClassFile{}
+	}
+	return cs.Classes[c]
+}
+
+// Cap returns the register count of class c (0 when the class is absent).
+func (cs *Constraints) Cap(c ir.Class) int { return cs.Class(c).Cap }
+
+// ParamPin returns the fixed register (RegRef) for the i-th integer
+// argument, if the ABI passes it in a register.
+func (cs *Constraints) ParamPin(i int) (int, bool) {
+	file := cs.Classes[ir.ClassGPR]
+	if i < 0 || i >= file.ParamRegs {
+		return 0, false
+	}
+	return ir.MakeReg(ir.ClassGPR, i), true
+}
+
+// ClobberSet returns the machine's default call-clobber set — every
+// caller-saved register of every present class — as sorted RegRefs, the
+// annotation irgen attaches to generated call sites.
+func (cs *Constraints) ClobberSet() []int {
+	var refs []int
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		for i := 0; i < cs.Classes[c].CallerSaved; i++ {
+			refs = append(refs, ir.MakeReg(c, i))
+		}
+	}
+	return refs
+}
+
+// Validate checks internal consistency of the constraint object.
+func (cs *Constraints) Validate() error {
+	if cs.Classes[ir.ClassGPR].Cap < 1 {
+		return fmt.Errorf("arch: constraints for %q have no integer registers", cs.Machine)
+	}
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		file := cs.Classes[c]
+		if file.Cap < 0 || file.Cap > ir.RegStride {
+			return fmt.Errorf("arch: class %s capacity %d out of range [0, %d]", c, file.Cap, ir.RegStride)
+		}
+		if file.CallerSaved < 0 || file.CallerSaved > file.Cap {
+			return fmt.Errorf("arch: class %s caller-saved count %d exceeds capacity %d", c, file.CallerSaved, file.Cap)
+		}
+		if file.ParamRegs < 0 || file.ParamRegs > file.Cap {
+			return fmt.Errorf("arch: class %s param-register count %d exceeds capacity %d", c, file.ParamRegs, file.Cap)
+		}
+	}
+	return nil
+}
+
+// ST231 is the STMicroelectronics ST231 VLIW core used for the SPEC CPU
+// 2000int, EEMBC and lao-kernels experiments: an integer-only register file
+// whose calling convention makes every allocable register caller-saved, so
+// every live-through-call value must be spilled — the harshest clobber
+// regime in the suite.
+var ST231 = Machine{
+	Name: "st231", IntRegs: 64, Reserved: 2,
+	GPR: ClassShape{Present: true, CallerSavedPct: 100, ParamRegs: 8},
+}
+
+// ARMv7 is the ARM Cortex A8 target used for the lao-kernels experiment:
+// AAPCS-shaped, with r0–r3 carrying the leading arguments and roughly half
+// of each class preserved across calls.
+var ARMv7 = Machine{
+	Name: "armv7", IntRegs: 16, Reserved: 3,
+	GPR: ClassShape{Present: true, CallerSavedPct: 50, ParamRegs: 4},
+	FP:  ClassShape{Present: true, CallerSavedPct: 50},
+}
 
 // JVM98 is the JikesRVM/IA32-flavoured target of the non-chordal
-// experiments; the paper sweeps 2–16 registers on it.
-var JVM98 = Machine{Name: "jvm98", IntRegs: 16, Reserved: 0, CISCMemOperands: true}
+// experiments; the paper sweeps 2–16 registers on it. IA32-shaped:
+// arguments on the stack, about half the integer registers caller-saved,
+// and an x87-style FP file that survives no call.
+var JVM98 = Machine{
+	Name: "jvm98", IntRegs: 16, Reserved: 0, CISCMemOperands: true,
+	GPR: ClassShape{Present: true, CallerSavedPct: 50},
+	FP:  ClassShape{Present: true, CallerSavedPct: 100},
+}
 
-// ByName returns the machine with the given name.
-func ByName(name string) (Machine, error) {
-	switch name {
-	case "st231":
-		return ST231, nil
-	case "armv7":
-		return ARMv7, nil
-	case "jvm98":
-		return JVM98, nil
+// machines is the registry ByName and Names resolve against, in
+// presentation order.
+var machines = []Machine{ST231, ARMv7, JVM98}
+
+// Names lists the registered machine names in presentation order.
+func Names() []string {
+	names := make([]string, len(machines))
+	for i, m := range machines {
+		names[i] = m.Name
 	}
-	return Machine{}, fmt.Errorf("arch: unknown machine %q (want st231, armv7 or jvm98)", name)
+	return names
+}
+
+// ByName returns the machine with the given name, matched
+// case-insensitively (consistent with the allocator registry's
+// case-folding).
+func ByName(name string) (Machine, error) {
+	for _, m := range machines {
+		if strings.EqualFold(m.Name, name) {
+			return m, nil
+		}
+	}
+	return Machine{}, fmt.Errorf("arch: unknown machine %q (want %s)", name, strings.Join(Names(), ", "))
 }

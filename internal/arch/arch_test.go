@@ -1,6 +1,12 @@
 package arch
 
-import "testing"
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
 
 func TestByName(t *testing.T) {
 	for _, name := range []string{"st231", "armv7", "jvm98"} {
@@ -29,5 +35,89 @@ func TestRegisterFiles(t *testing.T) {
 	}
 	if !JVM98.CISCMemOperands {
 		t.Fatal("IA32-flavoured target should allow memory operands")
+	}
+}
+
+func TestByNameCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"ST231", "ArmV7", "JVM98"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name == name {
+			t.Fatalf("registry stores the folded name, got %q back verbatim", name)
+		}
+	}
+	_, err := ByName("pdp11")
+	if err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	for _, want := range Names() {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list machine %q", err, want)
+		}
+	}
+}
+
+func TestConstraintsInstantiation(t *testing.T) {
+	for _, m := range []Machine{ST231, ARMv7, JVM98} {
+		for _, r := range []int{1, 2, 3, 4, 8} {
+			cs := m.Constraints(r)
+			if err := cs.Validate(); err != nil {
+				t.Fatalf("%s@R=%d: %v", m.Name, r, err)
+			}
+			if cs.Cap(ir.ClassGPR) != r {
+				t.Fatalf("%s@R=%d: GPR cap %d", m.Name, r, cs.Cap(ir.ClassGPR))
+			}
+			if got := cs.Class(ir.ClassGPR).CallerSaved; got < 1 || got > r {
+				t.Fatalf("%s@R=%d: caller-saved %d outside [1,%d]", m.Name, r, got, r)
+			}
+		}
+	}
+	// st231 is integer-only with an all-caller-saved convention.
+	cs := ST231.Constraints(4)
+	if cs.Cap(ir.ClassFP) != 0 {
+		t.Fatal("st231 should not have an FP class")
+	}
+	if cs.Class(ir.ClassGPR).CallerSaved != 4 {
+		t.Fatal("st231 calls should clobber every register")
+	}
+	// armv7 pins leading arguments to r0..r3, clamped by capacity.
+	cs = ARMv7.Constraints(8)
+	if ref, ok := cs.ParamPin(0); !ok || ref != ir.MakeReg(ir.ClassGPR, 0) {
+		t.Fatalf("armv7 param 0 pin = (%d, %v)", ref, ok)
+	}
+	if _, ok := cs.ParamPin(4); ok {
+		t.Fatal("armv7 passes only four arguments in registers")
+	}
+	if _, ok := ARMv7.Constraints(2).ParamPin(3); ok {
+		t.Fatal("param pins must clamp to capacity")
+	}
+	// jvm98 passes arguments on the stack; its FP file survives no call.
+	cs = JVM98.Constraints(4)
+	if _, ok := cs.ParamPin(0); ok {
+		t.Fatal("jvm98 passes arguments on the stack")
+	}
+	if cs.Class(ir.ClassFP).CallerSaved != 4 {
+		t.Fatal("jvm98 FP registers are all caller-saved")
+	}
+}
+
+func TestClobberSetSorted(t *testing.T) {
+	refs := ARMv7.Constraints(4).ClobberSet()
+	if len(refs) == 0 {
+		t.Fatal("empty clobber set")
+	}
+	if !sort.IntsAreSorted(refs) {
+		t.Fatalf("clobber set not sorted: %v", refs)
+	}
+	sawFP := false
+	for _, ref := range refs {
+		if ir.RegClassOf(ref) == ir.ClassFP {
+			sawFP = true
+		}
+	}
+	if !sawFP {
+		t.Fatal("armv7 clobber set should include FP registers")
 	}
 }

@@ -75,33 +75,91 @@ type Structure struct {
 	degrees []int // lazy, see Degrees
 }
 
-// Applicable reports whether the IFG-free fast path may be used for f: the
-// function must be strict SSA and any unreachable block must be inert (no
-// defs, no uses, no successors), so that it contributes neither vertices nor
-// live sets. Unreachable code is exempt from SSA dominance checking, so a
-// non-inert dead block could break the dominance ordering the fast path's
-// elimination order relies on.
-func Applicable(f *ir.Func, dom *ir.Dominance) bool {
+// Reason classifies why the plain IFG-free fast path cannot be used
+// directly for a function (ReasonApplicable when it can).
+type Reason int
+
+const (
+	// ReasonApplicable: the fast path applies as-is.
+	ReasonApplicable Reason = iota
+	// ReasonNonSSA: the function is not strict SSA, so its interference
+	// graph is general.
+	ReasonNonSSA
+	// ReasonUnreachableCode: an unreachable block carries code, which is
+	// exempt from dominance checking and could break the elimination order.
+	ReasonUnreachableCode
+	// ReasonConstrained: the function carries machine-constraint
+	// annotations (classes, pre-colors, clobbers). Pins and clobbers add
+	// interference with physical registers that the plain chordal model
+	// does not express, so a machine-honoring run must not treat the
+	// structure as R fungible registers: the driver decomposes the problem
+	// per register class (each induced subproblem is chordal again) or
+	// falls back to the legacy path.
+	ReasonConstrained
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonApplicable:
+		return "applicable"
+	case ReasonNonSSA:
+		return "not strict SSA"
+	case ReasonUnreachableCode:
+		return "unreachable code is not inert"
+	case ReasonConstrained:
+		return "machine constraints break plain chordality"
+	}
+	return "unknown"
+}
+
+// Inapplicable returns the typed reason the plain IFG-free fast path cannot
+// be used directly for f, or ReasonApplicable. Constraint annotations are
+// reported after the structural reasons: a constrained function whose
+// structure is fast-path-eligible yields ReasonConstrained, which the
+// machine-honoring driver routes to per-class decomposition while a
+// machine-less run may still ignore it.
+func Inapplicable(f *ir.Func, dom *ir.Dominance) Reason {
 	if !f.SSA {
-		return false
+		return ReasonNonSSA
 	}
 	for _, b := range f.Blocks {
 		if dom.Order[b.ID] >= 0 {
 			continue
 		}
 		if len(b.Succs) > 0 {
-			return false
+			return ReasonUnreachableCode
 		}
 		for _, ins := range b.Instrs {
 			if ins.Op.HasDef() && ins.Def != ir.NoValue {
-				return false
+				return ReasonUnreachableCode
 			}
 			if len(ins.Uses) > 0 {
-				return false
+				return ReasonUnreachableCode
 			}
 		}
 	}
-	return true
+	if f.Constrained() {
+		return ReasonConstrained
+	}
+	return ReasonApplicable
+}
+
+// Applicable reports whether the IFG-free fast path may be used for f: the
+// function must be strict SSA and any unreachable block must be inert (no
+// defs, no uses, no successors), so that it contributes neither vertices nor
+// live sets. Unreachable code is exempt from SSA dominance checking, so a
+// non-inert dead block could break the dominance ordering the fast path's
+// elimination order relies on.
+//
+// Constraint annotations do not affect Applicable: a machine-less run
+// ignores them, and the structure is the same. Machine-honoring drivers
+// dispatch on Inapplicable's ReasonConstrained instead.
+func Applicable(f *ir.Func, dom *ir.Dominance) bool {
+	switch Inapplicable(f, dom) {
+	case ReasonApplicable, ReasonConstrained:
+		return true
+	}
+	return false
 }
 
 // Scratch recycles the transient memory of Derive across functions (bitsets,
@@ -126,6 +184,25 @@ func NewScratch() *Scratch { return &Scratch{intern: bitset.NewInterner(64)} }
 // nil on most non-applicable inputs, but Applicable is the documented
 // contract).
 func Derive(info *liveness.Info, dom *ir.Dominance, scratch *Scratch) *Structure {
+	return derive(info, dom, nil, scratch)
+}
+
+// DeriveSubset builds the clique structure of the subgraph induced by the
+// values with include[v] set: live sets are projected onto the subset, the
+// elimination order is the corresponding subsequence of the dominance PEO
+// (induced subgraphs of chordal graphs are chordal, and a subsequence of a
+// PEO is a PEO of the induced subgraph), and MaxLive is the subset's own
+// pressure peak. The machine-constrained driver uses it to carve one
+// chordal subproblem per register class. Values outside the subset simply
+// vanish; the same fallback contract as Derive applies.
+func DeriveSubset(info *liveness.Info, dom *ir.Dominance, include []bool, scratch *Scratch) *Structure {
+	if include == nil {
+		panic("cliques: DeriveSubset requires an include mask")
+	}
+	return derive(info, dom, include, scratch)
+}
+
+func derive(info *liveness.Info, dom *ir.Dominance, include []bool, scratch *Scratch) *Structure {
 	if scratch == nil {
 		scratch = NewScratch()
 	}
@@ -138,10 +215,11 @@ func Derive(info *liveness.Info, dom *ir.Dominance, scratch *Scratch) *Structure
 	s := &Structure{F: f, MaxLive: info.MaxLive}
 
 	// Vertex numbering: every value that is defined, used, or live anywhere,
-	// ascending — byte-identical to the ifg.Build numbering.
+	// ascending — byte-identical to the ifg.Build numbering. In subset mode,
+	// excluded values get no vertex.
 	present := arena.Set(nv)
 	mark := func(v int) {
-		if v >= 0 && v < nv {
+		if v >= 0 && v < nv && (include == nil || include[v]) {
 			present.Add(v)
 		}
 	}
@@ -177,18 +255,28 @@ func Derive(info *liveness.Info, dom *ir.Dominance, scratch *Scratch) *Structure
 	pointSet := arena.Ints(len(info.Points))
 	pointSet = pointSet[:len(info.Points)]
 	intern := scratch.intern
+	subsetMax := 0
 	for pi, p := range info.Points {
-		if len(p.Live) == 0 {
+		vs := scratch.vsBuf[:0]
+		for _, v := range p.Live {
+			if vx := s.VertexOf[v]; vx >= 0 {
+				vs = append(vs, vx)
+			}
+		}
+		scratch.vsBuf = vs
+		if len(vs) == 0 {
 			pointSet[pi] = -1
 			continue
 		}
-		vs := scratch.vsBuf[:0]
-		for _, v := range p.Live {
-			vs = append(vs, s.VertexOf[v])
+		if include != nil && len(vs) > subsetMax {
+			subsetMax = len(vs)
 		}
-		scratch.vsBuf = vs
 		idx, _ := intern.Intern(vs)
 		pointSet[pi] = idx
+	}
+	if include != nil {
+		// MaxLive is the subset's own pressure peak, not the function's.
+		s.MaxLive = subsetMax
 	}
 
 	// Def-point sets. Every vertex must have a recorded definition instant;
@@ -202,8 +290,10 @@ func Derive(info *liveness.Info, dom *ir.Dominance, scratch *Scratch) *Structure
 		s.DefSetOf[vx] = int32(pointSet[dp])
 	}
 
-	// PEO: reverse definition order along a dominance-tree preorder.
-	s.PEO = dominancePEO(f, dom, s.VertexOf, n, arena)
+	// PEO: reverse definition order along a dominance-tree preorder. In
+	// subset mode, defs of excluded values are simply skipped (the caller
+	// established the full structure first).
+	s.PEO = dominancePEOMode(f, dom, s.VertexOf, n, include != nil, arena)
 	if s.PEO == nil {
 		return nil
 	}
@@ -264,12 +354,22 @@ func DominancePEO(f *ir.Func, dom *ir.Dominance, vertexOf []int, n int) []int {
 // dominance-tree preorder, or nil when some vertex lacks a (unique)
 // definition in reachable code.
 func dominancePEO(f *ir.Func, dom *ir.Dominance, vertexOf []int, n int, arena *bitset.Arena) []int {
+	return dominancePEOMode(f, dom, vertexOf, n, false, arena)
+}
+
+// dominancePEOMode is dominancePEO with subset tolerance: with lenient set,
+// a definition whose value has no vertex is skipped rather than treated as
+// a structural failure (subset derivations exclude values on purpose).
+func dominancePEOMode(f *ir.Func, dom *ir.Dominance, vertexOf []int, n int, lenient bool, arena *bitset.Arena) []int {
 	peo := make([]int, n)
 	next := n // fill from the back: first-defined vertex ends up last
 	seen := arena.Set(n)
 	emit := func(val int) bool {
 		vx := vertexOf[val]
-		if vx < 0 || seen.Has(vx) {
+		if vx < 0 {
+			return lenient
+		}
+		if seen.Has(vx) {
 			return false
 		}
 		seen.Add(vx)

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/alloc/layered"
+	"repro/internal/alloc/linearscan"
+	"repro/internal/arch"
+	"repro/internal/cliques"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/raerr"
+	"repro/internal/regassign"
+	"repro/internal/spillcost"
+)
+
+// runConstrained is the machine-honoring pipeline: allocation under register
+// classes, pre-colored ABI values, and call-clobber sets.
+//
+// The decoupled framework survives the constraints almost intact. Spilling
+// stays a per-class pressure problem: the subgraph induced by one register
+// class is chordal again (induced subgraphs of chordal graphs are chordal,
+// and a subsequence of a perfect elimination order eliminates it perfectly),
+// so each class is allocated independently against its own capacity by the
+// same allocators as the fungible path. What the chordal model cannot
+// express — a value that must hold one specific register, a register a call
+// destroys mid-range — is folded into three precomputed side inputs:
+//
+//   - forced spills: values whose constraints admit no register at all (a
+//     pin clobbered by a spanned call, per-call per-class pressure above the
+//     call-surviving capacity, a forbid mask covering the whole class);
+//   - pins: the fixed register of each pre-colored value;
+//   - forbid masks: per-value sets of banned within-class register indexes
+//     (clobbered registers of spanned calls, the pin of every interfering
+//     pre-colored value).
+//
+// Assignment then honors all three, and — because pins can still collide in
+// ways pressure numbers do not see — reports the first stuck value on
+// failure, which the driver force-spills before retrying (sound under
+// spill-everywhere, and bounded by the value count).
+func runConstrained(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
+	cons := cfg.Constraints
+	if err := cons.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", raerr.ErrInvalidConfig, err)
+	}
+	if cfg.LegacyIFG {
+		return nil, fmt.Errorf("%w: machine-constrained allocation has no explicit-graph path (unset LegacyIFG)",
+			raerr.ErrInvalidConfig)
+	}
+	var caps [ir.NumClasses]int
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		caps[c] = cons.Cap(c)
+		if caps[c] > 64 {
+			return nil, fmt.Errorf("%w: class %s capacity %d exceeds the constrained assigner's 64-register limit",
+				raerr.ErrInvalidConfig, c, caps[c])
+		}
+	}
+	dom, err := f.ValidateAnalyzed()
+	if err != nil {
+		return nil, &raerr.FuncError{Func: f.Name, Stage: "validate",
+			Err: fmt.Errorf("invalid input function: %w", err)}
+	}
+	if !f.SSA {
+		return nil, &raerr.FuncError{Func: f.Name, Stage: "constrain",
+			Err: fmt.Errorf("%w: machine-constrained allocation requires strict SSA", raerr.ErrNotSSA)}
+	}
+	switch reason := cliques.Inapplicable(f, dom); reason {
+	case cliques.ReasonApplicable, cliques.ReasonConstrained:
+	default:
+		return nil, &raerr.FuncError{Func: f.Name, Stage: "constrain",
+			Err: fmt.Errorf("%w: %s", raerr.ErrNotSSA, reason)}
+	}
+	if err := checkMachineCompat(f, cons); err != nil {
+		return nil, &raerr.FuncError{Func: f.Name, Stage: "constrain", Err: err}
+	}
+
+	f.ComputeLoops(dom)
+	var info *liveness.Info
+	var csScratch *cliques.Scratch
+	if runner != nil {
+		info = runner.live.Compute(f)
+		csScratch = runner.cs
+	} else {
+		info = liveness.Compute(f)
+	}
+	var costs []float64
+	if runner != nil {
+		runner.costs = spillcost.CostsInto(runner.costs, f, cfg.CostModel)
+		costs = runner.costs
+	} else {
+		costs = spillcost.Costs(f, cfg.CostModel)
+	}
+
+	cs := cliques.Derive(info, dom, csScratch)
+	if cs == nil {
+		return nil, &raerr.FuncError{Func: f.Name, Stage: "constrain",
+			Err: fmt.Errorf("%w: clique-structure derivation failed", raerr.ErrNotSSA)}
+	}
+
+	nv := f.NumValues
+	pins := make([]int, nv)
+	for i := range pins {
+		pins[i] = regassign.NoReg
+	}
+	for v, pin := range f.PreColor {
+		pins[v] = pin
+	}
+	forced := make([]bool, nv)
+	forbid := make([]uint64, nv)
+	callSpans := collectCallSpans(f, info)
+
+	// Pass 1 — a pre-colored value whose pin a spanned call clobbers cannot
+	// keep its register across that call: forced spill.
+	for _, span := range callSpans {
+		for _, v := range span.live {
+			if pin := pins[v]; pin != regassign.NoReg &&
+				span.clob[ir.RegClassOf(pin)]&(1<<uint(ir.RegIndexOf(pin))) != 0 {
+				forced[v] = true
+			}
+		}
+	}
+
+	// Pass 2 — pre-color interference. A pinned value owns its register for
+	// its whole live range, so every interfering value of the same class is
+	// banned from that index; two interfering values pinned to the same
+	// register are mutually exclusive, and the cheaper one spills. The
+	// program-point live sets cover every interference edge, so scanning
+	// points finds every such pair.
+	for pi := range info.Points {
+		live := info.Points[pi].Live
+		for _, pv := range live {
+			pin := pins[pv]
+			if pin == regassign.NoReg || forced[pv] {
+				continue
+			}
+			c, idx := ir.RegClassOf(pin), ir.RegIndexOf(pin)
+			for _, v := range live {
+				if v == pv || f.ClassOf(v) != c {
+					continue
+				}
+				switch {
+				case pins[v] == pin && !forced[v]:
+					loser := v
+					if costs[pv] < costs[v] || (costs[pv] == costs[v] && pv > v) {
+						loser = pv
+					}
+					forced[loser] = true
+				case pins[v] == regassign.NoReg:
+					forbid[v] |= 1 << uint(idx)
+				}
+			}
+			if forced[pv] {
+				break // lost its pin above; it bans nothing anymore
+			}
+		}
+	}
+
+	// Pass 3 — per-call class pressure. A call leaves cap − |clobbered ∩
+	// [0,cap)| registers of each class for the values that live through it;
+	// beyond that the cheapest survivors spill.
+	for _, span := range callSpans {
+		var cnt [ir.NumClasses]int
+		var byClass [ir.NumClasses][]int
+		for _, v := range span.live {
+			if !forced[v] {
+				c := f.ClassOf(v)
+				cnt[c]++
+				byClass[c] = append(byClass[c], v)
+			}
+		}
+		for c := ir.Class(0); c < ir.NumClasses; c++ {
+			avail := caps[c] - bits.OnesCount64(span.clob[c]&capMask(caps[c]))
+			if cnt[c] <= avail {
+				continue
+			}
+			cand := byClass[c]
+			sort.Slice(cand, func(i, j int) bool {
+				if costs[cand[i]] != costs[cand[j]] {
+					return costs[cand[i]] < costs[cand[j]]
+				}
+				return cand[i] < cand[j]
+			})
+			for _, v := range cand[:cnt[c]-avail] {
+				forced[v] = true
+			}
+		}
+	}
+
+	// Pass 4 — clobber avoidance for the surviving spanning values, then a
+	// final sweep for values whose accumulated bans (e.g. the union of two
+	// calls' disjoint clobber sets) cover the whole class.
+	for _, span := range callSpans {
+		for _, v := range span.live {
+			if !forced[v] {
+				forbid[v] |= span.clob[f.ClassOf(v)]
+			}
+		}
+	}
+	for v := 0; v < nv; v++ {
+		if forced[v] || cs.VertexOf[v] < 0 || pins[v] != regassign.NoReg {
+			continue
+		}
+		if ^forbid[v]&capMask(caps[f.ClassOf(v)]) == 0 {
+			forced[v] = true
+		}
+	}
+
+	// Spilling: one chordal subproblem per register class, each against its
+	// own capacity, solved by the same allocator the fungible path would use.
+	a := cfg.Allocator
+	if a == nil {
+		if runner != nil {
+			a = runner.defaultChordal
+		} else {
+			a = layered.BFPL()
+		}
+	}
+	allocatedVals := make([]bool, nv)
+	include := make([]bool, nv)
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		if caps[c] == 0 {
+			continue // compat check: no value has this class
+		}
+		any := false
+		for v := range include {
+			inc := cs.VertexOf[v] >= 0 && !forced[v] && f.ClassOf(v) == c
+			include[v] = inc
+			any = any || inc
+		}
+		if !any {
+			continue
+		}
+		sub := cliques.DeriveSubset(info, dom, include, csScratch)
+		if sub == nil {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: "constrain",
+				Err: fmt.Errorf("%w: per-class clique derivation failed for %s", raerr.ErrNotSSA, c)}
+		}
+		p := alloc.BuildProblem(alloc.Spec{Cliques: sub, Costs: costs, R: caps[c]})
+		p.Intervals = linearscan.IntervalsFromLiveness(info, sub.VertexOf, sub.N)
+		res := a.Allocate(p)
+		if res == nil || len(res.Allocated) != p.N() {
+			got := -1
+			if res != nil {
+				got = len(res.Allocated)
+			}
+			return nil, &raerr.FuncError{Func: f.Name, Stage: "allocate",
+				Err: fmt.Errorf("allocator %s returned a malformed result: %d of %d vertices covered",
+					a.Name(), got, p.N())}
+		}
+		if err := p.Validate(res); err != nil {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: "allocate",
+				Err: fmt.Errorf("%w: allocator %s returned an invalid %s allocation: %w",
+					raerr.ErrPressureUnsatisfiable, a.Name(), c, err)}
+		}
+		for vx, al := range res.Allocated {
+			if al {
+				allocatedVals[sub.ValueOf[vx]] = true
+			}
+		}
+	}
+
+	// Assignment with the force-spill retry loop, before the Outcome's spill
+	// bookkeeping (a retry shrinks the allocated set).
+	var regOf []int
+	if !cfg.SkipRewrite {
+		for tries := 0; ; tries++ {
+			r, failVal, aerr := regassign.AssignConstrained(f, dom, info, allocatedVals, caps, pins, forbid)
+			if aerr == nil {
+				regOf = r
+				break
+			}
+			if failVal < 0 || failVal >= nv || !allocatedVals[failVal] || tries >= nv {
+				return nil, &raerr.FuncError{Func: f.Name, Stage: "assign",
+					Err: fmt.Errorf("%w: constrained assignment failed: %w",
+						raerr.ErrPressureUnsatisfiable, aerr)}
+			}
+			allocatedVals[failVal] = false
+		}
+		if err := regassign.VerifyAssignment(info, allocatedVals, regOf); err != nil {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: "assign",
+				Err: fmt.Errorf("assignment verification failed: %w", err)}
+		}
+		if err := regassign.VerifyClassAssignment(f, allocatedVals, regOf, caps); err != nil {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: "assign",
+				Err: fmt.Errorf("assignment verification failed: %w", err)}
+		}
+		for _, span := range callSpans {
+			for _, v := range span.live {
+				if allocatedVals[v] && regOf[v] != regassign.NoReg &&
+					span.clob[ir.RegClassOf(regOf[v])]&(1<<uint(ir.RegIndexOf(regOf[v]))) != 0 {
+					return nil, &raerr.FuncError{Func: f.Name, Stage: "assign",
+						Err: fmt.Errorf("value %s holds caller-saved %s across a clobbering call",
+							f.NameOf(v), ir.RegName(regOf[v]))}
+				}
+			}
+		}
+	}
+
+	merged := &alloc.Result{Allocated: make([]bool, cs.N), Allocator: a.Name()}
+	for vx := range merged.Allocated {
+		merged.Allocated[vx] = allocatedVals[cs.ValueOf[vx]]
+	}
+	pFull := alloc.BuildProblem(alloc.Spec{Cliques: cs, Costs: costs, R: cfg.Registers, Constraints: cons})
+	pFull.Intervals = linearscan.IntervalsFromLiveness(info, cs.VertexOf, cs.N)
+	if err := pFull.Validate(merged); err != nil {
+		return nil, &raerr.FuncError{Func: f.Name, Stage: "allocate",
+			Err: fmt.Errorf("%w: merged constrained allocation invalid: %w",
+				raerr.ErrPressureUnsatisfiable, err)}
+	}
+	out := &Outcome{
+		F: f, Cliques: cs, Problem: pFull, Result: merged,
+		VertexOf: cs.VertexOf, ValueOf: cs.ValueOf, MaxLive: cs.MaxLive,
+		SpillCost: merged.SpillCost(pFull),
+	}
+	for vx, al := range merged.Allocated {
+		if !al {
+			out.SpilledValues = append(out.SpilledValues, cs.ValueOf[vx])
+		}
+	}
+
+	if !cfg.SkipRewrite {
+		out.RegisterOf = regOf
+		spilledVals := make([]bool, nv)
+		for _, v := range out.SpilledValues {
+			spilledVals[v] = true
+		}
+		out.Rewritten = regassign.InsertSpillCode(f, spilledVals)
+		if len(out.SpilledValues) > 0 {
+			if err := out.Rewritten.Validate(); err != nil {
+				return nil, &raerr.FuncError{Func: f.Name, Stage: "rewrite",
+					Err: fmt.Errorf("spill-code rewrite broke the function: %w", err)}
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkMachineCompat rejects annotations the machine cannot express: a value
+// of an absent register class, or a pre-color outside the class capacity.
+func checkMachineCompat(f *ir.Func, cons *arch.Constraints) error {
+	for v, c := range f.ValueClass {
+		if cons.Cap(c) == 0 {
+			return fmt.Errorf("%w: %s is %s but machine %q has no %s registers",
+				raerr.ErrMachineMismatch, f.NameOf(v), c, cons.Machine, c)
+		}
+	}
+	for v, pin := range f.PreColor {
+		c := ir.RegClassOf(pin)
+		if ir.RegIndexOf(pin) >= cons.Cap(c) {
+			return fmt.Errorf("%w: %s is pre-colored %s but machine %q caps %s at %d registers",
+				raerr.ErrMachineMismatch, f.NameOf(v), ir.RegName(pin), cons.Machine, c, cons.Cap(c))
+		}
+	}
+	return nil
+}
+
+// callSpan is one clobber-carrying call with a nonempty live-through set:
+// the values that must survive it, and the clobbered register indexes as one
+// bitmask per class.
+type callSpan struct {
+	clob [ir.NumClasses]uint64
+	live []int
+}
+
+// collectCallSpans pairs each clobbering call's live-through values with its
+// per-class clobber masks, in deterministic program order.
+func collectCallSpans(f *ir.Func, info *liveness.Info) []callSpan {
+	spans := regassign.LiveThroughCalls(info)
+	keys := make([][2]int, 0, len(spans))
+	for k := range spans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]callSpan, 0, len(keys))
+	for _, k := range keys {
+		span := callSpan{live: spans[k]}
+		for _, ref := range f.Blocks[k[0]].Instrs[k[1]].Clobbers {
+			span.clob[ir.RegClassOf(ref)] |= 1 << uint(ir.RegIndexOf(ref))
+		}
+		out = append(out, span)
+	}
+	return out
+}
+
+// capMask returns the bitmask of the register indexes [0, cap).
+func capMask(cap int) uint64 {
+	if cap >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(cap) - 1
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/alloc/layered"
 	"repro/internal/alloc/linearscan"
 	"repro/internal/alloc/optimal"
+	"repro/internal/arch"
 	"repro/internal/cliques"
 	"repro/internal/ifg"
 	"repro/internal/ir"
@@ -65,6 +66,12 @@ type Config struct {
 	// drivers that validate the model once per module set this; leave it
 	// false everywhere else.
 	TrustedCostModel bool
+	// Constraints, when non-nil, switches the pipeline to machine-constrained
+	// allocation: values are allocated per register class against the
+	// machine's class capacities, pre-colored values keep their ABI register,
+	// and values live across clobbering calls avoid (or spill around) the
+	// caller-saved registers. Requires strict SSA; see runConstrained.
+	Constraints *arch.Constraints
 }
 
 // Outcome bundles everything a client may want from one allocation run.
@@ -148,6 +155,9 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 		if err := cfg.CostModel.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: invalid cost model: %w", raerr.ErrInvalidConfig, err)
 		}
+	}
+	if cfg.Constraints != nil {
+		return runConstrained(f, cfg, runner)
 	}
 	dom, err := f.ValidateAnalyzed()
 	if err != nil {

@@ -21,8 +21,10 @@ package fingerprint
 
 import (
 	"math"
+	"sort"
 	"strings"
 
+	"repro/internal/arch"
 	"repro/internal/ir"
 	"repro/internal/spillcost"
 )
@@ -88,6 +90,9 @@ const (
 	tagBlock
 	tagInstr
 	tagConfig
+	tagClasses
+	tagPins
+	tagMachine
 )
 
 // Func fingerprints the structure of f. Names (function, value, block) are
@@ -120,6 +125,40 @@ func hashFunc(h *hasher, f *ir.Func) {
 			h.ints(ins.Uses)
 			h.word(uint64(ins.Imm))
 			h.ints(ins.Targets)
+			h.ints(ins.Clobbers)
+		}
+	}
+	// Machine-constraint annotations, in canonical (value-ID sorted) order.
+	// Explicit ClassGPR entries are the default and are skipped so that the
+	// canonical-by-omission and explicit spellings fingerprint equal.
+	if len(f.ValueClass) > 0 {
+		keys := make([]int, 0, len(f.ValueClass))
+		for v, c := range f.ValueClass {
+			if c != ir.ClassGPR {
+				keys = append(keys, v)
+			}
+		}
+		if len(keys) > 0 {
+			sort.Ints(keys)
+			h.word(tagClasses)
+			h.int(len(keys))
+			for _, v := range keys {
+				h.int(v)
+				h.int(int(f.ValueClass[v]))
+			}
+		}
+	}
+	if len(f.PreColor) > 0 {
+		keys := make([]int, 0, len(f.PreColor))
+		for v := range f.PreColor {
+			keys = append(keys, v)
+		}
+		sort.Ints(keys)
+		h.word(tagPins)
+		h.int(len(keys))
+		for _, v := range keys {
+			h.int(v)
+			h.int(f.PreColor[v])
 		}
 	}
 }
@@ -141,20 +180,33 @@ type Config struct {
 	LoopBase, StoreFactor float64
 	// Rewrite records whether assignment and spill-code insertion run.
 	Rewrite bool
+	// Machine is the canonical (lower-cased) machine name; "" means
+	// unconstrained allocation.
+	Machine string
+	// Classes is the instantiated per-class register file when
+	// machine-constrained allocation is on (all-zero otherwise). Two
+	// engines differing only here must never share outcache entries.
+	Classes [ir.NumClasses]arch.ClassFile
 }
 
 // NewConfig canonicalizes one engine configuration: the allocator name is
 // case-folded (the registry is case-insensitive) and the cost model is
-// normalized (the zero model means the default model).
-func NewConfig(registers int, allocator string, m spillcost.Model, rewrite bool) Config {
+// normalized (the zero model means the default model). cons, when non-nil,
+// folds the machine-constraint configuration into the key.
+func NewConfig(registers int, allocator string, m spillcost.Model, rewrite bool, cons *arch.Constraints) Config {
 	loopBase, storeFactor := m.Params()
-	return Config{
+	c := Config{
 		Registers:   registers,
 		Allocator:   strings.ToLower(allocator),
 		LoopBase:    loopBase,
 		StoreFactor: storeFactor,
 		Rewrite:     rewrite,
 	}
+	if cons != nil {
+		c.Machine = strings.ToLower(cons.Machine)
+		c.Classes = cons.Classes
+	}
+	return c
 }
 
 // Key folds f's structural fingerprint with the configuration: the
@@ -172,5 +224,12 @@ func Key(f *ir.Func, c Config) FP {
 		rw = 1
 	}
 	h.word(rw)
+	h.word(tagMachine)
+	h.str(c.Machine)
+	for _, file := range c.Classes {
+		h.int(file.Cap)
+		h.int(file.CallerSaved)
+		h.int(file.ParamRegs)
+	}
 	return h.sum()
 }

@@ -3,6 +3,7 @@ package fingerprint_test
 import (
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/fingerprint"
 	"repro/internal/ir"
 	"repro/internal/irgen"
@@ -71,7 +72,7 @@ func TestFingerprintNameInsensitivity(t *testing.T) {
 // SSA and non-SSA shape, a full alpha-rename (fresh function, value and
 // block names) fingerprints equal, and the config-folded key does too.
 func TestFingerprintAlphaRenameInvariant(t *testing.T) {
-	cfg := fingerprint.NewConfig(4, "", spillcost.Model{}, true)
+	cfg := fingerprint.NewConfig(4, "", spillcost.Model{}, true, nil)
 	for seed := int64(1); seed <= 25; seed++ {
 		f := irgen.FromSeed(seed)
 		g := irgen.AlphaRename(f, "renamed", int(seed))
@@ -153,22 +154,22 @@ func TestFingerprintDeterminism(t *testing.T) {
 // (allocator case, the zero cost model meaning the default model).
 func TestKeyConfigFold(t *testing.T) {
 	f := base(t)
-	ref := fingerprint.Key(f, fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true))
+	ref := fingerprint.Key(f, fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, nil))
 
-	if got := fingerprint.Key(f, fingerprint.NewConfig(4, "BFPL", spillcost.Model{}, true)); got != ref {
+	if got := fingerprint.Key(f, fingerprint.NewConfig(4, "BFPL", spillcost.Model{}, true, nil)); got != ref {
 		t.Error("allocator name case changed the key (registry is case-insensitive)")
 	}
-	if got := fingerprint.Key(f, fingerprint.NewConfig(4, "bfpl", spillcost.DefaultModel, true)); got != ref {
+	if got := fingerprint.Key(f, fingerprint.NewConfig(4, "bfpl", spillcost.DefaultModel, true, nil)); got != ref {
 		t.Error("zero model and DefaultModel produced different keys")
 	}
 
 	diffs := []fingerprint.Config{
-		fingerprint.NewConfig(5, "bfpl", spillcost.Model{}, true),
-		fingerprint.NewConfig(4, "nl", spillcost.Model{}, true),
-		fingerprint.NewConfig(4, "", spillcost.Model{}, true),
-		fingerprint.NewConfig(4, "bfpl", spillcost.NewModel(2, 1), true),
-		fingerprint.NewConfig(4, "bfpl", spillcost.NewModel(10, 0.5), true),
-		fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, false),
+		fingerprint.NewConfig(5, "bfpl", spillcost.Model{}, true, nil),
+		fingerprint.NewConfig(4, "nl", spillcost.Model{}, true, nil),
+		fingerprint.NewConfig(4, "", spillcost.Model{}, true, nil),
+		fingerprint.NewConfig(4, "bfpl", spillcost.NewModel(2, 1), true, nil),
+		fingerprint.NewConfig(4, "bfpl", spillcost.NewModel(10, 0.5), true, nil),
+		fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, false, nil),
 	}
 	for i, c := range diffs {
 		if fingerprint.Key(f, c) == ref {
@@ -178,9 +179,80 @@ func TestKeyConfigFold(t *testing.T) {
 
 	g := f.Clone()
 	g.Blocks[0].Instrs[1].Imm++
-	if fingerprint.Key(g, fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true)) == ref {
+	if fingerprint.Key(g, fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, nil)) == ref {
 		t.Error("function edit did not change the config-folded key")
 	}
+}
+
+// TestKeyMachineFold: configurations differing only in the machine
+// constraints must key differently — an unconstrained engine, two machines
+// at the same R, and the same machine at different R may never share
+// outcache entries — while the constraint annotations on the function
+// itself (classes, pins, clobbers) are part of the structural fingerprint.
+func TestKeyMachineFold(t *testing.T) {
+	f := base(t)
+	mk := func(name string, r int) fingerprint.Config {
+		m, err := arch.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint.NewConfig(r, "bfpl", spillcost.Model{}, true, m.Constraints(r))
+	}
+	plain := fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, nil)
+	keys := map[fingerprint.FP]string{fingerprint.Key(f, plain): "unconstrained"}
+	for _, c := range []struct {
+		label string
+		cfg   fingerprint.Config
+	}{
+		{"st231 R=4", mk("st231", 4)},
+		{"armv7 R=4", mk("armv7", 4)},
+		{"jvm98 R=4", mk("jvm98", 4)},
+		{"st231 R=8", mk("st231", 8)},
+	} {
+		k := fingerprint.Key(f, c.cfg)
+		if prev, ok := keys[k]; ok {
+			t.Errorf("%s collided with %s", c.label, prev)
+		}
+		keys[k] = c.label
+	}
+
+	// Machine names are case-folded like allocator names.
+	if fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, mustMachine(t, "ST231").Constraints(4)).Machine != "st231" {
+		t.Error("machine name was not case-folded in NewConfig")
+	}
+
+	// Constraint annotations on the function change its structural
+	// fingerprint (and hence every key).
+	for _, edit := range []struct {
+		name string
+		edit func(g *ir.Func)
+	}{
+		{"value class", func(g *ir.Func) { g.SetClass(2, ir.ClassFP) }},
+		{"pre-color", func(g *ir.Func) { g.SetPreColor(0, ir.MakeReg(ir.ClassGPR, 0)) }},
+		{"clobbers", func(g *ir.Func) { g.Blocks[0].Instrs[2].Clobbers = []int{0, 1} }},
+	} {
+		g := f.Clone()
+		edit.edit(g)
+		if fingerprint.Func(g) == fingerprint.Func(f) {
+			t.Errorf("%s annotation preserved the fingerprint", edit.name)
+		}
+	}
+	// Explicit ClassGPR is canonical-by-omission: it must NOT change the
+	// fingerprint.
+	g := f.Clone()
+	g.SetClass(2, ir.ClassGPR)
+	if fingerprint.Func(g) != fingerprint.Func(f) {
+		t.Error("explicit ClassGPR annotation changed the fingerprint")
+	}
+}
+
+func mustMachine(t *testing.T, name string) arch.Machine {
+	t.Helper()
+	m, err := arch.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 // FuzzFingerprint fuzzes the two core properties over the seeded program

@@ -158,6 +158,10 @@ type machine struct {
 	hasSlot map[int]bool
 	res     *Result
 	budget  int
+	// regOf, when non-nil, turns on clobber modelling: regOf[v] is the
+	// machine register (ir RegRef) assigned to value v, or negative for
+	// values kept in memory. See RunWithClobbers.
+	regOf []int
 }
 
 // Run executes f with the given parameter values and semantic step budget
@@ -180,6 +184,59 @@ func Run(f *ir.Func, params []int64, budget int) (*Result, error) {
 		budget:  budget,
 	}
 	return m.res, m.run(params)
+}
+
+// RunWithClobbers executes f like Run, but models the register file of a
+// machine-constrained allocation: regOf maps each value to its assigned
+// register (an ir RegRef; negative = the value lives in memory), and every
+// call carrying a clobber annotation destroys the content of its clobbered
+// registers — any value sitting in one at the call is overwritten with
+// deterministic garbage before the call's result is produced.
+//
+// This makes clobber violations *observable*: an assignment that leaves a
+// value in a caller-saved register across a call miscompiles under this
+// semantics (later uses read garbage), while a clobber-honoring allocation
+// behaves exactly like Run. Values beyond len(regOf) — the reload temps a
+// spill-everywhere rewrite introduces — are immune, matching their
+// construction: reloads are inserted adjacent to their use and never span a
+// call.
+func RunWithClobbers(f *ir.Func, params []int64, budget int, regOf []int) (*Result, error) {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	if regOf == nil {
+		regOf = []int{}
+	}
+	m := &machine{
+		f:       f,
+		regs:    make([]int64, f.NumValues),
+		defined: make([]bool, f.NumValues),
+		mem:     make(map[int64]int64),
+		slots:   make(map[int]int64),
+		hasSlot: make(map[int]bool),
+		res:     &Result{},
+		budget:  budget,
+		regOf:   regOf,
+	}
+	return m.res, m.run(params)
+}
+
+// clobber destroys every live register the call tramples: each defined value
+// sitting in one of the clobbered registers is overwritten with a
+// deterministic function of the call's argument hash and the register — the
+// junk a callee would leave behind.
+func (m *machine) clobber(clobbers []int, h int64) {
+	for v := 0; v < len(m.regOf) && v < len(m.regs); v++ {
+		if !m.defined[v] || m.regOf[v] < 0 {
+			continue
+		}
+		for _, ref := range clobbers {
+			if m.regOf[v] == ref {
+				m.regs[v] = mix2(h, int64(ref))
+				break
+			}
+		}
+	}
 }
 
 func (m *machine) use(b *ir.Block, i int, v int) (int64, error) {
@@ -329,6 +386,11 @@ func (m *machine) run(params []int64) error {
 						return err
 					}
 					h = mix2(h, a)
+				}
+				if m.regOf != nil && len(ins.Clobbers) > 0 {
+					// The callee tramples its caller-saved registers before
+					// the result is written.
+					m.clobber(ins.Clobbers, h)
 				}
 				m.set(ins.Def, mix1(h))
 				m.res.Trace = append(m.res.Trace, Event{EvCall, h, m.regs[ins.Def]})

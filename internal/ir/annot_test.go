@@ -1,0 +1,177 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegRefEncoding(t *testing.T) {
+	for i := 0; i < RegStride; i += 17 {
+		if got := MakeReg(ClassGPR, i); got != i {
+			t.Fatalf("GPR ref %d encodes to %d; want the plain index", i, got)
+		}
+	}
+	ref := MakeReg(ClassFP, 3)
+	if RegClassOf(ref) != ClassFP || RegIndexOf(ref) != 3 {
+		t.Fatalf("FP ref decodes to (%v, %d)", RegClassOf(ref), RegIndexOf(ref))
+	}
+	if RegName(ref) != "f3" || RegName(5) != "r5" {
+		t.Fatalf("RegName: got %q / %q", RegName(ref), RegName(5))
+	}
+	for _, tc := range []struct {
+		in  string
+		ref int
+		ok  bool
+	}{
+		{"r0", 0, true},
+		{"r255", 255, true},
+		{"f7", MakeReg(ClassFP, 7), true},
+		{"r256", 0, false},
+		{"r-1", 0, false},
+		{"r+3", 0, false},
+		{"x0", 0, false},
+		{"r", 0, false},
+		{"", 0, false},
+	} {
+		ref, ok := ParseRegName(tc.in)
+		if ok != tc.ok || (ok && ref != tc.ref) {
+			t.Errorf("ParseRegName(%q) = (%d, %v), want (%d, %v)", tc.in, ref, ok, tc.ref, tc.ok)
+		}
+	}
+}
+
+func TestParseAnnotations(t *testing.T) {
+	f, err := Parse(`
+func g ssa {
+b0:
+  a = param 0 !pin=r0
+  b = const 2 !fp
+  c = call a, b !clobbers=r1,r0,r1,f0
+  ret c
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := 0, 1
+	if f.NameOf(a) != "a" || f.NameOf(b) != "b" {
+		t.Fatalf("unexpected value numbering: %s %s", f.NameOf(0), f.NameOf(1))
+	}
+	if ref, ok := f.PreColorOf(a); !ok || ref != 0 {
+		t.Fatalf("a pre-color = (%d, %v), want (0, true)", ref, ok)
+	}
+	if f.ClassOf(a) != ClassGPR {
+		t.Fatalf("a class = %v", f.ClassOf(a))
+	}
+	if f.ClassOf(b) != ClassFP {
+		t.Fatalf("b class = %v", f.ClassOf(b))
+	}
+	call := f.Blocks[0].Instrs[2]
+	want := []int{0, 1, MakeReg(ClassFP, 0)}
+	if len(call.Clobbers) != len(want) {
+		t.Fatalf("clobbers = %v, want %v (sorted, deduped)", call.Clobbers, want)
+	}
+	for i, ref := range want {
+		if call.Clobbers[i] != ref {
+			t.Fatalf("clobbers = %v, want %v", call.Clobbers, want)
+		}
+	}
+	if !f.Constrained() {
+		t.Fatal("Constrained() = false for annotated function")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestParseAnnotationErrors(t *testing.T) {
+	for _, tc := range []struct{ name, src, want string }{
+		{"clobber on non-call", "func f {\nb0:\n  x = const 1 !clobbers=r0\n  ret\n}", "clobber"},
+		{"bad register", "func f {\nb0:\n  x = param 0 !pin=q7\n  ret\n}", "pin"},
+		{"class on defless op", "func f {\nb0:\n  x = const 1\n  store x, x !fp\n  ret\n}", "defines no value"},
+		{"unknown annotation", "func f {\nb0:\n  x = const 1 !wide\n  ret\n}", "annotation"},
+		{"conflicting classes", "func f {\nb0:\n  x = const 1 !fp !gpr\n  ret\n}", "class"},
+		{"pin class conflict", "func f {\nb0:\n  x = const 1 !fp !pin=r2\n  ret\n}", "class"},
+		{"empty clobbers", "func f {\nb0:\n  x = call x !clobbers=\n  ret\n}", "clobber"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Fatal("parse accepted invalid annotation")
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAnnotations(t *testing.T) {
+	mk := func() *Func {
+		f, err := Parse("func f ssa {\nb0:\n  x = const 1\n  ret x\n}")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f := mk()
+	f.ValueClass = map[int]Class{0: Class(9)}
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "invalid class") {
+		t.Fatalf("invalid class not caught: %v", err)
+	}
+	f = mk()
+	f.PreColor = map[int]int{0: int(NumClasses) * RegStride}
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "invalid register") {
+		t.Fatalf("out-of-range pre-color not caught: %v", err)
+	}
+	f = mk()
+	f.PreColor = map[int]int{0: MakeReg(ClassFP, 1)} // class mismatch: value is GPR
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "class") {
+		t.Fatalf("pre-color class mismatch not caught: %v", err)
+	}
+	f = mk()
+	f.Blocks[0].Instrs[1].Clobbers = []int{0} // ret with clobbers
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "calls only") {
+		t.Fatalf("clobbers on non-call not caught: %v", err)
+	}
+}
+
+func TestCloneCopiesConstraints(t *testing.T) {
+	f, err := Parse(`
+func g ssa {
+b0:
+  a = param 0 !pin=r0
+  b = const 2 !fp
+  c = call a !clobbers=r0,f1
+  ret c
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Clone()
+	if g.String() != f.String() {
+		t.Fatalf("clone prints differently:\n%s\nvs\n%s", g.String(), f.String())
+	}
+	g.SetClass(1, ClassGPR)
+	g.SetPreColor(0, 5)
+	g.Blocks[0].Instrs[2].Clobbers[0] = 9
+	if f.ClassOf(1) != ClassFP {
+		t.Fatal("clone shares ValueClass map")
+	}
+	if ref, _ := f.PreColorOf(0); ref != 0 {
+		t.Fatal("clone shares PreColor map")
+	}
+	if f.Blocks[0].Instrs[2].Clobbers[0] != 0 {
+		t.Fatal("clone shares Clobbers slice")
+	}
+}
+
+func TestUnconstrainedStaysUnconstrained(t *testing.T) {
+	f, err := Parse("func f ssa {\nb0:\n  x = const 1\n  y = call x\n  ret y\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Constrained() {
+		t.Fatal("plain function reports Constrained")
+	}
+	if out := f.String(); strings.Contains(out, "!") {
+		t.Fatalf("plain function prints annotations:\n%s", out)
+	}
+}

@@ -16,11 +16,23 @@ func (f *Func) Clone() *Func {
 			g.ValueName[k] = v
 		}
 	}
+	if f.ValueClass != nil {
+		g.ValueClass = make(map[int]Class, len(f.ValueClass))
+		for k, v := range f.ValueClass {
+			g.ValueClass[k] = v
+		}
+	}
+	if f.PreColor != nil {
+		g.PreColor = make(map[int]int, len(f.PreColor))
+		for k, v := range f.PreColor {
+			g.PreColor[k] = v
+		}
+	}
 	total := 0
 	for _, b := range f.Blocks {
 		total += len(b.Preds) + len(b.Succs)
 		for _, ins := range b.Instrs {
-			total += len(ins.Uses) + len(ins.Targets)
+			total += len(ins.Uses) + len(ins.Targets) + len(ins.Clobbers)
 		}
 	}
 	slab := make([]int, 0, total)
@@ -45,6 +57,7 @@ func (f *Func) Clone() *Func {
 		for i, ins := range b.Instrs {
 			ins.Uses = carve(ins.Uses)
 			ins.Targets = carve(ins.Targets)
+			ins.Clobbers = carve(ins.Clobbers)
 			nb.Instrs[i] = ins
 		}
 		g.Blocks = append(g.Blocks, nb)

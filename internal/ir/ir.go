@@ -79,6 +79,77 @@ func (o Op) IsTerminator() bool {
 // NoValue marks the absence of a defined value in Instr.Def.
 const NoValue = -1
 
+// Class is a machine register class. Values default to ClassGPR; machine
+// descriptions (internal/arch) give each class its own capacity, ABI
+// registers and caller-saved set. Classes are disjoint: a value of one
+// class can never be assigned a register of another.
+type Class int8
+
+const (
+	// ClassGPR is the general-purpose integer register class.
+	ClassGPR Class = iota
+	// ClassFP is the floating-point register class.
+	ClassFP
+	// NumClasses is the number of register classes.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassGPR:
+		return "gpr"
+	case ClassFP:
+		return "fp"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Machine registers are identified by a compact RegRef: class × RegStride +
+// index. The stride keeps refs small enough for dense register files in
+// verification code, and makes ClassGPR refs numerically equal to their
+// index — so unconstrained (single-class) allocation keeps its historical
+// plain-integer register numbers.
+const RegStride = 256
+
+// MakeReg builds the RegRef of register index i in class c.
+func MakeReg(c Class, i int) int { return int(c)*RegStride + i }
+
+// RegClassOf returns the class of a RegRef.
+func RegClassOf(ref int) Class { return Class(ref / RegStride) }
+
+// RegIndexOf returns the within-class index of a RegRef.
+func RegIndexOf(ref int) int { return ref % RegStride }
+
+// RegName renders a RegRef in the textual IR syntax: r<i> for GPRs,
+// f<i> for FP registers.
+func RegName(ref int) string {
+	if RegClassOf(ref) == ClassFP {
+		return "f" + strconv.Itoa(RegIndexOf(ref))
+	}
+	return "r" + strconv.Itoa(RegIndexOf(ref))
+}
+
+// ParseRegName parses "r<i>" / "f<i>" into a RegRef.
+func ParseRegName(s string) (int, bool) {
+	if len(s) < 2 {
+		return 0, false
+	}
+	var c Class
+	switch s[0] {
+	case 'r':
+		c = ClassGPR
+	case 'f':
+		c = ClassFP
+	default:
+		return 0, false
+	}
+	i, err := strconv.Atoi(s[1:])
+	if err != nil || i < 0 || i >= RegStride || s[1] == '+' {
+		return 0, false
+	}
+	return MakeReg(c, i), true
+}
+
 // Instr is one instruction. Def is a value ID or NoValue. Uses lists value
 // IDs; for OpPhi, Uses is parallel to the block's predecessor list. Imm
 // carries the constant for OpConst and the index for OpParam.
@@ -95,6 +166,13 @@ type Instr struct {
 	Imm  int64
 	// Targets holds successor block IDs for OpBranch (1) and OpCondBr (2).
 	Targets []int
+	// Clobbers lists the machine registers (RegRefs, sorted ascending) an
+	// OpCall overwrites — the ABI's caller-saved set at this call site. A
+	// value assigned one of these registers and live across the call loses
+	// its content; machine-constrained allocation must spill it or place it
+	// in a register the call does not clobber. Nil on every other opcode,
+	// and ignored entirely by unconstrained (machine-less) allocation.
+	Clobbers []int
 }
 
 // Block is a basic block: a straight-line instruction sequence ending in a
@@ -135,6 +213,14 @@ type Func struct {
 	// SSA records whether the function claims strict SSA form; Validate
 	// enforces the claim.
 	SSA bool
+	// ValueClass maps value IDs to register classes; missing entries are
+	// ClassGPR. Only machine-constrained allocation consults it.
+	ValueClass map[int]Class
+	// PreColor maps value IDs to fixed machine registers (RegRefs): ABI
+	// values (argument/return registers) that must keep exactly this color
+	// for their whole in-register live range. Only machine-constrained
+	// allocation consults it; a pre-color's class must match the value's.
+	PreColor map[int]int
 }
 
 // Entry returns the entry block.
@@ -146,6 +232,61 @@ func (f *Func) NameOf(v int) string {
 		return n
 	}
 	return "v" + strconv.Itoa(v)
+}
+
+// ClassOf returns the register class of value v (ClassGPR by default).
+func (f *Func) ClassOf(v int) Class {
+	if c, ok := f.ValueClass[v]; ok {
+		return c
+	}
+	return ClassGPR
+}
+
+// SetClass records the register class of value v. ClassGPR entries are
+// canonical by omission, so setting the default removes the annotation.
+func (f *Func) SetClass(v int, c Class) {
+	if c == ClassGPR {
+		delete(f.ValueClass, v)
+		return
+	}
+	if f.ValueClass == nil {
+		f.ValueClass = make(map[int]Class)
+	}
+	f.ValueClass[v] = c
+}
+
+// PreColorOf returns value v's fixed machine register (RegRef), if any.
+func (f *Func) PreColorOf(v int) (int, bool) {
+	ref, ok := f.PreColor[v]
+	return ref, ok
+}
+
+// SetPreColor pins value v to machine register ref and records the implied
+// register class.
+func (f *Func) SetPreColor(v, ref int) {
+	if f.PreColor == nil {
+		f.PreColor = make(map[int]int)
+	}
+	f.PreColor[v] = ref
+	f.SetClass(v, RegClassOf(ref))
+}
+
+// Constrained reports whether the function carries any machine-constraint
+// annotation — a non-GPR class, a pre-colored value, or a clobbering call.
+// Such functions are only meaningful to allocate under a machine
+// description; without one the annotations are ignored.
+func (f *Func) Constrained() bool {
+	if len(f.ValueClass) > 0 || len(f.PreColor) > 0 {
+		return true
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if len(b.Instrs[i].Clobbers) > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // NewValue allocates a fresh value ID.

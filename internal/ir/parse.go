@@ -2,6 +2,7 @@ package ir
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -29,6 +30,14 @@ import (
 //	  condbr <val>, <block>, <block>
 //	  ret [<val>]
 //	}
+//
+// Any defining instruction may carry trailing machine-constraint
+// annotations, each starting with '!': a register class (!fp, !gpr), or a
+// pre-color pinning the def to one machine register (!pin=r0, !pin=f2 —
+// the register name implies the class). A call may declare its caller-saved
+// clobber set: v = call a, b !clobbers=r0,r1,f0. Registers are named r<i>
+// (GPR) and f<i> (FP). Annotations only constrain machine-aware allocation;
+// machine-less runs ignore them.
 func Parse(src string) (*Func, error) {
 	p := &parser{
 		f:         &Func{ValueName: make(map[int]string)},
@@ -145,6 +154,15 @@ func (p *parser) line(line string) error {
 }
 
 func (p *parser) instr(line string) error {
+	// Machine-constraint annotations trail the instruction, each starting
+	// with '!': a register class (!fp), a pre-color (!pin=r0), or a call's
+	// clobber set (!clobbers=r0,r1,f0). Identifiers never contain '!', so
+	// the first one starts the annotation list.
+	var annots string
+	if bang := strings.IndexByte(line, '!'); bang >= 0 {
+		annots = line[bang:]
+		line = strings.TrimSpace(line[:bang])
+	}
 	var defName string
 	if eq := strings.Index(line, "="); eq >= 0 && !strings.Contains(line[:eq], "[") {
 		defName = strings.TrimSpace(line[:eq])
@@ -261,7 +279,93 @@ func (p *parser) instr(line string) error {
 	} else if defName != "" {
 		return fmt.Errorf("ir: %s does not produce a value", op)
 	}
+	if annots != "" {
+		if err := p.annotations(&ins, annots); err != nil {
+			return err
+		}
+	}
 	p.cur.Instrs = append(p.cur.Instrs, ins)
+	return nil
+}
+
+// annotations applies the trailing !-attributes of one instruction: a def
+// class, a def pre-color, or a call clobber set.
+func (p *parser) annotations(ins *Instr, s string) error {
+	setClass := func(c Class, explicitPin bool) error {
+		if !ins.Op.HasDef() || ins.Def == NoValue {
+			return fmt.Errorf("ir: class/pin annotation on %s, which defines no value", ins.Op)
+		}
+		if have, ok := p.f.ValueClass[ins.Def]; ok && have != c {
+			return fmt.Errorf("ir: value %s annotated with conflicting classes %s and %s",
+				p.f.NameOf(ins.Def), have, c)
+		}
+		if c != ClassGPR {
+			p.f.SetClass(ins.Def, c)
+		} else if explicitPin {
+			// An explicit GPR pin must still clash with a previous !fp.
+			if have, ok := p.f.ValueClass[ins.Def]; ok && have != ClassGPR {
+				return fmt.Errorf("ir: value %s annotated with conflicting classes %s and %s",
+					p.f.NameOf(ins.Def), have, ClassGPR)
+			}
+		}
+		return nil
+	}
+	for _, tok := range strings.Fields(s) {
+		if !strings.HasPrefix(tok, "!") {
+			return fmt.Errorf("ir: bad annotation %q", tok)
+		}
+		switch {
+		case tok == "!gpr":
+			if err := setClass(ClassGPR, true); err != nil {
+				return err
+			}
+		case tok == "!fp":
+			if err := setClass(ClassFP, false); err != nil {
+				return err
+			}
+		case strings.HasPrefix(tok, "!pin="):
+			ref, ok := ParseRegName(tok[len("!pin="):])
+			if !ok {
+				return fmt.Errorf("ir: bad pre-color register in %q", tok)
+			}
+			if err := setClass(RegClassOf(ref), RegClassOf(ref) == ClassGPR); err != nil {
+				return err
+			}
+			if have, ok := p.f.PreColor[ins.Def]; ok && have != ref {
+				return fmt.Errorf("ir: value %s pinned to both %s and %s",
+					p.f.NameOf(ins.Def), RegName(have), RegName(ref))
+			}
+			p.f.SetPreColor(ins.Def, ref)
+		case strings.HasPrefix(tok, "!clobbers="):
+			if ins.Op != OpCall {
+				return fmt.Errorf("ir: clobber annotation on %s (calls only)", ins.Op)
+			}
+			if ins.Clobbers != nil {
+				return fmt.Errorf("ir: duplicate clobber annotation")
+			}
+			var refs []int
+			for _, name := range strings.Split(tok[len("!clobbers="):], ",") {
+				ref, ok := ParseRegName(name)
+				if !ok {
+					return fmt.Errorf("ir: bad clobber register %q", name)
+				}
+				refs = append(refs, ref)
+			}
+			if len(refs) == 0 {
+				return fmt.Errorf("ir: empty clobber annotation")
+			}
+			sort.Ints(refs)
+			uniq := refs[:1]
+			for _, r := range refs[1:] {
+				if r != uniq[len(uniq)-1] {
+					uniq = append(uniq, r)
+				}
+			}
+			ins.Clobbers = uniq
+		default:
+			return fmt.Errorf("ir: unknown annotation %q", tok)
+		}
+	}
 	return nil
 }
 

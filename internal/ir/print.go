@@ -83,5 +83,24 @@ func (f *Func) formatInstr(blk *Block, ins *Instr) string {
 			fmt.Fprintf(&b, " %s", f.NameOf(u))
 		}
 	}
+	// Machine-constraint annotations, in canonical form: a pre-color
+	// subsumes the class (the register name implies it), an unpinned
+	// non-GPR class prints alone, and clobber sets print sorted.
+	if ins.Op.HasDef() && ins.Def != NoValue {
+		if ref, ok := f.PreColor[ins.Def]; ok {
+			fmt.Fprintf(&b, " !pin=%s", RegName(ref))
+		} else if c := f.ClassOf(ins.Def); c != ClassGPR {
+			fmt.Fprintf(&b, " !%s", c)
+		}
+	}
+	if len(ins.Clobbers) > 0 {
+		b.WriteString(" !clobbers=")
+		for k, ref := range ins.Clobbers {
+			if k > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(RegName(ref))
+		}
+	}
 	return b.String()
 }

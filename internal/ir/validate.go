@@ -69,6 +69,16 @@ func (f *Func) ValidateAnalyzed() (*Dominance, error) {
 			if ins.Op == OpReload && ins.Imm >= int64(f.NumValues) {
 				report("ir: reload slot %d out of range in block %s", ins.Imm, b.Name)
 			}
+			if len(ins.Clobbers) > 0 {
+				if ins.Op != OpCall {
+					report("ir: %s in block %s carries clobbers (calls only)", ins.Op, b.Name)
+				}
+				for _, ref := range ins.Clobbers {
+					if !validRegRef(ref) {
+						report("ir: clobber ref %d out of range in block %s", ref, b.Name)
+					}
+				}
+			}
 		}
 		// Terminator targets must agree with CFG successor lists.
 		var targets []int
@@ -94,6 +104,28 @@ func (f *Func) ValidateAnalyzed() (*Dominance, error) {
 			if !containsInt(f.Blocks[s].Preds, b.ID) {
 				report("ir: edge %s→%s missing from predecessor list", b.Name, f.Blocks[s].Name)
 			}
+		}
+	}
+	for v, c := range f.ValueClass {
+		if v < 0 || v >= f.NumValues {
+			report("ir: class annotation on out-of-range value %d", v)
+		}
+		if c < 0 || c >= NumClasses {
+			report("ir: value %s has invalid class %d", f.NameOf(v), int(c))
+		}
+	}
+	for v, ref := range f.PreColor {
+		if v < 0 || v >= f.NumValues {
+			report("ir: pre-color on out-of-range value %d", v)
+			continue
+		}
+		if !validRegRef(ref) {
+			report("ir: value %s pre-colored to invalid register ref %d", f.NameOf(v), ref)
+			continue
+		}
+		if RegClassOf(ref) != f.ClassOf(v) {
+			report("ir: value %s (class %s) pre-colored to %s of class %s",
+				f.NameOf(v), f.ClassOf(v), RegName(ref), RegClassOf(ref))
 		}
 	}
 	if len(errs) > 0 {
@@ -182,6 +214,12 @@ func (f *Func) validateSSA(dom *Dominance) error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// validRegRef reports whether ref encodes a register of a known class with
+// an in-stride index.
+func validRegRef(ref int) bool {
+	return ref >= 0 && ref < int(NumClasses)*RegStride
 }
 
 func containsInt(s []int, x int) bool {

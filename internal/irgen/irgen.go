@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/arch"
 	"repro/internal/ir"
 )
 
@@ -88,6 +89,62 @@ func FromSeed(seed int64) *ir.Func {
 	ssa := rng.Intn(2) == 0
 	cfg := RandomConfig(rng, ssa)
 	return Generate(fmt.Sprintf("gen%d", seed), rng.Int63(), cfg)
+}
+
+// ConstrainedFromSeed generates one strict-SSA function annotated with the
+// machine's constraints — the single-integer entry point of the constrained
+// differential tests. The seed picks the config and program exactly like
+// FromSeed (SSA forced: machine-constrained allocation requires it), then
+// Constrain stamps the machine onto it.
+func ConstrainedFromSeed(seed int64, cons *arch.Constraints) *ir.Func {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := RandomConfig(rng, true)
+	f := Generate(fmt.Sprintf("gen%d", seed), rng.Int63(), cfg)
+	Constrain(f, cons, rng.Int63())
+	return f
+}
+
+// Constrain annotates a strict-SSA function in place with a machine's
+// constraint surface, deterministically from seed:
+//
+//   - the leading parameters are pre-colored to the ABI's argument registers
+//     (cons.ParamPin), so their live ranges carry fixed colors;
+//   - when the machine has an FP class, a fraction of the computational
+//     values (arith, unary, copy, const, load, phi defs) moves to it, giving
+//     every class real pressure;
+//   - every call site gets the machine's caller-saved clobber set, so values
+//     live across calls face the paper's spill-or-avoid choice.
+//
+// Parameters and call results stay integer (matching how the ABI delivers
+// them), which also keeps every pre-color class-consistent. It panics if the
+// annotated function fails validation (generator bug by construction).
+func Constrain(f *ir.Func, cons *arch.Constraints, seed int64) {
+	if !f.SSA {
+		panic("irgen: Constrain requires a strict-SSA function")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	clob := cons.ClobberSet()
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			switch {
+			case ins.Op == ir.OpParam:
+				if pin, ok := cons.ParamPin(int(ins.Imm)); ok {
+					f.SetPreColor(ins.Def, pin)
+				}
+			case ins.Op == ir.OpCall:
+				ins.Clobbers = append([]int(nil), clob...)
+			case ins.Op.HasDef() && ins.Def != ir.NoValue && cons.Cap(ir.ClassFP) > 0:
+				if rng.Float64() < 0.3 {
+					f.SetClass(ins.Def, ir.ClassFP)
+				}
+			}
+		}
+	}
+	if err := f.Validate(); err != nil {
+		panic(fmt.Sprintf("irgen: constraining %s for %s broke it: %v\n%s",
+			f.Name, cons.Machine, err, f))
+	}
 }
 
 // GenerateModule emits a compilation unit of nFuncs functions, entirely

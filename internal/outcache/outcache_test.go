@@ -15,7 +15,7 @@ import (
 )
 
 // fold is the cache-key config every test in this file allocates under.
-var fold = fingerprint.NewConfig(4, "", spillcost.Model{}, true)
+var fold = fingerprint.NewConfig(4, "", spillcost.Model{}, true, nil)
 
 func runFull(t testing.TB, f *ir.Func) *core.Outcome {
 	t.Helper()

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/fingerprint"
 	"repro/internal/ir"
@@ -40,6 +41,10 @@ type Config struct {
 	Allocator string
 	// CostModel overrides the spill-cost estimate (zero value = default).
 	CostModel spillcost.Model
+	// Constraints, when non-nil, turns on machine-constrained allocation:
+	// register classes, pre-colored ABI values and call clobbers are
+	// honored, with Registers acting as the per-class capacity.
+	Constraints *arch.Constraints
 	// SkipRewrite disables spill-code insertion and register assignment.
 	SkipRewrite bool
 	// Jobs is the worker count; 0 means GOMAXPROCS.
@@ -239,6 +244,11 @@ func validateConfig(cfg Config) error {
 			return fmt.Errorf("%w: invalid cost model: %w", raerr.ErrInvalidConfig, err)
 		}
 	}
+	if cfg.Constraints != nil {
+		if err := cfg.Constraints.Validate(); err != nil {
+			return fmt.Errorf("%w: %w", raerr.ErrInvalidConfig, err)
+		}
+	}
 	return nil
 }
 
@@ -246,7 +256,7 @@ func validateConfig(cfg Config) error {
 // cfg — the content-addressed cache key component shared by the batch
 // workers, the engine's single-function path and incremental mode.
 func fingerprintConfig(cfg Config) fingerprint.Config {
-	return fingerprint.NewConfig(cfg.Registers, cfg.Allocator, cfg.CostModel, !cfg.SkipRewrite)
+	return fingerprint.NewConfig(cfg.Registers, cfg.Allocator, cfg.CostModel, !cfg.SkipRewrite, cfg.Constraints)
 }
 
 // worker drains the module's function queue with one reusable Runner (and
@@ -260,6 +270,7 @@ func worker(ctx context.Context, m *ir.Module, cfg Config, results []FuncResult,
 	ccfg := core.Config{
 		Registers:   cfg.Registers,
 		CostModel:   cfg.CostModel,
+		Constraints: cfg.Constraints,
 		SkipRewrite: cfg.SkipRewrite,
 		LegacyIFG: cfg.LegacyIFG,
 		// Either start validated the model for the whole batch, or the
@@ -371,7 +382,7 @@ func FormatResults(results []FuncResult, detail bool) string {
 				var cells []string
 				for val, reg := range out.RegisterOf {
 					if reg >= 0 {
-						cells = append(cells, fmt.Sprintf("%s=r%d", out.F.NameOf(val), reg))
+						cells = append(cells, fmt.Sprintf("%s=%s", out.F.NameOf(val), ir.RegName(reg)))
 					}
 				}
 				sort.Strings(cells)

@@ -32,6 +32,13 @@ var (
 	// Errors carrying it also wrap the context's own error, so
 	// errors.Is(err, context.Canceled) keeps working.
 	ErrCanceled = errors.New("regalloc: allocation canceled")
+
+	// ErrMachineMismatch tags machine-constrained runs whose input
+	// annotations the machine cannot express: a value of a register class
+	// the target lacks, or a pre-color outside the class capacity. The
+	// function may still be allocated machine-less, or under a machine that
+	// has the annotated resources.
+	ErrMachineMismatch = errors.New("regalloc: function annotations incompatible with the machine")
 )
 
 // FuncError is a failure localized to one function of a run. It wraps the

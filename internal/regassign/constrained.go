@@ -1,0 +1,271 @@
+package regassign
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// AssignConstrained is the machine-honoring tree-scan: every allocated
+// value gets a register of its own class (a RegRef), pre-colored values get
+// exactly their pin, and each value avoids the registers in its forbid
+// mask (bit i set = within-class index i banned — the driver encodes
+// call-clobber avoidance and pin reservations there).
+//
+// caps is the per-class register count; pins[v] is the value's fixed RegRef
+// or NoReg; forbid[v] is the banned-index mask (nil = no bans). Unlike the
+// unconstrained scan, constraints can make the greedy choice infeasible
+// even at legal pressure: on failure the second return names the value that
+// found no register, so the driver can force-spill it and retry (always
+// sound under spill-everywhere, and bounded by the value count).
+func AssignConstrained(f *ir.Func, dom *ir.Dominance, info *liveness.Info,
+	allocated []bool, caps [ir.NumClasses]int, pins []int, forbid []uint64) ([]int, int, error) {
+	if !f.SSA {
+		return nil, -1, fmt.Errorf("regassign: tree-scan requires strict SSA")
+	}
+	for _, c := range caps {
+		if c > 64 {
+			return nil, -1, fmt.Errorf("regassign: constrained assignment supports at most 64 registers per class, got %d", c)
+		}
+	}
+	nv := f.NumValues
+	regOf := make([]int, nv)
+	for i := range regOf {
+		regOf[i] = NoReg
+	}
+	// Per-class register files as bitmasks (bit i = index i in use).
+	var inUse [ir.NumClasses]uint64
+	liveOutB := make([]bool, nv)
+	lastUse := make([]int, nv)
+	hasLast := make([]bool, nv)
+
+	pinOf := func(v int) int {
+		if pins == nil {
+			return NoReg
+		}
+		return pins[v]
+	}
+	banned := func(v int) uint64 {
+		if forbid == nil {
+			return 0
+		}
+		return forbid[v]
+	}
+
+	var failVal int = -1
+	var fail error
+	var walk func(bid int)
+	walk = func(bid int) {
+		if fail != nil {
+			return
+		}
+		b := f.Blocks[bid]
+		// The register file is rebuilt per block from the allocated live-in
+		// values (their defs dominate this block, so they are colored).
+		for c := range inUse {
+			inUse[c] = 0
+		}
+		for _, v := range info.LiveIn[bid] {
+			if allocated[v] && regOf[v] != NoReg {
+				inUse[ir.RegClassOf(regOf[v])] |= 1 << uint(ir.RegIndexOf(regOf[v]))
+			}
+		}
+		for _, v := range info.LiveOut[bid] {
+			liveOutB[v] = true
+		}
+		for i, ins := range b.Instrs {
+			if ins.Op == ir.OpPhi {
+				continue
+			}
+			for _, u := range ins.Uses {
+				if !liveOutB[u] {
+					lastUse[u] = i
+					hasLast[u] = true
+				}
+			}
+		}
+		assign := func(v int) {
+			if regOf[v] != NoReg {
+				return
+			}
+			c := f.ClassOf(v)
+			if pin := pinOf(v); pin != NoReg {
+				idx := ir.RegIndexOf(pin)
+				if ir.RegClassOf(pin) != c || idx >= caps[c] || inUse[c]&(1<<uint(idx)) != 0 {
+					failVal, fail = v, fmt.Errorf("regassign: pre-color %s of %s unavailable in %s",
+						ir.RegName(pin), f.NameOf(v), b.Name)
+					return
+				}
+				regOf[v] = pin
+				inUse[c] |= 1 << uint(idx)
+				return
+			}
+			free := ^(inUse[c] | banned(v))
+			for idx := 0; idx < caps[c]; idx++ {
+				if free&(1<<uint(idx)) != 0 {
+					regOf[v] = ir.MakeReg(c, idx)
+					inUse[c] |= 1 << uint(idx)
+					return
+				}
+			}
+			failVal, fail = v, fmt.Errorf("regassign: no admissible %s register for %s in %s",
+				c, f.NameOf(v), b.Name)
+		}
+		release := func(v int) {
+			if regOf[v] != NoReg {
+				inUse[ir.RegClassOf(regOf[v])] &^= 1 << uint(ir.RegIndexOf(regOf[v]))
+			}
+		}
+		for _, ins := range b.Instrs {
+			if ins.Op != ir.OpPhi {
+				break
+			}
+			if allocated[ins.Def] {
+				assign(ins.Def)
+				if fail != nil {
+					return
+				}
+			}
+		}
+		// Dead phi defs occupy a register only at the block boundary.
+		for _, ins := range b.Instrs {
+			if ins.Op != ir.OpPhi {
+				break
+			}
+			if d := ins.Def; allocated[d] && !liveOutB[d] && !hasLast[d] {
+				release(d)
+			}
+		}
+		for i, ins := range b.Instrs {
+			if ins.Op == ir.OpPhi {
+				continue
+			}
+			for _, u := range ins.Uses {
+				if hasLast[u] && lastUse[u] == i && allocated[u] {
+					release(u)
+				}
+			}
+			if ins.Op.HasDef() && ins.Def != ir.NoValue && allocated[ins.Def] {
+				assign(ins.Def)
+				if fail != nil {
+					return
+				}
+				if !liveOutB[ins.Def] && !hasLast[ins.Def] {
+					release(ins.Def)
+				}
+			}
+		}
+		// Reset the per-block death bookkeeping before descending (children
+		// recompute their own; this block's flags must not leak).
+		for _, v := range info.LiveOut[bid] {
+			liveOutB[v] = false
+		}
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpPhi {
+				continue
+			}
+			for _, u := range ins.Uses {
+				hasLast[u] = false
+			}
+		}
+		for _, c := range dom.Children[bid] {
+			walk(c)
+		}
+	}
+	walk(0)
+	if fail != nil {
+		return nil, failVal, fail
+	}
+	return regOf, -1, nil
+}
+
+// VerifyClassAssignment checks the class-and-pin half of a constrained
+// assignment: every allocated value holds a register of its own class with
+// an index inside the class capacity, and pre-colored values hold exactly
+// their pin. Interference freedom is VerifyAssignment's job (RegRefs are
+// plain ints, so it applies unchanged); clobber avoidance is checked by the
+// constrained driver, which knows the call spans.
+func VerifyClassAssignment(f *ir.Func, allocated []bool, regOf []int, caps [ir.NumClasses]int) error {
+	for v, reg := range regOf {
+		if reg == NoReg {
+			continue
+		}
+		if !allocated[v] {
+			return fmt.Errorf("regassign: spilled value %s holds %s", f.NameOf(v), ir.RegName(reg))
+		}
+		c := f.ClassOf(v)
+		if ir.RegClassOf(reg) != c {
+			return fmt.Errorf("regassign: %s value %s assigned %s", c, f.NameOf(v), ir.RegName(reg))
+		}
+		if idx := ir.RegIndexOf(reg); idx >= caps[c] {
+			return fmt.Errorf("regassign: %s assigned %s outside class capacity %d",
+				f.NameOf(v), ir.RegName(reg), caps[c])
+		}
+		if pin, ok := f.PreColorOf(v); ok && reg != pin {
+			return fmt.Errorf("regassign: pre-colored value %s holds %s instead of %s",
+				f.NameOf(v), ir.RegName(reg), ir.RegName(pin))
+		}
+	}
+	return nil
+}
+
+// liveThrough reports the values live across each clobbering call. It is a
+// shared helper for the constrained driver and the differential verifier:
+// the returned map keys each call instruction (by block and index) to the
+// sorted list of values live both before and after it.
+func liveThrough(info *liveness.Info) map[[2]int][]int {
+	f := info.F
+	// First point (layout order) per (block, instr index): the live-before
+	// set. Points with the same index may appear twice (live-before, then a
+	// dead def's definition instant); the first is the live-before one.
+	type key = [2]int
+	before := make(map[key]int, len(info.Points))
+	for pi, p := range info.Points {
+		k := key{p.Block, p.Index}
+		if _, ok := before[k]; !ok {
+			before[k] = pi
+		}
+	}
+	spans := make(map[key][]int)
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			if ins.Op != ir.OpCall || len(ins.Clobbers) == 0 {
+				continue
+			}
+			bi, okB := before[key{b.ID, i}]
+			ai, okA := before[key{b.ID, i + 1}]
+			if !okB || !okA {
+				continue // unreachable block: no points, nothing live
+			}
+			liveB, liveA := info.Points[bi].Live, info.Points[ai].Live
+			// Both sorted ascending: intersect linearly.
+			var out []int
+			x, y := 0, 0
+			for x < len(liveB) && y < len(liveA) {
+				switch {
+				case liveB[x] < liveA[y]:
+					x++
+				case liveB[x] > liveA[y]:
+					y++
+				default:
+					out = append(out, liveB[x])
+					x++
+					y++
+				}
+			}
+			if len(out) > 0 {
+				spans[key{b.ID, i}] = out
+			}
+		}
+	}
+	return spans
+}
+
+// LiveThroughCalls exposes the per-call live-through sets: for every OpCall
+// carrying a clobber set, the values live both before and after it, keyed
+// by (block ID, instruction index). A value in that set that is assigned a
+// register the call clobbers loses its content — the exact miscompile the
+// clobber checks exist to catch.
+func LiveThroughCalls(info *liveness.Info) map[[2]int][]int { return liveThrough(info) }

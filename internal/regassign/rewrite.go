@@ -51,6 +51,10 @@ func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
 				if u < len(spilled) && spilled[u] {
 					nv := g.NewValue()
 					g.ValueName[nv] = g.NameOf(u) + ".r"
+					// A reload temp lives in the spilled value's class (but
+					// is never pinned: only the original def range keeps an
+					// ABI color).
+					g.SetClass(nv, g.ClassOf(u))
 					out = append(out, ir.Instr{Op: ir.OpReload, Def: nv, Imm: int64(u)})
 					uses[k] = nv
 				}
@@ -105,6 +109,7 @@ func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
 				pred := g.Blocks[b.Preds[k]]
 				nv := g.NewValue()
 				g.ValueName[nv] = g.NameOf(u) + ".r"
+				g.SetClass(nv, g.ClassOf(u))
 				reload := ir.Instr{Op: ir.OpReload, Def: nv, Imm: int64(u)}
 				ti := len(pred.Instrs) - 1 // terminator index
 				pred.Instrs = append(pred.Instrs[:ti],

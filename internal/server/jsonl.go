@@ -20,14 +20,19 @@ import (
 
 // Request is one allocation request: a single function (IR) or a whole
 // compilation unit (Module), with optional per-request overrides of the
-// service's default register count and allocator. A request with
-// "stats":true returns the service counters instead of allocating.
+// service's default register count, allocator and machine. Machine names a
+// registered target machine (see regalloc.MachineNames); a non-empty value
+// turns on machine-constrained allocation — register classes, pre-colored
+// ABI values and caller-saved clobbers at calls — instantiated at the
+// request's register count. A request with "stats":true returns the
+// service counters instead of allocating.
 type Request struct {
 	ID        string `json:"id"`
 	IR        string `json:"ir,omitempty"`
 	Module    string `json:"module,omitempty"`
 	Registers int    `json:"registers,omitempty"`
 	Allocator string `json:"allocator,omitempty"`
+	Machine   string `json:"machine,omitempty"`
 	Print     bool   `json:"print,omitempty"`
 	Stats     bool   `json:"stats,omitempty"`
 }
@@ -56,6 +61,7 @@ type Response struct {
 	Func       string         `json:"func,omitempty"`
 	Allocator  string         `json:"allocator,omitempty"`
 	Registers  int            `json:"registers,omitempty"`
+	Machine    string         `json:"machine,omitempty"`
 	Values     int            `json:"values,omitempty"`
 	MaxLive    int            `json:"maxlive,omitempty"`
 	Spilled    []string       `json:"spilled,omitempty"`
@@ -105,9 +111,10 @@ func NewEngineCache(shared *regalloc.Cache, jobs int) *EngineCache {
 func (c *EngineCache) SharedCache() *regalloc.Cache { return c.shared }
 
 // Get resolves (or builds and caches) the engine for one request
-// configuration.
-func (c *EngineCache) Get(regs int, allocName string) (*regalloc.Engine, error) {
-	key := fmt.Sprintf("%d\x00%s", regs, strings.ToLower(allocName))
+// configuration. A non-empty machine name selects machine-constrained
+// allocation on the named target, instantiated at regs registers.
+func (c *EngineCache) Get(regs int, allocName, machine string) (*regalloc.Engine, error) {
+	key := fmt.Sprintf("%d\x00%s\x00%s", regs, strings.ToLower(allocName), strings.ToLower(machine))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.seq++
@@ -118,6 +125,9 @@ func (c *EngineCache) Get(regs int, allocName string) (*regalloc.Engine, error) 
 	opts := []regalloc.Option{regalloc.WithRegisters(regs), regalloc.WithJobs(c.jobs)}
 	if allocName != "" {
 		opts = append(opts, regalloc.WithAllocator(allocName))
+	}
+	if machine != "" {
+		opts = append(opts, regalloc.WithMachine(machine))
 	}
 	if c.shared != nil {
 		opts = append(opts, regalloc.WithSharedCache(c.shared))
@@ -177,7 +187,7 @@ type Observer interface {
 // decodeErr carries an upstream body-decoding failure into the in-band
 // error contract. ctx bounds the allocation (module requests are cancelled
 // between functions; a single function is the pipeline's atomic unit).
-func Do(ctx context.Context, engines *EngineCache, req Request, decodeErr error, defRegs int, defAlloc string, obs Observer) Response {
+func Do(ctx context.Context, engines *EngineCache, req Request, decodeErr error, defRegs int, defAlloc, defMachine string, obs Observer) Response {
 	resp := Response{ID: req.ID}
 	if decodeErr != nil {
 		resp.Error = "bad request: " + decodeErr.Error()
@@ -203,8 +213,13 @@ func Do(ctx context.Context, engines *EngineCache, req Request, decodeErr error,
 	if allocName == "" {
 		allocName = defAlloc
 	}
+	machine := req.Machine
+	if machine == "" {
+		machine = defMachine
+	}
 	resp.Registers = r
-	eng, err := engines.Get(r, allocName)
+	resp.Machine = strings.ToLower(machine)
+	eng, err := engines.Get(r, allocName, machine)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
@@ -254,7 +269,7 @@ func serveModule(ctx context.Context, eng *regalloc.Engine, req Request, resp Re
 	resp.Results = make([]Response, len(results))
 	for i := range results {
 		fr := &results[i]
-		sub := Response{Func: fr.Name, Registers: resp.Registers, Cached: fr.Cached}
+		sub := Response{Func: fr.Name, Registers: resp.Registers, Machine: resp.Machine, Cached: fr.Cached}
 		if fr.Err != nil {
 			if obs != nil {
 				obs.ObserveFunc(true, 0)

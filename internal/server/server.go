@@ -45,6 +45,11 @@ type Config struct {
 	// Allocator is the default allocator registry name ("" = the engine
 	// default: BFPL for strict-SSA functions, LH otherwise).
 	Allocator string
+	// Machine is the default target-machine name for requests that omit
+	// one ("" = unconstrained allocation). A non-empty name turns on
+	// machine-constrained allocation — register classes, pre-colored ABI
+	// values, call clobbers — instantiated at the request's register count.
+	Machine string
 	// Jobs is the worker count for module-request allocation
 	// (0 = GOMAXPROCS).
 	Jobs int
@@ -112,7 +117,7 @@ func New(cfg Config) (*Server, error) {
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		draining: make(chan struct{}),
 	}
-	if _, err := s.engines.Get(cfg.Registers, cfg.Allocator); err != nil {
+	if _, err := s.engines.Get(cfg.Registers, cfg.Allocator, cfg.Machine); err != nil {
 		return nil, fmt.Errorf("server: invalid default configuration: %w", err)
 	}
 	s.mux = http.NewServeMux()
@@ -304,7 +309,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
-	resp := Do(ctx, s.engines, req, nil, s.cfg.Registers, s.cfg.Allocator, obs)
+	resp := Do(ctx, s.engines, req, nil, s.cfg.Registers, s.cfg.Allocator, s.cfg.Machine, obs)
 
 	code := http.StatusOK
 	switch {

@@ -79,6 +79,37 @@ func TestAllocateSingleFunction(t *testing.T) {
 	}
 }
 
+// TestAllocateWithMachine covers the machine-constrained request surface:
+// a per-request machine turns on constrained allocation (the response echoes
+// the canonical machine name), an unknown machine is an in-band error, and a
+// constrained function (pins + clobbers) allocates under the machine whose
+// ABI it was annotated for.
+func TestAllocateWithMachine(t *testing.T) {
+	s := newTestServer(t, Config{Registers: 4})
+	const pinnedFunc = "func g ssa {\nb0:\n  x = param 0 !pin=r0\n  y = unary x\n  z = call y !clobbers=r0,r1\n  w = arith y, z\n  ret w\n}"
+	_, resp := postJSON(t, s.Handler(), Request{ID: "m1", IR: pinnedFunc, Machine: "ST231"})
+	if resp.Error != "" {
+		t.Fatalf("constrained request failed: %+v", resp)
+	}
+	if resp.Machine != "st231" {
+		t.Errorf("machine echo = %q, want st231 (canonicalized)", resp.Machine)
+	}
+	_, resp = postJSON(t, s.Handler(), Request{ID: "m2", IR: tinyFunc, Machine: "pdp11"})
+	if resp.Error == "" {
+		t.Fatal("unknown machine accepted")
+	}
+	// A server-wide default machine applies to requests that omit one.
+	s = newTestServer(t, Config{Registers: 4, Machine: "armv7"})
+	_, resp = postJSON(t, s.Handler(), Request{ID: "m3", IR: tinyFunc})
+	if resp.Error != "" || resp.Machine != "armv7" {
+		t.Fatalf("default machine not applied: %+v", resp)
+	}
+	// An invalid default machine is a startup error, not a request error.
+	if _, err := New(Config{Registers: 4, Machine: "pdp11"}); err == nil {
+		t.Fatal("server with unknown default machine started")
+	}
+}
+
 func TestAllocateModuleBody(t *testing.T) {
 	s := newTestServer(t, Config{Registers: 4})
 	w, resp := postJSON(t, s.Handler(), Request{ID: "m1", Module: tinyModule})

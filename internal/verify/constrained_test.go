@@ -1,0 +1,202 @@
+package verify
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/raerr"
+)
+
+func mustParseFile(t *testing.T, path string) *ir.Func {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ir.MustParse(string(src))
+}
+
+// TestConstrainedDifferentialAcceptance is the machine-constrained
+// acceptance bar: generated constrained functions, every registered
+// allocator, every machine, R ∈ {2, 3, 4, 8} — per-class pressure within
+// capacity, no value outside its class, pre-colors honored, no caller-saved
+// register held across a call, and the rewrite observably equivalent to the
+// original under both the plain and the clobber-modelling interpreter.
+func TestConstrainedDifferentialAcceptance(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 15
+	}
+	for _, m := range DefaultMachines() {
+		for seed := int64(1); seed <= int64(n); seed++ {
+			if err := CheckConstrainedSeed(seed, m, Options{}); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestConstrainedCorpus runs the constrained matrix over the hand-written
+// constrained corpus function under a machine that has every annotated
+// resource (both classes, pins r0/r1 in range).
+func TestConstrainedCorpus(t *testing.T) {
+	f := mustParseFile(t, "../ir/testdata/constrained.ir")
+	for _, r := range DefaultRegisters {
+		cons := arch.ARMv7.Constraints(r)
+		if err := CheckConstrained(f, cons, Options{}); err != nil {
+			t.Errorf("armv7 R=%d: %v", r, err)
+		}
+	}
+}
+
+// TestClobberMiscompileCaught pins the property the clobber-modelling
+// interpreter exists for: an assignment that deliberately ignores a call's
+// clobber set — leaving a live value in a caller-saved register across the
+// call — is an observable miscompile, while a clobber-honoring assignment of
+// the same function is not.
+func TestClobberMiscompileCaught(t *testing.T) {
+	f := ir.MustParse(`
+func clob ssa {
+b0:
+  a = param 0
+  b = unary a
+  c = call a !clobbers=r0,r1
+  d = arith b, c
+  ret d
+}`)
+	in := []int64{42}
+	orig, err := interp.Run(f, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values: a=0 b=1 c=2 d=3. b is live across the call; park it in the
+	// clobbered r1 (a dies at the call, so r0 for it is immaterial).
+	bad := []int{ir.MakeReg(ir.ClassGPR, 0), ir.MakeReg(ir.ClassGPR, 1),
+		ir.MakeReg(ir.ClassGPR, 0), ir.MakeReg(ir.ClassGPR, 1)}
+	res, err := interp.RunWithClobbers(f, in, 0, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := orig.Diff(res); d == "" {
+		t.Fatal("clobber-ignoring assignment went unnoticed: b survived the call in clobbered r1")
+	}
+	// The same value in the call-surviving r2 is fine.
+	good := append([]int(nil), bad...)
+	good[1] = ir.MakeReg(ir.ClassGPR, 2)
+	res, err = interp.RunWithClobbers(f, in, 0, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := orig.Diff(res); d != "" {
+		t.Fatalf("clobber-honoring assignment diverged: %s", d)
+	}
+	// And the real constrained pipeline must produce a clobber-honoring
+	// allocation for this function on a machine with call-surviving
+	// registers (armv7 at R=4 clobbers r0, r1 and preserves r2, r3).
+	cons := arch.ARMv7.Constraints(4)
+	if err := CheckConstrained(f, cons, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConstrainedSpillsUnderTotalClobber pins the paper's harshest regime:
+// on st231 every allocable register is caller-saved, so every value live
+// across a call must be spilled — keeping any is a pipeline bug the
+// differential matrix would report as a clobber-modelling miscompile.
+func TestConstrainedSpillsUnderTotalClobber(t *testing.T) {
+	cons := arch.ST231.Constraints(4)
+	f := ir.MustParse(`
+func total ssa {
+b0:
+  a = param 0 !pin=r0
+  b = unary a
+  c = call a !clobbers=r0,r1,r2,r3
+  d = arith b, c
+  e = arith d, a
+  ret e
+}`)
+	out, err := core.Run(f, core.Config{Registers: 4, Constraints: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a (pinned, live across) and b (live across) must both be spilled.
+	spilled := make(map[int]bool, len(out.SpilledValues))
+	for _, v := range out.SpilledValues {
+		spilled[v] = true
+	}
+	for _, want := range []int{0, 1} {
+		if !spilled[want] {
+			t.Errorf("value %s kept in a register across a total-clobber call (spilled: %v)",
+				f.NameOf(want), out.SpilledValues)
+		}
+	}
+	if err := CheckConstrained(f, cons, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMachineMismatchTyped checks the typed rejection of annotations the
+// machine cannot express: an FP value on the integer-only st231, and a
+// pre-color outside the class capacity.
+func TestMachineMismatchTyped(t *testing.T) {
+	fp := ir.MustParse(`
+func fp ssa {
+b0:
+  a = param 0
+  b = unary a !fp
+  ret b
+}`)
+	_, err := core.Run(fp, core.Config{Registers: 4, Constraints: arch.ST231.Constraints(4)})
+	if !errors.Is(err, raerr.ErrMachineMismatch) {
+		t.Errorf("FP value on st231: got %v, want ErrMachineMismatch", err)
+	}
+	var fe *raerr.FuncError
+	if !errors.As(err, &fe) || fe.Stage != "constrain" {
+		t.Errorf("FP value on st231: stage = %v, want constrain", err)
+	}
+	// The same function is fine on a machine with FP registers.
+	if _, err := core.Run(fp, core.Config{Registers: 4, Constraints: arch.ARMv7.Constraints(4)}); err != nil {
+		t.Errorf("FP value on armv7: %v", err)
+	}
+	pin := ir.MustParse(`
+func pin ssa {
+b0:
+  a = param 0 !pin=r6
+  ret a
+}`)
+	_, err = core.Run(pin, core.Config{Registers: 4, Constraints: arch.ARMv7.Constraints(4)})
+	if !errors.Is(err, raerr.ErrMachineMismatch) {
+		t.Errorf("pin r6 at cap 4: got %v, want ErrMachineMismatch", err)
+	}
+	// Non-SSA input is a typed ErrNotSSA, not a mismatch.
+	nonSSA := ir.MustParse(`
+func multi {
+b0:
+  a = param 0
+  a = unary a
+  ret a
+}`)
+	_, err = core.Run(nonSSA, core.Config{Registers: 4, Constraints: arch.ARMv7.Constraints(4)})
+	if !errors.Is(err, raerr.ErrNotSSA) {
+		t.Errorf("non-SSA constrained run: got %v, want ErrNotSSA", err)
+	}
+}
+
+// TestSoakConstrained exercises the constrained soak driver used by
+// cmd/verify.
+func TestSoakConstrained(t *testing.T) {
+	var calls int
+	fails := SoakConstrained(1, 4, nil, Options{Registers: []int{3}}, 5,
+		func(done, failed int) { calls = done })
+	if len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails[0])
+	}
+	if calls != 4 {
+		t.Fatalf("progress callback saw %d seeds, want 4", calls)
+	}
+}

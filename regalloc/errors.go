@@ -30,9 +30,15 @@ var (
 	// Errors carrying it also wrap the context's own error, so
 	// errors.Is(err, context.Canceled) keeps working too.
 	ErrCanceled = raerr.ErrCanceled
+
+	// ErrMachineMismatch tags machine-constrained runs over functions whose
+	// annotations the configured machine cannot express: a value in a class
+	// the machine lacks, or a pre-color outside the class capacity.
+	ErrMachineMismatch = raerr.ErrMachineMismatch
 )
 
 // FuncError is a failure localized to one function of a run: the function
 // name, the pipeline stage that failed ("validate", "allocate", "assign",
-// "rewrite"), and the underlying cause, which errors.Is/As see through.
+// "rewrite", "constrain"), and the underlying cause, which errors.Is/As
+// see through.
 type FuncError = raerr.FuncError

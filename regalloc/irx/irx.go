@@ -62,6 +62,38 @@ const (
 	OpReload = ir.OpReload
 )
 
+// Class is a machine register class. Values default to ClassGPR; the
+// machine-constraint annotations (!fp, !pin=<reg>, !clobbers=<regs>) move
+// values between classes, pre-color them and record call-clobbered
+// registers. Func carries the annotations via ClassOf/SetClass,
+// PreColorOf/SetPreColor and Instr.Clobbers.
+type Class = ir.Class
+
+// The register classes.
+const (
+	ClassGPR   = ir.ClassGPR
+	ClassFP    = ir.ClassFP
+	NumClasses = ir.NumClasses
+)
+
+// MakeReg encodes (class, index) as one register reference — the currency
+// of pre-colors, clobber sets and assignment maps. GPR references equal
+// their plain index.
+func MakeReg(c Class, i int) int { return ir.MakeReg(c, i) }
+
+// RegClassOf extracts the class of a register reference.
+func RegClassOf(ref int) Class { return ir.RegClassOf(ref) }
+
+// RegIndexOf extracts the in-class index of a register reference.
+func RegIndexOf(ref int) int { return ir.RegIndexOf(ref) }
+
+// RegName renders a register reference in assembly-style notation
+// ("r3", "f1") — the textual form of the !pin and !clobbers annotations.
+func RegName(ref int) string { return ir.RegName(ref) }
+
+// ParseRegName parses RegName's notation.
+func ParseRegName(s string) (int, bool) { return ir.ParseRegName(s) }
+
 // Parse parses one textual IR function.
 func Parse(src string) (*Func, error) { return ir.Parse(src) }
 

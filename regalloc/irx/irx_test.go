@@ -1,6 +1,7 @@
 package irx_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/regalloc/irx"
@@ -64,6 +65,127 @@ b0:
 	}
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAnnotationsRoundTrip: the machine-constraint annotations — register
+// classes (!fp), pre-colored ABI values (!pin) and call clobbers
+// (!clobbers) — survive parse → print → parse through the public surface,
+// and the accessor methods agree with the textual form.
+func TestAnnotationsRoundTrip(t *testing.T) {
+	src := `func g ssa {
+b0:
+  a = param 0 !pin=r0
+  b = param 1 !pin=r1
+  c = unary a !fp
+  d = call b !clobbers=r0,r1,f0
+  e = arith b, d
+  ret e
+}
+`
+	f, err := irx.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Constrained() {
+		t.Error("annotated function does not report Constrained")
+	}
+	if c := f.ClassOf(2); c != irx.ClassFP {
+		t.Errorf("class of c = %v, want fp", c)
+	}
+	if c := f.ClassOf(0); c != irx.ClassGPR {
+		t.Errorf("class of a = %v, want gpr (default)", c)
+	}
+	pin, ok := f.PreColorOf(1)
+	if !ok || pin != irx.MakeReg(irx.ClassGPR, 1) {
+		t.Errorf("pre-color of b = (%d, %v), want r1", pin, ok)
+	}
+	if _, ok := f.PreColorOf(2); ok {
+		t.Error("unpinned value reports a pre-color")
+	}
+	wantClob := []int{
+		irx.MakeReg(irx.ClassGPR, 0),
+		irx.MakeReg(irx.ClassGPR, 1),
+		irx.MakeReg(irx.ClassFP, 0),
+	}
+	call := f.Blocks[0].Instrs[3]
+	if call.Op != irx.OpCall || len(call.Clobbers) != len(wantClob) {
+		t.Fatalf("call clobbers = %v, want %v", call.Clobbers, wantClob)
+	}
+	for i, ref := range wantClob {
+		if call.Clobbers[i] != ref {
+			t.Errorf("clobber %d = %s, want %s", i, irx.RegName(call.Clobbers[i]), irx.RegName(ref))
+		}
+	}
+	printed := f.String()
+	for _, ann := range []string{"!pin=r0", "!pin=r1", "!fp", "!clobbers=r0,r1,f0"} {
+		if !strings.Contains(printed, ann) {
+			t.Errorf("printed form lost %q:\n%s", ann, printed)
+		}
+	}
+	again, err := irx.Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of printed form: %v", err)
+	}
+	if again.String() != printed {
+		t.Error("print ∘ parse not idempotent for annotated functions")
+	}
+}
+
+// TestAnnotationValidate: the validator rejects inconsistent annotations —
+// a pre-color whose class disagrees with the value's class, and clobbers on
+// a non-call instruction.
+func TestAnnotationValidate(t *testing.T) {
+	f := irx.MustParse(`func bad ssa {
+b0:
+  a = param 0
+  ret a
+}`)
+	// SetPreColor keeps the value's class consistent with the pin, so the
+	// mismatch needs a later class change behind its back.
+	f.SetPreColor(0, irx.MakeReg(irx.ClassGPR, 0))
+	f.SetClass(0, irx.ClassFP)
+	if err := f.Validate(); err == nil {
+		t.Error("fp value pinned to a GPR passed Validate")
+	}
+
+	g := irx.MustParse(`func bad2 ssa {
+b0:
+  a = param 0
+  b = unary a
+  ret b
+}`)
+	g.Blocks[0].Instrs[1].Clobbers = []int{0}
+	if err := g.Validate(); err == nil {
+		t.Error("clobbers on a non-call instruction passed Validate")
+	}
+
+	if _, err := irx.Parse("func p ssa {\nb0:\n  a = param 0 !pin=bogus\n  ret a\n}"); err == nil {
+		t.Error("bad pin register name parsed")
+	}
+}
+
+// TestRegNameHelpers: the register-reference coding exported through irx.
+func TestRegNameHelpers(t *testing.T) {
+	ref := irx.MakeReg(irx.ClassFP, 3)
+	if irx.RegClassOf(ref) != irx.ClassFP || irx.RegIndexOf(ref) != 3 {
+		t.Errorf("MakeReg/RegClassOf/RegIndexOf disagree on %d", ref)
+	}
+	if got := irx.RegName(ref); got != "f3" {
+		t.Errorf("RegName = %q, want f3", got)
+	}
+	back, ok := irx.ParseRegName("f3")
+	if !ok || back != ref {
+		t.Errorf("ParseRegName(f3) = (%d, %v), want (%d, true)", back, ok, ref)
+	}
+	if r5, ok := irx.ParseRegName("r5"); !ok || r5 != 5 {
+		t.Errorf("ParseRegName(r5) = (%d, %v): GPR refs must equal their index", r5, ok)
+	}
+	if _, ok := irx.ParseRegName("x2"); ok {
+		t.Error("ParseRegName accepted an unknown class letter")
 	}
 }
 

@@ -19,5 +19,20 @@ var (
 	JVM98 = arch.JVM98
 )
 
-// MachineByName resolves a target name ("st231", "armv7", "jvm98").
+// MachineByName resolves a target name ("st231", "armv7", "jvm98"),
+// case-insensitively.
 func MachineByName(name string) (Machine, error) { return arch.ByName(name) }
+
+// MachineNames lists the registered target names in presentation order.
+func MachineNames() []string { return arch.Names() }
+
+// Constraints is a machine description instantiated at a concrete per-class
+// register count: the register classes the target has, how many registers of
+// each the ABI passes arguments in, and how many a call clobbers. Obtain one
+// from Machine.Constraints(r) or hand-build one for a custom target, and
+// attach it to an engine with WithConstraints (or let WithMachine derive it
+// from the engine's register count).
+type Constraints = arch.Constraints
+
+// ClassFile is one register class of a Constraints instance.
+type ClassFile = arch.ClassFile

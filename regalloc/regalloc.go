@@ -50,6 +50,7 @@ import (
 	"sync"
 
 	"repro/internal/alloc"
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/fingerprint"
 	"repro/internal/outcache"
@@ -101,6 +102,8 @@ type options struct {
 	noScratchReuse bool
 	cacheSize      int
 	sharedCache    *Cache
+	machine        string
+	constraints    *arch.Constraints
 }
 
 // Option configures an Engine (New).
@@ -116,6 +119,20 @@ func WithRegisters(n int) Option { return func(o *options) { o.registers = n } }
 // best general-purpose chordal allocator (BFPL) for strict-SSA functions
 // and the layered heuristic (LH) otherwise.
 func WithAllocator(name string) Option { return func(o *options) { o.allocator = name } }
+
+// WithMachine turns on machine-constrained allocation for a named target
+// ("st231", "armv7", "jvm98"; case-insensitive): the machine's constraint
+// shape is instantiated at the engine's register count, so WithRegisters
+// acts as the per-class capacity, and allocation honors register classes,
+// pre-colored ABI values and call-clobber sets. Mutually exclusive with
+// WithConstraints; unknown names fail at New.
+func WithMachine(name string) Option { return func(o *options) { o.machine = name } }
+
+// WithConstraints turns on machine-constrained allocation under an explicit
+// constraint object — the escape hatch for targets the registry does not
+// name. The constraints are validated at New. Mutually exclusive with
+// WithMachine.
+func WithConstraints(c *Constraints) Option { return func(o *options) { o.constraints = c } }
 
 // WithCostModel overrides the spill-cost model (default DefaultCostModel).
 func WithCostModel(m CostModel) Option { return func(o *options) { o.costModel = m } }
@@ -210,6 +227,25 @@ func New(opt ...Option) (*Engine, error) {
 		return nil, fmt.Errorf("%w: WithCache(%d) and WithSharedCache are mutually exclusive and require capacity ≥ 1",
 			raerr.ErrInvalidConfig, o.cacheSize)
 	}
+	if o.machine != "" {
+		if o.constraints != nil {
+			return nil, fmt.Errorf("%w: WithMachine and WithConstraints are mutually exclusive", raerr.ErrInvalidConfig)
+		}
+		m, err := arch.ByName(o.machine)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", raerr.ErrInvalidConfig, err)
+		}
+		o.constraints = m.Constraints(o.registers)
+	}
+	if o.constraints != nil {
+		if err := o.constraints.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %w", raerr.ErrInvalidConfig, err)
+		}
+		if o.legacyIFG {
+			return nil, fmt.Errorf("%w: machine-constrained allocation has no explicit-graph path (drop WithLegacyIFG)",
+				raerr.ErrInvalidConfig)
+		}
+	}
 	e := &Engine{opts: o}
 	e.pool.New = func() any { return e.newWorker() }
 	switch {
@@ -219,7 +255,7 @@ func New(opt ...Option) (*Engine, error) {
 		e.cache = outcache.New(o.cacheSize)
 	}
 	if e.cache != nil {
-		e.fold = fingerprint.NewConfig(o.registers, o.allocator, o.costModel, !o.skipRewrite)
+		e.fold = fingerprint.NewConfig(o.registers, o.allocator, o.costModel, !o.skipRewrite, o.constraints)
 	}
 	return e, nil
 }
@@ -232,6 +268,7 @@ func (e *Engine) newWorker() *worker {
 		CostModel:   e.opts.costModel,
 		SkipRewrite: e.opts.skipRewrite,
 		LegacyIFG:   e.opts.legacyIFG,
+		Constraints: e.opts.constraints,
 		// New validated the model once for the engine's lifetime.
 		TrustedCostModel: true,
 	}}
@@ -292,6 +329,7 @@ func (e *Engine) moduleConfig() pipeline.Config {
 		Registers:      e.opts.registers,
 		Allocator:      e.opts.allocator,
 		CostModel:      e.opts.costModel,
+		Constraints:    e.opts.constraints,
 		SkipRewrite:    e.opts.skipRewrite,
 		Jobs:           e.opts.jobs,
 		NoScratchReuse: e.opts.noScratchReuse,

@@ -8,6 +8,7 @@
 package verifier
 
 import (
+	"repro/internal/arch"
 	"repro/internal/verify"
 	"repro/regalloc/irx"
 )
@@ -37,4 +38,24 @@ func CheckSeed(seed int64, opts Options) error { return verify.CheckSeed(seed, o
 // every function.
 func Soak(base int64, n int, opts Options, maxFail int, report func(done, failed int)) []*Failure {
 	return verify.Soak(base, n, opts, maxFail, report)
+}
+
+// SoakConstrained runs the machine-constrained differential soak: for each
+// seed a constrained program (register classes, pre-colored ABI parameters,
+// call clobbers) is generated per named machine and register count, and
+// checked for per-class pressure, class membership, honored pre-colors,
+// clobber avoidance, and semantic preservation under both the plain and the
+// clobber-modelling interpreter. machines is a list of registered machine
+// names (see regalloc.MachineNames); nil or empty sweeps every machine. An
+// unknown name is an immediate error.
+func SoakConstrained(base int64, n int, machines []string, opts Options, maxFail int, report func(done, failed int)) ([]*Failure, error) {
+	var ms []arch.Machine
+	for _, name := range machines {
+		m, err := arch.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	return verify.SoakConstrained(base, n, ms, opts, maxFail, report), nil
 }

@@ -11,14 +11,23 @@
 //	                    "ir" for a single function or "module" for a
 //	                    compilation unit), one JSON response
 //	GET  /metrics       Prometheus text metrics
-//	GET  /healthz       200 serving / 503 draining
+//	GET  /healthz       liveness: 200 while the process serves at all
+//	GET  /readyz        readiness: 503 while draining or saturated
 //
 // Admission is bounded: at most -max-inflight requests are served
 // concurrently and the rest are rejected immediately with 429 +
 // Retry-After. Every request runs under the -timeout deadline. On SIGTERM
-// or SIGINT the server drains gracefully: it stops accepting, finishes
-// the in-flight requests (bounded by -drain-timeout) and flushes a final
-// metrics snapshot to stdout.
+// or SIGINT the server drains gracefully: it stops accepting (/readyz
+// flips to 503, /healthz stays 200), finishes the in-flight requests
+// (bounded by -drain-timeout) and flushes a final metrics snapshot to
+// stdout.
+//
+// Resource governance: -budget-steps, -budget-deadline, -max-values and
+// -max-blocks bound every allocation's work; with -degrade, over-budget
+// functions are served from the degradation ladder (the response carries
+// the rung under "degraded") instead of failing:
+//
+//	allocserve -budget-steps 2000000 -budget-deadline 50ms -degrade
 package main
 
 import (
@@ -58,6 +67,11 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	maxInFlight := fs.Int("max-inflight", service.DefaultMaxInFlight, "admission bound: concurrent requests beyond it get 429")
 	timeout := fs.Duration("timeout", service.DefaultRequestTimeout, "per-request allocation deadline (negative = none)")
 	drainTimeout := fs.Duration("drain-timeout", service.DefaultDrainTimeout, "graceful-drain bound for in-flight requests on SIGTERM")
+	budgetSteps := fs.Int64("budget-steps", 0, "per-function work-step budget (0 = unbounded)")
+	budgetDeadline := fs.Duration("budget-deadline", 0, "per-function wall-clock allocation deadline (0 = none)")
+	maxValues := fs.Int("max-values", 0, "admission gate: reject/degrade functions above this value count (0 = none)")
+	maxBlocks := fs.Int("max-blocks", 0, "admission gate: reject/degrade functions above this block count (0 = none)")
+	degrade := fs.Bool("degrade", false, "serve over-budget functions from the degradation ladder instead of failing them")
 	selfbench := fs.Bool("selfbench", false, "run the multi-core scaling sweep (jobs and client concurrency 1,2,4,8) and exit")
 	funcs := fs.Int("funcs", 800, "benchmark module size (with -selfbench)")
 	seed := fs.Int64("seed", 42, "benchmark corpus seed (with -selfbench)")
@@ -86,6 +100,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drainTimeout,
+		Budget: regalloc.Budget{
+			Steps:     *budgetSteps,
+			Deadline:  *budgetDeadline,
+			MaxValues: *maxValues,
+			MaxBlocks: *maxBlocks,
+		},
+		Degrade: *degrade,
 	}
 	if *selfbench {
 		return runSelfBench(out, benchOpts{

@@ -8,6 +8,9 @@
 //	verify [-n 200] [-seed 1] [-r 2,3,4,8] [-alloc BFPL,LH] [-budget 4096] [-max-fail 1] [-v]
 //	verify -machines all            # machine-constrained soak over every machine
 //	verify -machines st231,armv7    # ... over specific machines
+//	verify -degraded                # degradation-ladder soak: budget-tripped
+//	                                # outcomes must be degraded-but-correct
+//	verify -degraded -machines all  # ... under machine constraints
 //	verify -file f.ir
 //	verify -module m.ir
 //
@@ -45,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	budget := fs.Int("budget", 0, "interpreter semantic step budget (0 = default)")
 	maxFail := fs.Int("max-fail", 1, "stop after this many failures")
 	machines := fs.String("machines", "", "comma-separated machine names for the machine-constrained soak ('all' = every registered machine; default: unconstrained soak)")
+	degraded := fs.Bool("degraded", false, "soak the degradation ladder: sweep budgets that force trips and verify every degraded outcome")
 	file := fs.String("file", "", "check one textual IR file instead of soaking")
 	module := fs.String("module", "", "check every function of a textual IR module file")
 	verbose := fs.Bool("v", false, "print progress every 100 functions")
@@ -114,6 +118,33 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	var fails []*verifier.Failure
+	if *degraded {
+		var cov verifier.RungCoverage
+		if *machines != "" {
+			var names []string
+			if *machines != "all" {
+				for _, m := range strings.Split(*machines, ",") {
+					names = append(names, strings.TrimSpace(m))
+				}
+			}
+			var err error
+			fails, cov, err = verifier.SoakConstrainedDegraded(*seed, *n, names, opts, *maxFail, progress)
+			if err != nil {
+				return err
+			}
+		} else {
+			fails, cov = verifier.SoakDegraded(*seed, *n, opts, *maxFail, progress)
+		}
+		fmt.Fprintf(out, "checked %d degraded seeds (%d..%d), registers %v: %d failures, rungs %v\n",
+			*n, *seed, *seed+int64(*n)-1, opts.Registers, len(fails), cov)
+		for _, f := range fails {
+			fmt.Fprintf(out, "FAIL %v\n", f)
+		}
+		if len(fails) > 0 {
+			return fmt.Errorf("%d of %d functions failed degraded verification", len(fails), *n)
+		}
+		return nil
+	}
 	if *machines != "" {
 		var names []string
 		if *machines != "all" {

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/arch"
+	"repro/internal/budget"
 	"repro/internal/cliques"
 	"repro/internal/graph"
 	"repro/internal/ifg"
@@ -63,6 +64,12 @@ type Problem struct {
 	// merged result of the per-class decomposition must satisfy). Requires
 	// Cliques (class membership is read off the function).
 	Constraints *arch.Constraints
+	// Meter, when non-nil, is the resource budget of the run. Allocators
+	// charge it cooperatively at coarse granularity (a layer, an interval)
+	// and stop early — returning a valid partial result with more values
+	// spilled — when it trips. A nil Meter never trips; the field is
+	// scratch state of one run and is cleared before results are cached.
+	Meter *budget.Meter
 
 	g *graph.Weighted // explicit graph; lazily built from Cliques when nil
 }
@@ -319,6 +326,19 @@ type Allocator interface {
 	Name() string
 	// Allocate solves p. Implementations must return a valid Result.
 	Allocate(p *Problem) *Result
+}
+
+// ProblemChecker is an optional Allocator extension: allocators that have
+// structural preconditions beyond "is a Problem" implement it so the
+// pipeline can reject a malformed instance with a typed error before
+// Allocate runs, instead of panicking from inside the algorithm. The
+// built-in allocators keep their internal panics as a defensive backstop,
+// but every driver path (core, pipeline, server) consults CheckProblem
+// first, so user input can no longer reach them.
+type ProblemChecker interface {
+	// CheckProblem reports why p cannot be solved by this allocator, or
+	// nil when it can.
+	CheckProblem(p *Problem) error
 }
 
 // MaxPressure returns the largest live-set size, i.e. MaxLive.

@@ -29,10 +29,12 @@
 package layered
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/alloc"
 	"repro/internal/cliques"
+	"repro/internal/raerr"
 	"repro/internal/stable"
 )
 
@@ -97,10 +99,26 @@ func (a *Allocator) Allocate(p *Problem) *alloc.Result {
 	return a.AllocateProblem(p)
 }
 
+// CheckProblem implements alloc.ProblemChecker: layered allocation is
+// defined on chordal problems only. A non-chordal instance routed here is
+// either a non-SSA function or a mis-wired custom pipeline.
+func (a *Allocator) CheckProblem(p *Problem) error {
+	if !p.Chordal {
+		return fmt.Errorf("%w: layered allocator %s requires a chordal problem (use LH for general graphs)",
+			raerr.ErrNotSSA, a.name)
+	}
+	return nil
+}
+
 // Problem aliases alloc.Problem for readability of this package's API.
 type Problem = alloc.Problem
 
-// AllocateProblem runs the layered allocation.
+// AllocateProblem runs the layered allocation. When the problem carries a
+// budget meter, each layer charges the vertex count (Frank's algorithm is
+// O(V + Σ|live sets|) per layer) before it runs; on a trip the allocation
+// stops at the layer boundary and the partial result is returned — every
+// prefix of layers is a valid allocation (dropping layers only spills
+// more), so degradation here costs quality, never correctness.
 func (a *Allocator) AllocateProblem(p *Problem) *alloc.Result {
 	if !p.Chordal {
 		panic("layered: " + a.name + " requires a chordal problem (use LH for general graphs)")
@@ -110,6 +128,9 @@ func (a *Allocator) AllocateProblem(p *Problem) *alloc.Result {
 
 	// Phase 1 (Algorithm 2): at most R optimal single-register layers.
 	for count := 0; count < p.R && st.remaining > 0; count++ {
+		if !p.Meter.Charge(n) {
+			break // budget tripped: the layers so far stand
+		}
 		layer := st.layer(a.opt)
 		if len(layer) == 0 {
 			break
@@ -117,13 +138,16 @@ func (a *Allocator) AllocateProblem(p *Problem) *alloc.Result {
 		st.allocate(layer)
 	}
 
-	if a.opt.FixedPoint {
+	if a.opt.FixedPoint && !p.Meter.Exceeded() {
 		// Phase 2 (Algorithm 3 lines 8–13): account for the R first layers,
 		// prune saturated cliques, then keep allocating until fixpoint.
 		st.update(st.scr.allocatedList, a.opt)
 		rounds := 0
 		for st.remaining > 0 {
 			if a.opt.MaxFixpointRounds > 0 && rounds >= a.opt.MaxFixpointRounds {
+				break
+			}
+			if !p.Meter.Charge(n) {
 				break
 			}
 			layer := st.layer(a.opt)

@@ -1,8 +1,11 @@
 package layered
 
 import (
+	"fmt"
+
 	"repro/internal/alloc"
 	"repro/internal/graph"
+	"repro/internal/raerr"
 )
 
 // StepAllocator generalizes layered allocation to step ≥ 2 (paper §4: the
@@ -32,6 +35,17 @@ func (s *StepAllocator) Name() string {
 		return s.Label
 	}
 	return "StepLayered"
+}
+
+// CheckProblem implements alloc.ProblemChecker.
+func (s *StepAllocator) CheckProblem(p *alloc.Problem) error {
+	if !p.Chordal {
+		return fmt.Errorf("%w: step allocator requires a chordal problem", raerr.ErrNotSSA)
+	}
+	if s.Step < 1 {
+		return fmt.Errorf("%w: step allocator: step %d must be ≥ 1", raerr.ErrInvalidConfig, s.Step)
+	}
+	return nil
 }
 
 // Allocate implements alloc.Allocator on chordal problems.

@@ -1,0 +1,25 @@
+package linearscan
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/raerr"
+)
+
+// TestCheckProblemNoIntervals: a problem built without live intervals is
+// rejected by the structural gate with a typed error — the driver-visible
+// contract that replaced the Allocate panic for user-reachable paths.
+func TestCheckProblemNoIntervals(t *testing.T) {
+	p := &alloc.Problem{R: 1, Weight: []float64{1, 1}, Chordal: true}
+	for _, a := range []*Allocator{DLS(), BLS()} {
+		err := a.CheckProblem(p)
+		if err == nil {
+			t.Fatalf("%s: CheckProblem accepted a problem without intervals", a.Name())
+		}
+		if !errors.Is(err, raerr.ErrInvalidConfig) {
+			t.Fatalf("%s: error %v does not wrap raerr.ErrInvalidConfig", a.Name(), err)
+		}
+	}
+}

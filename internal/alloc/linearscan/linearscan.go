@@ -12,12 +12,14 @@
 package linearscan
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/alloc"
 	"repro/internal/ifg"
 	"repro/internal/ir"
 	"repro/internal/liveness"
+	"repro/internal/raerr"
 )
 
 // Allocator is a linear-scan allocator.
@@ -42,6 +44,16 @@ func BLS() *Allocator { return &Allocator{Belady: true, name: "BLS"} }
 
 // Name implements alloc.Allocator.
 func (a *Allocator) Name() string { return a.name }
+
+// CheckProblem implements alloc.ProblemChecker: linear scan runs over live
+// intervals, so a problem built without them (a bare graph instance) is
+// rejected with a typed error instead of a panic from inside Allocate.
+func (a *Allocator) CheckProblem(p *alloc.Problem) error {
+	if p.Intervals == nil {
+		return fmt.Errorf("%w: linear scan %s: problem has no live intervals", raerr.ErrInvalidConfig, a.name)
+	}
+	return nil
+}
 
 // Allocate implements alloc.Allocator. The problem must carry Intervals.
 //
@@ -81,7 +93,17 @@ func (a *Allocator) Allocate(p *alloc.Problem) *alloc.Result {
 	// active: currently allocated intervals, kept sorted by increasing end.
 	var active []int
 	endOf := func(v int) int { return p.Intervals[v][1] }
-	for _, v := range order {
+	for i, v := range order {
+		// One budget step per interval. On a trip the unprocessed intervals
+		// are all spilled: the decisions already made keep at most R live
+		// intervals overlapping at any point, and spilling the rest cannot
+		// raise pressure, so the truncated scan is still a valid allocation.
+		if !p.Meter.Charge(1) {
+			for _, u := range order[i:] {
+				spilled[u] = true
+			}
+			break
+		}
 		start := p.Intervals[v][0]
 		// Expire intervals that ended strictly before start. This is the
 		// Poletto–Sarkar ExpireOldIntervals boundary ("if endpoint[j] ≥

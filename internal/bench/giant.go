@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// GenGiant builds a giant strict-SSA function with approximately the
+// requested value and block counts, in O(values) time and memory: a long
+// chain of straight-line blocks with a band of early-defined anchor values
+// used throughout, so register pressure stays high across the whole
+// function. It is the stress workload of the resource-governance tests —
+// big enough to trip any realistic step budget or admission gate, cheap
+// enough to generate at 10^5 values without dominating the test.
+//
+// The generated function validates, is strict SSA, and carries dominance
+// and loop annotations like every bench generator output.
+func GenGiant(name string, seed int64, values, blocks int) *ir.Func {
+	if values < 64 {
+		values = 64
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	if blocks > values/8 {
+		blocks = values / 8 // keep at least a few instructions per block
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &ir.Func{Name: name, ValueName: map[int]string{}, SSA: true}
+	entry := f.AddBlock("b0")
+
+	const params = 4
+	recent := make([]int, 0, 16) // sliding window of the latest definitions
+	for i := 0; i < params; i++ {
+		v := f.NewValue()
+		entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.OpParam, Def: v, Imm: int64(i)})
+		recent = append(recent, v)
+	}
+	// Anchors: defined up front, used throughout, folded into the return —
+	// live across the entire function, the main pressure source.
+	anchors := make([]int, 0, 24)
+	for i := 0; i < cap(anchors); i++ {
+		v := f.NewValue()
+		entry.Instrs = append(entry.Instrs, ir.Instr{
+			Op: ir.OpArith, Def: v,
+			Uses: []int{recent[rng.Intn(len(recent))], recent[rng.Intn(len(recent))]},
+		})
+		anchors = append(anchors, v)
+	}
+
+	pick := func() int {
+		// Mostly local traffic, with a steady anchor admixture.
+		if rng.Intn(4) == 0 {
+			return anchors[rng.Intn(len(anchors))]
+		}
+		return recent[rng.Intn(len(recent))]
+	}
+
+	// The chain: body values spread evenly over the blocks; every block
+	// ends with an unconditional branch to the next. Defs in earlier blocks
+	// dominate all later ones, so the chain needs no phis to stay strict.
+	folds := len(anchors)
+	body := values - f.NumValues - folds
+	cur := entry
+	for b := 0; b < blocks; b++ {
+		if b > 0 {
+			next := f.AddBlock(fmt.Sprintf("b%d", len(f.Blocks)))
+			cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpBranch, Def: ir.NoValue, Targets: []int{next.ID}})
+			f.AddEdge(cur.ID, next.ID)
+			cur = next
+		}
+		n := body / blocks
+		if b < body%blocks {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			v := f.NewValue()
+			cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpArith, Def: v, Uses: []int{pick(), pick()}})
+			if len(recent) < cap(recent) {
+				recent = append(recent, v)
+			} else {
+				recent[rng.Intn(len(recent))] = v
+			}
+		}
+	}
+
+	// Keep every anchor alive to the end: fold them into the return value.
+	ret := recent[len(recent)-1]
+	for _, a := range anchors {
+		acc := f.NewValue()
+		cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpArith, Def: acc, Uses: []int{ret, a}})
+		ret = acc
+	}
+	cur.Instrs = append(cur.Instrs, ir.Instr{Op: ir.OpReturn, Def: ir.NoValue, Uses: []int{ret}})
+
+	if err := f.Validate(); err != nil {
+		panic(fmt.Sprintf("bench: generated invalid giant SSA for %s: %v", name, err))
+	}
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	return f
+}

@@ -1,0 +1,214 @@
+// Package budget implements cooperative resource governance for the
+// allocation pipeline: a work-step budget charged at coarse analysis
+// granularity (liveness sweeps, clique-derivation phases, allocation
+// layers, assignment blocks), a wall-clock deadline checked amortizedly
+// (no timer goroutines, no time.After per iteration), and an admission
+// gate on raw problem size.
+//
+// The Meter is nil-safe: every method on a nil *Meter is a no-op that
+// reports "not exceeded", so un-budgeted runs thread a nil meter through
+// the hot loops at zero cost.
+package budget
+
+import (
+	"time"
+
+	"repro/internal/raerr"
+)
+
+// Limits is the resource budget of one allocation run. The zero value
+// means "no budget" (Active reports false and no meter is created).
+type Limits struct {
+	// Deadline is the wall-clock bound for the whole run (0 = none).
+	Deadline time.Duration
+	// Steps is the work-step budget (0 = none). Steps are charged at
+	// analysis granularity — a liveness fixpoint sweep charges the block
+	// count, an allocation layer charges the vertex count, assignment
+	// charges per instruction — so the unit is roughly "one value-visit".
+	Steps int64
+	// MaxValues, when > 0, is the admission gate on the function's value
+	// count: bigger functions are rejected (or degraded) before any
+	// analysis runs.
+	MaxValues int
+	// MaxBlocks, when > 0, is the admission gate on the block count.
+	MaxBlocks int
+}
+
+// Active reports whether any limit is set.
+func (l Limits) Active() bool {
+	return l.Deadline > 0 || l.Steps > 0 || l.MaxValues > 0 || l.MaxBlocks > 0
+}
+
+// Admit applies the admission gate to a function with the given value and
+// block counts, returning a typed *raerr.BudgetError when the function is
+// too large to even start under this budget.
+func (l Limits) Admit(values, blocks int) *raerr.BudgetError {
+	if l.MaxValues > 0 && values > l.MaxValues {
+		return &raerr.BudgetError{Stage: raerr.StageAdmission, Spent: int64(values), Limit: int64(l.MaxValues)}
+	}
+	if l.MaxBlocks > 0 && blocks > l.MaxBlocks {
+		return &raerr.BudgetError{Stage: raerr.StageAdmission, Spent: int64(blocks), Limit: int64(l.MaxBlocks)}
+	}
+	return nil
+}
+
+// clockCheckInterval is how many charged steps may pass between wall-clock
+// reads: time.Now() is cheap but not free, and the hot loops charge at
+// analysis granularity, so one read per ~4096 steps keeps deadline
+// enforcement within a few hundred microseconds of the truth without
+// measurable overhead.
+const clockCheckInterval = 4096
+
+// Meter enforces a Limits cooperatively: pipeline stages call Charge from
+// their hot loops and stop early when it returns false. A Meter is not
+// safe for concurrent use (one per function run); a nil Meter is valid
+// and never trips.
+type Meter struct {
+	spent      int64
+	limit      int64 // 0 = unlimited steps
+	stage      string
+	start      time.Time
+	deadline   time.Time // zero = none
+	budget     time.Duration
+	sinceCheck int64
+	err        *raerr.BudgetError
+}
+
+// NewMeter starts a meter for one run under l. Returns nil when l is not
+// Active, so callers can thread the result unconditionally.
+func NewMeter(l Limits) *Meter {
+	if !l.Active() {
+		return nil
+	}
+	m := &Meter{limit: l.Steps, budget: l.Deadline, start: time.Now()}
+	if l.Deadline > 0 {
+		m.deadline = m.start.Add(l.Deadline)
+	}
+	return m
+}
+
+// Rung derives a fresh meter for one degradation rung: its own step
+// allowance, the same absolute wall-clock deadline. The rung's charges are
+// folded back into the parent's Spent total (the parent is already
+// exceeded; only accounting continues).
+func (m *Meter) Rung(steps int64) *Meter {
+	if m == nil {
+		return nil
+	}
+	r := &Meter{limit: steps, start: m.start, deadline: m.deadline, budget: m.budget}
+	if !m.deadline.IsZero() && !time.Now().Before(m.deadline) {
+		r.trip() // deadline already blown: the rung must not start real work
+	}
+	return r
+}
+
+// SetStage labels subsequent charges with the pipeline stage (used in the
+// typed error and the degradation reason).
+func (m *Meter) SetStage(stage string) {
+	if m != nil {
+		m.stage = stage
+	}
+}
+
+// Stage returns the current stage label ("" on a nil meter).
+func (m *Meter) Stage() string {
+	if m == nil {
+		return ""
+	}
+	return m.stage
+}
+
+// Charge consumes n work steps and reports whether the run may continue.
+// Once it has returned false it keeps returning false; callers are
+// expected to unwind promptly but may keep calling it harmlessly.
+func (m *Meter) Charge(n int) bool {
+	if m == nil {
+		return true
+	}
+	m.spent += int64(n)
+	if m.err != nil {
+		return false
+	}
+	if m.limit > 0 && m.spent > m.limit {
+		m.trip()
+		return false
+	}
+	if !m.deadline.IsZero() {
+		m.sinceCheck += int64(n)
+		if m.sinceCheck >= clockCheckInterval {
+			m.sinceCheck = 0
+			if !time.Now().Before(m.deadline) {
+				m.trip()
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckNow forces a wall-clock check regardless of the amortization
+// counter — stage boundaries call it so un-metered stages (the explicit
+// graph path, an external allocator) cannot overshoot the deadline
+// unnoticed for long. It reports whether the run may continue.
+func (m *Meter) CheckNow() bool {
+	if m == nil {
+		return true
+	}
+	if m.err != nil {
+		return false
+	}
+	if !m.deadline.IsZero() && !time.Now().Before(m.deadline) {
+		m.trip()
+		return false
+	}
+	return true
+}
+
+func (m *Meter) trip() {
+	if m.err != nil {
+		return
+	}
+	m.err = &raerr.BudgetError{
+		Stage:    m.stage,
+		Spent:    m.spent,
+		Limit:    m.limit,
+		Elapsed:  time.Since(m.start),
+		Deadline: m.budget,
+	}
+}
+
+// Exceeded reports whether the meter has tripped.
+func (m *Meter) Exceeded() bool { return m != nil && m.err != nil }
+
+// Err returns the typed *raerr.BudgetError of a tripped meter, or nil.
+// The concrete type is returned as an error interface only when non-nil,
+// so `if err := m.Err(); err != nil` behaves.
+func (m *Meter) Err() error {
+	if m == nil || m.err == nil {
+		return nil
+	}
+	return m.err
+}
+
+// BudgetErr returns the typed error of a tripped meter, or nil.
+func (m *Meter) BudgetErr() *raerr.BudgetError {
+	if m == nil {
+		return nil
+	}
+	return m.err
+}
+
+// Spent returns the work steps charged so far.
+func (m *Meter) Spent() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.spent
+}
+
+// AddSpent folds a rung meter's accounting back into the parent.
+func (m *Meter) AddSpent(n int64) {
+	if m != nil {
+		m.spent += n
+	}
+}

@@ -1,0 +1,137 @@
+package budget
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/raerr"
+)
+
+func TestNilMeterIsFree(t *testing.T) {
+	var m *Meter
+	if !m.Charge(1 << 30) {
+		t.Fatal("nil meter refused a charge")
+	}
+	if m.Exceeded() || m.Err() != nil || m.Spent() != 0 || !m.CheckNow() {
+		t.Fatal("nil meter reports state")
+	}
+	m.SetStage("x") // must not panic
+}
+
+func TestInactiveLimitsYieldNilMeter(t *testing.T) {
+	if m := NewMeter(Limits{}); m != nil {
+		t.Fatalf("NewMeter(zero) = %v, want nil", m)
+	}
+	if (Limits{}).Active() {
+		t.Fatal("zero Limits is Active")
+	}
+	for _, l := range []Limits{{Steps: 1}, {Deadline: time.Second}, {MaxValues: 1}, {MaxBlocks: 1}} {
+		if !l.Active() {
+			t.Fatalf("%+v not Active", l)
+		}
+	}
+}
+
+func TestStepBudgetTrips(t *testing.T) {
+	m := NewMeter(Limits{Steps: 100})
+	m.SetStage(raerr.StageLiveness)
+	if !m.Charge(100) {
+		t.Fatal("charge at the limit tripped")
+	}
+	if m.Charge(1) {
+		t.Fatal("charge over the limit passed")
+	}
+	if !m.Exceeded() {
+		t.Fatal("not Exceeded after trip")
+	}
+	err := m.Err()
+	if !errors.Is(err, raerr.ErrBudgetExceeded) {
+		t.Fatalf("Err() = %v, want ErrBudgetExceeded", err)
+	}
+	var be *raerr.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("Err() = %T, want *raerr.BudgetError", err)
+	}
+	if be.Stage != raerr.StageLiveness || be.Spent != 101 || be.Limit != 100 {
+		t.Fatalf("BudgetError = %+v", be)
+	}
+	// Further charges stay refused but keep accounting.
+	if m.Charge(7) {
+		t.Fatal("charge after trip passed")
+	}
+	if m.Spent() != 108 {
+		t.Fatalf("Spent = %d, want 108", m.Spent())
+	}
+}
+
+func TestDeadlineTrips(t *testing.T) {
+	m := NewMeter(Limits{Deadline: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	// Amortized: below the check interval the clock is not read...
+	if !m.Charge(1) {
+		t.Fatal("first tiny charge read the clock")
+	}
+	// ...but a forced check sees the blown deadline.
+	if m.CheckNow() {
+		t.Fatal("CheckNow ignored the blown deadline")
+	}
+	var be *raerr.BudgetError
+	if !errors.As(m.Err(), &be) || be.Deadline != time.Nanosecond {
+		t.Fatalf("Err() = %v", m.Err())
+	}
+	// And enough charged steps also read the clock.
+	m2 := NewMeter(Limits{Deadline: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	if m2.Charge(clockCheckInterval) {
+		t.Fatal("amortized clock check missed the blown deadline")
+	}
+}
+
+func TestAdmit(t *testing.T) {
+	l := Limits{MaxValues: 10, MaxBlocks: 5}
+	if err := l.Admit(10, 5); err != nil {
+		t.Fatalf("Admit at the bound: %v", err)
+	}
+	err := l.Admit(11, 1)
+	if err == nil || err.Stage != raerr.StageAdmission {
+		t.Fatalf("Admit(11 values) = %v", err)
+	}
+	if !errors.Is(err, raerr.ErrBudgetExceeded) {
+		t.Fatalf("admission error does not wrap ErrBudgetExceeded: %v", err)
+	}
+	if err := l.Admit(1, 6); err == nil {
+		t.Fatal("Admit(6 blocks) passed")
+	}
+	if err := (Limits{Steps: 5}).Admit(1<<20, 1<<20); err != nil {
+		t.Fatalf("Admit without size gates rejected: %v", err)
+	}
+}
+
+func TestRungMeter(t *testing.T) {
+	m := NewMeter(Limits{Steps: 10})
+	m.SetStage(raerr.StageAllocate)
+	m.Charge(11)
+	if !m.Exceeded() {
+		t.Fatal("parent not exceeded")
+	}
+	r := m.Rung(1000)
+	if r.Exceeded() {
+		t.Fatal("rung inherited the parent's step trip")
+	}
+	if !r.Charge(1000) || r.Charge(1) {
+		t.Fatal("rung step allowance wrong")
+	}
+	m.AddSpent(r.Spent())
+	if m.Spent() != 11+1001 {
+		t.Fatalf("folded Spent = %d", m.Spent())
+	}
+
+	// A rung derived after the deadline has passed must refuse all work.
+	dm := NewMeter(Limits{Deadline: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	dr := dm.Rung(1000)
+	if dr.Charge(1) {
+		t.Fatal("post-deadline rung accepted work")
+	}
+}

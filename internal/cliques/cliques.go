@@ -33,6 +33,7 @@ package cliques
 
 import (
 	"repro/internal/bitset"
+	"repro/internal/budget"
 	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/liveness"
@@ -184,7 +185,21 @@ func NewScratch() *Scratch { return &Scratch{intern: bitset.NewInterner(64)} }
 // nil on most non-applicable inputs, but Applicable is the documented
 // contract).
 func Derive(info *liveness.Info, dom *ir.Dominance, scratch *Scratch) *Structure {
-	return derive(info, dom, nil, scratch)
+	return derive(info, dom, nil, scratch, nil)
+}
+
+// DeriveBudget is Derive under a resource budget: each derivation phase
+// (vertex numbering, live-set interning, elimination order, membership
+// index) charges its input size before running. The return pair
+// distinguishes the two ways of coming back empty: (nil, error) when the
+// budget tripped mid-derivation, (nil, nil) when a structural assumption
+// failed and the caller should fall back to the explicit-graph path.
+func DeriveBudget(info *liveness.Info, dom *ir.Dominance, scratch *Scratch, m *budget.Meter) (*Structure, error) {
+	s := derive(info, dom, nil, scratch, m)
+	if s == nil && m.Exceeded() {
+		return nil, m.Err()
+	}
+	return s, nil
 }
 
 // DeriveSubset builds the clique structure of the subgraph induced by the
@@ -199,10 +214,10 @@ func DeriveSubset(info *liveness.Info, dom *ir.Dominance, include []bool, scratc
 	if include == nil {
 		panic("cliques: DeriveSubset requires an include mask")
 	}
-	return derive(info, dom, include, scratch)
+	return derive(info, dom, include, scratch, nil)
 }
 
-func derive(info *liveness.Info, dom *ir.Dominance, include []bool, scratch *Scratch) *Structure {
+func derive(info *liveness.Info, dom *ir.Dominance, include []bool, scratch *Scratch, meter *budget.Meter) *Structure {
 	if scratch == nil {
 		scratch = NewScratch()
 	}
@@ -213,6 +228,10 @@ func derive(info *liveness.Info, dom *ir.Dominance, include []bool, scratch *Scr
 	f := info.F
 	nv := f.NumValues
 	s := &Structure{F: f, MaxLive: info.MaxLive}
+
+	if !meter.Charge(nv + len(info.Points)) {
+		return nil // budget tripped before vertex numbering
+	}
 
 	// Vertex numbering: every value that is defined, used, or live anywhere,
 	// ascending — byte-identical to the ifg.Build numbering. In subset mode,
@@ -252,6 +271,9 @@ func derive(info *liveness.Info, dom *ir.Dominance, include []bool, scratch *Scr
 
 	// Intern the program-point live sets (translated to vertex IDs) and
 	// remember, per point, which interned set it maps to.
+	if !meter.Charge(len(info.Points)) {
+		return nil
+	}
 	pointSet := arena.Ints(len(info.Points))
 	pointSet = pointSet[:len(info.Points)]
 	intern := scratch.intern
@@ -293,6 +315,9 @@ func derive(info *liveness.Info, dom *ir.Dominance, include []bool, scratch *Scr
 	// PEO: reverse definition order along a dominance-tree preorder. In
 	// subset mode, defs of excluded values are simply skipped (the caller
 	// established the full structure first).
+	if !meter.Charge(n) {
+		return nil
+	}
 	s.PEO = dominancePEOMode(f, dom, s.VertexOf, n, include != nil, arena)
 	if s.PEO == nil {
 		return nil
@@ -304,6 +329,9 @@ func derive(info *liveness.Info, dom *ir.Dominance, include []bool, scratch *Scr
 	total := 0
 	for _, set := range interned {
 		total += len(set)
+	}
+	if !meter.Charge(n + total) {
+		return nil
 	}
 	slab := make([]int, 0, total)
 	s.Sets = make([][]int, len(interned))

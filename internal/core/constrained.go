@@ -9,6 +9,7 @@ import (
 	"repro/internal/alloc/layered"
 	"repro/internal/alloc/linearscan"
 	"repro/internal/arch"
+	"repro/internal/budget"
 	"repro/internal/cliques"
 	"repro/internal/ir"
 	"repro/internal/liveness"
@@ -77,14 +78,34 @@ func runConstrained(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 		return nil, &raerr.FuncError{Func: f.Name, Stage: "constrain", Err: err}
 	}
 
+	// Budget governance. The constrained ladder has no linear-scan rung —
+	// the interval scan is blind to pins and clobbers — so a trip anywhere
+	// degrades straight to the spill-all floor, which is trivially legal
+	// here too (the normal path already force-spills pinned values when
+	// their constraints admit no register).
+	m := budget.NewMeter(cfg.Budget)
+	if be := cfg.Budget.Admit(f.NumValues, len(f.Blocks)); be != nil {
+		if !cfg.Degrade {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: "admission", Err: be}
+		}
+		return spillAll(f, cfg, dom, nil, m, be)
+	}
+
 	f.ComputeLoops(dom)
+	m.SetStage(raerr.StageLiveness)
 	var info *liveness.Info
 	var csScratch *cliques.Scratch
 	if runner != nil {
-		info = runner.live.Compute(f)
+		info, err = runner.live.ComputeBudget(f, m)
 		csScratch = runner.cs
 	} else {
-		info = liveness.Compute(f)
+		info, err = liveness.ComputeBudget(f, m)
+	}
+	if err != nil {
+		if !cfg.Degrade {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: raerr.StageLiveness, Err: err}
+		}
+		return spillAll(f, cfg, dom, nil, m, m.BudgetErr())
 	}
 	var costs []float64
 	if runner != nil {
@@ -94,7 +115,14 @@ func runConstrained(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 		costs = spillcost.Costs(f, cfg.CostModel)
 	}
 
-	cs := cliques.Derive(info, dom, csScratch)
+	m.SetStage(raerr.StageCliques)
+	cs, derr := cliques.DeriveBudget(info, dom, csScratch, m)
+	if derr != nil {
+		if !cfg.Degrade {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: raerr.StageCliques, Err: derr}
+		}
+		return spillAll(f, cfg, dom, info, m, m.BudgetErr())
+	}
 	if cs == nil {
 		return nil, &raerr.FuncError{Func: f.Name, Stage: "constrain",
 			Err: fmt.Errorf("%w: clique-structure derivation failed", raerr.ErrNotSSA)}
@@ -220,9 +248,18 @@ func runConstrained(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 	}
 	allocatedVals := make([]bool, nv)
 	include := make([]bool, nv)
+	m.SetStage(raerr.StageAllocate)
 	for c := ir.Class(0); c < ir.NumClasses; c++ {
 		if caps[c] == 0 {
 			continue // compat check: no value has this class
+		}
+		// One charge per class pass covers the include-mask sweep and the
+		// subset derivation; the allocator itself charges per layer.
+		if !m.Charge(nv) {
+			if !cfg.Degrade {
+				return nil, &raerr.FuncError{Func: f.Name, Stage: raerr.StageAllocate, Err: m.Err()}
+			}
+			return spillAll(f, cfg, dom, info, m, m.BudgetErr())
 		}
 		any := false
 		for v := range include {
@@ -240,7 +277,9 @@ func runConstrained(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 		}
 		p := alloc.BuildProblem(alloc.Spec{Cliques: sub, Costs: costs, R: caps[c]})
 		p.Intervals = linearscan.IntervalsFromLiveness(info, sub.VertexOf, sub.N)
+		p.Meter = m
 		res := a.Allocate(p)
+		p.Meter = nil
 		if res == nil || len(res.Allocated) != p.N() {
 			got := -1
 			if res != nil {
@@ -261,12 +300,27 @@ func runConstrained(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 			}
 		}
 	}
+	if m.Exceeded() || !m.CheckNow() {
+		if !cfg.Degrade {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: raerr.StageAllocate, Err: m.Err()}
+		}
+		return spillAll(f, cfg, dom, info, m, m.BudgetErr())
+	}
 
 	// Assignment with the force-spill retry loop, before the Outcome's spill
 	// bookkeeping (a retry shrinks the allocated set).
 	var regOf []int
 	if !cfg.SkipRewrite {
+		m.SetStage(raerr.StageAssign)
 		for tries := 0; ; tries++ {
+			// The constrained assigner is not internally metered; one charge
+			// per attempt bounds the O(V) force-spill retry loop.
+			if !m.Charge(nv) {
+				if !cfg.Degrade {
+					return nil, &raerr.FuncError{Func: f.Name, Stage: raerr.StageAssign, Err: m.Err()}
+				}
+				return spillAll(f, cfg, dom, info, m, m.BudgetErr())
+			}
 			r, failVal, aerr := regassign.AssignConstrained(f, dom, info, allocatedVals, caps, pins, forbid)
 			if aerr == nil {
 				regOf = r
@@ -335,6 +389,7 @@ func runConstrained(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 			}
 		}
 	}
+	out.BudgetSpent = m.Spent()
 	return out, nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"repro/internal/alloc/linearscan"
 	"repro/internal/alloc/optimal"
 	"repro/internal/arch"
+	"repro/internal/budget"
 	"repro/internal/cliques"
 	"repro/internal/ifg"
 	"repro/internal/ir"
@@ -72,6 +73,46 @@ type Config struct {
 	// and values live across clobbering calls avoid (or spill around) the
 	// caller-saved registers. Requires strict SSA; see runConstrained.
 	Constraints *arch.Constraints
+	// Budget, when Active, bounds the run's resources: a wall-clock
+	// deadline, a work-step budget charged cooperatively at analysis
+	// granularity inside the hot loops, and a max-values/max-blocks
+	// admission gate checked before any analysis runs. Enforcement is
+	// cooperative — the metered stages (liveness, clique derivation,
+	// layered/linear-scan allocation, assignment) stop at the next charge
+	// point; an allocator that ignores Problem.Meter is only caught by the
+	// wall-clock checks at stage boundaries.
+	Budget budget.Limits
+	// Degrade converts a budget trip into a degraded-but-correct Outcome
+	// instead of an error: the run falls down the ladder
+	// layered → linear-scan → spill-all (each rung cheaper and itself
+	// budget-checked; the spill-all floor is O(V) and never fails), and the
+	// Outcome records the rung and reason in Degraded. With Degrade false a
+	// trip surfaces as a *raerr.FuncError wrapping *raerr.BudgetError.
+	Degrade bool
+}
+
+// Rung labels of the degradation ladder, recorded in Degradation.Rung.
+const (
+	// RungLinearScan: the configured allocator ran out of budget during
+	// allocation or assignment; the result was recomputed by the DLS linear
+	// scan under a fresh (small) step allowance.
+	RungLinearScan = "linear-scan"
+	// RungSpillAll: the floor — every occurring value is spilled. Reached
+	// when the budget trips before the problem structure exists (admission,
+	// liveness, cliques) or when the linear-scan rung itself fails.
+	RungSpillAll = "spill-all"
+)
+
+// Degradation records how a budget-governed run fell down the ladder.
+type Degradation struct {
+	// Rung is the ladder rung that produced the outcome (RungLinearScan or
+	// RungSpillAll).
+	Rung string
+	// Stage is the pipeline stage whose budget trip forced the fall (one of
+	// the raerr.Stage* constants).
+	Stage string
+	// Reason is the budget violation that triggered the degradation.
+	Reason *raerr.BudgetError
 }
 
 // Outcome bundles everything a client may want from one allocation run.
@@ -100,6 +141,15 @@ type Outcome struct {
 	// Rewritten is the function with spill-everywhere code inserted; only
 	// set for SSA functions when SkipRewrite is off.
 	Rewritten *ir.Func
+	// Degraded, when non-nil, records that the run exceeded its budget and
+	// fell down the degradation ladder; the outcome is correct but of lower
+	// spill quality than the configured allocator would have produced.
+	// Degraded outcomes must not be cached (the trip point depends on
+	// wall-clock time).
+	Degraded *Degradation
+	// BudgetSpent is the work-step total charged against the budget
+	// (0 when the run carried no budget).
+	BudgetSpent int64
 }
 
 // Runner executes the pipeline repeatedly, reusing the analysis scratch
@@ -164,12 +214,26 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 		return nil, &raerr.FuncError{Func: f.Name, Stage: "validate",
 			Err: fmt.Errorf("invalid input function: %w", err)}
 	}
+	m := budget.NewMeter(cfg.Budget)
+	if be := cfg.Budget.Admit(f.NumValues, len(f.Blocks)); be != nil {
+		if !cfg.Degrade {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: "admission", Err: be}
+		}
+		return spillAll(f, cfg, dom, nil, m, be)
+	}
 	f.ComputeLoops(dom)
+	m.SetStage(raerr.StageLiveness)
 	var info *liveness.Info
 	if runner != nil {
-		info = runner.live.Compute(f)
+		info, err = runner.live.ComputeBudget(f, m)
 	} else {
-		info = liveness.Compute(f)
+		info, err = liveness.ComputeBudget(f, m)
+	}
+	if err != nil {
+		if !cfg.Degrade {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: raerr.StageLiveness, Err: err}
+		}
+		return spillAll(f, cfg, dom, nil, m, m.BudgetErr())
 	}
 	var costs []float64
 	if runner != nil {
@@ -184,17 +248,32 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 	var build *ifg.Build
 	var cs *cliques.Structure
 	var p *alloc.Problem
+	m.SetStage(raerr.StageCliques)
 	if !cfg.LegacyIFG && cliques.Applicable(f, dom) {
 		var scratch *cliques.Scratch
 		if runner != nil {
 			scratch = runner.cs
 		}
-		cs = cliques.Derive(info, dom, scratch)
+		cs, err = cliques.DeriveBudget(info, dom, scratch, m)
+		if err != nil {
+			if !cfg.Degrade {
+				return nil, &raerr.FuncError{Func: f.Name, Stage: raerr.StageCliques, Err: err}
+			}
+			return spillAll(f, cfg, dom, info, m, m.BudgetErr())
+		}
 	}
 	if cs != nil {
 		p = alloc.BuildProblem(alloc.Spec{Cliques: cs, Costs: costs, R: cfg.Registers})
 		p.Intervals = linearscan.IntervalsFromLiveness(info, cs.VertexOf, cs.N)
 	} else {
+		// The explicit-graph build has no internal metering; the stage
+		// boundary's forced clock check keeps a deadline honest here.
+		if !m.CheckNow() {
+			if !cfg.Degrade {
+				return nil, &raerr.FuncError{Func: f.Name, Stage: raerr.StageCliques, Err: m.Err()}
+			}
+			return spillAll(f, cfg, dom, info, m, m.BudgetErr())
+		}
 		build = ifg.FromLiveness(info)
 		p = alloc.BuildProblem(alloc.Spec{Build: build, Costs: costs, R: cfg.Registers, Dom: dom})
 		p.Intervals = linearscan.BuildIntervals(info, build)
@@ -218,7 +297,18 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 			Err: fmt.Errorf("%w: allocator %s requires a chordal (strict-SSA) instance",
 				raerr.ErrNotSSA, a.Name())}
 	}
+	// Structural preconditions (chordality, intervals, option sanity) are
+	// checked up front so a malformed problem surfaces as a typed error
+	// instead of a panic from inside the algorithm.
+	if c, ok := a.(alloc.ProblemChecker); ok {
+		if err := c.CheckProblem(p); err != nil {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: "allocate", Err: err}
+		}
+	}
+	m.SetStage(raerr.StageAllocate)
+	p.Meter = m
 	res := a.Allocate(p)
+	p.Meter = nil
 	// A structurally malformed result (custom allocators) is a contract
 	// violation, not a pressure failure — keep the taxonomy honest.
 	if res == nil || len(res.Allocated) != p.N() {
@@ -235,7 +325,32 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 			Err: fmt.Errorf("%w: allocator %s returned an invalid allocation: %w",
 				raerr.ErrPressureUnsatisfiable, a.Name(), err)}
 	}
+	// A metered allocator stopped at a charge boundary (its partial result
+	// is valid but incomplete); an un-metered one is caught by the clock.
+	if m.Exceeded() || !m.CheckNow() {
+		if !cfg.Degrade {
+			return nil, &raerr.FuncError{Func: f.Name, Stage: raerr.StageAllocate, Err: m.Err()}
+		}
+		return linearScanRung(f, cfg, runner, dom, info, build, cs, p, m)
+	}
 
+	out := outcomeFrom(f, build, cs, p, res)
+	if !cfg.SkipRewrite && f.SSA && p.Chordal {
+		m.SetStage(raerr.StageAssign)
+		if ferr := assignAndRewrite(out, f, cfg, dom, info, runner, m); ferr != nil {
+			if m.Exceeded() && cfg.Degrade {
+				return linearScanRung(f, cfg, runner, dom, info, build, cs, p, m)
+			}
+			return nil, ferr
+		}
+	}
+	out.BudgetSpent = m.Spent()
+	return out, nil
+}
+
+// outcomeFrom assembles the Outcome common to every ladder rung: problem,
+// result, vertex maps, spilled-value list and spill cost.
+func outcomeFrom(f *ir.Func, build *ifg.Build, cs *cliques.Structure, p *alloc.Problem, res *alloc.Result) *Outcome {
 	out := &Outcome{
 		F:         f,
 		Build:     build,
@@ -266,51 +381,180 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 			}
 		}
 	}
+	return out
+}
 
+// assignAndRewrite runs tree-scan assignment, assignment verification and
+// spill-code insertion for an SSA chordal outcome, charging the given meter
+// (the run meter, or a rung sub-meter). On failure the returned error is a
+// ready-to-surface *raerr.FuncError; a budget trip is detectable on the
+// meter itself.
+func assignAndRewrite(out *Outcome, f *ir.Func, cfg Config, dom *ir.Dominance, info *liveness.Info, runner *Runner, meter *budget.Meter) error {
+	res := out.Result
+	var allocatedVals, spilledVals []bool
+	if runner != nil {
+		runner.allocatedVals = resizeFlags(runner.allocatedVals, f.NumValues)
+		runner.spilledVals = resizeFlags(runner.spilledVals, f.NumValues)
+		allocatedVals, spilledVals = runner.allocatedVals, runner.spilledVals
+	} else {
+		allocatedVals = make([]bool, f.NumValues)
+		spilledVals = make([]bool, f.NumValues)
+	}
+	for vx, al := range res.Allocated {
+		if al {
+			allocatedVals[out.ValueOf[vx]] = true
+		}
+	}
+	var ra *regassign.Scratch
+	if runner != nil {
+		ra = runner.ra
+	}
+	regOf, err := regassign.AssignBudget(f, dom, info, allocatedVals, cfg.Registers, ra, meter)
+	if err != nil {
+		if meter.Exceeded() {
+			return &raerr.FuncError{Func: f.Name, Stage: raerr.StageAssign, Err: err}
+		}
+		return &raerr.FuncError{Func: f.Name, Stage: "assign",
+			Err: fmt.Errorf("%w: assignment after allocation failed: %w",
+				raerr.ErrPressureUnsatisfiable, err)}
+	}
+	if err := regassign.VerifyAssignment(info, allocatedVals, regOf); err != nil {
+		return &raerr.FuncError{Func: f.Name, Stage: "assign",
+			Err: fmt.Errorf("assignment verification failed: %w", err)}
+	}
+	out.RegisterOf = regOf
+	for _, v := range out.SpilledValues {
+		spilledVals[v] = true
+	}
+	out.Rewritten = regassign.InsertSpillCode(f, spilledVals)
+	if len(out.SpilledValues) > 0 {
+		// With no spills the rewrite is a plain clone of the function
+		// validated above; re-validating it would just recompute
+		// dominance for nothing.
+		if err := out.Rewritten.Validate(); err != nil {
+			return &raerr.FuncError{Func: f.Name, Stage: "rewrite",
+				Err: fmt.Errorf("spill-code rewrite broke the function: %w", err)}
+		}
+	}
+	return nil
+}
+
+// linearScanRung is the middle rung of the degradation ladder: the
+// configured allocator ran out of budget during allocation or assignment,
+// so the allocation is redone by the DLS linear scan under a fresh, small
+// step allowance (the scan is O(n log n); the allowance only matters when
+// the shared wall-clock deadline is already near). Any failure inside the
+// rung — no intervals to scan, an invalid result, an assignment trip —
+// falls through to the spill-all floor.
+func linearScanRung(f *ir.Func, cfg Config, runner *Runner, dom *ir.Dominance, info *liveness.Info, build *ifg.Build, cs *cliques.Structure, p *alloc.Problem, m *budget.Meter) (*Outcome, error) {
+	trip := m.BudgetErr()
+	if p.Intervals == nil {
+		return spillAll(f, cfg, dom, info, m, trip)
+	}
+	rm := m.Rung(32*int64(p.N()) + 1024)
+	rm.SetStage(raerr.StageAllocate)
+	p.Meter = rm
+	res := linearscan.DLS().Allocate(p)
+	p.Meter = nil
+	if err := p.Validate(res); err != nil {
+		m.AddSpent(rm.Spent())
+		return spillAll(f, cfg, dom, info, m, trip)
+	}
+	out := outcomeFrom(f, build, cs, p, res)
+	out.Degraded = &Degradation{Rung: RungLinearScan, Stage: trip.Stage, Reason: trip}
 	if !cfg.SkipRewrite && f.SSA && p.Chordal {
-		var allocatedVals, spilledVals []bool
-		if runner != nil {
-			runner.allocatedVals = resizeFlags(runner.allocatedVals, f.NumValues)
-			runner.spilledVals = resizeFlags(runner.spilledVals, f.NumValues)
-			allocatedVals, spilledVals = runner.allocatedVals, runner.spilledVals
-		} else {
-			allocatedVals = make([]bool, f.NumValues)
-			spilledVals = make([]bool, f.NumValues)
+		rm.SetStage(raerr.StageAssign)
+		if ferr := assignAndRewrite(out, f, cfg, dom, info, runner, rm); ferr != nil {
+			m.AddSpent(rm.Spent())
+			return spillAll(f, cfg, dom, info, m, trip)
 		}
-		for vx, al := range res.Allocated {
-			if al {
-				allocatedVals[out.ValueOf[vx]] = true
+	}
+	m.AddSpent(rm.Spent())
+	out.BudgetSpent = m.Spent()
+	return out, nil
+}
+
+// spillAll is the floor of the degradation ladder: every value occurring in
+// reachable code is spilled. It needs no liveness, no interference
+// structure and no assignment — O(V) work — so it succeeds under any
+// budget; the trip that forced the fall is recorded in Degraded. info may
+// be nil (an admission or liveness trip happens before liveness exists), in
+// which case MaxLive is reported as 0.
+func spillAll(f *ir.Func, cfg Config, dom *ir.Dominance, info *liveness.Info, m *budget.Meter, trip *raerr.BudgetError) (*Outcome, error) {
+	nv := f.NumValues
+	occurs := make([]bool, nv)
+	mark := func(v int) {
+		if v >= 0 && v < nv {
+			occurs[v] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		if dom.Order[b.ID] < 0 {
+			continue // unreachable code contributes no problem values
+		}
+		for _, ins := range b.Instrs {
+			if ins.Op.HasDef() && ins.Def != ir.NoValue {
+				mark(ins.Def)
 			}
-		}
-		var ra *regassign.Scratch
-		if runner != nil {
-			ra = runner.ra
-		}
-		regOf, err := regassign.AssignWith(f, dom, info, allocatedVals, cfg.Registers, ra)
-		if err != nil {
-			return nil, &raerr.FuncError{Func: f.Name, Stage: "assign",
-				Err: fmt.Errorf("%w: assignment after allocation failed: %w",
-					raerr.ErrPressureUnsatisfiable, err)}
-		}
-		if err := regassign.VerifyAssignment(info, allocatedVals, regOf); err != nil {
-			return nil, &raerr.FuncError{Func: f.Name, Stage: "assign",
-				Err: fmt.Errorf("assignment verification failed: %w", err)}
-		}
-		out.RegisterOf = regOf
-		for _, v := range out.SpilledValues {
-			spilledVals[v] = true
-		}
-		out.Rewritten = regassign.InsertSpillCode(f, spilledVals)
-		if len(out.SpilledValues) > 0 {
-			// With no spills the rewrite is a plain clone of the function
-			// validated above; re-validating it would just recompute
-			// dominance for nothing.
-			if err := out.Rewritten.Validate(); err != nil {
-				return nil, &raerr.FuncError{Func: f.Name, Stage: "rewrite",
-					Err: fmt.Errorf("spill-code rewrite broke the function: %w", err)}
+			for _, u := range ins.Uses {
+				mark(u)
 			}
 		}
 	}
+	// Dense vertex numbering ascending by value ID — the same ordering the
+	// analysis paths use, so vertex↔value maps stay interchangeable.
+	vertexOf := make([]int, nv)
+	for i := range vertexOf {
+		vertexOf[i] = -1
+	}
+	valueOf := make([]int, 0, nv)
+	for v := 0; v < nv; v++ {
+		if occurs[v] {
+			vertexOf[v] = len(valueOf)
+			valueOf = append(valueOf, v)
+		}
+	}
+	f.ComputeLoops(dom)
+	costs := spillcost.Costs(f, cfg.CostModel)
+	w := make([]float64, len(valueOf))
+	for vx, val := range valueOf {
+		w[vx] = costs[val]
+	}
+	// A literal Problem: no live sets means Validate is trivially satisfied,
+	// which is exact — with nothing allocated, no pressure constraint can
+	// bind.
+	p := &alloc.Problem{R: cfg.Registers, Weight: w, Name: f.Name}
+	res := &alloc.Result{Allocated: make([]bool, len(valueOf)), Allocator: "spill-all"}
+	out := &Outcome{
+		F:             f,
+		Problem:       p,
+		Result:        res,
+		VertexOf:      vertexOf,
+		ValueOf:       valueOf,
+		SpilledValues: append([]int(nil), valueOf...),
+		SpillCost:     res.SpillCost(p),
+	}
+	if info != nil {
+		out.MaxLive = info.MaxLive
+	}
+	if trip != nil {
+		out.Degraded = &Degradation{Rung: RungSpillAll, Stage: trip.Stage, Reason: trip}
+	}
+	if !cfg.SkipRewrite && f.SSA {
+		regOf := make([]int, nv)
+		for i := range regOf {
+			regOf[i] = regassign.NoReg
+		}
+		out.RegisterOf = regOf
+		out.Rewritten = regassign.InsertSpillCode(f, occurs)
+		if len(valueOf) > 0 {
+			if err := out.Rewritten.Validate(); err != nil {
+				return nil, &raerr.FuncError{Func: f.Name, Stage: "rewrite",
+					Err: fmt.Errorf("spill-all rewrite broke the function: %w", err)}
+			}
+		}
+	}
+	out.BudgetSpent = m.Spent()
 	return out, nil
 }
 

@@ -1,0 +1,192 @@
+// Package faultinject provides seeded, deterministic fault plans for chaos
+// testing the allocation pipeline and the allocation server. A Plan is a
+// precomputed schedule mapping operation index → fault kind, entirely
+// determined by (seed, length, mix): the same seed always yields the same
+// faults in the same order, so a chaos soak that finds a bug is replayable
+// from its seed alone.
+//
+// The package deliberately contains no injection mechanism of its own
+// beyond ChaosAllocator: faults are threaded through the hooks the system
+// already has — an allocator that panics or stalls (ChaosAllocator wraps
+// any registered allocator), mid-batch cancellation via context, forced
+// cache misses via novel request bodies, and transient encode failures via
+// the server's test hook.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+)
+
+// Kind is one fault class.
+type Kind uint8
+
+const (
+	// None: the operation proceeds unfaulted.
+	None Kind = iota
+	// Panic: the allocator panics mid-function (the pipeline must convert
+	// it into a typed per-function error, never crash the batch).
+	Panic
+	// Stall: the allocator sleeps past the request deadline.
+	Stall
+	// EncodeError: the response encoder fails transiently.
+	EncodeError
+	// CacheMiss: the outcome cache is forced to miss (a novel body).
+	CacheMiss
+	// Cancel: the request (or batch) is canceled mid-flight.
+	Cancel
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"none", "panic", "stall", "encode-error", "cache-miss", "cancel"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Mix weighs the fault kinds of a plan. Weights are relative (they need not
+// sum to anything); a zero-weight kind never fires. The zero Mix is invalid
+// — use DefaultMix for a sensible chaos blend.
+type Mix struct {
+	None, Panic, Stall, EncodeError, CacheMiss, Cancel int
+}
+
+// DefaultMix keeps roughly half the operations healthy and spreads the rest
+// across every fault kind.
+func DefaultMix() Mix {
+	return Mix{None: 10, Panic: 2, Stall: 2, EncodeError: 2, CacheMiss: 2, Cancel: 2}
+}
+
+func (m Mix) weights() [numKinds]int {
+	return [numKinds]int{m.None, m.Panic, m.Stall, m.EncodeError, m.CacheMiss, m.Cancel}
+}
+
+// Plan is a precomputed fault schedule for n operations. Immutable after
+// NewPlan and safe for concurrent use.
+type Plan struct {
+	faults []Kind
+	counts [numKinds]int
+}
+
+// NewPlan builds the deterministic schedule for (seed, n, mix): operation i
+// gets fault At(i), drawn by weighted choice from mix. It panics when every
+// weight is zero or any is negative — a test-configuration bug, not a
+// runtime condition.
+func NewPlan(seed int64, n int, mix Mix) *Plan {
+	w := mix.weights()
+	total := 0
+	for _, v := range w {
+		if v < 0 {
+			panic(fmt.Sprintf("faultinject: negative weight in mix %+v", mix))
+		}
+		total += v
+	}
+	if total == 0 {
+		panic("faultinject: mix has no positive weight")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{faults: make([]Kind, n)}
+	for i := range p.faults {
+		pick := rng.Intn(total)
+		for k, v := range w {
+			if pick < v {
+				p.faults[i] = Kind(k)
+				p.counts[k]++
+				break
+			}
+			pick -= v
+		}
+	}
+	return p
+}
+
+// Len returns the number of scheduled operations.
+func (p *Plan) Len() int { return len(p.faults) }
+
+// At returns the fault of operation i; out-of-range indexes (and a nil
+// plan) are unfaulted.
+func (p *Plan) At(i int) Kind {
+	if p == nil || i < 0 || i >= len(p.faults) {
+		return None
+	}
+	return p.faults[i]
+}
+
+// Count returns how many operations of the plan carry fault k.
+func (p *Plan) Count(k Kind) int {
+	if p == nil || k >= numKinds {
+		return 0
+	}
+	return p.counts[k]
+}
+
+// Schedule is a concurrency-safe cursor over a plan: each Next call claims
+// the next operation index exactly once, so concurrent consumers (e.g. the
+// pool workers of a batch) split the plan without coordination.
+type Schedule struct {
+	plan *Plan
+	next atomic.Int64
+}
+
+// Schedule returns a fresh cursor over the plan.
+func (p *Plan) Schedule() *Schedule { return &Schedule{plan: p} }
+
+// Next claims and returns the next scheduled fault; operations beyond the
+// plan's length are unfaulted.
+func (s *Schedule) Next() Kind {
+	return s.plan.At(int(s.next.Add(1)) - 1)
+}
+
+// Claimed returns how many operations have been claimed so far.
+func (s *Schedule) Claimed() int { return int(s.next.Load()) }
+
+// ChaosAllocator wraps a delegate allocator and injects the schedule's
+// Panic and Stall faults at Allocate time (other kinds are no-ops here —
+// they are injected at other layers). Each pipeline worker should hold its
+// own ChaosAllocator instance (delegates keep per-run scratch), sharing one
+// Schedule so the plan is consumed exactly once across the pool.
+type ChaosAllocator struct {
+	name     string
+	delegate alloc.Allocator
+	sched    *Schedule
+	stall    time.Duration
+}
+
+// NewChaosAllocator wraps delegate under the given registry-style name.
+// stall is how long a Stall fault sleeps (pick it longer than the deadline
+// under test).
+func NewChaosAllocator(name string, delegate alloc.Allocator, sched *Schedule, stall time.Duration) *ChaosAllocator {
+	return &ChaosAllocator{name: name, delegate: delegate, sched: sched, stall: stall}
+}
+
+// Name implements alloc.Allocator.
+func (c *ChaosAllocator) Name() string { return c.name }
+
+// Allocate injects the next scheduled fault, then delegates.
+func (c *ChaosAllocator) Allocate(p *alloc.Problem) *alloc.Result {
+	switch c.sched.Next() {
+	case Panic:
+		panic(fmt.Sprintf("faultinject: planned panic in %s", c.name))
+	case Stall:
+		time.Sleep(c.stall)
+	}
+	return c.delegate.Allocate(p)
+}
+
+// CheckProblem forwards the structural gate of the delegate, when it has
+// one, so a chaos run rejects malformed problems with the same typed errors
+// as the real allocator.
+func (c *ChaosAllocator) CheckProblem(p *alloc.Problem) error {
+	if ck, ok := c.delegate.(alloc.ProblemChecker); ok {
+		return ck.CheckProblem(p)
+	}
+	return nil
+}

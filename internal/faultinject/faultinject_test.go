@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPlanDeterminism(t *testing.T) {
+	a := NewPlan(42, 500, DefaultMix())
+	b := NewPlan(42, 500, DefaultMix())
+	for i := 0; i < 500; i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("plans diverge at %d: %v vs %v", i, a.At(i), b.At(i))
+		}
+	}
+	c := NewPlan(43, 500, DefaultMix())
+	same := true
+	for i := 0; i < 500; i++ {
+		if a.At(i) != c.At(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestPlanCountsAndMix(t *testing.T) {
+	p := NewPlan(7, 1000, DefaultMix())
+	total := 0
+	for k := Kind(0); k < numKinds; k++ {
+		total += p.Count(k)
+	}
+	if total != 1000 {
+		t.Fatalf("counts sum to %d, want 1000", total)
+	}
+	for k := Panic; k < numKinds; k++ {
+		if p.Count(k) == 0 {
+			t.Fatalf("a default-mix plan of 1000 never drew %v", k)
+		}
+	}
+	// Zero-weight kinds never fire.
+	q := NewPlan(7, 1000, Mix{None: 1, Panic: 1})
+	for k := Stall; k < numKinds; k++ {
+		if q.Count(k) != 0 {
+			t.Fatalf("zero-weight kind %v fired %d times", k, q.Count(k))
+		}
+	}
+}
+
+func TestAtOutOfRange(t *testing.T) {
+	p := NewPlan(1, 3, DefaultMix())
+	if p.At(-1) != None || p.At(3) != None {
+		t.Fatal("out-of-range At is not None")
+	}
+	var nilPlan *Plan
+	if nilPlan.At(0) != None || nilPlan.Count(Panic) != 0 {
+		t.Fatal("nil plan is not unfaulted")
+	}
+}
+
+// TestScheduleClaimsEachIndexOnce drives a shared cursor from many
+// goroutines and checks the plan is consumed exactly once: the per-kind
+// tallies across all consumers must match the plan's own counts.
+func TestScheduleClaimsEachIndexOnce(t *testing.T) {
+	const n = 4000
+	p := NewPlan(99, n, DefaultMix())
+	s := p.Schedule()
+	const workers = 8
+	tallies := make([][numKinds]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n/workers; i++ {
+				tallies[w][s.Next()]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	var got [numKinds]int
+	for w := range tallies {
+		for k, c := range tallies[w] {
+			got[k] += c
+		}
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if got[k] != p.Count(k) {
+			t.Fatalf("kind %v claimed %d times, plan scheduled %d", k, got[k], p.Count(k))
+		}
+	}
+	if s.Claimed() != n {
+		t.Fatalf("claimed %d, want %d", s.Claimed(), n)
+	}
+}

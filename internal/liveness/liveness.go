@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/budget"
 	"repro/internal/ir"
 )
 
@@ -85,19 +86,40 @@ func NewScratch() *Scratch { return &Scratch{} }
 // Compute runs the analysis reusing s's backing memory. See the Scratch
 // lifetime contract.
 func (s *Scratch) Compute(f *ir.Func) *Info {
-	s.arena.Reset()
-	info := compute(f, &s.arena, s.points[:0])
-	s.points = info.Points
+	info, _ := s.ComputeBudget(f, nil)
 	return info
+}
+
+// ComputeBudget is Compute under a resource budget: each dataflow fixpoint
+// sweep charges the block count and each program-point block walk charges
+// its instruction count. On a budget trip it stops and returns (nil, the
+// meter's typed error); a nil meter never trips.
+func (s *Scratch) ComputeBudget(f *ir.Func, m *budget.Meter) (*Info, error) {
+	s.arena.Reset()
+	info := compute(f, &s.arena, s.points[:0], m)
+	if info == nil {
+		return nil, m.Err()
+	}
+	s.points = info.Points
+	return info, nil
 }
 
 // Compute runs the analysis with a private arena; the result does not alias
 // any shared memory and stays valid indefinitely.
 func Compute(f *ir.Func) *Info {
-	return compute(f, new(bitset.Arena), nil)
+	return compute(f, new(bitset.Arena), nil, nil)
 }
 
-func compute(f *ir.Func, arena *bitset.Arena, ptsBuf []Point) *Info {
+// ComputeBudget is the budget-governed form of the package-level Compute.
+func ComputeBudget(f *ir.Func, m *budget.Meter) (*Info, error) {
+	info := compute(f, new(bitset.Arena), nil, m)
+	if info == nil {
+		return nil, m.Err()
+	}
+	return info, nil
+}
+
+func compute(f *ir.Func, arena *bitset.Arena, ptsBuf []Point, meter *budget.Meter) *Info {
 	n := len(f.Blocks)
 	nv := f.NumValues
 	info := &Info{
@@ -153,6 +175,9 @@ func compute(f *ir.Func, arena *bitset.Arena, ptsBuf []Point) *Info {
 	// LiveOut(b) = ∪_{s∈succ(b)} (LiveIn(s) \ phiDef(s)) ∪ phiUse(s)[b].
 	tmp := arena.Set(nv)
 	for changed := true; changed; {
+		if !meter.Charge(n) {
+			return nil // budget tripped mid-fixpoint: no partial results
+		}
 		changed = false
 		for i := n - 1; i >= 0; i-- {
 			b := f.Blocks[i]
@@ -190,14 +215,17 @@ func compute(f *ir.Func, arena *bitset.Arena, ptsBuf []Point) *Info {
 		info.LiveOut[i] = liveOut[i].AppendTo(arena.Ints(liveOut[i].Count()))
 	}
 	info.Points = ptsBuf
-	info.computePoints(liveOut, arena)
+	if !info.computePoints(liveOut, arena, meter) {
+		return nil
+	}
 	return info
 }
 
 // computePoints walks each block backward from its live-out set, recording
 // the live set before every non-phi instruction plus the block-end point,
-// and the definition instant of every value (DefPointOf).
-func (info *Info) computePoints(liveOut []bitset.Set, arena *bitset.Arena) {
+// and the definition instant of every value (DefPointOf). It reports false
+// when the budget meter trips mid-walk.
+func (info *Info) computePoints(liveOut []bitset.Set, arena *bitset.Arena, meter *budget.Meter) bool {
 	f := info.F
 	nv := f.NumValues
 	live := arena.Set(nv)
@@ -211,6 +239,9 @@ func (info *Info) computePoints(liveOut []bitset.Set, arena *bitset.Arena) {
 	}
 	var phiBuf []int
 	for _, b := range f.Blocks {
+		if !meter.Charge(len(b.Instrs) + 1) {
+			return false
+		}
 		live.CopyFrom(liveOut[b.ID])
 		endPoint := Point{Block: b.ID, Index: len(b.Instrs), Live: snapshot()}
 		// Points of this block are appended to info.Points in reverse layout
@@ -301,6 +332,7 @@ func (info *Info) computePoints(liveOut []bitset.Set, arena *bitset.Arena) {
 			info.MaxLive = len(p.Live)
 		}
 	}
+	return true
 }
 
 // LiveSets returns the distinct live sets over all program points, each

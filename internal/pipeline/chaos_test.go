@@ -1,0 +1,215 @@
+package pipeline
+
+// Chaos tests for the batch pipeline: a seeded fault plan injects allocator
+// panics and mid-batch cancellations and the tests assert the streaming
+// contract holds — results arrive in module order exactly once, panicking
+// allocators become typed per-function errors instead of crashing the
+// batch, and a cancelled stream ends with an in-order prefix.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/faultinject"
+	"repro/internal/irgen"
+	"repro/internal/raerr"
+)
+
+// pipeSched is the fault schedule the registered chaos allocator reads at
+// construction time: each test stores its own schedule before running a
+// batch (the factory runs per worker, after the Store). Tests sharing it
+// must not run in parallel.
+var pipeSched atomic.Pointer[faultinject.Schedule]
+
+var registerPipeChaos sync.Once
+
+func ensurePipeChaos() {
+	registerPipeChaos.Do(func() {
+		alloc.MustRegisterAllocator("chaos-pipe", false, func() alloc.Allocator {
+			lh, err := alloc.NewByName("LH")
+			if err != nil {
+				panic(err)
+			}
+			return faultinject.NewChaosAllocator("chaos-pipe", lh, pipeSched.Load(), 0)
+		})
+	})
+}
+
+// TestStreamChaosPanics: under a seeded plan of allocator panics, the
+// stream still yields every result exactly once in module order; exactly
+// the planned number of functions fail, each with a typed *raerr.FuncError.
+func TestStreamChaosPanics(t *testing.T) {
+	ensurePipeChaos()
+	const n = 48
+	plan := faultinject.NewPlan(21, n, faultinject.Mix{None: 3, Panic: 1})
+	pipeSched.Store(plan.Schedule())
+	m := irgen.GenerateModule(606, n)
+
+	var streamed []FuncResult
+	err := RunModuleStream(context.Background(), m, Config{Registers: 3, Jobs: 4, Allocator: "chaos-pipe"}, func(r FuncResult) error {
+		streamed = append(streamed, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != n {
+		t.Fatalf("streamed %d results, want %d", len(streamed), n)
+	}
+	panicked := 0
+	for i, r := range streamed {
+		if r.Index != i {
+			t.Fatalf("stream out of order: position %d carries index %d", i, r.Index)
+		}
+		switch {
+		case r.Err != nil:
+			var fe *raerr.FuncError
+			if !errors.As(r.Err, &fe) {
+				t.Fatalf("function %s: panic surfaced as %T (%v), want *raerr.FuncError", r.Name, r.Err, r.Err)
+			}
+			if fe.Stage != "allocate" || fe.Func != r.Name {
+				t.Fatalf("typed panic error misattributed: %+v for function %s", fe, r.Name)
+			}
+			if !strings.Contains(fe.Err.Error(), "panicked") {
+				t.Fatalf("panic error lost its cause: %v", fe.Err)
+			}
+			panicked++
+		case r.Outcome == nil:
+			t.Fatalf("result %d has neither outcome nor error", i)
+		}
+	}
+	if want := plan.Count(faultinject.Panic); panicked != want {
+		t.Fatalf("%d functions panicked, plan scheduled %d", panicked, want)
+	}
+}
+
+// TestRunModulePanicTypedError: one planned panic fails exactly its
+// function with a typed error; the sibling functions of the batch complete
+// normally and the batch itself does not error.
+func TestRunModulePanicTypedError(t *testing.T) {
+	ensurePipeChaos()
+	// A single-operation plan with a single worker: the panic lands
+	// deterministically on the module's first function.
+	pipeSched.Store(faultinject.NewPlan(5, 1, faultinject.Mix{Panic: 1}).Schedule())
+	m := irgen.GenerateModule(909, 10)
+
+	results, err := RunModule(context.Background(), m, Config{Registers: 3, Jobs: 1, Allocator: "chaos-pipe"})
+	if err != nil {
+		t.Fatalf("a per-function panic aborted the batch: %v", err)
+	}
+	var fe *raerr.FuncError
+	if results[0].Err == nil || !errors.As(results[0].Err, &fe) {
+		t.Fatalf("first function's panic not converted to *raerr.FuncError: %v", results[0].Err)
+	}
+	if fe.Func != m.Funcs[0].Name || fe.Stage != "allocate" {
+		t.Fatalf("typed panic error misattributed: %+v", fe)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Err != nil || results[i].Outcome == nil {
+			t.Fatalf("sibling function %d harmed by the panic: %+v", i, results[i])
+		}
+	}
+}
+
+// rejectingAllocator always fails CheckProblem: it stands in for an
+// allocator whose structural precondition no input can meet (a malformed
+// problem), exercising the registry gate from the pipeline side.
+type rejectingAllocator struct{}
+
+func (rejectingAllocator) Name() string { return "chaos-reject" }
+func (rejectingAllocator) CheckProblem(p *alloc.Problem) error {
+	return fmt.Errorf("%w: injected structural rejection", raerr.ErrInvalidConfig)
+}
+func (rejectingAllocator) Allocate(p *alloc.Problem) *alloc.Result {
+	panic("chaos-reject: Allocate reached despite CheckProblem rejection")
+}
+
+var registerRejecting sync.Once
+
+// TestRunModuleMalformedProblemTypedError: a problem the allocator's
+// CheckProblem rejects surfaces as a typed per-function *raerr.FuncError
+// wrapping the gate's sentinel — the batch neither panics nor aborts, and
+// Allocate is never reached (the allocator's panic backstop stays silent).
+func TestRunModuleMalformedProblemTypedError(t *testing.T) {
+	registerRejecting.Do(func() {
+		alloc.MustRegisterAllocator("chaos-reject", false, func() alloc.Allocator {
+			return rejectingAllocator{}
+		})
+	})
+	const n = 8
+	m := irgen.GenerateModule(808, n)
+	results, err := RunModule(context.Background(), m, Config{Registers: 3, Jobs: 4, Allocator: "chaos-reject"})
+	if err != nil {
+		t.Fatalf("per-function structural rejections aborted the batch: %v", err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		var fe *raerr.FuncError
+		if r.Err == nil || !errors.As(r.Err, &fe) {
+			t.Fatalf("function %d: CheckProblem rejection surfaced as %T (%v), want *raerr.FuncError", i, r.Err, r.Err)
+		}
+		if fe.Stage != "allocate" || fe.Func != m.Funcs[i].Name {
+			t.Fatalf("typed rejection misattributed: %+v for function %s", fe, m.Funcs[i].Name)
+		}
+		if !errors.Is(r.Err, raerr.ErrInvalidConfig) {
+			t.Fatalf("function %d: error %v does not wrap raerr.ErrInvalidConfig", i, r.Err)
+		}
+	}
+}
+
+// TestStreamChaosMidBatchCancel: a cancellation landing mid-batch ends the
+// stream with an error wrapping raerr.ErrCanceled and an in-order,
+// error-free prefix of yielded results — computed-but-unyielded results
+// are dropped, never reordered, and canceled placeholders are not yielded.
+func TestStreamChaosMidBatchCancel(t *testing.T) {
+	const n = 30
+	m := irgen.GenerateModule(707, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := make(chan struct{}, n)
+	go func() {
+		<-seen
+		cancel()
+	}()
+	var streamed []FuncResult
+	// The hook parks every completing worker until the cancel lands, so
+	// the cut is deterministic (at most Jobs functions complete).
+	err := RunModuleStream(ctx, m, Config{Registers: 4, Jobs: 2, onFuncDone: func() {
+		select {
+		case seen <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+	}}, func(r FuncResult) error {
+		streamed = append(streamed, r)
+		return nil
+	})
+	if err == nil {
+		t.Skip("batch completed before cancellation (machine too fast for the race)")
+	}
+	if !errors.Is(err, raerr.ErrCanceled) {
+		t.Fatalf("stream error %v does not wrap raerr.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("stream error %v does not wrap context.Canceled", err)
+	}
+	if len(streamed) >= n {
+		t.Fatalf("cancelled stream yielded all %d results", len(streamed))
+	}
+	for i, r := range streamed {
+		if r.Index != i {
+			t.Fatalf("cancelled stream reordered: position %d carries index %d", i, r.Index)
+		}
+		if r.Err != nil {
+			t.Fatalf("cancelled stream yielded a failed result %d: %v", i, r.Err)
+		}
+	}
+}

@@ -82,7 +82,10 @@ func RunModuleIncremental(ctx context.Context, m *ir.Module, cfg Config, prev *R
 			i := changedIdx[j]
 			r.Index = i
 			results[i] = r
-			if r.Err == nil {
+			// Degraded outcomes are not carried into the revision: the trip
+			// point is budget- (and clock-) dependent, and the next run
+			// deserves a chance to allocate the function properly.
+			if r.Err == nil && r.Outcome.Degraded == nil {
 				if _, ok := next.entries[keys[i]]; !ok {
 					next.entries[keys[i]] = outcache.NewEntry(r.Outcome)
 				}

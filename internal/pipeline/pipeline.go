@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/arch"
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/fingerprint"
 	"repro/internal/ir"
@@ -61,6 +62,16 @@ type Config struct {
 	// caller (the regalloc Engine, which validates at construction time)
 	// guarantees the model is well-formed.
 	TrustedCostModel bool
+	// Budget, when Active, bounds every function's resources (wall-clock
+	// deadline, work-step budget, admission gate); see core.Config.Budget.
+	// The deadline is per function, not per batch.
+	Budget budget.Limits
+	// Degrade converts per-function budget trips into degraded-but-correct
+	// outcomes (FuncResult.Outcome.Degraded records the ladder rung) instead
+	// of per-function errors; see core.Config.Degrade. Degraded outcomes are
+	// never published to Cache — the trip point depends on wall-clock time,
+	// and a later, better-funded run must be able to replace them.
+	Degrade bool
 	// Cache, when non-nil, is consulted before each function runs and
 	// published to after each successful run: workers key it by the
 	// function's structural fingerprint folded with the allocation config,
@@ -272,7 +283,9 @@ func worker(ctx context.Context, m *ir.Module, cfg Config, results []FuncResult,
 		CostModel:   cfg.CostModel,
 		Constraints: cfg.Constraints,
 		SkipRewrite: cfg.SkipRewrite,
-		LegacyIFG: cfg.LegacyIFG,
+		LegacyIFG:   cfg.LegacyIFG,
+		Budget:      cfg.Budget,
+		Degrade:     cfg.Degrade,
 		// Either start validated the model for the whole batch, or the
 		// caller set Config.TrustedCostModel and owns that guarantee.
 		TrustedCostModel: true,
@@ -304,7 +317,7 @@ func worker(ctx context.Context, m *ir.Module, cfg Config, results []FuncResult,
 			} else {
 				out, err := RunFunc(runner, f, ccfg)
 				results[i] = FuncResult{Index: i, Name: f.Name, Outcome: out, Err: err}
-				if err == nil {
+				if err == nil && out.Degraded == nil {
 					cfg.Cache.Put(key, out)
 				}
 			}
@@ -368,6 +381,9 @@ func FormatResults(results []FuncResult, detail bool) string {
 		fmt.Fprintf(&b, "func %-16s alloc=%-5s values=%-4d maxlive=%-3d spilled=%-3d cost=%.1f/%.1f",
 			r.Name, out.Result.Allocator, out.Problem.N(), out.MaxLive,
 			len(out.SpilledValues), out.SpillCost, out.Problem.TotalWeight())
+		if out.Degraded != nil {
+			fmt.Fprintf(&b, " DEGRADED[%s@%s]", out.Degraded.Rung, out.Degraded.Stage)
+		}
 		if len(out.SpilledValues) > 0 {
 			names := make([]string, len(out.SpilledValues))
 			for k, v := range out.SpilledValues {
@@ -405,6 +421,9 @@ type Totals struct {
 	Errors    int
 	Spilled   int
 	SpillCost float64
+	// Degraded counts functions whose outcome fell down the degradation
+	// ladder (budget-governed runs with Config.Degrade).
+	Degraded int
 }
 
 // Summarize computes batch totals.
@@ -417,6 +436,9 @@ func Summarize(results []FuncResult) Totals {
 		}
 		t.Spilled += len(results[i].Outcome.SpilledValues)
 		t.SpillCost += results[i].Outcome.SpillCost
+		if results[i].Outcome.Degraded != nil {
+			t.Degraded++
+		}
 	}
 	return t
 }

@@ -5,7 +5,11 @@
 // client holds an error from the public API or from an internal layer.
 package raerr
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"time"
+)
 
 var (
 	// ErrInvalidConfig tags configuration errors: a register count below 1,
@@ -39,7 +43,59 @@ var (
 	// function may still be allocated machine-less, or under a machine that
 	// has the annotated resources.
 	ErrMachineMismatch = errors.New("regalloc: function annotations incompatible with the machine")
+
+	// ErrBudgetExceeded tags runs that exhausted their resource budget
+	// (wall-clock deadline, work-step budget, or admission gate). Errors
+	// carrying it are *BudgetError values recording the stage and the
+	// spend; with degradation enabled the pipeline converts the condition
+	// into a degraded-but-correct Outcome instead of an error.
+	ErrBudgetExceeded = errors.New("regalloc: resource budget exceeded")
 )
+
+// Budget stage labels reported by *BudgetError and degradation reasons.
+const (
+	StageAdmission = "admission" // size gate before any analysis
+	StageLiveness  = "liveness"  // dataflow fixpoint + program points
+	StageCliques   = "cliques"   // IFG-free clique-structure derivation
+	StageAllocate  = "allocate"  // the allocation algorithm proper
+	StageAssign    = "assign"    // tree-scan register assignment
+)
+
+// BudgetError is a resource-budget violation: which pipeline stage tripped
+// the meter, how much work was spent against what limit, and the elapsed
+// wall-clock time against the configured deadline (zero fields mean the
+// corresponding limit was not set). It wraps ErrBudgetExceeded.
+type BudgetError struct {
+	// Stage is the pipeline stage that exhausted the budget (one of the
+	// Stage* constants).
+	Stage string
+	// Spent is the work charged when the meter tripped. For StageAdmission
+	// it is the offending size (value or block count).
+	Spent int64
+	// Limit is the step budget (or admission bound) that was exceeded;
+	// 0 when the trip came from the wall-clock deadline.
+	Limit int64
+	// Elapsed is the wall-clock time since the run started.
+	Elapsed time.Duration
+	// Deadline is the configured wall-clock budget (0 = none).
+	Deadline time.Duration
+}
+
+func (e *BudgetError) Error() string {
+	if e.Stage == StageAdmission {
+		return fmt.Sprintf("%v: admission: size %d over limit %d", ErrBudgetExceeded, e.Spent, e.Limit)
+	}
+	msg := fmt.Sprintf("%v: stage %s: %d steps spent", ErrBudgetExceeded, e.Stage, e.Spent)
+	if e.Limit > 0 {
+		msg += fmt.Sprintf(" of %d budgeted", e.Limit)
+	}
+	if e.Deadline > 0 {
+		msg += fmt.Sprintf(", %v elapsed of %v deadline", e.Elapsed.Round(time.Microsecond), e.Deadline)
+	}
+	return msg
+}
+
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
 
 // FuncError is a failure localized to one function of a run. It wraps the
 // underlying cause (errors.Is/As see through it) and records which pipeline
@@ -47,8 +103,9 @@ var (
 type FuncError struct {
 	// Func is the function's name.
 	Func string
-	// Stage is the pipeline stage that failed: "validate", "allocate",
-	// "assign" or "rewrite".
+	// Stage is the pipeline stage that failed: "validate", "admission",
+	// "liveness", "cliques", "constrain", "allocate", "assign" or
+	// "rewrite".
 	Stage string
 	// Err is the underlying cause.
 	Err error

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/budget"
 	"repro/internal/ir"
 	"repro/internal/liveness"
 )
@@ -61,6 +62,15 @@ func Assign(f *ir.Func, info *liveness.Info, allocated []bool, r int) ([]int, er
 // AssignWith is Assign with the dominance tree supplied by the caller (the
 // pipeline already has one) and an optional reusable scratch.
 func AssignWith(f *ir.Func, dom *ir.Dominance, info *liveness.Info, allocated []bool, r int, scratch *Scratch) ([]int, error) {
+	return AssignBudget(f, dom, info, allocated, r, scratch, nil)
+}
+
+// AssignBudget is AssignWith under a resource budget: each block charges
+// its instruction count before it is scanned, and a trip aborts the scan
+// with the meter's typed error (there is no valid partial assignment — the
+// caller degrades to a cheaper allocation instead). A nil meter never
+// trips.
+func AssignBudget(f *ir.Func, dom *ir.Dominance, info *liveness.Info, allocated []bool, r int, scratch *Scratch, meter *budget.Meter) ([]int, error) {
 	if !f.SSA {
 		return nil, fmt.Errorf("regassign: tree-scan requires strict SSA")
 	}
@@ -86,6 +96,10 @@ func AssignWith(f *ir.Func, dom *ir.Dominance, info *liveness.Info, allocated []
 			return
 		}
 		b := f.Blocks[bid]
+		if !meter.Charge(len(b.Instrs) + 1) {
+			fail = meter.Err()
+			return
+		}
 		// A long-lived scratch (JSONL service workers) increments the epoch
 		// once per block forever; on wrap, clear the stamps so a stale entry
 		// from one full cycle ago cannot alias the current epoch.

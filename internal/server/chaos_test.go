@@ -1,0 +1,329 @@
+package server
+
+// Chaos soak: drive the server through hundreds of requests under a seeded
+// fault plan (allocator panics, stalls, transient encode failures, forced
+// cache misses, client cancellations) and assert the robustness contract —
+// every request is answered exactly once, the server never crashes or
+// deadlocks, a drain afterwards completes cleanly, and the metrics
+// exposition stays parseable and consistent with what the clients saw.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/faultinject"
+	"repro/regalloc"
+)
+
+// registerChaos installs the fault-injecting allocators once per test
+// binary: "chaos-panic" always panics at Allocate, "chaos-stall" always
+// sleeps briefly before delegating. Both wrap the general LH allocator, and
+// every engine worker gets a private ChaosAllocator instance (the factory
+// runs per resolution) sharing one schedule.
+var registerChaos sync.Once
+
+func ensureChaosAllocators() {
+	registerChaos.Do(func() {
+		panicSched := faultinject.NewPlan(11, 1<<20, faultinject.Mix{Panic: 1}).Schedule()
+		stallSched := faultinject.NewPlan(12, 1<<20, faultinject.Mix{Stall: 1}).Schedule()
+		alloc.MustRegisterAllocator("chaos-panic", false, func() alloc.Allocator {
+			return faultinject.NewChaosAllocator("chaos-panic", mustLH(), panicSched, time.Millisecond)
+		})
+		alloc.MustRegisterAllocator("chaos-stall", false, func() alloc.Allocator {
+			return faultinject.NewChaosAllocator("chaos-stall", mustLH(), stallSched, time.Millisecond)
+		})
+	})
+}
+
+func mustLH() alloc.Allocator {
+	a, err := alloc.NewByName("LH")
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// TestChaosSoakServer is the chaos acceptance soak: ≥300 requests under the
+// default fault mix (run with -race).
+func TestChaosSoakServer(t *testing.T) {
+	n := 320
+	if testing.Short() {
+		n = 64
+	}
+	ensureChaosAllocators()
+	plan := faultinject.NewPlan(1, n, faultinject.DefaultMix())
+
+	// Transient encode failures: the hook burns down the plan's EncodeError
+	// allowance — whichever in-flight requests claim one are answered with
+	// an in-band 500 instead (still exactly one response each).
+	var encodeFaults atomic.Int64
+	encodeFaults.Store(int64(plan.Count(faultinject.EncodeError)))
+	testHookEncode = func() error {
+		if encodeFaults.Add(-1) >= 0 {
+			return errors.New("chaos: injected encoder fault")
+		}
+		return nil
+	}
+	defer func() { testHookEncode = nil }()
+
+	s := newTestServer(t, Config{
+		MaxInFlight:    64,
+		RequestTimeout: 30 * time.Second,
+		DrainTimeout:   30 * time.Second,
+		CacheSize:      256,
+	})
+	addr, done, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + addr.String() + "/v1/allocate"
+
+	type result struct {
+		kind   faultinject.Kind
+		status int
+		resp   Response
+		err    error // transport-level failure (expected only for Cancel)
+	}
+	results := make([]result, n)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				kind := plan.At(i)
+				req := Request{ID: fmt.Sprintf("req-%d", i), IR: tinyFunc}
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				switch kind {
+				case faultinject.Panic:
+					req.Allocator = "chaos-panic"
+				case faultinject.Stall:
+					req.Allocator = "chaos-stall"
+				case faultinject.CacheMiss:
+					// A novel body forces the outcome cache to miss.
+					req.IR = fmt.Sprintf("func miss%d ssa {\nb0:\n  x = param 0\n  y = arith x, x\n  ret y\n}", i)
+				case faultinject.Cancel:
+					ctx, cancel = context.WithCancel(ctx)
+					time.AfterFunc(500*time.Microsecond, cancel)
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					t.Errorf("request %d: marshal: %v", i, err)
+					continue
+				}
+				hreq, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("request %d: build: %v", i, err)
+					continue
+				}
+				hreq.Header.Set("Content-Type", "application/json")
+				hresp, err := client.Do(hreq)
+				r := result{kind: kind}
+				if err != nil {
+					r.err = err
+				} else {
+					raw, rerr := io.ReadAll(hresp.Body)
+					hresp.Body.Close()
+					r.status = hresp.StatusCode
+					if rerr != nil {
+						r.err = rerr
+					} else if uerr := json.Unmarshal(raw, &r.resp); uerr != nil {
+						r.err = fmt.Errorf("response is not JSON (%v): %s", uerr, raw)
+					}
+				}
+				if cancel != nil {
+					cancel()
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+
+	// No deadlock: every request must come back within the soak bound.
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(120 * time.Second):
+		t.Fatal("chaos soak deadlocked: requests never completed")
+	}
+
+	// Per-request contract. A transient encode 500 may land on any request
+	// (the hook is claimed by whichever request encodes next), so it is
+	// checked before the kind-specific expectations.
+	completed, encode500 := 0, 0
+	for i, r := range results {
+		if r.err != nil {
+			if r.kind != faultinject.Cancel {
+				t.Errorf("request %d (%v): transport error: %v", i, r.kind, r.err)
+			}
+			continue
+		}
+		completed++
+		if r.status == http.StatusInternalServerError && strings.Contains(r.resp.Error, "transient encode failure") {
+			encode500++
+			continue
+		}
+		switch r.kind {
+		case faultinject.Panic:
+			if r.status != http.StatusOK || !strings.Contains(r.resp.Error, "panic") {
+				t.Errorf("request %d (panic): status %d, error %q — want an in-band typed panic error", i, r.status, r.resp.Error)
+			}
+		case faultinject.Cancel:
+			// Raced ahead of its cancellation: any well-formed response is
+			// acceptable (success, or an in-band cancellation error).
+		default: // None, Stall, CacheMiss: plain successful allocations.
+			if r.status != http.StatusOK || r.resp.Error != "" {
+				t.Errorf("request %d (%v): status %d, error %q — want clean 200", i, r.kind, r.status, r.resp.Error)
+			}
+		}
+	}
+	if left := encodeFaults.Load(); left > 0 {
+		t.Errorf("%d scheduled encode faults never fired", left)
+	}
+	if want := plan.Count(faultinject.EncodeError); encode500 > want {
+		t.Errorf("clients saw %d transient-encode 500s, plan scheduled only %d", encode500, want)
+	}
+
+	// The battered server must still drain cleanly and exit its serve loop.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after chaos: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("serve loop exited with %v", err)
+	}
+
+	// Metrics stay parseable and consistent with what the clients saw.
+	text := s.MetricsText()
+	checkMetricsParse(t, text)
+	total := sumMetric(t, text, "allocserve_requests_total")
+	if total < float64(completed) {
+		t.Errorf("allocserve_requests_total %v < %d completed client responses", total, completed)
+	}
+	if total > float64(n) {
+		t.Errorf("allocserve_requests_total %v > %d requests sent", total, n)
+	}
+	if v := sumMetric(t, text, "allocserve_in_flight"); v != 0 {
+		t.Errorf("allocserve_in_flight = %v after drain, want 0", v)
+	}
+	if plan.Count(faultinject.Panic) > 0 && sumMetric(t, text, `allocserve_funcs_total{result="error"}`) == 0 {
+		t.Error("panic faults fired but allocserve_funcs_total{result=\"error\"} is 0")
+	}
+}
+
+// checkMetricsParse asserts every non-comment exposition line is
+// "name value" or "name{labels} value" with a finite numeric value.
+func checkMetricsParse(t *testing.T, text string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable metrics line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("metrics line %q: bad value: %v", line, err)
+		}
+		if v != v || v < 0 { // NaN or negative counter/latency
+			t.Fatalf("metrics line %q: suspicious value %v", line, v)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+			t.Fatalf("metrics line %q: unbalanced labels", line)
+		}
+	}
+}
+
+// sumMetric sums the values of all samples whose series name (or exact
+// labelled series) matches prefix.
+func sumMetric(t *testing.T, text, prefix string) float64 {
+	t.Helper()
+	sum := 0.0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest, ok := strings.CutPrefix(line, prefix)
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '{') {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("metrics line %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// TestServerDegradedRequest: a budget-governed server with degradation on
+// answers an over-budget request 200 with a correct degraded outcome, marks
+// the response with the ladder rung, and counts it in the metrics.
+func TestServerDegradedRequest(t *testing.T) {
+	s := newTestServer(t, Config{
+		Budget:  regalloc.Budget{Steps: 1},
+		Degrade: true,
+	})
+	w, resp := postJSON(t, s.Handler(), Request{IR: tinyFunc})
+	if w.Code != http.StatusOK || resp.Error != "" {
+		t.Fatalf("degraded request: status %d, error %q", w.Code, resp.Error)
+	}
+	if resp.Degraded != regalloc.RungLinearScan && resp.Degraded != regalloc.RungSpillAll {
+		t.Fatalf("Degraded = %q, want a ladder rung", resp.Degraded)
+	}
+	if resp.DegradedStage == "" {
+		t.Error("DegradedStage empty on a degraded response")
+	}
+	text := s.MetricsText()
+	if sumMetric(t, text, "allocserve_degraded_total") == 0 {
+		t.Error("degraded allocation not counted in allocserve_degraded_total")
+	}
+}
+
+// TestServerBudgetExhausted: same budget with degradation off — the request
+// fails with an in-band typed budget error and the exhaustion is counted by
+// tripping stage.
+func TestServerBudgetExhausted(t *testing.T) {
+	s := newTestServer(t, Config{
+		Budget: regalloc.Budget{Steps: 1},
+	})
+	w, resp := postJSON(t, s.Handler(), Request{IR: tinyFunc})
+	if resp.Error == "" {
+		t.Fatalf("over-budget request succeeded: status %d, %+v", w.Code, resp)
+	}
+	if !strings.Contains(resp.Error, "budget") {
+		t.Errorf("error %q does not mention the budget", resp.Error)
+	}
+	if resp.Degraded != "" {
+		t.Errorf("Degraded = %q on a failed request", resp.Degraded)
+	}
+	text := s.MetricsText()
+	if sumMetric(t, text, "allocserve_budget_exhausted_total") == 0 {
+		t.Error("budget exhaustion not counted in allocserve_budget_exhausted_total")
+	}
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a resilient client for the allocation service: it retries
+// transient failures (transport errors, 429 over-capacity rejections,
+// 5xx server troubles) with jittered exponential backoff, honors the
+// server's Retry-After pushback, bounds every attempt with its own
+// deadline, and stops when a total retry budget is spent — so a flaky or
+// overloaded server degrades a caller's latency, never its correctness,
+// and a dead server fails the caller in bounded time.
+//
+// The zero value plus BaseURL is usable; Allocate is safe for concurrent
+// use. Deterministic allocation failures (an in-band Response.Error on a
+// 200, or any other 4xx) are not retried: the same request would fail the
+// same way again.
+type Client struct {
+	// BaseURL locates the service, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying HTTP client (nil uses a private default).
+	// Per-attempt deadlines come from AttemptTimeout, not HTTP.Timeout.
+	HTTP *http.Client
+	// MaxAttempts bounds the total tries (first attempt included);
+	// 0 picks DefaultMaxAttempts.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay, doubled per subsequent retry;
+	// 0 picks DefaultBaseBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 picks DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds each individual attempt; 0 picks
+	// DefaultAttemptTimeout, negative disables the per-attempt deadline.
+	AttemptTimeout time.Duration
+	// RetryBudget bounds the total wall-clock time across all attempts and
+	// backoff sleeps: once spent, the last failure is returned instead of
+	// retrying further. 0 means no budget beyond MaxAttempts.
+	RetryBudget time.Duration
+
+	// jitter maps a computed backoff to the actual delay; nil picks full
+	// jitter on [backoff/2, backoff]. Injectable so tests are
+	// deterministic.
+	jitter func(time.Duration) time.Duration
+	// sleep waits for d or until ctx is done; nil picks the real clock.
+	// Injectable so tests do not spend wall-clock time.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Client defaults.
+const (
+	DefaultMaxAttempts    = 4
+	DefaultBaseBackoff    = 100 * time.Millisecond
+	DefaultMaxBackoff     = 2 * time.Second
+	DefaultAttemptTimeout = 10 * time.Second
+)
+
+// RetryableStatus reports whether an HTTP status is worth retrying:
+// over-capacity pushback and server-side troubles, never client errors.
+func RetryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// AttemptError is the per-attempt failure detail of an exhausted Allocate:
+// the final attempt's transport error or HTTP status.
+type AttemptError struct {
+	// Attempts is how many tries were made.
+	Attempts int
+	// Status is the final HTTP status (0 on a transport failure).
+	Status int
+	// Err is the final transport or in-band failure.
+	Err error
+}
+
+func (e *AttemptError) Error() string {
+	return fmt.Sprintf("allocation request failed after %d attempts: %v", e.Attempts, e.Err)
+}
+
+func (e *AttemptError) Unwrap() error { return e.Err }
+
+// Allocate sends one request, retrying transient failures within the
+// client's attempt, backoff and budget bounds. On success the decoded
+// Response is returned even when it carries an in-band Error (a
+// deterministic allocation failure is a valid answer, not a transport
+// problem). The returned error is an *AttemptError once retries are
+// exhausted, or ctx's error when the caller's context ends first.
+func (c *Client) Allocate(ctx context.Context, req Request) (Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, fmt.Errorf("encoding request: %w", err)
+	}
+	maxAttempts := c.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	var deadline time.Time
+	if c.RetryBudget > 0 {
+		deadline = time.Now().Add(c.RetryBudget)
+	}
+
+	var last *AttemptError
+	for attempt := 1; ; attempt++ {
+		resp, status, err := c.attempt(ctx, body)
+		if err == nil {
+			return resp.Response, nil
+		}
+		last = &AttemptError{Attempts: attempt, Status: status, Err: err}
+		if ctx.Err() != nil {
+			return Response{}, ctx.Err()
+		}
+		if status != 0 && !RetryableStatus(status) {
+			return Response{}, last
+		}
+		if attempt >= maxAttempts {
+			return Response{}, last
+		}
+		delay := c.delay(attempt, resp.retryAfter)
+		if !deadline.IsZero() && time.Now().Add(delay).After(deadline) {
+			return Response{}, last
+		}
+		if err := c.doSleep(ctx, delay); err != nil {
+			return Response{}, err
+		}
+	}
+}
+
+// clientResponse carries an attempt's decoded body plus the server's
+// Retry-After pushback, when present.
+type clientResponse struct {
+	Response
+	retryAfter time.Duration
+}
+
+// attempt runs one HTTP round trip under the per-attempt deadline.
+// A non-nil error with status 0 is a transport failure; with a non-zero
+// status it is an HTTP-level failure (the in-band error is wrapped).
+func (c *Client) attempt(ctx context.Context, body []byte) (clientResponse, int, error) {
+	if t := c.AttemptTimeout; t >= 0 {
+		if t == 0 {
+			t = DefaultAttemptTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, "POST", c.BaseURL+"/v1/allocate", bytes.NewReader(body))
+	if err != nil {
+		return clientResponse{}, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = &defaultHTTPClient
+	}
+	hresp, err := httpc.Do(hreq)
+	if err != nil {
+		return clientResponse{}, 0, err
+	}
+	defer hresp.Body.Close()
+	var out clientResponse
+	if ra, err := strconv.Atoi(hresp.Header.Get("Retry-After")); err == nil && ra >= 0 {
+		out.retryAfter = time.Duration(ra) * time.Second
+	}
+	raw, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return out, 0, fmt.Errorf("reading response: %w", err)
+	}
+	if err := json.Unmarshal(raw, &out.Response); err != nil {
+		// A mangled body from a healthy status is a transient server
+		// problem; surface it with the status so it is retried.
+		return out, hresp.StatusCode, fmt.Errorf("status %d with undecodable body: %w", hresp.StatusCode, err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		msg := out.Error
+		if msg == "" {
+			msg = http.StatusText(hresp.StatusCode)
+		}
+		return out, hresp.StatusCode, fmt.Errorf("status %d: %s", hresp.StatusCode, msg)
+	}
+	return out, hresp.StatusCode, nil
+}
+
+var defaultHTTPClient = http.Client{}
+
+// delay computes the jittered exponential backoff before retry `attempt`,
+// floored by the server's Retry-After pushback.
+func (c *Client) delay(attempt int, retryAfter time.Duration) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = DefaultBaseBackoff
+	}
+	maxb := c.MaxBackoff
+	if maxb <= 0 {
+		maxb = DefaultMaxBackoff
+	}
+	d := base
+	for i := 1; i < attempt && d < maxb; i++ {
+		d *= 2
+	}
+	if d > maxb {
+		d = maxb
+	}
+	if j := c.jitter; j != nil {
+		d = j(d)
+	} else if d > 0 {
+		// Full jitter on [d/2, d]: desynchronizes a thundering herd while
+		// keeping the expected delay close to the schedule.
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+func (c *Client) doSleep(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

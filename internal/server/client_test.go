@@ -1,0 +1,229 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler answers the first `failures` requests according to `code`
+// (with an optional Retry-After header), then delegates to the real
+// server handler.
+type flakyHandler struct {
+	remaining  atomic.Int64
+	code       int
+	retryAfter string
+	delegate   http.Handler
+	hits       atomic.Int64
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.hits.Add(1)
+	if f.remaining.Add(-1) >= 0 {
+		if f.retryAfter != "" {
+			w.Header().Set("Retry-After", f.retryAfter)
+		}
+		writeJSONError(w, f.code, "injected transient failure")
+		return
+	}
+	f.delegate.ServeHTTP(w, r)
+}
+
+// testClient returns a deterministic client (no jitter, recorded virtual
+// sleeps) aimed at url.
+func testClient(url string, slept *[]time.Duration) *Client {
+	return &Client{
+		BaseURL:     url,
+		MaxAttempts: 5,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  800 * time.Millisecond,
+		jitter:      func(d time.Duration) time.Duration { return d },
+		sleep: func(ctx context.Context, d time.Duration) error {
+			*slept = append(*slept, d)
+			return ctx.Err()
+		},
+	}
+}
+
+// TestClientRetriesTransientFailures: a server that fails a few times with
+// retryable statuses is retried on an exponential schedule until the
+// request succeeds.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	s := newTestServer(t, Config{})
+	fh := &flakyHandler{code: http.StatusServiceUnavailable, delegate: s.Handler()}
+	fh.remaining.Store(3)
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+	resp, err := c.Allocate(context.Background(), Request{IR: tinyFunc})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if resp.Func != "f" || resp.Error != "" {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	if got := fh.hits.Load(); got != 4 {
+		t.Errorf("server saw %d attempts, want 4 (3 failures + success)", got)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("backoff sleeps %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("backoff %d = %v, want %v (exponential, no jitter)", i, slept[i], want[i])
+		}
+	}
+}
+
+// TestClientHonorsRetryAfter: the server's Retry-After pushback floors the
+// computed backoff.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	s := newTestServer(t, Config{})
+	fh := &flakyHandler{code: http.StatusTooManyRequests, retryAfter: "2", delegate: s.Handler()}
+	fh.remaining.Store(1)
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+	if _, err := c.Allocate(context.Background(), Request{IR: tinyFunc}); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("slept %v, want the server's Retry-After of 2s (> 100ms backoff)", slept)
+	}
+}
+
+// TestClientExhaustsAttempts: a persistently failing server exhausts
+// MaxAttempts and surfaces a typed *AttemptError with the final status.
+func TestClientExhaustsAttempts(t *testing.T) {
+	s := newTestServer(t, Config{})
+	fh := &flakyHandler{code: http.StatusServiceUnavailable, delegate: s.Handler()}
+	fh.remaining.Store(1 << 30)
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+	_, err := c.Allocate(context.Background(), Request{IR: tinyFunc})
+	var ae *AttemptError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v is not an *AttemptError", err)
+	}
+	if ae.Attempts != 5 || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("AttemptError = %+v, want 5 attempts at 503", ae)
+	}
+	if got := fh.hits.Load(); got != 5 {
+		t.Errorf("server saw %d attempts, want 5", got)
+	}
+}
+
+// TestClientDoesNotRetryDeterministicFailures: client errors (4xx) and
+// in-band allocation failures on a 200 are returned without retry — the
+// request would fail identically again.
+func TestClientDoesNotRetryDeterministicFailures(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+
+	// Malformed IR: a 400, no retry.
+	_, err := c.Allocate(context.Background(), Request{})
+	var ae *AttemptError
+	if !errors.As(err, &ae) || ae.Attempts != 1 || ae.Status != http.StatusBadRequest {
+		t.Fatalf("bad request: error %v, want one attempt at 400", err)
+	}
+
+	// Unknown allocator: answered 200 with an in-band error — a valid
+	// response, not a client failure.
+	resp, err := c.Allocate(context.Background(), Request{IR: tinyFunc, Allocator: "no-such-allocator"})
+	if err != nil {
+		t.Fatalf("in-band failure should not be a client error: %v", err)
+	}
+	if resp.Error == "" {
+		t.Fatal("expected an in-band error for an unknown allocator")
+	}
+	if len(slept) != 0 {
+		t.Fatalf("deterministic failures were retried: sleeps %v", slept)
+	}
+}
+
+// TestClientRetryBudget: the total retry budget stops the retry loop even
+// with attempts left.
+func TestClientRetryBudget(t *testing.T) {
+	s := newTestServer(t, Config{})
+	fh := &flakyHandler{code: http.StatusServiceUnavailable, delegate: s.Handler()}
+	fh.remaining.Store(1 << 30)
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+	c.RetryBudget = 150 * time.Millisecond // the second backoff (200ms) exceeds it
+	_, err := c.Allocate(context.Background(), Request{IR: tinyFunc})
+	var ae *AttemptError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v is not an *AttemptError", err)
+	}
+	if ae.Attempts > 2 {
+		t.Fatalf("retry budget ignored: %d attempts", ae.Attempts)
+	}
+}
+
+// TestClientRecoversFromEncodeFaults: transient 500 encoder failures —
+// the chaos fault the server injects via its encode hook — are retried
+// through to a successful response.
+func TestClientRecoversFromEncodeFaults(t *testing.T) {
+	var encodeFaults atomic.Int64
+	encodeFaults.Store(2)
+	testHookEncode = func() error {
+		if encodeFaults.Add(-1) >= 0 {
+			return errors.New("chaos: injected encoder fault")
+		}
+		return nil
+	}
+	defer func() { testHookEncode = nil }()
+
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := testClient(ts.URL, &slept)
+	resp, err := c.Allocate(context.Background(), Request{IR: tinyFunc})
+	if err != nil {
+		t.Fatalf("Allocate through encode faults: %v", err)
+	}
+	if resp.Func != "f" || resp.Error != "" {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("expected 2 retries over the injected encode faults, slept %v", slept)
+	}
+}
+
+// TestClientResponseDecodes ensures the client decodes the full response
+// schema (spot check: the degraded marker round-trips).
+func TestClientResponseDecodes(t *testing.T) {
+	raw, err := json.Marshal(Response{Func: "f", Degraded: "spill-all", DegradedStage: "liveness"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded != "spill-all" || resp.DegradedStage != "liveness" {
+		t.Fatalf("degraded marker lost in round trip: %+v", resp)
+	}
+}

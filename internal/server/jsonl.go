@@ -2,12 +2,14 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/raerr"
 	"repro/regalloc"
 	"repro/regalloc/irx"
 )
@@ -68,10 +70,17 @@ type Response struct {
 	SpillCost  float64        `json:"spillCost"`
 	Assignment map[string]int `json:"assignment,omitempty"`
 	Rewritten  string         `json:"rewritten,omitempty"`
-	Cached     bool           `json:"cached,omitempty"`
-	Results    []Response     `json:"results,omitempty"`
-	Stats      *ServiceStats  `json:"stats,omitempty"`
-	Error      string         `json:"error,omitempty"`
+	// Degraded, when non-empty, is the degradation-ladder rung that produced
+	// this outcome ("linear-scan" or "spill-all"): the budget-governed
+	// service ran out of resources and served a correct but lower-quality
+	// allocation instead of failing. DegradedStage is the pipeline stage
+	// whose budget trip forced the fall.
+	Degraded      string        `json:"degraded,omitempty"`
+	DegradedStage string        `json:"degradedStage,omitempty"`
+	Cached        bool          `json:"cached,omitempty"`
+	Results       []Response    `json:"results,omitempty"`
+	Stats         *ServiceStats `json:"stats,omitempty"`
+	Error         string        `json:"error,omitempty"`
 }
 
 // EngineCacheCap bounds the per-configuration engine table: a long-lived
@@ -87,11 +96,13 @@ const EngineCacheCap = 64
 // allocation outcomes live on in the shared cache (keys fold the
 // configuration), so a re-built engine keeps hitting them.
 type EngineCache struct {
-	mu     sync.Mutex
-	m      map[string]*engineEntry
-	shared *regalloc.Cache // nil when the service runs cache-less
-	jobs   int             // worker count for module requests
-	seq    uint64
+	mu      sync.Mutex
+	m       map[string]*engineEntry
+	shared  *regalloc.Cache // nil when the service runs cache-less
+	jobs    int             // worker count for module requests
+	seq     uint64
+	budget  regalloc.Budget // zero = unbounded
+	degrade bool
 }
 
 type engineEntry struct {
@@ -109,6 +120,16 @@ func NewEngineCache(shared *regalloc.Cache, jobs int) *EngineCache {
 // SharedCache returns the outcome cache the table attaches to its engines,
 // or nil.
 func (c *EngineCache) SharedCache() *regalloc.Cache { return c.shared }
+
+// SetBudget applies a resource budget — and, with degrade, graceful
+// degradation — to every engine the table builds from now on. Call it right
+// after NewEngineCache, before the first Get: engines already built keep
+// their previous configuration.
+func (c *EngineCache) SetBudget(b regalloc.Budget, degrade bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget, c.degrade = b, degrade
+}
 
 // Get resolves (or builds and caches) the engine for one request
 // configuration. A non-empty machine name selects machine-constrained
@@ -131,6 +152,12 @@ func (c *EngineCache) Get(regs int, allocName, machine string) (*regalloc.Engine
 	}
 	if c.shared != nil {
 		opts = append(opts, regalloc.WithSharedCache(c.shared))
+	}
+	if c.budget.Active() {
+		opts = append(opts, regalloc.WithBudget(c.budget))
+		if c.degrade {
+			opts = append(opts, regalloc.WithDegradation())
+		}
 	}
 	eng, err := regalloc.New(opts...)
 	if err != nil {
@@ -180,6 +207,33 @@ type Observer interface {
 	// ObserveFunc records one allocated function: whether it failed and,
 	// when it succeeded, its spill quality (spilled cost / total weight).
 	ObserveFunc(failed bool, spillRatio float64)
+}
+
+// DegradationObserver is an optional extension of Observer: observers that
+// implement it additionally receive degradation-ladder and budget-
+// exhaustion events from budget-governed engines.
+type DegradationObserver interface {
+	// ObserveDegraded records one function served from a degradation-ladder
+	// rung ("linear-scan", "spill-all") after the named stage tripped.
+	ObserveDegraded(rung, stage string)
+	// ObserveBudgetExhausted records one function that failed with a budget
+	// error (degradation off), by tripping stage.
+	ObserveBudgetExhausted(stage string)
+}
+
+// observeFuncErr reports a failed function, tagging budget exhaustion for
+// observers that track it.
+func observeFuncErr(obs Observer, err error) {
+	if obs == nil {
+		return
+	}
+	obs.ObserveFunc(true, 0)
+	var be *raerr.BudgetError
+	if errors.As(err, &be) {
+		if do, ok := obs.(DegradationObserver); ok {
+			do.ObserveBudgetExhausted(be.Stage)
+		}
+	}
 }
 
 // Do serves one request against the engine table: resolve the engine for
@@ -240,9 +294,7 @@ func Do(ctx context.Context, engines *EngineCache, req Request, decodeErr error,
 	out, err := eng.AllocateFunc(ctx, f)
 	observeStage(obs, StageAllocate, start)
 	if err != nil {
-		if obs != nil {
-			obs.ObserveFunc(true, 0)
-		}
+		observeFuncErr(obs, err)
 		resp.Error = err.Error()
 		return resp
 	}
@@ -271,9 +323,7 @@ func serveModule(ctx context.Context, eng *regalloc.Engine, req Request, resp Re
 		fr := &results[i]
 		sub := Response{Func: fr.Name, Registers: resp.Registers, Machine: resp.Machine, Cached: fr.Cached}
 		if fr.Err != nil {
-			if obs != nil {
-				obs.ObserveFunc(true, 0)
-			}
+			observeFuncErr(obs, fr.Err)
 			sub.Error = fr.Err.Error()
 		} else {
 			fillOutcome(&sub, m.Funcs[i], fr.Outcome, req.Print, obs)
@@ -309,6 +359,13 @@ func fillOutcome(resp *Response, f *irx.Func, out *regalloc.Outcome, print bool,
 	}
 	if print && out.Rewritten != nil {
 		resp.Rewritten = out.Rewritten.String()
+	}
+	if out.Degraded != nil {
+		resp.Degraded = out.Degraded.Rung
+		resp.DegradedStage = out.Degraded.Stage
+		if do, ok := obs.(DegradationObserver); ok {
+			do.ObserveDegraded(out.Degraded.Rung, out.Degraded.Stage)
+		}
 	}
 	if obs != nil {
 		ratio := 0.0

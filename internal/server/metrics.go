@@ -159,14 +159,27 @@ const (
 
 // metrics is the server's metric set.
 type metrics struct {
-	requests  map[int]*counter // by HTTP status code
-	funcsOK   counter
-	funcsErr  counter
-	inFlight  gauge
+	requests    map[int]*counter // by HTTP status code
+	funcsOK     counter
+	funcsErr    counter
+	inFlight    gauge
 	maxInFlight int64
-	stageLat  map[string]*histogram
-	spillHist *histogram
+	stageLat    map[string]*histogram
+	spillHist   *histogram
+	// Degradation telemetry: functions served from each ladder rung, and
+	// budget-exhaustion failures by tripping stage. Both maps are laid out
+	// up front (fixed label sets) so scrapes never race a map write;
+	// unknown labels fold into "other".
+	degraded      map[string]*counter
+	budgetExhaust map[string]*counter
 }
+
+// degradedRungs / budgetStages are the fixed label sets of the degradation
+// counters (plus the "other" fold-in for labels a newer engine might emit).
+var (
+	degradedRungs = []string{"linear-scan", "spill-all", "other"}
+	budgetStages  = []string{"admission", "liveness", "cliques", "allocate", "assign", "other"}
+)
 
 // requestCodes are the status codes the server can answer with; the map is
 // laid out up front so scrapes never race a map write.
@@ -185,7 +198,31 @@ func newMetrics(maxInFlight int) *metrics {
 	for _, s := range stages {
 		m.stageLat[s] = newHistogram(latencyBounds)
 	}
+	m.degraded = make(map[string]*counter, len(degradedRungs))
+	for _, r := range degradedRungs {
+		m.degraded[r] = &counter{}
+	}
+	m.budgetExhaust = make(map[string]*counter, len(budgetStages))
+	for _, s := range budgetStages {
+		m.budgetExhaust[s] = &counter{}
+	}
 	return m
+}
+
+func (m *metrics) observeDegraded(rung, stage string) {
+	c, ok := m.degraded[rung]
+	if !ok {
+		c = m.degraded["other"]
+	}
+	c.Add(1)
+}
+
+func (m *metrics) observeBudgetExhausted(stage string) {
+	c, ok := m.budgetExhaust[stage]
+	if !ok {
+		c = m.budgetExhaust["other"]
+	}
+	c.Add(1)
 }
 
 func (m *metrics) countRequest(code int) {
@@ -252,6 +289,17 @@ func (m *metrics) write(w io.Writer, engines int, cache *cacheStats) {
 		h := m.stageLat[s]
 		fmt.Fprintf(w, "allocserve_stage_seconds_quantile{stage=%q,q=\"0.5\"} %s\n", s, formatFloat(h.quantile(0.5)))
 		fmt.Fprintf(w, "allocserve_stage_seconds_quantile{stage=%q,q=\"0.99\"} %s\n", s, formatFloat(h.quantile(0.99)))
+	}
+
+	fmt.Fprint(w, "# HELP allocserve_degraded_total Functions served from a degradation-ladder rung instead of the configured allocator.\n")
+	fmt.Fprint(w, "# TYPE allocserve_degraded_total counter\n")
+	for _, r := range degradedRungs {
+		fmt.Fprintf(w, "allocserve_degraded_total{rung=%q} %d\n", r, m.degraded[r].Value())
+	}
+	fmt.Fprint(w, "# HELP allocserve_budget_exhausted_total Functions failed on budget exhaustion (degradation off), by tripping stage.\n")
+	fmt.Fprint(w, "# TYPE allocserve_budget_exhausted_total counter\n")
+	for _, s := range budgetStages {
+		fmt.Fprintf(w, "allocserve_budget_exhausted_total{stage=%q} %d\n", s, m.budgetExhaust[s].Value())
 	}
 
 	fmt.Fprint(w, "# HELP allocserve_spill_ratio Per-function spill quality: spilled cost over total spill weight.\n")

@@ -12,15 +12,21 @@
 //	                    p50/p99 estimates, spill-quality histogram,
 //	                    outcome-cache hit/miss/eviction counters and an
 //	                    in-flight gauge.
-//	GET  /healthz     — 200 while serving, 503 once draining.
+//	GET  /healthz     — liveness: 200 as long as the process serves HTTP
+//	                    (stays 200 while draining — a draining process is
+//	                    alive and must not be killed mid-drain).
+//	GET  /readyz      — readiness: 200 while accepting new work, 503 once
+//	                    draining or while admission is saturated (every
+//	                    in-flight slot taken); load balancers route on it.
 //
 // Robustness is first-class: admission is bounded (Config.MaxInFlight;
 // excess requests are rejected immediately with 429 + Retry-After rather
 // than queued without bound), every request runs under a server-side
 // deadline (Config.RequestTimeout, plumbed as a context through the
-// engine into pipeline.RunModule), and Drain performs a graceful
-// shutdown — stop accepting, finish the in-flight requests, bounded by
-// Config.DrainTimeout.
+// engine into pipeline.RunModule), per-function resource budgets with
+// graceful degradation are available (Config.Budget, Config.Degrade), and
+// Drain performs a graceful shutdown — stop accepting, finish the
+// in-flight requests, bounded by Config.DrainTimeout.
 package server
 
 import (
@@ -68,6 +74,14 @@ type Config struct {
 	DrainTimeout time.Duration
 	// MaxBodyBytes bounds the request body (0 picks DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// Budget, when Active, bounds every allocation's per-function resources:
+	// a wall-clock deadline, a cooperative work-step budget, and a
+	// max-values/max-blocks admission gate (see regalloc.WithBudget).
+	Budget regalloc.Budget
+	// Degrade converts per-function budget trips into degraded-but-correct
+	// outcomes (Response.Degraded names the ladder rung) instead of
+	// per-function errors; see regalloc.WithDegradation.
+	Degrade bool
 }
 
 // Defaults for the zero Config fields.
@@ -117,6 +131,10 @@ func New(cfg Config) (*Server, error) {
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		draining: make(chan struct{}),
 	}
+	if cfg.Budget.Active() {
+		// Before the eager Get below, so the default engine is governed too.
+		s.engines.SetBudget(cfg.Budget, cfg.Degrade)
+	}
 	if _, err := s.engines.Get(cfg.Registers, cfg.Allocator, cfg.Machine); err != nil {
 		return nil, fmt.Errorf("server: invalid default configuration: %w", err)
 	}
@@ -124,6 +142,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	protocols := new(http.Protocols)
 	protocols.SetHTTP1(true)
 	protocols.SetUnencryptedHTTP2(true) // h2c: cleartext HTTP/2, stdlib-native
@@ -161,7 +180,8 @@ func (s *Server) ListenAndServe(addr string) (net.Addr, <-chan error, error) {
 }
 
 // Drain gracefully shuts the server down: new connections are refused,
-// /healthz flips to 503, and in-flight requests are given up to
+// /readyz flips to 503 (liveness /healthz stays 200), and in-flight
+// requests are given up to
 // Config.DrainTimeout to finish before the remaining connections are
 // closed. It returns nil when everything drained in time.
 func (s *Server) Drain(ctx context.Context) error {
@@ -241,13 +261,31 @@ func (s *Server) countingHandler() http.Handler {
 	})
 }
 
+// handleHealthz is the liveness probe: it answers 200 as long as the
+// process serves HTTP at all — including while draining, when killing the
+// process would abort in-flight work. Orchestrators restart on liveness;
+// they must not restart a cleanly draining server.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 503 once draining (no new work) or
+// while admission is saturated — every in-flight slot taken, so the next
+// allocation request would be rejected with 429 anyway. Load balancers
+// route on readiness; flipping it early sheds traffic before clients burn a
+// round trip on a rejection.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	if len(s.inflight) >= cap(s.inflight) {
+		http.Error(w, "saturated", http.StatusServiceUnavailable)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -259,11 +297,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 type serverObserver struct{ m *metrics }
 
 func (o serverObserver) ObserveStage(stage string, seconds float64) { o.m.observeStage(stage, seconds) }
-func (o serverObserver) ObserveFunc(failed bool, ratio float64)    { o.m.observeFunc(failed, ratio) }
+func (o serverObserver) ObserveFunc(failed bool, ratio float64)     { o.m.observeFunc(failed, ratio) }
+func (o serverObserver) ObserveDegraded(rung, stage string)         { o.m.observeDegraded(rung, stage) }
+func (o serverObserver) ObserveBudgetExhausted(stage string)        { o.m.observeBudgetExhausted(stage) }
 
 // testHookServing, when non-nil, runs inside handleAllocate right after
 // admission — tests use it to hold requests in flight deterministically.
 var testHookServing func()
+
+// testHookEncode, when non-nil, runs right before the response is encoded;
+// a non-nil error simulates a transient encoder failure and the request is
+// answered with a 500 in-band error instead — the fault-injection seam of
+// the chaos tests. The client still receives exactly one response.
+var testHookEncode func() error
 
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	// Bounded admission: reject instead of queueing. A rejected request
@@ -319,6 +365,13 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusGatewayTimeout
 	}
 	start = time.Now()
+	if testHookEncode != nil {
+		if err := testHookEncode(); err != nil {
+			writeJSONError(w, http.StatusInternalServerError, "transient encode failure: "+err.Error())
+			obs.ObserveStage(StageEncode, time.Since(start).Seconds())
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)

@@ -335,22 +335,92 @@ func TestDrainCompletesInFlight(t *testing.T) {
 		t.Errorf("serve loop exited with %v", err)
 	}
 
-	// A drained server reports itself unhealthy.
-	r := httptest.NewRequest("GET", "/healthz", nil)
+	// A drained server stops reporting ready, but stays alive: readiness
+	// (/readyz) flips to 503 so load balancers stop routing, while liveness
+	// (/healthz) stays 200 so an orchestrator does not kill the process
+	// mid-drain.
+	r := httptest.NewRequest("GET", "/readyz", nil)
 	w := httptest.NewRecorder()
 	s.Handler().ServeHTTP(w, r)
 	if w.Code != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining = %d, want 503", w.Code)
+		t.Errorf("readyz while draining = %d, want 503", w.Code)
+	}
+	r = httptest.NewRequest("GET", "/healthz", nil)
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Errorf("healthz while draining = %d, want 200 (liveness)", w.Code)
 	}
 }
 
 func TestHealthzServing(t *testing.T) {
 	s := newTestServer(t, Config{})
-	r := httptest.NewRequest("GET", "/healthz", nil)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		r := httptest.NewRequest("GET", path, nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			t.Errorf("%s = %d, want 200", path, w.Code)
+		}
+	}
+}
+
+// TestReadyzSaturated: a server whose in-flight slots are all taken is alive
+// but not ready — /readyz answers 503 "saturated" while /healthz stays 200.
+func TestReadyzSaturated(t *testing.T) {
+	const slots = 2
+	s := newTestServer(t, Config{MaxInFlight: slots})
+
+	entered := make(chan struct{}, slots)
+	release := make(chan struct{})
+	testHookServing = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	defer func() { testHookServing = nil }()
+
+	body, err := json.Marshal(Request{IR: tinyFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := httptest.NewRequest("POST", "/v1/allocate", bytes.NewReader(body))
+			s.Handler().ServeHTTP(httptest.NewRecorder(), r)
+		}()
+	}
+	for i := 0; i < slots; i++ {
+		select {
+		case <-entered:
+		case <-time.After(10 * time.Second):
+			t.Fatal("requests did not reach the handler")
+		}
+	}
+
+	r := httptest.NewRequest("GET", "/readyz", nil)
 	w := httptest.NewRecorder()
 	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while saturated = %d, want 503", w.Code)
+	}
+	r = httptest.NewRequest("GET", "/healthz", nil)
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
 	if w.Code != http.StatusOK {
-		t.Errorf("healthz = %d, want 200", w.Code)
+		t.Errorf("healthz while saturated = %d, want 200", w.Code)
+	}
+
+	close(release)
+	wg.Wait()
+
+	r = httptest.NewRequest("GET", "/readyz", nil)
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Errorf("readyz after release = %d, want 200", w.Code)
 	}
 }
 

@@ -1,0 +1,374 @@
+// Degradation verification: the budget-governed pipeline promises that with
+// Degrade on, any budget trip yields a degraded-but-correct Outcome instead
+// of an error. This file closes the loop on that promise the same way
+// verify.go does for the ordinary pipeline — by recomputing every invariant
+// from liveness and the reference interpreter rather than trusting the
+// pipeline's own bookkeeping.
+//
+// The budget sweep is derived from the function itself: a baseline run under
+// an ample budget records its true step spend S, and the check then replays
+// the run under {1, S/8, S/4, S/2, 3S/4, S-1} steps plus an admission-gate
+// trip. Step charging is deterministic, so every limit below S is guaranteed
+// to trip — each sweep point must produce a degraded outcome, never an
+// error, and the trip points are spread across the pipeline stages so both
+// ladder rungs (linear-scan and spill-all) get exercised.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/liveness"
+	"repro/internal/regassign"
+)
+
+// ampleSteps is a step budget no generated function approaches: the baseline
+// run carries it so the meter is active (and records its spend) without ever
+// tripping.
+const ampleSteps = 1 << 40
+
+// RungCoverage counts how many degraded outcomes each ladder rung produced
+// across a check run. Soak-level tests assert Complete() so a regression
+// that silently stops exercising one rung (e.g. every trip landing before
+// the problem structure exists) fails loudly instead of vacuously passing.
+type RungCoverage map[string]int
+
+func (c RungCoverage) add(rung string) {
+	if c != nil {
+		c[rung]++
+	}
+}
+
+// Complete reports whether both ladder rungs were exercised.
+func (c RungCoverage) Complete() bool {
+	return c[core.RungLinearScan] > 0 && c[core.RungSpillAll] > 0
+}
+
+func (c RungCoverage) String() string {
+	return fmt.Sprintf("linear-scan=%d spill-all=%d", c[core.RungLinearScan], c[core.RungSpillAll])
+}
+
+// degradeBudgets is the sweep of limits for a function whose full governed
+// run spends s steps: trip points spread across the pipeline (every steps
+// limit is below s, so each one is guaranteed to trip) plus the admission
+// gate, which degrades before any analysis runs.
+func degradeBudgets(s int64) []budget.Limits {
+	seen := make(map[int64]bool)
+	var out []budget.Limits
+	add := func(steps int64) {
+		if steps < 1 {
+			steps = 1
+		}
+		if steps >= s || seen[steps] {
+			return
+		}
+		seen[steps] = true
+		out = append(out, budget.Limits{Steps: steps})
+	}
+	add(1)
+	add(s / 8)
+	add(s / 4)
+	add(s / 2)
+	add(3 * s / 4)
+	add(s - 1)
+	out = append(out, budget.Limits{MaxValues: 1})
+	return out
+}
+
+func limitsLabel(l budget.Limits) string {
+	if l.MaxValues > 0 {
+		return fmt.Sprintf("maxvalues=%d", l.MaxValues)
+	}
+	return fmt.Sprintf("steps=%d", l.Steps)
+}
+
+// CheckDegradedSeed generates the function for one irgen seed and checks its
+// degradation ladder. cov (nil-safe) accumulates rung coverage.
+func CheckDegradedSeed(seed int64, opts Options, cov RungCoverage) error {
+	return CheckDegradedFunc(irgen.FromSeed(seed), opts, cov)
+}
+
+// CheckDegradedFunc verifies the degradation ladder on f for every register
+// count of opts, using the pipeline's default allocator (degradation is a
+// property of the governed pipeline, not of one algorithm; opts.Allocators
+// is ignored). For each budget of the sweep it asserts:
+//
+//  1. the run degrades — it returns an Outcome with Degraded set, never an
+//     error (a budget below the baseline spend that completes un-degraded,
+//     or fails outright, is a ladder bug);
+//  2. the rung label is one of the two known rungs;
+//  3. allocation soundness — at most R of the values the rung kept are
+//     simultaneously live, recomputed from liveness (trivial for spill-all,
+//     load-bearing for the linear-scan rung);
+//  4. assignment soundness — when the rung assigned registers, no two
+//     simultaneously-live kept values share one;
+//  5. semantic preservation — the rung's spill-everywhere rewrite behaves
+//     exactly like the original on opts.Inputs.
+func CheckDegradedFunc(f *ir.Func, opts Options, cov RungCoverage) error {
+	opts.fill()
+	fail := func(r int, lim string, input []int64, format string, args ...any) error {
+		return &Failure{
+			Func: f.Name, Allocator: "governed[" + lim + "]", R: r, Input: input,
+			Detail: fmt.Sprintf(format, args...),
+		}
+	}
+	orig := make([]*interp.Result, len(opts.Inputs))
+	for i, in := range opts.Inputs {
+		res, err := interp.Run(f, in, opts.Budget)
+		if err != nil {
+			return fail(0, "-", in, "original function failed to execute: %v", err)
+		}
+		orig[i] = res
+	}
+	info := liveness.Compute(f)
+	// Rewrites are a function of the spill set alone; executions are shared
+	// across rungs, register counts and budgets that spill the same values.
+	type rewriteRuns struct{ runs []*interp.Result }
+	cache := make(map[string]*rewriteRuns)
+
+	for _, r := range opts.Registers {
+		// Baseline: an active meter that never trips, to learn the spend.
+		base, err := core.Run(f, core.Config{
+			Registers: r,
+			Budget:    budget.Limits{Steps: ampleSteps},
+			Degrade:   true,
+		})
+		if err != nil {
+			return fail(r, "ample", nil, "baseline governed run failed: %v", err)
+		}
+		if base.Degraded != nil {
+			return fail(r, "ample", nil, "ample budget degraded: rung=%s stage=%s",
+				base.Degraded.Rung, base.Degraded.Stage)
+		}
+		if base.BudgetSpent <= 0 {
+			return fail(r, "ample", nil, "active meter recorded no spend")
+		}
+
+		for _, lim := range degradeBudgets(base.BudgetSpent) {
+			lab := limitsLabel(lim)
+			out, err := core.Run(f, core.Config{Registers: r, Budget: lim, Degrade: true})
+			if err != nil {
+				return fail(r, lab, nil, "governed run failed instead of degrading: %v", err)
+			}
+			if out.Degraded == nil {
+				return fail(r, lab, nil,
+					"budget below baseline spend %d did not degrade", base.BudgetSpent)
+			}
+			d := out.Degraded
+			if d.Rung != core.RungLinearScan && d.Rung != core.RungSpillAll {
+				return fail(r, lab, nil, "unknown degradation rung %q", d.Rung)
+			}
+			if d.Reason == nil || d.Stage == "" {
+				return fail(r, lab, nil, "degradation carries no stage/reason: %+v", d)
+			}
+			cov.add(d.Rung)
+			if err := checkAllocPressure(info, out, r); err != nil {
+				return fail(r, lab, nil, "[rung=%s] %v", d.Rung, err)
+			}
+			if out.RegisterOf != nil {
+				if err := checkAssignment(info, out, r); err != nil {
+					return fail(r, lab, nil, "[rung=%s] %v", d.Rung, err)
+				}
+			}
+			rewritten := out.Rewritten
+			if rewritten == nil {
+				// Non-SSA rungs stop after allocation, like the ordinary
+				// non-SSA pipeline; the spill-everywhere rewrite is still
+				// allocator-independent and checkable.
+				spilledVals := make([]bool, f.NumValues)
+				for _, v := range out.SpilledValues {
+					spilledVals[v] = true
+				}
+				rewritten = regassign.InsertSpillCode(f, spilledVals)
+				if err := rewritten.Validate(); err != nil {
+					return fail(r, lab, nil, "[rung=%s] rewrite invalid: %v", d.Rung, err)
+				}
+			}
+			key := spillKey(out.SpilledValues)
+			runs := cache[key]
+			if runs == nil {
+				runs = &rewriteRuns{runs: make([]*interp.Result, len(opts.Inputs))}
+				for i, in := range opts.Inputs {
+					res, err := interp.Run(rewritten, in, opts.Budget)
+					if err != nil {
+						return fail(r, lab, in,
+							"[rung=%s] rewritten function failed to execute: %v", d.Rung, err)
+					}
+					runs.runs[i] = res
+				}
+				cache[key] = runs
+			}
+			for i, in := range opts.Inputs {
+				if diff := orig[i].Diff(runs.runs[i]); diff != "" {
+					return fail(r, lab, in,
+						"[rung=%s] degraded rewrite changed behaviour (spilled %v): %s",
+						d.Rung, out.SpilledValues, diff)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckConstrainedDegraded verifies the degradation ladder of the
+// machine-constrained pipeline on f. The constrained ladder has no
+// linear-scan rung (an interval scan is blind to pins and clobbers), so
+// every trip must land on spill-all; beyond the fungible invariants the
+// check asserts per-class pressure, constrained assignment soundness, and
+// semantic preservation under both the plain and the clobber-modelling
+// interpreter.
+func CheckConstrainedDegraded(f *ir.Func, cons *arch.Constraints, opts Options, cov RungCoverage) error {
+	opts.fill()
+	r := cons.Cap(ir.ClassGPR)
+	fail := func(lim string, input []int64, format string, args ...any) error {
+		return &Failure{
+			Func: f.Name, Allocator: "governed[" + lim + "]", R: r, Input: input,
+			Detail: fmt.Sprintf("[machine=%s] %s", cons.Machine, fmt.Sprintf(format, args...)),
+		}
+	}
+	orig := make([]*interp.Result, len(opts.Inputs))
+	for i, in := range opts.Inputs {
+		res, err := interp.Run(f, in, opts.Budget)
+		if err != nil {
+			return fail("-", in, "original function failed to execute: %v", err)
+		}
+		orig[i] = res
+	}
+	info := liveness.Compute(f)
+
+	base, err := core.Run(f, core.Config{
+		Registers: r, Constraints: cons,
+		Budget:  budget.Limits{Steps: ampleSteps},
+		Degrade: true,
+	})
+	if err != nil {
+		return fail("ample", nil, "baseline governed run failed: %v", err)
+	}
+	if base.Degraded != nil {
+		return fail("ample", nil, "ample budget degraded: rung=%s stage=%s",
+			base.Degraded.Rung, base.Degraded.Stage)
+	}
+
+	for _, lim := range degradeBudgets(base.BudgetSpent) {
+		lab := limitsLabel(lim)
+		out, err := core.Run(f, core.Config{
+			Registers: r, Constraints: cons, Budget: lim, Degrade: true,
+		})
+		if err != nil {
+			return fail(lab, nil, "governed run failed instead of degrading: %v", err)
+		}
+		if out.Degraded == nil {
+			return fail(lab, nil, "budget below baseline spend %d did not degrade", base.BudgetSpent)
+		}
+		if out.Degraded.Rung != core.RungSpillAll {
+			return fail(lab, nil, "constrained ladder produced rung %q, want spill-all",
+				out.Degraded.Rung)
+		}
+		cov.add(out.Degraded.Rung)
+		if err := checkClassPressure(info, out, cons); err != nil {
+			return fail(lab, nil, "%v", err)
+		}
+		if out.RegisterOf == nil || out.Rewritten == nil {
+			return fail(lab, nil, "constrained spill-all outcome lacks assignment/rewrite")
+		}
+		spans := regassign.LiveThroughCalls(info)
+		if err := checkConstrainedAssignment(info, out, cons, spans); err != nil {
+			return fail(lab, nil, "%v", err)
+		}
+		for i, in := range opts.Inputs {
+			res, err := interp.Run(out.Rewritten, in, opts.Budget)
+			if err != nil {
+				return fail(lab, in, "degraded rewrite failed to execute: %v", err)
+			}
+			if d := orig[i].Diff(res); d != "" {
+				return fail(lab, in, "degraded rewrite changed behaviour: %s", d)
+			}
+			resC, err := interp.RunWithClobbers(out.Rewritten, in, opts.Budget, out.RegisterOf)
+			if err != nil {
+				return fail(lab, in, "degraded rewrite failed under clobber modelling: %v", err)
+			}
+			if d := orig[i].Diff(resC); d != "" {
+				return fail(lab, in, "clobber modelling changed degraded behaviour: %s", d)
+			}
+		}
+	}
+	return nil
+}
+
+// SoakDegraded checks the degradation ladder on seeds [base, base+n),
+// returning up to maxFail failures and the accumulated rung coverage (the
+// caller asserts cov.Complete() — a soak that never reached one rung proves
+// nothing about it). Progress is reported through report if non-nil.
+func SoakDegraded(base int64, n int, opts Options, maxFail int,
+	report func(done int, failed int)) ([]*Failure, RungCoverage) {
+	if maxFail <= 0 {
+		maxFail = 1
+	}
+	cov := RungCoverage{}
+	var fails []*Failure
+	for i := 0; i < n; i++ {
+		err := CheckDegradedSeed(base+int64(i), opts, cov)
+		if err != nil {
+			if f, ok := err.(*Failure); ok {
+				fails = append(fails, f)
+			} else {
+				fails = append(fails, &Failure{Func: fmt.Sprintf("seed%d", base+int64(i)), Detail: err.Error()})
+			}
+			if len(fails) >= maxFail {
+				return fails, cov
+			}
+		}
+		if report != nil {
+			report(i+1, len(fails))
+		}
+	}
+	return fails, cov
+}
+
+// SoakConstrainedDegraded checks the constrained degradation ladder on seeds
+// [base, base+n) across the given machines (default: all registered),
+// regenerating the function per register count like CheckConstrainedSeed.
+func SoakConstrainedDegraded(base int64, n int, machines []arch.Machine, opts Options,
+	maxFail int, report func(done int, failed int)) ([]*Failure, RungCoverage) {
+	if maxFail <= 0 {
+		maxFail = 1
+	}
+	if len(machines) == 0 {
+		machines = DefaultMachines()
+	}
+	opts.fill()
+	cov := RungCoverage{}
+	var fails []*Failure
+	for i := 0; i < n; i++ {
+		seed := base + int64(i)
+		for _, m := range machines {
+			for _, r := range opts.Registers {
+				cons := m.Constraints(r)
+				f := irgen.ConstrainedFromSeed(seed, cons)
+				err := CheckConstrainedDegraded(f, cons, opts, cov)
+				if err == nil {
+					continue
+				}
+				var fl *Failure
+				if fv, ok := err.(*Failure); ok {
+					fl = fv
+				} else {
+					fl = &Failure{Func: fmt.Sprintf("seed%d", seed), Detail: err.Error()}
+				}
+				fails = append(fails, fl)
+				if len(fails) >= maxFail {
+					return fails, cov
+				}
+			}
+		}
+		if report != nil {
+			report(i+1, len(fails))
+		}
+	}
+	return fails, cov
+}

@@ -1,0 +1,66 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDegradedSoakAcceptance is the degradation ladder's acceptance bar:
+// 100 generated functions (SSA and non-SSA mixed), R ∈ {2, 3, 4, 8}, each
+// under a budget sweep derived from its own baseline spend — every sweep
+// point must degrade (never fail), every degraded outcome must pass
+// pressure, interference and interpreter-equality checks, and across the
+// soak both ladder rungs must have been exercised.
+func TestDegradedSoakAcceptance(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 20
+	}
+	fails, cov := SoakDegraded(1, n, Options{}, 5, nil)
+	for _, f := range fails {
+		t.Error(f)
+	}
+	if len(fails) == 0 && !cov.Complete() {
+		t.Fatalf("soak did not exercise both rungs: %v", cov)
+	}
+	t.Logf("rung coverage over %d seeds: %v", n, cov)
+}
+
+// TestConstrainedDegradedSoak runs the machine-constrained ladder over all
+// registered machines. The constrained ladder has no linear-scan rung, so
+// coverage here means spill-all outcomes that still honor class capacities
+// and survive the clobber-modelling interpreter.
+func TestConstrainedDegradedSoak(t *testing.T) {
+	n := 8
+	if testing.Short() {
+		n = 3
+	}
+	fails, cov := SoakConstrainedDegraded(1, n, nil, Options{Registers: []int{2, 4}}, 5, nil)
+	for _, f := range fails {
+		t.Error(f)
+	}
+	if cov[core.RungSpillAll] == 0 {
+		t.Fatalf("constrained soak produced no spill-all outcomes: %v", cov)
+	}
+	if cov[core.RungLinearScan] != 0 {
+		t.Fatalf("constrained ladder produced a linear-scan outcome: %v", cov)
+	}
+}
+
+// TestSoakDegradedProgress exercises the soak driver's reporting contract
+// (used by cmd/verify).
+func TestSoakDegradedProgress(t *testing.T) {
+	calls := 0
+	fails, cov := SoakDegraded(1, 5, Options{Registers: []int{3}}, 5,
+		func(done, failed int) { calls = done })
+	for _, f := range fails {
+		t.Error(f)
+	}
+	if calls != 5 {
+		t.Fatalf("progress callback saw %d seeds, want 5", calls)
+	}
+	if len(cov) == 0 {
+		t.Fatal("no rung coverage recorded")
+	}
+}

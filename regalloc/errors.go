@@ -35,7 +35,20 @@ var (
 	// annotations the configured machine cannot express: a value in a class
 	// the machine lacks, or a pre-color outside the class capacity.
 	ErrMachineMismatch = raerr.ErrMachineMismatch
+
+	// ErrBudgetExceeded tags runs that exhausted a WithBudget resource
+	// budget — the wall-clock deadline, the work-step budget, or the
+	// max-values/max-blocks admission gate. Errors carrying it are
+	// *BudgetError values recording the tripping stage and the spend. With
+	// WithDegradation the engine converts the trip into a degraded-but-
+	// correct Outcome (Outcome.Degraded non-nil) instead of this error.
+	ErrBudgetExceeded = raerr.ErrBudgetExceeded
 )
+
+// BudgetError details a resource-budget violation: the pipeline stage that
+// tripped, the work spent against the step limit, and the elapsed wall-clock
+// time against the deadline. It wraps ErrBudgetExceeded.
+type BudgetError = raerr.BudgetError
 
 // FuncError is a failure localized to one function of a run: the function
 // name, the pipeline stage that failed ("validate", "allocate", "assign",

@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/arch"
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/fingerprint"
 	"repro/internal/outcache"
@@ -73,6 +74,30 @@ type FuncResult = pipeline.FuncResult
 // Totals aggregates a module run: function, spill and error counts plus
 // total spill cost.
 type Totals = pipeline.Totals
+
+// Budget bounds a run's resources: a wall-clock Deadline, a work-step
+// Steps budget charged cooperatively inside the analysis and allocation
+// loops, and a MaxValues/MaxBlocks admission gate checked before any
+// analysis runs. The zero Budget means unbounded. See WithBudget.
+type Budget = budget.Limits
+
+// Degradation records how a budget-governed run fell down the degradation
+// ladder: the rung that produced the outcome (RungLinearScan or
+// RungSpillAll), the stage whose budget trip forced the fall, and the
+// underlying *BudgetError. See WithDegradation and Outcome.Degraded.
+type Degradation = core.Degradation
+
+// Rung labels of the degradation ladder (Degradation.Rung).
+const (
+	// RungLinearScan: the configured allocator ran out of budget during
+	// allocation or assignment and the result was recomputed by the DLS
+	// linear scan under a fresh, small step allowance.
+	RungLinearScan = core.RungLinearScan
+	// RungSpillAll: the floor — every occurring value spilled. Reached when
+	// the budget trips before the problem structure exists (admission,
+	// liveness, cliques) or when the linear-scan rung itself runs dry.
+	RungSpillAll = core.RungSpillAll
+)
 
 // CostModel parameterizes the spill-cost estimate: the per-loop-level
 // multiplier and the store/reload weight ratio. The zero value means
@@ -104,6 +129,8 @@ type options struct {
 	sharedCache    *Cache
 	machine        string
 	constraints    *arch.Constraints
+	budget         Budget
+	degrade        bool
 }
 
 // Option configures an Engine (New).
@@ -180,6 +207,25 @@ func WithCache(capacity int) Option { return func(o *options) { o.cacheSize = ca
 // service — share one bounded pool. Entries are keyed by configuration as
 // well as content, so engines with different configs never cross-serve.
 func WithSharedCache(c *Cache) Option { return func(o *options) { o.sharedCache = c } }
+
+// WithBudget bounds every run's resources: a wall-clock deadline (per
+// function), a cooperative work-step budget, and a max-values/max-blocks
+// admission gate. Without WithDegradation, exhausting the budget fails the
+// function with a *FuncError wrapping ErrBudgetExceeded (carrying a
+// *BudgetError with the stage and spend); sibling functions of a module are
+// unaffected. The zero Budget means unbounded (the default).
+func WithBudget(b Budget) Option { return func(o *options) { o.budget = b } }
+
+// WithDegradation turns budget trips into degraded-but-correct outcomes
+// instead of errors: a governed run that exhausts its budget falls down the
+// ladder layered → linear-scan → spill-all (each rung cheaper; the
+// spill-all floor is O(V) and never fails) and the Outcome records the rung
+// and reason in Outcome.Degraded. Degraded outcomes satisfy every
+// correctness invariant — pressure ≤ R, interference-free assignment,
+// semantics-preserving rewrite — they just spill more than a fully funded
+// run would. They are never stored in the outcome cache, so a later run
+// with more budget recomputes them. Meaningful only with WithBudget.
+func WithDegradation() Option { return func(o *options) { o.degrade = true } }
 
 // Engine runs the register-allocation pipeline. It wraps the internal
 // scratch-reusing runner and the module worker pool behind one validated
@@ -269,6 +315,8 @@ func (e *Engine) newWorker() *worker {
 		SkipRewrite: e.opts.skipRewrite,
 		LegacyIFG:   e.opts.legacyIFG,
 		Constraints: e.opts.constraints,
+		Budget:      e.opts.budget,
+		Degrade:     e.opts.degrade,
 		// New validated the model once for the engine's lifetime.
 		TrustedCostModel: true,
 	}}
@@ -312,7 +360,9 @@ func (e *Engine) AllocateFunc(ctx context.Context, f *irx.Func) (*Outcome, error
 		w := e.pool.Get().(*worker)
 		out, err := pipeline.RunFunc(w.runner, f, w.cfg)
 		e.pool.Put(w)
-		if err == nil {
+		// Degraded outcomes are never cached: the trip point depends on the
+		// wall clock, and a later call may have the budget to do better.
+		if err == nil && out.Degraded == nil {
 			e.cache.Put(key, out)
 		}
 		return out, err
@@ -338,6 +388,8 @@ func (e *Engine) moduleConfig() pipeline.Config {
 		// WithTrustedCostModel); don't re-validate per module run.
 		TrustedCostModel: true,
 		Cache:            e.cache,
+		Budget:           e.opts.budget,
+		Degrade:          e.opts.degrade,
 	}
 }
 

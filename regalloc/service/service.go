@@ -10,7 +10,15 @@
 //
 //	POST /v1/allocate   one Request in, one Response out
 //	GET  /metrics       Prometheus text exposition
-//	GET  /healthz       200 serving / 503 draining
+//	GET  /healthz       liveness: 200 while the process serves at all
+//	GET  /readyz        readiness: 503 while draining or saturated
+//
+// A Config with an active Budget bounds every allocation's resources;
+// with Degrade set, over-budget functions are served from a degradation
+// ladder (Response.Degraded names the rung) instead of failing. Client is
+// the matching resilient caller: retries with jittered exponential
+// backoff, Retry-After pushback, per-attempt deadlines and a total retry
+// budget.
 package service
 
 import "repro/internal/server"
@@ -42,6 +50,11 @@ var NewEngineCache = server.NewEngineCache
 // per-function outcomes); nil is valid.
 type Observer = server.Observer
 
+// DegradationObserver is an optional Observer extension receiving
+// degradation-ladder and budget-exhaustion events from budget-governed
+// engines.
+type DegradationObserver = server.DegradationObserver
+
 // Do serves one request against an engine table — the single-request core
 // shared by the HTTP server and the allocbatch JSONL mode.
 var Do = server.Do
@@ -71,4 +84,23 @@ const (
 	DefaultRequestTimeout = server.DefaultRequestTimeout
 	DefaultDrainTimeout   = server.DefaultDrainTimeout
 	DefaultMaxBodyBytes   = server.DefaultMaxBodyBytes
+)
+
+// Client is a resilient caller for the allocation service: jittered
+// exponential backoff over transient failures, Retry-After pushback,
+// per-attempt deadlines and a total retry budget.
+type Client = server.Client
+
+// AttemptError is the typed failure of an exhausted Client.Allocate.
+type AttemptError = server.AttemptError
+
+// RetryableStatus reports whether an HTTP status is worth retrying.
+var RetryableStatus = server.RetryableStatus
+
+// Client defaults.
+const (
+	DefaultMaxAttempts    = server.DefaultMaxAttempts
+	DefaultBaseBackoff    = server.DefaultBaseBackoff
+	DefaultMaxBackoff     = server.DefaultMaxBackoff
+	DefaultAttemptTimeout = server.DefaultAttemptTimeout
 )

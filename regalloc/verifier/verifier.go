@@ -59,3 +59,45 @@ func SoakConstrained(base int64, n int, machines []string, opts Options, maxFail
 	}
 	return verify.SoakConstrained(base, n, ms, opts, maxFail, report), nil
 }
+
+// RungCoverage tallies which degradation-ladder rungs a degraded soak
+// exercised; Complete reports whether both the linear-scan and the
+// spill-all rung were hit.
+type RungCoverage = verify.RungCoverage
+
+// NewRungCoverage returns an empty tally for the degraded soaks.
+func NewRungCoverage() RungCoverage { return verify.RungCoverage{} }
+
+// CheckDegradedSeed verifies the degradation ladder on one generated
+// function: a budget sweep derived from the function's own measured spend
+// forces trips at every stage, and every degraded outcome must satisfy the
+// full correctness matrix (pressure, assignment soundness, semantic
+// preservation) while naming its rung. cov, when non-nil, tallies the rungs
+// exercised.
+func CheckDegradedSeed(seed int64, opts Options, cov RungCoverage) error {
+	return verify.CheckDegradedSeed(seed, opts, cov)
+}
+
+// SoakDegraded runs the degradation-ladder soak over n generated functions
+// starting at the base seed: every budget-governed outcome must be
+// degraded-but-correct, never wrong and never an error. It returns the
+// failures and the rung coverage tally.
+func SoakDegraded(base int64, n int, opts Options, maxFail int, report func(done, failed int)) ([]*Failure, RungCoverage) {
+	return verify.SoakDegraded(base, n, opts, maxFail, report)
+}
+
+// SoakConstrainedDegraded is SoakDegraded under machine constraints:
+// degraded outcomes must additionally honor register classes, pre-colors
+// and call clobbers. machines follows SoakConstrained (nil sweeps all).
+func SoakConstrainedDegraded(base int64, n int, machines []string, opts Options, maxFail int, report func(done, failed int)) ([]*Failure, RungCoverage, error) {
+	var ms []arch.Machine
+	for _, name := range machines {
+		m, err := arch.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		ms = append(ms, m)
+	}
+	fails, cov := verify.SoakConstrainedDegraded(base, n, ms, opts, maxFail, report)
+	return fails, cov, nil
+}

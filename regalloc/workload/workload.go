@@ -72,6 +72,14 @@ func GenerateModule(seed int64, n int) *irx.Module { return irgen.GenerateModule
 // the generator behind the verifier's soak mode.
 func GenerateFunc(seed int64) *irx.Func { return irgen.FromSeed(seed) }
 
+// GenGiant deterministically generates a giant strict-SSA function with
+// approximately the requested value and block counts, in O(values) time —
+// the stress workload of the resource-governance (budget and degradation)
+// tests and the allocation-time scaling benchmark.
+func GenGiant(name string, seed int64, values, blocks int) *irx.Func {
+	return bench.GenGiant(name, seed, values, blocks)
+}
+
 // GenDuplicated deterministically generates a module of n functions with a
 // controlled duplication rate: each function after the first is, with
 // probability dupRate, an alpha-renamed copy of an earlier one. This is

@@ -55,6 +55,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	regs := fs.Int("r", 4, "register count")
 	allocName := fs.String("alloc", "", "allocator name, or 'help' to list (default BFPL/LH)")
 	machine := fs.String("machine", "", "target machine name for machine-constrained allocation, or 'help' to list (default unconstrained)")
+	coalesceName := fs.String("coalesce", "", "coalescing policy: off, aggressive, conservative (default off)")
 	jobs := fs.Int("jobs", 0, "worker count (0 = GOMAXPROCS)")
 	module := fs.String("module", "", "textual IR module file ('-' = stdin)")
 	gen := fs.Int("gen", 0, "generate a module of this many functions instead of reading one")
@@ -102,13 +103,13 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			CPUProfile: *cpuProfile, MemProfile: *memProfile,
 		})
 	case *jsonl:
-		return runJSONL(in, out, *regs, *allocName, *machine, *jobs, *cacheSize)
+		return runJSONL(in, out, *regs, *allocName, *machine, *coalesceName, *jobs, *cacheSize)
 	default:
 		m, err := loadModule(*module, *gen, *seed, in)
 		if err != nil {
 			return err
 		}
-		return runBatch(out, m, *regs, *allocName, *machine, *jobs, *print, *cacheSize)
+		return runBatch(out, m, *regs, *allocName, *machine, *coalesceName, *jobs, *print, *cacheSize)
 	}
 }
 
@@ -130,16 +131,23 @@ func loadModule(path string, gen int, seed int64, in io.Reader) (*irx.Module, er
 }
 
 // newEngine assembles the engine for one (registers, allocator, machine,
-// jobs) configuration; shared by the batch and JSONL modes. A non-nil
-// shared cache attaches to the engine; cacheSize > 0 gives it a private
-// one.
-func newEngine(regs int, allocName, machine string, jobs, cacheSize int, shared *regalloc.Cache) (*regalloc.Engine, error) {
+// coalescing, jobs) configuration; shared by the batch and JSONL modes. A
+// non-nil shared cache attaches to the engine; cacheSize > 0 gives it a
+// private one.
+func newEngine(regs int, allocName, machine, coalesceName string, jobs, cacheSize int, shared *regalloc.Cache) (*regalloc.Engine, error) {
 	opts := []regalloc.Option{regalloc.WithRegisters(regs), regalloc.WithJobs(jobs)}
 	if allocName != "" {
 		opts = append(opts, regalloc.WithAllocator(allocName))
 	}
 	if machine != "" {
 		opts = append(opts, regalloc.WithMachine(machine))
+	}
+	if coalesceName != "" {
+		pol, err := regalloc.CoalescePolicyByName(coalesceName)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, regalloc.WithCoalescing(pol))
 	}
 	switch {
 	case shared != nil:
@@ -150,8 +158,8 @@ func newEngine(regs int, allocName, machine string, jobs, cacheSize int, shared 
 	return regalloc.New(opts...)
 }
 
-func runBatch(out io.Writer, m *irx.Module, regs int, allocName, machine string, jobs int, detail bool, cacheSize int) error {
-	eng, err := newEngine(regs, allocName, machine, jobs, cacheSize, nil)
+func runBatch(out io.Writer, m *irx.Module, regs int, allocName, machine, coalesceName string, jobs int, detail bool, cacheSize int) error {
+	eng, err := newEngine(regs, allocName, machine, coalesceName, jobs, cacheSize, nil)
 	if err != nil {
 		return err
 	}
@@ -190,7 +198,7 @@ func runBatch(out io.Writer, m *irx.Module, regs int, allocName, machine string,
 // intake promptly: the reader stops consuming stdin and the pool drains
 // what is already in flight without allocating into a dead sink; runJSONL
 // then returns that write error.
-func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc, defMachine string, jobs, cacheSize int) error {
+func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc, defMachine, defCoalesce string, jobs, cacheSize int) error {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -233,7 +241,7 @@ func runJSONL(in io.Reader, out io.Writer, defRegs int, defAlloc, defMachine str
 		go func() {
 			defer wg.Done()
 			for s := range work {
-				s.done <- service.Do(context.Background(), engines, s.req, s.err, defRegs, defAlloc, defMachine, nil)
+				s.done <- service.Do(context.Background(), engines, s.req, s.err, defRegs, defAlloc, defMachine, defCoalesce, nil)
 			}
 		}()
 	}

@@ -324,7 +324,7 @@ func TestRunJSONLWriterErrorStopsIntake(t *testing.T) {
 		total: total,
 	}
 	sink := &failWriter{}
-	err := runJSONL(in, sink, 4, "", "", 2, 0)
+	err := runJSONL(in, sink, 4, "", "", "", 2, 0)
 	if !errors.Is(err, errSinkClosed) {
 		t.Fatalf("run error = %v, want the writer's error", err)
 	}

@@ -62,6 +62,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	regs := fs.Int("r", 4, "default register count for requests that omit one")
 	allocName := fs.String("alloc", "", "default allocator name, or 'help' to list (default BFPL/LH)")
 	machine := fs.String("machine", "", "default target machine for machine-constrained allocation, or 'help' to list (default unconstrained)")
+	coalesceName := fs.String("coalesce", "", "default coalescing policy: off, aggressive, conservative (default off)")
 	jobs := fs.Int("jobs", 0, "worker count for module requests (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 0, "outcome-cache capacity in entries, shared across request configurations (0 = off)")
 	maxInFlight := fs.Int("max-inflight", service.DefaultMaxInFlight, "admission bound: concurrent requests beyond it get 429")
@@ -95,6 +96,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		Registers:      *regs,
 		Allocator:      *allocName,
 		Machine:        *machine,
+		Coalesce:       *coalesceName,
 		Jobs:           *jobs,
 		CacheSize:      *cacheSize,
 		MaxInFlight:    *maxInFlight,

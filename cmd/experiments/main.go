@@ -3,10 +3,19 @@
 //
 // Usage:
 //
-//	experiments [-fig N] [-v]
+//	experiments [-fig N] [-v]                         # plain-text figure tables
+//	experiments -json QUALITY.json -md QUALITY.md     # committed quality artifacts
+//	experiments -against QUALITY.json                 # CI quality gate
 //
 // Without -fig, all figures are produced in order. Output is plain text:
 // one table per figure, with the same rows/series the paper plots.
+//
+// The -json/-md/-against flags switch to the quality pipeline: the full
+// figure sweep plus the coalescing-biased-assignment differential is
+// distilled into a quality.Report. -json and -md write the committed
+// artifacts ("-" = stdout); -against loads a committed QUALITY.json first
+// and diffs the fresh run against it under the default tolerances, exiting
+// non-zero on any out-of-tolerance drift — the CI quality gate.
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"io"
 	"os"
 
+	"repro/regalloc/quality"
 	"repro/regalloc/workload"
 )
 
@@ -31,6 +41,9 @@ func run(args []string, out io.Writer) error {
 	fig := fs.Int("fig", 0, "figure to regenerate (8..15); 0 = all")
 	ext := fs.Bool("ext", false, "also run the SSA-construction extension experiment")
 	coal := fs.Bool("coalesce", false, "also run the coalescing extension experiment")
+	jsonOut := fs.String("json", "", "write the quality report (QUALITY.json) to this path; - = stdout")
+	mdOut := fs.String("md", "", "write the quality report's markdown tables to this path; - = stdout")
+	against := fs.String("against", "", "diff the fresh quality report against this committed QUALITY.json (CI gate)")
 	verbose := fs.Bool("v", false, "print per-program progress")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -42,6 +55,10 @@ func run(args []string, out io.Writer) error {
 	var progress io.Writer
 	if *verbose {
 		progress = os.Stderr
+	}
+
+	if *jsonOut != "" || *mdOut != "" || *against != "" {
+		return runQuality(*jsonOut, *mdOut, *against, out, progress)
 	}
 
 	want := func(n int) bool { return *fig == 0 || *fig == n }
@@ -125,6 +142,49 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, workload.FormatCoalesce(workload.RunCoalesce(
 			[]workload.Suite{workload.SuiteSPEC2000, workload.SuiteEEMBC, workload.SuiteLAOKernels})))
 		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runQuality runs the figure-grade quality pipeline and serves the
+// -json/-md/-against flags. The committed report is loaded before the
+// (expensive) generation so a bad -against path fails fast.
+func runQuality(jsonOut, mdOut, against string, out io.Writer, progress io.Writer) error {
+	var committed *quality.Report
+	if against != "" {
+		var err error
+		if committed, err = quality.ReadFile(against); err != nil {
+			return err
+		}
+	}
+	rep, err := quality.Generate(quality.Options{Progress: progress})
+	if err != nil {
+		return err
+	}
+	if jsonOut != "" {
+		buf, err := quality.Encode(rep)
+		if err != nil {
+			return err
+		}
+		if jsonOut == "-" {
+			out.Write(buf)
+		} else if err := os.WriteFile(jsonOut, buf, 0o644); err != nil {
+			return err
+		}
+	}
+	if mdOut != "" {
+		md := quality.Markdown(rep)
+		if mdOut == "-" {
+			io.WriteString(out, md)
+		} else if err := os.WriteFile(mdOut, []byte(md), 0o644); err != nil {
+			return err
+		}
+	}
+	if committed != nil {
+		if err := quality.Compare(committed, rep, quality.Tolerances{}); err != nil {
+			return fmt.Errorf("quality gate failed against %s:\n%w", against, err)
+		}
+		fmt.Fprintf(out, "quality gate: fresh run matches %s within tolerances\n", against)
 	}
 	return nil
 }

@@ -50,3 +50,12 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("bad -fig value accepted")
 	}
 }
+
+// TestRunAgainstMissingFile: the committed report is loaded before the
+// expensive generation, so a bad -against path must fail immediately.
+func TestRunAgainstMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-against", "/nonexistent/QUALITY.json"}, &out); err == nil {
+		t.Error("missing -against file accepted")
+	}
+}

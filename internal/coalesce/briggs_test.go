@@ -1,0 +1,220 @@
+// White-box tests for the Briggs-criterion edge cases of the clique-native
+// affinity construction: significant-degree and significant-count boundaries
+// at exactly R−1/R, interfering-pair rejection, and self-move extraction.
+package coalesce
+
+import (
+	"testing"
+
+	"repro/internal/cliques"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/spillcost"
+)
+
+func deriveCS(t *testing.T, src string) *cliques.Structure {
+	t.Helper()
+	f := ir.MustParse(src)
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	cs := cliques.Derive(liveness.Compute(f), dom, nil)
+	if cs == nil {
+		t.Fatal("cliques.Derive failed on a strict-SSA function")
+	}
+	return cs
+}
+
+func vertexOf(t *testing.T, cs *cliques.Structure, f *ir.Func, name string) int32 {
+	t.Helper()
+	for v := 0; v < f.NumValues; v++ {
+		if f.NameOf(v) == name {
+			vx := cs.VertexOf[v]
+			if vx < 0 {
+				t.Fatalf("value %q has no vertex", name)
+			}
+			return int32(vx)
+		}
+	}
+	t.Fatalf("no value named %q", name)
+	return -1
+}
+
+// refuseSrc: x and y are copy-related and do not interfere; their merged
+// class has exactly three neighbours h1,h2,h3, each adjacent to both x and
+// y. h1 and h2 have interference degree 5 (post-merge effective degree
+// exactly 4), h3 degree 6 (effective 5, the extra edge to the temporary t).
+const refuseSrc = `
+func refuse ssa {
+b0:
+  h1 = param 0
+  h2 = param 1
+  h3 = param 2
+  x = param 3
+  y = copy x
+  u = arith y, y
+  t = arith h1, h2
+  t2 = arith t, h3
+  ret t2
+}`
+
+// TestBriggsSignificantCountBoundary drives briggsClassOK across the exact
+// R−1/R boundaries on refuseSrc (post-merge effective degrees 4, 4, 5):
+//
+//	r=3: all three significant, count 3 = r                    → refuse
+//	r=4: all three significant (h1,h2 at degree exactly R),
+//	     count 3 = r−1                                         → accept
+//	r=5: only h3 significant (degree exactly R), count 1       → accept
+func TestBriggsSignificantCountBoundary(t *testing.T) {
+	cs := deriveCS(t, refuseSrc)
+	x := vertexOf(t, cs, cs.F, "x")
+	y := vertexOf(t, cs, cs.F, "y")
+	if interferes(cs, int(x), int(y)) {
+		t.Fatal("x and y must not interfere in refuseSrc")
+	}
+	for _, h := range []struct {
+		name string
+		deg  int
+	}{{"h1", 5}, {"h2", 5}, {"h3", 6}} {
+		hv := vertexOf(t, cs, cs.F, h.name)
+		if !interferes(cs, int(x), int(hv)) || !interferes(cs, int(y), int(hv)) {
+			t.Fatalf("%s must interfere with both x and y", h.name)
+		}
+		if deg := cs.Degrees()[hv]; deg != h.deg {
+			t.Fatalf("deg(%s) = %d, want %d", h.name, deg, h.deg)
+		}
+	}
+	sc := &BiasScratch{}
+	sc.grow(cs.N)
+	for _, tc := range []struct {
+		r    int
+		want bool
+	}{
+		{3, false}, // significant count exactly R
+		{4, true},  // significant degree exactly R, count exactly R−1
+		{5, true},  // no significant neighbours
+		{0, false}, // degenerate register file never merges
+	} {
+		if got := briggsClassOK(cs, []int32{x}, []int32{y}, tc.r, sc); got != tc.want {
+			t.Errorf("briggsClassOK(r=%d) = %v, want %v", tc.r, got, tc.want)
+		}
+	}
+}
+
+// TestBuildAffinityBriggsBoundary is the same boundary through the public
+// constructor: Conservative at r=3 refuses the merge (no affinity forms),
+// at r=4 accepts it, and Aggressive merges regardless of the count.
+func TestBuildAffinityBriggsBoundary(t *testing.T) {
+	cs := deriveCS(t, refuseSrc)
+	moves := MovesFromFunc(cs.F, spillcost.DefaultModel)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want the single x→y copy", moves)
+	}
+	if aff := BuildAffinity(cs, moves, Conservative, 3, nil); aff != nil {
+		t.Errorf("Conservative r=3 merged despite %d significant neighbours", 3)
+	}
+	for _, tc := range []struct {
+		policy Policy
+		r      int
+	}{{Conservative, 4}, {Aggressive, 3}} {
+		aff := BuildAffinity(cs, moves, tc.policy, tc.r, nil)
+		if aff == nil || aff.Merged != 1 || aff.NumClasses != 1 {
+			t.Fatalf("%v r=%d: affinity = %+v, want one merged class", tc.policy, tc.r, aff)
+		}
+		x := vertexOf(t, cs, cs.F, "x")
+		y := vertexOf(t, cs, cs.F, "y")
+		if aff.ClassOf[cs.ValueOf[x]] != aff.ClassOf[cs.ValueOf[y]] || aff.ClassOf[cs.ValueOf[x]] < 0 {
+			t.Fatalf("x and y not in one class: %v", aff.ClassOf)
+		}
+	}
+}
+
+// TestBuildAffinityInterferingPairRejected: when the copy source lives past
+// the copy, destination and source interfere and no policy may merge them.
+func TestBuildAffinityInterferingPairRejected(t *testing.T) {
+	cs := deriveCS(t, `
+func c ssa {
+b0:
+  a = param 0
+  d = copy a
+  e = arith d, a
+  ret e
+}`)
+	moves := MovesFromFunc(cs.F, spillcost.DefaultModel)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v", moves)
+	}
+	a := vertexOf(t, cs, cs.F, "a")
+	d := vertexOf(t, cs, cs.F, "d")
+	if !interferes(cs, int(a), int(d)) {
+		t.Fatal("a and d must interfere (a lives past the copy)")
+	}
+	for _, p := range []Policy{Aggressive, Conservative} {
+		if aff := BuildAffinity(cs, moves, p, 4, nil); aff != nil {
+			t.Errorf("%v merged an interfering pair: %+v", p, aff)
+		}
+	}
+}
+
+// TestSelfMoveSkipped: a φ whose operand is its own def (loop-carried
+// identity) is a self-move — zero profit, and merging a vertex with itself
+// must never be attempted or counted.
+func TestSelfMoveSkipped(t *testing.T) {
+	f := ir.MustParse(`
+func s ssa {
+b0:
+  i0 = param 0
+  br b1
+b1:
+  i = phi [b0: i0], [b1: i]
+  c = unary i
+  condbr c, b1, b2
+b2:
+  ret i
+}`)
+	dom := f.ComputeDominance()
+	f.ComputeLoops(dom)
+	moves := MovesFromFunc(f, spillcost.DefaultModel)
+	for _, m := range moves {
+		if m.Dst == m.Src {
+			t.Fatalf("self-move survived extraction: %+v", m)
+		}
+	}
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want only the i←i0 entry move", moves)
+	}
+}
+
+// TestBriggsClassMergeReducesToPairwise: for singleton classes the
+// class-level criterion must agree with the classical pairwise Briggs test
+// on the materialized graph (degree correction of a shared neighbour is
+// deg−1, exactly the adjCount formula at k=2).
+func TestBriggsClassMergeReducesToPairwise(t *testing.T) {
+	cs := deriveCS(t, refuseSrc)
+	g := cs.BuildGraph()
+	x := int(vertexOf(t, cs, cs.F, "x"))
+	y := int(vertexOf(t, cs, cs.F, "y"))
+	sc := &BiasScratch{}
+	sc.grow(cs.N)
+	for r := 1; r <= 6; r++ {
+		classOK := briggsClassOK(cs, []int32{int32(x)}, []int32{int32(y)}, r, sc)
+		// Pairwise reference on the explicit graph.
+		significant := 0
+		for u := 0; u < cs.N; u++ {
+			if u == x || u == y || (!g.HasEdge(x, u) && !g.HasEdge(y, u)) {
+				continue
+			}
+			deg := g.Degree(u)
+			if g.HasEdge(x, u) && g.HasEdge(y, u) {
+				deg--
+			}
+			if deg >= r {
+				significant++
+			}
+		}
+		pairOK := r > 0 && significant < r
+		if classOK != pairOK {
+			t.Errorf("r=%d: class-level %v, pairwise reference %v (significant=%d)",
+				r, classOK, pairOK, significant)
+		}
+	}
+}

@@ -86,15 +86,51 @@ func (r *Result) MovesEliminated() float64 {
 	return r.EliminatedCost / r.TotalCost
 }
 
-// Policy selects the merge criterion.
+// Policy selects the merge criterion. The zero value is Off so that configs
+// which never mention coalescing keep the historical (unbiased) behavior.
 type Policy int
 
 const (
-	// Aggressive merges every non-interfering copy-related pair.
-	Aggressive Policy = iota
+	// Off performs no coalescing: assignment is unbiased, byte-identical to
+	// the pre-coalescing pipeline.
+	Off Policy = iota
+	// Aggressive merges every non-interfering copy-related pair (Chaitin).
+	Aggressive
 	// Conservative applies the Briggs test with R registers.
 	Conservative
 )
+
+// String returns the canonical policy name ("off", "aggressive",
+// "conservative").
+func (p Policy) String() string {
+	switch p {
+	case Off:
+		return "off"
+	case Aggressive:
+		return "aggressive"
+	case Conservative:
+		return "conservative"
+	}
+	return "invalid"
+}
+
+// Valid reports whether p is one of the defined policies.
+func (p Policy) Valid() bool { return p >= Off && p <= Conservative }
+
+// PolicyByName resolves a policy name. The empty string and "off" map to
+// Off; "aggressive" and "conservative" (or "briggs") to the two merge
+// criteria.
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "", "off":
+		return Off, true
+	case "aggressive":
+		return Aggressive, true
+	case "conservative", "briggs":
+		return Conservative, true
+	}
+	return Off, false
+}
 
 // Run coalesces the moves over the interference graph of b. R is only used
 // by the Conservative policy. Moves are processed in decreasing cost order
@@ -104,6 +140,12 @@ func Run(b *ifg.Build, moves []Move, policy Policy, r int) *Result {
 	res := &Result{Rep: make([]int, n)}
 	for i := range res.Rep {
 		res.Rep[i] = i
+	}
+	if policy == Off {
+		for _, m := range moves {
+			res.TotalCost += m.Cost
+		}
+		return res
 	}
 	var find func(int) int
 	find = func(x int) int {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/budget"
 	"repro/internal/cliques"
+	"repro/internal/coalesce"
 	"repro/internal/ir"
 	"repro/internal/liveness"
 	"repro/internal/raerr"
@@ -310,7 +311,31 @@ func runConstrained(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 	// Assignment with the force-spill retry loop, before the Outcome's spill
 	// bookkeeping (a retry shrinks the allocated set).
 	var regOf []int
+	var coalStats *coalesce.Stats
 	if !cfg.SkipRewrite {
+		// Coalescing bias, built per register class against the class
+		// capacity (endpoints of different classes can never share a
+		// register). Pins seed the class hints, so copy chains rooted at an
+		// ABI register chase the pin.
+		var bias *regassign.Bias
+		var moves []coalesce.VMove
+		var aff *coalesce.Affinity
+		if cfg.Coalescing != coalesce.Off {
+			moves = coalesce.MovesFromFunc(f, cfg.CostModel)
+			if len(moves) > 0 {
+				var sc *coalesce.BiasScratch
+				if runner != nil {
+					if runner.bias == nil {
+						runner.bias = &coalesce.BiasScratch{}
+					}
+					sc = runner.bias
+				}
+				aff = coalesce.BuildAffinityConstrained(cs, f, moves, cfg.Coalescing, caps, sc)
+				if aff != nil {
+					bias = regassign.NewBias(aff.ClassOf, aff.NumClasses)
+				}
+			}
+		}
 		m.SetStage(raerr.StageAssign)
 		for tries := 0; ; tries++ {
 			// The constrained assigner is not internally metered; one charge
@@ -321,10 +346,19 @@ func runConstrained(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 				}
 				return spillAll(f, cfg, dom, info, m, m.BudgetErr())
 			}
-			r, failVal, aerr := regassign.AssignConstrained(f, dom, info, allocatedVals, caps, pins, forbid)
+			r, failVal, aerr := regassign.AssignConstrainedBiased(f, dom, info, allocatedVals, caps, pins, forbid, bias)
 			if aerr == nil {
 				regOf = r
 				break
+			}
+			if bias != nil {
+				// Bias must never cost a spill: pin collisions can make a
+				// hint-following scan fail where the lowest-admissible one
+				// succeeds, so the first failed biased attempt retries
+				// unbiased — before any force-spill — keeping the spill set
+				// identical to the unbiased pipeline's.
+				bias = nil
+				continue
 			}
 			if failVal < 0 || failVal >= nv || !allocatedVals[failVal] || tries >= nv {
 				return nil, &raerr.FuncError{Func: f.Name, Stage: "assign",
@@ -332,6 +366,9 @@ func runConstrained(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 						raerr.ErrPressureUnsatisfiable, aerr)}
 			}
 			allocatedVals[failVal] = false
+		}
+		if cfg.Coalescing != coalesce.Off {
+			coalStats = coalesce.StatsFor(cfg.Coalescing, moves, regOf, aff)
 		}
 		if err := regassign.VerifyAssignment(info, allocatedVals, regOf); err != nil {
 			return nil, &raerr.FuncError{Func: f.Name, Stage: "assign",
@@ -377,6 +414,7 @@ func runConstrained(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 
 	if !cfg.SkipRewrite {
 		out.RegisterOf = regOf
+		out.Coalesce = coalStats
 		spilledVals := make([]bool, nv)
 		for _, v := range out.SpilledValues {
 			spilledVals[v] = true

@@ -38,6 +38,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/budget"
 	"repro/internal/cliques"
+	"repro/internal/coalesce"
 	"repro/internal/ifg"
 	"repro/internal/ir"
 	"repro/internal/liveness"
@@ -82,6 +83,16 @@ type Config struct {
 	// point; an allocator that ignores Problem.Meter is only caught by the
 	// wall-clock checks at stage boundaries.
 	Budget budget.Limits
+	// Coalescing enables coalescing-biased register assignment on the
+	// IFG-free fast path: φ/copy-related values are grouped into affinity
+	// classes (union-find; Conservative applies the Briggs criterion against
+	// clique-membership degrees) and the tree-scan prefers an affine
+	// partner's register when it is free — never at the cost of an extra
+	// spill, and never changing which values are allocated. The zero value
+	// (coalesce.Off) reproduces the unbiased pipeline byte-for-byte.
+	// Incompatible with LegacyIFG; no-op for non-SSA functions and on
+	// degraded rungs.
+	Coalescing coalesce.Policy
 	// Degrade converts a budget trip into a degraded-but-correct Outcome
 	// instead of an error: the run falls down the ladder
 	// layered → linear-scan → spill-all (each rung cheaper and itself
@@ -141,6 +152,11 @@ type Outcome struct {
 	// Rewritten is the function with spill-everywhere code inserted; only
 	// set for SSA functions when SkipRewrite is off.
 	Rewritten *ir.Func
+	// Coalesce, when non-nil, reports the effect of coalescing-biased
+	// assignment on the function's φ/copy moves (total, eliminated and
+	// residual dynamic move cost); set only when Config.Coalescing is on and
+	// biased assignment ran (fast path, rewrite on, not degraded).
+	Coalesce *coalesce.Stats
 	// Degraded, when non-nil, records that the run exceeded its budget and
 	// fell down the degradation ladder; the outcome is correct but of lower
 	// spill quality than the configured allocator would have produced.
@@ -173,6 +189,8 @@ type Runner struct {
 	// Reusable spill-cost vector (BuildProblem copies what it keeps, so
 	// the buffer never escapes into an Outcome).
 	costs []float64
+	// Affinity-construction scratch for coalescing-biased assignment.
+	bias *coalesce.BiasScratch
 }
 
 // NewRunner returns a Runner with empty scratch.
@@ -204,6 +222,15 @@ func run(f *ir.Func, cfg Config, runner *Runner) (*Outcome, error) {
 	if !cfg.TrustedCostModel {
 		if err := cfg.CostModel.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: invalid cost model: %w", raerr.ErrInvalidConfig, err)
+		}
+	}
+	if cfg.Coalescing != coalesce.Off {
+		if !cfg.Coalescing.Valid() {
+			return nil, fmt.Errorf("%w: unknown coalescing policy %d", raerr.ErrInvalidConfig, cfg.Coalescing)
+		}
+		if cfg.LegacyIFG {
+			return nil, fmt.Errorf("%w: coalescing-biased assignment requires the IFG-free fast path (unset LegacyIFG)",
+				raerr.ErrInvalidConfig)
 		}
 	}
 	if cfg.Constraints != nil {
@@ -409,7 +436,31 @@ func assignAndRewrite(out *Outcome, f *ir.Func, cfg Config, dom *ir.Dominance, i
 	if runner != nil {
 		ra = runner.ra
 	}
-	regOf, err := regassign.AssignBudget(f, dom, info, allocatedVals, cfg.Registers, ra, meter)
+	// Coalescing-biased assignment: φ/copy moves and affinity classes come
+	// straight from the function and the clique structure — no IFG. Degraded
+	// rungs skip the bias (a budget-tripped run should not buy move quality
+	// with extra analysis); bias never changes the allocated set, so the
+	// spill decisions above are untouched either way.
+	var bias *regassign.Bias
+	var moves []coalesce.VMove
+	var aff *coalesce.Affinity
+	if cfg.Coalescing != coalesce.Off && out.Cliques != nil && out.Degraded == nil {
+		moves = coalesce.MovesFromFunc(f, cfg.CostModel)
+		if len(moves) > 0 {
+			var sc *coalesce.BiasScratch
+			if runner != nil {
+				if runner.bias == nil {
+					runner.bias = &coalesce.BiasScratch{}
+				}
+				sc = runner.bias
+			}
+			aff = coalesce.BuildAffinity(out.Cliques, moves, cfg.Coalescing, cfg.Registers, sc)
+			if aff != nil {
+				bias = regassign.NewBias(aff.ClassOf, aff.NumClasses)
+			}
+		}
+	}
+	regOf, err := regassign.AssignBiasedBudget(f, dom, info, allocatedVals, cfg.Registers, ra, meter, bias)
 	if err != nil {
 		if meter.Exceeded() {
 			return &raerr.FuncError{Func: f.Name, Stage: raerr.StageAssign, Err: err}
@@ -423,6 +474,9 @@ func assignAndRewrite(out *Outcome, f *ir.Func, cfg Config, dom *ir.Dominance, i
 			Err: fmt.Errorf("assignment verification failed: %w", err)}
 	}
 	out.RegisterOf = regOf
+	if cfg.Coalescing != coalesce.Off && out.Cliques != nil && out.Degraded == nil {
+		out.Coalesce = coalesce.StatsFor(cfg.Coalescing, moves, regOf, aff)
+	}
 	for _, v := range out.SpilledValues {
 		spilledVals[v] = true
 	}

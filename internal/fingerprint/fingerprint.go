@@ -93,6 +93,7 @@ const (
 	tagClasses
 	tagPins
 	tagMachine
+	tagCoalesce
 )
 
 // Func fingerprints the structure of f. Names (function, value, block) are
@@ -187,13 +188,18 @@ type Config struct {
 	// machine-constrained allocation is on (all-zero otherwise). Two
 	// engines differing only here must never share outcache entries.
 	Classes [ir.NumClasses]arch.ClassFile
+	// Coalescing is the numeric coalescing policy (coalesce.Policy). Biased
+	// assignment changes the register assignment (and the move stats) of an
+	// outcome, so cached outcomes must never leak across bias settings.
+	Coalescing int
 }
 
 // NewConfig canonicalizes one engine configuration: the allocator name is
 // case-folded (the registry is case-insensitive) and the cost model is
 // normalized (the zero model means the default model). cons, when non-nil,
-// folds the machine-constraint configuration into the key.
-func NewConfig(registers int, allocator string, m spillcost.Model, rewrite bool, cons *arch.Constraints) Config {
+// folds the machine-constraint configuration into the key; coalescing is
+// the numeric coalescing policy (0 = off).
+func NewConfig(registers int, allocator string, m spillcost.Model, rewrite bool, cons *arch.Constraints, coalescing int) Config {
 	loopBase, storeFactor := m.Params()
 	c := Config{
 		Registers:   registers,
@@ -201,6 +207,7 @@ func NewConfig(registers int, allocator string, m spillcost.Model, rewrite bool,
 		LoopBase:    loopBase,
 		StoreFactor: storeFactor,
 		Rewrite:     rewrite,
+		Coalescing:  coalescing,
 	}
 	if cons != nil {
 		c.Machine = strings.ToLower(cons.Machine)
@@ -231,5 +238,7 @@ func Key(f *ir.Func, c Config) FP {
 		h.int(file.CallerSaved)
 		h.int(file.ParamRegs)
 	}
+	h.word(tagCoalesce)
+	h.int(c.Coalescing)
 	return h.sum()
 }

@@ -1,6 +1,7 @@
 package fingerprint_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/arch"
@@ -72,7 +73,7 @@ func TestFingerprintNameInsensitivity(t *testing.T) {
 // SSA and non-SSA shape, a full alpha-rename (fresh function, value and
 // block names) fingerprints equal, and the config-folded key does too.
 func TestFingerprintAlphaRenameInvariant(t *testing.T) {
-	cfg := fingerprint.NewConfig(4, "", spillcost.Model{}, true, nil)
+	cfg := fingerprint.NewConfig(4, "", spillcost.Model{}, true, nil, 0)
 	for seed := int64(1); seed <= 25; seed++ {
 		f := irgen.FromSeed(seed)
 		g := irgen.AlphaRename(f, "renamed", int(seed))
@@ -154,22 +155,22 @@ func TestFingerprintDeterminism(t *testing.T) {
 // (allocator case, the zero cost model meaning the default model).
 func TestKeyConfigFold(t *testing.T) {
 	f := base(t)
-	ref := fingerprint.Key(f, fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, nil))
+	ref := fingerprint.Key(f, fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, nil, 0))
 
-	if got := fingerprint.Key(f, fingerprint.NewConfig(4, "BFPL", spillcost.Model{}, true, nil)); got != ref {
+	if got := fingerprint.Key(f, fingerprint.NewConfig(4, "BFPL", spillcost.Model{}, true, nil, 0)); got != ref {
 		t.Error("allocator name case changed the key (registry is case-insensitive)")
 	}
-	if got := fingerprint.Key(f, fingerprint.NewConfig(4, "bfpl", spillcost.DefaultModel, true, nil)); got != ref {
+	if got := fingerprint.Key(f, fingerprint.NewConfig(4, "bfpl", spillcost.DefaultModel, true, nil, 0)); got != ref {
 		t.Error("zero model and DefaultModel produced different keys")
 	}
 
 	diffs := []fingerprint.Config{
-		fingerprint.NewConfig(5, "bfpl", spillcost.Model{}, true, nil),
-		fingerprint.NewConfig(4, "nl", spillcost.Model{}, true, nil),
-		fingerprint.NewConfig(4, "", spillcost.Model{}, true, nil),
-		fingerprint.NewConfig(4, "bfpl", spillcost.NewModel(2, 1), true, nil),
-		fingerprint.NewConfig(4, "bfpl", spillcost.NewModel(10, 0.5), true, nil),
-		fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, false, nil),
+		fingerprint.NewConfig(5, "bfpl", spillcost.Model{}, true, nil, 0),
+		fingerprint.NewConfig(4, "nl", spillcost.Model{}, true, nil, 0),
+		fingerprint.NewConfig(4, "", spillcost.Model{}, true, nil, 0),
+		fingerprint.NewConfig(4, "bfpl", spillcost.NewModel(2, 1), true, nil, 0),
+		fingerprint.NewConfig(4, "bfpl", spillcost.NewModel(10, 0.5), true, nil, 0),
+		fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, false, nil, 0),
 	}
 	for i, c := range diffs {
 		if fingerprint.Key(f, c) == ref {
@@ -179,7 +180,7 @@ func TestKeyConfigFold(t *testing.T) {
 
 	g := f.Clone()
 	g.Blocks[0].Instrs[1].Imm++
-	if fingerprint.Key(g, fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, nil)) == ref {
+	if fingerprint.Key(g, fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, nil, 0)) == ref {
 		t.Error("function edit did not change the config-folded key")
 	}
 }
@@ -196,9 +197,9 @@ func TestKeyMachineFold(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return fingerprint.NewConfig(r, "bfpl", spillcost.Model{}, true, m.Constraints(r))
+		return fingerprint.NewConfig(r, "bfpl", spillcost.Model{}, true, m.Constraints(r), 0)
 	}
-	plain := fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, nil)
+	plain := fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, nil, 0)
 	keys := map[fingerprint.FP]string{fingerprint.Key(f, plain): "unconstrained"}
 	for _, c := range []struct {
 		label string
@@ -217,7 +218,7 @@ func TestKeyMachineFold(t *testing.T) {
 	}
 
 	// Machine names are case-folded like allocator names.
-	if fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, mustMachine(t, "ST231").Constraints(4)).Machine != "st231" {
+	if fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, mustMachine(t, "ST231").Constraints(4), 0).Machine != "st231" {
 		t.Error("machine name was not case-folded in NewConfig")
 	}
 
@@ -283,4 +284,23 @@ func FuzzFingerprint(f *testing.F) {
 			t.Fatal("value-space edit preserved the fingerprint")
 		}
 	})
+}
+
+// TestKeyCoalescingFold: the coalescing policy changes the register
+// assignment (never the spill set), so cached outcomes must not leak across
+// bias settings — same function, bias off/aggressive/conservative must key
+// three ways, on unconstrained and machine-constrained configurations alike.
+func TestKeyCoalescingFold(t *testing.T) {
+	f := base(t)
+	keys := map[fingerprint.FP]string{}
+	for _, cons := range []*arch.Constraints{nil, mustMachine(t, "st231").Constraints(4)} {
+		for pol := 0; pol <= 2; pol++ {
+			label := fmt.Sprintf("cons=%v policy=%d", cons != nil, pol)
+			k := fingerprint.Key(f, fingerprint.NewConfig(4, "bfpl", spillcost.Model{}, true, cons, pol))
+			if prev, ok := keys[k]; ok {
+				t.Errorf("%s collided with %s", label, prev)
+			}
+			keys[k] = label
+		}
+	}
 }

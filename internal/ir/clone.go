@@ -1,9 +1,13 @@
 package ir
 
 // Clone deep-copies f. All instruction use/target lists (and the block
-// pred/succ lists) are carved from one exact-size int slab, so the clone
-// costs a handful of allocations rather than one per instruction. Slice
-// nil-ness is preserved, and a nil ValueName map stays nil.
+// pred/succ lists) are carved from one exact-size int slab, the Block
+// headers from one Block slab, and every block's instruction list from one
+// exact-size Instr slab, so the clone costs a handful of allocations rather
+// than one (or three) per block. The instruction windows are capacity-
+// clamped, so a later append to one block's Instrs reallocates instead of
+// clobbering its slab neighbour. Slice nil-ness is preserved, and a nil
+// ValueName map stays nil.
 func (f *Func) Clone() *Func {
 	g := &Func{
 		Name:      f.Name,
@@ -28,9 +32,10 @@ func (f *Func) Clone() *Func {
 			g.PreColor[k] = v
 		}
 	}
-	total := 0
+	total, ninstr := 0, 0
 	for _, b := range f.Blocks {
 		total += len(b.Preds) + len(b.Succs)
+		ninstr += len(b.Instrs)
 		for _, ins := range b.Instrs {
 			total += len(ins.Uses) + len(ins.Targets) + len(ins.Clobbers)
 		}
@@ -44,22 +49,26 @@ func (f *Func) Clone() *Func {
 		slab = append(slab, s...)
 		return slab[start:len(slab):len(slab)]
 	}
+	blocks := make([]Block, len(f.Blocks))
+	instrs := make([]Instr, 0, ninstr)
 	g.Blocks = make([]*Block, 0, len(f.Blocks))
-	for _, b := range f.Blocks {
-		nb := &Block{
+	for bi, b := range f.Blocks {
+		nb := &blocks[bi]
+		*nb = Block{
 			ID:        b.ID,
 			Name:      b.Name,
 			Preds:     carve(b.Preds),
 			Succs:     carve(b.Succs),
 			LoopDepth: b.LoopDepth,
 		}
-		nb.Instrs = make([]Instr, len(b.Instrs))
-		for i, ins := range b.Instrs {
+		start := len(instrs)
+		for _, ins := range b.Instrs {
 			ins.Uses = carve(ins.Uses)
 			ins.Targets = carve(ins.Targets)
 			ins.Clobbers = carve(ins.Clobbers)
-			nb.Instrs[i] = ins
+			instrs = append(instrs, ins)
 		}
+		nb.Instrs = instrs[start:len(instrs):len(instrs)]
 		g.Blocks = append(g.Blocks, nb)
 	}
 	return g

@@ -2,6 +2,7 @@ package outcache
 
 import (
 	"repro/internal/alloc"
+	"repro/internal/coalesce"
 	"repro/internal/core"
 	"repro/internal/ir"
 )
@@ -28,6 +29,10 @@ type Entry struct {
 	maxLive   int
 
 	registerOf []int
+	// coalesce is the biased-assignment move report, nil when coalescing was
+	// off. Move costs are structural (block frequencies), so they transfer
+	// across alpha-renamed copies like every other decision-level field.
+	coalesce *coalesce.Stats
 	// rewritten is the spill-code-rewritten body with names stripped
 	// (function name, block names, ValueName); nil when the run skipped
 	// rewriting. Value IDs are structural, so they transfer as-is.
@@ -57,6 +62,10 @@ func NewEntry(out *core.Outcome) *Entry {
 		maxLive:    out.MaxLive,
 		registerOf: cloneInts(out.RegisterOf),
 		baseValues: out.F.NumValues,
+	}
+	if out.Coalesce != nil {
+		st := *out.Coalesce
+		e.coalesce = &st
 	}
 	if out.Rewritten != nil {
 		g := out.Rewritten.Clone()
@@ -100,6 +109,10 @@ func (e *Entry) Materialize(f *ir.Func) *core.Outcome {
 		SpillCost:     e.spillCost,
 		MaxLive:       e.maxLive,
 		RegisterOf:    cloneInts(e.registerOf),
+	}
+	if e.coalesce != nil {
+		st := *e.coalesce
+		out.Coalesce = &st
 	}
 	if e.rewritten != nil {
 		out.Rewritten = e.rebind(f)

@@ -15,7 +15,7 @@ import (
 )
 
 // fold is the cache-key config every test in this file allocates under.
-var fold = fingerprint.NewConfig(4, "", spillcost.Model{}, true, nil)
+var fold = fingerprint.NewConfig(4, "", spillcost.Model{}, true, nil, 0)
 
 func runFull(t testing.TB, f *ir.Func) *core.Outcome {
 	t.Helper()

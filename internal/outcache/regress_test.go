@@ -26,7 +26,7 @@ import (
 	"repro/internal/spillcost"
 )
 
-var regressFold = fingerprint.NewConfig(4, "", spillcost.Model{}, true, nil)
+var regressFold = fingerprint.NewConfig(4, "", spillcost.Model{}, true, nil, 0)
 
 func regressOutcome(t testing.TB, f *ir.Func) *core.Outcome {
 	t.Helper()

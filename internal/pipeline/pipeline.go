@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/budget"
+	"repro/internal/coalesce"
 	"repro/internal/core"
 	"repro/internal/fingerprint"
 	"repro/internal/ir"
@@ -62,6 +63,11 @@ type Config struct {
 	// caller (the regalloc Engine, which validates at construction time)
 	// guarantees the model is well-formed.
 	TrustedCostModel bool
+	// Coalescing enables coalescing-biased register assignment on the
+	// IFG-free fast path; see core.Config.Coalescing. The zero value
+	// (coalesce.Off) is byte-identical to the unbiased pipeline.
+	// Incompatible with LegacyIFG.
+	Coalescing coalesce.Policy
 	// Budget, when Active, bounds every function's resources (wall-clock
 	// deadline, work-step budget, admission gate); see core.Config.Budget.
 	// The deadline is per function, not per batch.
@@ -260,6 +266,15 @@ func validateConfig(cfg Config) error {
 			return fmt.Errorf("%w: %w", raerr.ErrInvalidConfig, err)
 		}
 	}
+	if cfg.Coalescing != coalesce.Off {
+		if !cfg.Coalescing.Valid() {
+			return fmt.Errorf("%w: unknown coalescing policy %d", raerr.ErrInvalidConfig, cfg.Coalescing)
+		}
+		if cfg.LegacyIFG {
+			return fmt.Errorf("%w: coalescing-biased assignment requires the IFG-free fast path (unset LegacyIFG)",
+				raerr.ErrInvalidConfig)
+		}
+	}
 	return nil
 }
 
@@ -267,7 +282,7 @@ func validateConfig(cfg Config) error {
 // cfg — the content-addressed cache key component shared by the batch
 // workers, the engine's single-function path and incremental mode.
 func fingerprintConfig(cfg Config) fingerprint.Config {
-	return fingerprint.NewConfig(cfg.Registers, cfg.Allocator, cfg.CostModel, !cfg.SkipRewrite, cfg.Constraints)
+	return fingerprint.NewConfig(cfg.Registers, cfg.Allocator, cfg.CostModel, !cfg.SkipRewrite, cfg.Constraints, int(cfg.Coalescing))
 }
 
 // worker drains the module's function queue with one reusable Runner (and
@@ -284,6 +299,7 @@ func worker(ctx context.Context, m *ir.Module, cfg Config, results []FuncResult,
 		Constraints: cfg.Constraints,
 		SkipRewrite: cfg.SkipRewrite,
 		LegacyIFG:   cfg.LegacyIFG,
+		Coalescing:  cfg.Coalescing,
 		Budget:      cfg.Budget,
 		Degrade:     cfg.Degrade,
 		// Either start validated the model for the whole batch, or the

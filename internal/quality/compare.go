@@ -1,0 +1,205 @@
+package quality
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Tolerances bounds the drift Compare accepts between a committed report and
+// a fresh run. Zero fields take the defaults; the defaults are deliberately
+// tight — the workloads are deterministic, so any real drift is a code
+// change that must either be fixed or committed by regenerating the
+// artifact.
+type Tolerances struct {
+	// Normalized is the absolute tolerance on each figure cell's normalized
+	// cost (default 0.005).
+	Normalized float64
+	// Fraction is the absolute tolerance on the coalescing eliminated-cost
+	// fractions (default 0.005).
+	Fraction float64
+	// Degraded is the allowed increase in any cell's degraded-instance
+	// count (default 0).
+	Degraded int
+}
+
+func (t *Tolerances) fill() {
+	if t.Normalized == 0 {
+		t.Normalized = 0.005
+	}
+	if t.Fraction == 0 {
+		t.Fraction = 0.005
+	}
+}
+
+// Compare diffs a fresh report against the committed one under tol. It
+// returns nil when every cell is within tolerance, and otherwise an error
+// joining every violation: quality regressions (normalized cost up,
+// degraded count up, eliminated fraction down, spill-equality broken) and
+// structural or out-of-tolerance improvements (which also fail the gate —
+// the committed artifact must be regenerated so the improvement is
+// recorded).
+func Compare(committed, current *Report, tol Tolerances) error {
+	tol.fill()
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	if committed.SchemaVersion != current.SchemaVersion {
+		fail("schema version changed: committed %d, current %d",
+			committed.SchemaVersion, current.SchemaVersion)
+	}
+
+	oldFigs := make(map[string]*Figure, len(committed.Figures))
+	for i := range committed.Figures {
+		oldFigs[committed.Figures[i].Suite] = &committed.Figures[i]
+	}
+	seen := make(map[string]bool, len(current.Figures))
+	for i := range current.Figures {
+		cur := &current.Figures[i]
+		seen[cur.Suite] = true
+		old, ok := oldFigs[cur.Suite]
+		if !ok {
+			fail("suite %s: not in the committed report (regenerate QUALITY.json)", cur.Suite)
+			continue
+		}
+		compareFigure(old, cur, tol, fail)
+	}
+	for suite := range oldFigs {
+		if !seen[suite] {
+			fail("suite %s: missing from the current run", suite)
+		}
+	}
+
+	type ck struct{ suite, policy string }
+	oldCo := make(map[ck]*Coalescing, len(committed.Coalescing))
+	for i := range committed.Coalescing {
+		c := &committed.Coalescing[i]
+		oldCo[ck{c.Suite, c.Policy}] = c
+	}
+	seenCo := make(map[ck]bool, len(current.Coalescing))
+	for i := range current.Coalescing {
+		cur := &current.Coalescing[i]
+		k := ck{cur.Suite, cur.Policy}
+		seenCo[k] = true
+		if !cur.SpillEqual {
+			fail("coalescing %s/%s: biased assignment changed a spill cost (equal-spill invariant broken)",
+				cur.Suite, cur.Policy)
+		}
+		old, ok := oldCo[k]
+		if !ok {
+			fail("coalescing %s/%s: not in the committed report (regenerate QUALITY.json)",
+				cur.Suite, cur.Policy)
+			continue
+		}
+		if cur.Moves != old.Moves || cur.Instances != old.Instances {
+			fail("coalescing %s/%s: corpus changed (moves %d→%d, instances %d→%d); regenerate QUALITY.json",
+				cur.Suite, cur.Policy, old.Moves, cur.Moves, old.Instances, cur.Instances)
+		}
+		if !close6(cur.MoveCost, old.MoveCost) {
+			fail("coalescing %s/%s: total move cost changed %g→%g; regenerate QUALITY.json",
+				cur.Suite, cur.Policy, old.MoveCost, cur.MoveCost)
+		}
+		switch d := cur.EliminatedFrac - old.EliminatedFrac; {
+		case d < -tol.Fraction:
+			fail("coalescing %s/%s: QUALITY REGRESSION — eliminated move-cost fraction fell %.4f→%.4f (tolerance %.4f)",
+				cur.Suite, cur.Policy, old.EliminatedFrac, cur.EliminatedFrac, tol.Fraction)
+		case d > tol.Fraction:
+			fail("coalescing %s/%s: eliminated fraction improved %.4f→%.4f beyond tolerance; regenerate QUALITY.json",
+				cur.Suite, cur.Policy, old.EliminatedFrac, cur.EliminatedFrac)
+		}
+	}
+	for k := range oldCo {
+		if !seenCo[k] {
+			fail("coalescing %s/%s: missing from the current run", k.suite, k.policy)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func compareFigure(old, cur *Figure, tol Tolerances, fail func(string, ...any)) {
+	if cur.Instances != old.Instances {
+		fail("suite %s: instance count changed %d→%d; regenerate QUALITY.json",
+			cur.Suite, old.Instances, cur.Instances)
+	}
+	type rk struct {
+		r         int
+		allocator string
+	}
+	oldRows := make(map[rk]*Row, len(old.Rows))
+	for i := range old.Rows {
+		oldRows[rk{old.Rows[i].R, old.Rows[i].Allocator}] = &old.Rows[i]
+	}
+	seen := make(map[rk]bool, len(cur.Rows))
+	for i := range cur.Rows {
+		c := &cur.Rows[i]
+		k := rk{c.R, c.Allocator}
+		seen[k] = true
+		o, ok := oldRows[k]
+		if !ok {
+			fail("suite %s R=%d %s: cell not in the committed report; regenerate QUALITY.json",
+				cur.Suite, c.R, c.Allocator)
+			continue
+		}
+		switch d := c.Normalized - o.Normalized; {
+		case d > tol.Normalized:
+			fail("suite %s R=%d %s: QUALITY REGRESSION — normalized cost rose %.4f→%.4f (tolerance %.4f)",
+				cur.Suite, c.R, c.Allocator, o.Normalized, c.Normalized, tol.Normalized)
+		case d < -tol.Normalized:
+			fail("suite %s R=%d %s: normalized cost improved %.4f→%.4f beyond tolerance; regenerate QUALITY.json",
+				cur.Suite, c.R, c.Allocator, o.Normalized, c.Normalized)
+		}
+		switch {
+		case c.Degraded > o.Degraded+tol.Degraded:
+			fail("suite %s R=%d %s: QUALITY REGRESSION — degraded instances rose %d→%d (allowance %d)",
+				cur.Suite, c.R, c.Allocator, o.Degraded, c.Degraded, tol.Degraded)
+		case c.Degraded < o.Degraded:
+			fail("suite %s R=%d %s: degraded instances fell %d→%d; regenerate QUALITY.json",
+				cur.Suite, c.R, c.Allocator, o.Degraded, c.Degraded)
+		}
+	}
+	for k := range oldRows {
+		if !seen[k] {
+			fail("suite %s R=%d %s: cell missing from the current run", cur.Suite, k.r, k.allocator)
+		}
+	}
+}
+
+// close6 compares two rounded values at the artifact's own quantum.
+func close6(a, b float64) bool { return math.Abs(a-b) < 1.5e-6 }
+
+// Encode serializes a report in the committed artifact's canonical form
+// (two-space indent, trailing newline).
+func Encode(r *Report) ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// WriteFile writes the report to path in canonical form.
+func WriteFile(path string, r *Report) error {
+	buf, err := Encode(r)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// ReadFile loads a committed report.
+func ReadFile(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.SchemaVersion != Schema {
+		return nil, fmt.Errorf("%s: schema %d, this build reads %d", path, r.SchemaVersion, Schema)
+	}
+	return &r, nil
+}

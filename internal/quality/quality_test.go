@@ -1,0 +1,213 @@
+package quality
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// tinySuite is a fast, deterministic stand-in for the paper suites.
+func tinySuite() bench.Suite {
+	return bench.Suite{
+		Name:      "tiny",
+		Chordal:   true,
+		Registers: []int{2, 4},
+		Load: func() []bench.Program {
+			shape := bench.Shape{
+				Params: 3, Segments: 4, MaxDepth: 2, StraightLen: 5,
+				LoopProb: 0.5, BranchProb: 0.3, Carried: 3, LongLived: 8,
+			}
+			var out []bench.Program
+			for i, seed := range []int64{101, 202, 303} {
+				name := []string{"a", "b", "c"}[i]
+				out = append(out, bench.Program{Name: name, F: bench.GenSSA(name, seed, shape)})
+			}
+			return out
+		},
+	}
+}
+
+func generateTiny(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Generate(Options{Suites: []bench.Suite{tinySuite()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestGenerateTinySuite(t *testing.T) {
+	rep := generateTiny(t)
+	if rep.SchemaVersion != Schema {
+		t.Fatalf("schema = %d", rep.SchemaVersion)
+	}
+	if len(rep.Figures) != 1 {
+		t.Fatalf("figures = %d, want 1", len(rep.Figures))
+	}
+	fig := rep.Figures[0]
+	if fig.Suite != "tiny" || fig.Figure != 0 {
+		t.Fatalf("figure header = %+v", fig)
+	}
+	if want := 2 * len(fig.Allocators); len(fig.Rows) != want {
+		t.Fatalf("rows = %d, want %d (2 register counts × lineup)", len(fig.Rows), want)
+	}
+	if fig.Instances != 6 {
+		t.Fatalf("instances = %d, want 3 programs × 2 Rs", fig.Instances)
+	}
+	for _, row := range fig.Rows {
+		if row.Normalized < 1-1e-9 {
+			t.Errorf("R=%d %s: normalized %g below 1 (better than optimal?)", row.R, row.Allocator, row.Normalized)
+		}
+		if row.Allocator == "Optimal" && (row.Normalized != 1 || row.Degraded != 0) {
+			t.Errorf("optimal row not at exactly 1: %+v", row)
+		}
+	}
+
+	if len(rep.Coalescing) != len(CoalescePolicies) {
+		t.Fatalf("coalescing rows = %d, want %d", len(rep.Coalescing), len(CoalescePolicies))
+	}
+	for _, c := range rep.Coalescing {
+		if !c.SpillEqual {
+			t.Errorf("%s/%s: equal-spill invariant broken", c.Suite, c.Policy)
+		}
+		if c.Moves == 0 || c.MoveCost <= 0 {
+			t.Errorf("%s/%s: no moves measured: %+v", c.Suite, c.Policy, c)
+		}
+		if d := c.MoveCost - (c.EliminatedCost + c.BiasedResidual); d > 1e-5 || d < -1e-5 {
+			t.Errorf("%s/%s: eliminated + residual ≠ total: %+v", c.Suite, c.Policy, c)
+		}
+		if c.BiasedResidual > c.UnbiasedResidual+1e-9 {
+			t.Errorf("%s/%s: bias left more move cost than the unbiased run: %+v", c.Suite, c.Policy, c)
+		}
+		if c.EliminatedFrac+1e-9 < c.UnbiasedFrac {
+			t.Errorf("%s/%s: eliminated fraction below the unbiased baseline: %+v", c.Suite, c.Policy, c)
+		}
+	}
+}
+
+// clone deep-copies a report through its own JSON encoding.
+func clone(t *testing.T, r *Report) *Report {
+	t.Helper()
+	buf, err := Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestCompareGate is the CI quality gate demonstrated end to end: a clean
+// rerun passes, and each class of injected regression fails with a
+// violation naming the cell.
+func TestCompareGate(t *testing.T) {
+	rep := generateTiny(t)
+	if err := Compare(rep, rep, Tolerances{}); err != nil {
+		t.Fatalf("self-compare must pass: %v", err)
+	}
+
+	t.Run("normalized regression", func(t *testing.T) {
+		bad := clone(t, rep)
+		bad.Figures[0].Rows[0].Normalized += 0.05
+		err := Compare(rep, bad, Tolerances{})
+		if err == nil || !strings.Contains(err.Error(), "QUALITY REGRESSION") {
+			t.Fatalf("injected normalized regression not caught: %v", err)
+		}
+	})
+	t.Run("degraded-count regression", func(t *testing.T) {
+		bad := clone(t, rep)
+		bad.Figures[0].Rows[1].Degraded += 2
+		err := Compare(rep, bad, Tolerances{})
+		if err == nil || !strings.Contains(err.Error(), "degraded instances rose") {
+			t.Fatalf("injected degradation not caught: %v", err)
+		}
+	})
+	t.Run("eliminated-fraction regression", func(t *testing.T) {
+		bad := clone(t, rep)
+		bad.Coalescing[0].EliminatedFrac -= 0.10
+		err := Compare(rep, bad, Tolerances{})
+		if err == nil || !strings.Contains(err.Error(), "eliminated move-cost fraction fell") {
+			t.Fatalf("injected move-cost regression not caught: %v", err)
+		}
+	})
+	t.Run("spill-equality broken", func(t *testing.T) {
+		bad := clone(t, rep)
+		bad.Coalescing[1].SpillEqual = false
+		err := Compare(rep, bad, Tolerances{})
+		if err == nil || !strings.Contains(err.Error(), "equal-spill invariant") {
+			t.Fatalf("broken spill equality not caught: %v", err)
+		}
+	})
+	t.Run("missing cell", func(t *testing.T) {
+		bad := clone(t, rep)
+		bad.Figures[0].Rows = bad.Figures[0].Rows[1:]
+		if err := Compare(rep, bad, Tolerances{}); err == nil {
+			t.Fatal("dropped cell not caught")
+		}
+	})
+	t.Run("improvement also fails until regenerated", func(t *testing.T) {
+		better := clone(t, rep)
+		better.Figures[0].Rows[0].Normalized -= 0.05
+		err := Compare(rep, better, Tolerances{})
+		if err == nil || !strings.Contains(err.Error(), "regenerate QUALITY.json") {
+			t.Fatalf("out-of-tolerance improvement must demand regeneration: %v", err)
+		}
+	})
+	t.Run("within tolerance passes", func(t *testing.T) {
+		drift := clone(t, rep)
+		drift.Figures[0].Rows[0].Normalized += 0.004
+		drift.Coalescing[0].EliminatedFrac += 0.004
+		if err := Compare(rep, drift, Tolerances{}); err != nil {
+			t.Fatalf("sub-tolerance drift must pass: %v", err)
+		}
+	})
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rep := generateTiny(t)
+	path := filepath.Join(t.TempDir(), "QUALITY.json")
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("round trip changed the report:\nwrote %+v\nread  %+v", rep, got)
+	}
+}
+
+func TestReadFileSchemaMismatch(t *testing.T) {
+	rep := generateTiny(t)
+	rep.SchemaVersion = Schema + 1
+	path := filepath.Join(t.TempDir(), "QUALITY.json")
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("future schema accepted")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	rep := generateTiny(t)
+	md := Markdown(rep)
+	for _, want := range []string{
+		"# Quality report", "## tiny", "| R |", "Optimal",
+		"## Coalescing-biased assignment", "| tiny | aggressive |", "| tiny | conservative |", "equal",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	if strings.Contains(md, "MISMATCH") {
+		t.Error("markdown reports a spill mismatch on a clean run")
+	}
+}

@@ -1,0 +1,49 @@
+package regassign
+
+// Bias is a per-value register preference table for coalescing-biased
+// assignment. Values are partitioned into affinity classes (copy-related,
+// pairwise non-interfering — built by internal/coalesce without an IFG);
+// the first member of a class to be coloured records its register as the
+// class hint, and every later member prefers that register when it is free
+// at its own definition point. The preference is strictly best-effort: a
+// busy (or, constrained, banned/foreign-class) hint falls back to the
+// normal lowest-free choice, so a biased assignment allocates exactly the
+// values an unbiased one does — bias can never cost a spill.
+type Bias struct {
+	// ClassOf maps value ID to affinity class, -1 for none.
+	ClassOf []int32
+	// hint[class] is the register the class converged on: a plain index for
+	// the unconstrained scan, a RegRef for the constrained one; NoReg until
+	// the first member is coloured.
+	hint []int32
+}
+
+// NewBias builds a preference table over classOf (value → affinity class,
+// -1 none) with numClasses classes and no hints recorded yet.
+func NewBias(classOf []int32, numClasses int) *Bias {
+	b := &Bias{ClassOf: classOf, hint: make([]int32, numClasses)}
+	for i := range b.hint {
+		b.hint[i] = NoReg
+	}
+	return b
+}
+
+// classOf returns v's affinity class, -1 when v has none (or the table is
+// nil).
+func (b *Bias) classOf(v int) int32 {
+	if b == nil || v >= len(b.ClassOf) {
+		return -1
+	}
+	return b.ClassOf[v]
+}
+
+// hintOf returns the recorded register of class cls, NoReg when unset.
+func (b *Bias) hintOf(cls int32) int32 { return b.hint[cls] }
+
+// record stores reg as the hint of cls if the class has none yet (the first
+// coloured member wins; later members chase it).
+func (b *Bias) record(cls int32, reg int) {
+	if cls >= 0 && b.hint[cls] == NoReg {
+		b.hint[cls] = int32(reg)
+	}
+}

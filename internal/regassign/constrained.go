@@ -21,6 +21,18 @@ import (
 // sound under spill-everywhere, and bounded by the value count).
 func AssignConstrained(f *ir.Func, dom *ir.Dominance, info *liveness.Info,
 	allocated []bool, caps [ir.NumClasses]int, pins []int, forbid []uint64) ([]int, int, error) {
+	return AssignConstrainedBiased(f, dom, info, allocated, caps, pins, forbid, nil)
+}
+
+// AssignConstrainedBiased is AssignConstrained with a coalescing bias: a
+// value whose affinity class already converged on a register takes it when
+// it is of the value's own class, inside the class capacity, free, and not
+// in the value's forbid mask — otherwise the scan falls back to the normal
+// lowest-admissible choice. Pins always win (and seed the class hint, so
+// copy chains rooted at an ABI register chase the pin). A nil bias
+// reproduces AssignConstrained byte-for-byte.
+func AssignConstrainedBiased(f *ir.Func, dom *ir.Dominance, info *liveness.Info,
+	allocated []bool, caps [ir.NumClasses]int, pins []int, forbid []uint64, bias *Bias) ([]int, int, error) {
 	if !f.SSA {
 		return nil, -1, fmt.Errorf("regassign: tree-scan requires strict SSA")
 	}
@@ -90,6 +102,7 @@ func AssignConstrained(f *ir.Func, dom *ir.Dominance, info *liveness.Info,
 				return
 			}
 			c := f.ClassOf(v)
+			cls := bias.classOf(v)
 			if pin := pinOf(v); pin != NoReg {
 				idx := ir.RegIndexOf(pin)
 				if ir.RegClassOf(pin) != c || idx >= caps[c] || inUse[c]&(1<<uint(idx)) != 0 {
@@ -99,13 +112,28 @@ func AssignConstrained(f *ir.Func, dom *ir.Dominance, info *liveness.Info,
 				}
 				regOf[v] = pin
 				inUse[c] |= 1 << uint(idx)
+				if bias != nil {
+					bias.record(cls, pin)
+				}
 				return
 			}
 			free := ^(inUse[c] | banned(v))
+			if cls >= 0 {
+				if h := bias.hintOf(cls); h != NoReg && ir.RegClassOf(int(h)) == c {
+					if idx := ir.RegIndexOf(int(h)); idx < caps[c] && free&(1<<uint(idx)) != 0 {
+						regOf[v] = int(h)
+						inUse[c] |= 1 << uint(idx)
+						return
+					}
+				}
+			}
 			for idx := 0; idx < caps[c]; idx++ {
 				if free&(1<<uint(idx)) != 0 {
 					regOf[v] = ir.MakeReg(c, idx)
 					inUse[c] |= 1 << uint(idx)
+					if bias != nil {
+						bias.record(cls, ir.MakeReg(c, idx))
+					}
 					return
 				}
 			}

@@ -71,6 +71,17 @@ func AssignWith(f *ir.Func, dom *ir.Dominance, info *liveness.Info, allocated []
 // caller degrades to a cheaper allocation instead). A nil meter never
 // trips.
 func AssignBudget(f *ir.Func, dom *ir.Dominance, info *liveness.Info, allocated []bool, r int, scratch *Scratch, meter *budget.Meter) ([]int, error) {
+	return AssignBiasedBudget(f, dom, info, allocated, r, scratch, meter, nil)
+}
+
+// AssignBiasedBudget is AssignBudget with a coalescing bias: when a value
+// belongs to an affinity class whose hint register is free at the value's
+// definition point, it takes the hint instead of the lowest free register
+// (eliminating the φ/copy move to its affine partners); otherwise the scan
+// proceeds exactly as unbiased. A nil bias reproduces AssignBudget
+// byte-for-byte. Bias never changes which values receive registers — only
+// which registers they receive.
+func AssignBiasedBudget(f *ir.Func, dom *ir.Dominance, info *liveness.Info, allocated []bool, r int, scratch *Scratch, meter *budget.Meter, bias *Bias) ([]int, error) {
 	if !f.SSA {
 		return nil, fmt.Errorf("regassign: tree-scan requires strict SSA")
 	}
@@ -147,10 +158,21 @@ func AssignBudget(f *ir.Func, dom *ir.Dominance, info *liveness.Info, allocated 
 			if regOf[v] >= 0 {
 				return // already coloured (phi defs are live-in too)
 			}
+			cls := bias.classOf(v)
+			if cls >= 0 {
+				if h := bias.hintOf(cls); h >= 0 && int(h) < r && !inUse[h] {
+					regOf[v] = int(h)
+					inUse[h] = true
+					return
+				}
+			}
 			for reg := 0; reg < r; reg++ {
 				if !inUse[reg] {
 					regOf[v] = reg
 					inUse[reg] = true
+					if bias != nil {
+						bias.record(cls, reg)
+					}
 					return
 				}
 			}

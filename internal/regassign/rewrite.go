@@ -8,6 +8,12 @@ import "repro/internal/ir"
 // rewritten to a freshly reloaded value. Phi operands reload at the end of
 // the predecessor block; spilled phi defs spill at the top of their block.
 // The returned function is still strict SSA.
+//
+// The rewritten instruction lists of every touched block are carved from
+// one exact-size function-level slab (capacity-clamped windows, so a later
+// append reallocates instead of clobbering a neighbour), and the singleton
+// use list of every spill instruction from one int slab — two allocations
+// per rewritten function instead of one per block plus one per spill.
 func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
 	g := f.Clone()
 	anySpill := false
@@ -23,10 +29,10 @@ func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
 	if g.ValueName == nil {
 		g.ValueName = make(map[int]string)
 	}
-	for _, b := range g.Blocks {
-		// Pre-size the rewritten instruction list: one reload per spilled
-		// non-phi use, one spill per spilled def.
-		extra := 0
+	// Pre-size the rewrite: per block, one reload per spilled non-phi use
+	// and one spill per spilled def (spills counts defs, so it is exact for
+	// non-SSA functions with several defs per value too).
+	extraOf := func(b *ir.Block) (extra, spills int) {
 		for _, ins := range b.Instrs {
 			if ins.Op != ir.OpPhi {
 				for _, u := range ins.Uses {
@@ -38,12 +44,25 @@ func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
 			if ins.Op.HasDef() && ins.Def != ir.NoValue &&
 				ins.Def < len(spilled) && spilled[ins.Def] {
 				extra++
+				spills++
 			}
 		}
-		if extra == 0 {
+		return extra, spills
+	}
+	slabLen, nspills := 0, 0
+	for _, b := range g.Blocks {
+		if extra, spills := extraOf(b); extra > 0 {
+			slabLen += len(b.Instrs) + extra
+			nspills += spills
+		}
+	}
+	slab := make([]ir.Instr, 0, slabLen)
+	spillUses := make([]int, 0, nspills)
+	for _, b := range g.Blocks {
+		if extra, _ := extraOf(b); extra == 0 {
 			continue
 		}
-		out := make([]ir.Instr, 0, len(b.Instrs)+extra)
+		start := len(slab)
 		// The clone owns its Uses storage, so reloads rewrite operands in
 		// place instead of copying every instruction's use list.
 		reloadAt := func(uses []int) {
@@ -55,7 +74,7 @@ func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
 					// is never pinned: only the original def range keeps an
 					// ABI color).
 					g.SetClass(nv, g.ClassOf(u))
-					out = append(out, ir.Instr{Op: ir.OpReload, Def: nv, Imm: int64(u)})
+					slab = append(slab, ir.Instr{Op: ir.OpReload, Def: nv, Imm: int64(u)})
 					uses[k] = nv
 				}
 			}
@@ -67,29 +86,31 @@ func InsertSpillCode(f *ir.Func, spilled []bool) *ir.Func {
 		for _, ins := range b.Instrs {
 			if !phisDone && ins.Op != ir.OpPhi {
 				phisDone = true
-				out = append(out, phiSpills...)
+				slab = append(slab, phiSpills...)
 				phiSpills = nil
 			}
 			switch {
 			case ins.Op == ir.OpPhi:
 				// Operand reloads belong in predecessors; handled below.
-				out = append(out, ins)
+				slab = append(slab, ins)
 			default:
 				reloadAt(ins.Uses)
-				out = append(out, ins)
+				slab = append(slab, ins)
 			}
 			if ins.Op.HasDef() && ins.Def != ir.NoValue &&
 				ins.Def < len(spilled) && spilled[ins.Def] {
-				sp := ir.Instr{Op: ir.OpSpill, Def: ir.NoValue, Uses: []int{ins.Def}}
+				spillUses = append(spillUses, ins.Def)
+				sp := ir.Instr{Op: ir.OpSpill, Def: ir.NoValue,
+					Uses: spillUses[len(spillUses)-1 : len(spillUses) : len(spillUses)]}
 				if ins.Op == ir.OpPhi {
 					phiSpills = append(phiSpills, sp)
 				} else {
-					out = append(out, sp)
+					slab = append(slab, sp)
 				}
 			}
 		}
-		out = append(out, phiSpills...)
-		b.Instrs = out
+		slab = append(slab, phiSpills...)
+		b.Instrs = slab[start:len(slab):len(slab)]
 	}
 	// Phi operand reloads: insert at the end of the predecessor (before its
 	// terminator) and rewrite the operand.

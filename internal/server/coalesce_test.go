@@ -1,0 +1,99 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// copyFunc has one φ/copy move (y ← x) whose endpoints do not interfere, so
+// coalescing-biased assignment can always eliminate it.
+const copyFunc = "func c ssa {\nb0:\n  x = param 0\n  y = copy x\n  z = arith y, y\n  ret z\n}"
+
+// TestAllocateWithCoalescing covers the coalescing request surface: a
+// per-request policy turns on biased assignment and the response carries the
+// move report; the default-off path omits it; unknown policies are in-band
+// errors; a server-wide default applies to requests that omit the field and
+// an explicit "off" opts back out.
+func TestAllocateWithCoalescing(t *testing.T) {
+	s := newTestServer(t, Config{Registers: 4})
+	_, resp := postJSON(t, s.Handler(), Request{ID: "c1", IR: copyFunc, Coalesce: "conservative"})
+	if resp.Error != "" {
+		t.Fatalf("coalescing request failed: %+v", resp)
+	}
+	co := resp.Coalesce
+	if co == nil {
+		t.Fatal("biased response carries no coalesce block")
+	}
+	if co.Policy != "conservative" || co.Moves != 1 {
+		t.Errorf("coalesce block = %+v, want policy conservative with 1 move", co)
+	}
+	if co.EliminatedCost <= 0 || co.ResidualCost != 0 || co.MoveCost != co.EliminatedCost {
+		t.Errorf("the single non-interfering move must be fully eliminated: %+v", co)
+	}
+
+	// Default off: no coalesce block on the response.
+	_, resp = postJSON(t, s.Handler(), Request{ID: "c2", IR: copyFunc})
+	if resp.Error != "" || resp.Coalesce != nil {
+		t.Fatalf("unbiased response must omit the coalesce block: %+v", resp)
+	}
+
+	// Unknown policy is an in-band request error.
+	_, resp = postJSON(t, s.Handler(), Request{ID: "c3", IR: copyFunc, Coalesce: "optimistic"})
+	if resp.Error == "" {
+		t.Fatal("unknown coalescing policy accepted")
+	}
+
+	// A server-wide default applies when the request omits the field, and
+	// an explicit "off" opts the request back out.
+	s = newTestServer(t, Config{Registers: 4, Coalesce: "aggressive"})
+	_, resp = postJSON(t, s.Handler(), Request{ID: "c4", IR: copyFunc})
+	if resp.Error != "" || resp.Coalesce == nil || resp.Coalesce.Policy != "aggressive" {
+		t.Fatalf("server default policy not applied: %+v", resp)
+	}
+	_, resp = postJSON(t, s.Handler(), Request{ID: "c5", IR: copyFunc, Coalesce: "off"})
+	if resp.Error != "" || resp.Coalesce != nil {
+		t.Fatalf("explicit off did not override the server default: %+v", resp)
+	}
+
+	// An invalid default policy is a startup error, not a request error.
+	if _, err := New(Config{Registers: 4, Coalesce: "optimistic"}); err == nil {
+		t.Fatal("server with unknown default coalescing policy started")
+	}
+}
+
+// TestCoalesceMetrics: biased allocations feed the Prometheus
+// move-elimination counters.
+func TestCoalesceMetrics(t *testing.T) {
+	s := newTestServer(t, Config{Registers: 4})
+	h := s.Handler()
+	_, resp := postJSON(t, h, Request{ID: "m1", IR: copyFunc, Coalesce: "aggressive"})
+	if resp.Error != "" {
+		t.Fatalf("request failed: %+v", resp)
+	}
+	r := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, metric := range []string{
+		"allocserve_coalesce_funcs_total 1",
+		"allocserve_move_cost_total",
+		"allocserve_move_eliminated_cost_total",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("metrics exposition missing %q", metric)
+		}
+	}
+	// The eliminated-cost counter must be non-zero after the biased request.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "allocserve_move_eliminated_cost_total") {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("eliminated-cost counter still zero: %s", line)
+			}
+		}
+	}
+}

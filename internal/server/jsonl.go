@@ -22,12 +22,16 @@ import (
 
 // Request is one allocation request: a single function (IR) or a whole
 // compilation unit (Module), with optional per-request overrides of the
-// service's default register count, allocator and machine. Machine names a
-// registered target machine (see regalloc.MachineNames); a non-empty value
-// turns on machine-constrained allocation — register classes, pre-colored
-// ABI values and caller-saved clobbers at calls — instantiated at the
-// request's register count. A request with "stats":true returns the
-// service counters instead of allocating.
+// service's default register count, allocator, machine and coalescing
+// policy. Machine names a registered target machine (see
+// regalloc.MachineNames); a non-empty value turns on machine-constrained
+// allocation — register classes, pre-colored ABI values and caller-saved
+// clobbers at calls — instantiated at the request's register count.
+// Coalesce names a coalescing policy ("off", "aggressive", "conservative");
+// a non-"off" value biases register assignment toward eliminating
+// move/φ-induced copies at identical spill cost, and the response carries
+// the move report under "coalesce". A request with "stats":true returns
+// the service counters instead of allocating.
 type Request struct {
 	ID        string `json:"id"`
 	IR        string `json:"ir,omitempty"`
@@ -35,8 +39,25 @@ type Request struct {
 	Registers int    `json:"registers,omitempty"`
 	Allocator string `json:"allocator,omitempty"`
 	Machine   string `json:"machine,omitempty"`
+	Coalesce  string `json:"coalesce,omitempty"`
 	Print     bool   `json:"print,omitempty"`
 	Stats     bool   `json:"stats,omitempty"`
+}
+
+// CoalesceInfo is the per-function move report of a coalescing-biased
+// allocation: the dynamic cost of the function's move/φ copies, how much of
+// it the biased assignment eliminated (source and destination got the same
+// register) and what remains, plus the affinity-class shape that drove the
+// bias. Spill cost is unaffected by bias — the decoupled pipeline fixes the
+// spill set before assignment — so EliminatedCost is pure profit.
+type CoalesceInfo struct {
+	Policy         string  `json:"policy"`
+	Moves          int     `json:"moves"`
+	MoveCost       float64 `json:"moveCost"`
+	EliminatedCost float64 `json:"eliminatedCost"`
+	ResidualCost   float64 `json:"residualCost"`
+	Classes        int     `json:"classes,omitempty"`
+	Merged         int     `json:"merged,omitempty"`
 }
 
 // ServiceStats is the payload of a "stats":true response: the resident
@@ -77,6 +98,7 @@ type Response struct {
 	// whose budget trip forced the fall.
 	Degraded      string        `json:"degraded,omitempty"`
 	DegradedStage string        `json:"degradedStage,omitempty"`
+	Coalesce      *CoalesceInfo `json:"coalesce,omitempty"`
 	Cached        bool          `json:"cached,omitempty"`
 	Results       []Response    `json:"results,omitempty"`
 	Stats         *ServiceStats `json:"stats,omitempty"`
@@ -133,9 +155,17 @@ func (c *EngineCache) SetBudget(b regalloc.Budget, degrade bool) {
 
 // Get resolves (or builds and caches) the engine for one request
 // configuration. A non-empty machine name selects machine-constrained
-// allocation on the named target, instantiated at regs registers.
-func (c *EngineCache) Get(regs int, allocName, machine string) (*regalloc.Engine, error) {
-	key := fmt.Sprintf("%d\x00%s\x00%s", regs, strings.ToLower(allocName), strings.ToLower(machine))
+// allocation on the named target, instantiated at regs registers; a
+// non-empty coalesce names the coalescing policy ("off", "aggressive",
+// "conservative"/"briggs") and biases assignment accordingly. The key folds
+// the canonical policy name, so alias spellings share one engine while
+// distinct policies never do (bias changes assignments, never spills).
+func (c *EngineCache) Get(regs int, allocName, machine, coalesce string) (*regalloc.Engine, error) {
+	pol, err := regalloc.CoalescePolicyByName(coalesce)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%d\x00%s\x00%s\x00%s", regs, strings.ToLower(allocName), strings.ToLower(machine), pol)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.seq++
@@ -149,6 +179,9 @@ func (c *EngineCache) Get(regs int, allocName, machine string) (*regalloc.Engine
 	}
 	if machine != "" {
 		opts = append(opts, regalloc.WithMachine(machine))
+	}
+	if pol != regalloc.CoalesceOff {
+		opts = append(opts, regalloc.WithCoalescing(pol))
 	}
 	if c.shared != nil {
 		opts = append(opts, regalloc.WithSharedCache(c.shared))
@@ -209,6 +242,16 @@ type Observer interface {
 	ObserveFunc(failed bool, spillRatio float64)
 }
 
+// CoalesceObserver is an optional extension of Observer: observers that
+// implement it additionally receive the per-function move report of
+// coalescing-biased allocations — the Prometheus move-elimination feed.
+type CoalesceObserver interface {
+	// ObserveCoalesce records one function allocated under a coalescing
+	// policy: the dynamic cost of its move/φ copies and how much of that the
+	// biased assignment eliminated.
+	ObserveCoalesce(moveCost, eliminatedCost float64)
+}
+
 // DegradationObserver is an optional extension of Observer: observers that
 // implement it additionally receive degradation-ladder and budget-
 // exhaustion events from budget-governed engines.
@@ -241,7 +284,7 @@ func observeFuncErr(obs Observer, err error) {
 // decodeErr carries an upstream body-decoding failure into the in-band
 // error contract. ctx bounds the allocation (module requests are cancelled
 // between functions; a single function is the pipeline's atomic unit).
-func Do(ctx context.Context, engines *EngineCache, req Request, decodeErr error, defRegs int, defAlloc, defMachine string, obs Observer) Response {
+func Do(ctx context.Context, engines *EngineCache, req Request, decodeErr error, defRegs int, defAlloc, defMachine, defCoalesce string, obs Observer) Response {
 	resp := Response{ID: req.ID}
 	if decodeErr != nil {
 		resp.Error = "bad request: " + decodeErr.Error()
@@ -271,9 +314,13 @@ func Do(ctx context.Context, engines *EngineCache, req Request, decodeErr error,
 	if machine == "" {
 		machine = defMachine
 	}
+	coalesceName := req.Coalesce
+	if coalesceName == "" {
+		coalesceName = defCoalesce
+	}
 	resp.Registers = r
 	resp.Machine = strings.ToLower(machine)
-	eng, err := engines.Get(r, allocName, machine)
+	eng, err := engines.Get(r, allocName, machine, coalesceName)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
@@ -359,6 +406,20 @@ func fillOutcome(resp *Response, f *irx.Func, out *regalloc.Outcome, print bool,
 	}
 	if print && out.Rewritten != nil {
 		resp.Rewritten = out.Rewritten.String()
+	}
+	if st := out.Coalesce; st != nil {
+		resp.Coalesce = &CoalesceInfo{
+			Policy:         st.Policy.String(),
+			Moves:          st.Moves,
+			MoveCost:       st.MoveCost,
+			EliminatedCost: st.EliminatedCost,
+			ResidualCost:   st.ResidualCost,
+			Classes:        st.Classes,
+			Merged:         st.Merged,
+		}
+		if co, ok := obs.(CoalesceObserver); ok {
+			co.ObserveCoalesce(st.MoveCost, st.EliminatedCost)
+		}
 	}
 	if out.Degraded != nil {
 		resp.Degraded = out.Degraded.Rung

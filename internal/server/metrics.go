@@ -21,6 +21,21 @@ type counter struct{ v atomic.Uint64 }
 func (c *counter) Add(n uint64)  { c.v.Add(n) }
 func (c *counter) Value() uint64 { return c.v.Load() }
 
+// floatCounter is a monotonically increasing float metric (float64 bits,
+// CAS-updated) — dynamic move costs are weighted, not unit counts.
+type floatCounter struct{ v atomic.Uint64 }
+
+func (c *floatCounter) Add(f float64) {
+	for {
+		old := c.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + f)
+		if c.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+func (c *floatCounter) Value() float64 { return math.Float64frombits(c.v.Load()) }
+
 // gauge is a current-value metric.
 type gauge struct{ v atomic.Int64 }
 
@@ -172,6 +187,12 @@ type metrics struct {
 	// unknown labels fold into "other".
 	degraded      map[string]*counter
 	budgetExhaust map[string]*counter
+	// Move-elimination telemetry from coalescing-biased allocations: the
+	// cumulative dynamic cost of move/φ copies seen and the share the biased
+	// assignment eliminated, plus the function count the pair covers.
+	coalesceFuncs      counter
+	moveCostTotal      floatCounter
+	moveEliminatedCost floatCounter
 }
 
 // degradedRungs / budgetStages are the fixed label sets of the degradation
@@ -215,6 +236,12 @@ func (m *metrics) observeDegraded(rung, stage string) {
 		c = m.degraded["other"]
 	}
 	c.Add(1)
+}
+
+func (m *metrics) observeCoalesce(moveCost, eliminatedCost float64) {
+	m.coalesceFuncs.Add(1)
+	m.moveCostTotal.Add(moveCost)
+	m.moveEliminatedCost.Add(eliminatedCost)
 }
 
 func (m *metrics) observeBudgetExhausted(stage string) {
@@ -301,6 +328,16 @@ func (m *metrics) write(w io.Writer, engines int, cache *cacheStats) {
 	for _, s := range budgetStages {
 		fmt.Fprintf(w, "allocserve_budget_exhausted_total{stage=%q} %d\n", s, m.budgetExhaust[s].Value())
 	}
+
+	fmt.Fprint(w, "# HELP allocserve_coalesce_funcs_total Functions allocated under a coalescing policy.\n")
+	fmt.Fprint(w, "# TYPE allocserve_coalesce_funcs_total counter\n")
+	fmt.Fprintf(w, "allocserve_coalesce_funcs_total %d\n", m.coalesceFuncs.Value())
+	fmt.Fprint(w, "# HELP allocserve_move_cost_total Cumulative dynamic cost of move/phi copies in coalescing-biased allocations.\n")
+	fmt.Fprint(w, "# TYPE allocserve_move_cost_total counter\n")
+	fmt.Fprintf(w, "allocserve_move_cost_total %s\n", formatFloat(m.moveCostTotal.Value()))
+	fmt.Fprint(w, "# HELP allocserve_move_eliminated_cost_total Cumulative dynamic move cost eliminated by coalescing-biased assignment (same register for source and destination).\n")
+	fmt.Fprint(w, "# TYPE allocserve_move_eliminated_cost_total counter\n")
+	fmt.Fprintf(w, "allocserve_move_eliminated_cost_total %s\n", formatFloat(m.moveEliminatedCost.Value()))
 
 	fmt.Fprint(w, "# HELP allocserve_spill_ratio Per-function spill quality: spilled cost over total spill weight.\n")
 	fmt.Fprint(w, "# TYPE allocserve_spill_ratio histogram\n")

@@ -56,6 +56,12 @@ type Config struct {
 	// machine-constrained allocation — register classes, pre-colored ABI
 	// values, call clobbers — instantiated at the request's register count.
 	Machine string
+	// Coalesce is the default coalescing policy name for requests that omit
+	// one ("" or "off" = no bias; "aggressive"; "conservative"/"briggs").
+	// A non-off policy biases register assignment toward eliminating move/φ
+	// copies at identical spill cost; responses carry the move report and
+	// /metrics exposes cumulative move-elimination counters.
+	Coalesce string
 	// Jobs is the worker count for module-request allocation
 	// (0 = GOMAXPROCS).
 	Jobs int
@@ -135,7 +141,7 @@ func New(cfg Config) (*Server, error) {
 		// Before the eager Get below, so the default engine is governed too.
 		s.engines.SetBudget(cfg.Budget, cfg.Degrade)
 	}
-	if _, err := s.engines.Get(cfg.Registers, cfg.Allocator, cfg.Machine); err != nil {
+	if _, err := s.engines.Get(cfg.Registers, cfg.Allocator, cfg.Machine, cfg.Coalesce); err != nil {
 		return nil, fmt.Errorf("server: invalid default configuration: %w", err)
 	}
 	s.mux = http.NewServeMux()
@@ -300,6 +306,9 @@ func (o serverObserver) ObserveStage(stage string, seconds float64) { o.m.observ
 func (o serverObserver) ObserveFunc(failed bool, ratio float64)     { o.m.observeFunc(failed, ratio) }
 func (o serverObserver) ObserveDegraded(rung, stage string)         { o.m.observeDegraded(rung, stage) }
 func (o serverObserver) ObserveBudgetExhausted(stage string)        { o.m.observeBudgetExhausted(stage) }
+func (o serverObserver) ObserveCoalesce(moveCost, eliminatedCost float64) {
+	o.m.observeCoalesce(moveCost, eliminatedCost)
+}
 
 // testHookServing, when non-nil, runs inside handleAllocate right after
 // admission — tests use it to hold requests in flight deterministically.
@@ -355,7 +364,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
-	resp := Do(ctx, s.engines, req, nil, s.cfg.Registers, s.cfg.Allocator, s.cfg.Machine, obs)
+	resp := Do(ctx, s.engines, req, nil, s.cfg.Registers, s.cfg.Allocator, s.cfg.Machine, s.cfg.Coalesce, obs)
 
 	code := http.StatusOK
 	switch {

@@ -1,0 +1,241 @@
+package verify
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/arch"
+	"repro/internal/coalesce"
+	"repro/internal/core"
+	"repro/internal/ifg"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/liveness"
+	"repro/internal/regassign"
+)
+
+// CoalescePolicies is the policy sweep of the move-preservation check.
+var CoalescePolicies = []coalesce.Policy{coalesce.Aggressive, coalesce.Conservative}
+
+// CheckCoalescing runs the move-preservation differential over f: for every
+// allocator × R × policy, the coalescing-biased run must
+//
+//  1. spill exactly what the unbiased run spills (same spill set, same
+//     spill cost) — bias may only ever re-pick registers, never trade a
+//     spill for a move;
+//  2. not increase the rewritten program's dynamic move cost: the residual
+//     (uncoalesced) move cost under bias is ≤ the unbiased residual;
+//  3. keep the assignment sound (re-derived from liveness, invariant 2 of
+//     CheckFunc);
+//  4. agree with the stats the outcome reports (eliminated + residual =
+//     total, recomputed from the assignment).
+//
+// An explicit Off run must be byte-identical to a config that never
+// mentions coalescing — the zero-value compatibility pin.
+func CheckCoalescing(f *ir.Func, opts Options) error {
+	opts.fill()
+	fail := func(allocName string, r int, policy coalesce.Policy, format string, args ...any) error {
+		return &Failure{
+			Func: f.Name, Allocator: allocName, R: r,
+			Detail: fmt.Sprintf("[coalesce=%s] %s", policy, fmt.Sprintf(format, args...)),
+		}
+	}
+	info := liveness.Compute(f)
+	chordal := false
+	if f.SSA {
+		b := ifg.FromLiveness(info)
+		chordal = b.Graph.IsPerfectEliminationOrder(b.Graph.PerfectEliminationOrder())
+	}
+	if !chordal {
+		return nil // bias rides the chordal fast path only
+	}
+	moves := coalesce.MovesFromFunc(f, core.Config{}.CostModel)
+
+	for _, allocName := range opts.Allocators {
+		a, err := core.AllocatorByName(allocName)
+		if err != nil {
+			return err
+		}
+		for _, r := range opts.Registers {
+			base, err := core.Run(f, core.Config{Registers: r, Allocator: a})
+			if err != nil {
+				return fail(allocName, r, coalesce.Off, "unbiased pipeline: %v", err)
+			}
+			offOut, err := core.Run(f, core.Config{Registers: r, Allocator: a, Coalescing: coalesce.Off})
+			if err != nil {
+				return fail(allocName, r, coalesce.Off, "explicit-off pipeline: %v", err)
+			}
+			if d := diffOutcomes(base, offOut); d != "" {
+				return fail(allocName, r, coalesce.Off, "explicit Off differs from zero config: %s", d)
+			}
+			_, baseResidual := coalesce.ResidualCost(moves, base.RegisterOf)
+			for _, policy := range CoalescePolicies {
+				out, err := core.Run(f, core.Config{Registers: r, Allocator: a, Coalescing: policy})
+				if err != nil {
+					return fail(allocName, r, policy, "biased pipeline: %v", err)
+				}
+				if !slices.Equal(out.SpilledValues, base.SpilledValues) || out.SpillCost != base.SpillCost {
+					return fail(allocName, r, policy,
+						"bias changed the spill decision: spilled %v (cost %g), unbiased %v (cost %g)",
+						out.SpilledValues, out.SpillCost, base.SpilledValues, base.SpillCost)
+				}
+				if err := checkAllocPressure(info, out, r); err != nil {
+					return fail(allocName, r, policy, "%v", err)
+				}
+				if out.RegisterOf != nil {
+					if err := checkAssignment(info, out, r); err != nil {
+						return fail(allocName, r, policy, "%v", err)
+					}
+				}
+				elim, residual := coalesce.ResidualCost(moves, out.RegisterOf)
+				if residual > baseResidual {
+					return fail(allocName, r, policy,
+						"bias increased dynamic move cost: residual %g > unbiased %g", residual, baseResidual)
+				}
+				if st := out.Coalesce; st != nil {
+					if st.EliminatedCost != elim || st.ResidualCost != residual {
+						return fail(allocName, r, policy,
+							"reported stats disagree with the assignment: reported (elim %g, residual %g), recomputed (%g, %g)",
+							st.EliminatedCost, st.ResidualCost, elim, residual)
+					}
+					if diff := st.MoveCost - (st.EliminatedCost + st.ResidualCost); diff > 1e-9 || diff < -1e-9 {
+						return fail(allocName, r, policy, "stats do not sum: %+v", st)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCoalescingSeed generates the function for one irgen seed and runs the
+// move-preservation differential on it.
+func CheckCoalescingSeed(seed int64, opts Options) error {
+	return CheckCoalescing(irgen.FromSeed(seed), opts)
+}
+
+// CheckCoalescingConstrained is the machine-constrained counterpart: per
+// allocator × policy under one constraint instance, biased runs must keep
+// the unbiased spill decision, stay sound under the class/pin/clobber
+// invariants, and never increase the residual move cost.
+func CheckCoalescingConstrained(f *ir.Func, cons *arch.Constraints, opts Options) error {
+	opts.fill()
+	r := cons.Cap(ir.ClassGPR)
+	fail := func(allocName string, policy coalesce.Policy, format string, args ...any) error {
+		return &Failure{
+			Func: f.Name, Allocator: allocName, R: r,
+			Detail: fmt.Sprintf("[machine=%s coalesce=%s] %s", cons.Machine, policy, fmt.Sprintf(format, args...)),
+		}
+	}
+	info := liveness.Compute(f)
+	spans := regassign.LiveThroughCalls(info)
+	moves := coalesce.MovesFromFunc(f, core.Config{}.CostModel)
+
+	for _, allocName := range opts.Allocators {
+		a, err := core.AllocatorByName(allocName)
+		if err != nil {
+			return err
+		}
+		base, err := core.Run(f, core.Config{Registers: r, Allocator: a, Constraints: cons})
+		if err != nil {
+			return fail(allocName, coalesce.Off, "unbiased pipeline: %v", err)
+		}
+		_, baseResidual := coalesce.ResidualCost(moves, base.RegisterOf)
+		for _, policy := range CoalescePolicies {
+			out, err := core.Run(f, core.Config{Registers: r, Allocator: a, Constraints: cons, Coalescing: policy})
+			if err != nil {
+				return fail(allocName, policy, "biased pipeline: %v", err)
+			}
+			if !slices.Equal(out.SpilledValues, base.SpilledValues) || out.SpillCost != base.SpillCost {
+				return fail(allocName, policy,
+					"bias changed the spill decision: spilled %v (cost %g), unbiased %v (cost %g)",
+					out.SpilledValues, out.SpillCost, base.SpilledValues, base.SpillCost)
+			}
+			if err := checkClassPressure(info, out, cons); err != nil {
+				return fail(allocName, policy, "%v", err)
+			}
+			if out.RegisterOf == nil {
+				continue
+			}
+			if err := checkConstrainedAssignment(info, out, cons, spans); err != nil {
+				return fail(allocName, policy, "%v", err)
+			}
+			_, residual := coalesce.ResidualCost(moves, out.RegisterOf)
+			if residual > baseResidual {
+				return fail(allocName, policy,
+					"bias increased dynamic move cost: residual %g > unbiased %g", residual, baseResidual)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCoalescingConstrainedSeed regenerates the constrained function per
+// register count (annotations scale with the machine shape, matching
+// CheckConstrainedSeed) and checks each instance.
+func CheckCoalescingConstrainedSeed(seed int64, m arch.Machine, opts Options) error {
+	opts.fill()
+	for _, r := range opts.Registers {
+		cons := m.Constraints(r)
+		f := irgen.ConstrainedFromSeed(seed, cons)
+		if err := CheckCoalescingConstrained(f, cons, opts); err != nil {
+			return fmt.Errorf("machine %s R=%d: %w", m.Name, r, err)
+		}
+	}
+	return nil
+}
+
+// diffOutcomes compares the decision-level products of two runs and
+// describes the first difference ("" when byte-identical).
+func diffOutcomes(a, b *core.Outcome) string {
+	if !slices.Equal(a.SpilledValues, b.SpilledValues) {
+		return fmt.Sprintf("spill sets %v vs %v", a.SpilledValues, b.SpilledValues)
+	}
+	if a.SpillCost != b.SpillCost {
+		return fmt.Sprintf("spill costs %g vs %g", a.SpillCost, b.SpillCost)
+	}
+	if !slices.Equal(a.RegisterOf, b.RegisterOf) {
+		return fmt.Sprintf("assignments %v vs %v", a.RegisterOf, b.RegisterOf)
+	}
+	ar, br := "", ""
+	if a.Rewritten != nil {
+		ar = a.Rewritten.String()
+	}
+	if b.Rewritten != nil {
+		br = b.Rewritten.String()
+	}
+	if ar != br {
+		return "rewritten bodies differ"
+	}
+	if (a.Coalesce == nil) != (b.Coalesce == nil) {
+		return "one outcome carries coalesce stats"
+	}
+	return ""
+}
+
+// SoakCoalescing checks seeds [base, base+n) under the move-preservation
+// differential and returns up to maxFail failures; progress is reported
+// through report if non-nil.
+func SoakCoalescing(base int64, n int, opts Options, maxFail int, report func(done int, failed int)) []*Failure {
+	if maxFail <= 0 {
+		maxFail = 1
+	}
+	var fails []*Failure
+	for i := 0; i < n; i++ {
+		err := CheckCoalescingSeed(base+int64(i), opts)
+		if err != nil {
+			if f, ok := err.(*Failure); ok {
+				fails = append(fails, f)
+			} else {
+				fails = append(fails, &Failure{Func: fmt.Sprintf("seed%d", base+int64(i)), Detail: err.Error()})
+			}
+			if len(fails) >= maxFail {
+				return fails
+			}
+		}
+		if report != nil {
+			report(i+1, len(fails))
+		}
+	}
+	return fails
+}

@@ -1,0 +1,69 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestCoalescingSoakAcceptance is the move-preservation acceptance bar:
+// across 100 seeds × every allocator × R ∈ {2,3,4,8} × both policies,
+// biased assignment must keep the unbiased spill decision exactly, never
+// increase the residual dynamic move cost, stay sound, and Off must stay
+// byte-identical to the zero config.
+func TestCoalescingSoakAcceptance(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 12
+	}
+	fails := SoakCoalescing(1, n, Options{}, 5, nil)
+	for _, f := range fails {
+		t.Error(f)
+	}
+}
+
+// TestCoalescingConstrainedSoak runs the move-preservation differential on
+// machine-constrained functions over every registered machine: bias must
+// never cost a spill even when pins and clobbers shrink its freedom.
+func TestCoalescingConstrainedSoak(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 4
+	}
+	failed := 0
+	for _, m := range DefaultMachines() {
+		for seed := int64(1); seed <= int64(n); seed++ {
+			if err := CheckCoalescingConstrainedSeed(seed, m, Options{Registers: []int{2, 4, 8}}); err != nil {
+				t.Error(err)
+				if failed++; failed >= 5 {
+					t.Fatal("too many failures, stopping")
+				}
+			}
+		}
+	}
+}
+
+// TestCoalescingSoakProgress exercises the soak driver's reporting contract.
+func TestCoalescingSoakProgress(t *testing.T) {
+	calls := 0
+	fails := SoakCoalescing(1, 5, Options{Registers: []int{3}}, 5,
+		func(done, failed int) { calls = done })
+	if calls != 5 {
+		t.Fatalf("progress reported %d, want 5", calls)
+	}
+	for _, f := range fails {
+		t.Error(f)
+	}
+}
+
+// TestCheckCoalescingConstrainedDirect pins one constrained instance
+// checked directly (not via the per-R seed wrapper).
+func TestCheckCoalescingConstrainedDirect(t *testing.T) {
+	m, err := arch.ByName("st231")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCoalescingConstrainedSeed(7, m, Options{Registers: []int{4}}); err != nil {
+		t.Fatal(err)
+	}
+}

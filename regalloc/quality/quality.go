@@ -1,0 +1,53 @@
+// Package quality is the public face of the committed experiment pipeline
+// (internal/quality): the figure-grade quality Report behind the committed
+// QUALITY.json / QUALITY.md artifacts — per figure × suite × allocator × R
+// normalized spill cost and degraded-instance counts, plus the share of
+// dynamic φ/copy move cost that coalescing-biased assignment eliminates at
+// equal spill cost — and the tolerance-based Compare gate CI runs so a
+// quality regression fails the build like a broken test.
+//
+// cmd/experiments is the driver: -json/-md write the artifacts, -against
+// diffs a fresh run against the committed report.
+package quality
+
+import "repro/internal/quality"
+
+// Schema is the QUALITY.json schema version.
+const Schema = quality.Schema
+
+// Report is the full quality snapshot of one experiment run.
+type Report = quality.Report
+
+// Figure is one suite's normalized-cost sweep (one paper figure).
+type Figure = quality.Figure
+
+// Row is one (register count, allocator) cell of a figure.
+type Row = quality.Row
+
+// Coalescing is the move-elimination summary for one suite × policy.
+type Coalescing = quality.Coalescing
+
+// Options parameterizes Generate; the zero value runs every paper suite.
+type Options = quality.Options
+
+// Tolerances bounds the drift Compare accepts (zero fields = defaults).
+type Tolerances = quality.Tolerances
+
+// Generate runs the full quality pipeline over the configured suites.
+var Generate = quality.Generate
+
+// Compare diffs a fresh report against the committed one, returning an
+// error that joins every out-of-tolerance violation.
+var Compare = quality.Compare
+
+// Markdown renders the report as the committed QUALITY.md.
+var Markdown = quality.Markdown
+
+// Encode serializes a report in the committed artifact's canonical form.
+var Encode = quality.Encode
+
+// WriteFile writes the report to path in canonical form.
+var WriteFile = quality.WriteFile
+
+// ReadFile loads a committed report, rejecting unknown schema versions.
+var ReadFile = quality.ReadFile

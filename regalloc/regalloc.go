@@ -52,6 +52,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/arch"
 	"repro/internal/budget"
+	"repro/internal/coalesce"
 	"repro/internal/core"
 	"repro/internal/fingerprint"
 	"repro/internal/outcache"
@@ -99,6 +100,41 @@ const (
 	RungSpillAll = core.RungSpillAll
 )
 
+// CoalescePolicy selects the coalescing criterion of WithCoalescing. The
+// zero value (CoalesceOff) disables coalescing.
+type CoalescePolicy = coalesce.Policy
+
+// Coalescing policies.
+const (
+	// CoalesceOff: no coalescing; assignment is byte-identical to an engine
+	// without WithCoalescing.
+	CoalesceOff = coalesce.Off
+	// CoalesceAggressive groups every copy-related, non-interfering pair of
+	// values into one affinity class (Chaitin-style).
+	CoalesceAggressive = coalesce.Aggressive
+	// CoalesceConservative additionally requires the Briggs criterion — the
+	// merged class must have fewer than R neighbours of significant (≥ R)
+	// degree — checked against clique-membership degrees, never an explicit
+	// graph.
+	CoalesceConservative = coalesce.Conservative
+)
+
+// CoalescePolicyByName resolves a policy name: "off" (or ""), "aggressive",
+// "conservative" (or "briggs"). Unknown names fail with ErrInvalidConfig.
+func CoalescePolicyByName(name string) (CoalescePolicy, error) {
+	p, ok := coalesce.PolicyByName(name)
+	if !ok {
+		return CoalesceOff, fmt.Errorf("%w: unknown coalescing policy %q (want off, aggressive or conservative)",
+			raerr.ErrInvalidConfig, name)
+	}
+	return p, nil
+}
+
+// CoalesceStats reports the effect of coalescing-biased assignment on one
+// function's φ/copy moves: total, eliminated and residual dynamic move
+// cost, and the affinity classes behind the bias. See Outcome.Coalesce.
+type CoalesceStats = coalesce.Stats
+
 // CostModel parameterizes the spill-cost estimate: the per-loop-level
 // multiplier and the store/reload weight ratio. The zero value means
 // DefaultCostModel.
@@ -131,6 +167,7 @@ type options struct {
 	constraints    *arch.Constraints
 	budget         Budget
 	degrade        bool
+	coalescing     CoalescePolicy
 }
 
 // Option configures an Engine (New).
@@ -207,6 +244,19 @@ func WithCache(capacity int) Option { return func(o *options) { o.cacheSize = ca
 // service — share one bounded pool. Entries are keyed by configuration as
 // well as content, so engines with different configs never cross-serve.
 func WithSharedCache(c *Cache) Option { return func(o *options) { o.sharedCache = c } }
+
+// WithCoalescing enables coalescing-biased register assignment: φ/copy-
+// related values are grouped into affinity classes (CoalesceAggressive
+// merges every non-interfering pair; CoalesceConservative applies the
+// Briggs colourability criterion) and the tree-scan assigner prefers an
+// affine partner's register when it is free at the definition point,
+// eliminating the move. The bias is strictly best-effort: it never changes
+// which values are allocated, never costs a spill, and CoalesceOff (the
+// default) is byte-identical to an engine without this option. Applies on
+// the IFG-free SSA fast path (including machine-constrained allocation,
+// where ABI pins seed the class hints); incompatible with WithLegacyIFG.
+// The per-function effect is reported in Outcome.Coalesce.
+func WithCoalescing(p CoalescePolicy) Option { return func(o *options) { o.coalescing = p } }
 
 // WithBudget bounds every run's resources: a wall-clock deadline (per
 // function), a cooperative work-step budget, and a max-values/max-blocks
@@ -292,6 +342,15 @@ func New(opt ...Option) (*Engine, error) {
 				raerr.ErrInvalidConfig)
 		}
 	}
+	if o.coalescing != CoalesceOff {
+		if !o.coalescing.Valid() {
+			return nil, fmt.Errorf("%w: unknown coalescing policy %d", raerr.ErrInvalidConfig, o.coalescing)
+		}
+		if o.legacyIFG {
+			return nil, fmt.Errorf("%w: coalescing-biased assignment requires the IFG-free fast path (drop WithLegacyIFG)",
+				raerr.ErrInvalidConfig)
+		}
+	}
 	e := &Engine{opts: o}
 	e.pool.New = func() any { return e.newWorker() }
 	switch {
@@ -301,7 +360,7 @@ func New(opt ...Option) (*Engine, error) {
 		e.cache = outcache.New(o.cacheSize)
 	}
 	if e.cache != nil {
-		e.fold = fingerprint.NewConfig(o.registers, o.allocator, o.costModel, !o.skipRewrite, o.constraints)
+		e.fold = fingerprint.NewConfig(o.registers, o.allocator, o.costModel, !o.skipRewrite, o.constraints, int(o.coalescing))
 	}
 	return e, nil
 }
@@ -315,6 +374,7 @@ func (e *Engine) newWorker() *worker {
 		SkipRewrite: e.opts.skipRewrite,
 		LegacyIFG:   e.opts.legacyIFG,
 		Constraints: e.opts.constraints,
+		Coalescing:  e.opts.coalescing,
 		Budget:      e.opts.budget,
 		Degrade:     e.opts.degrade,
 		// New validated the model once for the engine's lifetime.
@@ -384,6 +444,7 @@ func (e *Engine) moduleConfig() pipeline.Config {
 		Jobs:           e.opts.jobs,
 		NoScratchReuse: e.opts.noScratchReuse,
 		LegacyIFG:      e.opts.legacyIFG,
+		Coalescing:     e.opts.coalescing,
 		// New validated the model (or the caller opted out with
 		// WithTrustedCostModel); don't re-validate per module run.
 		TrustedCostModel: true,

@@ -32,6 +32,11 @@ type Request = server.Request
 // per function under Results. Failures are in-band via Error.
 type Response = server.Response
 
+// CoalesceInfo is the per-function move report a coalescing-biased
+// allocation carries on its Response: total move/φ copy cost, the share the
+// biased assignment eliminated at identical spill cost, and the residual.
+type CoalesceInfo = server.CoalesceInfo
+
 // ServiceStats is the payload of a "stats":true response.
 type ServiceStats = server.ServiceStats
 
@@ -54,6 +59,10 @@ type Observer = server.Observer
 // degradation-ladder and budget-exhaustion events from budget-governed
 // engines.
 type DegradationObserver = server.DegradationObserver
+
+// CoalesceObserver is an optional Observer extension receiving per-function
+// move-elimination reports from coalescing-biased allocations.
+type CoalesceObserver = server.CoalesceObserver
 
 // Do serves one request against an engine table — the single-request core
 // shared by the HTTP server and the allocbatch JSONL mode.
